@@ -1,0 +1,45 @@
+"""Shared helpers for the experiment benchmarks.
+
+Each benchmark regenerates one table/figure/claim of the paper's evaluation
+(see DESIGN.md section 5) and prints it; pytest-benchmark times the core
+computation.  Built designs are cached per session.
+"""
+
+import pytest
+
+from repro.core.kronecker import build_kronecker_delta
+from repro.core.optimizations import RandomnessScheme, SecondOrderScheme
+from repro.core.sbox import build_masked_sbox
+
+
+def print_table(title, headers, rows):
+    """Render a fixed-width table to stdout (shown with pytest -s)."""
+    widths = [
+        max(len(str(headers[i])), *(len(str(r[i])) for r in rows))
+        for i in range(len(headers))
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+
+
+@pytest.fixture(scope="session")
+def designs():
+    """Session cache of built designs keyed by configuration."""
+    cache = {}
+
+    def get(kind, scheme=None, **kwargs):
+        key = (kind, scheme, tuple(sorted(kwargs.items())))
+        if key not in cache:
+            if kind == "kronecker":
+                cache[key] = build_kronecker_delta(scheme, **kwargs)
+            elif kind == "sbox":
+                cache[key] = build_masked_sbox(scheme, **kwargs)
+            else:
+                raise ValueError(kind)
+        return cache[key]
+
+    return get

@@ -1,0 +1,78 @@
+"""E1 -- Architecture report (paper Fig. 1/2/3 and Section II-C).
+
+Regenerates the structural facts the paper states: the S-box is a 5-cycle
+pipeline (3 cycles Kronecker + 2 cycles conversions, combinational affine),
+the Kronecker delta is a 3-level tree of seven DOM-AND gates, and the
+fresh-randomness cost of every wiring scheme (7 / 3 / 4 / 6 bits first
+order; 21 / 13 second order).
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.kronecker import KRONECKER_LATENCY
+from repro.core.optimizations import (
+    FIRST_ORDER_SCHEMES,
+    SecondOrderScheme,
+    scheme_fresh_bits,
+)
+from repro.core.sbox import SBOX_LATENCY
+from repro.netlist.stats import netlist_stats
+
+
+def test_e1_architecture_report(benchmark, designs):
+    sbox = designs("sbox", FIRST_ORDER_SCHEMES[0])
+    stats = benchmark(netlist_stats, sbox.netlist)
+
+    # --- latency table (Section II-C) -----------------------------------
+    assert KRONECKER_LATENCY == 3
+    assert SBOX_LATENCY == 5
+    print_table(
+        "E1a: pipeline latency (cycles)",
+        ["module", "latency"],
+        [
+            ["Kronecker delta (3 DOM layers)", KRONECKER_LATENCY],
+            ["masking conversions (B->M, M->B)", 2],
+            ["affine transformation", "combinational"],
+            ["masked S-box total", SBOX_LATENCY],
+        ],
+    )
+
+    # --- structure table -------------------------------------------------
+    rows = []
+    for kind, design in [
+        ("masked S-box (FULL)", sbox),
+        ("Kronecker delta o1 (FULL)", designs("kronecker", FIRST_ORDER_SCHEMES[0])),
+        ("Kronecker delta o2 (21 bits)", designs("kronecker", SecondOrderScheme.FULL_21, order=2)),
+    ]:
+        s = netlist_stats(design.netlist)
+        rows.append(
+            [
+                kind,
+                s.n_cells,
+                s.n_registers,
+                s.comb_depth,
+                f"{s.area_ge:.0f}",
+            ]
+        )
+    print_table(
+        "E1b: netlist structure (NanGate45-style areas)",
+        ["module", "cells", "registers", "depth", "area [GE]"],
+        rows,
+    )
+    # Fig. 3: 7 DOM gates x 4 registers in the first-order tree.
+    kron = designs("kronecker", FIRST_ORDER_SCHEMES[0])
+    assert sum(1 for _ in kron.netlist.dff_cells()) == 28
+
+    # --- randomness cost table -------------------------------------------
+    rows = [
+        [scheme.value, 1, scheme_fresh_bits(scheme)]
+        for scheme in FIRST_ORDER_SCHEMES
+    ]
+    rows += [[s.value, 2, s.fresh_bits] for s in SecondOrderScheme]
+    print_table(
+        "E1c: fresh mask bits per cycle (Kronecker delta)",
+        ["scheme", "order", "fresh bits"],
+        rows,
+    )
+    assert scheme_fresh_bits(FIRST_ORDER_SCHEMES[0]) == 7
+    assert SecondOrderScheme.OPT_13.fresh_bits == 13
+    assert stats.n_registers == 128

@@ -1,0 +1,51 @@
+"""E2 -- S-box without the Kronecker delta (Section III, paragraph 2).
+
+The paper: "When excluding the Kronecker delta function and selecting a
+non-zero input as the fixed value of the test, the design passes the
+PROLEAD's security assessments."  We additionally fix input 0 to show the
+classic zero-value problem the delta exists to solve.
+"""
+
+from benchmarks.conftest import print_table
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.model import ProbingModel
+
+N_SIMULATIONS = 100_000
+
+
+def test_e2_sbox_without_kronecker(benchmark, designs):
+    design = designs("sbox", None, include_kronecker=False)
+    evaluator = LeakageEvaluator(design.dut, ProbingModel.GLITCH, seed=2)
+
+    report_nonzero = benchmark.pedantic(
+        evaluator.evaluate,
+        kwargs=dict(fixed_secret=0x53, n_simulations=N_SIMULATIONS),
+        rounds=1,
+        iterations=1,
+    )
+    report_zero = evaluator.evaluate(
+        fixed_secret=0x00, n_simulations=N_SIMULATIONS
+    )
+
+    print_table(
+        "E2: masked S-box without Kronecker delta, glitch-extended model",
+        ["fixed input", "verdict", "max -log10(p)", "worst probe"],
+        [
+            [
+                "0x53 (non-zero)",
+                "PASS" if report_nonzero.passed else "FAIL",
+                f"{report_nonzero.max_mlog10p:.2f}",
+                report_nonzero.worst.probe_names[:48],
+            ],
+            [
+                "0x00 (zero-value problem)",
+                "PASS" if report_zero.passed else "FAIL",
+                f"{report_zero.max_mlog10p:.2f}",
+                report_zero.worst.probe_names[:48],
+            ],
+        ],
+    )
+    # Paper shape: non-zero fixed passes; zero input is catastrophic.
+    assert report_nonzero.passed
+    assert not report_zero.passed
+    assert report_zero.max_mlog10p > 100

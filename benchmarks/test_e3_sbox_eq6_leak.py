@@ -1,0 +1,53 @@
+"""E3 -- The paper's central finding (Section III, Fig. 3).
+
+The complete masked S-box with De Meyer et al.'s Eq. (6) randomness
+optimization and fixed input 0 fails the glitch-extended fixed-vs-random
+test, with every leaking probe inside gate G7 of the Kronecker delta --
+the nodes the paper marks v1..v4 with red stars.
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.optimizations import RandomnessScheme
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.model import ProbingModel
+
+N_SIMULATIONS = 100_000
+
+
+def test_e3_sbox_with_eq6_fails_at_g7(benchmark, designs):
+    design = designs("sbox", RandomnessScheme.DEMEYER_EQ6)
+    evaluator = LeakageEvaluator(design.dut, ProbingModel.GLITCH, seed=3)
+    report = benchmark.pedantic(
+        evaluator.evaluate,
+        kwargs=dict(fixed_secret=0x00, n_simulations=N_SIMULATIONS),
+        rounds=1,
+        iterations=1,
+    )
+
+    ranked = sorted(report.results, key=lambda r: -r.mlog10p)[:8]
+    print_table(
+        "E3: masked S-box + Eq.(6) optimization, fixed input 0x00",
+        ["probe", "-log10(p)", "verdict"],
+        [
+            [r.probe_names[:52], f"{r.mlog10p:.1f}", "LEAK" if r.leaking else "ok"]
+            for r in ranked
+        ],
+    )
+    assert not report.passed
+    # Localization claim: the red-star nodes of Fig. 3 live in G7.
+    for result in report.leaking_results:
+        assert "g7" in result.probe_names
+    leak_names = " ".join(r.probe_names for r in report.leaking_results)
+    assert "g7.inner0" in leak_names  # v1
+
+    # Counterpart: the FULL wiring passes at the same sample size.
+    full = designs("sbox", RandomnessScheme.FULL)
+    full_report = LeakageEvaluator(
+        full.dut, ProbingModel.GLITCH, seed=3
+    ).evaluate(fixed_secret=0x00, n_simulations=N_SIMULATIONS)
+    print(
+        f"\ncontrol: FULL wiring at the same size -> "
+        f"{'PASS' if full_report.passed else 'FAIL'} "
+        f"(max -log10(p) = {full_report.max_mlog10p:.2f})"
+    )
+    assert full_report.passed

@@ -1,0 +1,65 @@
+"""E4 -- Kronecker delta under the glitch-extended model (Section III).
+
+Exact (SILVER-style) verdicts for the v1..v4 probe classes of every
+first-order wiring scheme, plus sampled G-test scores: the Eq. (6)
+optimization and its relatives leak; FULL and Eq. (9) do not.
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.optimizations import FIRST_ORDER_SCHEMES, scheme_fresh_bits
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.exact import ExactAnalyzer
+from repro.leakage.model import ProbingModel
+
+N_SIMULATIONS = 60_000
+
+
+def exact_v1(design):
+    analyzer = ExactAnalyzer(design.dut)
+    pc = analyzer.probe_class_for_net(design.v_nodes["v1"])
+    return analyzer.analyze_probe_class(pc)
+
+
+def test_e4_kronecker_glitch_all_schemes(benchmark, designs):
+    rows = []
+    sampled_scores = {}
+    for scheme in FIRST_ORDER_SCHEMES:
+        design = designs("kronecker", scheme)
+        result = exact_v1(design)
+        evaluator = LeakageEvaluator(
+            design.dut, ProbingModel.GLITCH, seed=4
+        )
+        report = evaluator.evaluate(
+            fixed_secret=0, n_simulations=N_SIMULATIONS
+        )
+        sampled_scores[scheme] = report.max_mlog10p
+        rows.append(
+            [
+                scheme.value,
+                scheme_fresh_bits(scheme),
+                "LEAK" if result.leaking else "secure",
+                f"{result.tv_fixed_vs_random:.4f}",
+                f"{report.max_mlog10p:.1f}",
+                "FAIL" if not report.passed else "pass",
+            ]
+        )
+        # Shape check against the paper's verdicts.
+        assert result.leaking != scheme.expected_glitch_secure
+        assert report.passed == scheme.expected_glitch_secure
+
+    print_table(
+        "E4: Kronecker delta, glitch-extended model, fixed input 0x00",
+        [
+            "scheme",
+            "fresh bits",
+            "exact v1 verdict",
+            "exact TV(fixed,rand)",
+            "sampled max -log10(p)",
+            "sampled verdict",
+        ],
+        rows,
+    )
+
+    # Benchmark the exact analysis of the flawed scheme's v1 probe.
+    eq6 = designs("kronecker", FIRST_ORDER_SCHEMES[1])
+    benchmark(exact_v1, eq6)

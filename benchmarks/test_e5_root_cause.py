@@ -1,0 +1,66 @@
+"""E5 -- Root-cause analysis (Section III, Eq. (7) and Eq. (8)).
+
+Regenerates the paper's derivation from the built netlist: the simplified
+per-share equations of the tree, the mask cancellation in y0^0 xor y2^0
+when r1 = r3, and the exact distribution of the v1 observation conditioned
+on the unmasked bits x1, x5.
+"""
+
+from benchmarks.conftest import print_table
+from repro.analysis.rootcause import (
+    eq8_cancellation_witness,
+    kronecker_layer_equations,
+    v1_distribution_by_secret,
+)
+from repro.analysis.walsh import depends_on_conditioning, total_variation
+from repro.core.optimizations import RandomnessScheme
+
+
+def test_e5_root_cause_derivations(benchmark):
+    equations = benchmark(
+        kronecker_layer_equations, RandomnessScheme.FULL
+    )
+    print("\n=== E5a: recovered Eq. (7) share equations (FULL wiring) ===")
+    for label in ("y0^0", "y1^0", "y2^0", "y3^0", "w0^0", "w1^0"):
+        text = str(equations[label])
+        print(f"  {label} = {text[:95]}")
+    # y0^0 must carry exactly the r1 blinding of Eq. (7).
+    assert "rand.r1@0" in equations["y0^0"].variables()
+
+    rows = []
+    for scheme in (
+        RandomnessScheme.FULL,
+        RandomnessScheme.FIRST_LAYER_R1R3,
+        RandomnessScheme.DEMEYER_EQ6,
+    ):
+        cancelled, poly = eq8_cancellation_witness(scheme)
+        rows.append(
+            [scheme.value, "yes" if cancelled else "no", str(poly)[:60]]
+        )
+    print_table(
+        "E5b: Eq. (8) mask cancellation in y0^0 xor y2^0",
+        ["scheme", "masks cancel", "residual polynomial"],
+        rows,
+    )
+    assert not eq8_cancellation_witness(RandomnessScheme.FULL)[0]
+    assert eq8_cancellation_witness(RandomnessScheme.FIRST_LAYER_R1R3)[0]
+
+    # Exact conditioned distributions at v1 (the paper's leakage argument).
+    dists = v1_distribution_by_secret(RandomnessScheme.FIRST_LAYER_R1R3)
+    baseline = dists[(1, 1)]
+    rows = [
+        [
+            f"x1={x1}, x5={x5}",
+            f"{total_variation(dists[(x1, x5)], baseline):.4f}",
+        ]
+        for x1 in (0, 1)
+        for x5 in (0, 1)
+    ]
+    print_table(
+        "E5c: TV distance of v1 observation vs (x1=1, x5=1) case, r1=r3",
+        ["unmasked bits", "TV distance"],
+        rows,
+    )
+    assert depends_on_conditioning(dists)
+    secure = v1_distribution_by_secret(RandomnessScheme.FULL)
+    assert not depends_on_conditioning(secure)

@@ -1,0 +1,54 @@
+"""E7 -- Glitch- and transition-extended probing (Section IV).
+
+The paper: "none of the optimizations discussed above can maintain security
+under glitch- and transition-extended probing models"; by trial and error
+four solutions were found (r1..r6 fresh, r7 = r_i for i in 1..4), which
+"do not play a significant role in reducing the demand for fresh mask bits".
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.optimizations import FIRST_ORDER_SCHEMES, scheme_fresh_bits
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.model import ProbingModel
+
+N_SIMULATIONS = 80_000
+
+
+def evaluate(design, seed=7):
+    evaluator = LeakageEvaluator(
+        design.dut, ProbingModel.GLITCH_TRANSITION, seed=seed
+    )
+    return evaluator.evaluate(fixed_secret=0, n_simulations=N_SIMULATIONS)
+
+
+def test_e7_transition_model_all_schemes(benchmark, designs):
+    rows = []
+    for scheme in FIRST_ORDER_SCHEMES:
+        design = designs("kronecker", scheme)
+        report = evaluate(design)
+        rows.append(
+            [
+                scheme.value,
+                scheme_fresh_bits(scheme),
+                f"{report.max_mlog10p:.1f}",
+                "PASS" if report.passed else "FAIL",
+                "pass" if scheme.expected_transition_secure else "fail",
+            ]
+        )
+        assert report.passed == scheme.expected_transition_secure, scheme
+
+    print_table(
+        "E7: Kronecker delta, glitch+transition-extended model",
+        [
+            "scheme",
+            "fresh bits",
+            "max -log10(p)",
+            "verdict",
+            "paper verdict",
+        ],
+        rows,
+    )
+
+    # Benchmark one transition-model evaluation (the Eq. (9) failure case).
+    eq9 = designs("kronecker", FIRST_ORDER_SCHEMES[4])
+    benchmark.pedantic(evaluate, args=(eq9,), rounds=1, iterations=1)

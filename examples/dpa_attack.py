@@ -1,0 +1,103 @@
+"""Attack-side demo: CPA against unprotected vs masked S-box traces.
+
+Synthesizes power traces (Hamming-weight model + Gaussian noise) for
+(a) an unprotected ``SBox(pt xor key)`` circuit and (b) the multiplicative-
+masked S-box, then runs correlation power analysis on both.  The key falls
+out of the unprotected traces within a few hundred measurements; the
+masked design resists.
+
+Run:  python examples/dpa_attack.py  [n_traces] [noise_sigma]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.aes.sbox_circuit import build_keyed_sbox
+from repro.core.optimizations import RandomnessScheme
+from repro.core.sbox import build_masked_sbox
+from repro.leakage.traces import random_nonzero_byte, random_words
+from repro.netlist.simulate import pack_lanes
+from repro.sca.cpa import cpa_attack
+from repro.sca.power import PowerModel, TraceSynthesizer
+
+KEY = 0xC3
+
+
+def attack_unprotected(n_traces: int, sigma: float):
+    netlist = build_keyed_sbox()
+    pt_nets = [netlist.net(f"pt[{i}]") for i in range(8)]
+    key_nets = [netlist.net(f"key[{i}]") for i in range(8)]
+    rng = np.random.default_rng(0)
+    plaintexts = rng.integers(0, 256, size=n_traces)
+
+    def stimulus(cycle):
+        values = {}
+        for i in range(8):
+            values[pt_nets[i]] = pack_lanes(
+                ((plaintexts >> i) & 1).astype(np.uint8)
+            )
+            values[key_nets[i]] = pack_lanes(
+                np.full(n_traces, (KEY >> i) & 1, dtype=np.uint8)
+            )
+        return values
+
+    synthesizer = TraceSynthesizer(
+        netlist, PowerModel.HAMMING_WEIGHT, noise_sigma=sigma
+    )
+    traces = synthesizer.synthesize(stimulus, n_traces, 4, rng)
+    return cpa_attack(traces, plaintexts, KEY)
+
+
+def attack_masked(n_traces: int, sigma: float):
+    design = build_masked_sbox(RandomnessScheme.FULL)
+    dut = design.dut
+    n_words = (n_traces + 63) // 64
+    rng = np.random.default_rng(1)
+    plaintexts = rng.integers(0, 256, size=n_traces)
+
+    def stimulus(cycle):
+        values = {}
+        for i in range(8):
+            mask = random_words(rng, n_words)
+            values[dut.share_buses[0][i]] = mask
+            values[dut.share_buses[1][i]] = mask ^ pack_lanes(
+                (((plaintexts ^ KEY) >> i) & 1).astype(np.uint8)
+            )
+        for net in dut.mask_bits:
+            values[net] = random_words(rng, n_words)
+        planes = random_nonzero_byte(rng, n_words)
+        for net, plane in zip(dut.nonzero_byte_buses[0], planes):
+            values[net] = plane
+        for net in dut.uniform_byte_buses[0]:
+            values[net] = random_words(rng, n_words)
+        return values
+
+    synthesizer = TraceSynthesizer(
+        design.netlist, PowerModel.HAMMING_WEIGHT, noise_sigma=sigma
+    )
+    traces = synthesizer.synthesize(stimulus, n_traces, 8, rng)
+    return cpa_attack(traces, plaintexts, KEY)
+
+
+def main() -> None:
+    n_traces = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
+    sigma = float(sys.argv[2]) if len(sys.argv) > 2 else 2.0
+    print(f"CPA with {n_traces} traces, noise sigma = {sigma}, "
+          f"true key byte = 0x{KEY:02X}\n")
+
+    print("Unprotected SBox(pt xor key):")
+    print(" ", attack_unprotected(n_traces, sigma).format_summary())
+
+    print("\nMultiplicative-masked S-box (FULL Kronecker wiring):")
+    print(" ", attack_masked(n_traces, sigma).format_summary())
+
+    print(
+        "\nFirst-order masking defeats first-order CPA; whether the masking"
+        "\nitself is flawlessly implemented is what the probing-model"
+        "\nevaluations (examples/find_the_flaw.py) are for."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Drive the complete gate-level masked AES-128 core.
+
+Builds the ~21k-cell core (16 pipelined multiplicative-masking S-boxes,
+share-wise linear layers, shared round-key port), encrypts the FIPS-197
+vector through the netlist simulator, and runs a reduced whole-cipher
+leakage evaluation that exposes the Eq. (6) flaw at cipher level.
+
+Run:  python examples/full_core_demo.py
+"""
+
+import random
+import time
+
+import numpy as np
+
+from repro.aes.cipher import aes128_encrypt_block
+from repro.core.aes_core import (
+    ENCRYPTION_CYCLES,
+    AesCoreHarness,
+    build_masked_aes_core,
+)
+from repro.core.optimizations import RandomnessScheme
+from repro.leakage.model import ProbingModel
+from repro.leakage.periodic import PeriodicLeakageEvaluator
+from repro.netlist.stats import netlist_stats
+
+
+def main() -> None:
+    key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+    plaintext = bytes.fromhex("00112233445566778899aabbccddeeff")
+
+    print("Building the masked AES-128 core (Eq. (6) Kronecker wiring)...")
+    core = build_masked_aes_core(RandomnessScheme.DEMEYER_EQ6)
+    stats = netlist_stats(core.netlist)
+    print(f"  {stats.n_cells} cells, {stats.n_registers} registers, "
+          f"{stats.area_ge/1000:.1f} kGE, {ENCRYPTION_CYCLES} cycles/block")
+
+    harness = AesCoreHarness(core)
+    start = time.perf_counter()
+    ciphertext = harness.encrypt(plaintext, key, random.Random(0))
+    elapsed = time.perf_counter() - start
+    print(f"\n  gate-level masked encryption: {ciphertext.hex()} "
+          f"({elapsed:.1f}s scalar simulation)")
+    print(f"  FIPS-197 reference:           "
+          f"{aes128_encrypt_block(plaintext, key).hex()}")
+
+    print("\nWhole-cipher leakage check (probing S-box 0 during round 1,")
+    print("fixed plaintext chosen so every round-1 S-box input is 0x00)...")
+    probe_nets = [
+        c.output for c in core.netlist.cells if c.name.startswith("sb0.")
+    ]
+    evaluator = PeriodicLeakageEvaluator(
+        core.netlist,
+        ENCRYPTION_CYCLES,
+        ProbingModel.GLITCH,
+        probe_nets=probe_nets,
+    )
+    n_lanes = 4_000
+    n_words = (n_lanes + 63) // 64
+    report = evaluator.evaluate(
+        harness.bitsliced_stimulus(
+            np.random.default_rng(1), n_words, key, key
+        ),
+        harness.bitsliced_stimulus(
+            np.random.default_rng(2), n_words, key, None
+        ),
+        n_lanes,
+        phases=[3, 4, 5],
+        n_periods=2,
+        design_name="masked AES-128 core (Eq. 6)",
+    )
+    print(report.format_summary(top=5))
+    print(
+        "\nThe first-order flaw of the Kronecker randomness optimization is "
+        "visible straight through the complete cipher."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: find the paper's flaw in two minutes.
+
+Builds the masked Kronecker delta function of De Meyer et al. (CHES 2018)
+with two randomness wirings -- seven fresh bits, and their Eq. (6)
+optimization reusing bits -- and asks the exact leakage analyzer for a
+verdict on the probe the paper calls v1.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core.kronecker import build_kronecker_delta
+from repro.core.optimizations import RandomnessScheme
+from repro.leakage.exact import ExactAnalyzer
+
+
+def analyze(scheme: RandomnessScheme) -> None:
+    design = build_kronecker_delta(scheme)
+    print(f"\n--- scheme: {scheme.value}")
+    print(f"    fresh mask bits/cycle: {design.fresh_mask_bits}")
+
+    analyzer = ExactAnalyzer(design.dut)
+    probe_class = analyzer.probe_class_for_net(design.v_nodes["v1"])
+    print(
+        "    glitch-extended probe v1 observes:",
+        ", ".join(probe_class.support_names(design.netlist)),
+    )
+    result = analyzer.analyze_probe_class(probe_class)
+    verdict = "LEAKS" if result.leaking else "secure"
+    print(
+        f"    exact verdict: {verdict} "
+        f"(TV fixed-vs-random = {result.tv_fixed_vs_random:.4f}, "
+        f"{result.n_distinct_distributions} distinct per-secret "
+        f"distributions over 2^{result.n_random_bits} randomness values)"
+    )
+
+
+def main() -> None:
+    print("Masked Kronecker delta function (paper Fig. 3), first order.")
+    analyze(RandomnessScheme.FULL)          # the safe baseline
+    analyze(RandomnessScheme.DEMEYER_EQ6)   # the flawed optimization
+    analyze(RandomnessScheme.PROPOSED_EQ9)  # the paper's fix
+    print(
+        "\nConclusion: the Eq. (6) randomness reuse of De Meyer et al. "
+        "makes the v1 observation depend on unmasked data; the paper's "
+        "Eq. (9) wiring restores first-order glitch security with 4 fresh "
+        "bits."
+    )
+
+
+if __name__ == "__main__":
+    main()

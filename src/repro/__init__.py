@@ -1,0 +1,41 @@
+"""Reproduction of Rahimi & Moradi, DATE 2025.
+
+"One More Motivation to Use Evaluation Tools: This Time for Hardware
+Multiplicative Masking of AES."
+
+The package provides:
+
+* ``repro.gf`` -- binary-field arithmetic (GF(2^n), the AES field, and the
+  tower-field decomposition used by combinational inverters).
+* ``repro.netlist`` -- a gate-level netlist IR with a circuit-builder API,
+  optimization passes, area reporting, structural-Verilog export and a
+  bitsliced cycle-accurate simulator.
+* ``repro.masking`` -- value-level Boolean/multiplicative sharings and
+  netlist-level DOM gadget generators with configurable randomness wiring.
+* ``repro.aes`` -- a FIPS-197 reference AES-128 used as correctness oracle.
+* ``repro.core`` -- the paper's subject: the masked Kronecker delta function,
+  masking conversions, the 5-stage pipelined masked AES S-box of
+  De Meyer et al. (CHES 2018), and a full masked AES-128.
+* ``repro.leakage`` -- a PROLEAD-style leakage evaluator implementing the
+  glitch- and transition-extended probing models with fixed-vs-random
+  G-tests, plus an exact (SILVER-style) distribution checker.
+* ``repro.analysis`` -- symbolic ANF tooling reproducing the paper's
+  root-cause derivations.
+"""
+
+from repro.errors import (
+    ExactAnalysisInfeasible,
+    NetlistError,
+    ReproError,
+    SimulationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "NetlistError",
+    "SimulationError",
+    "ExactAnalysisInfeasible",
+    "__version__",
+]

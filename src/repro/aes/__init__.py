@@ -1,0 +1,46 @@
+"""Reference AES-128 (FIPS-197) and combinational GF(2^8) circuits.
+
+The reference cipher is the correctness oracle for the masked designs; the
+circuit generators provide the GF(2^8) multipliers used by the masking
+conversions and the local inverter used inside the masked S-box (the paper's
+reference [18] built a logic-minimized inverter; we generate an equivalent
+one from the tower decomposition -- see DESIGN.md for the substitution note).
+"""
+
+from repro.aes.sbox import (
+    AFFINE_CONSTANT,
+    AFFINE_MATRIX,
+    INV_SBOX_TABLE,
+    SBOX_TABLE,
+    affine_transform,
+    inv_sbox,
+    sbox,
+)
+from repro.aes.cipher import (
+    aes128_decrypt_block,
+    aes128_encrypt_block,
+    key_expansion,
+)
+from repro.aes.gf_circuits import (
+    build_gf256_inverter,
+    build_gf256_multiplier,
+    gf256_inverter_circuit,
+    gf256_multiplier_circuit,
+)
+
+__all__ = [
+    "SBOX_TABLE",
+    "INV_SBOX_TABLE",
+    "AFFINE_MATRIX",
+    "AFFINE_CONSTANT",
+    "sbox",
+    "inv_sbox",
+    "affine_transform",
+    "aes128_encrypt_block",
+    "aes128_decrypt_block",
+    "key_expansion",
+    "build_gf256_multiplier",
+    "build_gf256_inverter",
+    "gf256_multiplier_circuit",
+    "gf256_inverter_circuit",
+]

@@ -1,0 +1,136 @@
+"""FIPS-197 AES-128 reference implementation.
+
+Operates on 16-byte blocks held as ``bytes``; the state is column-major as in
+the standard.  This is the unmasked oracle every masked construction is
+checked against.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import ReproError
+from repro.gf.gf256 import gf256_multiply
+from repro.aes.sbox import inv_sbox, sbox
+
+N_ROUNDS = 10
+BLOCK_BYTES = 16
+KEY_BYTES = 16
+
+_RCON = (0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36)
+
+
+def key_expansion(key: bytes) -> List[List[int]]:
+    """Expand a 16-byte key into 11 round keys (each 16 ints)."""
+    if len(key) != KEY_BYTES:
+        raise ReproError("AES-128 key must be 16 bytes")
+    words = [list(key[4 * i : 4 * i + 4]) for i in range(4)]
+    for i in range(4, 4 * (N_ROUNDS + 1)):
+        temp = list(words[i - 1])
+        if i % 4 == 0:
+            temp = temp[1:] + temp[:1]
+            temp = [sbox(b) for b in temp]
+            temp[0] ^= _RCON[i // 4 - 1]
+        words.append([a ^ b for a, b in zip(words[i - 4], temp)])
+    round_keys = []
+    for r in range(N_ROUNDS + 1):
+        flat = []
+        for w in words[4 * r : 4 * r + 4]:
+            flat.extend(w)
+        round_keys.append(flat)
+    return round_keys
+
+
+def add_round_key(state: List[int], round_key: Sequence[int]) -> List[int]:
+    """XOR the round key into the state."""
+    return [s ^ k for s, k in zip(state, round_key)]
+
+
+def sub_bytes(state: List[int]) -> List[int]:
+    """Apply the S-box to every state byte."""
+    return [sbox(b) for b in state]
+
+
+def inv_sub_bytes(state: List[int]) -> List[int]:
+    """Apply the inverse S-box to every state byte."""
+    return [inv_sbox(b) for b in state]
+
+
+def shift_rows(state: List[int]) -> List[int]:
+    """Cyclically shift row r left by r (state is column-major)."""
+    out = [0] * 16
+    for col in range(4):
+        for row in range(4):
+            out[4 * col + row] = state[4 * ((col + row) % 4) + row]
+    return out
+
+
+def inv_shift_rows(state: List[int]) -> List[int]:
+    """Inverse of :func:`shift_rows`."""
+    out = [0] * 16
+    for col in range(4):
+        for row in range(4):
+            out[4 * ((col + row) % 4) + row] = state[4 * col + row]
+    return out
+
+
+def _mix_single_column(column: Sequence[int], matrix: Sequence[int]) -> List[int]:
+    return [
+        gf256_multiply(matrix[0], column[row])
+        ^ gf256_multiply(matrix[1], column[(row + 1) % 4])
+        ^ gf256_multiply(matrix[2], column[(row + 2) % 4])
+        ^ gf256_multiply(matrix[3], column[(row + 3) % 4])
+        for row in range(4)
+    ]
+
+
+def mix_columns(state: List[int]) -> List[int]:
+    """The MixColumns linear layer."""
+    out = []
+    for col in range(4):
+        out.extend(_mix_single_column(state[4 * col : 4 * col + 4], (2, 3, 1, 1)))
+    return out
+
+
+def inv_mix_columns(state: List[int]) -> List[int]:
+    """Inverse MixColumns."""
+    out = []
+    for col in range(4):
+        out.extend(
+            _mix_single_column(state[4 * col : 4 * col + 4], (14, 11, 13, 9))
+        )
+    return out
+
+
+def aes128_encrypt_block(plaintext: bytes, key: bytes) -> bytes:
+    """Encrypt one 16-byte block with AES-128."""
+    if len(plaintext) != BLOCK_BYTES:
+        raise ReproError("plaintext block must be 16 bytes")
+    round_keys = key_expansion(key)
+    state = add_round_key(list(plaintext), round_keys[0])
+    for r in range(1, N_ROUNDS):
+        state = sub_bytes(state)
+        state = shift_rows(state)
+        state = mix_columns(state)
+        state = add_round_key(state, round_keys[r])
+    state = sub_bytes(state)
+    state = shift_rows(state)
+    state = add_round_key(state, round_keys[N_ROUNDS])
+    return bytes(state)
+
+
+def aes128_decrypt_block(ciphertext: bytes, key: bytes) -> bytes:
+    """Decrypt one 16-byte block with AES-128."""
+    if len(ciphertext) != BLOCK_BYTES:
+        raise ReproError("ciphertext block must be 16 bytes")
+    round_keys = key_expansion(key)
+    state = add_round_key(list(ciphertext), round_keys[N_ROUNDS])
+    for r in range(N_ROUNDS - 1, 0, -1):
+        state = inv_shift_rows(state)
+        state = inv_sub_bytes(state)
+        state = add_round_key(state, round_keys[r])
+        state = inv_mix_columns(state)
+    state = inv_shift_rows(state)
+    state = inv_sub_bytes(state)
+    state = add_round_key(state, round_keys[0])
+    return bytes(state)

@@ -1,0 +1,188 @@
+"""Combinational GF(2^8) circuits: multiplier and inverter generators.
+
+* :func:`gf256_multiplier_circuit` -- schoolbook polynomial multiplier with a
+  linear reduction network; used four times in the masked S-box's masking
+  conversions (Section II-C of the paper).
+* :func:`gf256_inverter_circuit` -- the *local inversion* of the masked
+  S-box.  The paper's design uses the logic-minimized inverter of
+  Boyar-Matthews-Peralta [18]; we generate a functionally identical
+  combinational inverter from the GF(((2^2)^2)^2) tower decomposition
+  (substitution documented in DESIGN.md).  Because the local inversion
+  operates on a single multiplicative share, any correct combinational
+  implementation exhibits the same probing-model behaviour at the S-box
+  level: its glitch-extended probes resolve to the same register boundary.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.gf.gf2n import polynomial_mod
+from repro.gf.gf256 import AES_POLYNOMIAL
+from repro.gf.tower import (
+    NU,
+    TowerField,
+    gf16_scale,
+    gf16_square,
+    gf4_square,
+)
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.core import Netlist
+
+Bus = List[int]
+
+
+def _linear_matrix_from_function(func, width: int) -> Tuple[int, ...]:
+    """Rows (as integers) of the matrix of a GF(2)-linear value function."""
+    rows = []
+    for i in range(width):
+        row = 0
+        for j in range(width):
+            image = func(1 << j)
+            row |= ((image >> i) & 1) << j
+        rows.append(row)
+    return tuple(rows)
+
+
+_GF4_SQUARE_MATRIX = _linear_matrix_from_function(gf4_square, 2)
+_GF16_SQUARE_MATRIX = _linear_matrix_from_function(gf16_square, 4)
+_GF16_SCALE_NU_MATRIX = _linear_matrix_from_function(
+    lambda x: gf16_scale(x, NU), 4
+)
+
+
+def _reduction_matrix() -> Tuple[int, ...]:
+    """8x15 matrix reducing a degree-14 product modulo the AES polynomial."""
+    rows = [0] * 8
+    for k in range(15):
+        reduced = polynomial_mod(1 << k, AES_POLYNOMIAL)
+        for i in range(8):
+            rows[i] |= ((reduced >> i) & 1) << k
+    return tuple(rows)
+
+
+_REDUCTION_MATRIX = _reduction_matrix()
+
+
+def gf256_multiplier_circuit(
+    builder: CircuitBuilder, a: Sequence[int], b: Sequence[int], name: str
+) -> Bus:
+    """Instantiate an AES-basis GF(2^8) multiplier; returns the product bus.
+
+    Structure: 64 partial-product AND gates, XOR trees for the 15 polynomial
+    product coefficients, then the linear reduction network.
+    """
+    if len(a) != 8 or len(b) != 8:
+        raise NetlistError("GF(2^8) multiplier needs two 8-bit buses")
+    with builder.scope(name):
+        coefficients: List[List[int]] = [[] for _ in range(15)]
+        for i in range(8):
+            for j in range(8):
+                coefficients[i + j].append(
+                    builder.and_(a[i], b[j], f"pp{i}{j}")
+                )
+        product = [
+            builder.xor_reduce(terms, f"p{k}")
+            for k, terms in enumerate(coefficients)
+        ]
+        return builder.gf2_linear(_REDUCTION_MATRIX, product)
+
+
+def _gf4_multiplier(
+    builder: CircuitBuilder, a: Sequence[int], b: Sequence[int], name: str
+) -> Bus:
+    """GF(2^2) multiplier on bit-pair buses: 4 ANDs, 3 XORs."""
+    with builder.scope(name):
+        a0, a1 = a
+        b0, b1 = b
+        p00 = builder.and_(a0, b0)
+        p01 = builder.and_(a0, b1)
+        p10 = builder.and_(a1, b0)
+        p11 = builder.and_(a1, b1)
+        c0 = builder.xor(p00, p11)
+        c1 = builder.xor(builder.xor(p11, p01), p10)
+        return [c0, c1]
+
+
+def _gf16_multiplier(
+    builder: CircuitBuilder, a: Sequence[int], b: Sequence[int], name: str
+) -> Bus:
+    """GF(2^4) Karatsuba multiplier over GF(2^2)."""
+    with builder.scope(name):
+        al, ah = list(a[:2]), list(a[2:])
+        bl, bh = list(b[:2]), list(b[2:])
+        hh = _gf4_multiplier(builder, ah, bh, "hh")
+        ll = _gf4_multiplier(builder, al, bl, "ll")
+        a_sum = builder.xor_bus(ah, al)
+        b_sum = builder.xor_bus(bh, bl)
+        cross = _gf4_multiplier(builder, a_sum, b_sum, "cross")
+        high = builder.xor_bus(cross, ll)
+        # mu * hh with mu = W: (h1, h0) -> (h1 ^ h0) W + h1.
+        scaled = [hh[1], builder.xor(hh[1], hh[0])]
+        low = builder.xor_bus(ll, scaled)
+        return low + high
+
+
+def _gf16_inverter(
+    builder: CircuitBuilder, a: Sequence[int], name: str
+) -> Bus:
+    """GF(2^4) inverter via the GF(2^2) norm (0 maps to 0)."""
+    with builder.scope(name):
+        al, ah = list(a[:2]), list(a[2:])
+        ah_sq = builder.gf2_linear(_GF4_SQUARE_MATRIX, ah)
+        # mu * ah^2
+        scaled = [ah_sq[1], builder.xor(ah_sq[1], ah_sq[0])]
+        product = _gf4_multiplier(builder, ah, al, "prod")
+        al_sq = builder.gf2_linear(_GF4_SQUARE_MATRIX, al)
+        delta = builder.xor_bus(builder.xor_bus(scaled, product), al_sq)
+        # In GF(2^2) the inverse equals the square.
+        delta_inv = builder.gf2_linear(_GF4_SQUARE_MATRIX, delta)
+        high = _gf4_multiplier(builder, ah, delta_inv, "high")
+        low = _gf4_multiplier(
+            builder, builder.xor_bus(ah, al), delta_inv, "low"
+        )
+        return low + high
+
+
+def gf256_inverter_circuit(
+    builder: CircuitBuilder, a: Sequence[int], name: str
+) -> Bus:
+    """Instantiate a combinational GF(2^8) inverter (AES basis, 0 -> 0)."""
+    if len(a) != 8:
+        raise NetlistError("GF(2^8) inverter needs an 8-bit bus")
+    with builder.scope(name):
+        tower = builder.gf2_linear(TowerField.aes_to_tower_matrix, a)
+        tl, th = tower[:4], tower[4:]
+        th_sq = builder.gf2_linear(_GF16_SQUARE_MATRIX, th)
+        theta_terms = builder.gf2_linear(_GF16_SCALE_NU_MATRIX, th_sq)
+        product = _gf16_multiplier(builder, th, tl, "prod")
+        tl_sq = builder.gf2_linear(_GF16_SQUARE_MATRIX, tl)
+        theta = builder.xor_bus(
+            builder.xor_bus(theta_terms, product), tl_sq
+        )
+        theta_inv = _gf16_inverter(builder, theta, "norm_inv")
+        high = _gf16_multiplier(builder, th, theta_inv, "high")
+        low = _gf16_multiplier(
+            builder, builder.xor_bus(th, tl), theta_inv, "low"
+        )
+        return builder.gf2_linear(TowerField.tower_to_aes_matrix, low + high)
+
+
+def build_gf256_multiplier() -> Netlist:
+    """Standalone multiplier netlist with inputs a[8], b[8], output p[8]."""
+    builder = CircuitBuilder("gf256_mul")
+    a = builder.input_bus("a", 8)
+    b = builder.input_bus("b", 8)
+    product = gf256_multiplier_circuit(builder, a, b, "mul")
+    builder.output_bus(product, "p")
+    return builder.build()
+
+
+def build_gf256_inverter() -> Netlist:
+    """Standalone inverter netlist with input a[8], output y[8]."""
+    builder = CircuitBuilder("gf256_inv")
+    a = builder.input_bus("a", 8)
+    inverse = gf256_inverter_circuit(builder, a, "inv")
+    builder.output_bus(inverse, "y")
+    return builder.build()

@@ -1,0 +1,52 @@
+"""The AES S-box: inversion in GF(2^8) followed by an affine map (Eq. (2)).
+
+The tables are *computed* from the field arithmetic rather than hardcoded, so
+they double as a consistency check of :mod:`repro.gf`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.gf.gf2 import gf2_matrix_vector
+from repro.gf.gf256 import GF256
+
+#: Rows (as integers) of the AES affine matrix: output bit i XORs input bits
+#: {i, i+4, i+5, i+6, i+7} (indices mod 8).
+AFFINE_MATRIX = tuple(
+    (1 << i)
+    | (1 << ((i + 4) % 8))
+    | (1 << ((i + 5) % 8))
+    | (1 << ((i + 6) % 8))
+    | (1 << ((i + 7) % 8))
+    for i in range(8)
+)
+
+#: The affine constant 0x63.
+AFFINE_CONSTANT = 0x63
+
+
+def affine_transform(value: int) -> int:
+    """The AES affine map A(x) = M*x xor 0x63."""
+    return gf2_matrix_vector(AFFINE_MATRIX, value) ^ AFFINE_CONSTANT
+
+
+def _build_tables() -> List[int]:
+    return [affine_transform(GF256.inverse_or_zero(x)) for x in range(256)]
+
+
+#: The AES S-box as a lookup table, S[x] = A(x^-1).
+SBOX_TABLE = tuple(_build_tables())
+
+#: The inverse S-box.
+INV_SBOX_TABLE = tuple(SBOX_TABLE.index(y) for y in range(256))
+
+
+def sbox(value: int) -> int:
+    """Apply the AES S-box."""
+    return SBOX_TABLE[value & 0xFF]
+
+
+def inv_sbox(value: int) -> int:
+    """Apply the inverse AES S-box."""
+    return INV_SBOX_TABLE[value & 0xFF]

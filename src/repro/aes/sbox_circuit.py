@@ -1,0 +1,51 @@
+"""Unprotected S-box netlists (CPA attack targets).
+
+The attack-side counterpart of the masked designs: a plain combinational
+AES S-box, and a "keyed" variant (``SBox(pt xor key)`` with input/output
+registers) that models the first round of an unprotected implementation --
+the classic CPA target recovered in :mod:`repro.sca.cpa`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.aes.gf_circuits import gf256_inverter_circuit
+from repro.aes.sbox import AFFINE_CONSTANT, AFFINE_MATRIX
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.core import Netlist
+
+
+def plain_sbox_circuit(
+    builder: CircuitBuilder, x: List[int], name: str = "sbox"
+) -> List[int]:
+    """Instantiate a combinational AES S-box: affine(inverse(x))."""
+    with builder.scope(name):
+        inverse = gf256_inverter_circuit(builder, x, "inv")
+        return builder.gf2_linear(AFFINE_MATRIX, inverse, AFFINE_CONSTANT)
+
+
+def build_plain_sbox() -> Netlist:
+    """Standalone combinational S-box with input x[8], output y[8]."""
+    builder = CircuitBuilder("plain_sbox")
+    x = builder.input_bus("x", 8)
+    builder.output_bus(plain_sbox_circuit(builder, x), "y")
+    return builder.build()
+
+
+def build_keyed_sbox() -> Netlist:
+    """``y = SBox(pt xor key)`` with registered input and output.
+
+    Ports: ``pt[8]`` and ``key[8]`` inputs, ``y[8]`` output.  The registers
+    give the Hamming-distance power model realistic switching activity --
+    this is the canonical unprotected CPA target.
+    """
+    builder = CircuitBuilder("keyed_sbox")
+    pt = builder.input_bus("pt", 8)
+    key = builder.input_bus("key", 8)
+    mixed = builder.xor_bus(pt, key)
+    state = builder.reg_bus(mixed, "state")
+    substituted = plain_sbox_circuit(builder, state)
+    out = builder.reg_bus(substituted, "out")
+    builder.output_bus(out, "y")
+    return builder.build()

@@ -1,0 +1,38 @@
+"""Symbolic root-cause analysis tools.
+
+The paper's Section III explains the leakage with algebraic normal forms of
+the tree nodes (its Eq. (7)) and a probability argument on the G7 probe
+extensions (its Eq. (8)).  This package automates both:
+
+* :mod:`repro.analysis.anf` -- algebraic normal forms over GF(2).
+* :mod:`repro.analysis.unroll` -- lazy ANF extraction from sequential
+  netlists (registers unrolled over cycles).
+* :mod:`repro.analysis.walsh` -- exact bias/distribution computation of
+  small ANF systems.
+* :mod:`repro.analysis.rootcause` -- the paper's derivations, reproduced
+  end-to-end on the built netlists.
+"""
+
+from repro.analysis.anf import BitPoly
+from repro.analysis.unroll import AnfUnroller
+from repro.analysis.walsh import (
+    bias,
+    joint_distribution,
+    distributions_by_assignment,
+)
+from repro.analysis.rootcause import (
+    kronecker_layer_equations,
+    v1_distribution_by_secret,
+    eq8_cancellation_witness,
+)
+
+__all__ = [
+    "BitPoly",
+    "AnfUnroller",
+    "bias",
+    "joint_distribution",
+    "distributions_by_assignment",
+    "kronecker_layer_equations",
+    "v1_distribution_by_secret",
+    "eq8_cancellation_witness",
+]

@@ -1,0 +1,157 @@
+"""Algebraic normal forms (ANF) over GF(2).
+
+A :class:`BitPoly` is an XOR of monomials, each monomial an AND of named
+variables; the constant 1 is the empty monomial.  This is the representation
+used in the paper's Eq. (7) derivations (``y0^i = x0^i x1 + r1`` ...), and
+the test suite verifies our netlists against those equations symbolically.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Mapping, Set
+
+Monomial = FrozenSet[str]
+
+
+class BitPoly:
+    """An immutable GF(2) polynomial in named Boolean variables."""
+
+    __slots__ = ("monomials",)
+
+    def __init__(self, monomials: Iterable[Monomial] = ()):
+        self.monomials: FrozenSet[Monomial] = frozenset(monomials)
+
+    # ---------------------------------------------------------- constructors
+
+    @classmethod
+    def zero(cls) -> "BitPoly":
+        """The zero polynomial."""
+        return cls()
+
+    @classmethod
+    def one(cls) -> "BitPoly":
+        """The constant-1 polynomial."""
+        return cls((frozenset(),))
+
+    @classmethod
+    def var(cls, name: str) -> "BitPoly":
+        """A single-variable polynomial."""
+        return cls((frozenset((name,)),))
+
+    @classmethod
+    def constant(cls, value: int) -> "BitPoly":
+        """The LSB of ``value`` as a constant polynomial."""
+        return cls.one() if value & 1 else cls.zero()
+
+    # ----------------------------------------------------------- arithmetic
+
+    def __xor__(self, other: "BitPoly") -> "BitPoly":
+        return BitPoly(self.monomials ^ other.monomials)
+
+    def __and__(self, other: "BitPoly") -> "BitPoly":
+        result: Set[Monomial] = set()
+        for a in self.monomials:
+            for b in other.monomials:
+                product = a | b
+                if product in result:
+                    result.remove(product)
+                else:
+                    result.add(product)
+        return BitPoly(result)
+
+    def __invert__(self) -> "BitPoly":
+        return self ^ BitPoly.one()
+
+    def __or__(self, other: "BitPoly") -> "BitPoly":
+        # a or b = a ^ b ^ ab
+        return self ^ other ^ (self & other)
+
+    # ------------------------------------------------------------- queries
+
+    @property
+    def is_zero(self) -> bool:
+        """True for the zero polynomial."""
+        return not self.monomials
+
+    @property
+    def is_one(self) -> bool:
+        """True for the constant-1 polynomial."""
+        return self.monomials == frozenset((frozenset(),))
+
+    @property
+    def degree(self) -> int:
+        """Algebraic degree (size of the largest monomial)."""
+        return max((len(m) for m in self.monomials), default=0)
+
+    def variables(self) -> FrozenSet[str]:
+        """All variables occurring in the polynomial."""
+        out: Set[str] = set()
+        for m in self.monomials:
+            out.update(m)
+        return frozenset(out)
+
+    # ----------------------------------------------------------- evaluation
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """Evaluate on a complete assignment of its variables."""
+        total = 0
+        for monomial in self.monomials:
+            product = 1
+            for name in monomial:
+                product &= assignment[name] & 1
+                if not product:
+                    break
+            total ^= product
+        return total
+
+    def substitute(self, name: str, replacement: "BitPoly") -> "BitPoly":
+        """Replace a variable by a polynomial."""
+        with_var: Set[Monomial] = set()
+        without: Set[Monomial] = set()
+        for monomial in self.monomials:
+            if name in monomial:
+                with_var.add(monomial - {name})
+            else:
+                without.add(monomial)
+        result = BitPoly(without)
+        if with_var:
+            result = result ^ (BitPoly(with_var) & replacement)
+        return result
+
+    def rename(self, mapping: Mapping[str, str]) -> "BitPoly":
+        """Rename variables."""
+        return BitPoly(
+            frozenset(
+                frozenset(mapping.get(v, v) for v in monomial)
+                for monomial in self.monomials
+            )
+        )
+
+    # -------------------------------------------------------------- dunders
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BitPoly) and self.monomials == other.monomials
+
+    def __hash__(self) -> int:
+        return hash(self.monomials)
+
+    def __repr__(self) -> str:
+        return f"BitPoly({self!s})"
+
+    def __str__(self) -> str:
+        if self.is_zero:
+            return "0"
+        parts = []
+        for monomial in sorted(
+            self.monomials, key=lambda m: (len(m), sorted(m))
+        ):
+            parts.append("*".join(sorted(monomial)) if monomial else "1")
+        return " + ".join(parts)
+
+
+def xor_all(polys: Iterable[BitPoly]) -> BitPoly:
+    """XOR a sequence of polynomials."""
+    result = BitPoly.zero()
+    for poly in polys:
+        result = result ^ poly
+    return result

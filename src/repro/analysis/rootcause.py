@@ -1,0 +1,226 @@
+"""The paper's Section III root-cause analysis, automated.
+
+Three entry points mirror the paper's argument:
+
+* :func:`kronecker_layer_equations` recovers the simplified share equations
+  of Eq. (7) (``y0^i = x0^i x1 + r1`` ...) from the *built netlist* by ANF
+  unrolling and share substitution.
+* :func:`eq8_cancellation_witness` shows the Eq. (8) mechanism: with
+  ``r1 = r3`` the fresh mask cancels from ``y0^0 xor y2^0``, leaving a
+  mask-free function of unmasked values.
+* :func:`v1_distribution_by_secret` computes the exact distribution of the
+  glitch-extended observation of probe v1 ({a1, b1, a2, b2}) conditioned on
+  the unmasked input, confirming dependence exactly for the flawed schemes.
+
+Variable naming: inputs appear as ``<net>@<cycle>``; after substitution the
+secret bits appear as ``X<i>``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.analysis.anf import BitPoly
+from repro.analysis.unroll import AnfUnroller
+from repro.analysis.walsh import (
+    depends_on_conditioning,
+    distributions_by_assignment,
+)
+from repro.core.kronecker import KroneckerDesign, build_kronecker_delta
+from repro.core.optimizations import RandomnessScheme
+
+#: Cycle at which layer-1 register outputs are valid for the wave entering
+#: at cycle 0 (one register stage per DOM layer).
+LAYER1_CYCLE = 1
+LAYER2_CYCLE = 2
+
+
+def _substitute_shares(
+    design: KroneckerDesign, unroller: AnfUnroller, poly: BitPoly
+) -> BitPoly:
+    """Rewrite share-1 input variables as ``share0 xor X<i>`` at every cycle.
+
+    After this substitution a polynomial is expressed in the share-0
+    randomness, the fresh masks and the *unmasked* secret bits ``X<i>`` --
+    the form the paper's equations use.
+    """
+    netlist = design.netlist
+    result = poly
+    for bit, net in enumerate(design.dut.share_buses[1]):
+        prefix = netlist.net_name(net)
+        for name in sorted(result.variables()):
+            if name.startswith(prefix + "@"):
+                cycle = name.split("@")[1]
+                share0 = unroller.input_variable(
+                    design.dut.share_buses[0][bit], int(cycle)
+                )
+                replacement = BitPoly.var(share0) ^ BitPoly.var(f"X{bit}")
+                result = result.substitute(name, replacement)
+    return result
+
+
+def kronecker_layer_equations(
+    scheme: RandomnessScheme = RandomnessScheme.FULL,
+) -> Dict[str, BitPoly]:
+    """Simplified per-share equations of the Kronecker tree (Eq. (7) form).
+
+    Returns ANFs of the layer-1 gate outputs ``y{j}^{i}`` (at the cycle
+    where their registers are valid) with share 1 substituted, plus the
+    layer-2 outputs ``w0^{i}``/``w1^{i}``.
+    """
+    design = build_kronecker_delta(scheme)
+    unroller = AnfUnroller(design.netlist)
+    equations: Dict[str, BitPoly] = {}
+    for j, label in enumerate(("y0", "y1", "y2", "y3")):
+        for share in range(2):
+            net = design.intermediates[label][share]
+            expr = unroller.expression(net, LAYER1_CYCLE)
+            equations[f"{label}^{share}"] = _substitute_shares(
+                design, unroller, expr
+            )
+    for label in ("w0", "w1"):
+        for share in range(2):
+            net = design.intermediates[label][share]
+            expr = unroller.expression(net, LAYER2_CYCLE)
+            equations[f"{label}^{share}"] = _substitute_shares(
+                design, unroller, expr
+            )
+    return equations
+
+
+def eq8_cancellation_witness(
+    scheme: RandomnessScheme,
+) -> Tuple[bool, BitPoly]:
+    """Check whether the fresh mask cancels from ``y0^0 xor y2^0``.
+
+    Returns ``(cancelled, polynomial)``: ``cancelled`` is True when the XOR
+    of the two layer-1 share outputs contains no mask variable -- the
+    Eq. (8) situation (``x0^0 x1 = x4^0 x5`` observable) that arises when
+    ``r1 = r3``.
+    """
+    design = build_kronecker_delta(scheme)
+    unroller = AnfUnroller(design.netlist)
+    y0 = unroller.expression(design.intermediates["y0"][0], LAYER1_CYCLE)
+    y2 = unroller.expression(design.intermediates["y2"][0], LAYER1_CYCLE)
+    combined = _substitute_shares(design, unroller, y0 ^ y2)
+    mask_prefix = "rand."
+    cancelled = not any(
+        name.startswith(mask_prefix) for name in combined.variables()
+    )
+    return cancelled, combined
+
+
+def v1_observation_anf(scheme: RandomnessScheme) -> List[BitPoly]:
+    """ANFs of the glitch-extended observation of probe v1: {a1, b1, a2, b2}.
+
+    These are the four layer-2 registers feeding G7's share-0 product, with
+    share 1 substituted so the secret bits appear explicitly.
+    """
+    design = build_kronecker_delta(scheme)
+    unroller = AnfUnroller(design.netlist)
+    netlist = design.netlist
+    register_nets = [
+        netlist.net("g5.inner0$reg"),  # a1 = [y0^0 y1^0]
+        netlist.net("g5.blind01$reg"),  # b1 = [y0^0 y1^1 xor r5]
+        netlist.net("g6.inner0$reg"),  # a2 = [y2^0 y3^0]
+        netlist.net("g6.blind01$reg"),  # b2 = [y2^0 y3^1 xor r6]
+    ]
+    return [
+        _substitute_shares(
+            design, unroller, unroller.expression(net, LAYER2_CYCLE)
+        )
+        for net in register_nets
+    ]
+
+
+def v1_distribution_by_secret(
+    scheme: RandomnessScheme,
+    secret_bits: Tuple[str, ...] = ("X1", "X5"),
+    fixed_secret_bits: Dict[str, int] = None,
+) -> Dict[Tuple[int, ...], Dict[Tuple[int, ...], float]]:
+    """Exact distribution of the v1 observation per unmasked-bit assignment.
+
+    By default conditions on the paper's ``x1`` and ``x5`` (with the other
+    secret bits fixed to 0), reproducing the Eq. (8) conclusion: for the
+    flawed schemes the distributions differ across assignments.
+    """
+    observation = v1_observation_anf(scheme)
+    fixed = {f"X{i}": 0 for i in range(8)}
+    if fixed_secret_bits:
+        fixed.update(fixed_secret_bits)
+    for name in secret_bits:
+        fixed.pop(name, None)
+    return distributions_by_assignment(observation, list(secret_bits), fixed)
+
+
+def v1_leaks(scheme: RandomnessScheme) -> bool:
+    """True when the v1 observation depends on the unmasked inputs."""
+    return depends_on_conditioning(v1_distribution_by_secret(scheme))
+
+
+def find_linear_cancellations(
+    observations: List[BitPoly],
+    mask_prefix: str = "rand.",
+    max_subset: int = 4,
+) -> List[Tuple[Tuple[int, ...], BitPoly]]:
+    """Search XOR-combinations of observed signals that cancel all masks.
+
+    A *linear* mask-reuse screen: if some XOR of observed signals is a
+    non-constant function of the *secret bits alone* (no fresh masks, no
+    unobserved sharing randomness left), the adversary computes an
+    unblinded secret-dependent value directly from the observation -- a
+    definite first-order break.  Returns the offending
+    ``(indices, residual polynomial)`` pairs up to subsets of size
+    ``max_subset``.
+
+    Notably, this sound screen comes back *empty* for the Kronecker
+    probes, flawed schemes included: the Eq. (8) leakage is
+    **conditional** (mask cancellations appear inside products and only
+    shift joint distributions, cf. :func:`v1_distribution_by_secret`) --
+    which is precisely why a manual review of linear mask coverage missed
+    it, and why the paper argues for distribution-level evaluation tools.
+    """
+    from itertools import combinations
+
+    findings: List[Tuple[Tuple[int, ...], BitPoly]] = []
+    for size in range(2, max_subset + 1):
+        for indices in combinations(range(len(observations)), size):
+            combined = BitPoly.zero()
+            for index in indices:
+                combined = combined ^ observations[index]
+            variables = combined.variables()
+            if not variables:
+                continue
+            if all(
+                v.startswith("X") and not v.startswith(mask_prefix)
+                for v in variables
+            ):
+                findings.append((indices, combined))
+    return findings
+
+
+def transition_observation_anf(
+    scheme: RandomnessScheme, probe_net_name: str = "g5.blind01"
+) -> List[BitPoly]:
+    """Glitch+transition observation of a layer-2 probe, as ANFs.
+
+    The observation contains the probe's stable support at two consecutive
+    cycles.  Like the glitch-model v1 case, the Eq. (9) transition leakage
+    is conditional (mask coincidences inside products across the two
+    cycles), so the linear screen of :func:`find_linear_cancellations`
+    stays empty here too -- the statistical evaluators carry the verdict.
+    """
+    design = build_kronecker_delta(scheme)
+    unroller = AnfUnroller(design.netlist)
+    netlist = design.netlist
+    probe = netlist.net(probe_net_name)
+
+    from repro.netlist.topo import stable_support
+
+    support = sorted(stable_support(netlist, probe))
+    observations: List[BitPoly] = []
+    for cycle in (LAYER2_CYCLE, LAYER2_CYCLE - 1):
+        for net in support:
+            expr = unroller.expression(net, cycle)
+            observations.append(_substitute_shares(design, unroller, expr))
+    return observations

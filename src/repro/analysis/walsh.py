@@ -1,0 +1,98 @@
+"""Exact bias and joint-distribution computation for small ANF systems.
+
+These are the probability computations backing the paper's Eq. (8)
+argument: given the ANF of the signals a probe observes, enumerate the
+randomness exhaustively and compare the resulting distributions across
+values of the unmasked inputs.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.analysis.anf import BitPoly
+from repro.errors import ReproError
+
+MAX_ENUM_VARS = 24
+
+
+def _free_variables(
+    polys: Sequence[BitPoly], fixed: Mapping[str, int]
+) -> List[str]:
+    names = set()
+    for poly in polys:
+        names.update(poly.variables())
+    free = sorted(names - set(fixed))
+    if len(free) > MAX_ENUM_VARS:
+        raise ReproError(
+            f"{len(free)} free variables exceed the enumeration limit"
+        )
+    return free
+
+
+def bias(poly: BitPoly, fixed: Mapping[str, int] = ()) -> float:
+    """Pr[poly = 1] with all free variables uniform."""
+    fixed = dict(fixed)
+    free = _free_variables([poly], fixed)
+    ones = 0
+    total = 1 << len(free)
+    assignment = dict(fixed)
+    for values in product((0, 1), repeat=len(free)):
+        assignment.update(zip(free, values))
+        ones += poly.evaluate(assignment)
+    return ones / total
+
+
+def joint_distribution(
+    polys: Sequence[BitPoly], fixed: Mapping[str, int] = ()
+) -> Dict[Tuple[int, ...], float]:
+    """Exact joint distribution of a tuple of ANFs, free vars uniform."""
+    fixed = dict(fixed)
+    free = _free_variables(polys, fixed)
+    counts: Dict[Tuple[int, ...], int] = {}
+    assignment = dict(fixed)
+    for values in product((0, 1), repeat=len(free)):
+        assignment.update(zip(free, values))
+        observation = tuple(p.evaluate(assignment) for p in polys)
+        counts[observation] = counts.get(observation, 0) + 1
+    total = 1 << len(free)
+    return {obs: c / total for obs, c in counts.items()}
+
+
+def distributions_by_assignment(
+    polys: Sequence[BitPoly],
+    conditioning: Sequence[str],
+    fixed: Mapping[str, int] = (),
+) -> Dict[Tuple[int, ...], Dict[Tuple[int, ...], float]]:
+    """Joint distribution per assignment of the conditioning variables.
+
+    The conditioning variables model *unmasked* values (the paper's x1, x5);
+    a first-order-secure observation has identical distributions for every
+    assignment.
+    """
+    results = {}
+    for values in product((0, 1), repeat=len(conditioning)):
+        case = dict(fixed)
+        case.update(zip(conditioning, values))
+        results[values] = joint_distribution(polys, case)
+    return results
+
+
+def total_variation(
+    p: Mapping[Tuple[int, ...], float], q: Mapping[Tuple[int, ...], float]
+) -> float:
+    """Total-variation distance between two distributions."""
+    keys = set(p) | set(q)
+    return 0.5 * sum(abs(p.get(k, 0.0) - q.get(k, 0.0)) for k in keys)
+
+
+def depends_on_conditioning(
+    distributions: Mapping[Tuple[int, ...], Mapping[Tuple[int, ...], float]],
+    tolerance: float = 1e-12,
+) -> bool:
+    """True when the conditioned distributions are not all identical."""
+    values = list(distributions.values())
+    return any(
+        total_variation(values[0], other) > tolerance for other in values[1:]
+    )

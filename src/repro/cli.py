@@ -1,0 +1,234 @@
+"""Command-line interface: ``python -m repro.cli <command> ...``.
+
+Commands mirror the paper's workflow:
+
+* ``evaluate`` -- PROLEAD-style fixed-vs-random evaluation of a design
+  (Kronecker delta or full S-box) under a probing model.
+* ``exact``    -- exact (SILVER-style) sweep of the Kronecker delta.
+* ``sni``      -- (S)NI check of the DOM-AND gadget.
+* ``report``   -- architecture/area report of a design.
+* ``verilog``  -- export a design as structural Verilog.
+* ``encrypt``  -- masked AES-128 encryption of a block (value level).
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import Optional, Sequence
+
+from repro.aes.cipher import aes128_encrypt_block
+from repro.core.aes_masked import MaskedAes128
+from repro.core.kronecker import build_kronecker_delta
+from repro.core.optimizations import (
+    FIRST_ORDER_SCHEMES,
+    RandomnessScheme,
+    SecondOrderScheme,
+)
+from repro.core.sbox import build_masked_sbox
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.exact import ExactAnalyzer
+from repro.leakage.model import ProbingModel
+from repro.leakage.sni import SniChecker, dom_and_gadget
+from repro.netlist.stats import netlist_stats
+from repro.netlist.verilog import to_verilog
+
+_SCHEMES = {scheme.value: scheme for scheme in FIRST_ORDER_SCHEMES}
+_SCHEMES.update(
+    {scheme.value: scheme for scheme in SecondOrderScheme}
+)
+_SHORTCUTS = {
+    "full": RandomnessScheme.FULL,
+    "eq6": RandomnessScheme.DEMEYER_EQ6,
+    "eq9": RandomnessScheme.PROPOSED_EQ9,
+}
+
+
+def _scheme(name: str):
+    if name in _SHORTCUTS:
+        return _SHORTCUTS[name]
+    if name in _SCHEMES:
+        return _SCHEMES[name]
+    raise SystemExit(
+        f"unknown scheme {name!r}; choose from "
+        f"{sorted(_SHORTCUTS) + sorted(_SCHEMES)}"
+    )
+
+
+_DESIGNS = ["kronecker", "sbox", "sbox2", "sbox-nokronecker"]
+
+
+def _build(design: str, scheme_name: str):
+    scheme = _scheme(scheme_name)
+    if design == "kronecker":
+        order = 2 if isinstance(scheme, SecondOrderScheme) else 1
+        built = build_kronecker_delta(scheme, order=order)
+        return built.dut, built.netlist
+    if design == "sbox":
+        if not isinstance(scheme, RandomnessScheme):
+            raise SystemExit("the S-box needs a first-order scheme")
+        built = build_masked_sbox(scheme)
+        return built.dut, built.netlist
+    if design == "sbox2":
+        from repro.core.sbox2 import build_masked_sbox_second_order
+
+        if not isinstance(scheme, SecondOrderScheme):
+            scheme = SecondOrderScheme.FULL_21
+        built = build_masked_sbox_second_order(scheme)
+        return built.dut, built.netlist
+    if design == "sbox-nokronecker":
+        built = build_masked_sbox(include_kronecker=False)
+        return built.dut, built.netlist
+    raise SystemExit(f"unknown design {design!r}")
+
+
+def cmd_evaluate(args) -> int:
+    """Run a fixed-vs-random evaluation; exit 1 on leakage."""
+    dut, _ = _build(args.design, args.scheme)
+    model = (
+        ProbingModel.GLITCH_TRANSITION
+        if args.transitions
+        else ProbingModel.GLITCH
+    )
+    evaluator = LeakageEvaluator(dut, model, seed=args.seed)
+    if args.pairs:
+        report = evaluator.evaluate_pairs(
+            fixed_secret=args.fixed,
+            n_simulations=args.simulations,
+            max_pairs=args.max_pairs,
+        )
+    else:
+        report = evaluator.evaluate(
+            fixed_secret=args.fixed,
+            n_simulations=args.simulations,
+            n_windows=args.windows,
+        )
+    if args.json:
+        print(report.to_json(top=args.top))
+    else:
+        print(report.format_summary(top=args.top))
+    return 0 if report.passed else 1
+
+
+def cmd_exact(args) -> int:
+    """Run the exact Kronecker sweep; exit 1 on leakage."""
+    dut, _ = _build("kronecker", args.scheme)
+    analyzer = ExactAnalyzer(dut, max_enum_bits=args.max_bits)
+    report = analyzer.analyze()
+    print(report.format_summary(top=args.top))
+    return 0 if report.passed else 1
+
+
+def cmd_sni(args) -> int:
+    """Check (S)NI of the DOM-AND gadget; exit 1 if SNI fails."""
+    gadget = dom_and_gadget()
+    result = SniChecker(gadget, robust=args.robust).check(order=args.order)
+    print(result.summary())
+    for violation in (result.ni_violations + result.sni_violations)[:10]:
+        print(f"  {violation.probe_names}: needs {violation.required_shares}")
+    return 0 if result.is_sni else 1
+
+
+def cmd_report(args) -> int:
+    """Print the netlist structure/area report."""
+    _, netlist = _build(args.design, args.scheme)
+    print(netlist_stats(netlist).format_table())
+    return 0
+
+
+def cmd_verilog(args) -> int:
+    """Export a design as structural Verilog."""
+    _, netlist = _build(args.design, args.scheme)
+    text = to_verilog(netlist)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(text)
+        print(f"wrote {args.output} ({len(text)} bytes)")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_encrypt(args) -> int:
+    """Encrypt one block with the value-level masked AES-128."""
+    key = bytes.fromhex(args.key)
+    plaintext = bytes.fromhex(args.plaintext)
+    masked = MaskedAes128(key, random.Random(args.seed))
+    ciphertext = masked.encrypt_block(plaintext)
+    print(f"ciphertext: {ciphertext.hex()}")
+    reference = aes128_encrypt_block(plaintext, key)
+    if ciphertext != reference:  # pragma: no cover - correctness guard
+        print("MISMATCH against reference AES!", file=sys.stderr)
+        return 1
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all sub-commands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("evaluate", help="fixed-vs-random leakage evaluation")
+    p.add_argument("--design", default="kronecker", choices=_DESIGNS)
+    p.add_argument("--scheme", default="full")
+    p.add_argument("--fixed", type=lambda v: int(v, 0), default=0)
+    p.add_argument("--simulations", type=int, default=100_000)
+    p.add_argument("--windows", type=int, default=1)
+    p.add_argument("--transitions", action="store_true",
+                   help="glitch+transition-extended model")
+    p.add_argument("--pairs", action="store_true",
+                   help="second-order (probe-pair) evaluation")
+    p.add_argument("--max-pairs", type=int, default=500)
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_evaluate)
+
+    p = sub.add_parser("exact", help="exact Kronecker probe sweep")
+    p.add_argument("--scheme", default="full")
+    p.add_argument("--max-bits", type=int, default=23)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_exact)
+
+    p = sub.add_parser("sni", help="(S)NI check of the DOM-AND gadget")
+    p.add_argument("--robust", action="store_true",
+                   help="glitch-extended probes")
+    p.add_argument("--order", type=int, default=1)
+    p.set_defaults(func=cmd_sni)
+
+    p = sub.add_parser("report", help="netlist structure and area")
+    p.add_argument("--design", default="sbox",
+                   choices=_DESIGNS)
+    p.add_argument("--scheme", default="full")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("verilog", help="structural Verilog export")
+    p.add_argument("--design", default="kronecker",
+                   choices=_DESIGNS)
+    p.add_argument("--scheme", default="full")
+    p.add_argument("--output", default=None)
+    p.set_defaults(func=cmd_verilog)
+
+    p = sub.add_parser("encrypt", help="masked AES-128 encryption")
+    p.add_argument("--key", required=True, help="16-byte key, hex")
+    p.add_argument("--plaintext", required=True, help="16-byte block, hex")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_encrypt)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,51 @@
+"""The paper's subject designs.
+
+* :mod:`repro.core.optimizations` -- every randomness-reuse scheme for the
+  Kronecker delta's DOM-AND tree discussed in the paper (the flawed Eq. (6)
+  of De Meyer et al., the paper's Eq. (9) fix, the transition-secure
+  6-fresh-bit variants, and the second-order schemes).
+* :mod:`repro.core.kronecker` -- the masked Kronecker delta function
+  (Fig. 1b / Fig. 3) at first and second order.
+* :mod:`repro.core.conversions` -- Boolean<->multiplicative masking
+  conversions (Section II-C).
+* :mod:`repro.core.sbox` -- the 5-stage pipelined masked AES S-box (Fig. 2).
+* :mod:`repro.core.aes_masked` -- a value-level masked AES-128 built on the
+  same algorithms, checked against FIPS-197.
+"""
+
+from repro.core.optimizations import (
+    FIRST_ORDER_SCHEMES,
+    RandomnessScheme,
+    SecondOrderScheme,
+    scheme_fresh_bits,
+)
+from repro.core.kronecker import KroneckerDesign, build_kronecker_delta
+from repro.core.sbox import MaskedSboxDesign, build_masked_sbox
+from repro.core.sbox2 import (
+    MaskedSbox2Design,
+    build_masked_sbox_second_order,
+)
+from repro.core.aes_masked import MaskedAes128, masked_sbox_value
+from repro.core.aes_core import (
+    AesCoreHarness,
+    MaskedAesCore,
+    build_masked_aes_core,
+)
+
+__all__ = [
+    "MaskedAesCore",
+    "AesCoreHarness",
+    "build_masked_aes_core",
+    "MaskedSbox2Design",
+    "build_masked_sbox_second_order",
+    "RandomnessScheme",
+    "SecondOrderScheme",
+    "FIRST_ORDER_SCHEMES",
+    "scheme_fresh_bits",
+    "KroneckerDesign",
+    "build_kronecker_delta",
+    "MaskedSboxDesign",
+    "build_masked_sbox",
+    "MaskedAes128",
+    "masked_sbox_value",
+]

@@ -1,0 +1,482 @@
+"""A complete first-order masked AES-128 encryption core at gate level.
+
+De Meyer et al. presented "the first masked hardware implementation of the
+AES encryption function using multiplicative masking"; this module builds
+the equivalent datapath on our netlist IR:
+
+* a 2-share, 128-bit state register bank;
+* sixteen instances of the Fig. 2 masked S-box pipeline (5 cycles);
+* share-wise ShiftRows (wiring) and MixColumns (a GF(2)-linear network);
+* a shared round-key port (the key schedule runs externally, as in many
+  masked cores; round keys arrive Boolean-shared);
+* public control inputs ``load``, ``capture`` and ``last`` driven by the
+  (unmasked) round sequencer -- control logic carries no secrets.
+
+One round takes ``SBOX_LATENCY + 1`` cycles: the state feeds the S-box
+pipelines for 5 cycles, then ``capture`` latches
+``MixColumns(ShiftRows(SubBytes(state))) xor round_key`` (``last`` skips
+MixColumns).  A full encryption is 1 load cycle + 10 rounds x 6 cycles.
+
+The :class:`AesCoreHarness` drives the protocol on the scalar simulator (for
+functional verification against FIPS-197) and on the bitsliced simulator
+(for the reduced-size full-core leakage experiment, E11).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.aes.cipher import key_expansion
+from repro.core.optimizations import RandomnessScheme
+from repro.core.sbox import SBOX_LATENCY, masked_sbox_datapath
+from repro.gf.gf256 import gf256_multiply
+from repro.masking.randomness import MaskBus
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.cells import CellType
+from repro.netlist.core import Netlist
+from repro.netlist.simulate import ScalarSimulator
+
+#: Cycles per AES round: the S-box pipeline depth plus the capture cycle.
+ROUND_CYCLES = SBOX_LATENCY + 1
+
+#: Total cycles for one encryption: load, ten rounds, and one flush cycle
+#: during which the final state becomes visible at the register outputs.
+ENCRYPTION_CYCLES = 1 + 10 * ROUND_CYCLES + 1
+
+
+def _mix_columns_matrix() -> Tuple[int, ...]:
+    """32x32 GF(2) matrix of MixColumns on one column (LSB-first bytes)."""
+    coefficients = ((2, 3, 1, 1), (1, 2, 3, 1), (1, 1, 2, 3), (3, 1, 1, 2))
+    rows: List[int] = []
+    for out_byte in range(4):
+        for out_bit in range(8):
+            row = 0
+            for in_byte in range(4):
+                multiplier = coefficients[out_byte][in_byte]
+                for in_bit in range(8):
+                    image = gf256_multiply(multiplier, 1 << in_bit)
+                    if (image >> out_bit) & 1:
+                        row |= 1 << (8 * in_byte + in_bit)
+            rows.append(row)
+    return tuple(rows)
+
+
+MIX_COLUMNS_MATRIX = _mix_columns_matrix()
+
+#: ShiftRows as a byte permutation: output position -> input position
+#: (column-major state as in FIPS-197).
+SHIFT_ROWS_PERMUTATION = tuple(
+    4 * ((col + row) % 4) + row for col in range(4) for row in range(4)
+)
+
+
+@dataclass
+class MaskedAesCore:
+    """The built core: netlist plus port map."""
+
+    netlist: Netlist
+    scheme: RandomnessScheme
+    #: plaintext share buses [share][bit] (128 bits each).
+    plaintext_shares: List[List[int]]
+    #: round-key share buses [share][bit].  With the internal key schedule
+    #: these carry the *cipher key* (sampled at ``load``); otherwise the
+    #: sequencer presents each round key here.
+    round_key_shares: List[List[int]]
+    #: control inputs.
+    load: int
+    capture: int
+    last: int
+    #: fresh mask bit inputs (Kronecker schemes of all S-box instances).
+    mask_bits: List[int]
+    #: per-S-box non-zero mask byte buses (R).
+    r_buses: List[List[int]]
+    #: per-S-box uniform mask byte buses (R').
+    r_prime_buses: List[List[int]]
+    #: state register outputs [share][bit].
+    state_shares: List[List[int]]
+    #: True when the round keys are produced by the internal key schedule.
+    own_key_schedule: bool = False
+    #: the public Rcon byte input (internal key schedule only).
+    rcon_bus: Optional[List[int]] = None
+
+    @property
+    def fresh_mask_bits_per_cycle(self) -> int:
+        """Single-bit fresh randomness per cycle (excluding R/R' bytes)."""
+        return len(self.mask_bits)
+
+
+def build_masked_aes_core(
+    scheme: RandomnessScheme = RandomnessScheme.TRANSITION_R7_EQ_R1,
+    own_key_schedule: bool = False,
+) -> MaskedAesCore:
+    """Build the full masked AES-128 encryption core.
+
+    With ``own_key_schedule`` the core derives round keys on the fly from
+    the shared cipher key presented at ``load``: a 128-bit shared key
+    register, RotWord wiring, four more masked S-box pipelines (SubWord),
+    the public Rcon byte XORed into share 0, and the chained word XORs --
+    all share-wise.  The sequencer then only drives ``rcon`` per round
+    instead of full round keys.
+    """
+    suffix = "_ks" if own_key_schedule else ""
+    builder = CircuitBuilder(f"masked_aes_core_{scheme.value}{suffix}")
+
+    pt_shares = [builder.input_bus(f"pt{s}", 128) for s in range(2)]
+    key_shares = [builder.input_bus(f"rk{s}", 128) for s in range(2)]
+    load = builder.input("ctl.load")
+    capture = builder.input("ctl.capture")
+    last = builder.input("ctl.last")
+    rcon_bus = builder.input_bus("rcon", 8) if own_key_schedule else None
+
+    # State registers with feedback: create the output nets first.
+    netlist = builder.netlist
+    state_shares = [
+        [netlist.add_net(f"state{s}[{b}]") for b in range(128)]
+        for s in range(2)
+    ]
+
+    # --- SubBytes: 16 masked S-box pipelines -------------------------------
+    mask_buses: List[MaskBus] = []
+    r_buses: List[List[int]] = []
+    r_prime_buses: List[List[int]] = []
+    sbox_outputs: List[List[List[int]]] = []  # [byte][share][bit]
+    for byte in range(16):
+        bus = MaskBus(builder, prefix=f"rand.sb{byte}")
+        r_bus = builder.input_bus(f"R{byte}", 8)
+        r_prime_bus = builder.input_bus(f"Rp{byte}", 8)
+        mask_buses.append(bus)
+        r_buses.append(r_bus)
+        r_prime_buses.append(r_prime_bus)
+        b0 = state_shares[0][8 * byte : 8 * byte + 8]
+        b1 = state_shares[1][8 * byte : 8 * byte + 8]
+        with builder.scope(f"sb{byte}"):
+            sbox_outputs.append(
+                masked_sbox_datapath(
+                    builder, b0, b1, bus, r_bus, r_prime_bus, scheme
+                )
+            )
+
+    # --- optional on-the-fly masked key schedule ----------------------------
+    if own_key_schedule:
+        key_state = [
+            [netlist.add_net(f"kstate{s}[{b}]") for b in range(128)]
+            for s in range(2)
+        ]
+        # SubWord on RotWord(w3): bytes 13, 14, 15, 12 of the key state.
+        subword: List[List[List[int]]] = []  # [word_byte][share][bit]
+        for j, source_byte in enumerate((13, 14, 15, 12)):
+            bus = MaskBus(builder, prefix=f"rand.ks{j}")
+            r_bus = builder.input_bus(f"ksR{j}", 8)
+            r_prime_bus = builder.input_bus(f"ksRp{j}", 8)
+            mask_buses.append(bus)
+            r_buses.append(r_bus)
+            r_prime_buses.append(r_prime_bus)
+            k0 = key_state[0][8 * source_byte : 8 * source_byte + 8]
+            k1 = key_state[1][8 * source_byte : 8 * source_byte + 8]
+            with builder.scope(f"ks{j}"):
+                subword.append(
+                    masked_sbox_datapath(
+                        builder, k0, k1, bus, r_bus, r_prime_bus, scheme
+                    )
+                )
+        # t = SubWord(RotWord(w3)) xor Rcon (Rcon is public: share 0 only).
+        next_key: List[List[int]] = [[None] * 128 for _ in range(2)]
+        for share in range(2):
+            t_bits: List[int] = []
+            for j in range(4):
+                bits = list(subword[j][share])
+                if j == 0 and share == 0:
+                    bits = [
+                        builder.xor(bit, rcon_bus[i])
+                        for i, bit in enumerate(bits)
+                    ]
+                t_bits.extend(bits)
+            previous = t_bits
+            for word in range(4):
+                current = [
+                    builder.xor(
+                        key_state[share][32 * word + i], previous[i]
+                    )
+                    for i in range(32)
+                ]
+                for i in range(32):
+                    next_key[share][32 * word + i] = current[i]
+                previous = current
+        # Key-state registers with the same load/capture protocol.
+        for share in range(2):
+            for bit in range(128):
+                held = key_state[share][bit]
+                advanced = builder.mux(capture, held, next_key[share][bit])
+                loaded = builder.mux(load, advanced, key_shares[share][bit])
+                netlist.add_cell(
+                    CellType.DFF,
+                    (loaded,),
+                    key_state[share][bit],
+                    f"kstate{share}[{bit}]$dff",
+                )
+        # The round key consumed by AddRoundKey: the cipher key at load,
+        # the freshly derived key during round captures.
+        effective_key = [
+            [
+                builder.mux(
+                    load,
+                    next_key[share][bit],
+                    key_shares[share][bit],
+                )
+                for bit in range(128)
+            ]
+            for share in range(2)
+        ]
+    else:
+        effective_key = key_shares
+
+    # --- ShiftRows + MixColumns, share-wise --------------------------------
+    round_shares: List[List[int]] = []
+    for share in range(2):
+        sub_bytes = []
+        for byte in range(16):
+            sub_bytes.extend(sbox_outputs[byte][share])
+        shifted = []
+        for out_pos in range(16):
+            in_pos = SHIFT_ROWS_PERMUTATION[out_pos]
+            shifted.extend(sub_bytes[8 * in_pos : 8 * in_pos + 8])
+        mixed: List[int] = []
+        with builder.scope(f"mix.s{share}"):
+            for col in range(4):
+                column = shifted[32 * col : 32 * col + 32]
+                mixed.extend(
+                    builder.gf2_linear(MIX_COLUMNS_MATRIX, column)
+                )
+        # The last round skips MixColumns.
+        selected = [
+            builder.mux(last, mixed[bit], shifted[bit])
+            for bit in range(128)
+        ]
+        round_shares.append(selected)
+
+    # --- AddRoundKey and the state update ----------------------------------
+    for share in range(2):
+        for bit in range(128):
+            keyed = builder.xor(
+                round_shares[share][bit], effective_key[share][bit]
+            )
+            initial = builder.xor(
+                pt_shares[share][bit], key_shares[share][bit]
+            )
+            held = state_shares[share][bit]
+            advanced = builder.mux(capture, held, keyed)
+            next_state = builder.mux(load, advanced, initial)
+            # A register with synchronous load/capture multiplexing.
+            netlist.add_cell(
+                CellType.DFF,
+                (next_state,),
+                state_shares[share][bit],
+                f"state{share}[{bit}]$dff",
+            )
+
+    for share in range(2):
+        builder.output_bus(state_shares[share], f"ct{share}")
+
+    mask_bits: List[int] = []
+    for bus in mask_buses:
+        mask_bits.extend(bus.fresh_input_nets)
+
+    return MaskedAesCore(
+        netlist=builder.build(),
+        scheme=scheme,
+        plaintext_shares=pt_shares,
+        round_key_shares=key_shares,
+        load=load,
+        capture=capture,
+        last=last,
+        mask_bits=mask_bits,
+        r_buses=r_buses,
+        r_prime_buses=r_prime_buses,
+        state_shares=state_shares,
+        own_key_schedule=own_key_schedule,
+        rcon_bus=rcon_bus,
+    )
+
+
+class AesCoreHarness:
+    """Drives the encryption protocol on a built core."""
+
+    def __init__(self, core: MaskedAesCore):
+        self.core = core
+
+    # ------------------------------------------------------------ schedules
+
+    def control_schedule(self) -> List[Dict[str, int]]:
+        """Per-cycle values of (load, capture, last) for one encryption."""
+        schedule = [{"load": 1, "capture": 0, "last": 0}]
+        for round_index in range(1, 11):
+            for phase in range(ROUND_CYCLES):
+                schedule.append(
+                    {
+                        "load": 0,
+                        "capture": 1 if phase == ROUND_CYCLES - 1 else 0,
+                        "last": 1 if round_index == 10 else 0,
+                    }
+                )
+        # Flush cycle: the ciphertext appears at the register outputs.
+        schedule.append({"load": 0, "capture": 0, "last": 0})
+        return schedule
+
+    def round_key_schedule(self, key: bytes) -> List[List[int]]:
+        """Round key (16 bytes) to present at each cycle.
+
+        With the internal key schedule the cipher key is presented at every
+        cycle instead (only the ``load`` cycle samples it).
+        """
+        if self.core.own_key_schedule:
+            return [list(key)] * ENCRYPTION_CYCLES
+        round_keys = key_expansion(key)
+        schedule = [round_keys[0]]
+        for round_index in range(1, 11):
+            schedule.extend([round_keys[round_index]] * ROUND_CYCLES)
+        schedule.append(round_keys[10])  # don't-care flush value
+        return schedule
+
+    def rcon_schedule(self) -> List[int]:
+        """Public Rcon byte to present at each cycle (internal schedule)."""
+        from repro.aes.cipher import _RCON
+
+        schedule = [0]
+        for round_index in range(1, 11):
+            schedule.extend([_RCON[round_index - 1]] * ROUND_CYCLES)
+        schedule.append(0)
+        return schedule
+
+    # --------------------------------------------------------------- scalar
+
+    def encrypt(self, plaintext: bytes, key: bytes, rng) -> bytes:
+        """Run one masked encryption on the scalar simulator."""
+        core = self.core
+        controls = self.control_schedule()
+        keys = self.round_key_schedule(key)
+        rcons = self.rcon_schedule() if core.own_key_schedule else None
+        sim = ScalarSimulator(core.netlist)
+        values = None
+        for cycle, control in enumerate(controls):
+            assignment = {
+                core.load: control["load"],
+                core.capture: control["capture"],
+                core.last: control["last"],
+            }
+            if rcons is not None:
+                self._assign_byte(assignment, core.rcon_bus, rcons[cycle])
+            self._assign_shared_block(
+                assignment, core.plaintext_shares, plaintext, rng
+            )
+            self._assign_shared_block(
+                assignment, core.round_key_shares, bytes(keys[cycle]), rng
+            )
+            for net in core.mask_bits:
+                assignment[net] = rng.randrange(2)
+            for r_bus in core.r_buses:
+                self._assign_byte(assignment, r_bus, rng.randrange(1, 256))
+            for rp_bus in core.r_prime_buses:
+                self._assign_byte(assignment, rp_bus, rng.randrange(256))
+            values = sim.step(assignment)
+        out = bytearray(16)
+        for byte in range(16):
+            for bit in range(8):
+                b = 0
+                for share in range(2):
+                    b ^= values[core.state_shares[share][8 * byte + bit]]
+                out[byte] |= b << bit
+        return bytes(out)
+
+    @staticmethod
+    def _assign_byte(assignment, bus, value) -> None:
+        for i, net in enumerate(bus):
+            assignment[net] = (value >> i) & 1
+
+    @staticmethod
+    def _assign_shared_block(assignment, share_buses, block, rng) -> None:
+        for byte_index, byte_value in enumerate(block):
+            mask = rng.randrange(256)
+            for bit in range(8):
+                position = 8 * byte_index + bit
+                assignment[share_buses[0][position]] = (mask >> bit) & 1
+                assignment[share_buses[1][position]] = (
+                    (mask ^ byte_value) >> bit
+                ) & 1
+
+    # ------------------------------------------------------------ bitsliced
+
+    def bitsliced_stimulus(
+        self,
+        rng: np.random.Generator,
+        n_words: int,
+        key: bytes,
+        fixed_plaintext: Optional[bytes],
+    ):
+        """Stimulus function for the bitsliced simulator.
+
+        Every lane runs the same control/key schedule (public values); the
+        plaintext is the fixed block or per-lane uniform random, re-shared
+        with fresh randomness per lane; all masks are fresh per cycle.
+        The schedule repeats, encrypting block after block.
+        """
+        from repro.leakage.traces import (
+            constant_words,
+            random_nonzero_byte,
+            random_words,
+        )
+
+        core = self.core
+        controls = self.control_schedule()
+        keys = self.round_key_schedule(key)
+        rcons = self.rcon_schedule() if core.own_key_schedule else None
+        period = len(controls)
+
+        def stimulus(cycle: int) -> Dict[int, np.ndarray]:
+            step = cycle % period
+            control = controls[step]
+            values: Dict[int, np.ndarray] = {
+                core.load: constant_words(control["load"], n_words),
+                core.capture: constant_words(control["capture"], n_words),
+                core.last: constant_words(control["last"], n_words),
+            }
+            if rcons is not None:
+                for i, net in enumerate(core.rcon_bus):
+                    values[net] = constant_words(
+                        (rcons[step] >> i) & 1, n_words
+                    )
+            key_block = keys[step]
+            for byte_index in range(16):
+                for bit in range(8):
+                    position = 8 * byte_index + bit
+                    mask = random_words(rng, n_words)
+                    values[core.round_key_shares[0][position]] = mask
+                    key_bit = (key_block[byte_index] >> bit) & 1
+                    values[core.round_key_shares[1][position]] = (
+                        mask ^ constant_words(key_bit, n_words)
+                    )
+            for byte_index in range(16):
+                for bit in range(8):
+                    position = 8 * byte_index + bit
+                    mask = random_words(rng, n_words)
+                    values[core.plaintext_shares[0][position]] = mask
+                    if fixed_plaintext is None:
+                        other = random_words(rng, n_words)
+                    else:
+                        pt_bit = (fixed_plaintext[byte_index] >> bit) & 1
+                        other = mask ^ constant_words(pt_bit, n_words)
+                    values[core.plaintext_shares[1][position]] = other
+            for net in core.mask_bits:
+                values[net] = random_words(rng, n_words)
+            for r_bus in core.r_buses:
+                planes = random_nonzero_byte(rng, n_words)
+                for net, plane in zip(r_bus, planes):
+                    values[net] = plane
+            for rp_bus in core.r_prime_buses:
+                for net in rp_bus:
+                    values[net] = random_words(rng, n_words)
+            return values
+
+        return stimulus

@@ -1,0 +1,249 @@
+"""Value-level masked AES-128 using multiplicative S-box masking.
+
+This is the algorithmic (share-semantics) counterpart of the hardware
+designs: the state and round keys are Boolean-shared at any masking order;
+linear layers act share-wise; SubBytes runs the multiplicative-masking
+algorithm of the paper's Fig. 2 (Kronecker zero-mapping, B->M conversion,
+local inversion of one residue, M->B conversion, affine transform),
+generalized to ``d`` multiplicative mask bytes at order ``d`` exactly as in
+the hardware pipelines of :mod:`repro.core.sbox` and
+:mod:`repro.core.sbox2`.  Checked against FIPS-197 end to end.
+
+The hardware netlist of the S-box lives in :mod:`repro.core.sbox`; this
+module computes with integers and the same equations, so the two are
+cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional
+
+from repro.aes.cipher import (
+    BLOCK_BYTES,
+    N_ROUNDS,
+    inv_mix_columns,
+    inv_shift_rows,
+    key_expansion,
+    mix_columns,
+    shift_rows,
+)
+from repro.aes.sbox import AFFINE_CONSTANT, AFFINE_MATRIX
+from repro.errors import MaskingError
+from repro.gf.gf2 import gf2_matrix_inverse, gf2_matrix_vector
+from repro.gf.gf256 import GF256
+from repro.masking.shares import BooleanSharing
+
+_INV_AFFINE_MATRIX = gf2_matrix_inverse(AFFINE_MATRIX)
+
+
+def _kronecker_sharing(
+    sharing: BooleanSharing, rng: random.Random
+) -> BooleanSharing:
+    """Boolean-shared Kronecker delta of a shared byte (z = 1 iff X == 0).
+
+    The hardware computes this with the DOM-AND tree; at value level the
+    result is an equivalent fresh sharing of the same bit.
+    """
+    z = 1 if sharing.value == 0 else 0
+    return BooleanSharing.share(z, len(sharing.shares), rng, width=1)
+
+
+def _masked_inversion(
+    sharing: BooleanSharing, rng: random.Random
+) -> BooleanSharing:
+    """Shared GF(2^8) inversion of a *non-zero* shared value, any order.
+
+    Mirrors the hardware pipelines: multiply the Boolean shares by ``d``
+    non-zero mask bytes (so the recombined intermediate is multiplicatively
+    masked ``d`` times), invert the single residue locally, convert back to
+    ``d+1`` Boolean shares while still under the last multiplicative mask,
+    then peel the masks share-wise.
+    """
+    n_shares = len(sharing.shares)
+    order = n_shares - 1
+    masks = [rng.randrange(1, 256) for _ in range(order)]
+
+    shares = list(sharing.shares)
+    for mask in masks:
+        shares = [GF256.multiply(s, mask) for s in shares]
+    residue = 0
+    for s in shares:
+        residue ^= s  # = X * R1 * ... * Rd, multiplicatively masked
+    inverse_residue = GF256.inverse(residue)
+
+    # Convert back to n_shares Boolean shares under the last mask.
+    fresh = [rng.randrange(256) for _ in range(order)]
+    blinded = inverse_residue
+    for f in fresh:
+        blinded ^= f
+    out = [GF256.multiply(f, masks[-1]) for f in fresh]
+    out.append(GF256.multiply(blinded, masks[-1]))
+    # Peel the remaining masks share-wise (their product equals X^-1 * ...).
+    for mask in reversed(masks[:-1]):
+        out = [GF256.multiply(s, mask) for s in out]
+    return BooleanSharing(tuple(out))
+
+
+def masked_sbox_value(
+    sharing: BooleanSharing, rng: Optional[random.Random] = None
+) -> BooleanSharing:
+    """Masked S-box on a Boolean sharing of any order (paper Fig. 2).
+
+    First order follows Section II-C literally; higher orders use the
+    generalized conversion chain of :mod:`repro.core.sbox2`.
+    """
+    rng = rng or random.Random()
+
+    # Kronecker delta and zero-mapping: X <- X xor z.
+    z = _kronecker_sharing(sharing, rng)
+    mapped = BooleanSharing(
+        tuple(b ^ zb for b, zb in zip(sharing.shares, z.shares))
+    )
+
+    inverted = _masked_inversion(mapped, rng)
+
+    # Undo the zero-mapping and apply the affine transformation.
+    shares = [b ^ zb for b, zb in zip(inverted.shares, z.shares)]
+    out = [gf2_matrix_vector(AFFINE_MATRIX, b) for b in shares]
+    out[0] ^= AFFINE_CONSTANT
+    return BooleanSharing(tuple(out))
+
+
+def masked_inv_sbox_value(
+    sharing: BooleanSharing, rng: Optional[random.Random] = None
+) -> BooleanSharing:
+    """Masked inverse S-box: undo the affine map, then the same inversion."""
+    rng = rng or random.Random()
+    shares = list(sharing.shares)
+    shares[0] ^= AFFINE_CONSTANT
+    linear = BooleanSharing(
+        tuple(gf2_matrix_vector(_INV_AFFINE_MATRIX, b) for b in shares)
+    )
+
+    z = _kronecker_sharing(linear, rng)
+    mapped = BooleanSharing(
+        tuple(b ^ zb for b, zb in zip(linear.shares, z.shares))
+    )
+    inverted = _masked_inversion(mapped, rng)
+    return BooleanSharing(
+        tuple(b ^ zb for b, zb in zip(inverted.shares, z.shares))
+    )
+
+
+class MaskedAes128:
+    """Masked AES-128 encryption/decryption at value level, any order.
+
+    ``order`` is the masking order (``order + 1`` Boolean shares
+    throughout); the S-box inversion uses ``order`` multiplicative mask
+    bytes, mirroring the first- and second-order hardware designs.
+    """
+
+    def __init__(
+        self,
+        key: bytes,
+        rng: Optional[random.Random] = None,
+        order: int = 1,
+    ):
+        if order < 1:
+            raise MaskingError("masking order must be at least 1")
+        self.rng = rng or random.Random()
+        self.n_shares = order + 1
+        # The key schedule itself runs masked: round keys are shared bytes.
+        self.round_key_shares: List[List[BooleanSharing]] = [
+            [
+                BooleanSharing.share(b, self.n_shares, self.rng)
+                for b in round_key
+            ]
+            for round_key in key_expansion(key)
+        ]
+
+    # ----------------------------------------------------------- primitives
+
+    def _add_round_key(
+        self, state: List[BooleanSharing], round_index: int
+    ) -> List[BooleanSharing]:
+        return [
+            s.xor(k)
+            for s, k in zip(state, self.round_key_shares[round_index])
+        ]
+
+    @staticmethod
+    def _linear_per_share(state: List[BooleanSharing], func) -> List[BooleanSharing]:
+        """Apply a linear byte-vector function to each share plane."""
+        n_shares = len(state[0].shares)
+        planes = [
+            func([sharing.shares[s] for sharing in state])
+            for s in range(n_shares)
+        ]
+        return [
+            BooleanSharing(tuple(planes[s][i] for s in range(n_shares)))
+            for i in range(len(state))
+        ]
+
+    def _sub_bytes(self, state: List[BooleanSharing]) -> List[BooleanSharing]:
+        return [masked_sbox_value(sharing, self.rng) for sharing in state]
+
+    # ----------------------------------------------------------- encryption
+
+    def encrypt_shared(
+        self, plaintext_shares: List[BooleanSharing]
+    ) -> List[BooleanSharing]:
+        """Encrypt a shared 16-byte block, returning shared ciphertext."""
+        if len(plaintext_shares) != BLOCK_BYTES:
+            raise MaskingError("state must be 16 shared bytes")
+        state = self._add_round_key(plaintext_shares, 0)
+        for round_index in range(1, N_ROUNDS):
+            state = self._sub_bytes(state)
+            state = self._linear_per_share(state, shift_rows)
+            state = self._linear_per_share(state, mix_columns)
+            state = self._add_round_key(state, round_index)
+        state = self._sub_bytes(state)
+        state = self._linear_per_share(state, shift_rows)
+        state = self._add_round_key(state, N_ROUNDS)
+        return state
+
+    def encrypt_block(self, plaintext: bytes) -> bytes:
+        """Share a plaintext block, encrypt masked, recombine the result."""
+        shares = [
+            BooleanSharing.share(b, self.n_shares, self.rng)
+            for b in plaintext
+        ]
+        return bytes(s.value for s in self.encrypt_shared(shares))
+
+    # ----------------------------------------------------------- decryption
+
+    def _inv_sub_bytes(
+        self, state: List[BooleanSharing]
+    ) -> List[BooleanSharing]:
+        return [masked_inv_sbox_value(sharing, self.rng) for sharing in state]
+
+    def decrypt_shared(
+        self, ciphertext_shares: List[BooleanSharing]
+    ) -> List[BooleanSharing]:
+        """Decrypt a shared 16-byte block, returning shared plaintext.
+
+        Uses the same multiplicative-masking inversion inside the inverse
+        S-box (undo the affine map, then the Kronecker-protected local
+        inversion).
+        """
+        if len(ciphertext_shares) != BLOCK_BYTES:
+            raise MaskingError("state must be 16 shared bytes")
+        state = self._add_round_key(ciphertext_shares, N_ROUNDS)
+        for round_index in range(N_ROUNDS - 1, 0, -1):
+            state = self._linear_per_share(state, inv_shift_rows)
+            state = self._inv_sub_bytes(state)
+            state = self._add_round_key(state, round_index)
+            state = self._linear_per_share(state, inv_mix_columns)
+        state = self._linear_per_share(state, inv_shift_rows)
+        state = self._inv_sub_bytes(state)
+        state = self._add_round_key(state, 0)
+        return state
+
+    def decrypt_block(self, ciphertext: bytes) -> bytes:
+        """Share a ciphertext block, decrypt masked, recombine the result."""
+        shares = [
+            BooleanSharing.share(b, self.n_shares, self.rng)
+            for b in ciphertext
+        ]
+        return bytes(s.value for s in self.decrypt_shared(shares))

@@ -1,0 +1,73 @@
+"""Masking conversions of the masked S-box (paper Section II-C).
+
+Boolean -> multiplicative::
+
+    P0 = [R],    P1 = [B0 (x) R] xor [B1 (x) R]        (R uniform non-zero)
+
+so that ``X = (P0)^-1 (x) P1`` -- unless X is zero, which is why the
+Kronecker delta must run first.
+
+Multiplicative -> Boolean (after the local inversion produced Q0, Q1 with
+``X^-1 = Q0 (x) Q1``)::
+
+    B'0 = [R' (x) Q0],    B'1 = [R' xor Q1] (x) [Q0]   (R' uniform)
+
+Square brackets are registers (one pipeline stage each, Fig. 2).  The final
+multiplication of B'1 is combinational on register outputs and so belongs to
+the following pipeline stage.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.aes.gf_circuits import gf256_multiplier_circuit
+from repro.netlist.builder import CircuitBuilder
+
+Bus = List[int]
+
+
+def boolean_to_multiplicative(
+    builder: CircuitBuilder,
+    b0: Sequence[int],
+    b1: Sequence[int],
+    r_bus: Sequence[int],
+    name: str = "b2m",
+) -> Tuple[Bus, Bus]:
+    """Build the B->M conversion stage; returns registered ``(P0, P1)``.
+
+    One cycle of latency: both partial products and the pass-through of R
+    are registered; the recombining XOR of P1 is combinational after the
+    registers (its glitch-extended probes therefore see the two product
+    registers -- the exact structure analyzed in Section III's setting).
+    """
+    with builder.scope(name):
+        p0 = builder.reg_bus(list(r_bus), "p0")
+        product0 = gf256_multiplier_circuit(builder, b0, r_bus, "mul0")
+        product1 = gf256_multiplier_circuit(builder, b1, r_bus, "mul1")
+        reg0 = builder.reg_bus(product0, "m0")
+        reg1 = builder.reg_bus(product1, "m1")
+        p1 = builder.xor_bus(reg0, reg1)
+    return p0, p1
+
+
+def multiplicative_to_boolean(
+    builder: CircuitBuilder,
+    q0: Sequence[int],
+    q1: Sequence[int],
+    r_prime_bus: Sequence[int],
+    name: str = "m2b",
+) -> Tuple[Bus, Bus]:
+    """Build the M->B conversion stage; returns ``(B'0, B'1)``.
+
+    ``B'0`` is a register output; ``B'1`` is combinational logic on register
+    outputs (available in the same cycle as ``B'0``).  One cycle of latency.
+    """
+    with builder.scope(name):
+        product0 = gf256_multiplier_circuit(builder, r_prime_bus, q0, "mul0")
+        b0 = builder.reg_bus(product0, "b0")
+        masked_q1 = builder.xor_bus(list(r_prime_bus), list(q1))
+        u = builder.reg_bus(masked_q1, "u")
+        q0_delayed = builder.reg_bus(list(q0), "q0d")
+        b1 = gf256_multiplier_circuit(builder, u, q0_delayed, "mul1")
+    return b0, b1

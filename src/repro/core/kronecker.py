@@ -1,0 +1,204 @@
+"""The masked Kronecker delta function (paper Fig. 1b and Fig. 3).
+
+Computes ``z = NOT(x0) & NOT(x1) & ... & NOT(x7)`` on a Boolean-shared input:
+``z`` is 1 exactly when the unshared input byte is 0.  The AND tree has three
+levels of DOM-AND gates:
+
+* layer 1: G1..G4 on the complemented input bit pairs, masks r1..r4,
+  producing y0..y3;
+* layer 2: G5 (y0&y1 -> w0), G6 (y2&y3 -> w1), masks r5, r6;
+* layer 3: G7 (w0&w1 -> z), mask r7.
+
+Every DOM gate registers both its inner-domain and blinded cross-domain
+products (Fig. 3), so the function is a 3-stage pipeline.  The mask wiring is
+a :class:`repro.core.optimizations.RandomnessScheme` (first order) or
+:class:`SecondOrderScheme` (three shares).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+from repro.errors import MaskingError
+from repro.core.optimizations import (
+    FIRST_LAYER,
+    RandomnessScheme,
+    SecondOrderScheme,
+)
+from repro.leakage.dut import DesignUnderTest
+from repro.masking.dom import dom_and
+from repro.masking.randomness import MaskBus
+from repro.netlist.builder import CircuitBuilder
+
+#: Kronecker tree latency in clock cycles (one per DOM layer).
+KRONECKER_LATENCY = 3
+
+Scheme = Union[RandomnessScheme, SecondOrderScheme]
+
+
+@dataclass
+class KroneckerDesign:
+    """A built Kronecker delta with its evaluation protocol and anchors."""
+
+    dut: DesignUnderTest
+    scheme: Scheme
+    order: int
+    #: output share nets of the single-bit result z.
+    z_shares: List[int]
+    #: the G7 product nodes the paper marks v1..v4 (first order only).
+    v_nodes: Dict[str, int]
+    #: share nets of the intermediate tree signals (y0..y3, w0, w1).
+    intermediates: Dict[str, List[int]]
+
+    @property
+    def netlist(self):
+        """The underlying netlist."""
+        return self.dut.netlist
+
+    @property
+    def fresh_mask_bits(self) -> int:
+        """Fresh random bits consumed per cycle."""
+        return self.dut.n_fresh_mask_bits
+
+
+def _pair_masks(order: int, gate_wiring, gate: int) -> Dict:
+    """Mask dict for one gate, for either sharing order."""
+    if order == 1:
+        return {(0, 1): gate_wiring[gate]}
+    return gate_wiring[gate]
+
+
+def kronecker_tree(
+    builder: CircuitBuilder,
+    share_buses: List[List[int]],
+    wiring,
+    order: int,
+    registered: bool = True,
+) -> Dict[str, object]:
+    """Instantiate the DOM-AND tree of the Kronecker delta on a builder.
+
+    ``share_buses`` are the 8-bit Boolean-share buses of the input byte;
+    ``wiring`` is the gate->mask mapping produced by a scheme's ``wire``.
+    Returns the output shares, intermediate shares and (for first order) the
+    G7 product anchors v1..v4.  Used standalone and inside the full masked
+    S-box (Fig. 1a places the delta before the masking conversion).
+    """
+    n_shares = order + 1
+
+    # Complement the input by inverting share 0 only.
+    complemented = [list(b) for b in share_buses]
+    complemented[0] = builder.not_bus(complemented[0])
+
+    def bit_shares(bit: int) -> List[int]:
+        return [complemented[s][bit] for s in range(n_shares)]
+
+    layer1: List[List[int]] = []
+    for gate in FIRST_LAYER:
+        low_bit = 2 * (gate - 1)
+        layer1.append(
+            dom_and(
+                builder,
+                bit_shares(low_bit),
+                bit_shares(low_bit + 1),
+                _pair_masks(order, wiring, gate),
+                f"g{gate}",
+                register_inner=registered,
+                register_cross=registered,
+            )
+        )
+    y0, y1, y2, y3 = layer1
+
+    w0 = dom_and(
+        builder, y0, y1, _pair_masks(order, wiring, 5), "g5",
+        register_inner=registered, register_cross=registered,
+    )
+    w1 = dom_and(
+        builder, y2, y3, _pair_masks(order, wiring, 6), "g6",
+        register_inner=registered, register_cross=registered,
+    )
+    z = dom_and(
+        builder, w0, w1, _pair_masks(order, wiring, 7), "g7",
+        register_inner=registered, register_cross=registered,
+    )
+    return {
+        "z": z,
+        "intermediates": {
+            "y0": y0,
+            "y1": y1,
+            "y2": y2,
+            "y3": y3,
+            "w0": w0,
+            "w1": w1,
+        },
+    }
+
+
+def build_kronecker_delta(
+    scheme: Optional[Scheme] = None, order: int = 1, registered: bool = True
+) -> KroneckerDesign:
+    """Build the masked Kronecker delta function netlist.
+
+    ``order`` is the masking order: 1 gives the 2-share design of Fig. 3,
+    2 gives the 3-share design the paper evaluates in its final experiment.
+    ``registered=False`` strips the DOM-internal registers (a purely
+    combinational tree) -- deliberately glitch-insecure, for the E12
+    ablation showing why the registers are load-bearing.
+    """
+    if order == 1:
+        scheme = scheme or RandomnessScheme.FULL
+        if not isinstance(scheme, RandomnessScheme):
+            raise MaskingError("first-order design needs a RandomnessScheme")
+    elif order == 2:
+        scheme = scheme or SecondOrderScheme.FULL_21
+        if not isinstance(scheme, SecondOrderScheme):
+            raise MaskingError("second-order design needs a SecondOrderScheme")
+    else:
+        raise MaskingError("supported masking orders are 1 and 2")
+    n_shares = order + 1
+
+    builder = CircuitBuilder(f"kronecker_o{order}_{scheme.value}")
+    share_buses = [builder.input_bus(f"x{s}", 8) for s in range(n_shares)]
+
+    bus = MaskBus(builder)
+    wiring = scheme.wire(bus)
+    tree = kronecker_tree(builder, share_buses, wiring, order, registered)
+    z_shares = builder.output_bus(tree["z"], "z")
+
+    netlist = builder.build()
+
+    v_nodes: Dict[str, int] = {}
+    if order == 1:
+        # The paper's probe anchors: the four product nodes inside G7.
+        v_nodes = {
+            "v1": netlist.net("g7.inner0"),
+            "v2": netlist.net("g7.cross01"),
+            "v3": netlist.net("g7.cross10"),
+            "v4": netlist.net("g7.inner1"),
+        }
+
+    dut = DesignUnderTest(
+        netlist=netlist,
+        share_buses=share_buses,
+        mask_bits=bus.fresh_input_nets,
+        latency=KRONECKER_LATENCY if registered else 0,
+        output_share_buses=[[n] for n in z_shares],
+        metadata={
+            "scheme": scheme.value,
+            "order": order,
+            "design": "kronecker_delta",
+        },
+    )
+    return KroneckerDesign(
+        dut=dut,
+        scheme=scheme,
+        order=order,
+        z_shares=z_shares,
+        v_nodes=v_nodes,
+        intermediates=tree["intermediates"],
+    )
+
+
+def kronecker_reference(value: int) -> int:
+    """The unmasked Kronecker delta: 1 iff the byte is zero."""
+    return 1 if (value & 0xFF) == 0 else 0

@@ -1,0 +1,200 @@
+"""The first-order masked AES S-box of De Meyer et al. (paper Fig. 2).
+
+Pipeline (5 cycles of latency, matching Section II-C):
+
+=====  =============================================================
+cycle  stage
+=====  =============================================================
+1-3    Kronecker delta on the Boolean-shared input (3 DOM layers);
+       in parallel the input shares ride a 3-stage delay line
+4      z is XORed into the delayed shares (mapping a zero input to
+       1); Boolean -> multiplicative conversion, registered
+5      local GF(2^8) inversion of share P1 (combinational) feeding
+       the multiplicative -> Boolean conversion, registered
+out    B'1 recombination multiply, z XORed back, affine transform
+       (fully combinational)
+=====  =============================================================
+
+The Kronecker delta's fresh-mask wiring is a
+:class:`repro.core.optimizations.RandomnessScheme`; the conversions consume
+one non-zero mask byte R and one uniform mask byte R' per cycle.
+``include_kronecker=False`` builds the S-box without the zero-mapping
+(the configuration the paper evaluates with a non-zero fixed input; with a
+zero input it exhibits the classic zero-value problem).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.aes.gf_circuits import gf256_inverter_circuit
+from repro.aes.sbox import AFFINE_CONSTANT, AFFINE_MATRIX
+from repro.core.conversions import (
+    boolean_to_multiplicative,
+    multiplicative_to_boolean,
+)
+from repro.core.kronecker import kronecker_tree
+from repro.core.optimizations import RandomnessScheme
+from repro.errors import MaskingError
+from repro.leakage.dut import DesignUnderTest
+from repro.masking.gadgets import sharewise_linear
+from repro.masking.randomness import MaskBus
+from repro.netlist.builder import CircuitBuilder
+
+#: Latency of the masked S-box in clock cycles.
+SBOX_LATENCY = 5
+
+
+@dataclass
+class MaskedSboxDesign:
+    """A built masked S-box with its evaluation protocol and anchors."""
+
+    dut: DesignUnderTest
+    scheme: Optional[RandomnessScheme]
+    include_kronecker: bool
+    #: output share buses (LSB-first), valid ``SBOX_LATENCY`` cycles after
+    #: the corresponding input.
+    output_shares: List[List[int]]
+    #: the G7 product anchors v1..v4 when the Kronecker delta is present.
+    v_nodes: Dict[str, int]
+
+    @property
+    def netlist(self):
+        """The underlying netlist."""
+        return self.dut.netlist
+
+    @property
+    def latency(self) -> int:
+        """Pipeline latency in cycles."""
+        return self.dut.latency
+
+
+def masked_sbox_datapath(
+    builder: CircuitBuilder,
+    b0: List[int],
+    b1: List[int],
+    bus: MaskBus,
+    r_bus: List[int],
+    r_prime_bus: List[int],
+    scheme: Optional[RandomnessScheme],
+    include_kronecker: bool = True,
+) -> List[List[int]]:
+    """Instantiate the Fig. 2 S-box pipeline on an existing builder.
+
+    Returns the two output share buses (combinational, valid
+    ``SBOX_LATENCY`` cycles after the input).  Used standalone by
+    :func:`build_masked_sbox` and 16 times by the full AES core.
+    """
+    # --- cycles 1..3: Kronecker delta and the input delay line -------------
+    if include_kronecker:
+        wiring = scheme.wire(bus)
+        tree = kronecker_tree(builder, [b0, b1], wiring, order=1)
+        z_shares = tree["z"]
+    else:
+        z_shares = None
+
+    delayed = [list(b0), list(b1)]
+    for stage in range(3):
+        delayed = [
+            builder.reg_bus(bus_, f"delay{stage}.s{i}")
+            for i, bus_ in enumerate(delayed)
+        ]
+
+    # --- cycle 4: map zero to one, then Boolean -> multiplicative ----------
+    if include_kronecker:
+        a_shares = []
+        for i, share_bus in enumerate(delayed):
+            mapped = list(share_bus)
+            mapped[0] = builder.xor(mapped[0], z_shares[i], f"zmap.s{i}")
+            a_shares.append(mapped)
+    else:
+        a_shares = delayed
+    p0, p1 = boolean_to_multiplicative(
+        builder, a_shares[0], a_shares[1], r_bus
+    )
+
+    # z rides two more register stages to meet the output.
+    if include_kronecker:
+        z_delayed = list(z_shares)
+        for stage in range(2):
+            z_delayed = [
+                builder.reg(zi, f"zdelay{stage}.s{i}")
+                for i, zi in enumerate(z_delayed)
+            ]
+
+    # --- cycle 5: local inversion of P1, multiplicative -> Boolean ---------
+    q0 = p0
+    q1 = gf256_inverter_circuit(builder, p1, "local_inv")
+    b0_out, b1_out = multiplicative_to_boolean(builder, q0, q1, r_prime_bus)
+
+    # --- output: undo the zero-mapping and apply the affine transform ------
+    final_shares = [list(b0_out), list(b1_out)]
+    if include_kronecker:
+        for i in range(2):
+            final_shares[i][0] = builder.xor(
+                final_shares[i][0], z_delayed[i], f"zunmap.s{i}"
+            )
+    affine_shares = sharewise_linear(
+        builder, AFFINE_MATRIX, final_shares, AFFINE_CONSTANT
+    )
+    return affine_shares
+
+
+def build_masked_sbox(
+    scheme: Optional[RandomnessScheme] = RandomnessScheme.FULL,
+    include_kronecker: bool = True,
+) -> MaskedSboxDesign:
+    """Build the first-order masked AES S-box netlist of Fig. 2."""
+    if include_kronecker and not isinstance(scheme, RandomnessScheme):
+        raise MaskingError(
+            "the Kronecker delta needs a first-order RandomnessScheme"
+        )
+    suffix = scheme.value if include_kronecker else "no_kronecker"
+    builder = CircuitBuilder(f"masked_sbox_{suffix}")
+
+    b0 = builder.input_bus("b0", 8)
+    b1 = builder.input_bus("b1", 8)
+    bus = MaskBus(builder)
+    r_bus = builder.input_bus("R", 8)
+    r_prime_bus = builder.input_bus("Rp", 8)
+
+    affine_shares = masked_sbox_datapath(
+        builder, b0, b1, bus, r_bus, r_prime_bus, scheme, include_kronecker
+    )
+    output_shares = [
+        builder.output_bus(share, f"s{i}")
+        for i, share in enumerate(affine_shares)
+    ]
+
+    netlist = builder.build()
+    v_nodes: Dict[str, int] = {}
+    if include_kronecker:
+        v_nodes = {
+            "v1": netlist.net("g7.inner0"),
+            "v2": netlist.net("g7.cross01"),
+            "v3": netlist.net("g7.cross10"),
+            "v4": netlist.net("g7.inner1"),
+        }
+
+    dut = DesignUnderTest(
+        netlist=netlist,
+        share_buses=[b0, b1],
+        mask_bits=bus.fresh_input_nets,
+        nonzero_byte_buses=[r_bus],
+        uniform_byte_buses=[r_prime_bus],
+        latency=SBOX_LATENCY,
+        output_share_buses=output_shares,
+        metadata={
+            "scheme": scheme.value if include_kronecker else None,
+            "include_kronecker": include_kronecker,
+            "design": "masked_sbox",
+        },
+    )
+    return MaskedSboxDesign(
+        dut=dut,
+        scheme=scheme if include_kronecker else None,
+        include_kronecker=include_kronecker,
+        output_shares=output_shares,
+        v_nodes=v_nodes,
+    )

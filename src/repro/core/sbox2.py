@@ -1,0 +1,194 @@
+"""A second-order (3-share) multiplicative-masked AES S-box.
+
+The paper evaluates "a second-order implementation of the masked AES Sbox
+presented in [12] following the same concept"; the DATE paper does not
+print that design, so this module reconstructs one following the same
+concept (documented in DESIGN.md):
+
+* 3-share Boolean input; the second-order Kronecker delta
+  (:class:`SecondOrderScheme`) maps zero to one;
+* Boolean -> multiplicative conversion with **two** non-zero mask bytes
+  (Eq. (3) with d = 3): the Boolean shares are multiplied share-wise by R1,
+  registered, then by R2, registered, so ``P2 = X (x) R1 (x) R2`` is only
+  ever represented multiplicatively-masked by two factors -- a 2-probe
+  adversary that captures one factor still faces the other;
+* local inversion of the single share ``P2`` (combinational tower-field
+  inverter), giving ``X^-1 = R1 (x) R2 (x) inv(P2)``;
+* multiplicative -> Boolean conversion that peels ``R2`` into a *three*-
+  share Boolean sharing directly (two fresh mask bytes R'0, R'1)::
+
+      C0 = [R'0 (x) R2],  C1 = [R'1 (x) R2],
+      C2 = [(R'0 xor R'1 xor inv(P2)) (x) R2]
+
+  so ``C0 xor C1 xor C2 = R2 (x) inv(P2) = X^-1 (x) R1^-1`` -- the value
+  stays multiplicatively masked by R1 and is never shared with fewer than
+  three Boolean shares;
+* a final share-wise multiplication by the delayed R1 yields the 3-share
+  Boolean sharing of ``X^-1``; the Kronecker bit is XORed back and the
+  affine transformation applied share-wise.
+
+Latency: 3 (Kronecker) + 2 (x R1, x R2) + 1 (M->B) + 1 (x R1 peel) = 7
+cycles, fully pipelined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.aes.gf_circuits import (
+    gf256_inverter_circuit,
+    gf256_multiplier_circuit,
+)
+from repro.aes.sbox import AFFINE_CONSTANT, AFFINE_MATRIX
+from repro.core.kronecker import kronecker_tree
+from repro.core.optimizations import SecondOrderScheme
+from repro.errors import MaskingError
+from repro.leakage.dut import DesignUnderTest
+from repro.masking.gadgets import sharewise_linear
+from repro.masking.randomness import MaskBus
+from repro.netlist.builder import CircuitBuilder
+
+#: Latency of the second-order masked S-box in clock cycles.
+SBOX2_LATENCY = 7
+
+
+@dataclass
+class MaskedSbox2Design:
+    """The built second-order S-box with its evaluation protocol."""
+
+    dut: DesignUnderTest
+    scheme: SecondOrderScheme
+    output_shares: List[List[int]]
+
+    @property
+    def netlist(self):
+        """The underlying netlist."""
+        return self.dut.netlist
+
+    @property
+    def latency(self) -> int:
+        """Pipeline latency in cycles."""
+        return self.dut.latency
+
+
+def build_masked_sbox_second_order(
+    scheme: SecondOrderScheme = SecondOrderScheme.FULL_21,
+) -> MaskedSbox2Design:
+    """Build the 3-share masked AES S-box netlist."""
+    if not isinstance(scheme, SecondOrderScheme):
+        raise MaskingError("the second-order S-box needs a SecondOrderScheme")
+    builder = CircuitBuilder(f"masked_sbox2_{scheme.value}")
+
+    shares = [builder.input_bus(f"b{s}", 8) for s in range(3)]
+    bus = MaskBus(builder)
+    r1_bus = builder.input_bus("R1", 8)
+    r2_bus = builder.input_bus("R2", 8)
+    rp0_bus = builder.input_bus("Rp0", 8)
+    rp1_bus = builder.input_bus("Rp1", 8)
+
+    # --- cycles 1..3: Kronecker delta and the input delay line -------------
+    wiring = scheme.wire(bus)
+    tree = kronecker_tree(builder, shares, wiring, order=2)
+    z_shares = tree["z"]
+
+    delayed = [list(s) for s in shares]
+    for stage in range(3):
+        delayed = [
+            builder.reg_bus(bus_, f"delay{stage}.s{i}")
+            for i, bus_ in enumerate(delayed)
+        ]
+
+    # --- cycle 4: zero-mapping, then share-wise x R1 ------------------------
+    mapped = []
+    for i, share_bus in enumerate(delayed):
+        bits = list(share_bus)
+        bits[0] = builder.xor(bits[0], z_shares[i], f"zmap.s{i}")
+        mapped.append(bits)
+    stage1 = [
+        builder.reg_bus(
+            gf256_multiplier_circuit(builder, mapped[i], r1_bus, f"mulr1.s{i}"),
+            f"c.s{i}",
+        )
+        for i in range(3)
+    ]
+    # R1 must meet the final peel stage three cycles later.
+    r1_delayed = list(r1_bus)
+    for stage in range(3):
+        r1_delayed = builder.reg_bus(r1_delayed, f"r1d{stage}")
+
+    # --- cycle 5: share-wise x R2 -------------------------------------------
+    stage2 = [
+        builder.reg_bus(
+            gf256_multiplier_circuit(builder, stage1[i], r2_bus, f"mulr2.s{i}"),
+            f"d.s{i}",
+        )
+        for i in range(3)
+    ]
+    r2_delayed = builder.reg_bus(list(r2_bus), "r2d0")
+
+    # --- cycle 6: recombine P2, invert locally, M->B with three shares ------
+    p2 = builder.xor_bus(builder.xor_bus(stage2[0], stage2[1]), stage2[2])
+    q2 = gf256_inverter_circuit(builder, p2, "local_inv")
+    c0 = builder.reg_bus(
+        gf256_multiplier_circuit(builder, rp0_bus, r2_delayed, "m2b.mul0"),
+        "m2b.c0",
+    )
+    c1 = builder.reg_bus(
+        gf256_multiplier_circuit(builder, rp1_bus, r2_delayed, "m2b.mul1"),
+        "m2b.c1",
+    )
+    masked_q2 = builder.xor_bus(builder.xor_bus(rp0_bus, rp1_bus), q2)
+    c2 = builder.reg_bus(
+        gf256_multiplier_circuit(builder, masked_q2, r2_delayed, "m2b.mul2"),
+        "m2b.c2",
+    )
+
+    # z rides four more register stages to meet the output.
+    z_delayed = list(z_shares)
+    for stage in range(4):
+        z_delayed = [
+            builder.reg(zi, f"zdelay{stage}.s{i}")
+            for i, zi in enumerate(z_delayed)
+        ]
+
+    # --- cycle 7: peel R1 share-wise ----------------------------------------
+    peeled = [
+        builder.reg_bus(
+            gf256_multiplier_circuit(builder, c, r1_delayed, f"peel.s{i}"),
+            f"e.s{i}",
+        )
+        for i, c in enumerate((c0, c1, c2))
+    ]
+
+    # --- output: undo the zero-mapping, affine transform --------------------
+    final_shares = [list(s) for s in peeled]
+    for i in range(3):
+        final_shares[i][0] = builder.xor(
+            final_shares[i][0], z_delayed[i], f"zunmap.s{i}"
+        )
+    affine_shares = sharewise_linear(
+        builder, AFFINE_MATRIX, final_shares, AFFINE_CONSTANT
+    )
+    output_shares = [
+        builder.output_bus(share, f"s{i}")
+        for i, share in enumerate(affine_shares)
+    ]
+
+    netlist = builder.build()
+    dut = DesignUnderTest(
+        netlist=netlist,
+        share_buses=shares,
+        mask_bits=bus.fresh_input_nets,
+        nonzero_byte_buses=[r1_bus, r2_bus],
+        uniform_byte_buses=[rp0_bus, rp1_bus],
+        latency=SBOX2_LATENCY,
+        output_share_buses=output_shares,
+        metadata={
+            "scheme": scheme.value,
+            "design": "masked_sbox_second_order",
+        },
+    )
+    return MaskedSbox2Design(
+        dut=dut, scheme=scheme, output_shares=output_shares
+    )

@@ -1,0 +1,28 @@
+"""Exception hierarchy for the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class NetlistError(ReproError):
+    """Structural problem in a netlist (dangling net, multiple drivers...)."""
+
+
+class SimulationError(ReproError):
+    """Problem while simulating a netlist (missing input, shape mismatch)."""
+
+
+class FieldError(ReproError):
+    """Invalid Galois-field construction or operation."""
+
+
+class MaskingError(ReproError):
+    """Invalid sharing or gadget construction."""
+
+
+class ExactAnalysisInfeasible(ReproError):
+    """The exact leakage analysis would exceed the enumeration budget.
+
+    Callers are expected to fall back to Monte-Carlo sampling.
+    """

@@ -1,0 +1,36 @@
+"""Binary-field arithmetic.
+
+* :mod:`repro.gf.gf2` -- bit-level helpers and GF(2) linear algebra.
+* :mod:`repro.gf.gf2n` -- generic GF(2^n) fields defined by an irreducible
+  polynomial, with log/antilog tables.
+* :mod:`repro.gf.gf256` -- the AES field GF(2^8) / x^8+x^4+x^3+x+1.
+* :mod:`repro.gf.tower` -- the GF(((2^2)^2)^2) tower decomposition and the
+  isomorphism with the AES field, used to derive combinational inverters.
+"""
+
+from repro.gf.gf2 import (
+    bit,
+    gf2_matrix_inverse,
+    gf2_matrix_multiply,
+    gf2_matrix_vector,
+    parity,
+    popcount,
+)
+from repro.gf.gf2n import GF2n
+from repro.gf.gf256 import GF256, gf256_inverse, gf256_multiply, gf256_power
+from repro.gf.tower import TowerField
+
+__all__ = [
+    "bit",
+    "parity",
+    "popcount",
+    "gf2_matrix_vector",
+    "gf2_matrix_multiply",
+    "gf2_matrix_inverse",
+    "GF2n",
+    "GF256",
+    "gf256_multiply",
+    "gf256_inverse",
+    "gf256_power",
+    "TowerField",
+]

@@ -1,0 +1,125 @@
+"""GF(2) bit helpers and linear algebra over GF(2).
+
+Matrices over GF(2) are represented as tuples of row integers: row ``i`` is
+an integer whose bit ``j`` is the entry ``M[i][j]``.  Vectors are plain
+integers (bit ``j`` is component ``j``).  This compact representation is what
+the netlist generators consume when they instantiate XOR networks for linear
+maps such as the AES affine transformation or tower-field isomorphisms.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.errors import FieldError
+
+Matrix = Tuple[int, ...]
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` (LSB = 0) of ``value`` as 0 or 1."""
+    return (value >> index) & 1
+
+
+def popcount(value: int) -> int:
+    """Return the number of set bits of a non-negative integer."""
+    if value < 0:
+        raise FieldError("popcount is defined for non-negative integers")
+    return bin(value).count("1")
+
+
+def parity(value: int) -> int:
+    """Return the XOR of all bits of a non-negative integer."""
+    return popcount(value) & 1
+
+
+def gf2_matrix_vector(matrix: Sequence[int], vector: int) -> int:
+    """Multiply a GF(2) matrix (rows as integers) by a bit-vector integer.
+
+    Component ``i`` of the result is ``parity(matrix[i] & vector)``.
+    """
+    result = 0
+    for i, row in enumerate(matrix):
+        result |= parity(row & vector) << i
+    return result
+
+
+def gf2_matrix_multiply(a: Sequence[int], b: Sequence[int]) -> Matrix:
+    """Multiply two GF(2) matrices given as row-integer sequences.
+
+    ``a`` is ``n x k`` (n rows, each with k meaningful bits) and ``b`` is
+    ``k x m``; the result is ``n x m``.
+    """
+    n_cols_b = max((r.bit_length() for r in b), default=0)
+    rows = []
+    for row_a in a:
+        acc = 0
+        for j in range(n_cols_b):
+            col_bits = 0
+            for i, row_b in enumerate(b):
+                col_bits |= bit(row_b, j) << i
+            acc |= parity(row_a & col_bits) << j
+        rows.append(acc)
+    return tuple(rows)
+
+
+def gf2_matrix_identity(n: int) -> Matrix:
+    """Return the ``n x n`` identity matrix."""
+    return tuple(1 << i for i in range(n))
+
+
+def gf2_matrix_transpose(matrix: Sequence[int], n_cols: int) -> Matrix:
+    """Transpose a GF(2) matrix with ``n_cols`` columns."""
+    rows = []
+    for j in range(n_cols):
+        acc = 0
+        for i, row in enumerate(matrix):
+            acc |= bit(row, j) << i
+        rows.append(acc)
+    return tuple(rows)
+
+
+def gf2_matrix_inverse(matrix: Sequence[int]) -> Matrix:
+    """Invert a square GF(2) matrix via Gauss-Jordan elimination.
+
+    Raises :class:`FieldError` if the matrix is singular.
+    """
+    n = len(matrix)
+    work = list(matrix)
+    inverse = list(gf2_matrix_identity(n))
+    for col in range(n):
+        pivot = next(
+            (r for r in range(col, n) if bit(work[r], col)),
+            None,
+        )
+        if pivot is None:
+            raise FieldError("matrix is singular over GF(2)")
+        work[col], work[pivot] = work[pivot], work[col]
+        inverse[col], inverse[pivot] = inverse[pivot], inverse[col]
+        for row in range(n):
+            if row != col and bit(work[row], col):
+                work[row] ^= work[col]
+                inverse[row] ^= inverse[col]
+    return tuple(inverse)
+
+
+def gf2_matrix_rank(matrix: Sequence[int]) -> int:
+    """Return the rank of a GF(2) matrix (rows as integers)."""
+    work = list(matrix)
+    rank = 0
+    n_cols = max((r.bit_length() for r in work), default=0)
+    row_start = 0
+    for col in range(n_cols):
+        pivot = next(
+            (r for r in range(row_start, len(work)) if bit(work[r], col)),
+            None,
+        )
+        if pivot is None:
+            continue
+        work[row_start], work[pivot] = work[pivot], work[row_start]
+        for row in range(len(work)):
+            if row != row_start and bit(work[row], col):
+                work[row] ^= work[row_start]
+        row_start += 1
+        rank += 1
+    return rank

@@ -1,0 +1,41 @@
+"""The AES field GF(2^8) with the FIPS-197 reduction polynomial.
+
+Free functions mirror the notation of the paper: multiplication and inversion
+in GF(256) are the operations written with an encircled-times in the paper's
+Eq. (3) and in the masking-conversion equations of Section II-C.
+"""
+
+from __future__ import annotations
+
+from repro.gf.gf2n import field
+
+#: x^8 + x^4 + x^3 + x + 1, the AES reduction polynomial.
+AES_POLYNOMIAL = 0x11B
+
+#: The AES field as a :class:`repro.gf.gf2n.GF2n` instance.
+GF256 = field(AES_POLYNOMIAL)
+
+
+def gf256_multiply(a: int, b: int) -> int:
+    """Multiply two elements of the AES field."""
+    return GF256.multiply(a, b)
+
+
+def gf256_inverse(a: int) -> int:
+    """AES-style inverse in GF(2^8): 0 maps to 0."""
+    return GF256.inverse_or_zero(a)
+
+
+def gf256_power(a: int, exponent: int) -> int:
+    """Raise an AES-field element to an integer power."""
+    return GF256.power(a, exponent)
+
+
+def gf256_strict_inverse(a: int) -> int:
+    """True multiplicative inverse; raises on zero.
+
+    The paper's multiplicative sharing (Eq. (3)) relies on this operation and
+    is exactly where the zero-value problem originates: 0 has no inverse, so
+    0 cannot be multiplicatively masked.
+    """
+    return GF256.inverse(a)

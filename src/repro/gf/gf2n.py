@@ -1,0 +1,193 @@
+"""Generic binary extension fields GF(2^n).
+
+A field is defined by an irreducible polynomial given as an integer whose
+bits are the polynomial coefficients (bit ``i`` is the coefficient of
+``x^i``).  Elements are integers in ``[0, 2^n)`` in the polynomial basis.
+
+The class precomputes log/antilog tables for fields up to 16 bits, which
+makes multiplication and inversion O(1) -- plenty for the 8-bit AES field and
+the 2/4-bit tower sub-fields used throughout the project.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List
+
+from repro.errors import FieldError
+
+
+def carryless_multiply(a: int, b: int) -> int:
+    """Multiply two GF(2) polynomials (no reduction)."""
+    result = 0
+    while b:
+        if b & 1:
+            result ^= a
+        a <<= 1
+        b >>= 1
+    return result
+
+
+def polynomial_mod(value: int, modulus: int) -> int:
+    """Reduce a GF(2) polynomial modulo another."""
+    if modulus == 0:
+        raise FieldError("modulus polynomial must be non-zero")
+    mod_degree = modulus.bit_length() - 1
+    while value.bit_length() - 1 >= mod_degree and value:
+        shift = (value.bit_length() - 1) - mod_degree
+        value ^= modulus << shift
+    return value
+
+
+def is_irreducible(poly: int) -> bool:
+    """Test irreducibility of a GF(2) polynomial with Rabin's test.
+
+    Uses the fact that ``x^(2^n) == x (mod poly)`` and, for every prime
+    divisor ``p`` of ``n``, ``gcd(x^(2^(n/p)) - x, poly) == 1``.
+    """
+    degree = poly.bit_length() - 1
+    if degree <= 0:
+        return False
+    if degree == 1:
+        return True
+
+    def square_mod(value: int) -> int:
+        return polynomial_mod(carryless_multiply(value, value), poly)
+
+    def poly_gcd(a: int, b: int) -> int:
+        while b:
+            a, b = b, polynomial_mod(a, b)
+        return a
+
+    # x^(2^degree) mod poly must equal x.
+    power = 2  # the polynomial "x"
+    for _ in range(degree):
+        power = square_mod(power)
+    if power != 2:
+        return False
+
+    for prime in _prime_factors(degree):
+        power = 2
+        for _ in range(degree // prime):
+            power = square_mod(power)
+        if poly_gcd(power ^ 2, poly) != 1:
+            return False
+    return True
+
+
+def _prime_factors(n: int) -> List[int]:
+    factors = []
+    candidate = 2
+    while candidate * candidate <= n:
+        if n % candidate == 0:
+            factors.append(candidate)
+            while n % candidate == 0:
+                n //= candidate
+        candidate += 1
+    if n > 1:
+        factors.append(n)
+    return factors
+
+
+class GF2n:
+    """A binary extension field GF(2^n) with table-based arithmetic."""
+
+    def __init__(self, modulus: int):
+        if not is_irreducible(modulus):
+            raise FieldError(f"polynomial {modulus:#x} is not irreducible over GF(2)")
+        self.modulus = modulus
+        self.degree = modulus.bit_length() - 1
+        self.order = 1 << self.degree
+        if self.degree > 16:
+            raise FieldError("table-based GF2n supports degrees up to 16")
+        self._build_tables()
+
+    def _build_tables(self) -> None:
+        self.exp_table: List[int] = []
+        self.log_table: List[int] = [0] * self.order
+        generator = self._find_generator()
+        element = 1
+        for power in range(self.order - 1):
+            self.exp_table.append(element)
+            self.log_table[element] = power
+            element = polynomial_mod(
+                carryless_multiply(element, generator), self.modulus
+            )
+        self.generator = generator
+
+    def _find_generator(self) -> int:
+        group_order = self.order - 1
+        primes = _prime_factors(group_order)
+        for candidate in range(2, self.order):
+            if all(
+                self._power_no_table(candidate, group_order // p) != 1
+                for p in primes
+            ):
+                return candidate
+        raise FieldError("no multiplicative generator found")  # pragma: no cover
+
+    def _power_no_table(self, base: int, exponent: int) -> int:
+        result = 1
+        while exponent:
+            if exponent & 1:
+                result = polynomial_mod(
+                    carryless_multiply(result, base), self.modulus
+                )
+            base = polynomial_mod(carryless_multiply(base, base), self.modulus)
+            exponent >>= 1
+        return result
+
+    def _check(self, value: int) -> None:
+        if not 0 <= value < self.order:
+            raise FieldError(
+                f"element {value} out of range for GF(2^{self.degree})"
+            )
+
+    def add(self, a: int, b: int) -> int:
+        """Field addition (XOR)."""
+        self._check(a)
+        self._check(b)
+        return a ^ b
+
+    def multiply(self, a: int, b: int) -> int:
+        """Field multiplication via log/antilog tables."""
+        self._check(a)
+        self._check(b)
+        if a == 0 or b == 0:
+            return 0
+        log_sum = (self.log_table[a] + self.log_table[b]) % (self.order - 1)
+        return self.exp_table[log_sum]
+
+    def power(self, a: int, exponent: int) -> int:
+        """Raise ``a`` to an integer power (negative allowed for non-zero a)."""
+        self._check(a)
+        if a == 0:
+            if exponent < 0:
+                raise FieldError("zero has no negative powers")
+            return 0 if exponent else 1
+        log_a = self.log_table[a]
+        return self.exp_table[(log_a * exponent) % (self.order - 1)]
+
+    def inverse(self, a: int) -> int:
+        """Multiplicative inverse of a non-zero element."""
+        self._check(a)
+        if a == 0:
+            raise FieldError("zero has no multiplicative inverse")
+        return self.exp_table[(self.order - 1 - self.log_table[a]) % (self.order - 1)]
+
+    def inverse_or_zero(self, a: int) -> int:
+        """AES-style inverse: maps 0 to 0, otherwise the true inverse."""
+        return 0 if a == 0 else self.inverse(a)
+
+    def elements(self) -> range:
+        """Iterate over all field elements."""
+        return range(self.order)
+
+    def __repr__(self) -> str:
+        return f"GF2n(modulus={self.modulus:#x}, degree={self.degree})"
+
+
+@lru_cache(maxsize=None)
+def field(modulus: int) -> GF2n:
+    """Return a cached GF2n instance for the given modulus."""
+    return GF2n(modulus)

@@ -1,0 +1,262 @@
+"""Tower-field decomposition GF(((2^2)^2)^2) of the AES field.
+
+The masked S-box of De Meyer et al. performs a *local* (unmasked) GF(2^8)
+inversion on one multiplicative share, implemented in hardware as a
+logic-minimized combinational circuit (their reference [18], Boyar-Matthews-
+Peralta).  We derive an equivalent combinational inverter from the classical
+tower decomposition:
+
+* GF(2^2)   = GF(2)[W]  / (W^2 + W + 1)
+* GF(2^4)   = GF(2^2)[Z] / (Z^2 + Z + mu),   mu   = W
+* GF(2^8)_T = GF(2^4)[Y] / (Y^2 + Y + nu),   nu   found by search
+
+together with the GF(2)-linear isomorphism between the AES polynomial basis
+and the tower basis.  The substitution is documented in DESIGN.md: any
+correct combinational inverter yields the same probing-model behaviour for
+the *local* inversion because the inversion operates on a single share.
+
+Element encodings (all little-endian bit vectors):
+
+* GF(2^2): 2-bit integer ``b1*W + b0``.
+* GF(2^4): 4-bit integer ``(high << 2) | low`` with high/low in GF(2^2).
+* GF(2^8) tower: 8-bit integer ``(high << 4) | low`` with high/low in GF(2^4).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import FieldError
+from repro.gf.gf2 import gf2_matrix_inverse, gf2_matrix_vector
+from repro.gf.gf256 import GF256
+
+#: The constant mu of the GF(2^4) extension, an element of GF(2^2).
+MU = 0b10  # the element W
+
+GF4_MUL_TABLE = tuple(
+    tuple(
+        (
+            lambda a1, a0, b1, b0: (
+                ((a1 & b1) ^ (a1 & b0) ^ (a0 & b1)) << 1
+                | ((a0 & b0) ^ (a1 & b1))
+            )
+        )((a >> 1) & 1, a & 1, (b >> 1) & 1, b & 1)
+        for b in range(4)
+    )
+    for a in range(4)
+)
+
+
+def gf4_multiply(a: int, b: int) -> int:
+    """Multiply in GF(2^2)."""
+    return GF4_MUL_TABLE[a][b]
+
+
+def gf4_square(a: int) -> int:
+    """Square in GF(2^2); also the inverse for non-zero elements."""
+    a1 = (a >> 1) & 1
+    a0 = a & 1
+    return (a1 << 1) | (a0 ^ a1)
+
+
+def gf4_inverse(a: int) -> int:
+    """Inverse in GF(2^2) (0 maps to 0, matching the AES convention)."""
+    return gf4_square(a)
+
+
+def gf4_scale_mu(a: int) -> int:
+    """Multiply a GF(2^2) element by mu = W."""
+    a1 = (a >> 1) & 1
+    a0 = a & 1
+    return ((a1 ^ a0) << 1) | a1
+
+
+def gf16_multiply(a: int, b: int) -> int:
+    """Multiply in GF(2^4) represented over GF(2^2)."""
+    ah, al = (a >> 2) & 0b11, a & 0b11
+    bh, bl = (b >> 2) & 0b11, b & 0b11
+    hh = gf4_multiply(ah, bh)
+    ll = gf4_multiply(al, bl)
+    cross = gf4_multiply(ah ^ al, bh ^ bl)
+    high = cross ^ ll  # (ah*bl + al*bh + ah*bh) = cross ^ ll; plus hh from Z^2=Z+mu
+    low = ll ^ gf4_scale_mu(hh)
+    return (high << 2) | low
+
+
+def gf16_square(a: int) -> int:
+    """Square in GF(2^4)."""
+    return gf16_multiply(a, a)
+
+
+def gf16_scale(a: int, c: int) -> int:
+    """Multiply a GF(2^4) element by a constant."""
+    return gf16_multiply(a, c)
+
+
+def gf16_inverse(a: int) -> int:
+    """Inverse in GF(2^4) via the sub-field decomposition (0 maps to 0)."""
+    ah, al = (a >> 2) & 0b11, a & 0b11
+    # Delta = mu*ah^2 + ah*al + al^2 is the "norm" in GF(2^2).
+    delta = gf4_scale_mu(gf4_square(ah)) ^ gf4_multiply(ah, al) ^ gf4_square(al)
+    delta_inv = gf4_inverse(delta)
+    high = gf4_multiply(ah, delta_inv)
+    low = gf4_multiply(ah ^ al, delta_inv)
+    return (high << 2) | low
+
+
+def _find_nu() -> int:
+    """Find the smallest nu in GF(2^4) making Y^2 + Y + nu irreducible.
+
+    Y^2 + Y + nu is reducible over GF(2^4) iff nu is in the image of the
+    GF(2)-linear map z -> z^2 + z.
+    """
+    image = {gf16_square(z) ^ z for z in range(16)}
+    for nu in range(16):
+        if nu not in image:
+            return nu
+    raise FieldError("no irreducible quadratic extension found")  # pragma: no cover
+
+
+#: The constant nu of the GF(2^8) tower extension, an element of GF(2^4).
+NU = _find_nu()
+
+
+def tower_multiply(a: int, b: int) -> int:
+    """Multiply in the tower representation of GF(2^8)."""
+    ah, al = (a >> 4) & 0xF, a & 0xF
+    bh, bl = (b >> 4) & 0xF, b & 0xF
+    hh = gf16_multiply(ah, bh)
+    ll = gf16_multiply(al, bl)
+    cross = gf16_multiply(ah ^ al, bh ^ bl)
+    high = cross ^ ll
+    low = ll ^ gf16_scale(hh, NU)
+    return (high << 4) | low
+
+
+def tower_square(a: int) -> int:
+    """Square in the tower representation."""
+    return tower_multiply(a, a)
+
+
+def tower_inverse(a: int) -> int:
+    """Inverse in the tower representation (0 maps to 0).
+
+    This is the value-level model of the combinational inverter circuit:
+    ``theta = nu*ah^2 + ah*al + al^2`` followed by a GF(2^4) inversion and
+    two GF(2^4) multiplications.
+    """
+    ah, al = (a >> 4) & 0xF, a & 0xF
+    theta = gf16_scale(gf16_square(ah), NU) ^ gf16_multiply(ah, al) ^ gf16_square(al)
+    theta_inv = gf16_inverse(theta)
+    high = gf16_multiply(ah, theta_inv)
+    low = gf16_multiply(ah ^ al, theta_inv)
+    return (high << 4) | low
+
+
+def _tower_power(a: int, exponent: int) -> int:
+    result = 1
+    base = a
+    while exponent:
+        if exponent & 1:
+            result = tower_multiply(result, base)
+        base = tower_multiply(base, base)
+        exponent >>= 1
+    return result
+
+
+def _find_isomorphism() -> Tuple[Tuple[int, ...], Tuple[int, ...]]:
+    """Find GF(2)-linear maps between the AES basis and the tower basis.
+
+    The map is determined by the image ``t`` of the AES element ``x`` (0x02):
+    ``t`` must be a root of the AES polynomial x^8+x^4+x^3+x+1 evaluated with
+    tower arithmetic.  We take the smallest root, deterministically.
+
+    Returns ``(aes_to_tower, tower_to_aes)`` as row-integer matrices mapping
+    little-endian bit vectors.
+    """
+    for t in range(2, 256):
+        value = _tower_power(t, 8) ^ _tower_power(t, 4) ^ _tower_power(t, 3) ^ t ^ 1
+        if value == 0:
+            columns = [_tower_power(t, i) for i in range(8)]
+            # columns[i] is the image of basis vector x^i; build the matrix
+            # with rows as integers: row r bit c = bit r of columns[c].
+            rows = tuple(
+                sum(((columns[c] >> r) & 1) << c for c in range(8))
+                for r in range(8)
+            )
+            inverse = gf2_matrix_inverse(rows)
+            return rows, inverse
+    raise FieldError("AES polynomial has no root in the tower field")  # pragma: no cover
+
+
+_AES_TO_TOWER, _TOWER_TO_AES = _find_isomorphism()
+
+
+class TowerField:
+    """The tower representation of GF(2^8) and its AES-field isomorphism."""
+
+    #: Matrix mapping AES-basis bit vectors to tower-basis bit vectors.
+    aes_to_tower_matrix = _AES_TO_TOWER
+    #: Matrix mapping tower-basis bit vectors back to the AES basis.
+    tower_to_aes_matrix = _TOWER_TO_AES
+    mu = MU
+    nu = NU
+
+    @staticmethod
+    def to_tower(aes_value: int) -> int:
+        """Map an AES-field element into the tower basis."""
+        return gf2_matrix_vector(_AES_TO_TOWER, aes_value)
+
+    @staticmethod
+    def from_tower(tower_value: int) -> int:
+        """Map a tower-basis element back to the AES basis."""
+        return gf2_matrix_vector(_TOWER_TO_AES, tower_value)
+
+    @staticmethod
+    def multiply(a: int, b: int) -> int:
+        """Tower-basis multiplication."""
+        return tower_multiply(a, b)
+
+    @staticmethod
+    def inverse(a: int) -> int:
+        """Tower-basis inversion (0 maps to 0)."""
+        return tower_inverse(a)
+
+    @classmethod
+    def aes_inverse_via_tower(cls, aes_value: int) -> int:
+        """Compute the AES-field inverse by a round-trip through the tower.
+
+        Used as a cross-check that the isomorphism and the tower inversion
+        agree with the table-based :data:`repro.gf.gf256.GF256` field.
+        """
+        return cls.from_tower(tower_inverse(cls.to_tower(aes_value)))
+
+
+def verify_isomorphism() -> bool:
+    """Exhaustively check that the isomorphism is a field homomorphism."""
+    for a in range(256):
+        for b in (1, 2, 3, 0x53, 0xCA, 0xFF):
+            lhs = TowerField.to_tower(GF256.multiply(a, b))
+            rhs = tower_multiply(TowerField.to_tower(a), TowerField.to_tower(b))
+            if lhs != rhs:
+                return False
+    return True
+
+
+__all__ = [
+    "MU",
+    "NU",
+    "TowerField",
+    "gf4_multiply",
+    "gf4_square",
+    "gf4_inverse",
+    "gf4_scale_mu",
+    "gf16_multiply",
+    "gf16_square",
+    "gf16_scale",
+    "gf16_inverse",
+    "tower_multiply",
+    "tower_square",
+    "tower_inverse",
+    "verify_isomorphism",
+]

@@ -1,0 +1,42 @@
+"""PROLEAD-style leakage evaluation.
+
+Implements the evaluation methodology of the paper's Section III on our
+netlist IR:
+
+* :mod:`repro.leakage.dut` -- the design-under-test protocol (which inputs
+  are secret shares, fresh masks, or fresh mask bytes).
+* :mod:`repro.leakage.model` -- the probing models (glitch-extended,
+  glitch+transition-extended).
+* :mod:`repro.leakage.probes` -- probe extraction and deduplication.
+* :mod:`repro.leakage.traces` -- bitsliced fixed-vs-random trace generation.
+* :mod:`repro.leakage.gtest` -- contingency-table G-tests with rare-bin
+  pooling, reporting -log10(p) like PROLEAD.
+* :mod:`repro.leakage.evaluator` -- the Monte-Carlo evaluator.
+* :mod:`repro.leakage.exact` -- exact (SILVER-style) distribution analysis by
+  exhaustive randomness enumeration for small supports.
+"""
+
+from repro.leakage.dut import DesignUnderTest
+from repro.leakage.model import ProbingModel
+from repro.leakage.probes import ProbeClass, extract_probe_classes
+from repro.leakage.gtest import g_test
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.exact import ExactAnalyzer
+from repro.leakage.periodic import PeriodicLeakageEvaluator
+from repro.leakage.report import LeakageReport, ProbeResult
+from repro.leakage.sni import GadgetSpec, SniChecker
+
+__all__ = [
+    "DesignUnderTest",
+    "ProbingModel",
+    "ProbeClass",
+    "extract_probe_classes",
+    "g_test",
+    "LeakageEvaluator",
+    "PeriodicLeakageEvaluator",
+    "ExactAnalyzer",
+    "LeakageReport",
+    "ProbeResult",
+    "GadgetSpec",
+    "SniChecker",
+]

@@ -1,0 +1,90 @@
+"""The design-under-test protocol.
+
+A :class:`DesignUnderTest` bundles a netlist with the *meaning* of its
+primary inputs: which wires carry secret shares (re-shared with fresh
+randomness every cycle), which carry fresh mask bits, and which carry fresh
+mask bytes (uniform, or uniform non-zero as required by the multiplicative
+conversion's ``R`` in Section II-C).  The leakage engines drive the inputs
+according to this protocol, exactly like PROLEAD is configured with the
+roles of the netlist ports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.errors import SimulationError
+from repro.netlist.core import Netlist
+
+
+@dataclass
+class DesignUnderTest:
+    """A netlist plus its input protocol and pipeline latency."""
+
+    netlist: Netlist
+    #: share_buses[i] is the bus (LSB-first net list) of share i of the
+    #: secret; the XOR of all share buses equals the secret input.
+    share_buses: List[List[int]]
+    #: single-bit fresh-mask input nets (one fresh value per cycle).
+    mask_bits: List[int] = field(default_factory=list)
+    #: byte buses driven with uniform bytes each cycle (e.g. R').
+    uniform_byte_buses: List[List[int]] = field(default_factory=list)
+    #: byte buses driven with uniform *non-zero* bytes each cycle (e.g. R).
+    nonzero_byte_buses: List[List[int]] = field(default_factory=list)
+    #: pipeline latency in cycles from input to output.
+    latency: int = 0
+    #: output nets, LSB-first per share, for functional checks.
+    output_share_buses: List[List[int]] = field(default_factory=list)
+    #: free-form metadata (scheme name, interesting probe anchors...).
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        declared = set()
+        for bus in self.share_buses:
+            declared.update(bus)
+        declared.update(self.mask_bits)
+        for bus in self.uniform_byte_buses + self.nonzero_byte_buses:
+            declared.update(bus)
+        inputs = set(self.netlist.inputs)
+        missing = declared - inputs
+        if missing:
+            names = [self.netlist.net_name(n) for n in sorted(missing)][:5]
+            raise SimulationError(
+                f"DUT protocol references non-input nets: {names}"
+            )
+        undriven = inputs - declared
+        if undriven:
+            names = [self.netlist.net_name(n) for n in sorted(undriven)][:5]
+            raise SimulationError(
+                f"primary inputs without a protocol role: {names}"
+            )
+
+    @property
+    def n_shares(self) -> int:
+        """Number of Boolean shares of the secret."""
+        return len(self.share_buses)
+
+    @property
+    def secret_width(self) -> int:
+        """Bit width of the secret input."""
+        return len(self.share_buses[0])
+
+    @property
+    def n_fresh_mask_bits(self) -> int:
+        """Fresh single-bit randomness per cycle (the paper's headline cost)."""
+        return len(self.mask_bits)
+
+    def share_bit(self, share: int, bit: int) -> int:
+        """Net carrying bit ``bit`` of share ``share``."""
+        return self.share_buses[share][bit]
+
+    def describe(self) -> str:
+        """One-line summary used in reports."""
+        return (
+            f"{self.netlist.name}: {self.n_shares} shares x "
+            f"{self.secret_width} bits, {self.n_fresh_mask_bits} fresh mask "
+            f"bits/cycle, {len(self.uniform_byte_buses)} uniform + "
+            f"{len(self.nonzero_byte_buses)} non-zero mask bytes/cycle, "
+            f"latency {self.latency}"
+        )

@@ -1,0 +1,364 @@
+"""The Monte-Carlo fixed-vs-random leakage evaluator.
+
+This is the PROLEAD reproduction: it simulates the design under test with a
+fixed-secret group and a random-secret group, resolves every probe under the
+chosen extended probing model, and G-tests each probe class's observation
+histogram between the groups.  Second-order (bivariate) evaluation tests the
+*joint* observation of every pair of probe classes, as the paper does for
+the second-order Kronecker design.
+
+Sampling layout: lanes are independent traces; within a trace, observation
+*windows* spaced further apart than the pipeline depth contribute additional
+independent samples (inputs and randomness are i.i.d. per cycle, so the
+pipeline forgets everything between windows).
+
+Statistics: observations wider than ``hash_bits`` are bucketed through a
+fixed mixing hash before testing.  A full contingency table over a very wide
+observation is hopelessly sparse at practical sample sizes, which makes the
+chi-square approximation of the G-test anti-conservative (our fixed-vs-fixed
+null experiments show -log10(p) in the tens); bucketing bounds the table at
+``2^hash_bits`` cells while preserving any distribution difference with
+overwhelming probability.  The default of 10 bits keeps expected cell counts
+comfortably large at the sample sizes used throughout (the G-test's null
+behaviour degrades measurably once expected counts drop toward ~10).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.leakage.dut import DesignUnderTest
+from repro.leakage.gtest import DEFAULT_THRESHOLD, g_test
+from repro.leakage.model import ProbingModel
+from repro.leakage.probes import ProbeClass, extract_probe_classes
+from repro.leakage.report import LeakageReport, ProbeResult
+from repro.leakage.traces import StimulusGenerator
+from repro.netlist.simulate import BitslicedSimulator, Trace, unpack_lanes
+
+
+def _mix_hash(keys: np.ndarray) -> np.ndarray:
+    """SplitMix64-style bit mixer used for observation bucketing."""
+    keys = keys.copy()
+    keys ^= keys >> np.uint64(30)
+    keys *= np.uint64(0xBF58476D1CE4E5B9)
+    keys ^= keys >> np.uint64(27)
+    keys *= np.uint64(0x94D049BB133111EB)
+    keys ^= keys >> np.uint64(31)
+    return keys
+
+
+class LeakageEvaluator:
+    """Fixed-vs-random evaluation of a design under a probing model."""
+
+    def __init__(
+        self,
+        dut: DesignUnderTest,
+        model: ProbingModel = ProbingModel.GLITCH,
+        seed: int = 0,
+        max_support_bits: int = 24,
+        hash_bits: int = 10,
+        observation: str = "tuple",
+    ):
+        if observation not in ("tuple", "hamming"):
+            raise SimulationError(
+                "observation must be 'tuple' or 'hamming'"
+            )
+        self.dut = dut
+        self.model = model
+        self.seed = seed
+        self.max_support_bits = max_support_bits
+        self.hash_bits = hash_bits
+        # "hamming" observes only the Hamming weight of the extended probe
+        # (PROLEAD's compact power-model mode): a weaker adversary, useful
+        # to gauge how visible a leak is to plain HW power models.
+        self.observation = observation
+        self.probe_classes, self.skipped_classes = extract_probe_classes(
+            dut.netlist, model, max_support_bits=max_support_bits
+        )
+
+    # ------------------------------------------------------------ scheduling
+
+    def _schedule(
+        self, n_windows: int, margin: int = 0
+    ) -> Tuple[List[int], int]:
+        """Observation cycles and total cycle count."""
+        # Warm-up covers the pipeline fill plus derived-mask register chains
+        # (and any backward probe offset); windows are spaced by more than
+        # the pipeline depth so their observations are independent.
+        warmup = self.dut.latency + 4 + margin
+        stride = self.dut.latency + 4 + margin
+        eval_cycles = [warmup + w * stride for w in range(n_windows)]
+        n_cycles = eval_cycles[-1] + 1
+        return eval_cycles, n_cycles
+
+    def _record_cycles(self, eval_cycles: Iterable[int]) -> set:
+        needed = set()
+        for t in eval_cycles:
+            for back in self.model.cycles_back:
+                needed.add(t - back)
+        return needed
+
+    # ------------------------------------------------------------- execution
+
+    def _run_traces(
+        self, fixed_secret: int, n_lanes: int, n_windows: int
+    ) -> Tuple[Trace, Trace, List[int]]:
+        """Simulate the fixed and random groups; returns both traces."""
+        eval_cycles, n_cycles = self._schedule(n_windows)
+        record_cycles = self._record_cycles(eval_cycles)
+        generator = StimulusGenerator(self.dut, (n_lanes + 63) // 64)
+        seeds = np.random.SeedSequence(self.seed).spawn(2)
+        rng_fixed = np.random.default_rng(seeds[0])
+        rng_random = np.random.default_rng(seeds[1])
+
+        trace_fixed = BitslicedSimulator(self.dut.netlist, n_lanes).run(
+            generator.fixed(fixed_secret, rng_fixed),
+            n_cycles,
+            record_cycles=record_cycles,
+        )
+        trace_random = BitslicedSimulator(self.dut.netlist, n_lanes).run(
+            generator.random(rng_random),
+            n_cycles,
+            record_cycles=record_cycles,
+        )
+        return trace_fixed, trace_random, eval_cycles
+
+    def _raw_keys(
+        self,
+        trace: Trace,
+        probe_class: ProbeClass,
+        eval_cycles: List[int],
+    ) -> np.ndarray:
+        """Integer-encode the probe observation per lane per window."""
+        n_lanes = trace.n_lanes
+        hamming = self.observation == "hamming"
+        keys_per_window = []
+        for t in eval_cycles:
+            key = np.zeros(n_lanes, dtype=np.uint64)
+            position = 0
+            for back in probe_class.cycles_back:
+                cycle = t - back
+                for net in probe_class.support:
+                    bits = unpack_lanes(trace.words(cycle, net), n_lanes)
+                    if hamming:
+                        key += bits
+                    else:
+                        key |= bits.astype(np.uint64) << np.uint64(position)
+                        position += 1
+            keys_per_window.append(key)
+        return np.concatenate(keys_per_window)
+
+    def _bucket(self, keys: np.ndarray, observation_bits: int) -> np.ndarray:
+        if self.observation == "hamming":
+            return keys  # at most observation_bits + 1 categories
+        if observation_bits > self.hash_bits:
+            return _mix_hash(keys) >> np.uint64(64 - self.hash_bits)
+        return keys
+
+    # ----------------------------------------------------------- first order
+
+    def evaluate(
+        self,
+        fixed_secret: int = 0,
+        n_simulations: int = 100_000,
+        n_windows: int = 1,
+        threshold: float = DEFAULT_THRESHOLD,
+        probe_classes: Optional[List[ProbeClass]] = None,
+    ) -> LeakageReport:
+        """Run the first-order fixed-vs-random test and return a report.
+
+        ``n_simulations`` is the per-group sample count; it is split into
+        ``n_windows`` observation windows over ``n_simulations / n_windows``
+        lanes.
+        """
+        if n_windows < 1:
+            raise SimulationError("n_windows must be at least 1")
+        n_lanes = max(1, n_simulations // n_windows)
+        trace_fixed, trace_random, eval_cycles = self._run_traces(
+            fixed_secret, n_lanes, n_windows
+        )
+
+        classes = probe_classes if probe_classes is not None else self.probe_classes
+        netlist = self.dut.netlist
+        report = self._new_report(fixed_secret, n_lanes * n_windows, threshold)
+        for probe_class in classes:
+            keys_fixed = self._bucket(
+                self._raw_keys(trace_fixed, probe_class, eval_cycles),
+                probe_class.observation_bits,
+            )
+            keys_random = self._bucket(
+                self._raw_keys(trace_random, probe_class, eval_cycles),
+                probe_class.observation_bits,
+            )
+            outcome = g_test(keys_fixed, keys_random)
+            report.results.append(
+                ProbeResult(
+                    probe_names=probe_class.member_names(netlist),
+                    support_names=tuple(probe_class.support_names(netlist)),
+                    n_samples=outcome.n_fixed + outcome.n_random,
+                    g_statistic=outcome.g_statistic,
+                    dof=outcome.dof,
+                    mlog10p=outcome.mlog10p,
+                    leaking=outcome.is_leaking(threshold),
+                )
+            )
+        return report
+
+    # ---------------------------------------------------------- second order
+
+    def evaluate_pairs(
+        self,
+        fixed_secret: int = 0,
+        n_simulations: int = 100_000,
+        n_windows: int = 1,
+        threshold: float = DEFAULT_THRESHOLD,
+        max_pairs: Optional[int] = None,
+        pair_seed: int = 1,
+        pair_offsets: Sequence[int] = (0,),
+    ) -> LeakageReport:
+        """Second-order (bivariate) evaluation over pairs of probe classes.
+
+        Tests the joint observation of every unordered pair of probe classes
+        (optionally a deterministic random subset of ``max_pairs``), which is
+        how PROLEAD's multivariate mode detects second-order leakage in the
+        3-share Kronecker design.  ``pair_offsets`` places the second probe
+        of a pair those many cycles *earlier* than the first, covering
+        multivariate leakage across clock cycles (offset 0 is the univariate
+        same-cycle case).
+        """
+        if n_windows < 1:
+            raise SimulationError("n_windows must be at least 1")
+        offsets = sorted(set(pair_offsets))
+        if offsets and min(offsets) < 0:
+            raise SimulationError("pair offsets must be non-negative")
+        n_lanes = max(1, n_simulations // n_windows)
+        eval_cycles, n_cycles = self._schedule(
+            n_windows, margin=max(offsets, default=0)
+        )
+        record_cycles = set()
+        for delta in offsets:
+            record_cycles |= self._record_cycles(
+                [t - delta for t in eval_cycles]
+            )
+        record_cycles |= self._record_cycles(eval_cycles)
+        generator = StimulusGenerator(self.dut, (n_lanes + 63) // 64)
+        seeds = np.random.SeedSequence(self.seed).spawn(2)
+        trace_fixed = BitslicedSimulator(self.dut.netlist, n_lanes).run(
+            generator.fixed(fixed_secret, np.random.default_rng(seeds[0])),
+            n_cycles,
+            record_cycles=record_cycles,
+        )
+        trace_random = BitslicedSimulator(self.dut.netlist, n_lanes).run(
+            generator.random(np.random.default_rng(seeds[1])),
+            n_cycles,
+            record_cycles=record_cycles,
+        )
+
+        classes = self.probe_classes
+        pairs = list(itertools.combinations(range(len(classes)), 2))
+        if max_pairs is not None and len(pairs) > max_pairs:
+            rng = np.random.default_rng(pair_seed)
+            chosen = rng.choice(len(pairs), size=max_pairs, replace=False)
+            pairs = [pairs[i] for i in sorted(chosen)]
+
+        raw_fixed: Dict[Tuple[int, int], np.ndarray] = {}
+        raw_random: Dict[Tuple[int, int], np.ndarray] = {}
+
+        def raw(group_cache, trace, index, delta):
+            key = (index, delta)
+            if key not in group_cache:
+                cycles = [t - delta for t in eval_cycles]
+                group_cache[key] = self._raw_keys(
+                    trace, classes[index], cycles
+                )
+            return group_cache[key]
+
+        netlist = self.dut.netlist
+        report = self._new_report(fixed_secret, n_lanes * n_windows, threshold)
+        for i, j in pairs:
+            bits_i = classes[i].observation_bits
+            bits_j = classes[j].observation_bits
+            for delta in offsets:
+                keys_fixed = self._combine(
+                    raw(raw_fixed, trace_fixed, i, 0),
+                    raw(raw_fixed, trace_fixed, j, delta),
+                    bits_i,
+                    bits_j,
+                )
+                keys_random = self._combine(
+                    raw(raw_random, trace_random, i, 0),
+                    raw(raw_random, trace_random, j, delta),
+                    bits_i,
+                    bits_j,
+                )
+                outcome = g_test(keys_fixed, keys_random)
+                suffix = f" @-{delta}" if delta else ""
+                report.results.append(
+                    ProbeResult(
+                        probe_names=(
+                            classes[i].member_names(netlist, limit=1)
+                            + " x "
+                            + classes[j].member_names(netlist, limit=1)
+                            + suffix
+                        ),
+                        support_names=(),
+                        n_samples=outcome.n_fixed + outcome.n_random,
+                        g_statistic=outcome.g_statistic,
+                        dof=outcome.dof,
+                        mlog10p=outcome.mlog10p,
+                        leaking=outcome.is_leaking(threshold),
+                    )
+                )
+        return report
+
+    def _combine(
+        self,
+        keys_a: np.ndarray,
+        keys_b: np.ndarray,
+        bits_a: int,
+        bits_b: int,
+    ) -> np.ndarray:
+        """Joint observation key of two probes, bucketed as needed."""
+        total_bits = bits_a + bits_b
+        if total_bits <= 63:
+            joint = keys_a | (keys_b << np.uint64(bits_a))
+        else:
+            # Injective packing impossible; mix both into one word.  Hash
+            # collisions only ever merge table cells (conservative).
+            joint = _mix_hash(keys_a) ^ (
+                _mix_hash(keys_b ^ np.uint64(0xA5A5A5A5A5A5A5A5))
+            )
+        return self._bucket(joint, total_bits)
+
+    # -------------------------------------------------------------- helpers
+
+    def _new_report(
+        self, fixed_secret: int, n_samples: int, threshold: float
+    ) -> LeakageReport:
+        netlist = self.dut.netlist
+        return LeakageReport(
+            design=self.dut.describe(),
+            model=self.model.description,
+            fixed_secret=fixed_secret,
+            n_simulations=n_samples,
+            threshold=threshold,
+            skipped_probes=[
+                pc.member_names(netlist) for pc in self.skipped_classes
+            ],
+        )
+
+    def probe_class_for_net(self, net: int) -> ProbeClass:
+        """Find the probe class containing a given net."""
+        for probe_class in self.probe_classes:
+            if net in probe_class.members:
+                return probe_class
+        for probe_class in self.skipped_classes:
+            if net in probe_class.members:
+                raise SimulationError(
+                    "probe class for net was skipped (support too wide)"
+                )
+        raise SimulationError(f"no probe class contains net {net}")

@@ -1,0 +1,399 @@
+"""Exact probe-distribution analysis by exhaustive randomness enumeration.
+
+For a probe class whose observation depends on few enough random bits, the
+joint distribution of the observation can be computed *exactly*, per secret
+value, by enumerating every assignment of the contributing randomness
+(sharing randomness, fresh mask bits, mask bytes) on simulator lanes.  A
+probe is first-order secure iff that distribution is identical for every
+secret -- the statement SILVER-style tools verify, stronger than any
+sampled fixed-vs-random test and free of Monte-Carlo noise.
+
+The engine:
+
+1. computes the probe's stable support (per the probing model),
+2. traces the support back through registers to ``(primary input, age)``
+   variables (:func:`repro.netlist.topo.transitive_input_support`),
+3. allocates enumeration bits for the free randomness and the *used* secret
+   bits, mapping derived share inputs to ``other shares xor secret``,
+4. simulates all ``2^k`` assignments at once (bitsliced lanes), and
+5. compares the per-secret observation histograms for exact equality.
+
+Designs whose probes exceed the enumeration budget raise
+:class:`repro.errors.ExactAnalysisInfeasible` per probe and are reported as
+skipped; the Monte-Carlo evaluator covers them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ExactAnalysisInfeasible
+from repro.leakage.dut import DesignUnderTest
+from repro.leakage.model import ProbingModel
+from repro.leakage.probes import ProbeClass, extract_probe_classes
+from repro.netlist.simulate import BitslicedSimulator, unpack_lanes
+from repro.netlist.topo import transitive_input_support
+
+Var = Tuple[object, int]  # (role key, age)
+
+
+def _enum_pattern(index: int, n_words: int) -> np.ndarray:
+    """Word array where lane L carries bit ``(L >> index) & 1``."""
+    if index < 6:
+        span = 1 << index
+        base = np.uint64(0)
+        lane_bits = np.arange(64, dtype=np.uint64)
+        mask_bits = ((lane_bits >> np.uint64(index)) & np.uint64(1)).astype(
+            np.uint64
+        )
+        for position in range(64):
+            base |= mask_bits[position] << np.uint64(position)
+        return np.full(n_words, base, dtype=np.uint64)
+    word_index = np.arange(n_words, dtype=np.uint64)
+    selected = (word_index >> np.uint64(index - 6)) & np.uint64(1)
+    full = np.uint64(0xFFFFFFFFFFFFFFFF)
+    return np.where(selected.astype(bool), full, np.uint64(0))
+
+
+@dataclass(frozen=True)
+class ExactProbeResult:
+    """Exact verdict for one probe class."""
+
+    probe_names: str
+    support_names: Tuple[str, ...]
+    n_random_bits: int
+    n_secret_bits: int
+    leaking: bool
+    #: total-variation distance between the fixed-secret distribution and
+    #: the uniform-secret mixture (the PROLEAD fixed-vs-random contrast).
+    tv_fixed_vs_random: float
+    #: number of distinct per-secret distributions (1 == secure).
+    n_distinct_distributions: int
+
+    def format_row(self) -> str:
+        """One summary line for this probe."""
+        flag = "LEAK" if self.leaking else "ok"
+        return (
+            f"{flag:<5} rand_bits={self.n_random_bits:<3} "
+            f"distinct={self.n_distinct_distributions:<4} "
+            f"tv(fixed,rand)={self.tv_fixed_vs_random:.4f}  "
+            f"probe={self.probe_names}"
+        )
+
+
+@dataclass
+class ExactReport:
+    """Outcome of an exact analysis sweep."""
+
+    design: str
+    model: str
+    fixed_secret: int
+    results: List[ExactProbeResult] = field(default_factory=list)
+    infeasible: List[str] = field(default_factory=list)
+
+    @property
+    def leaking_results(self) -> List[ExactProbeResult]:
+        """Probe results with secret-dependent distributions."""
+        return [r for r in self.results if r.leaking]
+
+    @property
+    def passed(self) -> bool:
+        """True when every analyzed probe is secret-independent."""
+        return not self.leaking_results
+
+    def format_summary(self, top: int = 10) -> str:
+        """Human-readable report, leaking probes first."""
+        verdict = "SECURE (exact)" if self.passed else "INSECURE (exact)"
+        lines = [
+            f"=== Exact analysis: {self.design} ===",
+            f"  model:   {self.model}",
+            f"  probes:  {len(self.results)} analyzed, "
+            f"{len(self.infeasible)} beyond enumeration budget",
+            f"  verdict: {verdict}",
+        ]
+        ranked = sorted(
+            self.results, key=lambda r: (-r.leaking, -r.tv_fixed_vs_random)
+        )
+        for result in ranked[:top]:
+            lines.append("  " + result.format_row())
+        return "\n".join(lines)
+
+
+class ExactAnalyzer:
+    """Exhaustive per-secret distribution analysis of probe classes."""
+
+    def __init__(
+        self,
+        dut: DesignUnderTest,
+        model: ProbingModel = ProbingModel.GLITCH,
+        max_enum_bits: int = 24,
+        max_window: int = 12,
+    ):
+        self.dut = dut
+        self.model = model
+        self.max_enum_bits = max_enum_bits
+        self.max_window = max_window
+        self.probe_classes, self.wide_classes = extract_probe_classes(
+            dut.netlist, model, max_support_bits=40
+        )
+        self._roles = self._build_role_map()
+
+    # ------------------------------------------------------------- role map
+
+    def _build_role_map(self) -> Dict[int, Tuple[str, object]]:
+        """Map every primary input net to its protocol role."""
+        roles: Dict[int, Tuple[str, object]] = {}
+        dut = self.dut
+        for share, bus in enumerate(dut.share_buses):
+            for bit, net in enumerate(bus):
+                roles[net] = ("share", (share, bit))
+        for net in dut.mask_bits:
+            roles[net] = ("mask", net)
+        for bus_index, bus in enumerate(dut.uniform_byte_buses):
+            for bit, net in enumerate(bus):
+                roles[net] = ("uniform", (bus_index, bit))
+        for bus_index, bus in enumerate(dut.nonzero_byte_buses):
+            for bit, net in enumerate(bus):
+                roles[net] = ("nonzero", (bus_index, bit))
+        return roles
+
+    # -------------------------------------------------------- var collection
+
+    def _collect_variables(self, probe_class: ProbeClass):
+        """Free enumeration variables and used secret bits for a probe."""
+        dut = self.dut
+        raw_vars: Set[Tuple[int, int]] = set()
+        for net in probe_class.support:
+            base = transitive_input_support(
+                dut.netlist, net, self.max_window
+            )
+            for back in probe_class.cycles_back:
+                raw_vars.update((pi, age + back) for pi, age in base)
+
+        share_groups: Set[Tuple[int, int]] = set()  # (bit, age)
+        mask_vars: Set[Tuple[int, int]] = set()  # (net, age)
+        uniform_vars: Set[Tuple[Tuple[int, int], int]] = set()
+        nonzero_groups: Set[Tuple[int, int]] = set()  # (bus, age)
+        for pi, age in raw_vars:
+            kind, detail = self._roles[pi]
+            if kind == "share":
+                _, bit = detail
+                share_groups.add((bit, age))
+            elif kind == "mask":
+                mask_vars.add((pi, age))
+            elif kind == "uniform":
+                uniform_vars.add((detail, age))
+            else:  # nonzero
+                bus_index, _ = detail
+                nonzero_groups.add((bus_index, age))
+
+        n_free_shares = dut.n_shares - 1
+        free_vars: List[Var] = []
+        for bit, age in sorted(share_groups):
+            for share in range(n_free_shares):
+                free_vars.append((("share", share, bit), age))
+        for net, age in sorted(mask_vars):
+            free_vars.append((("mask", net), age))
+        for detail, age in sorted(uniform_vars):
+            free_vars.append((("uniform", detail), age))
+        for bus_index, age in sorted(nonzero_groups):
+            for bit in range(8):
+                free_vars.append((("nonzero", bus_index, bit), age))
+
+        used_secret_bits = sorted({bit for bit, _ in share_groups})
+        max_age = max((age for _, age in raw_vars), default=0)
+        max_age = max(max_age, max(probe_class.cycles_back))
+        return free_vars, used_secret_bits, sorted(share_groups), sorted(
+            nonzero_groups
+        ), max_age
+
+    # ------------------------------------------------------------- analysis
+
+    def analyze_probe_class(
+        self, probe_class: ProbeClass, fixed_secret: int = 0
+    ) -> ExactProbeResult:
+        """Exactly analyze one probe class; raises if infeasible."""
+        (
+            free_vars,
+            used_secret_bits,
+            share_groups,
+            nonzero_groups,
+            max_age,
+        ) = self._collect_variables(probe_class)
+
+        k = len(free_vars)
+        u = len(used_secret_bits)
+        total_bits = k + u
+        netlist = self.dut.netlist
+        if total_bits > self.max_enum_bits:
+            raise ExactAnalysisInfeasible(
+                f"probe {probe_class.member_names(netlist)} needs "
+                f"{total_bits} enumeration bits (> {self.max_enum_bits})"
+            )
+
+        n_lanes = 1 << total_bits
+        n_words = (n_lanes + 63) // 64
+        var_index = {var: i for i, var in enumerate(free_vars)}
+        secret_index = {bit: k + i for i, bit in enumerate(used_secret_bits)}
+
+        patterns = {
+            i: _enum_pattern(i, n_words) for i in range(total_bits)
+        }
+        zeros = np.zeros(n_words, dtype=np.uint64)
+
+        def secret_pattern(bit: int) -> np.ndarray:
+            if bit in secret_index:
+                return patterns[secret_index[bit]]
+            return zeros
+
+        share_group_set = set(share_groups)
+        n_shares = self.dut.n_shares
+        observe_cycle = max_age  # observation at the last simulated cycle
+        n_cycles = max_age + 1
+
+        def stimulus(cycle: int) -> Dict[int, np.ndarray]:
+            age = observe_cycle - cycle
+            values: Dict[int, np.ndarray] = {}
+            for share, bus in enumerate(self.dut.share_buses):
+                for bit, net in enumerate(bus):
+                    if (bit, age) in share_group_set:
+                        if share < n_shares - 1:
+                            values[net] = patterns[
+                                var_index[(("share", share, bit), age)]
+                            ]
+                        else:
+                            acc = secret_pattern(bit).copy()
+                            for other in range(n_shares - 1):
+                                acc = acc ^ patterns[
+                                    var_index[(("share", other, bit), age)]
+                                ]
+                            values[net] = acc
+                    else:
+                        # Consistent sharing of the same secret: shares
+                        # 0..d-1 are zero, the last carries the secret bit.
+                        if share < n_shares - 1:
+                            values[net] = zeros
+                        else:
+                            values[net] = secret_pattern(bit)
+            for net in self.dut.mask_bits:
+                var = (("mask", net), age)
+                values[net] = patterns[var_index[var]] if var in var_index else zeros
+            for bus_index, bus in enumerate(self.dut.uniform_byte_buses):
+                for bit, net in enumerate(bus):
+                    var = (("uniform", (bus_index, bit)), age)
+                    values[net] = (
+                        patterns[var_index[var]] if var in var_index else zeros
+                    )
+            for bus_index, bus in enumerate(self.dut.nonzero_byte_buses):
+                enumerated = (bus_index, age) in nonzero_groups
+                for bit, net in enumerate(bus):
+                    if enumerated:
+                        var = (("nonzero", bus_index, bit), age)
+                        values[net] = patterns[var_index[var]]
+                    else:
+                        # Unobserved non-zero byte: any valid constant works.
+                        values[net] = (
+                            ~zeros if bit == 0 else zeros
+                        )
+            return values
+
+        simulator = BitslicedSimulator(netlist, n_lanes)
+        record_cycles = {
+            observe_cycle - back for back in probe_class.cycles_back
+        }
+        trace = simulator.run(
+            stimulus,
+            n_cycles,
+            record_nets=probe_class.support,
+            record_cycles=record_cycles,
+        )
+
+        # Validity: enumerated non-zero bytes must not be zero.
+        valid = np.ones(n_lanes, dtype=bool)
+        for bus_index, age in nonzero_groups:
+            any_bit = zeros.copy()
+            for bit in range(8):
+                any_bit = any_bit | patterns[
+                    var_index[(("nonzero", bus_index, bit), age)]
+                ]
+            valid &= unpack_lanes(any_bit, n_lanes).astype(bool)
+
+        keys = np.zeros(n_lanes, dtype=np.uint64)
+        position = 0
+        for back in probe_class.cycles_back:
+            cycle = observe_cycle - back
+            for net in probe_class.support:
+                bits = unpack_lanes(trace.words(cycle, net), n_lanes)
+                keys |= bits.astype(np.uint64) << np.uint64(position)
+                position += 1
+
+        _, inverse = np.unique(keys, return_inverse=True)
+        n_categories = int(inverse.max()) + 1
+        lanes_per_secret = 1 << k
+        n_secrets = 1 << u
+        histogram = np.zeros((n_secrets, n_categories), dtype=np.int64)
+        inverse = inverse.reshape(n_secrets, lanes_per_secret)
+        valid = valid.reshape(n_secrets, lanes_per_secret)
+        for s in range(n_secrets):
+            histogram[s] = np.bincount(
+                inverse[s][valid[s]], minlength=n_categories
+            )
+
+        distinct = np.unique(histogram, axis=0).shape[0]
+        leaking = distinct > 1
+
+        fixed_row = 0
+        for i, bit in enumerate(used_secret_bits):
+            fixed_row |= ((fixed_secret >> bit) & 1) << i
+        totals = histogram.sum(axis=1)
+        fixed_dist = histogram[fixed_row] / max(int(totals[fixed_row]), 1)
+        mixture = histogram.sum(axis=0) / max(int(totals.sum()), 1)
+        tv = 0.5 * float(np.abs(fixed_dist - mixture).sum())
+
+        return ExactProbeResult(
+            probe_names=probe_class.member_names(netlist),
+            support_names=tuple(probe_class.support_names(netlist)),
+            n_random_bits=k,
+            n_secret_bits=u,
+            leaking=leaking,
+            tv_fixed_vs_random=tv,
+            n_distinct_distributions=distinct,
+        )
+
+    def analyze(
+        self,
+        probe_classes: Optional[Sequence[ProbeClass]] = None,
+        fixed_secret: int = 0,
+    ) -> ExactReport:
+        """Analyze all (or the given) probe classes."""
+        classes = (
+            list(probe_classes)
+            if probe_classes is not None
+            else self.probe_classes
+        )
+        netlist = self.dut.netlist
+        report = ExactReport(
+            design=self.dut.describe(),
+            model=self.model.description,
+            fixed_secret=fixed_secret,
+        )
+        for probe_class in classes:
+            try:
+                report.results.append(
+                    self.analyze_probe_class(probe_class, fixed_secret)
+                )
+            except ExactAnalysisInfeasible:
+                report.infeasible.append(probe_class.member_names(netlist))
+        for probe_class in self.wide_classes:
+            report.infeasible.append(probe_class.member_names(netlist))
+        return report
+
+    def probe_class_for_net(self, net: int) -> ProbeClass:
+        """Find the probe class containing a given net."""
+        for probe_class in self.probe_classes + self.wide_classes:
+            if net in probe_class.members:
+                return probe_class
+        raise ExactAnalysisInfeasible(f"no probe class contains net {net}")

@@ -1,0 +1,36 @@
+"""Probing models (Section II-D / Section IV of the paper).
+
+* ``GLITCH``: a probe on a net observes every stable signal (primary input
+  or register output) in the net's combinational fan-in cone, at the probed
+  cycle.  This is the glitch-extended (robust) probing model PROLEAD uses by
+  default and the adversarial model of De Meyer et al.
+* ``GLITCH_TRANSITION``: additionally observes the same stable signals one
+  cycle earlier -- "a probe ... propagates ... to two consecutive inputs of
+  such a combinational circuit" (Section IV).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class ProbingModel(enum.Enum):
+    """The two extended probing models evaluated in the paper."""
+
+    GLITCH = "glitch"
+    GLITCH_TRANSITION = "glitch_transition"
+
+    @property
+    def cycles_back(self) -> Tuple[int, ...]:
+        """Relative cycles a probe observes: 0 = probed cycle, 1 = previous."""
+        if self is ProbingModel.GLITCH:
+            return (0,)
+        return (0, 1)
+
+    @property
+    def description(self) -> str:
+        """Human-readable model name."""
+        if self is ProbingModel.GLITCH:
+            return "glitch-extended probing model"
+        return "glitch- and transition-extended probing model"

@@ -1,0 +1,106 @@
+"""Probe extraction and deduplication.
+
+A probe is placed on a net; under an extended probing model it resolves to
+an *observation*: a tuple of stable signals at one or two cycles.  Many nets
+resolve to the same observation (every net inside the same register-bounded
+cone, for instance), so probes are grouped into :class:`ProbeClass` objects
+evaluated once -- the same reduction PROLEAD performs on "equivalent probes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+
+from repro.leakage.model import ProbingModel
+from repro.netlist.core import Netlist
+from repro.netlist.topo import all_stable_supports
+
+
+@dataclass(frozen=True)
+class ProbeClass:
+    """A set of probes with identical extended observations."""
+
+    #: stable nets observed, sorted ascending.
+    support: Tuple[int, ...]
+    #: relative cycles observed (from :class:`ProbingModel`).
+    cycles_back: Tuple[int, ...]
+    #: the probed nets belonging to this class.
+    members: Tuple[int, ...]
+
+    @property
+    def observation_bits(self) -> int:
+        """Total bits one observation of this class contains."""
+        return len(self.support) * len(self.cycles_back)
+
+    def member_names(self, netlist: Netlist, limit: int = 4) -> str:
+        """Comma-separated member net names, truncated at ``limit``."""
+        names = [netlist.net_name(n) for n in self.members[:limit]]
+        extra = len(self.members) - len(names)
+        suffix = f" (+{extra} more)" if extra > 0 else ""
+        return ", ".join(names) + suffix
+
+    def support_names(self, netlist: Netlist) -> List[str]:
+        """Names of the observed stable nets."""
+        return [netlist.net_name(n) for n in self.support]
+
+
+def default_probe_nets(netlist: Netlist) -> List[int]:
+    """Nets a PROLEAD-style evaluation probes: every cell output.
+
+    Constant drivers are excluded (their observation is empty); primary
+    inputs are excluded because probing a single fresh share or mask wire is
+    trivially independent of the secret -- every non-trivial observation is
+    the output of some gate or register, all of which are included.
+    """
+    probes = []
+    for cell in netlist.cells:
+        if cell.cell_type.is_constant:
+            continue
+        probes.append(cell.output)
+    return probes
+
+
+def extract_probe_classes(
+    netlist: Netlist,
+    model: ProbingModel,
+    probe_nets: Optional[Iterable[int]] = None,
+    max_support_bits: Optional[int] = None,
+) -> Tuple[List[ProbeClass], List[ProbeClass]]:
+    """Group probes into observation classes.
+
+    Returns ``(classes, skipped)`` where ``skipped`` contains classes whose
+    observation exceeds ``max_support_bits`` stable signals (evaluating the
+    full contingency table of such wide observations is statistically
+    meaningless at practical sample sizes; PROLEAD exposes similar complexity
+    controls).  Observations wider than 63 total bits are always skipped
+    (key-packing limit).
+    """
+    if probe_nets is None:
+        probe_nets = default_probe_nets(netlist)
+    supports = all_stable_supports(netlist)
+    cycles = model.cycles_back
+
+    grouped: Dict[FrozenSet[int], List[int]] = {}
+    for net in probe_nets:
+        support = supports[net]
+        if not support:
+            continue
+        grouped.setdefault(support, []).append(net)
+
+    classes: List[ProbeClass] = []
+    skipped: List[ProbeClass] = []
+    for support, members in grouped.items():
+        pc = ProbeClass(
+            support=tuple(sorted(support)),
+            cycles_back=cycles,
+            members=tuple(sorted(members)),
+        )
+        too_wide = max_support_bits is not None and len(support) > max_support_bits
+        if too_wide or pc.observation_bits > 63:
+            skipped.append(pc)
+        else:
+            classes.append(pc)
+    classes.sort(key=lambda pc: pc.members[0])
+    skipped.sort(key=lambda pc: pc.members[0])
+    return classes, skipped

@@ -1,0 +1,103 @@
+"""Leakage report structures and formatting (PROLEAD-style output)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """Result for one probe class."""
+
+    probe_names: str
+    support_names: Tuple[str, ...]
+    n_samples: int
+    g_statistic: float
+    dof: int
+    mlog10p: float
+    leaking: bool
+
+    def format_row(self) -> str:
+        """One summary line for this probe."""
+        flag = "LEAK" if self.leaking else "ok"
+        return (
+            f"{flag:<5} -log10(p)={self.mlog10p:9.2f}  dof={self.dof:<5} "
+            f"probe={self.probe_names}"
+        )
+
+
+@dataclass
+class LeakageReport:
+    """Full outcome of a fixed-vs-random evaluation."""
+
+    design: str
+    model: str
+    fixed_secret: int
+    n_simulations: int
+    threshold: float
+    results: List[ProbeResult] = field(default_factory=list)
+    skipped_probes: List[str] = field(default_factory=list)
+
+    @property
+    def leaking_results(self) -> List[ProbeResult]:
+        """Probe results flagged as leaking."""
+        return [r for r in self.results if r.leaking]
+
+    @property
+    def passed(self) -> bool:
+        """True when no evaluated probe exceeded the threshold."""
+        return not self.leaking_results
+
+    @property
+    def max_mlog10p(self) -> float:
+        """Worst (largest) -log10(p) across all probes."""
+        return max((r.mlog10p for r in self.results), default=0.0)
+
+    @property
+    def worst(self) -> Optional[ProbeResult]:
+        """The probe result with the largest -log10(p)."""
+        if not self.results:
+            return None
+        return max(self.results, key=lambda r: r.mlog10p)
+
+    def to_dict(self, top: Optional[int] = None) -> Dict:
+        """Machine-readable form (for JSON dashboards / CI gating)."""
+        ranked = sorted(self.results, key=lambda r: -r.mlog10p)
+        if top is not None:
+            ranked = ranked[:top]
+        return {
+            "design": self.design,
+            "model": self.model,
+            "fixed_secret": self.fixed_secret,
+            "n_simulations": self.n_simulations,
+            "threshold": self.threshold,
+            "passed": self.passed,
+            "max_mlog10p": self.max_mlog10p,
+            "n_probe_classes": len(self.results),
+            "n_skipped": len(self.skipped_probes),
+            "results": [asdict(r) for r in ranked],
+        }
+
+    def to_json(self, top: Optional[int] = None, indent: int = 2) -> str:
+        """JSON rendering of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(top), indent=indent)
+
+    def format_summary(self, top: int = 10) -> str:
+        """Human-readable report, worst probes first."""
+        verdict = "PASS (no leakage detected)" if self.passed else "FAIL (leakage)"
+        lines = [
+            f"=== Leakage evaluation: {self.design} ===",
+            f"  model:        {self.model}",
+            f"  fixed secret: 0x{self.fixed_secret:02X}",
+            f"  simulations:  {self.n_simulations}",
+            f"  threshold:    -log10(p) > {self.threshold:g}",
+            f"  probe classes evaluated: {len(self.results)}"
+            + (f" (skipped {len(self.skipped_probes)} wide)" if self.skipped_probes else ""),
+            f"  verdict:      {verdict}",
+        ]
+        ranked = sorted(self.results, key=lambda r: -r.mlog10p)
+        for result in ranked[:top]:
+            lines.append("  " + result.format_row())
+        return "\n".join(lines)

@@ -1,0 +1,111 @@
+"""Bitsliced stimulus generation for fixed-vs-random evaluations.
+
+Each simulation lane is one independent "trace": every cycle it receives a
+fresh sharing of the secret (fixed byte or per-cycle uniform byte, per
+group), fresh mask bits, and fresh mask bytes -- PROLEAD's fixed-vs-random
+test harness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.leakage.dut import DesignUnderTest
+
+Stimulus = Callable[[int], Dict[int, np.ndarray]]
+
+_WORD_MAX = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def random_words(rng: np.random.Generator, n_words: int) -> np.ndarray:
+    """Uniform random uint64 words (64 independent fair bits each)."""
+    return rng.integers(0, 1 << 64, size=n_words, dtype=np.uint64)
+
+
+def constant_words(bit: int, n_words: int) -> np.ndarray:
+    """All-lanes-constant bit as a word array."""
+    value = _WORD_MAX if bit else np.uint64(0)
+    return np.full(n_words, value, dtype=np.uint64)
+
+
+def random_nonzero_byte(
+    rng: np.random.Generator, n_words: int
+) -> "list[np.ndarray]":
+    """Eight bit-planes of a per-lane uniform byte conditioned non-zero.
+
+    Rejection-samples the all-zero lanes (probability 1/256 per round), so a
+    couple of rounds suffice.
+    """
+    planes = [random_words(rng, n_words) for _ in range(8)]
+    for _ in range(64):
+        zero_mask = ~(
+            planes[0] | planes[1] | planes[2] | planes[3]
+            | planes[4] | planes[5] | planes[6] | planes[7]
+        )
+        if not np.any(zero_mask):
+            return planes
+        for i in range(8):
+            planes[i] = planes[i] | (random_words(rng, n_words) & zero_mask)
+    raise SimulationError("non-zero byte rejection sampling did not converge")
+
+
+class StimulusGenerator:
+    """Builds per-cycle stimulus functions for a design under test."""
+
+    def __init__(self, dut: DesignUnderTest, n_words: int):
+        self.dut = dut
+        self.n_words = n_words
+
+    def _drive(
+        self,
+        rng: np.random.Generator,
+        secret_planes_fn: Callable[[], "list[np.ndarray]"],
+    ) -> Stimulus:
+        dut = self.dut
+        n_words = self.n_words
+        width = dut.secret_width
+        n_shares = dut.n_shares
+
+        def stimulus(cycle: int) -> Dict[int, np.ndarray]:
+            values: Dict[int, np.ndarray] = {}
+            secret_planes = secret_planes_fn()
+            for bit in range(width):
+                accumulated = secret_planes[bit].copy()
+                for share in range(n_shares - 1):
+                    words = random_words(rng, n_words)
+                    values[dut.share_buses[share][bit]] = words
+                    accumulated = accumulated ^ words
+                values[dut.share_buses[n_shares - 1][bit]] = accumulated
+            for mask_net in dut.mask_bits:
+                values[mask_net] = random_words(rng, n_words)
+            for bus in dut.uniform_byte_buses:
+                for net in bus:
+                    values[net] = random_words(rng, n_words)
+            for bus in dut.nonzero_byte_buses:
+                planes = random_nonzero_byte(rng, n_words)
+                for net, plane in zip(bus, planes):
+                    values[net] = plane
+            return values
+
+        return stimulus
+
+    def fixed(self, secret: int, rng: np.random.Generator) -> Stimulus:
+        """Stimulus for the fixed group: the same secret byte every cycle."""
+        width = self.dut.secret_width
+        planes = [
+            constant_words((secret >> bit) & 1, self.n_words)
+            for bit in range(width)
+        ]
+        return self._drive(rng, lambda: planes)
+
+    def random(self, rng: np.random.Generator) -> Stimulus:
+        """Stimulus for the random group: fresh uniform secret every cycle."""
+        width = self.dut.secret_width
+
+        def fresh_planes() -> "list[np.ndarray]":
+            return [random_words(rng, self.n_words) for _ in range(width)]
+
+        return self._drive(rng, fresh_planes)

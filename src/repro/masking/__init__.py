@@ -1,0 +1,31 @@
+"""Masking primitives.
+
+* :mod:`repro.masking.shares` -- value-level Boolean and multiplicative
+  sharings (paper Eq. (1) and Eq. (3)).
+* :mod:`repro.masking.randomness` -- the fresh-mask bus: named random-input
+  wires plus derived (registered XOR) bits, the substrate on which the
+  paper's randomness-reuse optimizations are expressed.
+* :mod:`repro.masking.dom` -- netlist-level DOM-indep multiplier gadgets
+  (Gross et al.), arbitrary order.
+* :mod:`repro.masking.gadgets` -- share-wise linear-layer helpers.
+"""
+
+from repro.masking.shares import BooleanSharing, MultiplicativeSharing
+from repro.masking.randomness import MaskBus
+from repro.masking.dom import dom_and, dom_and_mask_count
+from repro.masking.gadgets import (
+    sharewise_not,
+    sharewise_register,
+    sharewise_xor,
+)
+
+__all__ = [
+    "BooleanSharing",
+    "MultiplicativeSharing",
+    "MaskBus",
+    "dom_and",
+    "dom_and_mask_count",
+    "sharewise_xor",
+    "sharewise_not",
+    "sharewise_register",
+]

@@ -1,0 +1,111 @@
+"""Domain-Oriented Masking (DOM) multiplier gadgets as netlist generators.
+
+The DOM-indep multiplier of Gross et al. computes a shared AND of two
+``d+1``-share values.  For shares ``i`` and ``j != i`` the cross-domain
+product ``x^i & y^j`` is blinded with a fresh mask ``r_{ij} = r_{ji}`` and
+registered before recombination; the inner-domain product ``x^i & y^i`` may
+be registered as well (it is in the paper's Kronecker delta tree, Fig. 3,
+where the registered inner products ``a1, a2, d1, d2`` become the observable
+probe extensions).
+
+The first-order instance matches the paper's Fig. 1c:
+
+    z^i = [x^i y^i] xor [x^i y^(i xor 1) xor r]
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import MaskingError
+from repro.masking.randomness import MaskBus
+from repro.netlist.builder import CircuitBuilder
+
+
+def dom_and_mask_count(n_shares: int) -> int:
+    """Fresh mask bits a DOM-indep AND needs: one per unordered share pair."""
+    return n_shares * (n_shares - 1) // 2
+
+
+def dom_and(
+    builder: CircuitBuilder,
+    x_shares: Sequence[int],
+    y_shares: Sequence[int],
+    masks: Dict[Tuple[int, int], int],
+    name: str,
+    register_inner: bool = True,
+    register_cross: bool = True,
+) -> List[int]:
+    """Instantiate a DOM-indep AND gadget; returns the output share nets.
+
+    ``masks`` maps unordered share pairs ``(i, j)`` with ``i < j`` to mask
+    nets; reuse schemes pass the same net for several gadgets.  With
+    ``register_inner`` the gadget is a full pipeline stage (1 cycle latency),
+    matching the Kronecker delta construction of the paper.
+
+    ``register_cross=False`` removes the registers around the blinded
+    cross-domain products.  That configuration is *insecure under glitches*
+    (the output cone then covers both domains' shares -- the Mangard et al.
+    observation that motivated TI/DOM in the first place, see the paper's
+    introduction); it exists for the E12 ablation benchmark.
+    """
+    n_shares = len(x_shares)
+    if len(y_shares) != n_shares:
+        raise MaskingError("x and y must have the same number of shares")
+    if n_shares < 2:
+        raise MaskingError("DOM needs at least two shares")
+    expected = {(i, j) for i in range(n_shares) for j in range(i + 1, n_shares)}
+    if set(masks) != expected:
+        raise MaskingError(
+            f"mask keys {sorted(masks)} do not match share pairs {sorted(expected)}"
+        )
+
+    outputs = []
+    with builder.scope(name):
+        for i in range(n_shares):
+            terms = []
+            inner = builder.and_(x_shares[i], y_shares[i], f"inner{i}")
+            if register_inner:
+                inner = builder.reg(inner, f"inner{i}$reg")
+            terms.append(inner)
+            for j in range(n_shares):
+                if j == i:
+                    continue
+                pair = (min(i, j), max(i, j))
+                cross = builder.and_(x_shares[i], y_shares[j], f"cross{i}{j}")
+                blinded = builder.xor(cross, masks[pair], f"blind{i}{j}")
+                if register_cross:
+                    blinded = builder.reg(blinded, f"blind{i}{j}$reg")
+                terms.append(blinded)
+            outputs.append(builder.xor_reduce(terms, f"z{i}"))
+    return outputs
+
+
+def dom_and_first_order(
+    builder: CircuitBuilder,
+    x_shares: Sequence[int],
+    y_shares: Sequence[int],
+    mask: int,
+    name: str,
+    register_inner: bool = True,
+) -> List[int]:
+    """Convenience wrapper for the 2-share DOM-AND of the paper's Fig. 1c."""
+    return dom_and(
+        builder,
+        x_shares,
+        y_shares,
+        {(0, 1): mask},
+        name,
+        register_inner=register_inner,
+    )
+
+
+def dom_masks_from_bus(
+    bus: MaskBus, gate_name: str, n_shares: int
+) -> Dict[Tuple[int, int], int]:
+    """Allocate a full set of fresh masks for one gadget from a bus."""
+    masks = {}
+    for i in range(n_shares):
+        for j in range(i + 1, n_shares):
+            masks[(i, j)] = bus.fresh(f"{gate_name}.r{i}{j}")
+    return masks

@@ -1,0 +1,77 @@
+"""Share-wise helpers for linear layers of masked circuits.
+
+Linear operations act on each share independently (paper Section II-A); these
+helpers keep that structure explicit when assembling masked netlists.
+A "shared bus" is a list of share buses: ``shares[i][bit]`` is a net.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import MaskingError
+from repro.netlist.builder import CircuitBuilder
+
+SharedBus = List[List[int]]
+
+
+def sharewise_xor(
+    builder: CircuitBuilder, a: SharedBus, b: SharedBus
+) -> SharedBus:
+    """XOR two shared buses share by share (linear, no fresh randomness)."""
+    if len(a) != len(b):
+        raise MaskingError("share counts differ")
+    return [builder.xor_bus(sa, sb) for sa, sb in zip(a, b)]
+
+
+def sharewise_not(builder: CircuitBuilder, a: SharedBus) -> SharedBus:
+    """Complement a shared value by inverting share 0 only.
+
+    ``NOT x = (NOT x^0) xor x^1 xor ...`` -- inverting a single share flips
+    the recombined value while keeping the sharing uniform.
+    """
+    result = [list(share) for share in a]
+    result[0] = builder.not_bus(result[0])
+    return result
+
+
+def sharewise_register(
+    builder: CircuitBuilder, a: SharedBus, name: str
+) -> SharedBus:
+    """Register every bit of every share (one pipeline stage)."""
+    return [
+        builder.reg_bus(share, f"{name}.s{i}") for i, share in enumerate(a)
+    ]
+
+
+def sharewise_linear(
+    builder: CircuitBuilder,
+    matrix: Sequence[int],
+    a: SharedBus,
+    constant: int = 0,
+) -> SharedBus:
+    """Apply a GF(2) matrix to each share; the constant goes to share 0 only.
+
+    Adding the affine constant to a single share keeps ``xor`` of shares
+    equal to the affine image -- this is how the AES affine transformation is
+    applied to a Boolean-masked state.
+    """
+    result = []
+    for i, share in enumerate(a):
+        share_constant = constant if i == 0 else 0
+        result.append(builder.gf2_linear(matrix, share, share_constant))
+    return result
+
+
+def unshare_xor(builder: CircuitBuilder, a: SharedBus) -> List[int]:
+    """Recombine a shared bus with XOR trees (for test harness outputs only).
+
+    Real masked hardware never recombines internally; this helper exists so
+    functional tests can observe the unmasked value at the boundary.
+    """
+    width = len(a[0])
+    if any(len(share) != width for share in a):
+        raise MaskingError("share widths differ")
+    return [
+        builder.xor_reduce([share[bit] for share in a]) for bit in range(width)
+    ]

@@ -1,0 +1,137 @@
+"""The fresh-mask bus.
+
+Masked hardware receives fresh randomness on dedicated input wires, one new
+value every clock cycle.  Randomness *reuse* -- the subject of the paper --
+is a wiring decision: several gadgets consume the same bus wire within a
+cycle.  :class:`MaskBus` makes those decisions explicit and auditable: every
+fresh bit is a distinct primary input, and derived bits (such as the
+``r6 = [r5 xor r2]`` registered combination in De Meyer et al.'s Eq. (6))
+are built as real netlist logic so the evaluator sees their true timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.errors import MaskingError
+from repro.netlist.builder import CircuitBuilder
+
+
+class MaskBus:
+    """Allocates named fresh-mask input wires on a builder."""
+
+    def __init__(self, builder: CircuitBuilder, prefix: str = "rand"):
+        self.builder = builder
+        self.prefix = prefix
+        self._bits: Dict[str, int] = {}
+        self._order: List[str] = []
+
+    def fresh(self, label: str) -> int:
+        """Create (or return) the fresh-mask input wire called ``label``."""
+        if label not in self._bits:
+            net = self.builder.input(f"{self.prefix}.{label}")
+            self._bits[label] = net
+            self._order.append(label)
+        return self._bits[label]
+
+    def fresh_byte(self, label: str) -> List[int]:
+        """Create an 8-bit fresh-mask bus ``label[0..7]``."""
+        return [self.fresh(f"{label}[{i}]") for i in range(8)]
+
+    def derived_registered_xor(self, label: str, a: int, b: int) -> int:
+        """A mask bit produced as ``[a xor b]`` (XOR captured in a register).
+
+        This is precisely the construction of ``r6`` in the paper's Eq. (6):
+        the register delays the combination by one cycle, which is what makes
+        its interaction with the pipeline stages non-obvious -- and analyzable
+        only by tools that model the true netlist timing.
+        """
+        if label in self._bits:
+            raise MaskingError(f"mask label {label!r} already defined")
+        xor_net = self.builder.xor(a, b)
+        reg_net = self.builder.reg(xor_net, f"{self.prefix}.{label}$reg")
+        self._bits[label] = reg_net
+        self._order.append(label)
+        return reg_net
+
+    def derived_delayed(self, label: str, source: int, cycles: int) -> int:
+        """A mask bit that is ``source`` delayed by a register chain.
+
+        Register-delayed reuse separates the *consumption times* of one
+        physical random bit by more than the pipeline depth a probe can see,
+        which is what makes cross-layer recycling survive transition-extended
+        probing (compare the paper's Section IV analysis).
+        """
+        if label in self._bits:
+            raise MaskingError(f"mask label {label!r} already defined")
+        if cycles < 1:
+            raise MaskingError("delay must be at least one cycle")
+        net = source
+        for stage in range(cycles):
+            net = self.builder.reg(net, f"{self.prefix}.{label}$d{stage}")
+        self._bits[label] = net
+        self._order.append(label)
+        return net
+
+    def derived_delayed_xor(
+        self, label: str, a: int, delay_a: int, b: int, delay_b: int
+    ) -> int:
+        """A mask bit ``delay^da(a) xor delay^db(b)`` of two source bits.
+
+        Recycling one bit is pair-observable: two probes can capture its two
+        consumption times and cancel it.  An XOR of two *differently delayed*
+        bits resists that -- cancelling it takes probes on both components,
+        and with only two probes nothing is left to observe the blinded
+        value.  This construction is what makes our 13-fresh-bit
+        second-order scheme survive bivariate evaluation (see
+        :class:`repro.core.optimizations.SecondOrderScheme`).
+        """
+        if label in self._bits:
+            raise MaskingError(f"mask label {label!r} already defined")
+        net_a = a
+        for stage in range(delay_a):
+            net_a = self.builder.reg(net_a, f"{self.prefix}.{label}$a{stage}")
+        net_b = b
+        for stage in range(delay_b):
+            net_b = self.builder.reg(net_b, f"{self.prefix}.{label}$b{stage}")
+        combined = self.builder.xor(net_a, net_b, f"{self.prefix}.{label}")
+        self._bits[label] = combined
+        self._order.append(label)
+        return combined
+
+    def alias(self, label: str, existing: int) -> int:
+        """Name an existing net as a mask (pure reuse, no new wire)."""
+        if label in self._bits:
+            raise MaskingError(f"mask label {label!r} already defined")
+        self._bits[label] = existing
+        self._order.append(label)
+        return existing
+
+    def net(self, label: str) -> int:
+        """Look up a previously defined mask bit."""
+        try:
+            return self._bits[label]
+        except KeyError:
+            raise MaskingError(f"unknown mask label {label!r}") from None
+
+    @property
+    def fresh_input_nets(self) -> List[int]:
+        """All primary-input nets this bus created (the fresh-bit cost)."""
+        inputs = set(self.builder.netlist.inputs)
+        seen = set()
+        result = []
+        for label in self._order:
+            net = self._bits[label]
+            if net in inputs and net not in seen:
+                seen.add(net)
+                result.append(net)
+        return result
+
+    @property
+    def n_fresh_bits(self) -> int:
+        """Number of fresh random bits consumed per cycle."""
+        return len(self.fresh_input_nets)
+
+    def labels(self) -> List[str]:
+        """All labels in definition order."""
+        return list(self._order)

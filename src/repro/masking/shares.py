@@ -1,0 +1,134 @@
+"""Value-level sharings.
+
+These model the paper's Eq. (1) (Boolean masking) and Eq. (3) (multiplicative
+masking) on plain integers; the netlist designs are checked against them, and
+the value-level masked AES (:mod:`repro.core.aes_masked`) computes with them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import MaskingError
+from repro.gf.gf256 import GF256
+from repro.gf.gf2n import GF2n
+
+
+@dataclass(frozen=True)
+class BooleanSharing:
+    """An additive (XOR) sharing of a value: ``X = X^1 xor ... xor X^d``."""
+
+    shares: Tuple[int, ...]
+    width: int = 8
+
+    def __post_init__(self) -> None:
+        if len(self.shares) < 2:
+            raise MaskingError("a sharing needs at least two shares")
+        limit = 1 << self.width
+        if any(not 0 <= s < limit for s in self.shares):
+            raise MaskingError("share out of range for the declared width")
+
+    @classmethod
+    def share(
+        cls,
+        value: int,
+        n_shares: int = 2,
+        rng: Optional[random.Random] = None,
+        width: int = 8,
+    ) -> "BooleanSharing":
+        """Split ``value`` into ``n_shares`` uniform Boolean shares."""
+        rng = rng or random.Random()
+        limit = 1 << width
+        if not 0 <= value < limit:
+            raise MaskingError("value out of range for the declared width")
+        randoms = [rng.randrange(limit) for _ in range(n_shares - 1)]
+        last = value
+        for r in randoms:
+            last ^= r
+        return cls(tuple(randoms + [last]), width)
+
+    @property
+    def value(self) -> int:
+        """Recombine the shares."""
+        result = 0
+        for share in self.shares:
+            result ^= share
+        return result
+
+    @property
+    def order(self) -> int:
+        """Masking order d (number of shares minus one)."""
+        return len(self.shares) - 1
+
+    def xor(self, other: "BooleanSharing") -> "BooleanSharing":
+        """Share-wise XOR (a linear operation, needs no randomness)."""
+        if len(other.shares) != len(self.shares) or other.width != self.width:
+            raise MaskingError("incompatible sharings")
+        return BooleanSharing(
+            tuple(a ^ b for a, b in zip(self.shares, other.shares)), self.width
+        )
+
+    def xor_constant(self, constant: int) -> "BooleanSharing":
+        """XOR a public constant into the first share."""
+        shares = list(self.shares)
+        shares[0] ^= constant
+        return BooleanSharing(tuple(shares), self.width)
+
+    def map_linear(self, func) -> "BooleanSharing":
+        """Apply a GF(2)-linear function to every share."""
+        return BooleanSharing(
+            tuple(func(share) for share in self.shares), self.width
+        )
+
+
+@dataclass(frozen=True)
+class MultiplicativeSharing:
+    """A multiplicative sharing per the paper's Eq. (3).
+
+    ``X = (X^1)^-1 * ... * (X^(d-1))^-1 * X^d`` in GF(2^n); all shares except
+    possibly the last must be non-zero.  The zero-value problem is visible
+    directly: ``X == 0`` iff the last share is 0, unmasked by the others.
+    """
+
+    shares: Tuple[int, ...]
+    field: GF2n = GF256
+
+    def __post_init__(self) -> None:
+        if len(self.shares) < 2:
+            raise MaskingError("a sharing needs at least two shares")
+        if any(s == 0 for s in self.shares[:-1]):
+            raise MaskingError("multiplicative mask shares must be non-zero")
+
+    @classmethod
+    def share(
+        cls,
+        value: int,
+        n_shares: int = 2,
+        rng: Optional[random.Random] = None,
+        field: GF2n = GF256,
+    ) -> "MultiplicativeSharing":
+        """Split ``value`` into multiplicative shares (Eq. (3))."""
+        rng = rng or random.Random()
+        masks = [rng.randrange(1, field.order) for _ in range(n_shares - 1)]
+        last = value
+        for m in masks:
+            last = field.multiply(last, m)
+        return cls(tuple(masks + [last]), field)
+
+    @property
+    def value(self) -> int:
+        """Recombine the shares per Eq. (3)."""
+        result = self.shares[-1]
+        for share in self.shares[:-1]:
+            result = self.field.multiply(result, self.field.inverse(share))
+        return result
+
+    def multiply_public(self, constant: int) -> "MultiplicativeSharing":
+        """Multiply the shared value by a public non-zero constant."""
+        if constant == 0:
+            raise MaskingError("public factor must be non-zero")
+        shares = list(self.shares)
+        shares[-1] = self.field.multiply(shares[-1], constant)
+        return MultiplicativeSharing(tuple(shares), self.field)

@@ -1,0 +1,42 @@
+"""Gate-level netlist IR, builder, passes, export and simulation.
+
+This package is the hardware substrate of the reproduction.  The paper's
+designs were written in Verilog and synthesized with Yosys to a NanGate45
+netlist; here circuits are built directly at gate level with
+:class:`repro.netlist.builder.CircuitBuilder`, which yields the same
+gate/register graph that the probing-model analysis operates on.
+"""
+
+from repro.netlist.cells import CellType
+from repro.netlist.core import Cell, Netlist
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.topo import (
+    combinational_cone,
+    levelize,
+    stable_support,
+    transitive_input_support,
+)
+from repro.netlist.simulate import BitslicedSimulator, Trace, evaluate_combinational
+from repro.netlist.stats import NetlistStats, netlist_stats
+from repro.netlist.opt import optimize
+from repro.netlist.verilog import to_verilog
+from repro.netlist.verilog_import import from_verilog
+
+__all__ = [
+    "optimize",
+    "from_verilog",
+    "CellType",
+    "Cell",
+    "Netlist",
+    "CircuitBuilder",
+    "levelize",
+    "combinational_cone",
+    "stable_support",
+    "transitive_input_support",
+    "BitslicedSimulator",
+    "Trace",
+    "evaluate_combinational",
+    "NetlistStats",
+    "netlist_stats",
+    "to_verilog",
+]

@@ -1,0 +1,204 @@
+"""Ergonomic construction of netlists.
+
+:class:`CircuitBuilder` wraps a :class:`repro.netlist.core.Netlist` with
+HDL-like operations returning net indices, automatic unique naming, and a
+``scope`` context manager producing hierarchical dotted paths -- the Python
+equivalent of instantiating Verilog sub-modules.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator, List, Optional, Sequence
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CellType
+from repro.netlist.core import Netlist
+
+
+class CircuitBuilder:
+    """Builds a flat netlist through gate-level operations."""
+
+    def __init__(self, name: str = "top"):
+        self.netlist = Netlist(name)
+        self._prefix: List[str] = []
+        self._counter = 0
+        self._const_nets = {0: None, 1: None}
+
+    # ---------------------------------------------------------------- naming
+
+    def _qualify(self, name: str) -> str:
+        return ".".join((*self._prefix, name)) if self._prefix else name
+
+    def _fresh_name(self, stem: str) -> str:
+        self._counter += 1
+        return self._qualify(f"{stem}_{self._counter}")
+
+    @contextlib.contextmanager
+    def scope(self, name: str) -> Iterator[None]:
+        """Prefix nets/cells created inside with ``name.`` (nests)."""
+        self._prefix.append(name)
+        try:
+            yield
+        finally:
+            self._prefix.pop()
+
+    # ----------------------------------------------------------------- ports
+
+    def input(self, name: str) -> int:
+        """Create a named primary input net."""
+        net = self.netlist.add_net(self._qualify(name))
+        self.netlist.mark_input(net)
+        return net
+
+    def input_bus(self, name: str, width: int) -> List[int]:
+        """Create ``width`` primary inputs named ``name[i]`` (LSB first)."""
+        return [self.input(f"{name}[{i}]") for i in range(width)]
+
+    def output(self, net: int, name: Optional[str] = None) -> int:
+        """Mark a net as primary output, optionally aliasing it via a BUF."""
+        if name is not None:
+            alias = self.netlist.add_net(self._qualify(name))
+            self.netlist.add_cell(
+                CellType.BUF, (net,), alias, self._fresh_name("buf")
+            )
+            net = alias
+        self.netlist.mark_output(net)
+        return net
+
+    def output_bus(self, nets: Sequence[int], name: str) -> List[int]:
+        """Mark a bus of nets as outputs named ``name[i]``."""
+        return [self.output(net, f"{name}[{i}]") for i, net in enumerate(nets)]
+
+    # ----------------------------------------------------------------- gates
+
+    def _gate(
+        self, cell_type: CellType, inputs: Sequence[int], name: Optional[str]
+    ) -> int:
+        net_name = self._qualify(name) if name else self._fresh_name(cell_type.value)
+        out = self.netlist.add_net(net_name)
+        self.netlist.add_cell(cell_type, tuple(inputs), out, net_name + "$cell")
+        return out
+
+    def constant(self, value: int) -> int:
+        """Return a net tied to constant 0 or 1 (shared per builder)."""
+        if value not in (0, 1):
+            raise NetlistError("constant must be 0 or 1")
+        if self._const_nets[value] is None:
+            cell_type = CellType.CONST1 if value else CellType.CONST0
+            self._const_nets[value] = self._gate(cell_type, (), f"const{value}")
+        return self._const_nets[value]
+
+    def buf(self, a: int, name: Optional[str] = None) -> int:
+        """A buffer (identity) gate."""
+        return self._gate(CellType.BUF, (a,), name)
+
+    def not_(self, a: int, name: Optional[str] = None) -> int:
+        """An inverter."""
+        return self._gate(CellType.NOT, (a,), name)
+
+    def and_(self, a: int, b: int, name: Optional[str] = None) -> int:
+        """A 2-input AND gate."""
+        return self._gate(CellType.AND, (a, b), name)
+
+    def nand(self, a: int, b: int, name: Optional[str] = None) -> int:
+        """A 2-input NAND gate."""
+        return self._gate(CellType.NAND, (a, b), name)
+
+    def or_(self, a: int, b: int, name: Optional[str] = None) -> int:
+        """A 2-input OR gate."""
+        return self._gate(CellType.OR, (a, b), name)
+
+    def nor(self, a: int, b: int, name: Optional[str] = None) -> int:
+        """A 2-input NOR gate."""
+        return self._gate(CellType.NOR, (a, b), name)
+
+    def xor(self, a: int, b: int, name: Optional[str] = None) -> int:
+        """A 2-input XOR gate."""
+        return self._gate(CellType.XOR, (a, b), name)
+
+    def xnor(self, a: int, b: int, name: Optional[str] = None) -> int:
+        """A 2-input XNOR gate."""
+        return self._gate(CellType.XNOR, (a, b), name)
+
+    def mux(self, select: int, d0: int, d1: int, name: Optional[str] = None) -> int:
+        """2:1 multiplexer: returns ``d1`` when ``select`` is 1, else ``d0``."""
+        return self._gate(CellType.MUX, (select, d0, d1), name)
+
+    def reg(self, d: int, name: Optional[str] = None) -> int:
+        """A D flip-flop; the returned net is the register output Q."""
+        return self._gate(CellType.DFF, (d,), name)
+
+    def reg_bus(self, nets: Sequence[int], name: Optional[str] = None) -> List[int]:
+        """Register every net of a bus."""
+        stem = name or "reg"
+        return [self.reg(net, f"{stem}[{i}]") for i, net in enumerate(nets)]
+
+    # ------------------------------------------------------- derived helpers
+
+    def xor_reduce(self, nets: Sequence[int], name: Optional[str] = None) -> int:
+        """XOR of one or more nets as a balanced tree."""
+        nets = list(nets)
+        if not nets:
+            raise NetlistError("xor_reduce needs at least one net")
+        while len(nets) > 1:
+            nets = [
+                self.xor(nets[i], nets[i + 1]) if i + 1 < len(nets) else nets[i]
+                for i in range(0, len(nets), 2)
+            ]
+        if name is not None:
+            return self.buf(nets[0], name)
+        return nets[0]
+
+    def and_reduce(self, nets: Sequence[int], name: Optional[str] = None) -> int:
+        """AND of one or more nets as a balanced tree."""
+        nets = list(nets)
+        if not nets:
+            raise NetlistError("and_reduce needs at least one net")
+        while len(nets) > 1:
+            nets = [
+                self.and_(nets[i], nets[i + 1]) if i + 1 < len(nets) else nets[i]
+                for i in range(0, len(nets), 2)
+            ]
+        if name is not None:
+            return self.buf(nets[0], name)
+        return nets[0]
+
+    def xor_bus(self, a: Sequence[int], b: Sequence[int]) -> List[int]:
+        """Bitwise XOR of two equal-width buses."""
+        if len(a) != len(b):
+            raise NetlistError("xor_bus requires equal widths")
+        return [self.xor(x, y) for x, y in zip(a, b)]
+
+    def not_bus(self, a: Sequence[int]) -> List[int]:
+        """Bitwise NOT of a bus."""
+        return [self.not_(x) for x in a]
+
+    def gf2_linear(
+        self, matrix: Sequence[int], bus: Sequence[int], constant: int = 0
+    ) -> List[int]:
+        """Apply a GF(2) matrix (rows as integers) + constant to a bus.
+
+        Row ``i`` selects which input bits XOR into output bit ``i``; bit
+        ``i`` of ``constant`` toggles an inversion on that output.  This is
+        how linear layers (the AES affine map, tower isomorphisms) become
+        XOR/XNOR networks.
+        """
+        outputs = []
+        for i, row in enumerate(matrix):
+            taps = [bus[j] for j in range(len(bus)) if (row >> j) & 1]
+            if not taps:
+                net = self.constant((constant >> i) & 1)
+            else:
+                net = self.xor_reduce(taps)
+                if (constant >> i) & 1:
+                    net = self.not_(net)
+            outputs.append(net)
+        return outputs
+
+    # ----------------------------------------------------------------- build
+
+    def build(self) -> Netlist:
+        """Validate and return the completed netlist."""
+        self.netlist.validate()
+        return self.netlist

@@ -1,0 +1,101 @@
+"""Cell types of the netlist IR and their semantics.
+
+The cell set mirrors what Yosys emits for the NanGate45 library when mapping
+masked designs: simple 1/2-input combinational gates plus a D flip-flop.
+Boolean functions are given both as integer truth tables (for the scalar
+evaluator) and as numpy expressions (for the bitsliced simulator).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class CellType(enum.Enum):
+    """Every cell kind understood by the IR."""
+
+    CONST0 = "const0"
+    CONST1 = "const1"
+    BUF = "buf"
+    NOT = "not"
+    AND = "and"
+    NAND = "nand"
+    OR = "or"
+    NOR = "nor"
+    XOR = "xor"
+    XNOR = "xnor"
+    MUX = "mux"  # inputs: (select, d0, d1) -> d1 if select else d0
+    DFF = "dff"  # inputs: (d,), output updated at the clock edge
+
+    @property
+    def is_sequential(self) -> bool:
+        """True for state-holding cells."""
+        return self is CellType.DFF
+
+    @property
+    def is_constant(self) -> bool:
+        """True for the two constant drivers."""
+        return self in (CellType.CONST0, CellType.CONST1)
+
+    @property
+    def arity(self) -> int:
+        """Number of inputs the cell expects."""
+        return _ARITY[self]
+
+
+_ARITY = {
+    CellType.CONST0: 0,
+    CellType.CONST1: 0,
+    CellType.BUF: 1,
+    CellType.NOT: 1,
+    CellType.AND: 2,
+    CellType.NAND: 2,
+    CellType.OR: 2,
+    CellType.NOR: 2,
+    CellType.XOR: 2,
+    CellType.XNOR: 2,
+    CellType.MUX: 3,
+    CellType.DFF: 1,
+}
+
+
+def evaluate_cell(cell_type: CellType, inputs: Tuple[int, ...]) -> int:
+    """Evaluate a combinational cell on scalar bit inputs (0/1)."""
+    if cell_type is CellType.CONST0:
+        return 0
+    if cell_type is CellType.CONST1:
+        return 1
+    if cell_type is CellType.BUF:
+        return inputs[0]
+    if cell_type is CellType.NOT:
+        return inputs[0] ^ 1
+    if cell_type is CellType.AND:
+        return inputs[0] & inputs[1]
+    if cell_type is CellType.NAND:
+        return (inputs[0] & inputs[1]) ^ 1
+    if cell_type is CellType.OR:
+        return inputs[0] | inputs[1]
+    if cell_type is CellType.NOR:
+        return (inputs[0] | inputs[1]) ^ 1
+    if cell_type is CellType.XOR:
+        return inputs[0] ^ inputs[1]
+    if cell_type is CellType.XNOR:
+        return inputs[0] ^ inputs[1] ^ 1
+    if cell_type is CellType.MUX:
+        select, d0, d1 = inputs
+        return d1 if select else d0
+    raise ValueError(f"cell type {cell_type} is not combinational")
+
+
+#: Commutative two-input cell types (used by structural hashing / CSE).
+COMMUTATIVE = frozenset(
+    {
+        CellType.AND,
+        CellType.NAND,
+        CellType.OR,
+        CellType.NOR,
+        CellType.XOR,
+        CellType.XNOR,
+    }
+)

@@ -1,0 +1,183 @@
+"""Flat gate-level netlist data structure.
+
+A :class:`Netlist` is a set of named nets, each driven by at most one cell or
+declared as a primary input.  Hierarchy is recorded in net/cell names (dotted
+paths produced by the builder's scopes), matching how the paper keeps a
+hierarchical structure through synthesis to preserve the DOM gadget
+boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CellType
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One gate or register instance.
+
+    ``inputs`` and ``output`` are net indices.  ``name`` is the hierarchical
+    instance path.
+    """
+
+    index: int
+    cell_type: CellType
+    inputs: Tuple[int, ...]
+    output: int
+    name: str
+
+
+class Netlist:
+    """A flat netlist with named nets, primary inputs/outputs and cells."""
+
+    def __init__(self, name: str = "top"):
+        self.name = name
+        self.net_names: List[str] = []
+        self.cells: List[Cell] = []
+        self.net_driver: List[Optional[int]] = []  # cell index or None
+        self.inputs: List[int] = []
+        self.outputs: List[int] = []
+        self._input_set: set = set()
+        self._name_to_net: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------ nets
+
+    def add_net(self, name: str) -> int:
+        """Create a new net and return its index.  Names must be unique."""
+        if name in self._name_to_net:
+            raise NetlistError(f"duplicate net name {name!r}")
+        index = len(self.net_names)
+        self.net_names.append(name)
+        self.net_driver.append(None)
+        self._name_to_net[name] = index
+        return index
+
+    def net(self, name: str) -> int:
+        """Look a net up by name."""
+        try:
+            return self._name_to_net[name]
+        except KeyError:
+            raise NetlistError(f"no net named {name!r}") from None
+
+    def net_name(self, index: int) -> str:
+        """Return the name of a net."""
+        return self.net_names[index]
+
+    @property
+    def n_nets(self) -> int:
+        """Total number of nets."""
+        return len(self.net_names)
+
+    # ----------------------------------------------------------------- ports
+
+    def mark_input(self, net: int) -> None:
+        """Declare a net as a primary input."""
+        if self.net_driver[net] is not None:
+            raise NetlistError(
+                f"net {self.net_name(net)!r} is driven by a cell; "
+                "cannot also be a primary input"
+            )
+        if net not in self._input_set:
+            self.inputs.append(net)
+            self._input_set.add(net)
+
+    def mark_output(self, net: int) -> None:
+        """Declare a net as a primary output (may repeat)."""
+        if net not in self.outputs:
+            self.outputs.append(net)
+
+    def is_input(self, net: int) -> bool:
+        """True when the net is a primary input."""
+        return net in self._input_set
+
+    # ----------------------------------------------------------------- cells
+
+    def add_cell(
+        self,
+        cell_type: CellType,
+        inputs: Tuple[int, ...],
+        output: int,
+        name: str,
+    ) -> Cell:
+        """Instantiate a cell driving ``output``."""
+        if len(inputs) != cell_type.arity:
+            raise NetlistError(
+                f"{cell_type.value} expects {cell_type.arity} inputs, "
+                f"got {len(inputs)}"
+            )
+        for net in (*inputs, output):
+            if not 0 <= net < self.n_nets:
+                raise NetlistError(f"net index {net} out of range")
+        if self.net_driver[output] is not None:
+            raise NetlistError(
+                f"net {self.net_name(output)!r} already has a driver"
+            )
+        if output in self._input_set:
+            raise NetlistError(
+                f"net {self.net_name(output)!r} is a primary input; "
+                "cannot be driven by a cell"
+            )
+        cell = Cell(len(self.cells), cell_type, tuple(inputs), output, name)
+        self.cells.append(cell)
+        self.net_driver[output] = cell.index
+        return cell
+
+    def driver(self, net: int) -> Optional[Cell]:
+        """Return the driving cell of a net, or None for inputs/floating."""
+        index = self.net_driver[net]
+        return None if index is None else self.cells[index]
+
+    def comb_cells(self) -> Iterator[Cell]:
+        """Iterate over combinational cells."""
+        return (c for c in self.cells if not c.cell_type.is_sequential)
+
+    def dff_cells(self) -> Iterator[Cell]:
+        """Iterate over registers."""
+        return (c for c in self.cells if c.cell_type.is_sequential)
+
+    def stable_nets(self) -> List[int]:
+        """Nets considered glitch-free in the robust probing model.
+
+        These are the primary inputs and the register outputs: the signals a
+        glitch-extended probe resolves to (PROLEAD's probe extension stops
+        exactly at these).
+        """
+        stable = list(self.inputs)
+        stable.extend(c.output for c in self.dff_cells())
+        return stable
+
+    # ------------------------------------------------------------ validation
+
+    def validate(self) -> None:
+        """Check structural sanity; raises :class:`NetlistError` on problems."""
+        for net in range(self.n_nets):
+            if self.net_driver[net] is None and net not in self._input_set:
+                raise NetlistError(
+                    f"net {self.net_name(net)!r} is floating "
+                    "(no driver and not a primary input)"
+                )
+        for out in self.outputs:
+            if not 0 <= out < self.n_nets:
+                raise NetlistError(f"output net index {out} out of range")
+
+    # --------------------------------------------------------------- queries
+
+    def fanout_map(self) -> List[List[int]]:
+        """Return, per net, the list of cell indices reading that net."""
+        fanout: List[List[int]] = [[] for _ in range(self.n_nets)]
+        for cell in self.cells:
+            for net in cell.inputs:
+                fanout[net].append(cell.index)
+        return fanout
+
+    def __repr__(self) -> str:
+        n_dff = sum(1 for _ in self.dff_cells())
+        return (
+            f"Netlist({self.name!r}, nets={self.n_nets}, "
+            f"cells={len(self.cells)}, dffs={n_dff}, "
+            f"inputs={len(self.inputs)}, outputs={len(self.outputs)})"
+        )

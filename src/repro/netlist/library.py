@@ -1,0 +1,60 @@
+"""A NanGate45-style standard-cell library for area reporting.
+
+The paper synthesizes to the NanGate 45 nm open cell library.  For reporting
+we attach representative X1-drive areas (in um^2, from the open NanGate45
+datasheet values commonly quoted; approximate) to each IR cell type.  Areas
+only feed the architecture-report experiment (E1) -- no probing-model result
+depends on them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.netlist.cells import CellType
+
+#: Mapping from IR cell type to a NanGate45-like cell name.
+CELL_NAMES: Dict[CellType, str] = {
+    CellType.CONST0: "LOGIC0_X1",
+    CellType.CONST1: "LOGIC1_X1",
+    CellType.BUF: "BUF_X1",
+    CellType.NOT: "INV_X1",
+    CellType.AND: "AND2_X1",
+    CellType.NAND: "NAND2_X1",
+    CellType.OR: "OR2_X1",
+    CellType.NOR: "NOR2_X1",
+    CellType.XOR: "XOR2_X1",
+    CellType.XNOR: "XNOR2_X1",
+    CellType.MUX: "MUX2_X1",
+    CellType.DFF: "DFF_X1",
+}
+
+#: Approximate cell areas in um^2 (NanGate45 X1 drive strengths).
+CELL_AREAS: Dict[CellType, float] = {
+    CellType.CONST0: 0.0,
+    CellType.CONST1: 0.0,
+    CellType.BUF: 0.798,
+    CellType.NOT: 0.532,
+    CellType.AND: 1.064,
+    CellType.NAND: 0.798,
+    CellType.OR: 1.064,
+    CellType.NOR: 0.798,
+    CellType.XOR: 1.596,
+    CellType.XNOR: 1.596,
+    CellType.MUX: 1.862,
+    CellType.DFF: 4.522,
+}
+
+#: Gate-equivalent (GE) unit: area of one NAND2, the standard normalisation
+#: used in masked-hardware papers when reporting area in kGE.
+NAND2_AREA = CELL_AREAS[CellType.NAND]
+
+
+def cell_area(cell_type: CellType) -> float:
+    """Area of one cell instance in um^2."""
+    return CELL_AREAS[cell_type]
+
+
+def cell_gate_equivalents(cell_type: CellType) -> float:
+    """Area of one cell instance in gate equivalents (NAND2 units)."""
+    return CELL_AREAS[cell_type] / NAND2_AREA

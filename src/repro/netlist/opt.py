@@ -1,0 +1,249 @@
+"""Netlist optimization passes.
+
+These mirror the basic cleanups a synthesis flow (the paper used Yosys)
+performs: constant folding, buffer elimination, structural hashing (CSE) and
+dead-cell removal.
+
+.. warning::
+   Optimization changes the gate/register graph and therefore the probe
+   structure of a masked design.  The security experiments always evaluate
+   the *unoptimized* hierarchical netlists, matching the paper's instruction
+   to keep the hierarchy intact during synthesis; the passes exist as
+   substrate features (and to measure how fragile masked netlists are under
+   aggressive synthesis, see the ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.netlist.cells import COMMUTATIVE, CellType, evaluate_cell
+from repro.netlist.core import Cell, Netlist
+from repro.netlist.topo import levelize
+
+
+class _Rebuilder:
+    """Shared machinery for passes that rebuild a netlist cell by cell.
+
+    Register outputs are pre-created so combinational feedback through
+    registers is handled naturally; combinational cells are visited in
+    levelized order and may be rewritten, merged or dropped by the pass.
+    """
+
+    def __init__(self, old: Netlist, suffix: str):
+        self.old = old
+        self.new = Netlist(old.name)
+        self.net_map: Dict[int, int] = {}
+        self._suffix = suffix
+        for pi in old.inputs:
+            new_net = self.new.add_net(old.net_name(pi))
+            self.new.mark_input(new_net)
+            self.net_map[pi] = new_net
+        for dff in old.dff_cells():
+            self.net_map[dff.output] = self.new.add_net(
+                old.net_name(dff.output)
+            )
+
+    def map_inputs(self, cell: Cell) -> Tuple[int, ...]:
+        return tuple(self.net_map[n] for n in cell.inputs)
+
+    def emit(self, cell: Cell, inputs: Tuple[int, ...]) -> int:
+        """Copy a combinational cell with remapped inputs."""
+        out = self.new.add_net(self.old.net_name(cell.output))
+        self.new.add_cell(cell.cell_type, inputs, out, cell.name)
+        return out
+
+    def alias(self, cell: Cell, target_new_net: int) -> int:
+        """Replace a cell's output by an existing new net."""
+        return target_new_net
+
+    def finish(
+        self, process: Callable[[Cell, Tuple[int, ...]], int]
+    ) -> Netlist:
+        for cell in levelize(self.old):
+            self.net_map[cell.output] = process(cell, self.map_inputs(cell))
+        for dff in self.old.dff_cells():
+            self.new.add_cell(
+                CellType.DFF,
+                (self.net_map[dff.inputs[0]],),
+                self.net_map[dff.output],
+                dff.name,
+            )
+        for out in self.old.outputs:
+            self.new.mark_output(self.net_map[out])
+        self.new.validate()
+        return self.new
+
+
+def eliminate_buffers(netlist: Netlist) -> Netlist:
+    """Remove BUF cells by forwarding their inputs."""
+    rb = _Rebuilder(netlist, "nobuf")
+
+    def process(cell: Cell, inputs: Tuple[int, ...]) -> int:
+        if cell.cell_type is CellType.BUF:
+            return inputs[0]
+        return rb.emit(cell, inputs)
+
+    return rb.finish(process)
+
+
+def constant_fold(netlist: Netlist) -> Netlist:
+    """Propagate CONST0/CONST1 through combinational logic."""
+    rb = _Rebuilder(netlist, "cf")
+    const_value: Dict[int, int] = {}
+    const_net: Dict[int, Optional[int]] = {0: None, 1: None}
+
+    def make_const(value: int, hint: str) -> int:
+        if const_net[value] is None:
+            net = rb.new.add_net(f"{hint}$const{value}")
+            kind = CellType.CONST1 if value else CellType.CONST0
+            rb.new.add_cell(kind, (), net, f"{hint}$const{value}_cell")
+            const_net[value] = net
+        return const_net[value]
+
+    def process(cell: Cell, inputs: Tuple[int, ...]) -> int:
+        kind = cell.cell_type
+        if kind.is_constant:
+            value = 1 if kind is CellType.CONST1 else 0
+            net = make_const(value, netlist.net_name(cell.output))
+            const_value[net] = value
+            return net
+        known = [const_value.get(n) for n in inputs]
+        for value_in in known:
+            if value_in is not None and (kind, value_in) in _DOMINATING:
+                value = _DOMINATING[(kind, value_in)]
+                net = make_const(value, netlist.net_name(cell.output))
+                const_value[net] = value
+                return net
+        if all(v is not None for v in known):
+            value = evaluate_cell(kind, tuple(known))
+            net = make_const(value, netlist.net_name(cell.output))
+            const_value[net] = value
+            return net
+        simplified = _simplify_partial(kind, inputs, known)
+        if simplified is not None:
+            target_kind, target_inputs = simplified
+            if target_kind is CellType.BUF:
+                return target_inputs[0]
+            out = rb.new.add_net(netlist.net_name(cell.output))
+            rb.new.add_cell(target_kind, target_inputs, out, cell.name)
+            return out
+        out = rb.emit(cell, inputs)
+        return out
+
+    return rb.finish(process)
+
+
+#: (gate, constant input value) pairs that force the output to a constant.
+_DOMINATING = {
+    (CellType.AND, 0): 0,
+    (CellType.NAND, 0): 1,
+    (CellType.OR, 1): 1,
+    (CellType.NOR, 1): 0,
+}
+
+
+def _simplify_partial(
+    kind: CellType, inputs: Tuple[int, ...], known: Sequence[Optional[int]]
+) -> Optional[Tuple[CellType, Tuple[int, ...]]]:
+    """Simplify a 2-input gate when exactly one input is constant."""
+    if len(inputs) != 2 or sum(v is not None for v in known) != 1:
+        return None
+    const_idx = 0 if known[0] is not None else 1
+    other = inputs[1 - const_idx]
+    value = known[const_idx]
+    table = {
+        (CellType.AND, 1): (CellType.BUF, (other,)),
+        (CellType.NAND, 1): (CellType.NOT, (other,)),
+        (CellType.OR, 0): (CellType.BUF, (other,)),
+        (CellType.NOR, 0): (CellType.NOT, (other,)),
+        (CellType.XOR, 0): (CellType.BUF, (other,)),
+        (CellType.XOR, 1): (CellType.NOT, (other,)),
+        (CellType.XNOR, 0): (CellType.NOT, (other,)),
+        (CellType.XNOR, 1): (CellType.BUF, (other,)),
+    }
+    return table.get((kind, value))
+
+
+def common_subexpression_elimination(netlist: Netlist) -> Netlist:
+    """Merge structurally identical combinational cells."""
+    rb = _Rebuilder(netlist, "cse")
+    seen: Dict[Tuple, int] = {}
+
+    def process(cell: Cell, inputs: Tuple[int, ...]) -> int:
+        kind = cell.cell_type
+        key_inputs = tuple(sorted(inputs)) if kind in COMMUTATIVE else inputs
+        key = (kind, key_inputs)
+        if kind.is_constant:
+            key = (kind,)
+        if key in seen:
+            return seen[key]
+        out = rb.emit(cell, inputs)
+        seen[key] = out
+        return out
+
+    return rb.finish(process)
+
+
+def dead_cell_elimination(netlist: Netlist) -> Netlist:
+    """Drop cells (and registers) that cannot reach a primary output."""
+    live_nets = set(netlist.outputs)
+    changed = True
+    drivers = netlist.net_driver
+    while changed:
+        changed = False
+        for net in list(live_nets):
+            driver_idx = drivers[net]
+            if driver_idx is None:
+                continue
+            for inp in netlist.cells[driver_idx].inputs:
+                if inp not in live_nets:
+                    live_nets.add(inp)
+                    changed = True
+
+    new = Netlist(netlist.name)
+    net_map: Dict[int, int] = {}
+    for pi in netlist.inputs:
+        mapped = new.add_net(netlist.net_name(pi))
+        new.mark_input(mapped)
+        net_map[pi] = mapped
+    for cell in netlist.cells:
+        if cell.output in live_nets and cell.output not in net_map:
+            net_map[cell.output] = new.add_net(netlist.net_name(cell.output))
+    for cell in netlist.cells:
+        if cell.output not in live_nets:
+            continue
+        new.add_cell(
+            cell.cell_type,
+            tuple(net_map[n] for n in cell.inputs),
+            net_map[cell.output],
+            cell.name,
+        )
+    for out in netlist.outputs:
+        new.mark_output(net_map[out])
+    new.validate()
+    return new
+
+
+DEFAULT_PASSES = (
+    eliminate_buffers,
+    constant_fold,
+    common_subexpression_elimination,
+    dead_cell_elimination,
+)
+
+
+def optimize(
+    netlist: Netlist,
+    passes: Sequence[Callable[[Netlist], Netlist]] = DEFAULT_PASSES,
+    max_iterations: int = 4,
+) -> Netlist:
+    """Run passes to a fixed point (bounded by ``max_iterations``)."""
+    current = netlist
+    for _ in range(max_iterations):
+        before = len(current.cells)
+        for pass_fn in passes:
+            current = pass_fn(current)
+        if len(current.cells) == before:
+            break
+    return current

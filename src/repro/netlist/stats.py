@@ -1,0 +1,80 @@
+"""Netlist statistics and area reports (experiment E1 backend)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.netlist.cells import CellType
+from repro.netlist.core import Netlist
+from repro.netlist.library import CELL_NAMES, NAND2_AREA, cell_area
+from repro.netlist.topo import combinational_depth
+
+
+@dataclass
+class NetlistStats:
+    """Gate counts, register count, depth and area of a netlist."""
+
+    name: str
+    cell_counts: Dict[CellType, int] = field(default_factory=dict)
+    n_nets: int = 0
+    n_inputs: int = 0
+    n_outputs: int = 0
+    comb_depth: int = 0
+    area_um2: float = 0.0
+
+    @property
+    def n_cells(self) -> int:
+        """Total cell instances."""
+        return sum(self.cell_counts.values())
+
+    @property
+    def n_registers(self) -> int:
+        """DFF instances."""
+        return self.cell_counts.get(CellType.DFF, 0)
+
+    @property
+    def n_combinational(self) -> int:
+        """Combinational cell instances."""
+        return self.n_cells - self.n_registers
+
+    @property
+    def area_ge(self) -> float:
+        """Area in gate equivalents (NAND2 units)."""
+        return self.area_um2 / NAND2_AREA
+
+    def format_table(self) -> str:
+        """Render a Yosys-``stat``-style report."""
+        lines = [
+            f"=== {self.name} ===",
+            f"  nets:         {self.n_nets}",
+            f"  inputs:       {self.n_inputs}",
+            f"  outputs:      {self.n_outputs}",
+            f"  cells:        {self.n_cells}",
+            f"  registers:    {self.n_registers}",
+            f"  comb depth:   {self.comb_depth}",
+            f"  area:         {self.area_um2:.2f} um^2 ({self.area_ge:.1f} GE)",
+        ]
+        for cell_type in CellType:
+            count = self.cell_counts.get(cell_type, 0)
+            if count:
+                lines.append(f"    {CELL_NAMES[cell_type]:<12} {count}")
+        return "\n".join(lines)
+
+
+def netlist_stats(netlist: Netlist) -> NetlistStats:
+    """Compute statistics for a netlist."""
+    counts: Dict[CellType, int] = {}
+    area = 0.0
+    for cell in netlist.cells:
+        counts[cell.cell_type] = counts.get(cell.cell_type, 0) + 1
+        area += cell_area(cell.cell_type)
+    return NetlistStats(
+        name=netlist.name,
+        cell_counts=counts,
+        n_nets=netlist.n_nets,
+        n_inputs=len(netlist.inputs),
+        n_outputs=len(netlist.outputs),
+        comb_depth=combinational_depth(netlist),
+        area_um2=area,
+    )

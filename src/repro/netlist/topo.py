@@ -1,0 +1,156 @@
+"""Topological utilities: levelization, cones, probe supports.
+
+The glitch-extended probing model resolves a probe on a combinational net to
+the set of *stable* signals (primary inputs and register outputs) in its
+combinational fan-in cone; :func:`stable_support` computes exactly that set
+and is the heart of the probe extraction in :mod:`repro.leakage.probes`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.core import Cell, Netlist
+
+
+def levelize(netlist: Netlist) -> List[Cell]:
+    """Order combinational cells so every cell follows its drivers.
+
+    Register outputs and primary inputs are sources.  Raises
+    :class:`NetlistError` on combinational loops.
+    """
+    order: List[Cell] = []
+    ready: Set[int] = set(netlist.inputs)
+    ready.update(c.output for c in netlist.dff_cells())
+
+    pending = [c for c in netlist.comb_cells()]
+    remaining_inputs: Dict[int, int] = {}
+    consumers: Dict[int, List[Cell]] = {}
+    queue: List[Cell] = []
+    for cell in pending:
+        missing = [n for n in cell.inputs if n not in ready]
+        remaining_inputs[cell.index] = len(missing)
+        for net in missing:
+            consumers.setdefault(net, []).append(cell)
+        if not missing:
+            queue.append(cell)
+
+    while queue:
+        cell = queue.pop()
+        order.append(cell)
+        net = cell.output
+        for consumer in consumers.get(net, ()):  # newly satisfied inputs
+            remaining_inputs[consumer.index] -= 1
+            if remaining_inputs[consumer.index] == 0:
+                queue.append(consumer)
+
+    if len(order) != len(pending):
+        stuck = [c.name for c in pending if remaining_inputs[c.index] > 0]
+        raise NetlistError(
+            f"combinational loop or floating net involving cells: {stuck[:5]}"
+        )
+    return order
+
+
+def combinational_cone(netlist: Netlist, net: int) -> Set[int]:
+    """All nets in the combinational fan-in of ``net`` (inclusive).
+
+    Traversal stops at stable signals (inputs and register outputs), which
+    are included in the result.
+    """
+    stable = _stable_set(netlist)
+    cone: Set[int] = set()
+    stack = [net]
+    while stack:
+        current = stack.pop()
+        if current in cone:
+            continue
+        cone.add(current)
+        if current in stable:
+            continue
+        driver = netlist.driver(current)
+        if driver is None:
+            continue
+        stack.extend(driver.inputs)
+    return cone
+
+
+def stable_support(netlist: Netlist, net: int) -> FrozenSet[int]:
+    """Stable signals a glitch-extended probe on ``net`` observes.
+
+    For a probe on a register output or a primary input the support is the
+    signal itself.  For a combinational net it is every register output and
+    primary input reachable backwards without crossing a register.
+    """
+    stable = _stable_set(netlist)
+    return frozenset(n for n in combinational_cone(netlist, net) if n in stable)
+
+
+def all_stable_supports(netlist: Netlist) -> Dict[int, FrozenSet[int]]:
+    """Compute :func:`stable_support` for every net, sharing work.
+
+    Processes cells in levelized order so each support is the union of the
+    supports of the cell inputs.
+    """
+    stable = _stable_set(netlist)
+    supports: Dict[int, FrozenSet[int]] = {n: frozenset((n,)) for n in stable}
+    for net in range(netlist.n_nets):
+        if netlist.net_driver[net] is None and net not in stable:
+            supports[net] = frozenset()
+    for cell in levelize(netlist):
+        if cell.output in stable:
+            continue
+        merged: Set[int] = set()
+        for inp in cell.inputs:
+            merged.update(supports[inp])
+        supports[cell.output] = frozenset(merged)
+    return supports
+
+
+def transitive_input_support(
+    netlist: Netlist, net: int, max_cycles: int
+) -> Set[Tuple[int, int]]:
+    """Primary-input support of ``net`` across register stages.
+
+    Returns pairs ``(input_net, age)`` meaning the value of that primary
+    input ``age`` cycles before the observation influences ``net``.  Used by
+    the exact leakage engine to bound enumeration.  ``max_cycles`` caps the
+    traversal depth through registers.
+    """
+    input_set = set(netlist.inputs)
+    result: Set[Tuple[int, int]] = set()
+    seen: Set[Tuple[int, int]] = set()
+    stack: List[Tuple[int, int]] = [(net, 0)]
+    while stack:
+        current, age = stack.pop()
+        if (current, age) in seen:
+            continue
+        seen.add((current, age))
+        if current in input_set:
+            result.add((current, age))
+            continue
+        driver = netlist.driver(current)
+        if driver is None:
+            continue
+        next_age = age + driver.cell_type.is_sequential
+        if next_age > max_cycles:
+            continue
+        for inp in driver.inputs:
+            stack.append((inp, next_age))
+    return result
+
+
+def combinational_depth(netlist: Netlist) -> int:
+    """Longest combinational path length in gates."""
+    depth: Dict[int, int] = {n: 0 for n in _stable_set(netlist)}
+    longest = 0
+    for cell in levelize(netlist):
+        d = 1 + max((depth.get(n, 0) for n in cell.inputs), default=0)
+        depth[cell.output] = d
+        longest = max(longest, d)
+    return longest
+
+
+def _stable_set(netlist: Netlist) -> Set[int]:
+    return set(netlist.stable_nets())

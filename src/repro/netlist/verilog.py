@@ -1,0 +1,105 @@
+"""Structural Verilog export.
+
+Produces a flat gate-level module using NanGate45-style cell names, the same
+kind of netlist the paper feeds to PROLEAD.  Net names are sanitised into
+Verilog identifiers with the hierarchical path kept inside escaped
+identifiers.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.netlist.cells import CellType
+from repro.netlist.core import Netlist
+
+_PRIMITIVES: Dict[CellType, str] = {
+    CellType.BUF: "buf",
+    CellType.NOT: "not",
+    CellType.AND: "and",
+    CellType.NAND: "nand",
+    CellType.OR: "or",
+    CellType.NOR: "nor",
+    CellType.XOR: "xor",
+    CellType.XNOR: "xnor",
+}
+
+_IDENT_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def _sanitize(name: str) -> str:
+    clean = _IDENT_RE.sub("_", name)
+    if not clean or clean[0].isdigit():
+        clean = "n_" + clean
+    return clean
+
+
+def to_verilog(netlist: Netlist) -> str:
+    """Render the netlist as a structural Verilog module.
+
+    Registers become always-blocks clocked by an added ``clk`` port; all
+    other cells become gate primitives (or an assign for MUX/constants).
+    """
+    names: Dict[int, str] = {}
+    used: Dict[str, int] = {}
+    for net in range(netlist.n_nets):
+        base = _sanitize(netlist.net_name(net))
+        count = used.get(base, 0)
+        used[base] = count + 1
+        names[net] = base if count == 0 else f"{base}__{count}"
+
+    inputs = [names[n] for n in netlist.inputs]
+    outputs = [names[n] for n in netlist.outputs]
+    has_dff = any(True for _ in netlist.dff_cells())
+    ports = (["clk"] if has_dff else []) + inputs + outputs
+
+    lines: List[str] = []
+    lines.append(f"module {_sanitize(netlist.name)} (")
+    lines.append("  " + ",\n  ".join(ports))
+    lines.append(");")
+    if has_dff:
+        lines.append("  input clk;")
+    for name in inputs:
+        lines.append(f"  input {name};")
+    for name in outputs:
+        lines.append(f"  output {name};")
+
+    dff_outputs = {c.output for c in netlist.dff_cells()}
+    declared = set(netlist.inputs)
+    for net in range(netlist.n_nets):
+        if net in declared:
+            continue
+        keyword = "reg" if net in dff_outputs else "wire"
+        lines.append(f"  {keyword} {names[net]};")
+
+    instance = 0
+    for cell in netlist.cells:
+        kind = cell.cell_type
+        out = names[cell.output]
+        ins = [names[n] for n in cell.inputs]
+        if kind is CellType.DFF:
+            continue
+        if kind is CellType.CONST0:
+            lines.append(f"  assign {out} = 1'b0;")
+        elif kind is CellType.CONST1:
+            lines.append(f"  assign {out} = 1'b1;")
+        elif kind is CellType.MUX:
+            sel, d0, d1 = ins
+            lines.append(f"  assign {out} = {sel} ? {d1} : {d0};")
+        else:
+            primitive = _PRIMITIVES[kind]
+            args = ", ".join([out] + ins)
+            lines.append(f"  {primitive} g{instance} ({args});")
+            instance += 1
+
+    if has_dff:
+        lines.append("  always @(posedge clk) begin")
+        for cell in netlist.dff_cells():
+            lines.append(
+                f"    {names[cell.output]} <= {names[cell.inputs[0]]};"
+            )
+        lines.append("  end")
+
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"

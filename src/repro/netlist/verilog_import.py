@@ -1,0 +1,167 @@
+"""Structural Verilog import (the subset :mod:`repro.netlist.verilog` emits).
+
+Supported constructs:
+
+* one module with a port list; ``input``/``output``/``wire``/``reg``
+  declarations (scalar nets only);
+* gate primitives ``and/or/nand/nor/xor/xnor/not/buf`` in the
+  ``gate name (out, in...);`` form;
+* ``assign`` of a constant (``1'b0``/``1'b1``), an alias (another net), or
+  a ternary multiplexer ``sel ? a : b``;
+* a single ``always @(posedge clk)`` block of non-blocking assignments,
+  which become DFFs.
+
+This gives export/import round-trips for every netlist the package builds,
+and lets externally produced gate-level netlists (e.g. from Yosys with a
+matching cell set) be analyzed by the leakage engines.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CellType
+from repro.netlist.core import Netlist
+
+_PRIMITIVES = {
+    "buf": CellType.BUF,
+    "not": CellType.NOT,
+    "and": CellType.AND,
+    "nand": CellType.NAND,
+    "or": CellType.OR,
+    "nor": CellType.NOR,
+    "xor": CellType.XOR,
+    "xnor": CellType.XNOR,
+}
+
+_MODULE_RE = re.compile(
+    r"module\s+(?P<name>\w+)\s*\((?P<ports>.*?)\);", re.DOTALL
+)
+_DECL_RE = re.compile(r"^(input|output|wire|reg)\s+(\w+)\s*;$")
+_GATE_RE = re.compile(r"^(\w+)\s+\w+\s*\((?P<args>[^)]*)\)\s*;$")
+_ASSIGN_CONST_RE = re.compile(r"^assign\s+(\w+)\s*=\s*1'b([01])\s*;$")
+_ASSIGN_MUX_RE = re.compile(
+    r"^assign\s+(\w+)\s*=\s*(\w+)\s*\?\s*(\w+)\s*:\s*(\w+)\s*;$"
+)
+_ASSIGN_ALIAS_RE = re.compile(r"^assign\s+(\w+)\s*=\s*(\w+)\s*;$")
+_NONBLOCKING_RE = re.compile(r"^(\w+)\s*<=\s*(\w+)\s*;$")
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    return re.sub(r"/\*.*?\*/", "", text, flags=re.DOTALL)
+
+
+def from_verilog(text: str) -> Netlist:
+    """Parse structural Verilog into a :class:`Netlist`."""
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if module is None:
+        raise NetlistError("no module declaration found")
+    netlist = Netlist(module.group("name"))
+
+    body = text[module.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise NetlistError("missing endmodule")
+    body = body[:end]
+
+    nets: Dict[str, int] = {}
+    outputs: List[str] = []
+
+    def net_of(name: str) -> int:
+        if name not in nets:
+            nets[name] = netlist.add_net(name)
+        return nets[name]
+
+    # Split into statements; the always block is handled separately.
+    always_match = re.search(
+        r"always\s*@\s*\(\s*posedge\s+(\w+)\s*\)\s*begin(?P<body>.*?)end",
+        body,
+        re.DOTALL,
+    )
+    always_body = ""
+    if always_match:
+        always_body = always_match.group("body")
+        body = body[: always_match.start()] + body[always_match.end():]
+
+    instance_counter = 0
+    for raw in body.split(";"):
+        statement = " ".join(raw.split())
+        if not statement:
+            continue
+        statement += ";"
+        decl = _DECL_RE.match(statement)
+        if decl:
+            kind, name = decl.groups()
+            if name == "clk":
+                continue
+            index = net_of(name)
+            if kind == "input":
+                netlist.mark_input(index)
+            elif kind == "output":
+                outputs.append(name)
+            continue
+        const = _ASSIGN_CONST_RE.match(statement)
+        if const:
+            name, value = const.groups()
+            kind = CellType.CONST1 if value == "1" else CellType.CONST0
+            netlist.add_cell(kind, (), net_of(name), f"const_{name}")
+            continue
+        mux = _ASSIGN_MUX_RE.match(statement)
+        if mux:
+            out, select, d1, d0 = mux.groups()
+            netlist.add_cell(
+                CellType.MUX,
+                (net_of(select), net_of(d0), net_of(d1)),
+                net_of(out),
+                f"mux_{out}",
+            )
+            continue
+        alias = _ASSIGN_ALIAS_RE.match(statement)
+        if alias:
+            out, source = alias.groups()
+            netlist.add_cell(
+                CellType.BUF, (net_of(source),), net_of(out), f"buf_{out}"
+            )
+            continue
+        gate = _GATE_RE.match(statement)
+        if gate and gate.group(1) in _PRIMITIVES:
+            kind = _PRIMITIVES[gate.group(1)]
+            args = [a.strip() for a in gate.group("args").split(",")]
+            out, ins = args[0], args[1:]
+            if len(ins) != kind.arity:
+                raise NetlistError(
+                    f"{gate.group(1)} gate with {len(ins)} inputs"
+                )
+            netlist.add_cell(
+                kind,
+                tuple(net_of(n) for n in ins),
+                net_of(out),
+                f"g{instance_counter}",
+            )
+            instance_counter += 1
+            continue
+        raise NetlistError(f"unsupported statement: {statement!r}")
+
+    for raw in always_body.split(";"):
+        statement = " ".join(raw.split())
+        if not statement:
+            continue
+        statement += ";"
+        flop = _NONBLOCKING_RE.match(statement)
+        if not flop:
+            raise NetlistError(
+                f"unsupported sequential statement: {statement!r}"
+            )
+        q, d = flop.groups()
+        netlist.add_cell(
+            CellType.DFF, (net_of(d),), net_of(q), f"dff_{q}"
+        )
+
+    for name in outputs:
+        netlist.mark_output(nets[name])
+    netlist.validate()
+    return netlist

@@ -1,0 +1,28 @@
+"""Side-channel analysis substrate: power models, TVLA, CPA.
+
+The paper's evaluation is simulation-based (probing models); this package
+bridges to trace-based SCA practice:
+
+* :mod:`repro.sca.power` -- synthetic power traces from netlist simulation
+  (Hamming-weight / Hamming-distance models over the stable signals, plus
+  Gaussian noise).
+* :mod:`repro.sca.tvla` -- Welch's t-test leakage assessment (the
+  fixed-vs-random TVLA methodology of Schneider & Moradi, the paper's
+  reference [19]).
+* :mod:`repro.sca.cpa` -- correlation power analysis: recovers the key from
+  an unprotected S-box's traces and fails against the masked design.
+"""
+
+from repro.sca.power import PowerModel, TraceSynthesizer
+from repro.sca.tvla import TvlaResult, tvla_fixed_vs_random, welch_t_test
+from repro.sca.cpa import CpaResult, cpa_attack
+
+__all__ = [
+    "PowerModel",
+    "TraceSynthesizer",
+    "welch_t_test",
+    "tvla_fixed_vs_random",
+    "TvlaResult",
+    "cpa_attack",
+    "CpaResult",
+]

@@ -1,0 +1,83 @@
+"""TVLA-style leakage assessment with Welch's t-test.
+
+The fixed-vs-random t-test methodology of Schneider & Moradi ("Leakage
+assessment methodology", the paper's reference [19]): two trace groups
+(fixed input vs random input), Welch's t statistic per sample point, and
+the |t| > 4.5 detection threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+#: The conventional TVLA detection threshold on |t|.
+TVLA_THRESHOLD = 4.5
+
+
+def welch_t_test(
+    group_a: np.ndarray, group_b: np.ndarray
+) -> np.ndarray:
+    """Welch's t statistic per column (sample point) of two trace groups."""
+    a = np.asarray(group_a, dtype=np.float64)
+    b = np.asarray(group_b, dtype=np.float64)
+    if a.ndim != 2 or b.ndim != 2 or a.shape[1] != b.shape[1]:
+        raise SimulationError("trace groups must be 2-D with equal width")
+    if a.shape[0] < 2 or b.shape[0] < 2:
+        raise SimulationError("each group needs at least two traces")
+    mean_a = a.mean(axis=0)
+    mean_b = b.mean(axis=0)
+    var_a = a.var(axis=0, ddof=1) / a.shape[0]
+    var_b = b.var(axis=0, ddof=1) / b.shape[0]
+    denominator = np.sqrt(var_a + var_b)
+    # Zero-variance points (constant power) carry no evidence either way.
+    safe = denominator > 0
+    t = np.zeros(a.shape[1], dtype=np.float64)
+    t[safe] = (mean_a[safe] - mean_b[safe]) / denominator[safe]
+    return t
+
+
+@dataclass(frozen=True)
+class TvlaResult:
+    """Outcome of a fixed-vs-random TVLA run."""
+
+    t_statistics: Tuple[float, ...]
+    threshold: float
+
+    @property
+    def max_abs_t(self) -> float:
+        """Largest |t| over all sample points."""
+        return max((abs(t) for t in self.t_statistics), default=0.0)
+
+    @property
+    def leaking(self) -> bool:
+        """True when the threshold is exceeded anywhere."""
+        return self.max_abs_t > self.threshold
+
+    @property
+    def worst_cycle(self) -> int:
+        """Sample point with the largest |t|."""
+        values = [abs(t) for t in self.t_statistics]
+        return int(np.argmax(values)) if values else 0
+
+    def format_summary(self) -> str:
+        """One-line TVLA outcome."""
+        verdict = "FAIL (leakage)" if self.leaking else "PASS"
+        return (
+            f"TVLA: max |t| = {self.max_abs_t:.2f} at cycle "
+            f"{self.worst_cycle} (threshold {self.threshold:g}) -> {verdict}"
+        )
+
+
+def tvla_fixed_vs_random(
+    traces_fixed: np.ndarray,
+    traces_random: np.ndarray,
+    threshold: float = TVLA_THRESHOLD,
+) -> TvlaResult:
+    """Run the fixed-vs-random t-test over two trace groups."""
+    t = welch_t_test(traces_fixed, traces_random)
+    return TvlaResult(tuple(float(x) for x in t), threshold)

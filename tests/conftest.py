@@ -1,0 +1,44 @@
+"""Shared fixtures: session-scoped builds of the paper's designs."""
+
+import random
+
+import pytest
+
+from repro.core.kronecker import build_kronecker_delta
+from repro.core.optimizations import RandomnessScheme, SecondOrderScheme
+from repro.core.sbox import build_masked_sbox
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def kronecker_full():
+    return build_kronecker_delta(RandomnessScheme.FULL)
+
+
+@pytest.fixture(scope="session")
+def kronecker_eq6():
+    return build_kronecker_delta(RandomnessScheme.DEMEYER_EQ6)
+
+
+@pytest.fixture(scope="session")
+def kronecker_eq9():
+    return build_kronecker_delta(RandomnessScheme.PROPOSED_EQ9)
+
+
+@pytest.fixture(scope="session")
+def kronecker_second_order():
+    return build_kronecker_delta(SecondOrderScheme.FULL_21, order=2)
+
+
+@pytest.fixture(scope="session")
+def sbox_full():
+    return build_masked_sbox(RandomnessScheme.FULL)
+
+
+@pytest.fixture(scope="session")
+def sbox_no_kronecker():
+    return build_masked_sbox(include_kronecker=False)

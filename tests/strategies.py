@@ -1,0 +1,49 @@
+"""Shared hypothesis strategies: random netlists for differential testing."""
+
+from hypothesis import strategies as st
+
+from repro.netlist.builder import CircuitBuilder
+
+_TWO_INPUT = ("and_", "or_", "xor", "nand", "nor", "xnor")
+_ONE_INPUT = ("not_", "buf")
+
+
+@st.composite
+def random_circuits(draw, max_ops=24, allow_registers=True):
+    """Build a random netlist; returns (netlist, input_nets, probe_nets).
+
+    Every created net is marked as an output so nothing is dead; register
+    feedback is exercised by allowing DFFs whose D input is any existing net.
+    """
+    n_inputs = draw(st.integers(2, 5))
+    builder = CircuitBuilder("random")
+    nets = [builder.input(f"in{i}") for i in range(n_inputs)]
+    inputs = list(nets)
+    n_ops = draw(st.integers(1, max_ops))
+    kinds = list(_TWO_INPUT) + list(_ONE_INPUT) + (
+        ["reg"] if allow_registers else []
+    ) + ["mux"]
+    for index in range(n_ops):
+        kind = draw(st.sampled_from(kinds))
+        pick = lambda: nets[draw(st.integers(0, len(nets) - 1))]
+        if kind in _TWO_INPUT:
+            net = getattr(builder, kind)(pick(), pick())
+        elif kind in _ONE_INPUT:
+            net = getattr(builder, kind)(pick())
+        elif kind == "mux":
+            net = builder.mux(pick(), pick(), pick())
+        else:
+            net = builder.reg(pick(), f"r{index}")
+        nets.append(net)
+    builder.output(nets[-1], "out")
+    return builder.build(), inputs, nets
+
+
+@st.composite
+def input_sequences(draw, n_inputs, n_cycles_range=(1, 6)):
+    """Random per-cycle scalar input assignments."""
+    n_cycles = draw(st.integers(*n_cycles_range))
+    return [
+        [draw(st.integers(0, 1)) for _ in range(n_inputs)]
+        for _ in range(n_cycles)
+    ]

@@ -1,0 +1,112 @@
+"""Tests for the ablation features: unregistered DOM and compact observer."""
+
+import random
+
+import pytest
+
+from repro.core.kronecker import build_kronecker_delta, kronecker_reference
+from repro.core.optimizations import RandomnessScheme
+from repro.errors import SimulationError
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.model import ProbingModel
+from repro.netlist.simulate import ScalarSimulator
+
+N_SIMS = 30_000
+
+
+class TestUnregisteredKronecker:
+    @pytest.fixture(scope="class")
+    def design(self):
+        return build_kronecker_delta(RandomnessScheme.FULL, registered=False)
+
+    def test_fully_combinational(self, design):
+        assert sum(1 for _ in design.netlist.dff_cells()) == 0
+        assert design.dut.latency == 0
+
+    def test_still_computes_delta(self, design):
+        rng = random.Random(0)
+        for x in (0, 1, 0x42, 0xFF):
+            sim = ScalarSimulator(design.netlist)
+            share0 = rng.randrange(256)
+            assignment = {}
+            for i in range(8):
+                assignment[design.dut.share_buses[0][i]] = (share0 >> i) & 1
+                assignment[design.dut.share_buses[1][i]] = (
+                    (share0 ^ x) >> i
+                ) & 1
+            for net in design.dut.mask_bits:
+                assignment[net] = rng.randrange(2)
+            values = sim.step(assignment)
+            z = values[design.z_shares[0]] ^ values[design.z_shares[1]]
+            assert z == kronecker_reference(x)
+
+    def test_leaks_under_glitches_despite_full_masks(self, design):
+        """The Mangard et al. observation: no registers, no security --
+        even with seven fresh mask bits."""
+        evaluator = LeakageEvaluator(design.dut, ProbingModel.GLITCH, seed=1)
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=N_SIMS)
+        assert not report.passed
+        assert report.max_mlog10p > 100
+
+
+class TestHammingObserver:
+    def test_invalid_observation_rejected(self, kronecker_full):
+        with pytest.raises(SimulationError):
+            LeakageEvaluator(kronecker_full.dut, observation="power")
+
+    def test_eq6_detected_by_hamming_observer(self, kronecker_eq6):
+        evaluator = LeakageEvaluator(
+            kronecker_eq6.dut,
+            ProbingModel.GLITCH,
+            seed=1,
+            observation="hamming",
+        )
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=N_SIMS)
+        assert not report.passed
+        assert any("g7" in r.probe_names for r in report.leaking_results)
+
+    def test_full_passes_hamming_observer(self, kronecker_full):
+        evaluator = LeakageEvaluator(
+            kronecker_full.dut,
+            ProbingModel.GLITCH,
+            seed=1,
+            observation="hamming",
+        )
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=N_SIMS)
+        assert report.passed
+
+    def test_hamming_tables_are_small(self, kronecker_eq6):
+        evaluator = LeakageEvaluator(
+            kronecker_eq6.dut, seed=1, observation="hamming"
+        )
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=5_000)
+        assert all(r.dof <= 64 for r in report.results)
+
+
+class TestMaskedDecryption:
+    def test_decrypt_inverts_encrypt(self):
+        from repro.core.aes_masked import MaskedAes128
+
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        masked = MaskedAes128(key, random.Random(3))
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        ct = masked.encrypt_block(pt)
+        assert masked.decrypt_block(ct) == pt
+
+    def test_decrypt_matches_reference(self):
+        from repro.aes.cipher import aes128_decrypt_block
+        from repro.core.aes_masked import MaskedAes128
+
+        rng = random.Random(4)
+        key = bytes(rng.randrange(256) for _ in range(16))
+        ct = bytes(rng.randrange(256) for _ in range(16))
+        masked = MaskedAes128(key, rng)
+        assert masked.decrypt_block(ct) == aes128_decrypt_block(ct, key)
+
+    def test_state_length_checked(self):
+        from repro.core.aes_masked import MaskedAes128
+        from repro.errors import MaskingError
+
+        masked = MaskedAes128(bytes(16), random.Random(5))
+        with pytest.raises(MaskingError):
+            masked.decrypt_shared([])

@@ -1,0 +1,98 @@
+"""Tests for the reference AES-128 implementation (FIPS-197)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ReproError
+from repro.aes.cipher import (
+    add_round_key,
+    aes128_decrypt_block,
+    aes128_encrypt_block,
+    inv_mix_columns,
+    inv_shift_rows,
+    key_expansion,
+    mix_columns,
+    shift_rows,
+)
+
+blocks = st.binary(min_size=16, max_size=16)
+
+
+class TestKnownVectors:
+    def test_fips_appendix_c(self):
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ct = aes128_encrypt_block(pt, key)
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_fips_appendix_b(self):
+        pt = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        ct = aes128_encrypt_block(pt, key)
+        assert ct.hex() == "3925841d02dc09fbdc118597196a0b32"
+
+    def test_nist_sp800_38a_ecb_vector(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        pt = bytes.fromhex("6bc1bee22e409f96e93d7e117393172a")
+        assert (
+            aes128_encrypt_block(pt, key).hex()
+            == "3ad77bb40d7a3660a89ecaf32466ef97"
+        )
+
+
+class TestKeyExpansion:
+    def test_round_key_count_and_width(self):
+        keys = key_expansion(bytes(16))
+        assert len(keys) == 11
+        assert all(len(k) == 16 for k in keys)
+
+    def test_first_round_key_is_cipher_key(self):
+        key = bytes(range(16))
+        assert key_expansion(key)[0] == list(key)
+
+    def test_fips_a1_last_round_key(self):
+        key = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+        last = key_expansion(key)[10]
+        assert bytes(last).hex() == "d014f9a8c9ee2589e13f0cc8b6630ca6"
+
+    def test_bad_key_length(self):
+        with pytest.raises(ReproError):
+            key_expansion(b"short")
+
+
+class TestRoundFunctions:
+    def test_shift_rows_inverse(self):
+        state = list(range(16))
+        assert inv_shift_rows(shift_rows(state)) == state
+
+    def test_mix_columns_inverse(self):
+        state = list(range(16))
+        assert inv_mix_columns(mix_columns(state)) == state
+
+    def test_mix_columns_fips_example(self):
+        # FIPS-197 / well-known single column test vector.
+        column = [0xDB, 0x13, 0x53, 0x45] + [0] * 12
+        mixed = mix_columns(column)
+        assert mixed[:4] == [0x8E, 0x4D, 0xA1, 0xBC]
+
+    def test_add_round_key_is_involution(self):
+        state = list(range(16))
+        key = [0xA5] * 16
+        assert add_round_key(add_round_key(state, key), key) == state
+
+    def test_shift_rows_row0_fixed(self):
+        state = list(range(16))
+        shifted = shift_rows(state)
+        assert [shifted[4 * c] for c in range(4)] == [0, 4, 8, 12]
+
+
+class TestRoundTrips:
+    @given(blocks, blocks)
+    def test_decrypt_inverts_encrypt(self, pt, key):
+        assert aes128_decrypt_block(aes128_encrypt_block(pt, key), key) == pt
+
+    def test_block_length_checked(self):
+        with pytest.raises(ReproError):
+            aes128_encrypt_block(b"short", bytes(16))
+        with pytest.raises(ReproError):
+            aes128_decrypt_block(b"short", bytes(16))

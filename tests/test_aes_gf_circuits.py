@@ -1,0 +1,107 @@
+"""Tests for the combinational GF(2^8) multiplier and inverter circuits."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import NetlistError
+from repro.gf.gf256 import GF256
+from repro.aes.gf_circuits import (
+    build_gf256_inverter,
+    build_gf256_multiplier,
+    gf256_inverter_circuit,
+    gf256_multiplier_circuit,
+)
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.simulate import evaluate_combinational
+from repro.netlist.stats import netlist_stats
+
+MUL = build_gf256_multiplier()
+INV = build_gf256_inverter()
+
+_MUL_A = [MUL.net(f"a[{i}]") for i in range(8)]
+_MUL_B = [MUL.net(f"b[{i}]") for i in range(8)]
+_MUL_P = [MUL.net(f"p[{i}]") for i in range(8)]
+_INV_A = [INV.net(f"a[{i}]") for i in range(8)]
+_INV_Y = [INV.net(f"y[{i}]") for i in range(8)]
+
+bytes_ = st.integers(0, 255)
+
+
+def run_multiplier(a, b):
+    assignment = {_MUL_A[i]: (a >> i) & 1 for i in range(8)}
+    assignment.update({_MUL_B[i]: (b >> i) & 1 for i in range(8)})
+    values = evaluate_combinational(MUL, assignment)
+    return sum(values[_MUL_P[i]] << i for i in range(8))
+
+
+def run_inverter(a):
+    assignment = {_INV_A[i]: (a >> i) & 1 for i in range(8)}
+    values = evaluate_combinational(INV, assignment)
+    return sum(values[_INV_Y[i]] << i for i in range(8))
+
+
+class TestMultiplier:
+    @settings(max_examples=150, deadline=None)
+    @given(bytes_, bytes_)
+    def test_matches_table_field(self, a, b):
+        assert run_multiplier(a, b) == GF256.multiply(a, b)
+
+    def test_identity_and_zero(self):
+        for a in (0, 1, 0x53, 0xFF):
+            assert run_multiplier(a, 1) == a
+            assert run_multiplier(a, 0) == 0
+
+    def test_fips_example(self):
+        assert run_multiplier(0x57, 0x83) == 0xC1
+
+    def test_gate_budget(self):
+        stats = netlist_stats(MUL)
+        # 64 partial products + XOR network; no registers.
+        assert stats.n_registers == 0
+        assert stats.cell_counts[list(stats.cell_counts)[0]] >= 0
+        assert 120 <= stats.n_cells <= 260
+
+    def test_width_checked(self):
+        b = CircuitBuilder("bad")
+        x = b.input_bus("x", 4)
+        y = b.input_bus("y", 8)
+        with pytest.raises(NetlistError):
+            gf256_multiplier_circuit(b, x, y, "m")
+
+
+class TestInverter:
+    def test_all_values_exhaustive(self):
+        for a in range(256):
+            assert run_inverter(a) == GF256.inverse_or_zero(a)
+
+    def test_zero_and_one_self_inverse(self):
+        assert run_inverter(0) == 0
+        assert run_inverter(1) == 1
+
+    def test_purely_combinational(self):
+        assert netlist_stats(INV).n_registers == 0
+
+    def test_width_checked(self):
+        b = CircuitBuilder("bad")
+        x = b.input_bus("x", 4)
+        with pytest.raises(NetlistError):
+            gf256_inverter_circuit(b, x, "inv")
+
+
+class TestComposition:
+    @settings(max_examples=40, deadline=None)
+    @given(bytes_)
+    def test_multiplier_inverter_chain(self, a):
+        """a x a^-1 == 1 through the circuits, for non-zero a."""
+        if a == 0:
+            return
+        builder = CircuitBuilder("chain")
+        bus = builder.input_bus("a", 8)
+        inverse = gf256_inverter_circuit(builder, bus, "inv")
+        product = gf256_multiplier_circuit(builder, bus, inverse, "mul")
+        builder.output_bus(product, "p")
+        nl = builder.build()
+        assignment = {bus[i]: (a >> i) & 1 for i in range(8)}
+        values = evaluate_combinational(nl, assignment)
+        got = sum(values[nl.net(f"p[{i}]")] << i for i in range(8))
+        assert got == 1

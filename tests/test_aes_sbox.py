@@ -1,0 +1,64 @@
+"""Tests for the AES S-box module."""
+
+from hypothesis import given, strategies as st
+
+from repro.gf.gf256 import GF256
+from repro.aes.sbox import (
+    AFFINE_CONSTANT,
+    AFFINE_MATRIX,
+    INV_SBOX_TABLE,
+    SBOX_TABLE,
+    affine_transform,
+    inv_sbox,
+    sbox,
+)
+
+bytes_ = st.integers(0, 255)
+
+
+class TestSboxTable:
+    def test_fips_known_values(self):
+        # FIPS-197 Figure 7 corners and a classic value.
+        assert sbox(0x00) == 0x63
+        assert sbox(0x01) == 0x7C
+        assert sbox(0x53) == 0xED
+        assert sbox(0xFF) == 0x16
+        assert sbox(0xC9) == 0xDD
+
+    def test_table_is_permutation(self):
+        assert sorted(SBOX_TABLE) == list(range(256))
+
+    @given(bytes_)
+    def test_inverse_table(self, x):
+        assert inv_sbox(sbox(x)) == x
+        assert sbox(inv_sbox(x)) == x
+
+    def test_inv_table_consistency(self):
+        for y in range(256):
+            assert SBOX_TABLE[INV_SBOX_TABLE[y]] == y
+
+    @given(bytes_)
+    def test_definition_matches_equation_2(self, x):
+        # S(X) = A(X^-1), the paper's Eq. (2).
+        assert sbox(x) == affine_transform(GF256.inverse_or_zero(x))
+
+    def test_no_fixed_points(self):
+        for x in range(256):
+            assert sbox(x) != x
+            assert sbox(x) != x ^ 0xFF
+
+
+class TestAffine:
+    def test_constant(self):
+        assert affine_transform(0) == AFFINE_CONSTANT == 0x63
+
+    @given(bytes_, bytes_)
+    def test_affine_is_affine(self, a, b):
+        # A(a ^ b) ^ A(0) == A(a) ^ A(b).
+        lhs = affine_transform(a ^ b) ^ AFFINE_CONSTANT
+        rhs = affine_transform(a) ^ affine_transform(b)
+        assert lhs == rhs
+
+    def test_matrix_rows_have_five_taps(self):
+        for row in AFFINE_MATRIX:
+            assert bin(row).count("1") == 5

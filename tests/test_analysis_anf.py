@@ -1,0 +1,123 @@
+"""Tests for the GF(2) ANF algebra."""
+
+from itertools import product
+
+from hypothesis import given, strategies as st
+
+from repro.analysis.anf import BitPoly, xor_all
+
+VARS = ("a", "b", "c", "d")
+
+
+@st.composite
+def polys(draw):
+    """Random small polynomials over four variables."""
+    n_monomials = draw(st.integers(0, 6))
+    monomials = []
+    for _ in range(n_monomials):
+        size = draw(st.integers(0, 3))
+        monomials.append(
+            frozenset(draw(st.sampled_from(VARS)) for _ in range(size))
+        )
+    return xor_all(BitPoly((m,)) for m in monomials)
+
+
+def assignments():
+    for values in product((0, 1), repeat=len(VARS)):
+        yield dict(zip(VARS, values))
+
+
+def semantically_equal(p, q):
+    return all(
+        p.evaluate(a) == q.evaluate(a) for a in assignments()
+    )
+
+
+class TestConstructors:
+    def test_constants(self):
+        assert BitPoly.zero().is_zero
+        assert BitPoly.one().is_one
+        assert BitPoly.constant(0) == BitPoly.zero()
+        assert BitPoly.constant(1) == BitPoly.one()
+        assert BitPoly.constant(3) == BitPoly.one()  # LSB
+
+    def test_var(self):
+        p = BitPoly.var("x")
+        assert p.evaluate({"x": 1}) == 1
+        assert p.evaluate({"x": 0}) == 0
+        assert p.degree == 1
+        assert p.variables() == frozenset({"x"})
+
+
+class TestAlgebraLaws:
+    @given(polys(), polys())
+    def test_xor_commutative(self, p, q):
+        assert p ^ q == q ^ p
+
+    @given(polys(), polys(), polys())
+    def test_and_distributes_over_xor(self, p, q, r):
+        assert p & (q ^ r) == (p & q) ^ (p & r)
+
+    @given(polys())
+    def test_xor_self_is_zero(self, p):
+        assert (p ^ p).is_zero
+
+    @given(polys())
+    def test_and_idempotent_semantically(self, p):
+        assert semantically_equal(p & p, p)
+
+    @given(polys(), polys())
+    def test_and_matches_semantics(self, p, q):
+        r = p & q
+        for a in assignments():
+            assert r.evaluate(a) == (p.evaluate(a) & q.evaluate(a))
+
+    @given(polys())
+    def test_not_is_xor_one(self, p):
+        assert ~p == p ^ BitPoly.one()
+        for a in assignments():
+            assert (~p).evaluate(a) == p.evaluate(a) ^ 1
+
+    @given(polys(), polys())
+    def test_or_matches_semantics(self, p, q):
+        r = p | q
+        for a in assignments():
+            assert r.evaluate(a) == (p.evaluate(a) | q.evaluate(a))
+
+
+class TestSubstitution:
+    def test_substitute_variable(self):
+        p = BitPoly.var("a") & BitPoly.var("b")
+        q = p.substitute("a", BitPoly.var("c") ^ BitPoly.one())
+        expected = (BitPoly.var("c") ^ BitPoly.one()) & BitPoly.var("b")
+        assert q == expected
+
+    @given(polys(), polys())
+    def test_substitution_is_semantic(self, p, replacement):
+        q = p.substitute("a", replacement)
+        for a in assignments():
+            inner = dict(a)
+            inner["a"] = replacement.evaluate(a)
+            assert q.evaluate(a) == p.evaluate(inner)
+
+    def test_rename(self):
+        p = BitPoly.var("a") ^ (BitPoly.var("b") & BitPoly.var("a"))
+        q = p.rename({"a": "x"})
+        assert q.variables() == frozenset({"x", "b"})
+
+    def test_substitute_absent_variable_is_noop(self):
+        p = BitPoly.var("a")
+        assert p.substitute("z", BitPoly.one()) == p
+
+
+class TestDisplay:
+    def test_str_of_zero_and_one(self):
+        assert str(BitPoly.zero()) == "0"
+        assert str(BitPoly.one()) == "1"
+
+    def test_str_sorted_by_degree(self):
+        p = (BitPoly.var("b") & BitPoly.var("a")) ^ BitPoly.var("c") ^ BitPoly.one()
+        assert str(p) == "1 + c + a*b"
+
+    def test_hashable(self):
+        assert len({BitPoly.var("a"), BitPoly.var("a"), BitPoly.var("b")}) == 2

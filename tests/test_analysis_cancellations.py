@@ -1,0 +1,86 @@
+"""Tests for the linear-cancellation screen and its (telling) limits."""
+
+from repro.analysis.anf import BitPoly
+from repro.analysis.rootcause import (
+    find_linear_cancellations,
+    transition_observation_anf,
+    v1_observation_anf,
+)
+from repro.core.optimizations import RandomnessScheme
+
+
+def var(name):
+    return BitPoly.var(name)
+
+
+class TestLinearScreen:
+    def test_detects_direct_linear_reuse(self):
+        """Two registers blinding secrets with the same mask: XOR unblinds
+        a pure-secret function -- a definite first-order break."""
+        observations = [
+            var("X0") ^ var("rand.r"),
+            var("X1") ^ var("rand.r"),
+            var("rand.other"),
+        ]
+        findings = find_linear_cancellations(observations)
+        assert findings
+        indices, residual = findings[0]
+        assert set(indices) == {0, 1}
+        assert residual == var("X0") ^ var("X1")
+
+    def test_share_randomness_in_residual_is_not_flagged(self):
+        """A mask-free residual that still contains unobserved sharing
+        randomness is inconclusive, not a definite leak."""
+        observations = [
+            (var("x0[0]@0") & var("X1")) ^ var("rand.r"),
+            (var("x0[4]@0") & var("X5")) ^ var("rand.r"),
+        ]
+        assert find_linear_cancellations(observations) == []
+
+    def test_fresh_masks_produce_no_findings(self):
+        observations = [
+            var("X0") ^ var("rand.r1"),
+            var("X1") ^ var("rand.r2"),
+        ]
+        assert find_linear_cancellations(observations) == []
+
+    def test_mask_free_but_secret_free_combos_ignored(self):
+        observations = [var("rand.r"), var("rand.r")]
+        assert find_linear_cancellations(observations) == []
+
+    def test_triple_cancellation_found(self):
+        observations = [
+            var("X0") ^ var("rand.a") ^ var("rand.b"),
+            var("rand.a"),
+            var("rand.b"),
+        ]
+        findings = find_linear_cancellations(observations, max_subset=3)
+        assert any(len(ix) == 3 for ix, _ in findings)
+
+
+class TestKroneckerIsConditional:
+    """The paper's leaks are NOT linear cancellations -- the screen stays
+    empty even for the flawed schemes.  That is the point: the flaw hides
+    inside products and only shows in joint distributions, which is why
+    the pen-and-paper argument missed it."""
+
+    def test_glitch_observation_has_no_linear_cancellation(self):
+        for scheme in (
+            RandomnessScheme.DEMEYER_EQ6,
+            RandomnessScheme.FIRST_LAYER_R1R3,
+            RandomnessScheme.FULL,
+        ):
+            observations = v1_observation_anf(scheme)
+            assert find_linear_cancellations(observations) == []
+
+    def test_transition_observation_has_no_linear_cancellation(self):
+        observations = transition_observation_anf(
+            RandomnessScheme.PROPOSED_EQ9
+        )
+        assert find_linear_cancellations(observations, max_subset=3) == []
+
+    def test_transition_observation_shape(self):
+        observations = transition_observation_anf(RandomnessScheme.FULL)
+        # the support at two cycles: 4 layer-1 registers + the r5 wire? the
+        # probed blind node's support contains the y registers and r5.
+        assert len(observations) >= 8

@@ -1,0 +1,125 @@
+"""Tests reproducing the paper's Section III derivations symbolically."""
+
+import pytest
+
+from repro.analysis.anf import BitPoly
+from repro.analysis.rootcause import (
+    eq8_cancellation_witness,
+    kronecker_layer_equations,
+    v1_distribution_by_secret,
+    v1_leaks,
+    v1_observation_anf,
+)
+from repro.analysis.walsh import depends_on_conditioning
+from repro.core.optimizations import RandomnessScheme
+
+
+def expected_y0_share0():
+    """y0^0 = (NOT x0^0)(NOT x1) xor r1, expanded to ANF.
+
+    In circuit variables: (1 + x0[0]@0)(1 + X1 + x0[1]@0 + x0[1]@0) ... the
+    complement of the unshared bit x1 is 1 + X1 once share 1 is substituted
+    and the share-0 part cancels against the inverted share.
+    """
+    n0 = BitPoly.one() ^ BitPoly.var("x0[0]@0")
+    n1_unshared = BitPoly.one() ^ BitPoly.var("X1")
+    return (n0 & n1_unshared) ^ BitPoly.var("rand.r1@0")
+
+
+class TestEquation7:
+    def test_y0_share0_matches_simplified_form(self):
+        """The netlist's y0^0 equals the Eq. (5)/(7) simplified expression.
+
+        Caveat: the complemented unshared bit has its share-0 component in
+        the share-0 output, so the recovered ANF is the DOM share equation
+        b_x^0 * y xor r with b_x = NOT-share and y the unshared complement.
+        """
+        equations = kronecker_layer_equations(RandomnessScheme.FULL)
+        assert equations["y0^0"] == expected_y0_share0()
+
+    def test_shares_xor_to_unshared_and(self):
+        """y0^0 xor y0^1 == (NOT x0)(NOT x1) with masks cancelled."""
+        equations = kronecker_layer_equations(RandomnessScheme.FULL)
+        combined = equations["y0^0"] ^ equations["y0^1"]
+        # substitute share-0 randomness away: result must not contain masks
+        assert not any(
+            v.startswith("rand.") for v in combined.variables()
+        )
+        # and must equal (1+x0)(1+x1) on the unshared bits
+        expected = (BitPoly.one() ^ BitPoly.var("X0")) & (
+            BitPoly.one() ^ BitPoly.var("X1")
+        )
+        # combined still contains share-0 variables that cancel pairwise;
+        # evaluate both on all assignments of the remaining variables.
+        variables = sorted(combined.variables() | expected.variables())
+        from itertools import product
+
+        for values in product((0, 1), repeat=len(variables)):
+            assignment = dict(zip(variables, values))
+            assert combined.evaluate(assignment) == expected.evaluate(
+                assignment
+            )
+
+    def test_all_layer1_equations_have_expected_masks(self):
+        equations = kronecker_layer_equations(RandomnessScheme.FULL)
+        for j, gate_mask in enumerate(("r1", "r2", "r3", "r4")):
+            for share in range(2):
+                variables = equations[f"y{j}^{share}"].variables()
+                assert f"rand.{gate_mask}@0" in variables
+
+    def test_w_equations_contain_layer2_masks(self):
+        equations = kronecker_layer_equations(RandomnessScheme.FULL)
+        assert "rand.r5@1" in equations["w0^0"].variables()
+        assert "rand.r6@1" in equations["w1^0"].variables()
+
+
+class TestEquation8:
+    def test_full_scheme_keeps_masks(self):
+        cancelled, poly = eq8_cancellation_witness(RandomnessScheme.FULL)
+        assert not cancelled
+        assert "rand.r1@0" in poly.variables()
+        assert "rand.r3@0" in poly.variables()
+
+    def test_r1_eq_r3_cancels_masks(self):
+        cancelled, poly = eq8_cancellation_witness(
+            RandomnessScheme.FIRST_LAYER_R1R3
+        )
+        assert cancelled
+        # The residue is exactly the unmasked relation of Eq. (8):
+        # terms in x0^0, x4^0 and the secret bits X1, X5 only.
+        assert poly.variables() <= {
+            "x0[0]@0",
+            "x0[4]@0",
+            "X1",
+            "X5",
+        }
+
+    def test_demeyer_eq6_cancels_masks(self):
+        cancelled, _ = eq8_cancellation_witness(RandomnessScheme.DEMEYER_EQ6)
+        assert cancelled
+
+
+class TestV1Distribution:
+    def test_flawed_schemes_leak(self):
+        assert v1_leaks(RandomnessScheme.FIRST_LAYER_R1R3)
+        assert v1_leaks(RandomnessScheme.DEMEYER_EQ6)
+
+    def test_secure_schemes_do_not_leak_via_x1_x5(self):
+        assert not v1_leaks(RandomnessScheme.FULL)
+        assert not v1_leaks(RandomnessScheme.PROPOSED_EQ9)
+
+    def test_r5_r6_reuse_leaks_via_x2_x6(self):
+        """Section IV's counter-example leaks through the second layer."""
+        dists = v1_distribution_by_secret(
+            RandomnessScheme.SECOND_LAYER_R5R6, secret_bits=("X2", "X6")
+        )
+        assert depends_on_conditioning(dists)
+
+    def test_observation_is_four_registers(self):
+        observation = v1_observation_anf(RandomnessScheme.FULL)
+        assert len(observation) == 4
+
+    def test_distribution_structure_when_leaking(self):
+        dists = v1_distribution_by_secret(RandomnessScheme.FIRST_LAYER_R1R3)
+        # the x1 = x5 = 0 case differs from x1 = x5 = 1
+        assert dists[(0, 0)] != dists[(1, 1)]

@@ -1,0 +1,112 @@
+"""Tests for exact bias/distribution computation."""
+
+import pytest
+
+from repro.analysis.anf import BitPoly
+from repro.analysis.walsh import (
+    bias,
+    depends_on_conditioning,
+    distributions_by_assignment,
+    joint_distribution,
+    total_variation,
+)
+from repro.errors import ReproError
+
+
+def var(name):
+    return BitPoly.var(name)
+
+
+class TestBias:
+    def test_uniform_variable(self):
+        assert bias(var("a")) == 0.5
+
+    def test_and_bias(self):
+        assert bias(var("a") & var("b")) == 0.25
+
+    def test_xor_of_independent_is_balanced(self):
+        assert bias(var("a") ^ var("b")) == 0.5
+
+    def test_constant_bias(self):
+        assert bias(BitPoly.one()) == 1.0
+        assert bias(BitPoly.zero()) == 0.0
+
+    def test_conditioning(self):
+        p = var("a") & var("b")
+        assert bias(p, {"a": 1}) == 0.5
+        assert bias(p, {"a": 0}) == 0.0
+
+    def test_too_many_variables_rejected(self):
+        wide = BitPoly.zero()
+        for i in range(30):
+            wide = wide ^ var(f"v{i}")
+        with pytest.raises(ReproError):
+            bias(wide)
+
+
+class TestJointDistribution:
+    def test_masked_value_is_uniform(self):
+        """x ^ r with fresh r is uniform: the essence of masking."""
+        dist = joint_distribution([var("x") ^ var("r")], {"x": 1})
+        assert dist == {(0,): 0.5, (1,): 0.5}
+
+    def test_correlated_pair(self):
+        # (r, r) is perfectly correlated.
+        dist = joint_distribution([var("r"), var("r")])
+        assert dist == {(0, 0): 0.5, (1, 1): 0.5}
+
+    def test_probabilities_sum_to_one(self):
+        polys = [var("a") & var("b"), var("b") ^ var("c")]
+        dist = joint_distribution(polys)
+        assert abs(sum(dist.values()) - 1.0) < 1e-12
+
+
+class TestConditionedDistributions:
+    def test_unmasked_dependency_detected(self):
+        """(x & s) with observed s: distribution depends on x."""
+        observation = [var("x") & var("s"), var("s")]
+        dists = distributions_by_assignment(observation, ["x"])
+        assert depends_on_conditioning(dists)
+
+    def test_masked_observation_independent(self):
+        observation = [var("x") ^ var("r")]
+        dists = distributions_by_assignment(observation, ["x"])
+        assert not depends_on_conditioning(dists)
+
+    def test_eq8_toy_model(self):
+        """The paper's Eq. (8) in miniature.
+
+        With r1 = r3, the pair (x0*X1 ^ r, x4*X5 ^ r) has an X-dependent
+        joint distribution: when X1 = X5 = 0 both components are equal.
+        """
+        r = var("r")
+        obs = [
+            (var("x0") & var("X1")) ^ r,
+            (var("x4") & var("X5")) ^ r,
+        ]
+        dists = distributions_by_assignment(obs, ["X1", "X5"])
+        assert depends_on_conditioning(dists)
+        equal_case = dists[(0, 0)]
+        assert equal_case == {(0, 0): 0.5, (1, 1): 0.5}
+
+    def test_eq8_toy_model_fresh_masks_secure(self):
+        obs = [
+            (var("x0") & var("X1")) ^ var("r1"),
+            (var("x4") & var("X5")) ^ var("r3"),
+        ]
+        dists = distributions_by_assignment(obs, ["X1", "X5"])
+        assert not depends_on_conditioning(dists)
+
+
+class TestTotalVariation:
+    def test_identical_distributions(self):
+        d = {(0,): 0.5, (1,): 0.5}
+        assert total_variation(d, dict(d)) == 0.0
+
+    def test_disjoint_distributions(self):
+        assert total_variation({(0,): 1.0}, {(1,): 1.0}) == 1.0
+
+    def test_partial_overlap(self):
+        p = {(0,): 0.75, (1,): 0.25}
+        q = {(0,): 0.25, (1,): 0.75}
+        assert abs(total_variation(p, q) - 0.5) < 1e-12

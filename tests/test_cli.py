@@ -1,0 +1,157 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestEvaluate:
+    def test_leaky_scheme_exits_nonzero(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--design", "kronecker",
+                "--scheme", "eq6",
+                "--simulations", "20000",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "g7" in out
+
+    def test_secure_scheme_exits_zero(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--scheme", "full",
+                "--simulations", "20000",
+            ]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_transition_flag(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--scheme", "eq9",
+                "--transitions",
+                "--simulations", "20000",
+            ]
+        )
+        assert code == 1
+        assert "transition" in capsys.readouterr().out
+
+    def test_fixed_value_parsing(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--design", "sbox-nokronecker",
+                "--scheme", "full",
+                "--fixed", "0x53",
+                "--simulations", "20000",
+            ]
+        )
+        assert code == 0
+        assert "0x53" in capsys.readouterr().out
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["evaluate", "--scheme", "bogus"])
+
+    def test_json_output(self, capsys):
+        import json
+
+        code = main(
+            [
+                "evaluate",
+                "--scheme", "full",
+                "--simulations", "5000",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["passed"] is True
+
+    def test_pair_mode(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--scheme", "full",
+                "--pairs",
+                "--max-pairs", "40",
+                "--simulations", "5000",
+            ]
+        )
+        # a first-order design fails the pair (second-order) test
+        assert code == 1
+
+    def test_sbox2_design(self, capsys):
+        code = main(
+            [
+                "evaluate",
+                "--design", "sbox2",
+                "--scheme", "second_order_full_21",
+                "--simulations", "10000",
+            ]
+        )
+        assert code == 0
+
+
+class TestExact:
+    def test_exact_sweep_eq9(self, capsys):
+        code = main(["exact", "--scheme", "eq9"])
+        assert code == 0
+        assert "SECURE" in capsys.readouterr().out
+
+    def test_exact_sweep_eq6_fails(self, capsys):
+        code = main(["exact", "--scheme", "eq6"])
+        assert code == 1
+        assert "INSECURE" in capsys.readouterr().out
+
+
+class TestSni:
+    def test_standard_sni_passes(self, capsys):
+        code = main(["sni"])
+        assert code == 0
+        assert "SNI=yes" in capsys.readouterr().out
+
+    def test_robust_sni_fails(self, capsys):
+        code = main(["sni", "--robust"])
+        assert code == 1
+        assert "SNI=NO" in capsys.readouterr().out
+
+
+class TestReportAndVerilog:
+    def test_report(self, capsys):
+        assert main(["report", "--design", "kronecker"]) == 0
+        out = capsys.readouterr().out
+        assert "registers" in out
+        assert "GE" in out
+
+    def test_verilog_to_stdout(self, capsys):
+        assert main(["verilog", "--scheme", "eq6"]) == 0
+        out = capsys.readouterr().out
+        assert "module" in out
+        assert "endmodule" in out
+
+    def test_verilog_to_file(self, tmp_path, capsys):
+        target = tmp_path / "out.v"
+        assert main(["verilog", "--output", str(target)]) == 0
+        assert target.exists()
+        assert "module" in target.read_text()
+
+
+class TestEncrypt:
+    def test_fips_vector(self, capsys):
+        code = main(
+            [
+                "encrypt",
+                "--key", "000102030405060708090a0b0c0d0e0f",
+                "--plaintext", "00112233445566778899aabbccddeeff",
+            ]
+        )
+        assert code == 0
+        assert "69c4e0d86a7b0430d8cdb78070b4c55a" in capsys.readouterr().out

@@ -1,0 +1,189 @@
+"""Tests for the full gate-level masked AES-128 core."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.aes.cipher import aes128_encrypt_block, key_expansion
+from repro.core.aes_core import (
+    ENCRYPTION_CYCLES,
+    MIX_COLUMNS_MATRIX,
+    ROUND_CYCLES,
+    SHIFT_ROWS_PERMUTATION,
+    AesCoreHarness,
+    build_masked_aes_core,
+)
+from repro.core.optimizations import RandomnessScheme
+from repro.gf.gf2 import gf2_matrix_vector
+from repro.aes.cipher import mix_columns, shift_rows
+from repro.netlist.stats import netlist_stats
+
+
+@pytest.fixture(scope="module")
+def core():
+    return build_masked_aes_core(RandomnessScheme.TRANSITION_R7_EQ_R1)
+
+
+class TestLinearLayers:
+    def test_shift_rows_permutation_matches_reference(self):
+        state = list(range(16))
+        shifted = shift_rows(state)
+        for out_pos in range(16):
+            assert shifted[out_pos] == state[SHIFT_ROWS_PERMUTATION[out_pos]]
+
+    def test_mix_columns_matrix_matches_reference(self):
+        state = [0xDB, 0x13, 0x53, 0x45] + [0x00] * 12
+        column = sum(state[i] << (8 * i) for i in range(4))
+        image = gf2_matrix_vector(MIX_COLUMNS_MATRIX, column)
+        expected = mix_columns(state)[:4]
+        got = [(image >> (8 * i)) & 0xFF for i in range(4)]
+        assert got == expected
+
+    def test_mix_columns_matrix_linear_random(self):
+        rng = random.Random(0)
+        for _ in range(20):
+            state = [rng.randrange(256) for _ in range(4)] + [0] * 12
+            column = sum(state[i] << (8 * i) for i in range(4))
+            image = gf2_matrix_vector(MIX_COLUMNS_MATRIX, column)
+            got = [(image >> (8 * i)) & 0xFF for i in range(4)]
+            assert got == mix_columns(state)[:4]
+
+
+class TestStructure:
+    def test_core_size(self, core):
+        stats = netlist_stats(core.netlist)
+        assert stats.n_registers == 2304  # 256 state + 16 x 128 sbox regs
+        assert stats.n_cells > 15_000
+
+    def test_timing_constants(self):
+        assert ROUND_CYCLES == 6
+        assert ENCRYPTION_CYCLES == 62
+
+    def test_mask_budget(self, core):
+        # 16 S-boxes x 6 fresh Kronecker bits (r7 = r1 scheme).
+        assert core.fresh_mask_bits_per_cycle == 16 * 6
+        assert len(core.r_buses) == 16
+        assert len(core.r_prime_buses) == 16
+
+    def test_schedules_cover_encryption(self, core):
+        harness = AesCoreHarness(core)
+        controls = harness.control_schedule()
+        keys = harness.round_key_schedule(bytes(16))
+        assert len(controls) == ENCRYPTION_CYCLES
+        assert len(keys) == ENCRYPTION_CYCLES
+        assert controls[0]["load"] == 1
+        assert sum(c["capture"] for c in controls) == 10
+        # last is asserted exactly during round 10.
+        last_cycles = [i for i, c in enumerate(controls) if c["last"]]
+        assert len(last_cycles) == ROUND_CYCLES
+        assert keys[1] == key_expansion(bytes(16))[1]
+
+
+class TestEncryption:
+    def test_fips_vector(self, core):
+        harness = AesCoreHarness(core)
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ct = harness.encrypt(pt, key, random.Random(1))
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_random_blocks_match_reference(self, core):
+        harness = AesCoreHarness(core)
+        rng = random.Random(2)
+        for _ in range(2):
+            pt = bytes(rng.randrange(256) for _ in range(16))
+            key = bytes(rng.randrange(256) for _ in range(16))
+            assert harness.encrypt(pt, key, rng) == aes128_encrypt_block(
+                pt, key
+            )
+
+    def test_different_schemes_same_function(self):
+        eq6_core = build_masked_aes_core(RandomnessScheme.DEMEYER_EQ6)
+        harness = AesCoreHarness(eq6_core)
+        pt = bytes(range(16))
+        key = bytes(reversed(range(16)))
+        assert harness.encrypt(pt, key, random.Random(3)) == (
+            aes128_encrypt_block(pt, key)
+        )
+
+
+class TestInternalKeySchedule:
+    @pytest.fixture(scope="class")
+    def ks_core(self):
+        return build_masked_aes_core(
+            RandomnessScheme.TRANSITION_R7_EQ_R1, own_key_schedule=True
+        )
+
+    def test_fips_vector(self, ks_core):
+        harness = AesCoreHarness(ks_core)
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        ct = harness.encrypt(pt, key, random.Random(4))
+        assert ct.hex() == "69c4e0d86a7b0430d8cdb78070b4c55a"
+
+    def test_random_vector(self, ks_core):
+        harness = AesCoreHarness(ks_core)
+        rng = random.Random(5)
+        pt = bytes(rng.randrange(256) for _ in range(16))
+        key = bytes(rng.randrange(256) for _ in range(16))
+        assert harness.encrypt(pt, key, rng) == aes128_encrypt_block(
+            pt, key
+        )
+
+    def test_structure(self, ks_core):
+        # 20 S-box pipelines (16 state + 4 key schedule) and the key regs.
+        stats = netlist_stats(ks_core.netlist)
+        assert stats.n_registers == 3072  # 2304 + 4*128 sbox + 256 key
+        assert ks_core.own_key_schedule
+        assert ks_core.rcon_bus is not None
+        assert ks_core.fresh_mask_bits_per_cycle == 20 * 6
+        assert len(ks_core.r_buses) == 20
+
+    def test_rcon_schedule(self, ks_core):
+        harness = AesCoreHarness(ks_core)
+        rcons = harness.rcon_schedule()
+        assert len(rcons) == ENCRYPTION_CYCLES
+        assert rcons[1] == 0x01  # round 1
+        assert rcons[-2] == 0x36  # round 10
+
+    def test_key_schedule_port_is_cipher_key(self, ks_core):
+        harness = AesCoreHarness(ks_core)
+        key = bytes(range(16))
+        schedule = harness.round_key_schedule(key)
+        assert all(entry == list(key) for entry in schedule)
+
+    def test_bitsliced_stimulus_covers_rcon(self, ks_core):
+        harness = AesCoreHarness(ks_core)
+        stim = harness.bitsliced_stimulus(
+            np.random.default_rng(6), 2, bytes(16), bytes(16)
+        )
+        values = stim(1)
+        assert set(values) == set(ks_core.netlist.inputs)
+
+
+class TestBitslicedStimulus:
+    def test_stimulus_covers_all_inputs(self, core):
+        harness = AesCoreHarness(core)
+        stim = harness.bitsliced_stimulus(
+            np.random.default_rng(0), 4, bytes(16), bytes(16)
+        )
+        values = stim(0)
+        assert set(values) == set(core.netlist.inputs)
+
+    def test_fixed_plaintext_shares_recombine(self, core):
+        harness = AesCoreHarness(core)
+        pt = bytes(range(16))
+        stim = harness.bitsliced_stimulus(
+            np.random.default_rng(1), 4, bytes(16), pt
+        )
+        values = stim(0)
+        from repro.netlist.simulate import unpack_lanes
+
+        for byte in range(16):
+            for bit in range(8):
+                pos = 8 * byte + bit
+                s0 = unpack_lanes(values[core.plaintext_shares[0][pos]], 256)
+                s1 = unpack_lanes(values[core.plaintext_shares[1][pos]], 256)
+                expected = (pt[byte] >> bit) & 1
+                assert ((s0 ^ s1) == expected).all()

@@ -1,0 +1,131 @@
+"""Tests for the value-level masked AES-128."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aes.cipher import aes128_encrypt_block
+from repro.aes.sbox import inv_sbox, sbox
+from repro.core.aes_masked import (
+    MaskedAes128,
+    masked_inv_sbox_value,
+    masked_sbox_value,
+)
+from repro.errors import MaskingError
+from repro.masking.shares import BooleanSharing
+
+blocks = st.binary(min_size=16, max_size=16)
+seeds = st.integers(0, 2**32 - 1)
+
+
+class TestMaskedSboxValue:
+    def test_all_inputs(self):
+        rng = random.Random(1)
+        for x in range(256):
+            sharing = BooleanSharing.share(x, 2, rng)
+            assert masked_sbox_value(sharing, rng).value == sbox(x)
+
+    def test_zero_input_handled(self):
+        """The Kronecker zero-mapping: S(0) = 0x63 without unmasked zeros."""
+        rng = random.Random(2)
+        sharing = BooleanSharing.share(0, 2, rng)
+        assert masked_sbox_value(sharing, rng).value == 0x63
+
+    @given(st.integers(0, 255), seeds)
+    def test_output_is_reshared(self, x, seed):
+        rng = random.Random(seed)
+        sharing = BooleanSharing.share(x, 2, rng)
+        first = masked_sbox_value(sharing, rng)
+        second = masked_sbox_value(sharing, rng)
+        assert first.value == second.value == sbox(x)
+
+    @pytest.mark.parametrize("n_shares", [3, 4])
+    def test_higher_order_sharings(self, n_shares):
+        rng = random.Random(3)
+        for x in (0, 1, 0x53, 0xFF):
+            sharing = BooleanSharing.share(x, n_shares, rng)
+            result = masked_sbox_value(sharing, rng)
+            assert result.value == sbox(x)
+            assert len(result.shares) == n_shares
+
+
+class TestMaskedInvSboxValue:
+    def test_all_inputs(self):
+        rng = random.Random(4)
+        for y in range(256):
+            sharing = BooleanSharing.share(y, 2, rng)
+            assert masked_inv_sbox_value(sharing, rng).value == inv_sbox(y)
+
+    @given(st.integers(0, 255), seeds)
+    def test_inverts_masked_sbox(self, x, seed):
+        rng = random.Random(seed)
+        sharing = BooleanSharing.share(x, 2, rng)
+        forward = masked_sbox_value(sharing, rng)
+        assert masked_inv_sbox_value(forward, rng).value == x
+
+
+class TestMaskedAes:
+    def test_fips_appendix_c(self):
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        masked = MaskedAes128(key, random.Random(0))
+        assert (
+            masked.encrypt_block(pt).hex()
+            == "69c4e0d86a7b0430d8cdb78070b4c55a"
+        )
+
+    @settings(max_examples=10, deadline=None)
+    @given(blocks, blocks, seeds)
+    def test_matches_reference_cipher(self, pt, key, seed):
+        masked = MaskedAes128(key, random.Random(seed))
+        assert masked.encrypt_block(pt) == aes128_encrypt_block(pt, key)
+
+    def test_encrypt_shared_returns_shares(self):
+        key = bytes(16)
+        masked = MaskedAes128(key, random.Random(5))
+        rng = random.Random(6)
+        shares = [BooleanSharing.share(b, 2, rng) for b in bytes(16)]
+        out = masked.encrypt_shared(shares)
+        assert len(out) == 16
+        recombined = bytes(s.value for s in out)
+        assert recombined == aes128_encrypt_block(bytes(16), key)
+
+    def test_state_length_checked(self):
+        masked = MaskedAes128(bytes(16), random.Random(7))
+        with pytest.raises(MaskingError):
+            masked.encrypt_shared([])
+
+    def test_round_keys_are_shared(self):
+        masked = MaskedAes128(bytes(16), random.Random(8))
+        assert len(masked.round_key_shares) == 11
+        for round_key in masked.round_key_shares:
+            assert all(len(b.shares) == 2 for b in round_key)
+
+    @pytest.mark.parametrize("order", [2, 3])
+    def test_higher_order_cipher_matches_reference(self, order):
+        pt = bytes.fromhex("00112233445566778899aabbccddeeff")
+        key = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+        masked = MaskedAes128(key, random.Random(order), order=order)
+        assert masked.encrypt_block(pt) == aes128_encrypt_block(pt, key)
+        assert masked.decrypt_block(
+            aes128_encrypt_block(pt, key)
+        ) == pt
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(MaskingError):
+            MaskedAes128(bytes(16), order=0)
+
+    def test_internal_shares_differ_between_runs(self):
+        key = bytes(16)
+        pt = bytes(range(16))
+        m1 = MaskedAes128(key, random.Random(1))
+        m2 = MaskedAes128(key, random.Random(2))
+        s1 = m1.encrypt_shared(
+            [BooleanSharing.share(b, 2, random.Random(10 + b)) for b in pt]
+        )
+        s2 = m2.encrypt_shared(
+            [BooleanSharing.share(b, 2, random.Random(20 + b)) for b in pt]
+        )
+        assert [s.value for s in s1] == [s.value for s in s2]
+        assert any(a.shares != b.shares for a, b in zip(s1, s2))

@@ -1,0 +1,133 @@
+"""Tests for the Boolean <-> multiplicative masking conversions."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.conversions import (
+    boolean_to_multiplicative,
+    multiplicative_to_boolean,
+)
+from repro.gf.gf256 import GF256
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.simulate import ScalarSimulator
+
+
+def build_b2m():
+    b = CircuitBuilder("b2m_t")
+    b0 = b.input_bus("b0", 8)
+    b1 = b.input_bus("b1", 8)
+    r = b.input_bus("r", 8)
+    p0, p1 = boolean_to_multiplicative(b, b0, b1, r)
+    b.output_bus(p0, "p0")
+    b.output_bus(p1, "p1")
+    return b.build(), (b0, b1, r)
+
+
+def build_m2b():
+    b = CircuitBuilder("m2b_t")
+    q0 = b.input_bus("q0", 8)
+    q1 = b.input_bus("q1", 8)
+    rp = b.input_bus("rp", 8)
+    b0, b1 = multiplicative_to_boolean(b, q0, q1, rp)
+    b.output_bus(b0, "bo0")
+    b.output_bus(b1, "bo1")
+    return b.build(), (q0, q1, rp)
+
+
+def drive(netlist, buses, byte_values, cycles=3):
+    sim = ScalarSimulator(netlist)
+    values = None
+    for _ in range(cycles):
+        assignment = {}
+        for bus, value in zip(buses, byte_values):
+            for i, net in enumerate(bus):
+                assignment[net] = (value >> i) & 1
+        values = sim.step(assignment)
+    return values
+
+
+def read(netlist, values, name):
+    return sum(
+        values[netlist.net(f"{name}[{i}]")] << i for i in range(8)
+    )
+
+
+bytes_ = st.integers(0, 255)
+nonzero = st.integers(1, 255)
+
+
+class TestBooleanToMultiplicative:
+    @settings(max_examples=60, deadline=None)
+    @given(bytes_, bytes_, nonzero)
+    def test_conversion_equation(self, b0, b1, r):
+        """P0 = R and (P0)^-1 x P1 recombines to X (Section II-C)."""
+        netlist, buses = build_b2m()
+        values = drive(netlist, buses, (b0, b1, r))
+        p0 = read(netlist, values, "p0")
+        p1 = read(netlist, values, "p1")
+        assert p0 == r
+        x = b0 ^ b1
+        assert p1 == GF256.multiply(x, r)
+        if x != 0:
+            assert GF256.multiply(GF256.inverse(p0), p1) == x
+
+    def test_zero_value_problem(self):
+        """X = 0 forces P1 = 0: the paper's Section II-B flaw, visibly."""
+        netlist, buses = build_b2m()
+        values = drive(netlist, buses, (0x5A, 0x5A, 0x37))
+        assert read(netlist, values, "p1") == 0
+
+    def test_single_cycle_latency(self):
+        netlist, buses = build_b2m()
+        sim = ScalarSimulator(netlist)
+        assignment = {}
+        for bus, value in zip(buses, (0x12, 0x34, 0x07)):
+            for i, net in enumerate(bus):
+                assignment[net] = (value >> i) & 1
+        first = sim.step(assignment)
+        assert read(netlist, first, "p0") == 0  # registers still reset
+        second = sim.step(assignment)
+        assert read(netlist, second, "p0") == 0x07
+
+
+class TestMultiplicativeToBoolean:
+    @settings(max_examples=60, deadline=None)
+    @given(nonzero, bytes_, bytes_)
+    def test_conversion_equation(self, q0, q1, r_prime):
+        """B'0 xor B'1 == Q0 x Q1 (Section II-C)."""
+        netlist, buses = build_m2b()
+        values = drive(netlist, buses, (q0, q1, r_prime))
+        b0 = read(netlist, values, "bo0")
+        b1 = read(netlist, values, "bo1")
+        assert b0 ^ b1 == GF256.multiply(q0, q1)
+
+    def test_first_output_is_masked_product(self):
+        netlist, buses = build_m2b()
+        values = drive(netlist, buses, (0x11, 0x22, 0x33))
+        assert read(netlist, values, "bo0") == GF256.multiply(0x33, 0x11)
+
+
+class TestComposition:
+    @settings(max_examples=40, deadline=None)
+    @given(bytes_, nonzero, bytes_, st.integers(0, 2**32 - 1))
+    def test_b2m_inversion_m2b_roundtrip(self, x, r, r_prime, seed):
+        """The full conversion chain computes X^-1 for non-zero X.
+
+        Mirrors Fig. 2 without the Kronecker delta: share X, convert to
+        multiplicative, invert share P1 locally, convert back.
+        """
+        if x == 0:
+            return
+        rng = random.Random(seed)
+        b0 = rng.randrange(256)
+        b1 = b0 ^ x
+        netlist, buses = build_b2m()
+        values = drive(netlist, buses, (b0, b1, r))
+        p0 = read(netlist, values, "p0")
+        p1 = read(netlist, values, "p1")
+        q0, q1 = p0, GF256.inverse(p1)
+        m2b, m2b_buses = build_m2b()
+        values = drive(m2b, m2b_buses, (q0, q1, r_prime))
+        out = read(m2b, values, "bo0") ^ read(m2b, values, "bo1")
+        assert out == GF256.inverse(x)

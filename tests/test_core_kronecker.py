@@ -1,0 +1,141 @@
+"""Tests for the masked Kronecker delta function."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kronecker import (
+    KRONECKER_LATENCY,
+    build_kronecker_delta,
+    kronecker_reference,
+)
+from repro.core.optimizations import (
+    FIRST_ORDER_SCHEMES,
+    RandomnessScheme,
+    SecondOrderScheme,
+)
+from repro.errors import MaskingError
+from repro.netlist.simulate import ScalarSimulator
+
+
+def run_kronecker(design, x, rng, warmup=8):
+    """Drive a constant sharing of x until the pipeline settles; return z."""
+    n_shares = design.order + 1
+    sim = ScalarSimulator(design.netlist)
+    values = None
+    for _ in range(warmup):
+        shares = [rng.randrange(256) for _ in range(n_shares - 1)]
+        acc = x
+        for s in shares:
+            acc ^= s
+        shares.append(acc)
+        assignment = {}
+        for s, bus in enumerate(design.dut.share_buses):
+            for i, net in enumerate(bus):
+                assignment[net] = (shares[s] >> i) & 1
+        for net in design.dut.mask_bits:
+            assignment[net] = rng.randrange(2)
+        values = sim.step(assignment)
+    result = 0
+    for net in design.z_shares:
+        result ^= values[net]
+    return result
+
+
+class TestReference:
+    def test_reference_function(self):
+        assert kronecker_reference(0) == 1
+        assert kronecker_reference(1) == 0
+        assert kronecker_reference(0xFF) == 0
+
+
+class TestFirstOrderFunctional:
+    @pytest.mark.parametrize("scheme", FIRST_ORDER_SCHEMES)
+    def test_all_schemes_compute_delta(self, scheme):
+        design = build_kronecker_delta(scheme)
+        rng = random.Random(hash(scheme.value) & 0xFFFF)
+        for x in (0, 1, 2, 0x80, 0xAA, 0xFF):
+            assert run_kronecker(design, x, rng) == kronecker_reference(x)
+
+    @settings(max_examples=24, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 2**32 - 1))
+    def test_full_scheme_exhaustive_style(self, x, seed):
+        design = build_kronecker_delta(RandomnessScheme.FULL)
+        assert run_kronecker(
+            design, x, random.Random(seed)
+        ) == kronecker_reference(x)
+
+
+class TestStructure:
+    def test_latency_constant(self, kronecker_full):
+        assert kronecker_full.dut.latency == KRONECKER_LATENCY == 3
+
+    def test_v_nodes_present_first_order(self, kronecker_full):
+        assert set(kronecker_full.v_nodes) == {"v1", "v2", "v3", "v4"}
+
+    def test_intermediates_shape(self, kronecker_full):
+        inter = kronecker_full.intermediates
+        assert set(inter) == {"y0", "y1", "y2", "y3", "w0", "w1"}
+        assert all(len(shares) == 2 for shares in inter.values())
+
+    def test_register_count_first_order(self, kronecker_full):
+        # 7 DOM gates x 4 registers each.
+        assert sum(1 for _ in kronecker_full.netlist.dff_cells()) == 28
+
+    def test_fresh_mask_counts(self):
+        assert build_kronecker_delta(RandomnessScheme.FULL).fresh_mask_bits == 7
+        assert (
+            build_kronecker_delta(RandomnessScheme.DEMEYER_EQ6).fresh_mask_bits
+            == 3
+        )
+        assert (
+            build_kronecker_delta(RandomnessScheme.PROPOSED_EQ9).fresh_mask_bits
+            == 4
+        )
+
+    def test_metadata(self, kronecker_eq6):
+        assert kronecker_eq6.dut.metadata["design"] == "kronecker_delta"
+        assert "eq6" in kronecker_eq6.dut.metadata["scheme"]
+
+
+class TestSecondOrder:
+    @pytest.mark.parametrize("scheme", list(SecondOrderScheme))
+    def test_functional(self, scheme):
+        design = build_kronecker_delta(scheme, order=2)
+        rng = random.Random(11)
+        for x in (0, 3, 0x7F, 0xFF):
+            assert run_kronecker(design, x, rng, warmup=10) == (
+                kronecker_reference(x)
+            )
+
+    def test_three_shares(self, kronecker_second_order):
+        assert kronecker_second_order.dut.n_shares == 3
+        assert len(kronecker_second_order.z_shares) == 3
+
+    def test_register_count(self, kronecker_second_order):
+        # 7 DOM gates x (3 inner + 6 cross) registers.
+        assert (
+            sum(1 for _ in kronecker_second_order.netlist.dff_cells()) == 63
+        )
+
+    def test_no_v_nodes_recorded(self, kronecker_second_order):
+        assert kronecker_second_order.v_nodes == {}
+
+
+class TestValidation:
+    def test_order_scheme_mismatch(self):
+        with pytest.raises(MaskingError):
+            build_kronecker_delta(SecondOrderScheme.FULL_21, order=1)
+        with pytest.raises(MaskingError):
+            build_kronecker_delta(RandomnessScheme.FULL, order=2)
+
+    def test_unsupported_order(self):
+        with pytest.raises(MaskingError):
+            build_kronecker_delta(order=3)
+
+    def test_default_schemes(self):
+        assert build_kronecker_delta().scheme is RandomnessScheme.FULL
+        assert (
+            build_kronecker_delta(order=2).scheme is SecondOrderScheme.FULL_21
+        )

@@ -1,0 +1,154 @@
+"""Tests for the randomness-reuse schemes (paper Eq. (6), Eq. (9), ...)."""
+
+import pytest
+
+from repro.core.optimizations import (
+    FIRST_ORDER_SCHEMES,
+    GATES,
+    RandomnessScheme,
+    SecondOrderScheme,
+    scheme_fresh_bits,
+)
+from repro.errors import MaskingError
+from repro.masking.randomness import MaskBus
+from repro.netlist.builder import CircuitBuilder
+
+
+def wire(scheme):
+    builder = CircuitBuilder("w")
+    bus = MaskBus(builder)
+    return scheme.wire(bus), bus, builder
+
+
+class TestFirstOrderWirings:
+    def test_full_uses_seven_distinct_bits(self):
+        wiring, bus, _ = wire(RandomnessScheme.FULL)
+        assert len(set(wiring.values())) == 7
+        assert bus.n_fresh_bits == 7
+
+    def test_demeyer_eq6_identities(self):
+        """Equation (6): r1=r3, r2=r4, r6=[r5^r2], r7=r1; 3 fresh bits."""
+        wiring, bus, builder = wire(RandomnessScheme.DEMEYER_EQ6)
+        assert wiring[1] == wiring[3]
+        assert wiring[2] == wiring[4]
+        assert wiring[7] == wiring[1]
+        assert wiring[6] not in (wiring[5], wiring[2])
+        assert bus.n_fresh_bits == 3
+        # r6 is a register output (the bracketed combination).
+        driver = builder.netlist.driver(wiring[6])
+        assert driver is not None and driver.cell_type.is_sequential
+
+    def test_proposed_eq9_identities(self):
+        """Equation (9): r5=r4, r6=r2, r7=r3 over fresh r1..r4."""
+        wiring, bus, _ = wire(RandomnessScheme.PROPOSED_EQ9)
+        assert len({wiring[g] for g in (1, 2, 3, 4)}) == 4
+        assert wiring[5] == wiring[4]
+        assert wiring[6] == wiring[2]
+        assert wiring[7] == wiring[3]
+        assert bus.n_fresh_bits == 4
+
+    @pytest.mark.parametrize(
+        "scheme,reused",
+        [
+            (RandomnessScheme.TRANSITION_R7_EQ_R1, 1),
+            (RandomnessScheme.TRANSITION_R7_EQ_R2, 2),
+            (RandomnessScheme.TRANSITION_R7_EQ_R3, 3),
+            (RandomnessScheme.TRANSITION_R7_EQ_R4, 4),
+        ],
+    )
+    def test_transition_solutions(self, scheme, reused):
+        """The four Section-IV solutions: r1..r6 fresh, r7 = r_i."""
+        wiring, bus, _ = wire(scheme)
+        assert wiring[7] == wiring[reused]
+        assert len({wiring[g] for g in (1, 2, 3, 4, 5, 6)}) == 6
+        assert bus.n_fresh_bits == 6
+
+    def test_minimal_leaky_case(self):
+        wiring, bus, _ = wire(RandomnessScheme.FIRST_LAYER_R1R3)
+        assert wiring[1] == wiring[3]
+        assert bus.n_fresh_bits == 6
+
+    def test_second_layer_counterexample(self):
+        wiring, bus, _ = wire(RandomnessScheme.SECOND_LAYER_R5R6)
+        assert wiring[5] == wiring[6]
+        assert bus.n_fresh_bits == 6
+
+    def test_fresh_bit_table_matches_wirings(self):
+        for scheme in FIRST_ORDER_SCHEMES:
+            _, bus, _ = wire(scheme)
+            assert bus.n_fresh_bits == scheme_fresh_bits(scheme)
+
+    def test_every_gate_wired(self):
+        for scheme in FIRST_ORDER_SCHEMES:
+            wiring, _, _ = wire(scheme)
+            assert set(wiring) == set(GATES)
+
+
+class TestExpectedVerdicts:
+    def test_paper_glitch_verdicts(self):
+        expected_secure = {
+            RandomnessScheme.FULL,
+            RandomnessScheme.PROPOSED_EQ9,
+            RandomnessScheme.TRANSITION_R7_EQ_R1,
+            RandomnessScheme.TRANSITION_R7_EQ_R2,
+            RandomnessScheme.TRANSITION_R7_EQ_R3,
+            RandomnessScheme.TRANSITION_R7_EQ_R4,
+        }
+        for scheme in FIRST_ORDER_SCHEMES:
+            assert scheme.expected_glitch_secure == (scheme in expected_secure)
+
+    def test_paper_transition_verdicts(self):
+        # "none of the optimizations discussed above can maintain security
+        # under glitch- and transition-extended probing models" except the
+        # four r7=r_i solutions and the unoptimized baseline.
+        assert RandomnessScheme.FULL.expected_transition_secure
+        assert not RandomnessScheme.PROPOSED_EQ9.expected_transition_secure
+        assert not RandomnessScheme.DEMEYER_EQ6.expected_transition_secure
+        assert RandomnessScheme.TRANSITION_R7_EQ_R2.expected_transition_secure
+
+
+class TestSecondOrderWirings:
+    def test_full_21(self):
+        builder = CircuitBuilder("w")
+        bus = MaskBus(builder)
+        wiring = SecondOrderScheme.FULL_21.wire(bus)
+        nets = [n for gate in wiring.values() for n in gate.values()]
+        assert len(set(nets)) == 21
+        assert bus.n_fresh_bits == 21
+        assert SecondOrderScheme.FULL_21.fresh_bits == 21
+
+    def test_opt_13_fresh_count(self):
+        builder = CircuitBuilder("w")
+        bus = MaskBus(builder)
+        SecondOrderScheme.OPT_13.wire(bus)
+        assert bus.n_fresh_bits == 13
+        assert SecondOrderScheme.OPT_13.fresh_bits == 13
+
+    def test_opt_13_layer2_masks_are_derived_logic(self):
+        builder = CircuitBuilder("w")
+        bus = MaskBus(builder)
+        wiring = SecondOrderScheme.OPT_13.wire(bus)
+        for pair, net in wiring[5].items():
+            driver = builder.netlist.driver(net)
+            assert driver is not None  # not a raw input wire
+
+    def test_opt_13_naive_reuses_directly(self):
+        builder = CircuitBuilder("w")
+        bus = MaskBus(builder)
+        wiring = SecondOrderScheme.OPT_13_NAIVE.wire(bus)
+        assert wiring[5] == wiring[4]
+        assert wiring[6] == wiring[2]
+        assert bus.n_fresh_bits == 13
+
+    def test_expected_verdicts(self):
+        assert SecondOrderScheme.FULL_21.expected_secure
+        assert SecondOrderScheme.OPT_13.expected_secure
+        assert not SecondOrderScheme.OPT_13_NAIVE.expected_secure
+
+    def test_all_gates_have_three_masks(self):
+        for scheme in SecondOrderScheme:
+            builder = CircuitBuilder("w")
+            bus = MaskBus(builder)
+            wiring = scheme.wire(bus)
+            for gate in GATES:
+                assert set(wiring[gate]) == {(0, 1), (0, 2), (1, 2)}

@@ -1,0 +1,132 @@
+"""Tests for the full masked AES S-box netlist (paper Fig. 2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aes.sbox import sbox
+from repro.core.optimizations import RandomnessScheme
+from repro.core.sbox import SBOX_LATENCY, build_masked_sbox
+from repro.errors import MaskingError
+from repro.netlist.simulate import ScalarSimulator
+
+
+def run_sbox(design, x, rng, warmup=9):
+    """Drive a fresh sharing of x each cycle; read the settled output."""
+    dut = design.dut
+    sim = ScalarSimulator(design.netlist)
+    values = None
+    for _ in range(warmup):
+        share0 = rng.randrange(256)
+        assignment = {}
+        for i in range(8):
+            assignment[dut.share_buses[0][i]] = (share0 >> i) & 1
+            assignment[dut.share_buses[1][i]] = ((share0 ^ x) >> i) & 1
+        for net in dut.mask_bits:
+            assignment[net] = rng.randrange(2)
+        r = rng.randrange(1, 256)
+        r_prime = rng.randrange(256)
+        for i in range(8):
+            assignment[dut.nonzero_byte_buses[0][i]] = (r >> i) & 1
+            assignment[dut.uniform_byte_buses[0][i]] = (r_prime >> i) & 1
+        values = sim.step(assignment)
+    out = 0
+    for i in range(8):
+        bit = 0
+        for bus in design.output_shares:
+            bit ^= values[bus[i]]
+        out |= bit << i
+    return out
+
+
+class TestFunctional:
+    def test_all_inputs_with_full_scheme(self, sbox_full):
+        rng = random.Random(99)
+        for x in range(256):
+            assert run_sbox(sbox_full, x, rng) == sbox(x)
+
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            RandomnessScheme.DEMEYER_EQ6,
+            RandomnessScheme.PROPOSED_EQ9,
+            RandomnessScheme.TRANSITION_R7_EQ_R1,
+        ],
+    )
+    def test_schemes_do_not_change_function(self, scheme):
+        design = build_masked_sbox(scheme)
+        rng = random.Random(5)
+        for x in (0, 1, 0x53, 0x80, 0xFF):
+            assert run_sbox(design, x, rng) == sbox(x)
+
+    def test_no_kronecker_correct_on_nonzero(self, sbox_no_kronecker):
+        rng = random.Random(17)
+        for x in (1, 2, 0x53, 0xFE, 0xFF):
+            assert run_sbox(sbox_no_kronecker, x, rng) == sbox(x)
+
+    def test_no_kronecker_breaks_on_zero(self, sbox_no_kronecker):
+        """Without the delta, X=0 gives A(0)=0x63 only by luck of 0^-1=0.
+
+        P1 = 0 -> Q1 = 0 -> output = affine(0) = 0x63 = sbox(0): the value
+        is accidentally right, but P1 is stuck at zero (the unmasked zero of
+        Section II-B).  We check the stuck share, which is the actual flaw.
+        """
+        rng = random.Random(23)
+        design = sbox_no_kronecker
+        sim = ScalarSimulator(design.netlist)
+        dut = design.dut
+        values = None
+        for _ in range(9):
+            share0 = rng.randrange(256)
+            assignment = {}
+            for i in range(8):
+                assignment[dut.share_buses[0][i]] = (share0 >> i) & 1
+                assignment[dut.share_buses[1][i]] = (share0 >> i) & 1
+            for i in range(8):
+                assignment[dut.nonzero_byte_buses[0][i]] = (
+                    rng.randrange(1, 256) >> i
+                ) & 1
+                assignment[dut.uniform_byte_buses[0][i]] = (
+                    rng.randrange(256) >> i
+                ) & 1
+            values = sim.step(assignment)
+        netlist = design.netlist
+        p1 = sum(
+            values[netlist.net(f"b2m.m0[{i}]")]
+            ^ values[netlist.net(f"b2m.m1[{i}]")]
+            for i in range(8)
+        )
+        assert p1 == 0  # the multiplicative share carries unmasked zero
+
+
+class TestStructure:
+    def test_latency(self, sbox_full):
+        assert sbox_full.latency == SBOX_LATENCY == 5
+
+    def test_v_nodes_only_with_kronecker(self, sbox_full, sbox_no_kronecker):
+        assert set(sbox_full.v_nodes) == {"v1", "v2", "v3", "v4"}
+        assert sbox_no_kronecker.v_nodes == {}
+
+    def test_mask_budget(self, sbox_full, sbox_no_kronecker):
+        assert sbox_full.dut.n_fresh_mask_bits == 7
+        assert sbox_no_kronecker.dut.n_fresh_mask_bits == 0
+        assert len(sbox_full.dut.nonzero_byte_buses) == 1
+        assert len(sbox_full.dut.uniform_byte_buses) == 1
+
+    def test_eq6_reduces_fresh_bits(self):
+        design = build_masked_sbox(RandomnessScheme.DEMEYER_EQ6)
+        assert design.dut.n_fresh_mask_bits == 3
+
+    def test_output_shape(self, sbox_full):
+        assert len(sbox_full.output_shares) == 2
+        assert all(len(bus) == 8 for bus in sbox_full.output_shares)
+
+    def test_kronecker_needs_scheme(self):
+        with pytest.raises(MaskingError):
+            build_masked_sbox(scheme=None, include_kronecker=True)
+
+    def test_design_names_reflect_configuration(self, sbox_full):
+        assert "full_7_fresh" in sbox_full.netlist.name
+        nk = build_masked_sbox(include_kronecker=False)
+        assert "no_kronecker" in nk.netlist.name

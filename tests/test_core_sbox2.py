@@ -1,0 +1,91 @@
+"""Tests for the second-order (3-share) masked AES S-box."""
+
+import random
+
+import pytest
+
+from repro.aes.sbox import sbox
+from repro.core.optimizations import RandomnessScheme, SecondOrderScheme
+from repro.core.sbox2 import SBOX2_LATENCY, build_masked_sbox_second_order
+from repro.errors import MaskingError
+from repro.netlist.simulate import ScalarSimulator
+
+
+@pytest.fixture(scope="module")
+def design():
+    return build_masked_sbox_second_order(SecondOrderScheme.FULL_21)
+
+
+def run_sbox2(design, x, rng, warmup=11):
+    dut = design.dut
+    sim = ScalarSimulator(design.netlist)
+    values = None
+    for _ in range(warmup):
+        s0, s1 = rng.randrange(256), rng.randrange(256)
+        assignment = {}
+        for i in range(8):
+            assignment[dut.share_buses[0][i]] = (s0 >> i) & 1
+            assignment[dut.share_buses[1][i]] = (s1 >> i) & 1
+            assignment[dut.share_buses[2][i]] = ((s0 ^ s1 ^ x) >> i) & 1
+        for net in dut.mask_bits:
+            assignment[net] = rng.randrange(2)
+        for bus in dut.nonzero_byte_buses:
+            value = rng.randrange(1, 256)
+            for i in range(8):
+                assignment[bus[i]] = (value >> i) & 1
+        for bus in dut.uniform_byte_buses:
+            value = rng.randrange(256)
+            for i in range(8):
+                assignment[bus[i]] = (value >> i) & 1
+        values = sim.step(assignment)
+    out = 0
+    for i in range(8):
+        bit = 0
+        for share_bus in design.output_shares:
+            bit ^= values[share_bus[i]]
+        out |= bit << i
+    return out
+
+
+class TestFunctional:
+    def test_all_byte_values_sampled(self, design):
+        rng = random.Random(0)
+        for x in (0, 1, 2, 0x53, 0x80, 0xAA, 0xFE, 0xFF):
+            assert run_sbox2(design, x, rng) == sbox(x)
+
+    def test_opt13_scheme_same_function(self):
+        design = build_masked_sbox_second_order(SecondOrderScheme.OPT_13)
+        rng = random.Random(1)
+        for x in (0, 0x37, 0xFF):
+            assert run_sbox2(design, x, rng, warmup=13) == sbox(x)
+
+    def test_zero_input_protected(self, design):
+        """The Kronecker zero-mapping works at second order too."""
+        rng = random.Random(2)
+        for _ in range(3):
+            assert run_sbox2(design, 0, rng) == 0x63
+
+
+class TestStructure:
+    def test_latency(self, design):
+        assert design.latency == SBOX2_LATENCY == 7
+
+    def test_three_shares_everywhere(self, design):
+        assert design.dut.n_shares == 3
+        assert len(design.output_shares) == 3
+
+    def test_mask_budget(self, design):
+        # Kronecker FULL_21 plus two non-zero and two uniform mask bytes.
+        assert design.dut.n_fresh_mask_bits == 21
+        assert len(design.dut.nonzero_byte_buses) == 2
+        assert len(design.dut.uniform_byte_buses) == 2
+
+    def test_first_order_scheme_rejected(self):
+        with pytest.raises(MaskingError):
+            build_masked_sbox_second_order(RandomnessScheme.FULL)
+
+    def test_size_scales_with_order(self, design):
+        from repro.core.sbox import build_masked_sbox
+
+        first_order = build_masked_sbox(RandomnessScheme.FULL)
+        assert len(design.netlist.cells) > len(first_order.netlist.cells)

@@ -1,0 +1,107 @@
+"""Cross-validation between the independent analysis engines.
+
+The exact enumerator, the Monte-Carlo evaluator and the symbolic ANF
+machinery are three separate implementations of the same semantics; these
+tests pin them against each other on the paper's central object.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.rootcause import v1_observation_anf
+from repro.analysis.walsh import joint_distribution
+from repro.core.kronecker import build_kronecker_delta
+from repro.core.optimizations import RandomnessScheme
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.exact import ExactAnalyzer
+from repro.leakage.gtest import g_test
+from repro.leakage.model import ProbingModel
+
+
+class TestExactVsSymbolic:
+    def test_v1_distribution_matches_anf_enumeration(self):
+        """The exact engine's v1 verdict agrees with the ANF computation.
+
+        Both enumerate the same randomness; one walks the netlist
+        bitsliced, the other evaluates recovered polynomials.
+        """
+        scheme = RandomnessScheme.FIRST_LAYER_R1R3
+        observation = v1_observation_anf(scheme)
+        fixed = {f"X{i}": 0 for i in range(8)}
+        dist_zero = joint_distribution(observation, fixed)
+        fixed_a = dict(fixed, X1=1, X5=1)
+        dist_ones = joint_distribution(observation, fixed_a)
+        anf_says_leak = dist_zero != dist_ones
+
+        design = build_kronecker_delta(scheme)
+        analyzer = ExactAnalyzer(design.dut)
+        pc = analyzer.probe_class_for_net(design.v_nodes["v1"])
+        exact_says_leak = analyzer.analyze_probe_class(pc).leaking
+        assert anf_says_leak == exact_says_leak is True
+
+    def test_secure_scheme_agrees_too(self):
+        scheme = RandomnessScheme.PROPOSED_EQ9
+        observation = v1_observation_anf(scheme)
+        fixed = {f"X{i}": 0 for i in range(8)}
+        dist_zero = joint_distribution(observation, fixed)
+        dist_ones = joint_distribution(
+            observation, dict(fixed, X1=1, X5=1)
+        )
+        assert dist_zero == dist_ones
+        design = build_kronecker_delta(scheme)
+        analyzer = ExactAnalyzer(design.dut)
+        pc = analyzer.probe_class_for_net(design.v_nodes["v1"])
+        assert not analyzer.analyze_probe_class(pc).leaking
+
+
+class TestExactVsMonteCarlo:
+    def test_sampled_verdicts_match_exact_on_v_nodes(self):
+        for scheme, expect_leak in [
+            (RandomnessScheme.DEMEYER_EQ6, True),
+            (RandomnessScheme.FULL, False),
+        ]:
+            design = build_kronecker_delta(scheme)
+            evaluator = LeakageEvaluator(
+                design.dut, ProbingModel.GLITCH, seed=3
+            )
+            pc = evaluator.probe_class_for_net(design.v_nodes["v1"])
+            report = evaluator.evaluate(
+                fixed_secret=0,
+                n_simulations=40_000,
+                probe_classes=[pc],
+            )
+            assert report.results[0].leaking == expect_leak
+
+
+class TestGTestProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 8))
+    def test_group_symmetry(self, seed, n_categories):
+        """Swapping the two groups leaves G and p unchanged."""
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, n_categories, size=3000).astype(np.uint64)
+        b = rng.integers(0, n_categories, size=2500).astype(np.uint64)
+        forward = g_test(a, b)
+        backward = g_test(b, a)
+        assert forward.g_statistic == pytest.approx(backward.g_statistic)
+        assert forward.mlog10p == pytest.approx(backward.mlog10p)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_relabeling_invariance(self, seed):
+        """The test depends only on the histogram, not on key values."""
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 4, size=2000).astype(np.uint64)
+        b = rng.integers(0, 4, size=2000).astype(np.uint64)
+        direct = g_test(a, b)
+        relabeled = g_test(a * np.uint64(977), b * np.uint64(977))
+        assert direct.g_statistic == pytest.approx(relabeled.g_statistic)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**32 - 1))
+    def test_g_nonnegative(self, seed):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 6, size=1000).astype(np.uint64)
+        b = rng.integers(0, 6, size=1000).astype(np.uint64)
+        assert g_test(a, b).g_statistic >= 0.0

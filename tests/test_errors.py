@@ -1,0 +1,36 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    ExactAnalysisInfeasible,
+    FieldError,
+    MaskingError,
+    NetlistError,
+    ReproError,
+    SimulationError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            NetlistError,
+            SimulationError,
+            FieldError,
+            MaskingError,
+            ExactAnalysisInfeasible,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_catching_specific_type(self):
+        with pytest.raises(ExactAnalysisInfeasible):
+            raise ExactAnalysisInfeasible("budget exceeded")

@@ -1,0 +1,108 @@
+"""Tests for GF(2) helpers and linear algebra."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FieldError
+from repro.gf.gf2 import (
+    bit,
+    gf2_matrix_identity,
+    gf2_matrix_inverse,
+    gf2_matrix_multiply,
+    gf2_matrix_rank,
+    gf2_matrix_transpose,
+    gf2_matrix_vector,
+    parity,
+    popcount,
+)
+
+
+class TestBitHelpers:
+    def test_bit_extracts_positions(self):
+        assert bit(0b1010, 0) == 0
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 3) == 1
+        assert bit(0b1010, 4) == 0
+
+    def test_popcount_known_values(self):
+        assert popcount(0) == 0
+        assert popcount(0xFF) == 8
+        assert popcount(0b1011) == 3
+
+    def test_popcount_rejects_negative(self):
+        with pytest.raises(FieldError):
+            popcount(-1)
+
+    @given(st.integers(min_value=0, max_value=1 << 64))
+    def test_parity_is_popcount_mod_2(self, value):
+        assert parity(value) == popcount(value) % 2
+
+    @given(
+        st.integers(min_value=0, max_value=1 << 32),
+        st.integers(min_value=0, max_value=1 << 32),
+    )
+    def test_parity_additive_under_disjoint_or(self, a, b):
+        # parity(a ^ b) == parity(a) ^ parity(b) always.
+        assert parity(a ^ b) == parity(a) ^ parity(b)
+
+
+class TestMatrixVector:
+    def test_identity_action(self):
+        identity = gf2_matrix_identity(8)
+        for v in (0, 1, 0x5A, 0xFF):
+            assert gf2_matrix_vector(identity, v) == v
+
+    def test_known_matrix(self):
+        # Row 0 selects bits 0 and 1; row 1 selects bit 1.
+        matrix = (0b11, 0b10)
+        assert gf2_matrix_vector(matrix, 0b01) == 0b01
+        assert gf2_matrix_vector(matrix, 0b10) == 0b11
+        assert gf2_matrix_vector(matrix, 0b11) == 0b10
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_linearity(self, a, b):
+        matrix = (0x1B, 0x8D, 0x33, 0x55, 0xF0, 0x0F, 0xA1, 0x42)
+        lhs = gf2_matrix_vector(matrix, a ^ b)
+        rhs = gf2_matrix_vector(matrix, a) ^ gf2_matrix_vector(matrix, b)
+        assert lhs == rhs
+
+
+class TestMatrixAlgebra:
+    def test_multiply_with_identity(self):
+        matrix = (0b101, 0b011, 0b110)
+        identity = gf2_matrix_identity(3)
+        assert gf2_matrix_multiply(matrix, identity) == matrix
+        assert gf2_matrix_multiply(identity, matrix) == matrix
+
+    def test_inverse_of_identity(self):
+        identity = gf2_matrix_identity(5)
+        assert gf2_matrix_inverse(identity) == identity
+
+    def test_singular_matrix_rejected(self):
+        with pytest.raises(FieldError):
+            gf2_matrix_inverse((0b11, 0b11))
+
+    @given(st.lists(st.integers(0, 255), min_size=8, max_size=8))
+    def test_inverse_roundtrip_when_invertible(self, rows):
+        matrix = tuple(rows)
+        if gf2_matrix_rank(matrix) < 8:
+            return
+        inverse = gf2_matrix_inverse(matrix)
+        product = gf2_matrix_multiply(matrix, inverse)
+        assert product == gf2_matrix_identity(8)
+
+    @given(st.integers(0, 255))
+    def test_inverse_undoes_vector_action(self, v):
+        matrix = (0x1F, 0x3E, 0x7C, 0xF8, 0xF1, 0xE3, 0xC7, 0x8F)  # AES-affine-like
+        inverse = gf2_matrix_inverse(matrix)
+        assert gf2_matrix_vector(inverse, gf2_matrix_vector(matrix, v)) == v
+
+    def test_transpose_involution(self):
+        matrix = (0b1100, 0b1010, 0b0110, 0b0001)
+        double = gf2_matrix_transpose(gf2_matrix_transpose(matrix, 4), 4)
+        assert double == matrix
+
+    def test_rank_of_identity_and_zero(self):
+        assert gf2_matrix_rank(gf2_matrix_identity(6)) == 6
+        assert gf2_matrix_rank((0, 0, 0)) == 0
+        assert gf2_matrix_rank((0b11, 0b11, 0b01)) == 2

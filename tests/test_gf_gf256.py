@@ -1,0 +1,73 @@
+"""Tests for the AES field module."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FieldError
+from repro.gf.gf256 import (
+    AES_POLYNOMIAL,
+    GF256,
+    gf256_inverse,
+    gf256_multiply,
+    gf256_power,
+    gf256_strict_inverse,
+)
+
+
+class TestKnownValues:
+    def test_fips_multiplication_example(self):
+        # FIPS-197 section 4.2: {57} x {83} = {c1}
+        assert gf256_multiply(0x57, 0x83) == 0xC1
+
+    def test_xtime_chain(self):
+        # {57} x {02} = {ae}, x {04} = {47}, x {08} = {8e}, x {10} = {07}
+        assert gf256_multiply(0x57, 0x02) == 0xAE
+        assert gf256_multiply(0x57, 0x04) == 0x47
+        assert gf256_multiply(0x57, 0x08) == 0x8E
+        assert gf256_multiply(0x57, 0x10) == 0x07
+
+    def test_known_inverse(self):
+        # {53}^-1 = {CA} in the AES field.
+        assert gf256_inverse(0x53) == 0xCA
+        assert gf256_inverse(0xCA) == 0x53
+
+    def test_polynomial_constant(self):
+        assert AES_POLYNOMIAL == 0x11B
+        assert GF256.modulus == 0x11B
+
+
+class TestInverseSemantics:
+    def test_zero_maps_to_zero(self):
+        assert gf256_inverse(0) == 0
+
+    def test_strict_inverse_rejects_zero(self):
+        # The zero-value problem of multiplicative masking in one line.
+        with pytest.raises(FieldError):
+            gf256_strict_inverse(0)
+
+    def test_all_inverses_exhaustive(self):
+        for a in range(1, 256):
+            assert gf256_multiply(a, gf256_inverse(a)) == 1
+
+    def test_zero_and_one_self_inverse(self):
+        # The property the Kronecker-delta zero-mapping relies on:
+        # both 0 and 1 are their own inverses.
+        assert gf256_inverse(1) == 1
+        assert gf256_inverse(0) == 0
+
+
+class TestPower:
+    @given(st.integers(1, 255), st.integers(0, 20))
+    def test_power_matches_repeated_multiplication(self, a, k):
+        expected = 1
+        for _ in range(k):
+            expected = gf256_multiply(expected, a)
+        assert gf256_power(a, k) == expected
+
+    @given(st.integers(0, 255))
+    def test_square_is_frobenius(self, a):
+        # Squaring is GF(2)-linear: (a + b)^2 = a^2 + b^2.
+        b = 0x2F
+        lhs = gf256_power(a ^ b, 2)
+        rhs = gf256_power(a, 2) ^ gf256_power(b, 2)
+        assert lhs == rhs

@@ -1,0 +1,128 @@
+"""Tests for generic GF(2^n) fields."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import FieldError
+from repro.gf.gf2n import (
+    GF2n,
+    carryless_multiply,
+    field,
+    is_irreducible,
+    polynomial_mod,
+)
+
+GF16 = field(0b10011)  # x^4 + x + 1
+GF256 = field(0x11B)
+
+elements256 = st.integers(min_value=0, max_value=255)
+nonzero256 = st.integers(min_value=1, max_value=255)
+
+
+class TestPolynomialArithmetic:
+    def test_carryless_known(self):
+        assert carryless_multiply(0b11, 0b11) == 0b101
+        assert carryless_multiply(0b101, 0b10) == 0b1010
+        assert carryless_multiply(7, 0) == 0
+
+    def test_polynomial_mod_reduces_degree(self):
+        assert polynomial_mod(0b100011011, 0x11B) == 0
+        assert polynomial_mod(0b1, 0x11B) == 1
+
+    def test_polynomial_mod_zero_modulus(self):
+        with pytest.raises(FieldError):
+            polynomial_mod(5, 0)
+
+    def test_irreducibility_known_polynomials(self):
+        assert is_irreducible(0x11B)  # AES polynomial
+        assert is_irreducible(0b111)  # x^2+x+1
+        assert is_irreducible(0b10011)  # x^4+x+1
+        assert not is_irreducible(0b101)  # x^2+1 = (x+1)^2
+        assert not is_irreducible(0x11A)  # even constant term -> divisible by x
+
+    def test_reducible_rejected_by_constructor(self):
+        with pytest.raises(FieldError):
+            GF2n(0b101)
+
+
+class TestFieldAxioms:
+    @given(elements256, elements256, elements256)
+    def test_multiplication_associative(self, a, b, c):
+        lhs = GF256.multiply(GF256.multiply(a, b), c)
+        rhs = GF256.multiply(a, GF256.multiply(b, c))
+        assert lhs == rhs
+
+    @given(elements256, elements256)
+    def test_multiplication_commutative(self, a, b):
+        assert GF256.multiply(a, b) == GF256.multiply(b, a)
+
+    @given(elements256, elements256, elements256)
+    def test_distributivity(self, a, b, c):
+        lhs = GF256.multiply(a, b ^ c)
+        rhs = GF256.multiply(a, b) ^ GF256.multiply(a, c)
+        assert lhs == rhs
+
+    @given(elements256)
+    def test_multiplicative_identity(self, a):
+        assert GF256.multiply(a, 1) == a
+
+    @given(nonzero256)
+    def test_inverse_property(self, a):
+        assert GF256.multiply(a, GF256.inverse(a)) == 1
+
+    @given(nonzero256)
+    def test_fermat_exponent(self, a):
+        # a^255 == 1 in GF(256)*.
+        assert GF256.power(a, 255) == 1
+
+    @given(nonzero256, st.integers(-10, 10))
+    def test_power_negative_exponents(self, a, k):
+        direct = GF256.power(a, k)
+        via_inverse = GF256.power(GF256.inverse(a), -k)
+        assert direct == via_inverse
+
+
+class TestFieldApi:
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(FieldError):
+            GF256.inverse(0)
+        with pytest.raises(FieldError):
+            GF256.power(0, -1)
+
+    def test_inverse_or_zero(self):
+        assert GF256.inverse_or_zero(0) == 0
+        assert GF256.inverse_or_zero(1) == 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(FieldError):
+            GF256.multiply(256, 1)
+        with pytest.raises(FieldError):
+            GF256.add(-1, 0)
+
+    def test_exp_log_tables_consistent(self):
+        for a in range(1, 256):
+            assert GF256.exp_table[GF256.log_table[a]] == a
+
+    def test_generator_generates_group(self):
+        seen = set()
+        value = 1
+        for _ in range(255):
+            seen.add(value)
+            value = GF256.multiply(value, GF256.generator)
+        assert len(seen) == 255
+
+    def test_field_cache_returns_same_object(self):
+        assert field(0x11B) is field(0x11B)
+
+    def test_degree_and_order(self):
+        assert GF16.degree == 4
+        assert GF16.order == 16
+        assert GF256.degree == 8
+
+    def test_small_field_exhaustive_inverses(self):
+        for a in range(1, 16):
+            assert GF16.multiply(a, GF16.inverse(a)) == 1
+
+    def test_degree_limit(self):
+        with pytest.raises(FieldError):
+            GF2n((1 << 17) | 0b11)  # degree 17 (x^17 + x + 1 is irreducible)

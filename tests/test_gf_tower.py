@@ -1,0 +1,128 @@
+"""Tests for the tower-field decomposition of GF(2^8)."""
+
+from hypothesis import given, strategies as st
+
+from repro.gf.gf256 import GF256
+from repro.gf.tower import (
+    MU,
+    NU,
+    TowerField,
+    gf16_inverse,
+    gf16_multiply,
+    gf16_scale,
+    gf16_square,
+    gf4_inverse,
+    gf4_multiply,
+    gf4_scale_mu,
+    gf4_square,
+    tower_inverse,
+    tower_multiply,
+    tower_square,
+    verify_isomorphism,
+)
+
+elements4 = st.integers(0, 3)
+elements16 = st.integers(0, 15)
+elements256 = st.integers(0, 255)
+
+
+class TestGf4:
+    def test_multiplication_table_sane(self):
+        assert gf4_multiply(0, 3) == 0
+        assert gf4_multiply(1, 3) == 3
+        # W * W = W + 1
+        assert gf4_multiply(2, 2) == 3
+
+    @given(elements4, elements4, elements4)
+    def test_associativity(self, a, b, c):
+        assert gf4_multiply(gf4_multiply(a, b), c) == gf4_multiply(
+            a, gf4_multiply(b, c)
+        )
+
+    @given(elements4)
+    def test_square_is_inverse_for_nonzero(self, a):
+        if a:
+            assert gf4_multiply(a, gf4_square(a)) == 1
+        assert gf4_inverse(0) == 0
+
+    @given(elements4)
+    def test_scale_mu_matches_multiplication(self, a):
+        assert gf4_scale_mu(a) == gf4_multiply(a, MU)
+
+    @given(elements4)
+    def test_cube_is_one_for_nonzero(self, a):
+        if a:
+            assert gf4_multiply(a, gf4_multiply(a, a)) == 1
+
+
+class TestGf16:
+    @given(elements16, elements16)
+    def test_commutativity(self, a, b):
+        assert gf16_multiply(a, b) == gf16_multiply(b, a)
+
+    @given(elements16, elements16, elements16)
+    def test_distributivity(self, a, b, c):
+        lhs = gf16_multiply(a, b ^ c)
+        rhs = gf16_multiply(a, b) ^ gf16_multiply(a, c)
+        assert lhs == rhs
+
+    def test_inverse_exhaustive(self):
+        assert gf16_inverse(0) == 0
+        for a in range(1, 16):
+            assert gf16_multiply(a, gf16_inverse(a)) == 1
+
+    @given(elements16)
+    def test_square_matches_multiply(self, a):
+        assert gf16_square(a) == gf16_multiply(a, a)
+
+    @given(elements16)
+    def test_order_divides_15(self, a):
+        if a:
+            power = a
+            for _ in range(14):
+                power = gf16_multiply(power, a)
+            assert power == 1  # a^15 == 1
+
+    @given(elements16)
+    def test_scale_nu_is_linear(self, a):
+        b = 0b0110
+        lhs = gf16_scale(a ^ b, NU)
+        rhs = gf16_scale(a, NU) ^ gf16_scale(b, NU)
+        assert lhs == rhs
+
+
+class TestTowerField:
+    def test_nu_makes_extension_irreducible(self):
+        image = {gf16_square(z) ^ z for z in range(16)}
+        assert NU not in image
+
+    def test_isomorphism_is_homomorphism(self):
+        assert verify_isomorphism()
+
+    def test_roundtrip_mapping(self):
+        for a in range(256):
+            assert TowerField.from_tower(TowerField.to_tower(a)) == a
+
+    def test_maps_identity_elements(self):
+        assert TowerField.to_tower(0) == 0
+        assert TowerField.to_tower(1) == 1
+
+    def test_inverse_all_values(self):
+        for a in range(256):
+            expected = GF256.inverse_or_zero(a)
+            assert TowerField.aes_inverse_via_tower(a) == expected
+
+    @given(elements256, elements256)
+    def test_tower_multiply_matches_aes_field(self, a, b):
+        lhs = TowerField.to_tower(GF256.multiply(a, b))
+        rhs = tower_multiply(TowerField.to_tower(a), TowerField.to_tower(b))
+        assert lhs == rhs
+
+    @given(elements256)
+    def test_tower_square(self, a):
+        assert tower_square(a) == tower_multiply(a, a)
+
+    def test_tower_inverse_exhaustive(self):
+        assert tower_inverse(0) == 0
+        for a in range(1, 256):
+            assert tower_multiply(a, tower_inverse(a)) == 1

@@ -1,0 +1,147 @@
+"""Integration tests: every security claim of the paper, end to end.
+
+Exact-engine verdicts are deterministic; Monte-Carlo checks target leaks so
+strong that modest sample counts give astronomically small p-values.
+"""
+
+import pytest
+
+from repro.core.kronecker import build_kronecker_delta
+from repro.core.optimizations import RandomnessScheme, SecondOrderScheme
+from repro.core.sbox import build_masked_sbox
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.exact import ExactAnalyzer
+from repro.leakage.model import ProbingModel
+
+
+def exact_v_node_verdict(scheme):
+    design = build_kronecker_delta(scheme)
+    analyzer = ExactAnalyzer(design.dut)
+    leaking = False
+    for node in ("v1", "v2", "v3", "v4"):
+        pc = analyzer.probe_class_for_net(design.v_nodes[node])
+        if analyzer.analyze_probe_class(pc).leaking:
+            leaking = True
+    return not leaking
+
+
+class TestSectionIII:
+    """Evaluation and systematic analysis."""
+
+    def test_claim_eq6_breaks_first_order_security(self):
+        """Core finding: the Eq. (6) optimization leaks at G7 (exact)."""
+        assert not exact_v_node_verdict(RandomnessScheme.DEMEYER_EQ6)
+
+    def test_claim_seven_fresh_bits_secure(self):
+        """'By avoiding such an optimization ... the design passes.'"""
+        assert exact_v_node_verdict(RandomnessScheme.FULL)
+
+    def test_claim_sbox_with_eq6_fails_at_g7(self, request):
+        """The full S-box with Eq. (6) and fixed input 0 fails, with the
+        leakage localized to the Kronecker delta's G7 (Fig. 3)."""
+        design = build_masked_sbox(RandomnessScheme.DEMEYER_EQ6)
+        evaluator = LeakageEvaluator(design.dut, ProbingModel.GLITCH, seed=1)
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=60_000)
+        assert not report.passed
+        for result in report.leaking_results:
+            assert "g7" in result.probe_names
+
+    def test_claim_sbox_without_kronecker_nonzero_fixed_passes(self):
+        """'the design passes ... confirming the masking conversions,
+        inversion and affine transformation' (non-zero fixed input)."""
+        design = build_masked_sbox(include_kronecker=False)
+        evaluator = LeakageEvaluator(design.dut, ProbingModel.GLITCH, seed=1)
+        report = evaluator.evaluate(fixed_secret=0x53, n_simulations=60_000)
+        assert report.passed
+
+    def test_zero_value_problem_without_kronecker(self):
+        """Fixing input 0 without the delta exposes the classic flaw."""
+        design = build_masked_sbox(include_kronecker=False)
+        evaluator = LeakageEvaluator(design.dut, ProbingModel.GLITCH, seed=1)
+        report = evaluator.evaluate(fixed_secret=0x00, n_simulations=60_000)
+        assert not report.passed
+
+
+class TestSectionIV:
+    """The proposed optimization and the transition-extended model."""
+
+    def test_claim_eq9_secure_under_glitch_model(self):
+        assert exact_v_node_verdict(RandomnessScheme.PROPOSED_EQ9)
+
+    def test_claim_r5_eq_r6_leaks(self):
+        """Section IV's counter-example: reusing within layer 2 leaks."""
+        assert not exact_v_node_verdict(RandomnessScheme.SECOND_LAYER_R5R6)
+
+    def test_claim_eq9_fails_under_transitions(self, kronecker_eq9):
+        evaluator = LeakageEvaluator(
+            kronecker_eq9.dut, ProbingModel.GLITCH_TRANSITION, seed=1
+        )
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=60_000)
+        assert not report.passed
+
+    def test_claim_eq6_fails_under_transitions(self, kronecker_eq6):
+        evaluator = LeakageEvaluator(
+            kronecker_eq6.dut, ProbingModel.GLITCH_TRANSITION, seed=1
+        )
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=60_000)
+        assert not report.passed
+
+    @pytest.mark.parametrize(
+        "scheme",
+        [
+            RandomnessScheme.TRANSITION_R7_EQ_R1,
+            RandomnessScheme.TRANSITION_R7_EQ_R2,
+            RandomnessScheme.TRANSITION_R7_EQ_R3,
+            RandomnessScheme.TRANSITION_R7_EQ_R4,
+        ],
+    )
+    def test_claim_four_solutions_survive_transitions(self, scheme):
+        design = build_kronecker_delta(scheme)
+        evaluator = LeakageEvaluator(
+            design.dut, ProbingModel.GLITCH_TRANSITION, seed=1
+        )
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=60_000)
+        assert report.passed
+
+    def test_claim_full_survives_transitions(self, kronecker_full):
+        evaluator = LeakageEvaluator(
+            kronecker_full.dut, ProbingModel.GLITCH_TRANSITION, seed=1
+        )
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=60_000)
+        assert report.passed
+
+
+class TestSecondOrderClaims:
+    """'None of our analyses ... up to second order revealed any
+    vulnerability' for the 21- and 13-fresh-bit designs."""
+
+    @pytest.mark.parametrize(
+        "scheme", [SecondOrderScheme.FULL_21, SecondOrderScheme.OPT_13]
+    )
+    def test_second_order_designs_pass_first_order_probes(self, scheme):
+        design = build_kronecker_delta(scheme, order=2)
+        evaluator = LeakageEvaluator(
+            design.dut, ProbingModel.GLITCH_TRANSITION, seed=1
+        )
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=50_000)
+        assert report.passed
+
+    def test_second_order_designs_pass_pair_probes_glitch(self):
+        design = build_kronecker_delta(SecondOrderScheme.FULL_21, order=2)
+        evaluator = LeakageEvaluator(design.dut, ProbingModel.GLITCH, seed=1)
+        report = evaluator.evaluate_pairs(
+            fixed_secret=0, n_simulations=30_000, max_pairs=200
+        )
+        assert report.passed
+
+    def test_naive_13_bit_reuse_leaks(self):
+        """Our ablation: the obvious 13-bit mapping is insecure -- the
+        paper's moral ('use evaluation tools') applies to us too."""
+        design = build_kronecker_delta(
+            SecondOrderScheme.OPT_13_NAIVE, order=2
+        )
+        evaluator = LeakageEvaluator(
+            design.dut, ProbingModel.GLITCH_TRANSITION, seed=1
+        )
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=50_000)
+        assert not report.passed

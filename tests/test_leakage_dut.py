@@ -1,0 +1,62 @@
+"""Tests for the design-under-test protocol."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.leakage.dut import DesignUnderTest
+from repro.netlist.builder import CircuitBuilder
+
+
+def make_parts():
+    b = CircuitBuilder("t")
+    s0 = b.input_bus("s0", 4)
+    s1 = b.input_bus("s1", 4)
+    m = b.input("m")
+    out = b.xor(s0[0], s1[0])
+    b.output(out, "y")
+    return b.build(), s0, s1, m
+
+
+class TestProtocolValidation:
+    def test_valid_protocol(self):
+        nl, s0, s1, m = make_parts()
+        dut = DesignUnderTest(
+            netlist=nl, share_buses=[s0, s1], mask_bits=[m], latency=0
+        )
+        assert dut.n_shares == 2
+        assert dut.secret_width == 4
+        assert dut.n_fresh_mask_bits == 1
+
+    def test_unassigned_input_rejected(self):
+        nl, s0, s1, m = make_parts()
+        with pytest.raises(SimulationError):
+            DesignUnderTest(netlist=nl, share_buses=[s0, s1], latency=0)
+
+    def test_non_input_net_rejected(self):
+        nl, s0, s1, m = make_parts()
+        internal = nl.net("y")
+        with pytest.raises(SimulationError):
+            DesignUnderTest(
+                netlist=nl,
+                share_buses=[s0, s1],
+                mask_bits=[m, internal],
+                latency=0,
+            )
+
+    def test_share_bit_lookup(self):
+        nl, s0, s1, m = make_parts()
+        dut = DesignUnderTest(
+            netlist=nl, share_buses=[s0, s1], mask_bits=[m], latency=0
+        )
+        assert dut.share_bit(0, 2) == s0[2]
+        assert dut.share_bit(1, 0) == s1[0]
+
+    def test_describe_mentions_costs(self):
+        nl, s0, s1, m = make_parts()
+        dut = DesignUnderTest(
+            netlist=nl, share_buses=[s0, s1], mask_bits=[m], latency=3
+        )
+        text = dut.describe()
+        assert "2 shares" in text
+        assert "1 fresh mask" in text
+        assert "latency 3" in text

@@ -1,0 +1,142 @@
+"""Tests for the Monte-Carlo fixed-vs-random evaluator."""
+
+import numpy as np
+import pytest
+
+from repro.core.kronecker import build_kronecker_delta
+from repro.core.optimizations import RandomnessScheme
+from repro.errors import SimulationError
+from repro.leakage.evaluator import LeakageEvaluator, _mix_hash
+from repro.leakage.model import ProbingModel
+
+N_SIMS = 30_000  # leaks under test are enormous; modest N suffices
+
+
+class TestFirstOrder:
+    def test_detects_eq6_leak_at_g7(self, kronecker_eq6):
+        evaluator = LeakageEvaluator(
+            kronecker_eq6.dut, ProbingModel.GLITCH, seed=1
+        )
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=N_SIMS)
+        assert not report.passed
+        leaking = " ".join(r.probe_names for r in report.leaking_results)
+        assert "g7" in leaking
+
+    def test_full_scheme_passes(self, kronecker_full):
+        evaluator = LeakageEvaluator(
+            kronecker_full.dut, ProbingModel.GLITCH, seed=1
+        )
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=N_SIMS)
+        assert report.passed
+
+    def test_eq9_passes_glitch_fails_transition(self, kronecker_eq9):
+        glitch = LeakageEvaluator(
+            kronecker_eq9.dut, ProbingModel.GLITCH, seed=1
+        ).evaluate(fixed_secret=0, n_simulations=N_SIMS)
+        assert glitch.passed
+        transition = LeakageEvaluator(
+            kronecker_eq9.dut, ProbingModel.GLITCH_TRANSITION, seed=1
+        ).evaluate(fixed_secret=0, n_simulations=N_SIMS)
+        assert not transition.passed
+
+    def test_windows_multiply_samples(self, kronecker_full):
+        evaluator = LeakageEvaluator(
+            kronecker_full.dut, ProbingModel.GLITCH, seed=2
+        )
+        report = evaluator.evaluate(
+            fixed_secret=0, n_simulations=20_000, n_windows=4
+        )
+        assert report.n_simulations == 20_000
+
+    def test_invalid_windows_rejected(self, kronecker_full):
+        evaluator = LeakageEvaluator(kronecker_full.dut)
+        with pytest.raises(SimulationError):
+            evaluator.evaluate(n_simulations=100, n_windows=0)
+
+    def test_report_contents(self, kronecker_eq6):
+        evaluator = LeakageEvaluator(
+            kronecker_eq6.dut, ProbingModel.GLITCH, seed=3
+        )
+        report = evaluator.evaluate(fixed_secret=0, n_simulations=N_SIMS)
+        assert report.fixed_secret == 0
+        assert report.results
+        assert report.max_mlog10p == report.worst.mlog10p
+        text = report.format_summary()
+        assert "FAIL" in text
+        assert "-log10(p)" in text
+
+    def test_probe_class_lookup(self, kronecker_eq6):
+        evaluator = LeakageEvaluator(kronecker_eq6.dut)
+        v1 = kronecker_eq6.v_nodes["v1"]
+        pc = evaluator.probe_class_for_net(v1)
+        assert v1 in pc.members
+        with pytest.raises(SimulationError):
+            evaluator.probe_class_for_net(10**6)
+
+    def test_seed_reproducibility(self, kronecker_full):
+        reports = [
+            LeakageEvaluator(
+                kronecker_full.dut, ProbingModel.GLITCH, seed=7
+            ).evaluate(fixed_secret=0, n_simulations=5_000)
+            for _ in range(2)
+        ]
+        a, b = reports
+        assert [r.mlog10p for r in a.results] == [
+            r.mlog10p for r in b.results
+        ]
+
+
+class TestSecondOrderPairs:
+    def test_first_order_design_fails_pair_test(self, kronecker_full):
+        """Positive control: pairing probes across shares recovers secrets."""
+        evaluator = LeakageEvaluator(
+            kronecker_full.dut, ProbingModel.GLITCH, seed=4
+        )
+        report = evaluator.evaluate_pairs(
+            fixed_secret=0, n_simulations=N_SIMS, max_pairs=300
+        )
+        assert not report.passed
+
+    def test_pair_offsets_validated(self, kronecker_full):
+        evaluator = LeakageEvaluator(kronecker_full.dut)
+        with pytest.raises(SimulationError):
+            evaluator.evaluate_pairs(
+                n_simulations=100, pair_offsets=(-1,)
+            )
+
+    def test_pair_subset_is_deterministic(self, kronecker_full):
+        evaluator = LeakageEvaluator(
+            kronecker_full.dut, ProbingModel.GLITCH, seed=5
+        )
+        r1 = evaluator.evaluate_pairs(
+            n_simulations=2_000, max_pairs=20, pair_seed=9
+        )
+        r2 = evaluator.evaluate_pairs(
+            n_simulations=2_000, max_pairs=20, pair_seed=9
+        )
+        assert [x.probe_names for x in r1.results] == [
+            x.probe_names for x in r2.results
+        ]
+
+
+class TestHashing:
+    def test_mix_hash_is_deterministic_permutation_like(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        mixed = _mix_hash(keys)
+        assert len(np.unique(mixed)) == 1000  # injective on small sets
+        assert (_mix_hash(keys) == mixed).all()
+
+    def test_wide_observations_bucketed(self, sbox_full):
+        evaluator = LeakageEvaluator(
+            sbox_full.dut, ProbingModel.GLITCH, seed=6, hash_bits=10
+        )
+        wide = next(
+            pc
+            for pc in evaluator.probe_classes
+            if pc.observation_bits > 10
+        )
+        # evaluating only this class must produce a dof bounded by 2^10.
+        report = evaluator.evaluate(
+            fixed_secret=1, n_simulations=4_000, probe_classes=[wide]
+        )
+        assert report.results[0].dof < 1 << 10

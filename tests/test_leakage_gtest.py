@@ -1,0 +1,97 @@
+"""Tests for the G-test statistics."""
+
+import numpy as np
+import pytest
+
+from repro.leakage.gtest import DEFAULT_THRESHOLD, MLOG10P_CAP, g_test
+
+
+class TestNullBehaviour:
+    def test_identical_distributions_not_flagged(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 16, size=50_000).astype(np.uint64)
+        b = rng.integers(0, 16, size=50_000).astype(np.uint64)
+        result = g_test(a, b)
+        assert not result.is_leaking()
+        assert result.mlog10p < 4.0
+
+    def test_null_uniformity_over_many_runs(self):
+        """Under the null, -log10(p) rarely exceeds 2 in 20 runs."""
+        rng = np.random.default_rng(1)
+        exceed = 0
+        for _ in range(20):
+            a = rng.integers(0, 8, size=5_000).astype(np.uint64)
+            b = rng.integers(0, 8, size=5_000).astype(np.uint64)
+            if g_test(a, b).mlog10p > 2.0:
+                exceed += 1
+        assert exceed <= 4
+
+    def test_empty_input(self):
+        result = g_test(np.array([], dtype=np.uint64), np.array([1], dtype=np.uint64))
+        assert result.mlog10p == 0.0
+        assert result.dof == 0
+
+    def test_single_category(self):
+        a = np.zeros(1000, dtype=np.uint64)
+        b = np.zeros(1000, dtype=np.uint64)
+        result = g_test(a, b)
+        assert result.dof == 0
+        assert result.mlog10p == 0.0
+
+
+class TestDetection:
+    def test_strong_bias_detected(self):
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, 2, size=20_000).astype(np.uint64)
+        b = (rng.random(20_000) < 0.6).astype(np.uint64)
+        result = g_test(a, b)
+        assert result.is_leaking()
+        assert result.mlog10p > DEFAULT_THRESHOLD
+
+    def test_detection_strengthens_with_samples(self):
+        rng = np.random.default_rng(3)
+        scores = []
+        for n in (2_000, 20_000, 200_000):
+            a = rng.integers(0, 2, size=n).astype(np.uint64)
+            b = (rng.random(n) < 0.55).astype(np.uint64)
+            scores.append(g_test(a, b).mlog10p)
+        assert scores[0] < scores[1] < scores[2]
+
+    def test_deterministic_difference_capped(self):
+        a = np.zeros(100_000, dtype=np.uint64)
+        b = np.ones(100_000, dtype=np.uint64)
+        result = g_test(a, b)
+        assert result.mlog10p <= MLOG10P_CAP
+        assert result.mlog10p > 1000
+
+    def test_custom_threshold(self):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 2, size=5_000).astype(np.uint64)
+        b = (rng.random(5_000) < 0.53).astype(np.uint64)
+        result = g_test(a, b)
+        assert result.is_leaking(threshold=0.5) or result.mlog10p <= 0.5
+
+
+class TestPooling:
+    def test_rare_categories_pooled(self):
+        rng = np.random.default_rng(5)
+        # 1000 samples over 500 categories: nearly everything is rare.
+        a = rng.integers(0, 500, size=1_000).astype(np.uint64)
+        b = rng.integers(0, 500, size=1_000).astype(np.uint64)
+        result = g_test(a, b)
+        # After pooling the table must be tiny and the test quiet.
+        assert result.n_categories < 50
+        assert not result.is_leaking()
+
+    def test_dof_matches_categories(self):
+        a = np.array([0] * 500 + [1] * 500, dtype=np.uint64)
+        b = np.array([0] * 400 + [1] * 600, dtype=np.uint64)
+        result = g_test(a, b)
+        assert result.dof == result.n_categories - 1 == 1
+
+    def test_counts_recorded(self):
+        a = np.zeros(10, dtype=np.uint64)
+        b = np.zeros(20, dtype=np.uint64)
+        result = g_test(a, b)
+        assert result.n_fixed == 10
+        assert result.n_random == 20

@@ -1,0 +1,106 @@
+"""Tests for probe extraction and deduplication."""
+
+from repro.leakage.model import ProbingModel
+from repro.leakage.probes import (
+    ProbeClass,
+    default_probe_nets,
+    extract_probe_classes,
+)
+from repro.netlist.builder import CircuitBuilder
+
+
+def pipeline():
+    b = CircuitBuilder("p")
+    a = b.input("a")
+    c = b.input("c")
+    q = b.reg(b.not_(a, "inv"), "q")
+    g = b.and_(q, c, "g")
+    h = b.or_(q, c, "h")  # same support as g
+    b.output(g, "og")
+    b.output(h, "oh")
+    return b.build()
+
+
+class TestModel:
+    def test_cycles_back(self):
+        assert ProbingModel.GLITCH.cycles_back == (0,)
+        assert ProbingModel.GLITCH_TRANSITION.cycles_back == (0, 1)
+
+    def test_descriptions(self):
+        assert "glitch" in ProbingModel.GLITCH.description
+        assert "transition" in ProbingModel.GLITCH_TRANSITION.description
+
+
+class TestExtraction:
+    def test_default_probes_exclude_constants(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        b.output(b.and_(a, b.constant(1)), "y")
+        nets = default_probe_nets(b.build())
+        assert b.constant(1) not in nets
+
+    def test_identical_supports_grouped(self):
+        nl = pipeline()
+        classes, skipped = extract_probe_classes(nl, ProbingModel.GLITCH)
+        assert not skipped
+        # g and h (and the output buffers) share the support {q, c}.
+        supports = {pc.support: pc for pc in classes}
+        target = frozenset({nl.net("q"), nl.net("c")})
+        matching = [
+            pc for pc in classes if set(pc.support) == set(target)
+        ]
+        assert len(matching) == 1
+        members = {nl.net_name(n) for n in matching[0].members}
+        assert "g" in members and "h" in members
+
+    def test_register_probe_is_singleton(self):
+        nl = pipeline()
+        classes, _ = extract_probe_classes(nl, ProbingModel.GLITCH)
+        q = nl.net("q")
+        qc = next(pc for pc in classes if pc.members == (q,))
+        assert qc.support == (q,)
+
+    def test_transition_doubles_observation(self):
+        nl = pipeline()
+        classes, _ = extract_probe_classes(
+            nl, ProbingModel.GLITCH_TRANSITION
+        )
+        for pc in classes:
+            assert pc.observation_bits == 2 * len(pc.support)
+
+    def test_wide_supports_skipped(self):
+        b = CircuitBuilder("wide")
+        bus = b.input_bus("x", 30)
+        b.output(b.xor_reduce(bus), "y")
+        classes, skipped = extract_probe_classes(
+            b.build(), ProbingModel.GLITCH, max_support_bits=8
+        )
+        assert skipped
+        assert all(len(pc.support) <= 8 for pc in classes)
+
+    def test_over_63_bit_observation_always_skipped(self):
+        b = CircuitBuilder("huge")
+        bus = b.input_bus("x", 40)
+        b.output(b.xor_reduce(bus), "y")
+        classes, skipped = extract_probe_classes(
+            b.build(), ProbingModel.GLITCH_TRANSITION
+        )
+        wide = [pc for pc in skipped if len(pc.support) == 40]
+        assert wide  # 40 x 2 cycles = 80 bits > 63
+
+    def test_member_names_truncate(self):
+        nl = pipeline()
+        classes, _ = extract_probe_classes(nl, ProbingModel.GLITCH)
+        for pc in classes:
+            text = pc.member_names(nl, limit=1)
+            if len(pc.members) > 1:
+                assert "more" in text
+
+    def test_explicit_probe_list(self):
+        nl = pipeline()
+        g = nl.net("g")
+        classes, _ = extract_probe_classes(
+            nl, ProbingModel.GLITCH, probe_nets=[g]
+        )
+        assert len(classes) == 1
+        assert classes[0].members == (g,)

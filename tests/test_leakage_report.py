@@ -1,0 +1,81 @@
+"""Tests for report structures and serialization."""
+
+import json
+
+from repro.leakage.report import LeakageReport, ProbeResult
+
+
+def make_report(passed=True):
+    report = LeakageReport(
+        design="demo",
+        model="glitch-extended probing model",
+        fixed_secret=0,
+        n_simulations=1000,
+        threshold=5.0,
+    )
+    report.results.append(
+        ProbeResult(
+            probe_names="safe_probe",
+            support_names=("a", "b"),
+            n_samples=2000,
+            g_statistic=3.0,
+            dof=3,
+            mlog10p=0.7,
+            leaking=False,
+        )
+    )
+    if not passed:
+        report.results.append(
+            ProbeResult(
+                probe_names="bad_probe",
+                support_names=("c",),
+                n_samples=2000,
+                g_statistic=120.0,
+                dof=3,
+                mlog10p=24.0,
+                leaking=True,
+            )
+        )
+    return report
+
+
+class TestReportQueries:
+    def test_passed_property(self):
+        assert make_report(passed=True).passed
+        assert not make_report(passed=False).passed
+
+    def test_worst_and_max(self):
+        report = make_report(passed=False)
+        assert report.worst.probe_names == "bad_probe"
+        assert report.max_mlog10p == 24.0
+
+    def test_empty_report(self):
+        report = LeakageReport("d", "m", 0, 0, 5.0)
+        assert report.passed
+        assert report.worst is None
+        assert report.max_mlog10p == 0.0
+
+    def test_format_rows(self):
+        text = make_report(passed=False).format_summary()
+        assert "FAIL" in text
+        assert "bad_probe" in text
+        assert text.index("bad_probe") < text.index("safe_probe")
+
+
+class TestSerialization:
+    def test_to_dict_shape(self):
+        data = make_report(passed=False).to_dict()
+        assert data["passed"] is False
+        assert data["n_probe_classes"] == 2
+        assert data["results"][0]["probe_names"] == "bad_probe"
+
+    def test_to_json_roundtrip(self):
+        text = make_report().to_json()
+        data = json.loads(text)
+        assert data["design"] == "demo"
+        assert data["max_mlog10p"] == 0.7
+
+    def test_top_limits_results(self):
+        data = make_report(passed=False).to_dict(top=1)
+        assert len(data["results"]) == 1
+        assert data["n_probe_classes"] == 2

@@ -1,0 +1,129 @@
+"""Tests for the DOM-AND gadget generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import MaskingError
+from repro.masking.dom import (
+    dom_and,
+    dom_and_first_order,
+    dom_and_mask_count,
+    dom_masks_from_bus,
+)
+from repro.masking.randomness import MaskBus
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.simulate import ScalarSimulator
+
+
+def build_gadget(n_shares, register_inner=True):
+    builder = CircuitBuilder("dom")
+    x = [builder.input(f"x{i}") for i in range(n_shares)]
+    y = [builder.input(f"y{i}") for i in range(n_shares)]
+    bus = MaskBus(builder)
+    masks = dom_masks_from_bus(bus, "g", n_shares)
+    z = dom_and(builder, x, y, masks, "g", register_inner=register_inner)
+    outs = builder.output_bus(z, "z")
+    return builder.build(), x, y, bus.fresh_input_nets, outs
+
+
+def run_gadget(netlist, x_nets, y_nets, mask_nets, out_nets, x, y, rng):
+    """Drive constant shares of x and y until the pipeline settles."""
+    n_shares = len(x_nets)
+    sim = ScalarSimulator(netlist)
+
+    def share_bit(value):
+        shares = [rng.randrange(2) for _ in range(n_shares - 1)]
+        acc = 0
+        for s in shares:
+            acc ^= s
+        shares.append(value ^ acc)
+        return shares
+
+    x_shares = share_bit(x)
+    y_shares = share_bit(y)
+    values = None
+    for _ in range(3):
+        assignment = {}
+        for i in range(n_shares):
+            assignment[x_nets[i]] = x_shares[i]
+            assignment[y_nets[i]] = y_shares[i]
+        for net in mask_nets:
+            assignment[net] = rng.randrange(2)
+        values = sim.step(assignment)
+    result = 0
+    for net in out_nets:
+        result ^= values[net]
+    return result
+
+
+class TestMaskCount:
+    def test_counts(self):
+        assert dom_and_mask_count(2) == 1
+        assert dom_and_mask_count(3) == 3
+        assert dom_and_mask_count(4) == 6
+
+
+class TestFunctional:
+    @pytest.mark.parametrize("n_shares", [2, 3, 4])
+    @pytest.mark.parametrize("x,y", [(0, 0), (0, 1), (1, 0), (1, 1)])
+    def test_computes_and(self, n_shares, x, y):
+        netlist, xs, ys, masks, outs = build_gadget(n_shares)
+        rng = random.Random(n_shares * 10 + x * 2 + y)
+        for trial in range(8):
+            assert run_gadget(netlist, xs, ys, masks, outs, x, y, rng) == (
+                x & y
+            )
+
+    def test_unregistered_inner_variant(self):
+        netlist, xs, ys, masks, outs = build_gadget(2, register_inner=False)
+        rng = random.Random(0)
+        for x, y in [(0, 0), (1, 1), (1, 0)]:
+            assert run_gadget(netlist, xs, ys, masks, outs, x, y, rng) == (
+                x & y
+            )
+
+    def test_first_order_wrapper(self):
+        builder = CircuitBuilder("dom1")
+        x = [builder.input("x0"), builder.input("x1")]
+        y = [builder.input("y0"), builder.input("y1")]
+        r = builder.input("r")
+        z = dom_and_first_order(builder, x, y, r, "g")
+        assert len(z) == 2
+
+
+class TestStructure:
+    def test_register_count_first_order(self):
+        netlist, *_ = build_gadget(2)
+        # 2 inner + 2 cross registers.
+        assert sum(1 for _ in netlist.dff_cells()) == 4
+
+    def test_register_count_second_order(self):
+        netlist, *_ = build_gadget(3)
+        # 3 inner + 6 cross registers.
+        assert sum(1 for _ in netlist.dff_cells()) == 9
+
+    def test_unregistered_inner_has_fewer_registers(self):
+        netlist, *_ = build_gadget(2, register_inner=False)
+        assert sum(1 for _ in netlist.dff_cells()) == 2
+
+    def test_share_count_mismatch_rejected(self):
+        builder = CircuitBuilder("bad")
+        x = [builder.input("x0"), builder.input("x1")]
+        y = [builder.input("y0")]
+        with pytest.raises(MaskingError):
+            dom_and(builder, x, y, {(0, 1): 0}, "g")
+
+    def test_wrong_mask_keys_rejected(self):
+        builder = CircuitBuilder("bad")
+        x = [builder.input("x0"), builder.input("x1")]
+        y = [builder.input("y0"), builder.input("y1")]
+        r = builder.input("r")
+        with pytest.raises(MaskingError):
+            dom_and(builder, x, y, {(1, 0): r}, "g")
+
+    def test_single_share_rejected(self):
+        builder = CircuitBuilder("bad")
+        with pytest.raises(MaskingError):
+            dom_and(builder, [builder.input("x")], [builder.input("y")], {}, "g")

@@ -1,0 +1,107 @@
+"""Tests for share-wise linear gadget helpers."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.aes.sbox import AFFINE_CONSTANT, AFFINE_MATRIX, affine_transform
+from repro.errors import MaskingError
+from repro.masking.gadgets import (
+    sharewise_linear,
+    sharewise_not,
+    sharewise_register,
+    sharewise_xor,
+    unshare_xor,
+)
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.simulate import ScalarSimulator, evaluate_combinational
+
+
+def shared_inputs(builder, name, width, n_shares):
+    return [
+        builder.input_bus(f"{name}{s}", width) for s in range(n_shares)
+    ]
+
+
+def assign_shared(buses, shares):
+    assignment = {}
+    for bus, share_value in zip(buses, shares):
+        for i, net in enumerate(bus):
+            assignment[net] = (share_value >> i) & 1
+    return assignment
+
+
+def read_bus(values, bus):
+    return sum(values[net] << i for i, net in enumerate(bus))
+
+
+bytes_ = st.integers(0, 255)
+
+
+class TestSharewiseOps:
+    @given(bytes_, bytes_, bytes_, bytes_)
+    def test_xor(self, a0, a1, b0, b1):
+        b = CircuitBuilder("t")
+        a = shared_inputs(b, "a", 8, 2)
+        c = shared_inputs(b, "b", 8, 2)
+        result = sharewise_xor(b, a, c)
+        values = evaluate_combinational(
+            b.netlist, {**assign_shared(a, (a0, a1)), **assign_shared(c, (b0, b1))}
+        )
+        got = read_bus(values, result[0]) ^ read_bus(values, result[1])
+        assert got == (a0 ^ a1) ^ (b0 ^ b1)
+
+    @given(bytes_, bytes_)
+    def test_not_flips_recombined_value(self, a0, a1):
+        b = CircuitBuilder("t")
+        a = shared_inputs(b, "a", 8, 2)
+        result = sharewise_not(b, a)
+        values = evaluate_combinational(b.netlist, assign_shared(a, (a0, a1)))
+        got = read_bus(values, result[0]) ^ read_bus(values, result[1])
+        assert got == (a0 ^ a1) ^ 0xFF
+
+    @given(bytes_, bytes_)
+    def test_affine_layer(self, a0, a1):
+        b = CircuitBuilder("t")
+        a = shared_inputs(b, "a", 8, 2)
+        result = sharewise_linear(b, AFFINE_MATRIX, a, AFFINE_CONSTANT)
+        values = evaluate_combinational(b.netlist, assign_shared(a, (a0, a1)))
+        got = read_bus(values, result[0]) ^ read_bus(values, result[1])
+        assert got == affine_transform(a0 ^ a1)
+
+    @given(bytes_, bytes_)
+    def test_unshare_xor(self, a0, a1):
+        b = CircuitBuilder("t")
+        a = shared_inputs(b, "a", 8, 2)
+        combined = unshare_xor(b, a)
+        values = evaluate_combinational(b.netlist, assign_shared(a, (a0, a1)))
+        assert read_bus(values, combined) == a0 ^ a1
+
+    def test_register_stage_delays(self):
+        b = CircuitBuilder("t")
+        a = shared_inputs(b, "a", 2, 2)
+        registered = sharewise_register(b, a, "d")
+        for bus in registered:
+            b.output_bus(bus, f"o{registered.index(bus)}")
+        nl = b.build()
+        sim = ScalarSimulator(nl)
+        first = sim.step(assign_shared(a, (0b11, 0b01)))
+        assert read_bus(first, registered[0]) == 0
+        second = sim.step(assign_shared(a, (0, 0)))
+        assert read_bus(second, registered[0]) == 0b11
+        assert read_bus(second, registered[1]) == 0b01
+
+    def test_mismatched_share_counts_rejected(self):
+        b = CircuitBuilder("t")
+        a = shared_inputs(b, "a", 4, 2)
+        c = shared_inputs(b, "b", 4, 3)
+        with pytest.raises(MaskingError):
+            sharewise_xor(b, a, c)
+
+    def test_unshare_width_mismatch_rejected(self):
+        b = CircuitBuilder("t")
+        x = b.input_bus("x", 2)
+        y = b.input_bus("y", 3)
+        with pytest.raises(MaskingError):
+            unshare_xor(b, [x, y])

@@ -1,0 +1,135 @@
+"""Tests for the fresh-mask bus."""
+
+import pytest
+
+from repro.errors import MaskingError
+from repro.masking.randomness import MaskBus
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.cells import CellType
+from repro.netlist.simulate import ScalarSimulator
+
+
+class TestFreshBits:
+    def test_fresh_creates_inputs(self):
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        r1 = bus.fresh("r1")
+        r2 = bus.fresh("r2")
+        assert r1 != r2
+        assert bus.n_fresh_bits == 2
+        assert b.netlist.is_input(r1)
+
+    def test_fresh_is_idempotent_per_label(self):
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        assert bus.fresh("r") == bus.fresh("r")
+        assert bus.n_fresh_bits == 1
+
+    def test_fresh_byte(self):
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        byte = bus.fresh_byte("R")
+        assert len(byte) == 8
+        assert bus.n_fresh_bits == 8
+
+    def test_lookup(self):
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        r = bus.fresh("r")
+        assert bus.net("r") == r
+        with pytest.raises(MaskingError):
+            bus.net("unknown")
+
+    def test_labels_in_order(self):
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        bus.fresh("a")
+        bus.fresh("b")
+        assert bus.labels() == ["a", "b"]
+
+
+class TestAlias:
+    def test_alias_costs_nothing(self):
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        r1 = bus.fresh("r1")
+        r3 = bus.alias("r3", r1)
+        assert r3 == r1
+        assert bus.n_fresh_bits == 1
+
+    def test_alias_duplicate_label_rejected(self):
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        r1 = bus.fresh("r1")
+        with pytest.raises(MaskingError):
+            bus.alias("r1", r1)
+
+
+class TestDerived:
+    def test_registered_xor_value(self):
+        """r6 = [r5 xor r2]: one-cycle-delayed XOR (the Eq. (6) wiring)."""
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        r5 = bus.fresh("r5")
+        r2 = bus.fresh("r2")
+        r6 = bus.derived_registered_xor("r6", r5, r2)
+        b.output(r6)
+        nl = b.build()
+        sim = ScalarSimulator(nl)
+        first = sim.step({r5: 1, r2: 0})
+        assert first[r6] == 0  # register reset
+        second = sim.step({r5: 0, r2: 0})
+        assert second[r6] == 1  # r5(t-1) xor r2(t-1)
+
+    def test_registered_xor_not_a_fresh_bit(self):
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        r5 = bus.fresh("r5")
+        r2 = bus.fresh("r2")
+        bus.derived_registered_xor("r6", r5, r2)
+        assert bus.n_fresh_bits == 2
+
+    def test_delayed_chain_length(self):
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        r = bus.fresh("r")
+        bus.derived_delayed("d", r, cycles=3)
+        assert sum(1 for _ in b.netlist.dff_cells()) == 3
+
+    def test_delayed_value(self):
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        r = bus.fresh("r")
+        d = bus.derived_delayed("d", r, cycles=2)
+        b.output(d)
+        sim = ScalarSimulator(b.build())
+        values = [sim.step({r: bit})[d] for bit in (1, 0, 0, 0)]
+        assert values == [0, 0, 1, 0]
+
+    def test_delayed_requires_positive_cycles(self):
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        r = bus.fresh("r")
+        with pytest.raises(MaskingError):
+            bus.derived_delayed("d", r, cycles=0)
+
+    def test_delayed_xor_combination(self):
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        ra = bus.fresh("ra")
+        rb = bus.fresh("rb")
+        combo = bus.derived_delayed_xor("c", ra, 1, rb, 2)
+        b.output(combo)
+        sim = ScalarSimulator(b.build())
+        # combo(t) = ra(t-1) xor rb(t-2), with reset-0 history.
+        sequence = [(1, 0), (0, 1), (0, 0), (0, 0)]
+        observed = [sim.step({ra: a, rb: bb})[combo] for a, bb in sequence]
+        assert observed == [0, 1, 0, 1]
+
+    def test_duplicate_derived_label_rejected(self):
+        b = CircuitBuilder("t")
+        bus = MaskBus(b)
+        r = bus.fresh("r")
+        bus.derived_delayed("d", r, cycles=1)
+        with pytest.raises(MaskingError):
+            bus.derived_delayed("d", r, cycles=1)

@@ -1,0 +1,106 @@
+"""Tests for value-level sharings."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import MaskingError
+from repro.gf.gf256 import GF256
+from repro.masking.shares import BooleanSharing, MultiplicativeSharing
+
+bytes_ = st.integers(0, 255)
+seeds = st.integers(0, 2**32 - 1)
+
+
+class TestBooleanSharing:
+    @given(bytes_, st.integers(2, 5), seeds)
+    def test_share_recombines(self, value, n_shares, seed):
+        sharing = BooleanSharing.share(value, n_shares, random.Random(seed))
+        assert sharing.value == value
+        assert len(sharing.shares) == n_shares
+        assert sharing.order == n_shares - 1
+
+    @given(bytes_, bytes_, seeds)
+    def test_xor_is_sharewise(self, a, b, seed):
+        rng = random.Random(seed)
+        sa = BooleanSharing.share(a, 2, rng)
+        sb = BooleanSharing.share(b, 2, rng)
+        assert sa.xor(sb).value == a ^ b
+
+    @given(bytes_, bytes_, seeds)
+    def test_xor_constant(self, value, constant, seed):
+        sharing = BooleanSharing.share(value, 2, random.Random(seed))
+        assert sharing.xor_constant(constant).value == value ^ constant
+
+    @given(bytes_, seeds)
+    def test_map_linear_applies_per_share(self, value, seed):
+        sharing = BooleanSharing.share(value, 3, random.Random(seed))
+        doubled = sharing.map_linear(lambda s: GF256.multiply(2, s))
+        assert doubled.value == GF256.multiply(2, value)
+
+    def test_sharing_is_randomised(self):
+        rng = random.Random(1)
+        first = BooleanSharing.share(0xAB, 2, rng)
+        second = BooleanSharing.share(0xAB, 2, rng)
+        assert first.shares != second.shares  # overwhelmingly likely
+
+    def test_minimum_two_shares(self):
+        with pytest.raises(MaskingError):
+            BooleanSharing((5,))
+
+    def test_width_respected(self):
+        with pytest.raises(MaskingError):
+            BooleanSharing((1, 256))
+        with pytest.raises(MaskingError):
+            BooleanSharing.share(256, 2)
+        bit_sharing = BooleanSharing.share(1, 2, random.Random(0), width=1)
+        assert bit_sharing.value == 1
+
+    def test_incompatible_xor_rejected(self):
+        a = BooleanSharing.share(1, 2, random.Random(0))
+        b = BooleanSharing.share(1, 3, random.Random(0))
+        with pytest.raises(MaskingError):
+            a.xor(b)
+
+
+class TestMultiplicativeSharing:
+    @given(bytes_, st.integers(2, 4), seeds)
+    def test_share_recombines(self, value, n_shares, seed):
+        sharing = MultiplicativeSharing.share(
+            value, n_shares, random.Random(seed)
+        )
+        assert sharing.value == value
+
+    def test_zero_value_problem_is_visible(self):
+        """The flaw of Section II-B: zero stays unmasked.
+
+        The last share equals 0 exactly when the secret is 0, for every
+        choice of mask shares.
+        """
+        rng = random.Random(7)
+        for _ in range(50):
+            zero = MultiplicativeSharing.share(0, 2, rng)
+            assert zero.shares[-1] == 0
+            nonzero = MultiplicativeSharing.share(rng.randrange(1, 256), 2, rng)
+            assert nonzero.shares[-1] != 0
+
+    @given(st.integers(1, 255), st.integers(1, 255), seeds)
+    def test_multiply_public(self, value, factor, seed):
+        sharing = MultiplicativeSharing.share(value, 2, random.Random(seed))
+        assert sharing.multiply_public(factor).value == GF256.multiply(
+            value, factor
+        )
+
+    def test_zero_mask_share_rejected(self):
+        with pytest.raises(MaskingError):
+            MultiplicativeSharing((0, 5))
+
+    def test_zero_public_factor_rejected(self):
+        sharing = MultiplicativeSharing.share(3, 2, random.Random(0))
+        with pytest.raises(MaskingError):
+            sharing.multiply_public(0)
+
+    def test_minimum_two_shares(self):
+        with pytest.raises(MaskingError):
+            MultiplicativeSharing((7,))

@@ -1,0 +1,153 @@
+"""Tests for the circuit builder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import NetlistError
+from repro.gf.gf2 import gf2_matrix_vector
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.simulate import evaluate_combinational
+
+
+def eval_outputs(netlist, assignment, nets):
+    values = evaluate_combinational(netlist, assignment)
+    return [values[n] for n in nets]
+
+
+class TestPorts:
+    def test_input_bus_names(self):
+        b = CircuitBuilder("t")
+        bus = b.input_bus("x", 4)
+        nl = b.netlist
+        assert [nl.net_name(n) for n in bus] == [
+            "x[0]", "x[1]", "x[2]", "x[3]"
+        ]
+        assert nl.inputs == bus
+
+    def test_output_alias_creates_buffer(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        out = b.output(a, "y")
+        nl = b.build()
+        assert nl.net_name(out) == "y"
+        assert nl.outputs == [out]
+
+    def test_scope_prefixes_names(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        with b.scope("mod"):
+            with b.scope("sub"):
+                n = b.not_(a, "inv")
+        assert b.netlist.net_name(n) == "mod.sub.inv"
+
+    def test_scope_restored_after_exception(self):
+        b = CircuitBuilder("t")
+        with pytest.raises(RuntimeError):
+            with b.scope("mod"):
+                raise RuntimeError("boom")
+        a = b.input("plain")
+        assert b.netlist.net_name(a) == "plain"
+
+
+class TestGates:
+    def test_each_gate_truth(self):
+        b = CircuitBuilder("t")
+        x = b.input("x")
+        y = b.input("y")
+        nets = {
+            "and": b.and_(x, y),
+            "or": b.or_(x, y),
+            "xor": b.xor(x, y),
+            "nand": b.nand(x, y),
+            "nor": b.nor(x, y),
+            "xnor": b.xnor(x, y),
+            "not": b.not_(x),
+            "buf": b.buf(x),
+        }
+        nl = b.netlist
+        values = evaluate_combinational(nl, {x: 1, y: 0})
+        assert values[nets["and"]] == 0
+        assert values[nets["or"]] == 1
+        assert values[nets["xor"]] == 1
+        assert values[nets["nand"]] == 1
+        assert values[nets["nor"]] == 0
+        assert values[nets["xnor"]] == 0
+        assert values[nets["not"]] == 0
+        assert values[nets["buf"]] == 1
+
+    def test_mux_selects(self):
+        b = CircuitBuilder("t")
+        s, d0, d1 = b.input("s"), b.input("d0"), b.input("d1")
+        m = b.mux(s, d0, d1)
+        nl = b.netlist
+        assert evaluate_combinational(nl, {s: 0, d0: 1, d1: 0})[m] == 1
+        assert evaluate_combinational(nl, {s: 1, d0: 1, d1: 0})[m] == 0
+
+    def test_constants_shared(self):
+        b = CircuitBuilder("t")
+        assert b.constant(0) == b.constant(0)
+        assert b.constant(1) == b.constant(1)
+        assert b.constant(0) != b.constant(1)
+        with pytest.raises(NetlistError):
+            b.constant(2)
+
+
+class TestReductions:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=9))
+    def test_xor_reduce(self, bits):
+        b = CircuitBuilder("t")
+        ins = b.input_bus("x", len(bits))
+        out = b.xor_reduce(ins)
+        values = evaluate_combinational(
+            b.netlist, dict(zip(ins, bits))
+        )
+        expected = 0
+        for bit in bits:
+            expected ^= bit
+        assert values[out] == expected
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=9))
+    def test_and_reduce(self, bits):
+        b = CircuitBuilder("t")
+        ins = b.input_bus("x", len(bits))
+        out = b.and_reduce(ins)
+        values = evaluate_combinational(b.netlist, dict(zip(ins, bits)))
+        assert values[out] == int(all(bits))
+
+    def test_empty_reduction_rejected(self):
+        b = CircuitBuilder("t")
+        with pytest.raises(NetlistError):
+            b.xor_reduce([])
+        with pytest.raises(NetlistError):
+            b.and_reduce([])
+
+    def test_xor_bus_width_mismatch(self):
+        b = CircuitBuilder("t")
+        x = b.input_bus("x", 2)
+        y = b.input_bus("y", 3)
+        with pytest.raises(NetlistError):
+            b.xor_bus(x, y)
+
+
+class TestLinear:
+    @given(
+        st.lists(st.integers(0, 255), min_size=8, max_size=8),
+        st.integers(0, 255),
+        st.integers(0, 255),
+    )
+    def test_gf2_linear_matches_matrix_vector(self, rows, constant, value):
+        b = CircuitBuilder("t")
+        bus = b.input_bus("x", 8)
+        outs = b.gf2_linear(tuple(rows), bus, constant)
+        assignment = {bus[i]: (value >> i) & 1 for i in range(8)}
+        values = evaluate_combinational(b.netlist, assignment)
+        got = sum(values[outs[i]] << i for i in range(8))
+        assert got == gf2_matrix_vector(tuple(rows), value) ^ constant
+
+    def test_zero_row_yields_constant(self):
+        b = CircuitBuilder("t")
+        bus = b.input_bus("x", 2)
+        outs = b.gf2_linear((0, 0b11), bus, 0b01)
+        values = evaluate_combinational(b.netlist, {bus[0]: 1, bus[1]: 1})
+        assert values[outs[0]] == 1  # constant bit
+        assert values[outs[1]] == 0  # 1 xor 1

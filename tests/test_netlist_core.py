@@ -1,0 +1,164 @@
+"""Tests for the netlist data structure."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CellType, evaluate_cell
+from repro.netlist.core import Netlist
+
+
+def small_netlist():
+    nl = Netlist("t")
+    a = nl.add_net("a")
+    b = nl.add_net("b")
+    c = nl.add_net("c")
+    q = nl.add_net("q")
+    nl.mark_input(a)
+    nl.mark_input(b)
+    nl.add_cell(CellType.AND, (a, b), c, "and0")
+    nl.add_cell(CellType.DFF, (c,), q, "reg0")
+    nl.mark_output(q)
+    return nl, (a, b, c, q)
+
+
+class TestConstruction:
+    def test_basic_shape(self):
+        nl, (a, b, c, q) = small_netlist()
+        nl.validate()
+        assert nl.n_nets == 4
+        assert len(nl.cells) == 2
+        assert nl.inputs == [a, b]
+        assert nl.outputs == [q]
+
+    def test_duplicate_net_name_rejected(self):
+        nl = Netlist()
+        nl.add_net("x")
+        with pytest.raises(NetlistError):
+            nl.add_net("x")
+
+    def test_net_lookup(self):
+        nl, (a, _, _, _) = small_netlist()
+        assert nl.net("a") == a
+        assert nl.net_name(a) == "a"
+        with pytest.raises(NetlistError):
+            nl.net("missing")
+
+    def test_double_driver_rejected(self):
+        nl = Netlist()
+        a = nl.add_net("a")
+        b = nl.add_net("b")
+        nl.mark_input(a)
+        nl.add_cell(CellType.NOT, (a,), b, "n0")
+        with pytest.raises(NetlistError):
+            nl.add_cell(CellType.BUF, (a,), b, "n1")
+
+    def test_driving_an_input_rejected(self):
+        nl = Netlist()
+        a = nl.add_net("a")
+        b = nl.add_net("b")
+        nl.mark_input(a)
+        nl.mark_input(b)
+        with pytest.raises(NetlistError):
+            nl.add_cell(CellType.NOT, (a,), b, "n0")
+
+    def test_input_cannot_be_driven_net(self):
+        nl = Netlist()
+        a = nl.add_net("a")
+        b = nl.add_net("b")
+        nl.mark_input(a)
+        nl.add_cell(CellType.NOT, (a,), b, "n0")
+        with pytest.raises(NetlistError):
+            nl.mark_input(b)
+
+    def test_wrong_arity_rejected(self):
+        nl = Netlist()
+        a = nl.add_net("a")
+        b = nl.add_net("b")
+        nl.mark_input(a)
+        with pytest.raises(NetlistError):
+            nl.add_cell(CellType.AND, (a,), b, "bad")
+
+    def test_out_of_range_net_rejected(self):
+        nl = Netlist()
+        a = nl.add_net("a")
+        nl.mark_input(a)
+        with pytest.raises(NetlistError):
+            nl.add_cell(CellType.NOT, (a,), 99, "bad")
+
+    def test_floating_net_fails_validation(self):
+        nl = Netlist()
+        nl.add_net("dangling")
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+
+class TestQueries:
+    def test_stable_nets_are_inputs_and_registers(self):
+        nl, (a, b, c, q) = small_netlist()
+        assert set(nl.stable_nets()) == {a, b, q}
+
+    def test_driver_lookup(self):
+        nl, (a, b, c, q) = small_netlist()
+        assert nl.driver(a) is None
+        assert nl.driver(c).cell_type is CellType.AND
+        assert nl.driver(q).cell_type is CellType.DFF
+
+    def test_fanout_map(self):
+        nl, (a, b, c, q) = small_netlist()
+        fanout = nl.fanout_map()
+        assert fanout[a] == [0]
+        assert fanout[c] == [1]
+        assert fanout[q] == []
+
+    def test_cell_iterators(self):
+        nl, _ = small_netlist()
+        assert [c.name for c in nl.comb_cells()] == ["and0"]
+        assert [c.name for c in nl.dff_cells()] == ["reg0"]
+
+    def test_repr_mentions_counts(self):
+        nl, _ = small_netlist()
+        text = repr(nl)
+        assert "cells=2" in text
+        assert "dffs=1" in text
+
+
+class TestCellSemantics:
+    @pytest.mark.parametrize(
+        "kind,inputs,expected",
+        [
+            (CellType.AND, (1, 1), 1),
+            (CellType.AND, (1, 0), 0),
+            (CellType.NAND, (1, 1), 0),
+            (CellType.OR, (0, 0), 0),
+            (CellType.OR, (0, 1), 1),
+            (CellType.NOR, (0, 0), 1),
+            (CellType.XOR, (1, 1), 0),
+            (CellType.XOR, (1, 0), 1),
+            (CellType.XNOR, (1, 1), 1),
+            (CellType.NOT, (1,), 0),
+            (CellType.BUF, (1,), 1),
+            (CellType.CONST0, (), 0),
+            (CellType.CONST1, (), 1),
+            (CellType.MUX, (0, 1, 0), 1),
+            (CellType.MUX, (1, 1, 0), 0),
+        ],
+    )
+    def test_evaluate_cell(self, kind, inputs, expected):
+        assert evaluate_cell(kind, inputs) == expected
+
+    def test_dff_not_combinational(self):
+        with pytest.raises(ValueError):
+            evaluate_cell(CellType.DFF, (0,))
+
+    def test_arity_table(self):
+        assert CellType.AND.arity == 2
+        assert CellType.NOT.arity == 1
+        assert CellType.MUX.arity == 3
+        assert CellType.DFF.arity == 1
+        assert CellType.CONST0.arity == 0
+
+    def test_sequential_flags(self):
+        assert CellType.DFF.is_sequential
+        assert not CellType.AND.is_sequential
+        assert CellType.CONST1.is_constant
+        assert not CellType.XOR.is_constant

@@ -1,0 +1,163 @@
+"""Tests for the scalar and bitsliced simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.simulate import (
+    BitslicedSimulator,
+    ScalarSimulator,
+    evaluate_combinational,
+    pack_lanes,
+    unpack_lanes,
+    words_for_lanes,
+)
+
+from tests.strategies import input_sequences, random_circuits
+
+
+class TestPacking:
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=300))
+    def test_pack_unpack_roundtrip(self, bits):
+        words = pack_lanes(np.array(bits, dtype=np.uint8))
+        recovered = unpack_lanes(words, len(bits))
+        assert recovered.tolist() == bits
+
+    def test_words_for_lanes(self):
+        assert words_for_lanes(1) == 1
+        assert words_for_lanes(64) == 1
+        assert words_for_lanes(65) == 2
+        assert words_for_lanes(1_000_000) == 15625
+
+    def test_pack_is_lsb_first(self):
+        words = pack_lanes(np.array([1, 0, 0, 0], dtype=np.uint8))
+        assert int(words[0]) == 1
+
+
+class TestScalarSimulator:
+    def test_register_delays_one_cycle(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        q = b.reg(a, "q")
+        b.output(q, "y")
+        nl = b.build()
+        sim = ScalarSimulator(nl)
+        v1 = sim.step({a: 1})
+        assert v1[q] == 0  # reset value visible in cycle 0
+        v2 = sim.step({a: 0})
+        assert v2[q] == 1
+
+    def test_reset_clears_state(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        q = b.reg(a, "q")
+        b.output(q, "y")
+        nl = b.build()
+        sim = ScalarSimulator(nl)
+        sim.step({a: 1})
+        sim.reset()
+        assert sim.step({a: 0})[q] == 0
+
+    def test_missing_input_raises(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        b.output(b.not_(a), "y")
+        sim = ScalarSimulator(b.build())
+        with pytest.raises(SimulationError):
+            sim.step({})
+
+    def test_evaluate_combinational_helper(self):
+        b = CircuitBuilder("t")
+        x = b.input("x")
+        y = b.input("y")
+        out = b.xor(x, y)
+        values = evaluate_combinational(b.build(), {x: 1, y: 1})
+        assert values[out] == 0
+
+
+class TestBitslicedSimulator:
+    def test_lane_count_validation(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        b.output(b.not_(a), "y")
+        with pytest.raises(SimulationError):
+            BitslicedSimulator(b.build(), 0)
+
+    def test_stimulus_shape_checked(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        b.output(b.not_(a), "y")
+        nl = b.build()
+        sim = BitslicedSimulator(nl, 128)
+        bad = lambda cycle: {a: np.zeros(1, dtype=np.uint64)}
+        with pytest.raises(SimulationError):
+            sim.run(bad, 1)
+
+    def test_missing_input_detected(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        b.output(b.not_(a), "y")
+        sim = BitslicedSimulator(b.build(), 64)
+        with pytest.raises(SimulationError):
+            sim.run(lambda cycle: {}, 1)
+
+    def test_record_cycles_filter(self):
+        b = CircuitBuilder("t")
+        a = b.input("a")
+        q = b.reg(a, "q")
+        b.output(q, "y")
+        nl = b.build()
+        sim = BitslicedSimulator(nl, 64)
+        stim = lambda cycle: {a: np.zeros(1, dtype=np.uint64)}
+        trace = sim.run(stim, 3, record_cycles={1})
+        assert trace.values[0] == {}
+        assert trace.values[2] == {}
+        assert q in trace.values[1]
+        with pytest.raises(SimulationError):
+            trace.words(0, q)
+
+    @settings(deadline=None, max_examples=40)
+    @given(data=st.data())
+    def test_matches_scalar_simulator(self, data):
+        """Differential test: 64 bitsliced lanes vs 64 scalar runs."""
+        nl, inputs, nets = data.draw(random_circuits())
+        n_lanes = 8
+        sequence = data.draw(input_sequences(len(inputs) * n_lanes, (1, 4)))
+        n_cycles = len(sequence)
+
+        # Scalar reference, lane by lane.
+        scalar_values = []
+        for lane in range(n_lanes):
+            sim = ScalarSimulator(nl)
+            lane_values = []
+            for cycle in range(n_cycles):
+                assignment = {
+                    net: sequence[cycle][i * n_lanes + lane]
+                    for i, net in enumerate(inputs)
+                }
+                lane_values.append(sim.step(assignment))
+            scalar_values.append(lane_values)
+
+        # Bitsliced run.
+        def stimulus(cycle):
+            out = {}
+            for i, net in enumerate(inputs):
+                bits = np.array(
+                    [
+                        sequence[cycle][i * n_lanes + lane]
+                        for lane in range(n_lanes)
+                    ],
+                    dtype=np.uint8,
+                )
+                out[net] = pack_lanes(bits)
+            return out
+
+        sim = BitslicedSimulator(nl, n_lanes)
+        trace = sim.run(stimulus, n_cycles, record_nets=nets)
+        for cycle in range(n_cycles):
+            for net in nets:
+                bits = trace.bits(cycle, net)
+                for lane in range(n_lanes):
+                    assert bits[lane] == scalar_values[lane][cycle][net]

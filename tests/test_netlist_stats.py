@@ -1,0 +1,74 @@
+"""Tests for netlist statistics and the cell library."""
+
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.cells import CellType
+from repro.netlist.library import (
+    CELL_AREAS,
+    CELL_NAMES,
+    NAND2_AREA,
+    cell_area,
+    cell_gate_equivalents,
+)
+from repro.netlist.stats import netlist_stats
+
+
+def example():
+    b = CircuitBuilder("stats_demo")
+    x = b.input_bus("x", 2)
+    g = b.and_(x[0], x[1])
+    q = b.reg(g, "q")
+    b.output(b.not_(q), "y")
+    return b.build()
+
+
+class TestStats:
+    def test_counts(self):
+        stats = netlist_stats(example())
+        assert stats.n_cells == 4  # AND, DFF, NOT, output BUF
+        assert stats.n_registers == 1
+        assert stats.n_combinational == 3
+        assert stats.cell_counts[CellType.AND] == 1
+        assert stats.n_inputs == 2
+        assert stats.n_outputs == 1
+
+    def test_area_sums_cells(self):
+        stats = netlist_stats(example())
+        expected = (
+            CELL_AREAS[CellType.AND]
+            + CELL_AREAS[CellType.DFF]
+            + CELL_AREAS[CellType.NOT]
+            + CELL_AREAS[CellType.BUF]
+        )
+        assert abs(stats.area_um2 - expected) < 1e-9
+
+    def test_gate_equivalents(self):
+        stats = netlist_stats(example())
+        assert abs(stats.area_ge - stats.area_um2 / NAND2_AREA) < 1e-9
+
+    def test_format_table_mentions_cells(self):
+        text = netlist_stats(example()).format_table()
+        assert "stats_demo" in text
+        assert "AND2_X1" in text
+        assert "DFF_X1" in text
+        assert "GE" in text
+
+    def test_depth_reported(self):
+        stats = netlist_stats(example())
+        assert stats.comb_depth >= 1
+
+
+class TestLibrary:
+    def test_every_cell_has_name_and_area(self):
+        for kind in CellType:
+            assert kind in CELL_NAMES
+            assert cell_area(kind) >= 0.0
+
+    def test_nand_is_one_gate_equivalent(self):
+        assert abs(cell_gate_equivalents(CellType.NAND) - 1.0) < 1e-9
+
+    def test_dff_larger_than_gates(self):
+        assert cell_area(CellType.DFF) > cell_area(CellType.XOR)
+
+    def test_constants_are_free(self):
+        assert cell_area(CellType.CONST0) == 0.0
+        assert cell_area(CellType.CONST1) == 0.0

@@ -1,0 +1,132 @@
+"""Tests for levelization, cones and probe supports."""
+
+import pytest
+from hypothesis import given
+
+from repro.errors import NetlistError
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.core import Netlist
+from repro.netlist.cells import CellType
+from repro.netlist.topo import (
+    all_stable_supports,
+    combinational_cone,
+    combinational_depth,
+    levelize,
+    stable_support,
+    transitive_input_support,
+)
+
+from tests.strategies import random_circuits
+
+
+def pipeline_example():
+    """in -> NOT -> DFF -> AND(in2) -> DFF -> out, plus a side XOR."""
+    b = CircuitBuilder("p")
+    a = b.input("a")
+    c = b.input("c")
+    inv = b.not_(a, "inv")
+    q1 = b.reg(inv, "q1")
+    g = b.and_(q1, c, "g")
+    q2 = b.reg(g, "q2")
+    x = b.xor(q2, a, "x")
+    b.output(x, "out")
+    return b.build()
+
+
+class TestLevelize:
+    def test_order_respects_dependencies(self):
+        nl = pipeline_example()
+        order = levelize(nl)
+        position = {cell.output: i for i, cell in enumerate(order)}
+        for cell in order:
+            for inp in cell.inputs:
+                driver = nl.driver(inp)
+                if driver is not None and not driver.cell_type.is_sequential:
+                    assert position[inp] < position[cell.output]
+
+    def test_loop_detected(self):
+        nl = Netlist("loop")
+        a = nl.add_net("a")
+        b = nl.add_net("b")
+        nl.add_cell(CellType.NOT, (b,), a, "n0")
+        nl.add_cell(CellType.NOT, (a,), b, "n1")
+        with pytest.raises(NetlistError):
+            levelize(nl)
+
+    def test_register_feedback_is_fine(self):
+        b = CircuitBuilder("fb")
+        a = b.input("a")
+        # q feeds back through a register: legal sequential loop.
+        nl = b.netlist
+        q_net = nl.add_net("q")
+        x = b.xor(a, q_net, "x")
+        nl.add_cell(CellType.DFF, (x,), q_net, "qreg")
+        b.output(q_net)
+        order = levelize(nl)
+        assert len(order) == 1  # only the XOR
+
+    @given(random_circuits())
+    def test_levelize_covers_all_comb_cells(self, circuit):
+        nl, _, _ = circuit
+        order = levelize(nl)
+        assert len(order) == sum(1 for _ in nl.comb_cells())
+
+
+class TestCones:
+    def test_cone_stops_at_registers(self):
+        nl = pipeline_example()
+        cone = combinational_cone(nl, nl.net("g"))
+        names = {nl.net_name(n) for n in cone}
+        assert names == {"g", "q1", "c"}
+
+    def test_support_of_stable_net_is_itself(self):
+        nl = pipeline_example()
+        q1 = nl.net("q1")
+        assert stable_support(nl, q1) == frozenset((q1,))
+
+    def test_support_of_comb_net(self):
+        nl = pipeline_example()
+        support = stable_support(nl, nl.net("x"))
+        names = {nl.net_name(n) for n in support}
+        assert names == {"q2", "a"}
+
+    @given(random_circuits())
+    def test_all_supports_match_single_queries(self, circuit):
+        nl, _, nets = circuit
+        supports = all_stable_supports(nl)
+        for net in nets:
+            assert supports[net] == stable_support(nl, net)
+
+
+class TestTransitiveSupport:
+    def test_ages_through_registers(self):
+        nl = pipeline_example()
+        support = transitive_input_support(nl, nl.net("x"), max_cycles=4)
+        named = {(nl.net_name(n), age) for n, age in support}
+        # x = q2 xor a: a directly (age 0); through q2 <- g <- {q1, c}:
+        # c at age 1, a through q1's NOT at age 2.
+        assert named == {("a", 0), ("c", 1), ("a", 2)}
+
+    def test_depth_cap(self):
+        nl = pipeline_example()
+        support = transitive_input_support(nl, nl.net("x"), max_cycles=1)
+        named = {(nl.net_name(n), age) for n, age in support}
+        assert ("a", 2) not in named
+        assert ("c", 1) in named
+
+
+class TestDepth:
+    def test_combinational_depth(self):
+        nl = pipeline_example()
+        # longest comb path: q1/c -> g is depth 1; a -> inv depth 1;
+        # q2/a -> x depth 1... plus output buffer over x.
+        assert combinational_depth(nl) == 2
+
+    def test_depth_of_chain(self):
+        b = CircuitBuilder("chain")
+        a = b.input("a")
+        net = a
+        for _ in range(5):
+            net = b.not_(net)
+        b.output(net, "y")
+        assert combinational_depth(b.build()) >= 5

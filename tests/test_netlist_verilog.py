@@ -1,0 +1,67 @@
+"""Tests for the structural Verilog exporter."""
+
+from repro.netlist.builder import CircuitBuilder
+from repro.netlist.verilog import to_verilog
+
+
+def build_example():
+    b = CircuitBuilder("demo_top")
+    x = b.input_bus("x", 2)
+    g = b.and_(x[0], x[1], "g")
+    q = b.reg(g, "state.q")
+    m = b.mux(q, x[0], x[1], "m")
+    b.output(m, "y")
+    return b.build()
+
+
+class TestVerilogExport:
+    def test_module_header_and_ports(self):
+        text = to_verilog(build_example())
+        assert text.startswith("module demo_top (")
+        assert "input clk;" in text
+        assert "input x_0_;" in text
+        assert "output y;" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_register_becomes_always_block(self):
+        text = to_verilog(build_example())
+        assert "always @(posedge clk)" in text
+        assert "state_q <= g;" in text
+        assert "reg state_q;" in text
+
+    def test_gates_are_primitives(self):
+        text = to_verilog(build_example())
+        assert "and g0 (g, x_0_, x_1_);" in text
+
+    def test_mux_is_ternary_assign(self):
+        text = to_verilog(build_example())
+        assert "assign m = state_q ? x_1_ : x_0_;" in text
+
+    def test_combinational_module_has_no_clock(self):
+        b = CircuitBuilder("comb")
+        a = b.input("a")
+        b.output(b.not_(a), "y")
+        text = to_verilog(b.build())
+        assert "clk" not in text
+
+    def test_constants_exported(self):
+        b = CircuitBuilder("consts")
+        a = b.input("a")
+        b.output(b.and_(a, b.constant(1)), "y")
+        text = to_verilog(b.build())
+        assert "assign const1 = 1'b1;" in text
+
+    def test_identifier_sanitisation(self):
+        b = CircuitBuilder("san")
+        a = b.input("weird[name].x")
+        b.output(b.not_(a), "y")
+        text = to_verilog(b.build())
+        assert "weird_name__x" in text
+
+    def test_duplicate_sanitised_names_disambiguated(self):
+        b = CircuitBuilder("dup")
+        a = b.input("a.b")
+        c = b.input("a_b")
+        b.output(b.and_(a, c), "y")
+        text = to_verilog(b.build())
+        assert "a_b" in text and "a_b__1" in text

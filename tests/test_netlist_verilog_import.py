@@ -1,0 +1,133 @@
+"""Tests for Verilog import and export/import round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.kronecker import build_kronecker_delta
+from repro.core.optimizations import RandomnessScheme
+from repro.errors import NetlistError
+from repro.netlist.simulate import ScalarSimulator
+from repro.netlist.verilog import to_verilog
+from repro.netlist.verilog_import import from_verilog
+
+from tests.strategies import input_sequences, random_circuits
+
+
+class TestBasicParsing:
+    def test_simple_module(self):
+        text = """
+        module t (a, b, y);
+          input a;
+          input b;
+          output y;
+          wire n;
+          and g0 (n, a, b);
+          not g1 (y, n);
+        endmodule
+        """
+        netlist = from_verilog(text)
+        assert netlist.name == "t"
+        assert len(netlist.inputs) == 2
+        sim = ScalarSimulator(netlist)
+        values = sim.step({netlist.net("a"): 1, netlist.net("b"): 1})
+        assert values[netlist.net("y")] == 0
+
+    def test_constants_and_mux(self):
+        text = """
+        module t (s, y);
+          input s;
+          output y;
+          wire one;
+          wire zero;
+          assign one = 1'b1;
+          assign zero = 1'b0;
+          assign y = s ? one : zero;
+        endmodule
+        """
+        netlist = from_verilog(text)
+        sim = ScalarSimulator(netlist)
+        assert sim.step({netlist.net("s"): 1})[netlist.net("y")] == 1
+        assert sim.step({netlist.net("s"): 0})[netlist.net("y")] == 0
+
+    def test_register_block(self):
+        text = """
+        module t (clk, d, q);
+          input clk;
+          input d;
+          output q;
+          reg state;
+          always @(posedge clk) begin
+            state <= d;
+          end
+          assign q = state;
+        endmodule
+        """
+        netlist = from_verilog(text)
+        sim = ScalarSimulator(netlist)
+        first = sim.step({netlist.net("d"): 1})
+        assert first[netlist.net("q")] == 0
+        second = sim.step({netlist.net("d"): 0})
+        assert second[netlist.net("q")] == 1
+
+    def test_comments_stripped(self):
+        text = """
+        // a comment
+        module t (a, y); /* block
+        comment */
+          input a;
+          output y;
+          buf g0 (y, a);
+        endmodule
+        """
+        assert from_verilog(text).name == "t"
+
+    def test_missing_module_rejected(self):
+        with pytest.raises(NetlistError):
+            from_verilog("wire x;")
+
+    def test_missing_endmodule_rejected(self):
+        with pytest.raises(NetlistError):
+            from_verilog("module t (a); input a;")
+
+    def test_unsupported_statement_rejected(self):
+        text = "module t (a); input a; initial a = 0; endmodule"
+        with pytest.raises(NetlistError):
+            from_verilog(text)
+
+
+class TestRoundTrip:
+    @settings(deadline=None, max_examples=25)
+    @given(data=st.data())
+    def test_random_circuits_roundtrip(self, data):
+        nl, inputs, nets = data.draw(random_circuits(max_ops=15))
+        sequence = data.draw(input_sequences(len(inputs), (1, 4)))
+        recovered = from_verilog(to_verilog(nl))
+
+        sim_a = ScalarSimulator(nl)
+        sim_b = ScalarSimulator(recovered)
+        out_a_nets = nl.outputs
+        out_b_nets = recovered.outputs
+        in_b = [
+            recovered.net(_sanitized(nl, n)) for n in inputs
+        ]
+        for cycle_values in sequence:
+            va = sim_a.step(dict(zip(inputs, cycle_values)))
+            vb = sim_b.step(dict(zip(in_b, cycle_values)))
+            assert [va[n] for n in out_a_nets] == [
+                vb[n] for n in out_b_nets
+            ]
+
+    def test_kronecker_roundtrip_structure(self):
+        design = build_kronecker_delta(RandomnessScheme.DEMEYER_EQ6)
+        recovered = from_verilog(to_verilog(design.netlist))
+        assert len(recovered.cells) == len(design.netlist.cells)
+        assert sum(1 for _ in recovered.dff_cells()) == sum(
+            1 for _ in design.netlist.dff_cells()
+        )
+        assert len(recovered.inputs) == len(design.netlist.inputs)
+
+
+def _sanitized(netlist, net):
+    from repro.netlist.verilog import _sanitize
+
+    return _sanitize(netlist.net_name(net))

@@ -1,0 +1,198 @@
+"""Tests for the SCA substrate: power synthesis, TVLA, CPA."""
+
+import numpy as np
+import pytest
+
+from repro.aes.sbox import sbox
+from repro.aes.sbox_circuit import build_keyed_sbox, build_plain_sbox
+from repro.errors import SimulationError
+from repro.netlist.simulate import evaluate_combinational, pack_lanes
+from repro.sca.cpa import cpa_attack
+from repro.sca.power import PowerModel, TraceSynthesizer
+from repro.sca.tvla import TVLA_THRESHOLD, tvla_fixed_vs_random, welch_t_test
+
+KEY = 0x6B
+
+
+@pytest.fixture(scope="module")
+def keyed_sbox():
+    return build_keyed_sbox()
+
+
+def keyed_stimulus(netlist, plaintexts, key=KEY):
+    n = len(plaintexts)
+    pt_nets = [netlist.net(f"pt[{i}]") for i in range(8)]
+    key_nets = [netlist.net(f"key[{i}]") for i in range(8)]
+
+    def stimulus(cycle):
+        values = {}
+        for i in range(8):
+            values[pt_nets[i]] = pack_lanes(
+                ((plaintexts >> i) & 1).astype(np.uint8)
+            )
+            values[key_nets[i]] = pack_lanes(
+                np.full(n, (key >> i) & 1, dtype=np.uint8)
+            )
+        return values
+
+    return stimulus
+
+
+class TestSboxCircuits:
+    def test_plain_sbox_all_values(self):
+        netlist = build_plain_sbox()
+        x_nets = [netlist.net(f"x[{i}]") for i in range(8)]
+        y_nets = [netlist.net(f"y[{i}]") for i in range(8)]
+        for x in (0, 1, 0x53, 0xAA, 0xFF):
+            values = evaluate_combinational(
+                netlist, {x_nets[i]: (x >> i) & 1 for i in range(8)}
+            )
+            got = sum(values[y_nets[i]] << i for i in range(8))
+            assert got == sbox(x)
+
+    def test_keyed_sbox_registers(self, keyed_sbox):
+        assert sum(1 for _ in keyed_sbox.dff_cells()) == 16
+
+
+class TestPowerSynthesis:
+    def test_trace_shape(self, keyed_sbox):
+        rng = np.random.default_rng(0)
+        pts = rng.integers(0, 256, size=128)
+        synth = TraceSynthesizer(keyed_sbox, PowerModel.HAMMING_WEIGHT)
+        traces = synth.synthesize(keyed_stimulus(keyed_sbox, pts), 128, 4)
+        assert traces.shape == (128, 4)
+
+    def test_hw_power_counts_bits(self, keyed_sbox):
+        """Noise-free HW power at the settled cycle equals the known HW."""
+        pts = np.array([0x00] * 64)
+        synth = TraceSynthesizer(
+            keyed_sbox,
+            PowerModel.HAMMING_WEIGHT,
+            nets=[keyed_sbox.net(f"out[{i}]") for i in range(8)],
+        )
+        traces = synth.synthesize(keyed_stimulus(keyed_sbox, pts), 64, 4)
+        expected = bin(sbox(0x00 ^ KEY)).count("1")
+        assert np.allclose(traces[:, 3], expected)
+
+    def test_hd_power_zero_when_static(self, keyed_sbox):
+        pts = np.array([0x3C] * 64)
+        synth = TraceSynthesizer(keyed_sbox, PowerModel.HAMMING_DISTANCE)
+        traces = synth.synthesize(keyed_stimulus(keyed_sbox, pts), 64, 6)
+        # after the pipeline settles nothing toggles
+        assert np.allclose(traces[:, 5], 0.0)
+
+    def test_noise_added(self, keyed_sbox):
+        pts = np.array([0x00] * 64)
+        synth = TraceSynthesizer(
+            keyed_sbox, PowerModel.HAMMING_WEIGHT, noise_sigma=2.0
+        )
+        traces = synth.synthesize(
+            keyed_stimulus(keyed_sbox, pts), 64, 3, np.random.default_rng(1)
+        )
+        assert traces[:, 2].std() > 0.5
+
+    def test_empty_net_selection_rejected(self, keyed_sbox):
+        with pytest.raises(SimulationError):
+            TraceSynthesizer(keyed_sbox, nets=[])
+
+
+class TestWelch:
+    def test_identical_groups_low_t(self):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, size=(5000, 4))
+        b = rng.normal(0, 1, size=(5000, 4))
+        assert np.abs(welch_t_test(a, b)).max() < 4.5
+
+    def test_mean_shift_detected(self):
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, size=(5000, 4))
+        b = rng.normal(0.3, 1, size=(5000, 4))
+        result = tvla_fixed_vs_random(a, b)
+        assert result.leaking
+        assert result.max_abs_t > TVLA_THRESHOLD
+
+    def test_constant_columns_are_silent(self):
+        a = np.ones((100, 3))
+        b = np.ones((100, 3))
+        assert (welch_t_test(a, b) == 0).all()
+
+    def test_shape_validation(self):
+        with pytest.raises(SimulationError):
+            welch_t_test(np.ones((10, 3)), np.ones((10, 4)))
+        with pytest.raises(SimulationError):
+            welch_t_test(np.ones((1, 3)), np.ones((10, 3)))
+
+    def test_summary_format(self):
+        rng = np.random.default_rng(4)
+        a = rng.normal(0, 1, size=(100, 2))
+        b = rng.normal(0, 1, size=(100, 2))
+        text = tvla_fixed_vs_random(a, b).format_summary()
+        assert "max |t|" in text
+
+
+class TestCpa:
+    def test_recovers_key_from_unprotected_sbox(self, keyed_sbox):
+        rng = np.random.default_rng(5)
+        pts = rng.integers(0, 256, size=1500)
+        synth = TraceSynthesizer(
+            keyed_sbox, PowerModel.HAMMING_WEIGHT, noise_sigma=1.0
+        )
+        traces = synth.synthesize(
+            keyed_stimulus(keyed_sbox, pts), 1500, 4, rng
+        )
+        result = cpa_attack(traces, pts, KEY)
+        assert result.succeeded
+        assert result.key_rank == 0
+        assert result.margin > 0
+
+    def test_fails_against_masked_sbox(self):
+        from repro.core.optimizations import RandomnessScheme
+        from repro.core.sbox import build_masked_sbox
+        from repro.leakage.traces import random_nonzero_byte, random_words
+
+        design = build_masked_sbox(RandomnessScheme.FULL)
+        dut = design.dut
+        n = 3000
+        n_words = (n + 63) // 64
+        rng = np.random.default_rng(6)
+        pts = rng.integers(0, 256, size=n)
+
+        def stimulus(cycle):
+            values = {}
+            for i in range(8):
+                mask = random_words(rng, n_words)
+                values[dut.share_buses[0][i]] = mask
+                x_bit = pack_lanes(
+                    (((pts ^ KEY) >> i) & 1).astype(np.uint8)
+                )
+                values[dut.share_buses[1][i]] = mask ^ x_bit
+            for net in dut.mask_bits:
+                values[net] = random_words(rng, n_words)
+            planes = random_nonzero_byte(rng, n_words)
+            for net, plane in zip(dut.nonzero_byte_buses[0], planes):
+                values[net] = plane
+            for net in dut.uniform_byte_buses[0]:
+                values[net] = random_words(rng, n_words)
+            return values
+
+        synth = TraceSynthesizer(
+            design.netlist, PowerModel.HAMMING_WEIGHT, noise_sigma=1.0
+        )
+        traces = synth.synthesize(stimulus, n, 8, rng)
+        result = cpa_attack(traces, pts, KEY)
+        assert not result.succeeded
+
+    def test_input_validation(self):
+        with pytest.raises(SimulationError):
+            cpa_attack(np.ones((10, 3)), list(range(5)), 0)
+        with pytest.raises(SimulationError):
+            cpa_attack(np.ones((2, 3)), [1, 2], 0)
+
+    def test_result_metadata(self, keyed_sbox):
+        rng = np.random.default_rng(7)
+        pts = rng.integers(0, 256, size=800)
+        synth = TraceSynthesizer(keyed_sbox, PowerModel.HAMMING_WEIGHT)
+        traces = synth.synthesize(keyed_stimulus(keyed_sbox, pts), 800, 4)
+        result = cpa_attack(traces, pts, KEY)
+        assert len(result.scores) == 256
+        assert "KEY RECOVERED" in result.format_summary()
