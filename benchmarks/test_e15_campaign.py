@@ -1,0 +1,76 @@
+"""E15 (extension) -- campaign infrastructure: identity, resume, coverage.
+
+1. **Chunk-invariance**: a chunked, checkpointed campaign over the Eq. (6)
+   design reproduces the single-pass `evaluate()` verdicts bit-for-bit
+   while holding only one block of traces in memory at a time.
+2. **Fault-injection coverage**: the evaluator flags every built-in
+   mutant of the FULL Kronecker delta and keeps the clean design clean --
+   the tool-validation practice the paper's thesis calls for.
+"""
+
+from benchmarks.conftest import print_table
+from repro.core.optimizations import RandomnessScheme
+from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.faults import run_self_check
+from repro.leakage.model import ProbingModel
+
+N_SIMULATIONS = 60_000
+CHUNK_SIZE = 8_192
+
+
+def test_e15a_chunked_campaign_matches_single_pass(benchmark, designs):
+    design = designs("kronecker", RandomnessScheme.DEMEYER_EQ6)
+    single = LeakageEvaluator(
+        design.dut, ProbingModel.GLITCH, seed=12
+    ).evaluate(fixed_secret=0, n_simulations=N_SIMULATIONS)
+
+    def chunked():
+        campaign = EvaluationCampaign(
+            LeakageEvaluator(design.dut, ProbingModel.GLITCH, seed=12),
+            CampaignConfig(
+                n_simulations=N_SIMULATIONS, chunk_size=CHUNK_SIZE
+            ),
+        )
+        return campaign, campaign.run()
+
+    campaign, report = benchmark.pedantic(chunked, rounds=1, iterations=1)
+    print_table(
+        "E15a: chunked campaign vs single pass (Eq. 6, glitch model)",
+        ["run", "chunks", "verdict", "max -log10(p)"],
+        [
+            ["single pass", 1, "FAIL" if not single.passed else "PASS",
+             f"{single.max_mlog10p:.2f}"],
+            ["campaign", campaign.progress.chunks_done,
+             "FAIL" if not report.passed else "PASS",
+             f"{report.max_mlog10p:.2f}"],
+        ],
+    )
+    assert campaign.progress.chunks_done > 1
+    assert [r.mlog10p for r in report.results] == [
+        r.mlog10p for r in single.results
+    ]
+
+
+def test_e15b_fault_injection_coverage(benchmark):
+    matrix = benchmark.pedantic(
+        run_self_check,
+        kwargs={"n_simulations": 30_000, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+    print_table(
+        "E15b: evaluator self-check coverage matrix",
+        ["fault", "expected", "detected", "max -log10(p)", "sims"],
+        [
+            [
+                o.name,
+                "leak" if o.expect_leak else "clean",
+                "leak" if o.detected_leak else "clean",
+                f"{o.max_mlog10p:.2f}",
+                o.n_simulations,
+            ]
+            for o in matrix.outcomes
+        ],
+    )
+    assert matrix.coverage_complete

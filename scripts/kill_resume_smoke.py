@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Kill-and-resume smoke test for evaluation campaigns (CI, stdlib only).
+
+Launches a chunked campaign of the known-leaky Eq. (6) Kronecker delta with
+checkpointing enabled, SIGKILLs it as soon as the first checkpoint lands on
+disk, then resumes through the CLI and checks that the resumed run
+
+* actually starts from the checkpoint (no full re-simulation), and
+* reaches the leakage verdict (exit code 1).
+
+Run from the repository root::
+
+    python scripts/kill_resume_smoke.py
+
+Exits 0 on success, 1 on failure.  The whole exercise takes well under 30
+seconds.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+N_SIMULATIONS = 200_000
+CHUNK_SIZE = 8_192
+DEADLINE_SECONDS = 25
+
+
+def campaign_args(checkpoint, resume=False):
+    args = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "campaign",
+        "--scheme", "eq6",
+        "--simulations", str(N_SIMULATIONS),
+        "--chunk-size", str(CHUNK_SIZE),
+        "--checkpoint", checkpoint,
+        "--seed", "7",
+    ]
+    if resume:
+        args.append("--resume")
+    return args
+
+
+def main():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")])
+    )
+    checkpoint = os.path.join(
+        tempfile.mkdtemp(prefix="kill_resume_"), "campaign.npz"
+    )
+
+    print(f"[1/3] starting campaign (checkpoint: {checkpoint})")
+    victim = subprocess.Popen(
+        campaign_args(checkpoint),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + DEADLINE_SECONDS
+    try:
+        while not os.path.exists(checkpoint):
+            if victim.poll() is not None:
+                print("FAIL: campaign finished before it could be killed; "
+                      "raise N_SIMULATIONS")
+                return 1
+            if time.monotonic() > deadline:
+                print("FAIL: no checkpoint appeared within the deadline")
+                return 1
+            time.sleep(0.01)
+        victim.kill()  # SIGKILL: no cleanup handlers run
+    finally:
+        victim.wait()
+    print("[2/3] campaign SIGKILLed after its first checkpoint")
+
+    result = subprocess.run(
+        campaign_args(checkpoint, resume=True),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=DEADLINE_SECONDS * 10,
+    )
+    sys.stdout.write(result.stdout)
+    sys.stderr.write(result.stderr)
+    if result.returncode != 1:
+        print(f"FAIL: resumed campaign exited {result.returncode}, "
+              "expected 1 (leakage detected)")
+        return 1
+    if "resumed from block 0," in result.stdout:
+        print("FAIL: resume started from block 0 (checkpoint ignored)")
+        return 1
+    if "truncated" in result.stdout:
+        print("FAIL: resumed campaign did not run to completion")
+        return 1
+    print("[3/3] resumed campaign completed from checkpoint with the "
+          "expected leakage verdict")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

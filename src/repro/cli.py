@@ -4,11 +4,18 @@ Commands mirror the paper's workflow:
 
 * ``evaluate`` -- PROLEAD-style fixed-vs-random evaluation of a design
   (Kronecker delta or full S-box) under a probing model.
+* ``campaign`` -- the same evaluation as a chunked, checkpointable campaign
+  (resume after interruption, time budgets, early stop), plus the
+  fault-injection self-check of the evaluator itself.
 * ``exact``    -- exact (SILVER-style) sweep of the Kronecker delta.
 * ``sni``      -- (S)NI check of the DOM-AND gadget.
 * ``report``   -- architecture/area report of a design.
 * ``verilog``  -- export a design as structural Verilog.
 * ``encrypt``  -- masked AES-128 encryption of a block (value level).
+
+Exit codes: 0 -- clean and complete; 1 -- leakage detected; 2 -- error or
+infeasible analysis; 3 -- truncated before completion without a leak
+(inconclusive).
 """
 
 from __future__ import annotations
@@ -27,7 +34,10 @@ from repro.core.optimizations import (
     SecondOrderScheme,
 )
 from repro.core.sbox import build_masked_sbox
+from repro.errors import ReproError
+from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
 from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.faults import run_self_check
 from repro.leakage.exact import ExactAnalyzer
 from repro.leakage.model import ProbingModel
 from repro.leakage.sni import SniChecker, dom_and_gadget
@@ -111,6 +121,64 @@ def cmd_evaluate(args) -> int:
     return 0 if report.passed else 1
 
 
+def cmd_campaign(args) -> int:
+    """Run a chunked, checkpointable campaign (or the evaluator self-check).
+
+    Exit codes: 0 clean+complete, 1 leakage, 2 error (or self-check
+    coverage failure -- the evaluator, not the design, is broken), 3
+    truncated without a leak (inconclusive).
+    """
+    if args.self_check:
+        matrix = run_self_check(
+            n_simulations=args.simulations,
+            seed=args.seed,
+            chunk_size=args.chunk_size,
+        )
+        if args.json:
+            import json as _json
+
+            print(_json.dumps(matrix.to_dict(), indent=2))
+        else:
+            print(matrix.format_table())
+        return 0 if matrix.coverage_complete else 2
+
+    dut, _ = _build(args.design, args.scheme)
+    model = (
+        ProbingModel.GLITCH_TRANSITION
+        if args.transitions
+        else ProbingModel.GLITCH
+    )
+    evaluator = LeakageEvaluator(dut, model, seed=args.seed)
+    config = CampaignConfig(
+        n_simulations=args.simulations,
+        n_windows=args.windows,
+        fixed_secret=args.fixed,
+        chunk_size=args.chunk_size,
+        checkpoint=args.checkpoint,
+        time_budget=args.time_budget,
+        early_stop=args.early_stop,
+        mode="pairs" if args.pairs else "first",
+        max_pairs=args.max_pairs,
+    )
+    campaign = EvaluationCampaign(evaluator, config)
+    report = campaign.run(resume=args.resume)
+    if args.json:
+        print(report.to_json(top=args.top))
+    else:
+        print(report.format_summary(top=args.top))
+        progress = campaign.progress
+        print(
+            f"  blocks: {progress.blocks_done}/{progress.blocks_total} "
+            f"in {progress.chunks_done} chunk(s), resumed from block "
+            f"{progress.resumed_from_block}, {progress.retries} retry(ies)"
+        )
+    if not report.passed:
+        return 1
+    if report.truncated:
+        return 3
+    return 0
+
+
 def cmd_exact(args) -> int:
     """Run the exact Kronecker sweep; exit 1 on leakage."""
     dut, _ = _build("kronecker", args.scheme)
@@ -190,6 +258,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_evaluate)
 
+    p = sub.add_parser(
+        "campaign", help="chunked, checkpointable leakage campaign"
+    )
+    p.add_argument("--design", default="kronecker", choices=_DESIGNS)
+    p.add_argument("--scheme", default="full")
+    p.add_argument("--fixed", type=lambda v: int(v, 0), default=0)
+    p.add_argument("--simulations", type=int, default=100_000)
+    p.add_argument("--windows", type=int, default=1)
+    p.add_argument("--transitions", action="store_true",
+                   help="glitch+transition-extended model")
+    p.add_argument("--pairs", action="store_true",
+                   help="second-order (probe-pair) evaluation")
+    p.add_argument("--max-pairs", type=int, default=500)
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="simulations per chunk (default: one chunk)")
+    p.add_argument("--checkpoint", default=None,
+                   help="NPZ checkpoint path, written after every chunk")
+    p.add_argument("--resume", action="store_true",
+                   help="resume from the checkpoint when it exists")
+    p.add_argument("--time-budget", type=float, default=None,
+                   help="wall-clock budget in seconds (truncates cleanly)")
+    p.add_argument("--early-stop", type=float, default=None,
+                   help="stop once some -log10(p) reaches this level")
+    p.add_argument("--self-check", action="store_true",
+                   help="fault-injection coverage matrix of the evaluator")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=10)
+    p.set_defaults(func=cmd_campaign)
+
     p = sub.add_parser("exact", help="exact Kronecker probe sweep")
     p.add_argument("--scheme", default="full")
     p.add_argument("--max-bits", type=int, default=23)
@@ -227,7 +326,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -26,3 +26,19 @@ class ExactAnalysisInfeasible(ReproError):
 
     Callers are expected to fall back to Monte-Carlo sampling.
     """
+
+
+class CheckpointError(ReproError):
+    """A campaign checkpoint could not be read, written, or reused.
+
+    Raised on version mismatches, corrupt files, and attempts to resume a
+    checkpoint written by a differently-configured campaign.
+    """
+
+
+class BudgetExceeded(ReproError):
+    """A campaign exhausted its wall-clock or memory budget in strict mode.
+
+    The default campaign behaviour is a graceful truncated report; this is
+    only raised when the caller asked for ``on_budget="raise"``.
+    """

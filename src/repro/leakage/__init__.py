@@ -12,26 +12,44 @@ netlist IR:
 * :mod:`repro.leakage.gtest` -- contingency-table G-tests with rare-bin
   pooling, reporting -log10(p) like PROLEAD.
 * :mod:`repro.leakage.evaluator` -- the Monte-Carlo evaluator.
+* :mod:`repro.leakage.campaign` -- chunked, checkpointable evaluation
+  campaigns over the evaluator (resume, budgets, early stop).
+* :mod:`repro.leakage.faults` -- fault-injection self-validation: the
+  evaluator must flag known-broken mutants and pass the clean design.
 * :mod:`repro.leakage.exact` -- exact (SILVER-style) distribution analysis by
   exhaustive randomness enumeration for small supports.
 """
 
+from repro.leakage.campaign import (
+    CampaignConfig,
+    EvaluationCampaign,
+    run_campaign,
+)
 from repro.leakage.dut import DesignUnderTest
+from repro.leakage.faults import FaultSpec, SelfCheckMatrix, run_self_check
 from repro.leakage.model import ProbingModel
 from repro.leakage.probes import ProbeClass, extract_probe_classes
-from repro.leakage.gtest import g_test
-from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.gtest import g_test, g_test_from_counts
+from repro.leakage.evaluator import HistogramAccumulator, LeakageEvaluator
 from repro.leakage.exact import ExactAnalyzer
 from repro.leakage.periodic import PeriodicLeakageEvaluator
 from repro.leakage.report import LeakageReport, ProbeResult
 from repro.leakage.sni import GadgetSpec, SniChecker
 
 __all__ = [
+    "CampaignConfig",
     "DesignUnderTest",
+    "EvaluationCampaign",
+    "FaultSpec",
+    "HistogramAccumulator",
     "ProbingModel",
     "ProbeClass",
+    "SelfCheckMatrix",
     "extract_probe_classes",
     "g_test",
+    "g_test_from_counts",
+    "run_campaign",
+    "run_self_check",
     "LeakageEvaluator",
     "PeriodicLeakageEvaluator",
     "ExactAnalyzer",

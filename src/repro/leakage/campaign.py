@@ -1,0 +1,358 @@
+"""Chunked, checkpointable evaluation campaigns.
+
+The paper's headline numbers rest on long evaluation-tool runs (4M
+simulations first order, >=100M second order).  A single monolithic
+``evaluate()`` pass at that scale holds every lane of both groups in memory
+and loses everything on a crash at simulation 3.9M.  A *campaign* runs the
+same evaluation as a sequence of bounded-memory chunks over the evaluator's
+canonical sampling blocks:
+
+* every block draws from its own ``SeedSequence``-derived RNG stream, so
+  the sampled stimulus is invariant under chunking and any block can be
+  re-simulated in isolation;
+* per-probe contingency tables are accumulated incrementally (the G-test
+  composes over histograms), so a chunked campaign's verdicts -- and the
+  tables themselves -- are bit-identical to a single pass;
+* after each chunk the accumulated tables plus campaign state are written
+  to a versioned NPZ checkpoint with an atomic write-rename, so an
+  interrupted run resumes from the last completed chunk, re-simulating only
+  the chunk that was in flight;
+* wall-clock budgets and a decisive-margin early abort stop a run cleanly,
+  flagging the partial report ``truncated:<reason>`` instead of losing it;
+* a ``MemoryError`` inside a chunk retries that chunk in halves instead of
+  aborting the campaign.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import BudgetExceeded, CheckpointError, SimulationError
+from repro.leakage.evaluator import HistogramAccumulator, LeakageEvaluator
+from repro.leakage.gtest import DEFAULT_THRESHOLD
+from repro.leakage.report import LeakageReport
+
+#: Checkpoint format version; bumped on incompatible layout changes.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass
+class CampaignConfig:
+    """Parameters of one evaluation campaign."""
+
+    #: per-group sample budget (lanes x windows), as for ``evaluate()``.
+    n_simulations: int
+    n_windows: int = 1
+    fixed_secret: int = 0
+    threshold: float = DEFAULT_THRESHOLD
+    #: samples per chunk (rounded up to whole sampling blocks); None runs
+    #: the whole campaign as one chunk.
+    chunk_size: Optional[int] = None
+    #: checkpoint file path (NPZ); None disables checkpointing.
+    checkpoint: Optional[str] = None
+    #: wall-clock budget in seconds; exceeded -> truncated report (or
+    #: :class:`BudgetExceeded` with ``on_budget="raise"``).
+    time_budget: Optional[float] = None
+    on_budget: str = "truncate"
+    #: stop as soon as some probe's -log10(p) reaches this decisive level.
+    early_stop: Optional[float] = None
+    #: "first" (univariate) or "pairs" (bivariate) evaluation.
+    mode: str = "first"
+    max_pairs: Optional[int] = 500
+    pair_seed: int = 1
+    pair_offsets: Tuple[int, ...] = (0,)
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("first", "pairs"):
+            raise SimulationError("campaign mode must be 'first' or 'pairs'")
+        if self.on_budget not in ("truncate", "raise"):
+            raise SimulationError(
+                "on_budget must be 'truncate' or 'raise'"
+            )
+        if self.chunk_size is not None and self.chunk_size < 1:
+            raise SimulationError("chunk_size must be positive")
+        if self.time_budget is not None and self.time_budget <= 0:
+            raise SimulationError("time_budget must be positive")
+        if self.early_stop is not None and self.early_stop <= 0:
+            raise SimulationError("early_stop must be positive")
+
+
+@dataclass
+class CampaignProgress:
+    """Mutable progress record, also surfaced on the final result."""
+
+    blocks_total: int = 0
+    blocks_done: int = 0
+    chunks_done: int = 0
+    resumed_from_block: int = 0
+    retries: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True once every sampling block has been accumulated."""
+        return self.blocks_done >= self.blocks_total
+
+
+class EvaluationCampaign:
+    """Drives a :class:`LeakageEvaluator` chunk by chunk."""
+
+    def __init__(self, evaluator: LeakageEvaluator, config: CampaignConfig):
+        self.evaluator = evaluator
+        self.config = config
+        self.accumulator = HistogramAccumulator()
+        self.progress = CampaignProgress()
+        self._n_lanes = evaluator.n_lanes_for(
+            config.n_simulations, config.n_windows
+        )
+        self._pairs: List[Tuple[int, int]] = (
+            evaluator.select_pairs(config.max_pairs, config.pair_seed)
+            if config.mode == "pairs"
+            else []
+        )
+
+    # ------------------------------------------------------------ fingerprint
+
+    def fingerprint(self) -> Dict[str, object]:
+        """Identity of the sampling process; checked on resume.
+
+        Everything that changes the simulated stimulus or the table layout
+        is included; the chunk size is deliberately absent (resuming with a
+        different chunk size is sound because sampling is per-block).
+        """
+        ev = self.evaluator
+        cfg = self.config
+        return {
+            "design": ev.dut.describe(),
+            "model": ev.model.value,
+            "seed": ev.seed,
+            "observation": ev.observation,
+            "hash_bits": ev.hash_bits,
+            "max_support_bits": ev.max_support_bits,
+            "block_lanes": ev.block_lanes,
+            "n_probe_classes": len(ev.probe_classes),
+            "n_simulations": cfg.n_simulations,
+            "n_windows": cfg.n_windows,
+            "fixed_secret": cfg.fixed_secret,
+            "mode": cfg.mode,
+            "max_pairs": cfg.max_pairs,
+            "pair_seed": cfg.pair_seed,
+            "pair_offsets": list(cfg.pair_offsets),
+        }
+
+    # ------------------------------------------------------------- chunk plan
+
+    def _blocks_total(self) -> int:
+        return self.evaluator.block_count(self._n_lanes)
+
+    def _chunk_blocks(self) -> int:
+        """Blocks per chunk implied by ``chunk_size`` (>= 1)."""
+        cfg = self.config
+        if cfg.chunk_size is None:
+            return max(1, self._blocks_total())
+        chunk_lanes = max(1, cfg.chunk_size // cfg.n_windows)
+        return max(
+            1,
+            (chunk_lanes + self.evaluator.block_lanes - 1)
+            // self.evaluator.block_lanes,
+        )
+
+    # -------------------------------------------------------------- execution
+
+    def run(self, resume: bool = False) -> LeakageReport:
+        """Run (or resume) the campaign and return the final report.
+
+        With ``resume=True`` and an existing checkpoint, completed chunks
+        are loaded from disk and only the remaining blocks are simulated; a
+        missing checkpoint file simply starts a fresh run.
+        """
+        cfg = self.config
+        self.progress = CampaignProgress(blocks_total=self._blocks_total())
+        self.accumulator = HistogramAccumulator()
+        next_block = 0
+        if resume and cfg.checkpoint and os.path.exists(cfg.checkpoint):
+            next_block = self._load_checkpoint(cfg.checkpoint)
+            self.progress.resumed_from_block = next_block
+            self.progress.blocks_done = next_block
+        started = time.monotonic()
+        status = "complete"
+        chunk_blocks = self._chunk_blocks()
+        while next_block < self.progress.blocks_total:
+            if cfg.time_budget is not None:
+                elapsed = time.monotonic() - started
+                if elapsed >= cfg.time_budget:
+                    if cfg.on_budget == "raise":
+                        raise BudgetExceeded(
+                            f"time budget of {cfg.time_budget:g}s exhausted "
+                            f"after {self.progress.blocks_done} of "
+                            f"{self.progress.blocks_total} blocks"
+                        )
+                    status = "truncated:time-budget"
+                    break
+            end = min(next_block + chunk_blocks, self.progress.blocks_total)
+            self._run_chunk_with_retry(next_block, end)
+            next_block = end
+            self.progress.blocks_done = next_block
+            self.progress.chunks_done += 1
+            if cfg.checkpoint:
+                self._save_checkpoint(cfg.checkpoint, next_block)
+            if cfg.early_stop is not None:
+                interim = self._report("interim")
+                if interim.max_mlog10p >= cfg.early_stop:
+                    status = "truncated:early-stop"
+                    break
+        return self._report(status)
+
+    def _run_chunk_with_retry(self, start: int, end: int) -> None:
+        """Accumulate blocks ``[start, end)``, splitting on MemoryError.
+
+        The chunk lands in a scratch accumulator that is merged only on
+        success, so a failed attempt never double-counts blocks.
+        """
+        if end - start <= 0:
+            return
+        try:
+            scratch = HistogramAccumulator()
+            self._accumulate(scratch, range(start, end))
+            self.accumulator.merge(scratch)
+        except MemoryError:
+            if end - start == 1:
+                raise
+            self.progress.retries += 1
+            middle = (start + end) // 2
+            self._run_chunk_with_retry(start, middle)
+            self._run_chunk_with_retry(middle, end)
+
+    def _accumulate(self, acc: HistogramAccumulator, blocks: range) -> None:
+        cfg = self.config
+        if cfg.mode == "pairs":
+            self.evaluator.accumulate_pairs(
+                acc,
+                cfg.fixed_secret,
+                self._n_lanes,
+                cfg.n_windows,
+                self._pairs,
+                cfg.pair_offsets,
+                blocks=blocks,
+            )
+        else:
+            self.evaluator.accumulate_first_order(
+                acc,
+                cfg.fixed_secret,
+                self._n_lanes,
+                cfg.n_windows,
+                blocks=blocks,
+            )
+
+    def _report(self, status: str) -> LeakageReport:
+        cfg = self.config
+        lanes_done = min(
+            self.progress.blocks_done * self.evaluator.block_lanes,
+            self._n_lanes,
+        )
+        n_samples = lanes_done * cfg.n_windows
+        if cfg.mode == "pairs":
+            return self.evaluator.pairs_report(
+                self.accumulator,
+                cfg.fixed_secret,
+                n_samples,
+                self._pairs,
+                cfg.pair_offsets,
+                cfg.threshold,
+                status=status,
+            )
+        return self.evaluator.first_order_report(
+            self.accumulator,
+            cfg.fixed_secret,
+            n_samples,
+            cfg.threshold,
+            status=status,
+        )
+
+    # ------------------------------------------------------------ checkpoints
+
+    def _save_checkpoint(self, path: str, next_block: int) -> None:
+        """Atomically persist accumulated tables plus campaign state."""
+        ids, arrays = self.accumulator.state_arrays()
+        meta = {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self.fingerprint(),
+            "next_block": next_block,
+            "blocks_total": self.progress.blocks_total,
+            "table_ids": ids,
+        }
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+        fd, tmp_path = tempfile.mkstemp(
+            prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(
+                    handle,
+                    meta=np.frombuffer(
+                        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+                    ),
+                    **arrays,
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_path, path)
+        except OSError as exc:
+            raise CheckpointError(
+                f"could not write checkpoint {path!r}: {exc}"
+            ) from exc
+        finally:
+            if os.path.exists(tmp_path):
+                os.unlink(tmp_path)
+
+    def _load_checkpoint(self, path: str) -> int:
+        """Restore tables and return the next block to simulate."""
+        try:
+            with np.load(path) as data:
+                meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+                if meta.get("version") != CHECKPOINT_VERSION:
+                    raise CheckpointError(
+                        f"checkpoint {path!r} has version "
+                        f"{meta.get('version')!r}, expected "
+                        f"{CHECKPOINT_VERSION}"
+                    )
+                if meta["fingerprint"] != self.fingerprint():
+                    raise CheckpointError(
+                        f"checkpoint {path!r} was written by a campaign "
+                        "with a different configuration; refusing to mix "
+                        "incompatible samples"
+                    )
+                arrays = {
+                    key: data[key] for key in data.files if key != "meta"
+                }
+        except CheckpointError:
+            raise
+        except Exception as exc:  # zip/JSON/key errors -> corrupt file
+            raise CheckpointError(
+                f"could not read checkpoint {path!r}: {exc}"
+            ) from exc
+        self.accumulator = HistogramAccumulator.from_state(
+            meta["table_ids"], arrays
+        )
+        next_block = int(meta["next_block"])
+        if not 0 <= next_block <= self.progress.blocks_total:
+            raise CheckpointError(
+                f"checkpoint {path!r} points at block {next_block} of "
+                f"{self.progress.blocks_total}"
+            )
+        return next_block
+
+
+def run_campaign(
+    evaluator: LeakageEvaluator,
+    config: CampaignConfig,
+    resume: bool = False,
+) -> LeakageReport:
+    """Convenience wrapper: build and run an :class:`EvaluationCampaign`."""
+    return EvaluationCampaign(evaluator, config).run(resume=resume)

@@ -49,7 +49,12 @@ class DesignUnderTest:
         inputs = set(self.netlist.inputs)
         missing = declared - inputs
         if missing:
-            names = [self.netlist.net_name(n) for n in sorted(missing)][:5]
+            names = [
+                self.netlist.net_name(n)
+                if 0 <= n < self.netlist.n_nets
+                else f"<net {n} out of range>"
+                for n in sorted(missing)
+            ][:5]
             raise SimulationError(
                 f"DUT protocol references non-input nets: {names}"
             )

@@ -12,6 +12,17 @@ Sampling layout: lanes are independent traces; within a trace, observation
 independent samples (inputs and randomness are i.i.d. per cycle, so the
 pipeline forgets everything between windows).
 
+Memory layout: lanes are partitioned into fixed-size *blocks* of
+``BLOCK_LANES`` lanes.  Each block draws its stimulus from its own RNG
+stream derived from ``np.random.SeedSequence(seed, spawn_key=(group,
+block))``, so any block is reproducible in isolation and the sampled values
+do not depend on how blocks are batched into processing chunks.  Per-block
+observations are reduced into a :class:`HistogramAccumulator` immediately,
+which bounds peak memory by the block size instead of the total simulation
+count and lets :mod:`repro.leakage.campaign` checkpoint and resume long
+runs: the G-test only ever sees the accumulated contingency table, so a
+chunked run is bit-identical to a single pass.
+
 Statistics: observations wider than ``hash_bits`` are bucketed through a
 fixed mixing hash before testing.  A full contingency table over a very wide
 observation is hopelessly sparse at practical sample sizes, which makes the
@@ -32,12 +43,18 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.leakage.dut import DesignUnderTest
-from repro.leakage.gtest import DEFAULT_THRESHOLD, g_test
+from repro.leakage.gtest import DEFAULT_THRESHOLD, GTestResult, g_test_from_counts
 from repro.leakage.model import ProbingModel
 from repro.leakage.probes import ProbeClass, extract_probe_classes
 from repro.leakage.report import LeakageReport, ProbeResult
 from repro.leakage.traces import StimulusGenerator
 from repro.netlist.simulate import BitslicedSimulator, Trace, unpack_lanes
+
+#: Lanes per sampling block (64 uint64 words).  The RNG stream of a block is
+#: a pure function of (seed, group, block index), so evaluation results are
+#: invariant under any chunking of blocks -- changing this constant changes
+#: the sampled stimulus and therefore the concrete tables.
+BLOCK_LANES = 4096
 
 
 def _mix_hash(keys: np.ndarray) -> np.ndarray:
@@ -51,6 +68,98 @@ def _mix_hash(keys: np.ndarray) -> np.ndarray:
     return keys
 
 
+class HistogramAccumulator:
+    """Incrementally accumulated fixed/random contingency tables.
+
+    Tables are keyed by a string table id (one per probe class, or one per
+    probe pair and offset) and map integer observation keys to
+    ``[fixed, random]`` counts.  Accumulation commutes and associates, so
+    every partition of the simulations into blocks yields the same tables
+    -- the property that makes chunked, checkpointed campaigns bit-identical
+    to single-pass evaluation (the G-test only sees the table).
+    """
+
+    GROUP_FIXED = 0
+    GROUP_RANDOM = 1
+
+    def __init__(self) -> None:
+        self._tables: Dict[str, Dict[int, List[int]]] = {}
+
+    def add(self, table_id: str, keys: np.ndarray, group: int) -> None:
+        """Histogram ``keys`` into one table's column for ``group``."""
+        if group not in (self.GROUP_FIXED, self.GROUP_RANDOM):
+            raise SimulationError("group must be GROUP_FIXED or GROUP_RANDOM")
+        values, counts = np.unique(
+            np.asarray(keys, dtype=np.uint64), return_counts=True
+        )
+        table = self._tables.setdefault(table_id, {})
+        for value, count in zip(values.tolist(), counts.tolist()):
+            cell = table.get(value)
+            if cell is None:
+                table[value] = cell = [0, 0]
+            cell[group] += count
+
+    def merge(self, other: "HistogramAccumulator") -> None:
+        """Fold another accumulator's tables into this one."""
+        for table_id, table in other._tables.items():
+            mine = self._tables.setdefault(table_id, {})
+            for value, cell in table.items():
+                acc = mine.get(value)
+                if acc is None:
+                    mine[value] = [cell[0], cell[1]]
+                else:
+                    acc[0] += cell[0]
+                    acc[1] += cell[1]
+
+    def table_ids(self) -> List[str]:
+        """All table ids seen so far, sorted."""
+        return sorted(self._tables)
+
+    def counts(self, table_id: str) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(keys, fixed_counts, random_counts)`` sorted by observation key."""
+        table = self._tables.get(table_id, {})
+        keys = sorted(table)
+        fixed = np.array([table[k][0] for k in keys], dtype=np.float64)
+        random_ = np.array([table[k][1] for k in keys], dtype=np.float64)
+        return np.array(keys, dtype=np.uint64), fixed, random_
+
+    def test(self, table_id: str, min_expected: float = 5.0) -> GTestResult:
+        """G-test of one accumulated table."""
+        _, fixed, random_ = self.counts(table_id)
+        return g_test_from_counts(fixed, random_, min_expected)
+
+    # -------------------------------------------------------- serialization
+
+    def state_arrays(self) -> Tuple[List[str], Dict[str, np.ndarray]]:
+        """Table ids plus numpy arrays for NPZ checkpointing."""
+        ids = self.table_ids()
+        arrays: Dict[str, np.ndarray] = {}
+        for i, table_id in enumerate(ids):
+            keys, fixed, random_ = self.counts(table_id)
+            arrays[f"t{i}_keys"] = keys
+            arrays[f"t{i}_counts"] = np.stack(
+                [fixed.astype(np.int64), random_.astype(np.int64)]
+            )
+        return ids, arrays
+
+    @classmethod
+    def from_state(
+        cls, ids: Sequence[str], arrays: Dict[str, np.ndarray]
+    ) -> "HistogramAccumulator":
+        """Rebuild an accumulator from :meth:`state_arrays` output."""
+        acc = cls()
+        for i, table_id in enumerate(ids):
+            keys = arrays[f"t{i}_keys"]
+            counts = arrays[f"t{i}_counts"]
+            acc._tables[table_id] = {
+                int(k): [int(f), int(r)]
+                for k, f, r in zip(
+                    keys.tolist(), counts[0].tolist(), counts[1].tolist()
+                )
+            }
+        return acc
+
+
 class LeakageEvaluator:
     """Fixed-vs-random evaluation of a design under a probing model."""
 
@@ -62,16 +171,22 @@ class LeakageEvaluator:
         max_support_bits: int = 24,
         hash_bits: int = 10,
         observation: str = "tuple",
+        block_lanes: int = BLOCK_LANES,
     ):
         if observation not in ("tuple", "hamming"):
             raise SimulationError(
                 "observation must be 'tuple' or 'hamming'"
+            )
+        if block_lanes < 64 or block_lanes % 64:
+            raise SimulationError(
+                "block_lanes must be a positive multiple of 64"
             )
         self.dut = dut
         self.model = model
         self.seed = seed
         self.max_support_bits = max_support_bits
         self.hash_bits = hash_bits
+        self.block_lanes = block_lanes
         # "hamming" observes only the Hamming weight of the extended probe
         # (PROLEAD's compact power-model mode): a weaker adversary, useful
         # to gauge how visible a leak is to plain HW power models.
@@ -102,30 +217,70 @@ class LeakageEvaluator:
                 needed.add(t - back)
         return needed
 
-    # ------------------------------------------------------------- execution
+    # ------------------------------------------------------- lanes and blocks
 
-    def _run_traces(
-        self, fixed_secret: int, n_lanes: int, n_windows: int
-    ) -> Tuple[Trace, Trace, List[int]]:
-        """Simulate the fixed and random groups; returns both traces."""
-        eval_cycles, n_cycles = self._schedule(n_windows)
-        record_cycles = self._record_cycles(eval_cycles)
-        generator = StimulusGenerator(self.dut, (n_lanes + 63) // 64)
-        seeds = np.random.SeedSequence(self.seed).spawn(2)
-        rng_fixed = np.random.default_rng(seeds[0])
-        rng_random = np.random.default_rng(seeds[1])
+    def n_lanes_for(self, n_simulations: int, n_windows: int) -> int:
+        """Validated lane count for a per-group sample budget.
 
-        trace_fixed = BitslicedSimulator(self.dut.netlist, n_lanes).run(
-            generator.fixed(fixed_secret, rng_fixed),
+        ``n_simulations`` is split into ``n_windows`` observation windows
+        over ``n_simulations // n_windows`` lanes; a budget smaller than the
+        window count is a configuration error (the historical behaviour of
+        silently clamping to one lane ran 100x the requested samples).
+        """
+        if n_windows < 1:
+            raise SimulationError("n_windows must be at least 1")
+        if n_simulations < 1:
+            raise SimulationError("n_simulations must be at least 1")
+        if n_simulations < n_windows:
+            raise SimulationError(
+                f"n_simulations ({n_simulations}) must be at least "
+                f"n_windows ({n_windows})"
+            )
+        return n_simulations // n_windows
+
+    def block_count(self, n_lanes: int) -> int:
+        """Number of sampling blocks covering ``n_lanes`` lanes."""
+        return (n_lanes + self.block_lanes - 1) // self.block_lanes
+
+    def _block_lane_count(self, n_lanes: int, block: int) -> int:
+        """Lanes in one block (the last block may be partial)."""
+        start = block * self.block_lanes
+        return min(self.block_lanes, n_lanes - start)
+
+    def _block_rng(self, group: int, block: int) -> np.random.Generator:
+        """The block's private RNG stream, reproducible in isolation."""
+        seq = np.random.SeedSequence(
+            entropy=self.seed, spawn_key=(group, block)
+        )
+        return np.random.default_rng(seq)
+
+    def _simulate_block(
+        self,
+        fixed_secret: int,
+        lane_count: int,
+        block: int,
+        n_cycles: int,
+        record_cycles: set,
+    ) -> Tuple[Trace, Trace]:
+        """Simulate both groups for one sampling block."""
+        generator = StimulusGenerator(self.dut, (lane_count + 63) // 64)
+        trace_fixed = BitslicedSimulator(self.dut.netlist, lane_count).run(
+            generator.fixed(
+                fixed_secret, self._block_rng(HistogramAccumulator.GROUP_FIXED, block)
+            ),
             n_cycles,
             record_cycles=record_cycles,
         )
-        trace_random = BitslicedSimulator(self.dut.netlist, n_lanes).run(
-            generator.random(rng_random),
+        trace_random = BitslicedSimulator(self.dut.netlist, lane_count).run(
+            generator.random(
+                self._block_rng(HistogramAccumulator.GROUP_RANDOM, block)
+            ),
             n_cycles,
             record_cycles=record_cycles,
         )
-        return trace_fixed, trace_random, eval_cycles
+        return trace_fixed, trace_random
+
+    # --------------------------------------------------------- key extraction
 
     def _raw_keys(
         self,
@@ -161,6 +316,71 @@ class LeakageEvaluator:
 
     # ----------------------------------------------------------- first order
 
+    def accumulate_first_order(
+        self,
+        acc: HistogramAccumulator,
+        fixed_secret: int,
+        n_lanes: int,
+        n_windows: int,
+        blocks: Optional[Iterable[int]] = None,
+        classes: Optional[List[ProbeClass]] = None,
+    ) -> None:
+        """Simulate the given blocks and fold observations into ``acc``.
+
+        Table ids are ``c<i>`` with ``i`` the index into ``classes`` (the
+        evaluator's own probe classes by default).  ``blocks`` defaults to
+        every block of the run; campaigns pass sub-ranges.
+        """
+        classes = classes if classes is not None else self.probe_classes
+        eval_cycles, n_cycles = self._schedule(n_windows)
+        record_cycles = self._record_cycles(eval_cycles)
+        if blocks is None:
+            blocks = range(self.block_count(n_lanes))
+        for block in blocks:
+            lane_count = self._block_lane_count(n_lanes, block)
+            trace_fixed, trace_random = self._simulate_block(
+                fixed_secret, lane_count, block, n_cycles, record_cycles
+            )
+            for index, probe_class in enumerate(classes):
+                keys_fixed = self._bucket(
+                    self._raw_keys(trace_fixed, probe_class, eval_cycles),
+                    probe_class.observation_bits,
+                )
+                keys_random = self._bucket(
+                    self._raw_keys(trace_random, probe_class, eval_cycles),
+                    probe_class.observation_bits,
+                )
+                acc.add(f"c{index}", keys_fixed, HistogramAccumulator.GROUP_FIXED)
+                acc.add(f"c{index}", keys_random, HistogramAccumulator.GROUP_RANDOM)
+
+    def first_order_report(
+        self,
+        acc: HistogramAccumulator,
+        fixed_secret: int,
+        n_samples: int,
+        threshold: float = DEFAULT_THRESHOLD,
+        classes: Optional[List[ProbeClass]] = None,
+        status: str = "complete",
+    ) -> LeakageReport:
+        """G-test every accumulated probe-class table into a report."""
+        classes = classes if classes is not None else self.probe_classes
+        netlist = self.dut.netlist
+        report = self._new_report(fixed_secret, n_samples, threshold, status)
+        for index, probe_class in enumerate(classes):
+            outcome = acc.test(f"c{index}")
+            report.results.append(
+                ProbeResult(
+                    probe_names=probe_class.member_names(netlist),
+                    support_names=tuple(probe_class.support_names(netlist)),
+                    n_samples=outcome.n_fixed + outcome.n_random,
+                    g_statistic=outcome.g_statistic,
+                    dof=outcome.dof,
+                    mlog10p=outcome.mlog10p,
+                    leaking=outcome.is_leaking(threshold),
+                )
+            )
+        return report
+
     def evaluate(
         self,
         fixed_secret: int = 0,
@@ -175,40 +395,147 @@ class LeakageEvaluator:
         ``n_windows`` observation windows over ``n_simulations / n_windows``
         lanes.
         """
-        if n_windows < 1:
-            raise SimulationError("n_windows must be at least 1")
-        n_lanes = max(1, n_simulations // n_windows)
-        trace_fixed, trace_random, eval_cycles = self._run_traces(
-            fixed_secret, n_lanes, n_windows
+        n_lanes = self.n_lanes_for(n_simulations, n_windows)
+        acc = HistogramAccumulator()
+        self.accumulate_first_order(
+            acc, fixed_secret, n_lanes, n_windows, classes=probe_classes
+        )
+        return self.first_order_report(
+            acc,
+            fixed_secret,
+            n_lanes * n_windows,
+            threshold,
+            classes=probe_classes,
         )
 
-        classes = probe_classes if probe_classes is not None else self.probe_classes
-        netlist = self.dut.netlist
-        report = self._new_report(fixed_secret, n_lanes * n_windows, threshold)
-        for probe_class in classes:
-            keys_fixed = self._bucket(
-                self._raw_keys(trace_fixed, probe_class, eval_cycles),
-                probe_class.observation_bits,
-            )
-            keys_random = self._bucket(
-                self._raw_keys(trace_random, probe_class, eval_cycles),
-                probe_class.observation_bits,
-            )
-            outcome = g_test(keys_fixed, keys_random)
-            report.results.append(
-                ProbeResult(
-                    probe_names=probe_class.member_names(netlist),
-                    support_names=tuple(probe_class.support_names(netlist)),
-                    n_samples=outcome.n_fixed + outcome.n_random,
-                    g_statistic=outcome.g_statistic,
-                    dof=outcome.dof,
-                    mlog10p=outcome.mlog10p,
-                    leaking=outcome.is_leaking(threshold),
-                )
-            )
-        return report
-
     # ---------------------------------------------------------- second order
+
+    def select_pairs(
+        self, max_pairs: Optional[int] = None, pair_seed: int = 1
+    ) -> List[Tuple[int, int]]:
+        """Deterministic (sub)set of unordered probe-class index pairs."""
+        pairs = list(itertools.combinations(range(len(self.probe_classes)), 2))
+        if max_pairs is not None and len(pairs) > max_pairs:
+            rng = np.random.default_rng(pair_seed)
+            chosen = rng.choice(len(pairs), size=max_pairs, replace=False)
+            pairs = [pairs[i] for i in sorted(chosen)]
+        return pairs
+
+    def _pair_schedule(
+        self, n_windows: int, pair_offsets: Sequence[int]
+    ) -> Tuple[List[int], List[int], int, set]:
+        offsets = sorted(set(pair_offsets))
+        if offsets and min(offsets) < 0:
+            raise SimulationError("pair offsets must be non-negative")
+        eval_cycles, n_cycles = self._schedule(
+            n_windows, margin=max(offsets, default=0)
+        )
+        record_cycles = set()
+        for delta in offsets:
+            record_cycles |= self._record_cycles(
+                [t - delta for t in eval_cycles]
+            )
+        record_cycles |= self._record_cycles(eval_cycles)
+        return offsets, eval_cycles, n_cycles, record_cycles
+
+    def accumulate_pairs(
+        self,
+        acc: HistogramAccumulator,
+        fixed_secret: int,
+        n_lanes: int,
+        n_windows: int,
+        pairs: Sequence[Tuple[int, int]],
+        pair_offsets: Sequence[int] = (0,),
+        blocks: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Simulate blocks and fold joint pair observations into ``acc``.
+
+        Table ids are ``p<i>:<j>:<delta>``; the second probe of a pair is
+        placed ``delta`` cycles earlier than the first.
+        """
+        offsets, eval_cycles, n_cycles, record_cycles = self._pair_schedule(
+            n_windows, pair_offsets
+        )
+        classes = self.probe_classes
+        if blocks is None:
+            blocks = range(self.block_count(n_lanes))
+        for block in blocks:
+            lane_count = self._block_lane_count(n_lanes, block)
+            trace_fixed, trace_random = self._simulate_block(
+                fixed_secret, lane_count, block, n_cycles, record_cycles
+            )
+            raw_fixed: Dict[Tuple[int, int], np.ndarray] = {}
+            raw_random: Dict[Tuple[int, int], np.ndarray] = {}
+
+            def raw(group_cache, trace, index, delta):
+                key = (index, delta)
+                if key not in group_cache:
+                    cycles = [t - delta for t in eval_cycles]
+                    group_cache[key] = self._raw_keys(
+                        trace, classes[index], cycles
+                    )
+                return group_cache[key]
+
+            for i, j in pairs:
+                bits_i = classes[i].observation_bits
+                bits_j = classes[j].observation_bits
+                for delta in offsets:
+                    keys_fixed = self._combine(
+                        raw(raw_fixed, trace_fixed, i, 0),
+                        raw(raw_fixed, trace_fixed, j, delta),
+                        bits_i,
+                        bits_j,
+                    )
+                    keys_random = self._combine(
+                        raw(raw_random, trace_random, i, 0),
+                        raw(raw_random, trace_random, j, delta),
+                        bits_i,
+                        bits_j,
+                    )
+                    table_id = f"p{i}:{j}:{delta}"
+                    acc.add(
+                        table_id, keys_fixed, HistogramAccumulator.GROUP_FIXED
+                    )
+                    acc.add(
+                        table_id, keys_random, HistogramAccumulator.GROUP_RANDOM
+                    )
+
+    def pairs_report(
+        self,
+        acc: HistogramAccumulator,
+        fixed_secret: int,
+        n_samples: int,
+        pairs: Sequence[Tuple[int, int]],
+        pair_offsets: Sequence[int] = (0,),
+        threshold: float = DEFAULT_THRESHOLD,
+        status: str = "complete",
+    ) -> LeakageReport:
+        """G-test every accumulated pair table into a report."""
+        offsets = sorted(set(pair_offsets))
+        classes = self.probe_classes
+        netlist = self.dut.netlist
+        report = self._new_report(fixed_secret, n_samples, threshold, status)
+        for i, j in pairs:
+            for delta in offsets:
+                outcome = acc.test(f"p{i}:{j}:{delta}")
+                suffix = f" @-{delta}" if delta else ""
+                report.results.append(
+                    ProbeResult(
+                        probe_names=(
+                            classes[i].member_names(netlist, limit=1)
+                            + " x "
+                            + classes[j].member_names(netlist, limit=1)
+                            + suffix
+                        ),
+                        support_names=(),
+                        n_samples=outcome.n_fixed + outcome.n_random,
+                        g_statistic=outcome.g_statistic,
+                        dof=outcome.dof,
+                        mlog10p=outcome.mlog10p,
+                        leaking=outcome.is_leaking(threshold),
+                    )
+                )
+        return report
 
     def evaluate_pairs(
         self,
@@ -230,90 +557,20 @@ class LeakageEvaluator:
         multivariate leakage across clock cycles (offset 0 is the univariate
         same-cycle case).
         """
-        if n_windows < 1:
-            raise SimulationError("n_windows must be at least 1")
-        offsets = sorted(set(pair_offsets))
-        if offsets and min(offsets) < 0:
-            raise SimulationError("pair offsets must be non-negative")
-        n_lanes = max(1, n_simulations // n_windows)
-        eval_cycles, n_cycles = self._schedule(
-            n_windows, margin=max(offsets, default=0)
+        n_lanes = self.n_lanes_for(n_simulations, n_windows)
+        pairs = self.select_pairs(max_pairs, pair_seed)
+        acc = HistogramAccumulator()
+        self.accumulate_pairs(
+            acc, fixed_secret, n_lanes, n_windows, pairs, pair_offsets
         )
-        record_cycles = set()
-        for delta in offsets:
-            record_cycles |= self._record_cycles(
-                [t - delta for t in eval_cycles]
-            )
-        record_cycles |= self._record_cycles(eval_cycles)
-        generator = StimulusGenerator(self.dut, (n_lanes + 63) // 64)
-        seeds = np.random.SeedSequence(self.seed).spawn(2)
-        trace_fixed = BitslicedSimulator(self.dut.netlist, n_lanes).run(
-            generator.fixed(fixed_secret, np.random.default_rng(seeds[0])),
-            n_cycles,
-            record_cycles=record_cycles,
+        return self.pairs_report(
+            acc,
+            fixed_secret,
+            n_lanes * n_windows,
+            pairs,
+            pair_offsets,
+            threshold,
         )
-        trace_random = BitslicedSimulator(self.dut.netlist, n_lanes).run(
-            generator.random(np.random.default_rng(seeds[1])),
-            n_cycles,
-            record_cycles=record_cycles,
-        )
-
-        classes = self.probe_classes
-        pairs = list(itertools.combinations(range(len(classes)), 2))
-        if max_pairs is not None and len(pairs) > max_pairs:
-            rng = np.random.default_rng(pair_seed)
-            chosen = rng.choice(len(pairs), size=max_pairs, replace=False)
-            pairs = [pairs[i] for i in sorted(chosen)]
-
-        raw_fixed: Dict[Tuple[int, int], np.ndarray] = {}
-        raw_random: Dict[Tuple[int, int], np.ndarray] = {}
-
-        def raw(group_cache, trace, index, delta):
-            key = (index, delta)
-            if key not in group_cache:
-                cycles = [t - delta for t in eval_cycles]
-                group_cache[key] = self._raw_keys(
-                    trace, classes[index], cycles
-                )
-            return group_cache[key]
-
-        netlist = self.dut.netlist
-        report = self._new_report(fixed_secret, n_lanes * n_windows, threshold)
-        for i, j in pairs:
-            bits_i = classes[i].observation_bits
-            bits_j = classes[j].observation_bits
-            for delta in offsets:
-                keys_fixed = self._combine(
-                    raw(raw_fixed, trace_fixed, i, 0),
-                    raw(raw_fixed, trace_fixed, j, delta),
-                    bits_i,
-                    bits_j,
-                )
-                keys_random = self._combine(
-                    raw(raw_random, trace_random, i, 0),
-                    raw(raw_random, trace_random, j, delta),
-                    bits_i,
-                    bits_j,
-                )
-                outcome = g_test(keys_fixed, keys_random)
-                suffix = f" @-{delta}" if delta else ""
-                report.results.append(
-                    ProbeResult(
-                        probe_names=(
-                            classes[i].member_names(netlist, limit=1)
-                            + " x "
-                            + classes[j].member_names(netlist, limit=1)
-                            + suffix
-                        ),
-                        support_names=(),
-                        n_samples=outcome.n_fixed + outcome.n_random,
-                        g_statistic=outcome.g_statistic,
-                        dof=outcome.dof,
-                        mlog10p=outcome.mlog10p,
-                        leaking=outcome.is_leaking(threshold),
-                    )
-                )
-        return report
 
     def _combine(
         self,
@@ -337,7 +594,11 @@ class LeakageEvaluator:
     # -------------------------------------------------------------- helpers
 
     def _new_report(
-        self, fixed_secret: int, n_samples: int, threshold: float
+        self,
+        fixed_secret: int,
+        n_samples: int,
+        threshold: float,
+        status: str = "complete",
     ) -> LeakageReport:
         netlist = self.dut.netlist
         return LeakageReport(
@@ -349,6 +610,7 @@ class LeakageEvaluator:
             skipped_probes=[
                 pc.member_names(netlist) for pc in self.skipped_classes
             ],
+            status=status,
         )
 
     def probe_class_for_net(self, net: int) -> ProbeClass:

@@ -1,0 +1,313 @@
+"""Fault-injection self-validation of the leakage evaluator.
+
+A leakage evaluator that has only ever been shown *passing* designs is
+unfalsifiable -- the motivation the paper gives for running known-broken
+randomness schemes through PROLEAD.  This module turns that practice into an
+executable self-check: it mutates the secure FULL Kronecker delta with
+classic masking faults (via :mod:`repro.netlist.mutate`), runs the standard
+fixed-vs-random campaign on every mutant, and asserts that
+
+* the unmutated FULL design stays clean, and
+* every mutant (plus the paper's known-leaky Eq. (6) control) is flagged.
+
+The result is a detection-coverage matrix; a row where the verdict disagrees
+with the expectation means the evaluator -- not the design -- is broken.
+
+The built-in mutants are chosen so the leak is *provable* under per-cycle
+re-sharing (which defeats naive single-register faults, because registered
+values then mix independent sharings across cycles):
+
+``drop-dom-register``
+    All of G7's DOM registers become buffers.  A glitch-extended probe on
+    output share ``z0`` then covers G6's four registers plus ``r7``; XOR-ing
+    G6's registers cancels ``r6`` and reveals ``w1`` (1 always for fixed
+    secret 0, 1 with probability 1/16 for random secrets).
+``alias-fresh-masks``
+    The fan-in of ``rand.r3`` is rewired onto ``rand.r1`` -- G1 and G3 share
+    one "fresh" mask, the first-layer reuse the paper shows is leaky.
+``stuck-mask``
+    ``rand.r7`` is stuck at 0, so G7 registers its raw cross products.  The
+    probe on ``z0`` sees ``(w0_0 & w1_0, w0_0 & w1_1)``; the outcome (1,1)
+    is impossible when ``w1 = 1`` (fixed secret 0) but common otherwise.
+``bypass-kronecker``
+    XOR taps recombine ``x0[i] ^ x1[i]`` -- an unmasked shortcut; the probe
+    on a tap observes a secret bit directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
+from repro.leakage.dut import DesignUnderTest
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.gtest import DEFAULT_THRESHOLD
+from repro.leakage.model import ProbingModel
+from repro.netlist.core import Netlist
+from repro.netlist.mutate import (
+    add_xor_taps,
+    dff_by_name,
+    registers_to_buffers,
+    rewire_fanin,
+    stuck_net,
+)
+
+#: -log10(p) level at which a mutant campaign may stop early: decisive
+#: evidence well past the detection threshold.
+DECISIVE_MLOG10P = 2.0 * DEFAULT_THRESHOLD
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One design to evaluate, with the verdict the evaluator must reach."""
+
+    name: str
+    description: str
+    expect_leak: bool
+    build: Callable[[], DesignUnderTest]
+
+
+@dataclass(frozen=True)
+class FaultOutcome:
+    """The evaluator's verdict on one fault spec."""
+
+    name: str
+    description: str
+    expect_leak: bool
+    detected_leak: bool
+    max_mlog10p: float
+    n_simulations: int
+    status: str
+
+    @property
+    def ok(self) -> bool:
+        """True when the verdict matches the expectation."""
+        return self.detected_leak == self.expect_leak
+
+    def format_row(self) -> str:
+        """One matrix line."""
+        expected = "leak" if self.expect_leak else "clean"
+        detected = "leak" if self.detected_leak else "clean"
+        verdict = "OK" if self.ok else "MISS"
+        return (
+            f"{verdict:<5} {self.name:<20} expect={expected:<6} "
+            f"got={detected:<6} -log10(p)={self.max_mlog10p:9.2f}  "
+            f"sims={self.n_simulations}"
+        )
+
+
+@dataclass
+class SelfCheckMatrix:
+    """Detection-coverage matrix over all fault specs."""
+
+    threshold: float
+    outcomes: List[FaultOutcome] = field(default_factory=list)
+
+    @property
+    def coverage_complete(self) -> bool:
+        """True when every verdict matched its expectation."""
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def misses(self) -> List[FaultOutcome]:
+        """Outcomes where the evaluator disagreed with the expectation."""
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def to_dict(self) -> Dict:
+        """Machine-readable matrix (for JSON output / CI gating)."""
+        return {
+            "threshold": self.threshold,
+            "coverage_complete": self.coverage_complete,
+            "outcomes": [
+                {
+                    "name": o.name,
+                    "description": o.description,
+                    "expect_leak": o.expect_leak,
+                    "detected_leak": o.detected_leak,
+                    "ok": o.ok,
+                    "max_mlog10p": o.max_mlog10p,
+                    "n_simulations": o.n_simulations,
+                    "status": o.status,
+                }
+                for o in self.outcomes
+            ],
+        }
+
+    def format_table(self) -> str:
+        """Human-readable matrix."""
+        verdict = (
+            "COVERAGE COMPLETE (every fault detected, clean design clean)"
+            if self.coverage_complete
+            else f"COVERAGE INCOMPLETE ({len(self.misses)} mismatch(es))"
+        )
+        lines = [
+            "=== Evaluator self-check: fault-injection coverage ===",
+            f"  threshold: -log10(p) > {self.threshold:g}",
+            f"  verdict:   {verdict}",
+        ]
+        lines.extend("  " + outcome.format_row() for outcome in self.outcomes)
+        return "\n".join(lines)
+
+
+def _remap_dut(dut: DesignUnderTest, netlist: Netlist) -> DesignUnderTest:
+    """Rebind a DUT protocol onto a mutated netlist.
+
+    Mutations preserve net indices (new nets are appended), so the original
+    share/mask net lists stay valid verbatim.
+    """
+    return DesignUnderTest(
+        netlist=netlist,
+        share_buses=[list(bus) for bus in dut.share_buses],
+        mask_bits=list(dut.mask_bits),
+        uniform_byte_buses=[list(b) for b in dut.uniform_byte_buses],
+        nonzero_byte_buses=[list(b) for b in dut.nonzero_byte_buses],
+        latency=dut.latency,
+        output_share_buses=[list(b) for b in dut.output_share_buses],
+        metadata=dict(dut.metadata),
+    )
+
+
+def _full_dut() -> DesignUnderTest:
+    # Imported lazily: repro.core.kronecker itself depends on this package.
+    from repro.core.kronecker import build_kronecker_delta
+    from repro.core.optimizations import RandomnessScheme
+
+    return build_kronecker_delta(RandomnessScheme.FULL).dut
+
+
+def _eq6_dut() -> DesignUnderTest:
+    from repro.core.kronecker import build_kronecker_delta
+    from repro.core.optimizations import RandomnessScheme
+
+    return build_kronecker_delta(RandomnessScheme.DEMEYER_EQ6).dut
+
+
+def _drop_dom_register() -> DesignUnderTest:
+    dut = _full_dut()
+    mutant = registers_to_buffers(
+        dut.netlist,
+        dff_by_name(dut.netlist, "g7."),
+        name=dut.netlist.name + "+drop-dom-register",
+    )
+    return _remap_dut(dut, mutant)
+
+
+def _alias_fresh_masks() -> DesignUnderTest:
+    dut = _full_dut()
+    netlist = dut.netlist
+    mutant = rewire_fanin(
+        netlist,
+        netlist.net("rand.r3"),
+        netlist.net("rand.r1"),
+        name=netlist.name + "+alias-fresh-masks",
+    )
+    return _remap_dut(dut, mutant)
+
+
+def _stuck_mask() -> DesignUnderTest:
+    dut = _full_dut()
+    netlist = dut.netlist
+    mutant = stuck_net(
+        netlist,
+        netlist.net("rand.r7"),
+        0,
+        name=netlist.name + "+stuck-mask",
+    )
+    return _remap_dut(dut, mutant)
+
+
+def _bypass_kronecker() -> DesignUnderTest:
+    dut = _full_dut()
+    pairs = [
+        (dut.share_bit(0, bit), dut.share_bit(1, bit)) for bit in (0, 1)
+    ]
+    mutant, _ = add_xor_taps(
+        dut.netlist,
+        pairs,
+        prefix="bypass",
+        name=dut.netlist.name + "+bypass-kronecker",
+    )
+    return _remap_dut(dut, mutant)
+
+
+def builtin_faults() -> List[FaultSpec]:
+    """The standard self-check suite over the FULL Kronecker delta."""
+    return [
+        FaultSpec(
+            name="clean-full",
+            description="unmutated FULL scheme (7 fresh bits) -- must pass",
+            expect_leak=False,
+            build=_full_dut,
+        ),
+        FaultSpec(
+            name="control-eq6",
+            description="De Meyer Eq. (6) reuse -- the paper's known leak",
+            expect_leak=True,
+            build=_eq6_dut,
+        ),
+        FaultSpec(
+            name="drop-dom-register",
+            description="G7's DOM registers replaced by buffers",
+            expect_leak=True,
+            build=_drop_dom_register,
+        ),
+        FaultSpec(
+            name="alias-fresh-masks",
+            description="rand.r3 consumers rewired onto rand.r1",
+            expect_leak=True,
+            build=_alias_fresh_masks,
+        ),
+        FaultSpec(
+            name="stuck-mask",
+            description="rand.r7 stuck at 0 (unblinded cross products)",
+            expect_leak=True,
+            build=_stuck_mask,
+        ),
+        FaultSpec(
+            name="bypass-kronecker",
+            description="XOR taps recombining input shares",
+            expect_leak=True,
+            build=_bypass_kronecker,
+        ),
+    ]
+
+
+def run_self_check(
+    n_simulations: int = 30_000,
+    seed: int = 0,
+    threshold: float = DEFAULT_THRESHOLD,
+    model: ProbingModel = ProbingModel.GLITCH,
+    faults: Optional[List[FaultSpec]] = None,
+    chunk_size: Optional[int] = None,
+) -> SelfCheckMatrix:
+    """Evaluate every fault spec and return the coverage matrix.
+
+    Leaky specs run as early-stopping campaigns (a decisive -log10(p) ends
+    the run), so the matrix costs little more than the one clean design
+    that must run its full sample budget.
+    """
+    matrix = SelfCheckMatrix(threshold=threshold)
+    for spec in faults if faults is not None else builtin_faults():
+        evaluator = LeakageEvaluator(spec.build(), model=model, seed=seed)
+        config = CampaignConfig(
+            n_simulations=n_simulations,
+            threshold=threshold,
+            # Early stop is checked at chunk boundaries, so leaky specs need
+            # chunks smaller than the full run to actually stop early.
+            chunk_size=chunk_size if chunk_size is not None else 8192,
+            early_stop=DECISIVE_MLOG10P if spec.expect_leak else None,
+        )
+        report = EvaluationCampaign(evaluator, config).run()
+        matrix.outcomes.append(
+            FaultOutcome(
+                name=spec.name,
+                description=spec.description,
+                expect_leak=spec.expect_leak,
+                detected_leak=not report.passed,
+                max_mlog10p=report.max_mlog10p,
+                n_simulations=report.n_simulations,
+                status=report.status,
+            )
+        )
+    return matrix

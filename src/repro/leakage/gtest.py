@@ -63,7 +63,30 @@ def g_test(
         inverse[:n_fixed], minlength=total_counts.size
     ).astype(np.float64)
     counts_random = (total_counts - counts_fixed).astype(np.float64)
+    return g_test_from_counts(counts_fixed, counts_random, min_expected)
 
+
+def g_test_from_counts(
+    counts_fixed: np.ndarray,
+    counts_random: np.ndarray,
+    min_expected: float = 5.0,
+) -> GTestResult:
+    """G-test from per-category counts (one pair of cells per category).
+
+    The categories must be aligned between the two arrays and sorted by
+    observation key; histograms accumulated incrementally over chunks then
+    produce bit-identical statistics to a single :func:`g_test` pass over
+    the concatenated observations, because the G-test only ever sees the
+    contingency table.
+    """
+    counts_fixed = np.asarray(counts_fixed, dtype=np.float64)
+    counts_random = np.asarray(counts_random, dtype=np.float64)
+    n_fixed = int(counts_fixed.sum())
+    n_random = int(counts_random.sum())
+    if n_fixed == 0 or n_random == 0:
+        return GTestResult(0.0, 0, 0.0, 0, n_fixed, n_random)
+
+    total_counts = counts_fixed + counts_random
     keep = total_counts >= 2.0 * min_expected
     if not np.all(keep):
         rare_fixed = counts_fixed[~keep].sum()

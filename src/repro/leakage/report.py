@@ -39,6 +39,14 @@ class LeakageReport:
     threshold: float
     results: List[ProbeResult] = field(default_factory=list)
     skipped_probes: List[str] = field(default_factory=list)
+    #: "complete", or "truncated:<reason>" when a campaign stopped early
+    #: (time/memory budget, decisive early abort).
+    status: str = "complete"
+
+    @property
+    def truncated(self) -> bool:
+        """True when the evaluation stopped before the requested samples."""
+        return self.status != "complete"
 
     @property
     def leaking_results(self) -> List[ProbeResult]:
@@ -73,6 +81,7 @@ class LeakageReport:
             "fixed_secret": self.fixed_secret,
             "n_simulations": self.n_simulations,
             "threshold": self.threshold,
+            "status": self.status,
             "passed": self.passed,
             "max_mlog10p": self.max_mlog10p,
             "n_probe_classes": len(self.results),
@@ -87,11 +96,14 @@ class LeakageReport:
     def format_summary(self, top: int = 10) -> str:
         """Human-readable report, worst probes first."""
         verdict = "PASS (no leakage detected)" if self.passed else "FAIL (leakage)"
+        if self.truncated and self.passed:
+            verdict = "INCONCLUSIVE (truncated before completion)"
         lines = [
             f"=== Leakage evaluation: {self.design} ===",
             f"  model:        {self.model}",
             f"  fixed secret: 0x{self.fixed_secret:02X}",
-            f"  simulations:  {self.n_simulations}",
+            f"  simulations:  {self.n_simulations}"
+            + (f" [{self.status}]" if self.truncated else ""),
             f"  threshold:    -log10(p) > {self.threshold:g}",
             f"  probe classes evaluated: {len(self.results)}"
             + (f" (skipped {len(self.skipped_probes)} wide)" if self.skipped_probes else ""),

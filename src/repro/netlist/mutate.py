@@ -1,0 +1,214 @@
+"""Netlist mutation utilities for fault injection.
+
+An evaluation tool is only trustworthy if it is exercised against designs
+*known to be broken* -- the point made by tool-validation work such as
+aLEAKator and by the paper's own thesis that pen-and-paper arguments miss
+netlist-level effects.  These helpers produce mutated copies of a netlist
+(the original is never modified) implementing classic masking faults:
+
+* :func:`registers_to_buffers` -- drop pipeline registers (a DOM gadget
+  without its cross-domain registers is glitch-insecure);
+* :func:`rewire_fanin` -- alias one wire onto another (e.g. feed two
+  gadgets the same "fresh" mask, reproducing over-aggressive randomness
+  reuse);
+* :func:`stuck_net` -- stuck-at fault (e.g. a blinding mask stuck at 0
+  leaves cross-domain products unprotected);
+* :func:`add_xor_taps` -- add recombination logic (an unmasked shortcut
+  past a masked function).
+
+All helpers preserve net indices of the original netlist: existing nets
+keep their index and name, new nets are appended.  Protocol descriptions
+(share buses, mask wires) written against the original therefore remain
+valid for the mutant.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CellType
+from repro.netlist.core import Cell, Netlist
+
+
+def clone_netlist(netlist: Netlist, name: Optional[str] = None) -> Netlist:
+    """Structure-preserving deep copy (new cells, same indices/names)."""
+    return _rebuild(netlist, lambda cell: cell, name=name)
+
+
+def _rebuild(
+    netlist: Netlist,
+    transform: Callable[[Cell], Optional[Cell]],
+    name: Optional[str] = None,
+    extra_nets: Sequence[str] = (),
+) -> Netlist:
+    """Copy ``netlist`` applying ``transform`` to every cell.
+
+    ``transform`` returns a replacement :class:`Cell` (only ``cell_type``
+    and ``inputs`` are honoured; the output net and name are kept), or
+    ``None`` to drop the cell.  ``extra_nets`` are appended after the
+    original nets so existing indices stay stable; callers add cells for
+    them afterwards.
+    """
+    mutant = Netlist(name or netlist.name)
+    for net_name in netlist.net_names:
+        mutant.add_net(net_name)
+    for extra in extra_nets:
+        mutant.add_net(extra)
+    for net in netlist.inputs:
+        mutant.mark_input(net)
+    for cell in netlist.cells:
+        replacement = transform(cell)
+        if replacement is None:
+            continue
+        mutant.add_cell(
+            replacement.cell_type,
+            tuple(replacement.inputs),
+            cell.output,
+            cell.name,
+        )
+    for net in netlist.outputs:
+        mutant.mark_output(net)
+    return mutant
+
+
+def _replaced(cell: Cell, cell_type: CellType, inputs: Tuple[int, ...]) -> Cell:
+    return Cell(cell.index, cell_type, inputs, cell.output, cell.name)
+
+
+def rewire_fanin(
+    netlist: Netlist,
+    old_net: int,
+    new_net: int,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Every cell reading ``old_net`` reads ``new_net`` instead.
+
+    ``old_net`` keeps its driver (or input role) but loses its consumers --
+    the classic way to alias two mask wires: rewire one mask input's fan-in
+    onto the other and both gadgets now share one random bit.
+    """
+    for net in (old_net, new_net):
+        if not 0 <= net < netlist.n_nets:
+            raise NetlistError(f"net index {net} out of range")
+    if old_net == new_net:
+        raise NetlistError("rewire_fanin needs two distinct nets")
+
+    def transform(cell: Cell) -> Cell:
+        if old_net not in cell.inputs:
+            return cell
+        inputs = tuple(
+            new_net if net == old_net else net for net in cell.inputs
+        )
+        return _replaced(cell, cell.cell_type, inputs)
+
+    mutant = _rebuild(netlist, transform, name=name)
+    mutant.validate()
+    return mutant
+
+
+def registers_to_buffers(
+    netlist: Netlist,
+    match: Callable[[Cell], bool],
+    name: Optional[str] = None,
+) -> Netlist:
+    """Replace matching D flip-flops by buffers (combinational bypass).
+
+    The mutated cells keep their output nets, so downstream logic is
+    untouched -- but the nets stop being glitch-free stable signals, which
+    is exactly the fault a missing DOM register causes in hardware.
+    """
+    matched = [
+        cell
+        for cell in netlist.cells
+        if cell.cell_type is CellType.DFF and match(cell)
+    ]
+    if not matched:
+        raise NetlistError("registers_to_buffers matched no register")
+    indices = {cell.index for cell in matched}
+
+    def transform(cell: Cell) -> Cell:
+        if cell.index in indices:
+            return _replaced(cell, CellType.BUF, cell.inputs)
+        return cell
+
+    mutant = _rebuild(netlist, transform, name=name)
+    mutant.validate()
+    return mutant
+
+
+def stuck_net(
+    netlist: Netlist,
+    net: int,
+    value: int,
+    name: Optional[str] = None,
+) -> Netlist:
+    """Every consumer of ``net`` reads constant ``value`` instead.
+
+    The net itself stays driven (so the netlist remains valid); only its
+    fan-in edges are cut over to a new constant driver.
+    """
+    if not 0 <= net < netlist.n_nets:
+        raise NetlistError(f"net index {net} out of range")
+    if value not in (0, 1):
+        raise NetlistError("stuck-at value must be 0 or 1")
+    stuck_name = f"{netlist.net_name(net)}$stuck{value}"
+    stuck_index = netlist.n_nets
+
+    def transform(cell: Cell) -> Cell:
+        if net not in cell.inputs:
+            return cell
+        inputs = tuple(
+            stuck_index if candidate == net else candidate
+            for candidate in cell.inputs
+        )
+        return _replaced(cell, cell.cell_type, inputs)
+
+    mutant = _rebuild(
+        netlist, transform, name=name, extra_nets=[stuck_name]
+    )
+    cell_type = CellType.CONST1 if value else CellType.CONST0
+    mutant.add_cell(cell_type, (), stuck_index, stuck_name + "$cell")
+    mutant.validate()
+    return mutant
+
+
+def add_xor_taps(
+    netlist: Netlist,
+    pairs: Iterable[Tuple[int, int]],
+    prefix: str = "tap",
+    name: Optional[str] = None,
+) -> Tuple[Netlist, List[int]]:
+    """Add XOR cells over net pairs; returns the mutant and the tap nets.
+
+    XOR-ing the two shares of a value recombines it in plain logic -- the
+    "unmasked shortcut" fault.  The taps are marked as outputs so they
+    survive any later dead-logic sweep.
+    """
+    pair_list = list(pairs)
+    if not pair_list:
+        raise NetlistError("add_xor_taps needs at least one net pair")
+    for a, b in pair_list:
+        for net in (a, b):
+            if not 0 <= net < netlist.n_nets:
+                raise NetlistError(f"net index {net} out of range")
+    extra = [f"{prefix}[{i}]" for i in range(len(pair_list))]
+    mutant = _rebuild(netlist, lambda cell: cell, name=name, extra_nets=extra)
+    taps = []
+    base = netlist.n_nets
+    for i, (a, b) in enumerate(pair_list):
+        tap = base + i
+        mutant.add_cell(CellType.XOR, (a, b), tap, f"{prefix}[{i}]$cell")
+        mutant.mark_output(tap)
+        taps.append(tap)
+    mutant.validate()
+    return mutant, taps
+
+
+def dff_by_name(netlist: Netlist, substring: str) -> Callable[[Cell], bool]:
+    """Predicate for :func:`registers_to_buffers`: name contains substring."""
+
+    def match(cell: Cell) -> bool:
+        return substring in cell.name
+
+    return match

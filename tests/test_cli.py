@@ -155,3 +155,98 @@ class TestEncrypt:
         )
         assert code == 0
         assert "69c4e0d86a7b0430d8cdb78070b4c55a" in capsys.readouterr().out
+
+
+class TestCampaign:
+    def test_leaky_scheme_exits_one(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--scheme", "eq6",
+                "--simulations", "20000",
+                "--chunk-size", "8192",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "blocks:" in out
+
+    def test_secure_scheme_exits_zero(self, capsys):
+        code = main(
+            ["campaign", "--scheme", "full", "--simulations", "10000"]
+        )
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_bad_configuration_exits_two(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--simulations", "5",
+                "--windows", "10",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_truncated_run_exits_three(self, capsys):
+        code = main(
+            [
+                "campaign",
+                "--scheme", "full",
+                "--simulations", "100000",
+                "--chunk-size", "4096",
+                "--time-budget", "0.000001",
+            ]
+        )
+        assert code == 3
+        assert "INCONCLUSIVE" in capsys.readouterr().out
+
+    def test_checkpoint_resume_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "ck.npz")
+        args = [
+            "campaign",
+            "--scheme", "eq6",
+            "--simulations", "20000",
+            "--chunk-size", "8192",
+            "--checkpoint", path,
+        ]
+        assert main(args) == 1
+        capsys.readouterr()
+        # resuming a finished campaign re-simulates nothing.
+        assert main(args + ["--resume"]) == 1
+        assert "resumed from block 5" in capsys.readouterr().out
+
+    def test_self_check_matrix(self, capsys):
+        code = main(
+            ["campaign", "--self-check", "--simulations", "20000"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "COVERAGE COMPLETE" in out
+        assert "bypass-kronecker" in out
+
+    def test_self_check_json(self, capsys):
+        import json
+
+        code = main(
+            [
+                "campaign",
+                "--self-check",
+                "--simulations", "20000",
+                "--json",
+            ]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["coverage_complete"] is True
+
+
+class TestExitCodesOnErrors:
+    def test_repro_error_maps_to_exit_two(self, capsys):
+        code = main(
+            ["evaluate", "--scheme", "full", "--simulations", "0"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err

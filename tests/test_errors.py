@@ -3,6 +3,8 @@
 import pytest
 
 from repro.errors import (
+    BudgetExceeded,
+    CheckpointError,
     ExactAnalysisInfeasible,
     FieldError,
     MaskingError,
@@ -21,6 +23,8 @@ class TestHierarchy:
             FieldError,
             MaskingError,
             ExactAnalysisInfeasible,
+            CheckpointError,
+            BudgetExceeded,
         ],
     )
     def test_all_derive_from_repro_error(self, exc):
@@ -34,3 +38,69 @@ class TestHierarchy:
     def test_catching_specific_type(self):
         with pytest.raises(ExactAnalysisInfeasible):
             raise ExactAnalysisInfeasible("budget exceeded")
+
+
+class TestPublicEntryPointsRaiseReproErrors:
+    """Bad input to public APIs must surface as ReproError subclasses.
+
+    Callers (the CLI maps ReproError to exit code 2) rely on never seeing a
+    bare ValueError/KeyError from configuration mistakes.
+    """
+
+    def test_evaluator_rejects_bad_observation(self, kronecker_full):
+        from repro.leakage.evaluator import LeakageEvaluator
+
+        with pytest.raises(ReproError):
+            LeakageEvaluator(kronecker_full.dut, observation="power")
+        with pytest.raises(ReproError):
+            LeakageEvaluator(kronecker_full.dut, block_lanes=100)
+
+    def test_evaluate_rejects_bad_budgets(self, kronecker_full):
+        from repro.leakage.evaluator import LeakageEvaluator
+
+        evaluator = LeakageEvaluator(kronecker_full.dut)
+        with pytest.raises(ReproError):
+            evaluator.evaluate(n_simulations=0)
+        with pytest.raises(ReproError):
+            evaluator.evaluate(n_simulations=10, n_windows=20)
+
+    def test_campaign_config_rejects_bad_values(self):
+        from repro.leakage.campaign import CampaignConfig
+
+        with pytest.raises(ReproError):
+            CampaignConfig(n_simulations=1000, mode="bogus")
+        with pytest.raises(ReproError):
+            CampaignConfig(n_simulations=1000, chunk_size=-1)
+
+    def test_campaign_rejects_corrupt_checkpoint(
+        self, kronecker_full, tmp_path
+    ):
+        from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
+        from repro.leakage.evaluator import LeakageEvaluator
+
+        path = tmp_path / "broken.npz"
+        path.write_bytes(b"\x00garbage")
+        campaign = EvaluationCampaign(
+            LeakageEvaluator(kronecker_full.dut),
+            CampaignConfig(n_simulations=1_000, checkpoint=str(path)),
+        )
+        with pytest.raises(CheckpointError):
+            campaign.run(resume=True)
+
+    def test_netlist_mutations_reject_bad_nets(self, kronecker_full):
+        from repro.netlist.mutate import rewire_fanin, stuck_net
+
+        netlist = kronecker_full.dut.netlist
+        with pytest.raises(NetlistError):
+            rewire_fanin(netlist, -1, 0)
+        with pytest.raises(NetlistError):
+            stuck_net(netlist, 0, 7)
+
+    def test_dut_protocol_validation(self, kronecker_full):
+        from repro.leakage.dut import DesignUnderTest
+
+        with pytest.raises(SimulationError):
+            DesignUnderTest(
+                netlist=kronecker_full.dut.netlist,
+                share_buses=[[10**6]],
+            )

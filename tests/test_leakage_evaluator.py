@@ -53,6 +53,16 @@ class TestFirstOrder:
         with pytest.raises(SimulationError):
             evaluator.evaluate(n_simulations=100, n_windows=0)
 
+    def test_budget_below_window_count_rejected(self, kronecker_full):
+        """The historical clamp to one lane silently ran 100x the requested
+        samples; an under-budget configuration must be an error instead."""
+        evaluator = LeakageEvaluator(kronecker_full.dut)
+        with pytest.raises(SimulationError, match="n_windows"):
+            evaluator.evaluate(n_simulations=5, n_windows=10)
+        with pytest.raises(SimulationError):
+            evaluator.n_lanes_for(n_simulations=63, n_windows=64)
+        assert evaluator.n_lanes_for(6_400, 64) == 100
+
     def test_report_contents(self, kronecker_eq6):
         evaluator = LeakageEvaluator(
             kronecker_eq6.dut, ProbingModel.GLITCH, seed=3
@@ -72,6 +82,15 @@ class TestFirstOrder:
         assert v1 in pc.members
         with pytest.raises(SimulationError):
             evaluator.probe_class_for_net(10**6)
+
+    def test_probe_class_lookup_on_skipped_class(self, kronecker_eq6):
+        """A net whose class was dropped for width reports *why* it is
+        missing rather than a generic not-found error."""
+        evaluator = LeakageEvaluator(kronecker_eq6.dut, max_support_bits=2)
+        assert evaluator.skipped_classes
+        skipped_net = next(iter(evaluator.skipped_classes[0].members))
+        with pytest.raises(SimulationError, match="skipped"):
+            evaluator.probe_class_for_net(skipped_net)
 
     def test_seed_reproducibility(self, kronecker_full):
         reports = [

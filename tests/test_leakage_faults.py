@@ -1,0 +1,109 @@
+"""Tests for the fault-injection self-validation of the evaluator."""
+
+import pytest
+
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.faults import (
+    FaultSpec,
+    builtin_faults,
+    run_self_check,
+)
+
+N_SIMS = 20_000
+
+
+class TestBuiltinFaults:
+    def test_names_unique(self):
+        names = [spec.name for spec in builtin_faults()]
+        assert len(names) == len(set(names))
+
+    def test_clean_and_control_present(self):
+        specs = {spec.name: spec for spec in builtin_faults()}
+        assert not specs["clean-full"].expect_leak
+        assert specs["control-eq6"].expect_leak
+
+    def test_mutants_preserve_protocol_indices(self):
+        specs = {spec.name: spec for spec in builtin_faults()}
+        clean = specs["clean-full"].build()
+        for name in ("drop-dom-register", "alias-fresh-masks", "stuck-mask"):
+            mutant = specs[name].build()
+            assert mutant.share_buses == clean.share_buses
+            assert mutant.mask_bits == clean.mask_bits
+            for bus in mutant.share_buses:
+                for net in bus:
+                    assert (
+                        mutant.netlist.net_name(net)
+                        == clean.netlist.net_name(net)
+                    )
+
+    def test_mutant_netlists_validate(self):
+        for spec in builtin_faults():
+            spec.build().netlist.validate()
+
+
+class TestSelfCheck:
+    def test_coverage_complete(self):
+        matrix = run_self_check(n_simulations=N_SIMS, seed=0)
+        assert matrix.coverage_complete, matrix.format_table()
+        assert not matrix.misses
+        names = {outcome.name for outcome in matrix.outcomes}
+        assert names == {spec.name for spec in builtin_faults()}
+
+    def test_clean_design_runs_full_budget(self):
+        matrix = run_self_check(n_simulations=N_SIMS, seed=0)
+        by_name = {o.name: o for o in matrix.outcomes}
+        clean = by_name["clean-full"]
+        assert clean.status == "complete"
+        assert clean.n_simulations == N_SIMS
+        # leaky specs stop early once the evidence is decisive.
+        assert any(
+            o.status == "truncated:early-stop"
+            for o in matrix.outcomes
+            if o.expect_leak
+        )
+
+    def test_to_dict_and_table(self):
+        matrix = run_self_check(n_simulations=N_SIMS, seed=0)
+        data = matrix.to_dict()
+        assert data["coverage_complete"] is True
+        assert len(data["outcomes"]) == len(builtin_faults())
+        table = matrix.format_table()
+        assert "COVERAGE COMPLETE" in table
+        assert "stuck-mask" in table
+
+    def test_undetectable_expectation_is_reported_as_miss(self):
+        """A spec expecting a leak from the clean design must be a MISS."""
+        specs = {spec.name: spec for spec in builtin_faults()}
+        bogus = FaultSpec(
+            name="bogus-expectation",
+            description="clean design wrongly expected to leak",
+            expect_leak=True,
+            build=specs["clean-full"].build,
+        )
+        matrix = run_self_check(n_simulations=N_SIMS, faults=[bogus])
+        assert not matrix.coverage_complete
+        assert matrix.misses[0].name == "bogus-expectation"
+        assert "INCOMPLETE" in matrix.format_table()
+
+
+class TestMutantLeakMechanics:
+    """Each mutant leaks through the specific probe the docstring claims."""
+
+    def _worst(self, spec_name):
+        specs = {spec.name: spec for spec in builtin_faults()}
+        evaluator = LeakageEvaluator(specs[spec_name].build(), seed=0)
+        report = evaluator.evaluate(n_simulations=N_SIMS)
+        assert not report.passed
+        return report.worst
+
+    def test_drop_register_leaks_at_output(self):
+        worst = self._worst("drop-dom-register")
+        assert "z[" in worst.probe_names or "g7" in worst.probe_names
+
+    def test_stuck_mask_leaks_at_g7(self):
+        worst = self._worst("stuck-mask")
+        assert "g7" in worst.probe_names or "z[" in worst.probe_names
+
+    def test_bypass_leaks_at_tap(self):
+        worst = self._worst("bypass-kronecker")
+        assert "bypass" in worst.probe_names

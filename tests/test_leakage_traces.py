@@ -41,6 +41,19 @@ class TestPrimitives:
         assert (value != 0).all()
         assert value.max() <= 255
 
+    def test_nonzero_byte_rejection_exhaustion(self):
+        """An RNG that only ever returns zero can never fix the zero lanes;
+        the sampler must give up with a SimulationError, not loop forever."""
+
+        class AllZeroRng:
+            def integers(self, low, high, size, dtype):
+                return np.zeros(size, dtype=dtype)
+
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            random_nonzero_byte(AllZeroRng(), N_WORDS)
+
 
 class TestStimulus:
     def setup_method(self):

@@ -1,0 +1,119 @@
+"""Tests for the fault-injection netlist mutations."""
+
+import pytest
+
+from repro.errors import NetlistError
+from repro.netlist.cells import CellType
+from repro.netlist.mutate import (
+    add_xor_taps,
+    clone_netlist,
+    dff_by_name,
+    registers_to_buffers,
+    rewire_fanin,
+    stuck_net,
+)
+
+
+@pytest.fixture
+def netlist(kronecker_full):
+    return kronecker_full.dut.netlist
+
+
+class TestClone:
+    def test_clone_preserves_structure(self, netlist):
+        copy = clone_netlist(netlist)
+        assert copy.n_nets == netlist.n_nets
+        assert copy.net_names == netlist.net_names
+        assert len(copy.cells) == len(netlist.cells)
+        assert copy.inputs == netlist.inputs
+        assert copy.outputs == netlist.outputs
+        copy.validate()
+
+    def test_clone_is_independent(self, netlist):
+        copy = clone_netlist(netlist, name="copy")
+        n_cells = len(netlist.cells)
+        extra = copy.add_net("extra")
+        copy.add_cell(CellType.CONST0, (), extra, "extra$cell")
+        assert len(netlist.cells) == n_cells
+        assert copy.name == "copy"
+
+
+class TestRewireFanin:
+    def test_consumers_move_to_new_net(self, netlist):
+        r3 = netlist.net("rand.r3")
+        r1 = netlist.net("rand.r1")
+        mutant = rewire_fanin(netlist, r3, r1)
+        assert all(r3 not in cell.inputs for cell in mutant.cells)
+        readers = [c for c in mutant.cells if r1 in c.inputs]
+        original = [c for c in netlist.cells if r1 in c.inputs]
+        assert len(readers) > len(original)
+
+    def test_indices_and_names_stable(self, netlist):
+        mutant = rewire_fanin(
+            netlist, netlist.net("rand.r3"), netlist.net("rand.r1")
+        )
+        assert mutant.net_names == netlist.net_names
+        assert mutant.inputs == netlist.inputs
+
+    def test_same_net_rejected(self, netlist):
+        r1 = netlist.net("rand.r1")
+        with pytest.raises(NetlistError):
+            rewire_fanin(netlist, r1, r1)
+
+    def test_out_of_range_rejected(self, netlist):
+        with pytest.raises(NetlistError):
+            rewire_fanin(netlist, netlist.n_nets, 0)
+
+
+class TestRegistersToBuffers:
+    def test_matched_dffs_become_buffers(self, netlist):
+        mutant = registers_to_buffers(netlist, dff_by_name(netlist, "g7."))
+        n_dff_before = sum(1 for _ in netlist.dff_cells())
+        n_dff_after = sum(1 for _ in mutant.dff_cells())
+        assert n_dff_after < n_dff_before
+        # outputs of the replaced registers are still driven (by buffers).
+        mutant.validate()
+
+    def test_no_match_raises(self, netlist):
+        with pytest.raises(NetlistError):
+            registers_to_buffers(netlist, dff_by_name(netlist, "nosuchreg"))
+
+
+class TestStuckNet:
+    def test_consumers_read_constant(self, netlist):
+        r7 = netlist.net("rand.r7")
+        mutant = stuck_net(netlist, r7, 0)
+        assert all(r7 not in cell.inputs for cell in mutant.cells)
+        assert mutant.n_nets == netlist.n_nets + 1
+        const_cells = [
+            c for c in mutant.cells if c.cell_type is CellType.CONST0
+        ]
+        assert any("stuck0" in c.name for c in const_cells)
+
+    def test_stuck_at_one(self, netlist):
+        mutant = stuck_net(netlist, netlist.net("rand.r7"), 1)
+        assert any(
+            c.cell_type is CellType.CONST1 and "stuck1" in c.name
+            for c in mutant.cells
+        )
+
+    def test_bad_value_rejected(self, netlist):
+        with pytest.raises(NetlistError):
+            stuck_net(netlist, 0, 2)
+
+
+class TestAddXorTaps:
+    def test_taps_are_outputs(self, netlist, kronecker_full):
+        dut = kronecker_full.dut
+        pair = (dut.share_bit(0, 0), dut.share_bit(1, 0))
+        mutant, taps = add_xor_taps(netlist, [pair])
+        assert len(taps) == 1
+        assert taps[0] >= netlist.n_nets
+        assert taps[0] in mutant.outputs
+        driver = mutant.driver(taps[0])
+        assert driver.cell_type is CellType.XOR
+        assert set(driver.inputs) == set(pair)
+
+    def test_empty_pairs_rejected(self, netlist):
+        with pytest.raises(NetlistError):
+            add_xor_taps(netlist, [])
