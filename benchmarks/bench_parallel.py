@@ -1,0 +1,159 @@
+"""Serial-vs-parallel campaign benchmark emitting ``BENCH_parallel.json``.
+
+Runs the E3 configuration (masked S-box, Eq. (6) randomness, glitch-extended
+probes) as a serial campaign and again with a worker pool, asserts the two
+produce **bit-identical** G-test statistics, and writes a machine-readable
+JSON record of wall-clock times and simulations-per-second so the repo's
+performance trajectory has a baseline.  Also times one chunk under each
+simulation engine (interpreting bitsliced vs compiled gate program).
+
+Usage (CI runs this with ``--require-speedup 2.5`` on a 4-core runner)::
+
+    PYTHONPATH=src python benchmarks/bench_parallel.py \
+        --design sbox --scheme eq6 --simulations 100000 --workers 4 \
+        --out BENCH_parallel.json
+
+Exit codes: 0 success, 1 result mismatch (a correctness bug), 2 speedup
+below ``--require-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.cli import _scheme
+from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.model import ProbingModel
+
+
+def _build(design: str, scheme: str):
+    if design == "kronecker":
+        from repro.core.kronecker import build_kronecker_delta
+
+        return build_kronecker_delta(_scheme(scheme)).dut
+    if design == "sbox":
+        from repro.core.sbox import build_masked_sbox
+
+        return build_masked_sbox(_scheme(scheme)).dut
+    raise SystemExit(f"unknown design {design!r}")
+
+
+def _run_campaign(dut, args, workers: int, engine: str):
+    evaluator = LeakageEvaluator(
+        dut, ProbingModel.GLITCH, seed=args.seed, engine=engine
+    )
+    config = CampaignConfig(
+        n_simulations=args.simulations,
+        chunk_size=args.chunk_size,
+        workers=workers,
+    )
+    campaign = EvaluationCampaign(evaluator, config)
+    start = time.perf_counter()
+    report = campaign.run()
+    elapsed = time.perf_counter() - start
+    return report, elapsed
+
+
+def _signature(report):
+    """The exact statistics a run must reproduce bit for bit."""
+    return [
+        (r.probe_names, r.g_statistic, r.dof, r.mlog10p)
+        for r in report.results
+    ]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--design", default="sbox",
+                        choices=("sbox", "kronecker"))
+    parser.add_argument("--scheme", default="eq6")
+    parser.add_argument("--simulations", type=int, default=100_000)
+    parser.add_argument("--chunk-size", type=int, default=None)
+    parser.add_argument("--workers", type=int,
+                        default=max(1, os.cpu_count() or 1))
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--out", default="BENCH_parallel.json")
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="fail (exit 2) unless parallel/serial speedup "
+                             "reaches this factor")
+    args = parser.parse_args(argv)
+
+    dut = _build(args.design, args.scheme)
+    print(
+        f"benchmark: {args.design}/{args.scheme}, "
+        f"{args.simulations} simulations, {args.workers} worker(s), "
+        f"{os.cpu_count()} cpu(s)"
+    )
+
+    # Engine comparison on a reduced budget (both serial): how much the
+    # compiled gate program buys over the interpreting simulator.
+    engine_budget = min(args.simulations, 20_000)
+    engines = {}
+    for engine in ("bitsliced", "compiled"):
+        ev = LeakageEvaluator(
+            dut, ProbingModel.GLITCH, seed=args.seed, engine=engine
+        )
+        start = time.perf_counter()
+        ev.evaluate(n_simulations=engine_budget)
+        engines[engine] = time.perf_counter() - start
+        print(f"  engine {engine:<10} {engines[engine]:8.2f}s "
+              f"({engine_budget} sims)")
+
+    serial_report, serial_s = _run_campaign(dut, args, 1, "compiled")
+    print(f"  serial   (workers=1)            {serial_s:8.2f}s")
+    parallel_report, parallel_s = _run_campaign(
+        dut, args, args.workers, "compiled"
+    )
+    print(f"  parallel (workers={args.workers})            {parallel_s:8.2f}s")
+
+    identical = _signature(serial_report) == _signature(parallel_report)
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    record = {
+        "benchmark": "E3-parallel-campaign",
+        "design": args.design,
+        "scheme": args.scheme,
+        "n_simulations": args.simulations,
+        "workers": args.workers,
+        "cpu_count": os.cpu_count(),
+        "seed": args.seed,
+        "engine_seconds": {
+            name: round(secs, 4) for name, secs in engines.items()
+        },
+        "engine_budget": engine_budget,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "serial_sims_per_second": round(args.simulations / serial_s, 1),
+        "parallel_sims_per_second": round(args.simulations / parallel_s, 1),
+        "speedup": round(speedup, 3),
+        "bit_identical": identical,
+        "max_mlog10p": serial_report.max_mlog10p,
+        "passed": serial_report.passed,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(
+        f"  speedup {speedup:.2f}x, bit-identical={identical}, "
+        f"wrote {args.out}"
+    )
+
+    if not identical:
+        print("ERROR: parallel results diverge from serial", file=sys.stderr)
+        return 1
+    if args.require_speedup and speedup < args.require_speedup:
+        print(
+            f"ERROR: speedup {speedup:.2f}x below required "
+            f"{args.require_speedup:.2f}x",
+            file=sys.stderr,
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

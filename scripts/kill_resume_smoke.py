@@ -10,12 +10,18 @@ disk, then resumes through the CLI and checks that the resumed run
 
 Run from the repository root::
 
-    python scripts/kill_resume_smoke.py
+    python scripts/kill_resume_smoke.py [--workers N]
+
+With ``--workers N`` the resumed run goes through the multiprocessing
+executor, exercising checkpoint interoperability between the serial and
+parallel paths (a checkpoint written serially must resume under any worker
+count -- results are bit-identical by construction).
 
 Exits 0 on success, 1 on failure.  The whole exercise takes well under 30
 seconds.
 """
 
+import argparse
 import os
 import subprocess
 import sys
@@ -28,7 +34,7 @@ CHUNK_SIZE = 8_192
 DEADLINE_SECONDS = 25
 
 
-def campaign_args(checkpoint, resume=False):
+def campaign_args(checkpoint, resume=False, workers=1):
     args = [
         sys.executable,
         "-m",
@@ -39,6 +45,7 @@ def campaign_args(checkpoint, resume=False):
         "--chunk-size", str(CHUNK_SIZE),
         "--checkpoint", checkpoint,
         "--seed", "7",
+        "--workers", str(workers),
     ]
     if resume:
         args.append("--resume")
@@ -46,6 +53,10 @@ def campaign_args(checkpoint, resume=False):
 
 
 def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the resumed run")
+    options = parser.parse_args()
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         filter(None, [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")])
@@ -78,7 +89,7 @@ def main():
     print("[2/3] campaign SIGKILLed after its first checkpoint")
 
     result = subprocess.run(
-        campaign_args(checkpoint, resume=True),
+        campaign_args(checkpoint, resume=True, workers=options.workers),
         env=env,
         capture_output=True,
         text=True,

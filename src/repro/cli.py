@@ -101,7 +101,7 @@ def cmd_evaluate(args) -> int:
         if args.transitions
         else ProbingModel.GLITCH
     )
-    evaluator = LeakageEvaluator(dut, model, seed=args.seed)
+    evaluator = LeakageEvaluator(dut, model, seed=args.seed, engine=args.engine)
     if args.pairs:
         report = evaluator.evaluate_pairs(
             fixed_secret=args.fixed,
@@ -133,6 +133,8 @@ def cmd_campaign(args) -> int:
             n_simulations=args.simulations,
             seed=args.seed,
             chunk_size=args.chunk_size,
+            workers=args.workers,
+            engine=args.engine,
         )
         if args.json:
             import json as _json
@@ -148,7 +150,13 @@ def cmd_campaign(args) -> int:
         if args.transitions
         else ProbingModel.GLITCH
     )
-    evaluator = LeakageEvaluator(dut, model, seed=args.seed)
+    evaluator = LeakageEvaluator(dut, model, seed=args.seed, engine=args.engine)
+    if args.batch_probes:
+        mode = "both"
+    elif args.pairs:
+        mode = "pairs"
+    else:
+        mode = "first"
     config = CampaignConfig(
         n_simulations=args.simulations,
         n_windows=args.windows,
@@ -157,8 +165,9 @@ def cmd_campaign(args) -> int:
         checkpoint=args.checkpoint,
         time_budget=args.time_budget,
         early_stop=args.early_stop,
-        mode="pairs" if args.pairs else "first",
+        mode=mode,
         max_pairs=args.max_pairs,
+        workers=args.workers,
     )
     campaign = EvaluationCampaign(evaluator, config)
     report = campaign.run(resume=args.resume)
@@ -252,6 +261,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pairs", action="store_true",
                    help="second-order (probe-pair) evaluation")
     p.add_argument("--max-pairs", type=int, default=500)
+    p.add_argument("--engine", default="compiled",
+                   choices=("compiled", "bitsliced"),
+                   help="simulation engine (results are bit-identical)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
     p.add_argument("--seed", type=int, default=0)
@@ -270,7 +282,16 @@ def build_parser() -> argparse.ArgumentParser:
                    help="glitch+transition-extended model")
     p.add_argument("--pairs", action="store_true",
                    help="second-order (probe-pair) evaluation")
+    p.add_argument("--batch-probes", action="store_true",
+                   help="evaluate first-order classes AND probe pairs "
+                        "against one shared trace per chunk (mode 'both')")
     p.add_argument("--max-pairs", type=int, default=500)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (results are bit-identical "
+                        "to --workers 1)")
+    p.add_argument("--engine", default="compiled",
+                   choices=("compiled", "bitsliced"),
+                   help="simulation engine (results are bit-identical)")
     p.add_argument("--chunk-size", type=int, default=None,
                    help="simulations per chunk (default: one chunk)")
     p.add_argument("--checkpoint", default=None,

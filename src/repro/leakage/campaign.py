@@ -20,7 +20,15 @@ canonical sampling blocks:
 * wall-clock budgets and a decisive-margin early abort stop a run cleanly,
   flagging the partial report ``truncated:<reason>`` instead of losing it;
 * a ``MemoryError`` inside a chunk retries that chunk in halves instead of
-  aborting the campaign.
+  aborting the campaign;
+* with ``workers > 1`` each chunk's blocks are sharded across a
+  :class:`~repro.leakage.parallel.ParallelExecutor` process pool -- blocks
+  sample from private ``SeedSequence`` streams and table accumulation
+  commutes, so parallel results are bit-identical to serial ones and remain
+  compatible with the same checkpoints;
+* ``mode="both"`` evaluates first-order probe classes *and* probe pairs
+  against one shared simulation per block (shared-trace probe batching)
+  instead of simulating the campaign twice.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ import numpy as np
 from repro.errors import BudgetExceeded, CheckpointError, SimulationError
 from repro.leakage.evaluator import HistogramAccumulator, LeakageEvaluator
 from repro.leakage.gtest import DEFAULT_THRESHOLD
+from repro.leakage.parallel import ParallelExecutor
 from repro.leakage.report import LeakageReport
 
 #: Checkpoint format version; bumped on incompatible layout changes.
@@ -63,15 +72,22 @@ class CampaignConfig:
     on_budget: str = "truncate"
     #: stop as soon as some probe's -log10(p) reaches this decisive level.
     early_stop: Optional[float] = None
-    #: "first" (univariate) or "pairs" (bivariate) evaluation.
+    #: "first" (univariate), "pairs" (bivariate), or "both" (first-order and
+    #: pair probes batched against one shared simulation per block).
     mode: str = "first"
     max_pairs: Optional[int] = 500
     pair_seed: int = 1
     pair_offsets: Tuple[int, ...] = (0,)
+    #: worker processes per chunk; 1 runs in-process.
+    workers: int = 1
 
     def __post_init__(self) -> None:
-        if self.mode not in ("first", "pairs"):
-            raise SimulationError("campaign mode must be 'first' or 'pairs'")
+        if self.mode not in ("first", "pairs", "both"):
+            raise SimulationError(
+                "campaign mode must be 'first', 'pairs', or 'both'"
+            )
+        if self.workers < 1:
+            raise SimulationError("workers must be at least 1")
         if self.on_budget not in ("truncate", "raise"):
             raise SimulationError(
                 "on_budget must be 'truncate' or 'raise'"
@@ -113,9 +129,10 @@ class EvaluationCampaign:
         )
         self._pairs: List[Tuple[int, int]] = (
             evaluator.select_pairs(config.max_pairs, config.pair_seed)
-            if config.mode == "pairs"
+            if config.mode in ("pairs", "both")
             else []
         )
+        self._executor: Optional[ParallelExecutor] = None
 
     # ------------------------------------------------------------ fingerprint
 
@@ -123,8 +140,10 @@ class EvaluationCampaign:
         """Identity of the sampling process; checked on resume.
 
         Everything that changes the simulated stimulus or the table layout
-        is included; the chunk size is deliberately absent (resuming with a
-        different chunk size is sound because sampling is per-block).
+        is included; the chunk size and worker count are deliberately absent
+        (sampling is per-block and accumulation commutes, so resuming with a
+        different chunking or degree of parallelism is sound -- and
+        bit-identical).
         """
         ev = self.evaluator
         cfg = self.config
@@ -183,30 +202,40 @@ class EvaluationCampaign:
         started = time.monotonic()
         status = "complete"
         chunk_blocks = self._chunk_blocks()
-        while next_block < self.progress.blocks_total:
-            if cfg.time_budget is not None:
-                elapsed = time.monotonic() - started
-                if elapsed >= cfg.time_budget:
-                    if cfg.on_budget == "raise":
-                        raise BudgetExceeded(
-                            f"time budget of {cfg.time_budget:g}s exhausted "
-                            f"after {self.progress.blocks_done} of "
-                            f"{self.progress.blocks_total} blocks"
-                        )
-                    status = "truncated:time-budget"
-                    break
-            end = min(next_block + chunk_blocks, self.progress.blocks_total)
-            self._run_chunk_with_retry(next_block, end)
-            next_block = end
-            self.progress.blocks_done = next_block
-            self.progress.chunks_done += 1
-            if cfg.checkpoint:
-                self._save_checkpoint(cfg.checkpoint, next_block)
-            if cfg.early_stop is not None:
-                interim = self._report("interim")
-                if interim.max_mlog10p >= cfg.early_stop:
-                    status = "truncated:early-stop"
-                    break
+        if cfg.workers > 1:
+            self._executor = ParallelExecutor(self.evaluator, cfg.workers)
+        try:
+            while next_block < self.progress.blocks_total:
+                if cfg.time_budget is not None:
+                    elapsed = time.monotonic() - started
+                    if elapsed >= cfg.time_budget:
+                        if cfg.on_budget == "raise":
+                            raise BudgetExceeded(
+                                f"time budget of {cfg.time_budget:g}s "
+                                f"exhausted after "
+                                f"{self.progress.blocks_done} of "
+                                f"{self.progress.blocks_total} blocks"
+                            )
+                        status = "truncated:time-budget"
+                        break
+                end = min(
+                    next_block + chunk_blocks, self.progress.blocks_total
+                )
+                self._run_chunk_with_retry(next_block, end)
+                next_block = end
+                self.progress.blocks_done = next_block
+                self.progress.chunks_done += 1
+                if cfg.checkpoint:
+                    self._save_checkpoint(cfg.checkpoint, next_block)
+                if cfg.early_stop is not None:
+                    interim = self._report("interim")
+                    if interim.max_mlog10p >= cfg.early_stop:
+                        status = "truncated:early-stop"
+                        break
+        finally:
+            if self._executor is not None:
+                self._executor.close()
+                self._executor = None
         return self._report(status)
 
     def _run_chunk_with_retry(self, start: int, end: int) -> None:
@@ -229,24 +258,38 @@ class EvaluationCampaign:
             self._run_chunk_with_retry(start, middle)
             self._run_chunk_with_retry(middle, end)
 
-    def _accumulate(self, acc: HistogramAccumulator, blocks: range) -> None:
+    def _batch_spec(self) -> Dict[str, object]:
+        """classes/pairs arguments implied by the campaign mode."""
         cfg = self.config
         if cfg.mode == "pairs":
-            self.evaluator.accumulate_pairs(
+            return {"classes": (), "pairs": self._pairs}
+        if cfg.mode == "both":
+            return {"classes": None, "pairs": self._pairs}
+        return {"classes": None, "pairs": ()}
+
+    def _accumulate(self, acc: HistogramAccumulator, blocks: range) -> None:
+        cfg = self.config
+        spec = self._batch_spec()
+        if self._executor is not None:
+            self._executor.accumulate(
                 acc,
                 cfg.fixed_secret,
                 self._n_lanes,
                 cfg.n_windows,
-                self._pairs,
-                cfg.pair_offsets,
-                blocks=blocks,
+                blocks,
+                classes=spec["classes"],
+                pairs=spec["pairs"],
+                pair_offsets=cfg.pair_offsets,
             )
         else:
-            self.evaluator.accumulate_first_order(
+            self.evaluator.accumulate_batched(
                 acc,
                 cfg.fixed_secret,
                 self._n_lanes,
                 cfg.n_windows,
+                classes=spec["classes"],
+                pairs=spec["pairs"],
+                pair_offsets=cfg.pair_offsets,
                 blocks=blocks,
             )
 
@@ -259,6 +302,16 @@ class EvaluationCampaign:
         n_samples = lanes_done * cfg.n_windows
         if cfg.mode == "pairs":
             return self.evaluator.pairs_report(
+                self.accumulator,
+                cfg.fixed_secret,
+                n_samples,
+                self._pairs,
+                cfg.pair_offsets,
+                cfg.threshold,
+                status=status,
+            )
+        if cfg.mode == "both":
+            return self.evaluator.batched_report(
                 self.accumulator,
                 cfg.fixed_secret,
                 n_samples,

@@ -48,6 +48,7 @@ from repro.leakage.model import ProbingModel
 from repro.leakage.probes import ProbeClass, extract_probe_classes
 from repro.leakage.report import LeakageReport, ProbeResult
 from repro.leakage.traces import StimulusGenerator
+from repro.netlist.compile import CompiledSimulator
 from repro.netlist.simulate import BitslicedSimulator, Trace, unpack_lanes
 
 #: Lanes per sampling block (64 uint64 words).  The RNG stream of a block is
@@ -85,13 +86,26 @@ class HistogramAccumulator:
     def __init__(self) -> None:
         self._tables: Dict[str, Dict[int, List[int]]] = {}
 
+    #: largest observation key handled by the dense ``bincount`` fast path
+    #: in :meth:`add` (bucketed observations are < 2^hash_bits anyway).
+    _DENSE_KEY_LIMIT = 1 << 16
+
     def add(self, table_id: str, keys: np.ndarray, group: int) -> None:
         """Histogram ``keys`` into one table's column for ``group``."""
         if group not in (self.GROUP_FIXED, self.GROUP_RANDOM):
             raise SimulationError("group must be GROUP_FIXED or GROUP_RANDOM")
-        values, counts = np.unique(
-            np.asarray(keys, dtype=np.uint64), return_counts=True
-        )
+        keys = np.asarray(keys, dtype=np.uint64)
+        if keys.size == 0:
+            return
+        key_max = int(keys.max())
+        if key_max < self._DENSE_KEY_LIMIT:
+            # O(n) bincount instead of O(n log n) sort-based unique; both
+            # yield the same ascending (values, counts) pairs.
+            dense = np.bincount(keys.astype(np.int64))
+            values = np.nonzero(dense)[0].astype(np.uint64)
+            counts = dense[values.astype(np.int64)]
+        else:
+            values, counts = np.unique(keys, return_counts=True)
         table = self._tables.setdefault(table_id, {})
         for value, count in zip(values.tolist(), counts.tolist()):
             cell = table.get(value)
@@ -172,6 +186,7 @@ class LeakageEvaluator:
         hash_bits: int = 10,
         observation: str = "tuple",
         block_lanes: int = BLOCK_LANES,
+        engine: str = "compiled",
     ):
         if observation not in ("tuple", "hamming"):
             raise SimulationError(
@@ -181,12 +196,19 @@ class LeakageEvaluator:
             raise SimulationError(
                 "block_lanes must be a positive multiple of 64"
             )
+        if engine not in ("compiled", "bitsliced"):
+            raise SimulationError("engine must be 'compiled' or 'bitsliced'")
         self.dut = dut
         self.model = model
         self.seed = seed
         self.max_support_bits = max_support_bits
         self.hash_bits = hash_bits
         self.block_lanes = block_lanes
+        # Both engines are bit-identical (see tests/test_cross_engine.py);
+        # "compiled" executes the netlist as a flat gate program with one
+        # vectorized dispatch per cell type per level, "bitsliced" pays one
+        # Python dispatch per gate and exists as the reference.
+        self.engine = engine
         # "hamming" observes only the Hamming weight of the extended probe
         # (PROLEAD's compact power-model mode): a weaker adversary, useful
         # to gauge how visible a leak is to plain HW power models.
@@ -254,6 +276,12 @@ class LeakageEvaluator:
         )
         return np.random.default_rng(seq)
 
+    def _make_simulator(self, lane_count: int):
+        """Simulator instance for the configured engine."""
+        if self.engine == "compiled":
+            return CompiledSimulator(self.dut.netlist, lane_count)
+        return BitslicedSimulator(self.dut.netlist, lane_count)
+
     def _simulate_block(
         self,
         fixed_secret: int,
@@ -264,14 +292,14 @@ class LeakageEvaluator:
     ) -> Tuple[Trace, Trace]:
         """Simulate both groups for one sampling block."""
         generator = StimulusGenerator(self.dut, (lane_count + 63) // 64)
-        trace_fixed = BitslicedSimulator(self.dut.netlist, lane_count).run(
+        trace_fixed = self._make_simulator(lane_count).run(
             generator.fixed(
                 fixed_secret, self._block_rng(HistogramAccumulator.GROUP_FIXED, block)
             ),
             n_cycles,
             record_cycles=record_cycles,
         )
-        trace_random = BitslicedSimulator(self.dut.netlist, lane_count).run(
+        trace_random = self._make_simulator(lane_count).run(
             generator.random(
                 self._block_rng(HistogramAccumulator.GROUP_RANDOM, block)
             ),
@@ -287,8 +315,16 @@ class LeakageEvaluator:
         trace: Trace,
         probe_class: ProbeClass,
         eval_cycles: List[int],
+        bit_cache: Optional[Dict[Tuple[int, int], np.ndarray]] = None,
     ) -> np.ndarray:
-        """Integer-encode the probe observation per lane per window."""
+        """Integer-encode the probe observation per lane per window.
+
+        ``bit_cache`` (keyed by ``(cycle, net)``) shares the unpacked,
+        uint64-widened per-lane bits of a stable net across every probe
+        class that observes it -- probe supports overlap heavily, so batched
+        evaluation unpacks each recorded net once per block instead of once
+        per class.
+        """
         n_lanes = trace.n_lanes
         hamming = self.observation == "hamming"
         keys_per_window = []
@@ -298,11 +334,20 @@ class LeakageEvaluator:
             for back in probe_class.cycles_back:
                 cycle = t - back
                 for net in probe_class.support:
-                    bits = unpack_lanes(trace.words(cycle, net), n_lanes)
+                    wide = (
+                        None if bit_cache is None
+                        else bit_cache.get((cycle, net))
+                    )
+                    if wide is None:
+                        wide = unpack_lanes(
+                            trace.words(cycle, net), n_lanes
+                        ).astype(np.uint64)
+                        if bit_cache is not None:
+                            bit_cache[(cycle, net)] = wide
                     if hamming:
-                        key += bits
+                        key += wide
                     else:
-                        key |= bits.astype(np.uint64) << np.uint64(position)
+                        key |= wide << np.uint64(position)
                         position += 1
             keys_per_window.append(key)
         return np.concatenate(keys_per_window)
@@ -313,6 +358,120 @@ class LeakageEvaluator:
         if observation_bits > self.hash_bits:
             return _mix_hash(keys) >> np.uint64(64 - self.hash_bits)
         return keys
+
+    # ------------------------------------------------- shared-trace batching
+
+    def accumulate_batched(
+        self,
+        acc: HistogramAccumulator,
+        fixed_secret: int,
+        n_lanes: int,
+        n_windows: int,
+        classes: Optional[Sequence[ProbeClass]] = None,
+        pairs: Sequence[Tuple[int, int]] = (),
+        pair_offsets: Sequence[int] = (0,),
+        blocks: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Simulate each block **once** and fold every requested probe set.
+
+        This is the shared-trace batching primitive both
+        :meth:`accumulate_first_order` and :meth:`accumulate_pairs` delegate
+        to: per block both groups are simulated a single time, and all
+        first-order classes (table ids ``c<i>``, ``i`` indexing ``classes``)
+        plus all probe-pair tables (``p<i>:<j>:<delta>``, indices into the
+        evaluator's own probe classes) are evaluated against the same
+        recorded trace.  Raw per-class observation keys are computed once
+        per (class, offset) and reused across every pair that touches the
+        class -- previously each pair re-encoded both members.
+
+        ``classes=None`` selects every probe class; pass ``()`` for a
+        pairs-only run.  With ``pair_offsets=(0,)`` (or no pairs) the
+        observation schedule -- and therefore every sampled stimulus bit --
+        is identical to the dedicated first-order/pairs paths, so batched
+        tables are bit-identical to running the two modes separately.  A
+        non-zero offset lengthens the warm-up margin for the whole batch,
+        which shifts the first-order observation cycles relative to a
+        dedicated margin-0 run (same distribution, different samples).
+        """
+        classes = (
+            list(self.probe_classes) if classes is None else list(classes)
+        )
+        pairs = list(pairs)
+        if pairs:
+            offsets, eval_cycles, n_cycles, record_cycles = (
+                self._pair_schedule(n_windows, pair_offsets)
+            )
+        else:
+            offsets = []
+            eval_cycles, n_cycles = self._schedule(n_windows)
+            record_cycles = self._record_cycles(eval_cycles)
+        all_classes = self.probe_classes
+        if blocks is None:
+            blocks = range(self.block_count(n_lanes))
+        for block in blocks:
+            lane_count = self._block_lane_count(n_lanes, block)
+            trace_fixed, trace_random = self._simulate_block(
+                fixed_secret, lane_count, block, n_cycles, record_cycles
+            )
+            # Per-group memoization shared by every probe set this block:
+            # raw keys per (class, offset), unpacked bits per (cycle, net).
+            raw_fixed: Dict[Tuple[ProbeClass, int], np.ndarray] = {}
+            raw_random: Dict[Tuple[ProbeClass, int], np.ndarray] = {}
+            bits_fixed: Dict[Tuple[int, int], np.ndarray] = {}
+            bits_random: Dict[Tuple[int, int], np.ndarray] = {}
+
+            def raw(group_cache, bit_cache, trace, probe_class, delta):
+                key = (probe_class, delta)
+                if key not in group_cache:
+                    cycles = (
+                        [t - delta for t in eval_cycles]
+                        if delta
+                        else eval_cycles
+                    )
+                    group_cache[key] = self._raw_keys(
+                        trace, probe_class, cycles, bit_cache=bit_cache
+                    )
+                return group_cache[key]
+
+            for index, probe_class in enumerate(classes):
+                keys_fixed = self._bucket(
+                    raw(raw_fixed, bits_fixed, trace_fixed, probe_class, 0),
+                    probe_class.observation_bits,
+                )
+                keys_random = self._bucket(
+                    raw(raw_random, bits_random, trace_random, probe_class, 0),
+                    probe_class.observation_bits,
+                )
+                acc.add(f"c{index}", keys_fixed, HistogramAccumulator.GROUP_FIXED)
+                acc.add(f"c{index}", keys_random, HistogramAccumulator.GROUP_RANDOM)
+
+            for i, j in pairs:
+                bits_i = all_classes[i].observation_bits
+                bits_j = all_classes[j].observation_bits
+                for delta in offsets:
+                    keys_fixed = self._combine(
+                        raw(raw_fixed, bits_fixed, trace_fixed,
+                            all_classes[i], 0),
+                        raw(raw_fixed, bits_fixed, trace_fixed,
+                            all_classes[j], delta),
+                        bits_i,
+                        bits_j,
+                    )
+                    keys_random = self._combine(
+                        raw(raw_random, bits_random, trace_random,
+                            all_classes[i], 0),
+                        raw(raw_random, bits_random, trace_random,
+                            all_classes[j], delta),
+                        bits_i,
+                        bits_j,
+                    )
+                    table_id = f"p{i}:{j}:{delta}"
+                    acc.add(
+                        table_id, keys_fixed, HistogramAccumulator.GROUP_FIXED
+                    )
+                    acc.add(
+                        table_id, keys_random, HistogramAccumulator.GROUP_RANDOM
+                    )
 
     # ----------------------------------------------------------- first order
 
@@ -331,27 +490,15 @@ class LeakageEvaluator:
         evaluator's own probe classes by default).  ``blocks`` defaults to
         every block of the run; campaigns pass sub-ranges.
         """
-        classes = classes if classes is not None else self.probe_classes
-        eval_cycles, n_cycles = self._schedule(n_windows)
-        record_cycles = self._record_cycles(eval_cycles)
-        if blocks is None:
-            blocks = range(self.block_count(n_lanes))
-        for block in blocks:
-            lane_count = self._block_lane_count(n_lanes, block)
-            trace_fixed, trace_random = self._simulate_block(
-                fixed_secret, lane_count, block, n_cycles, record_cycles
-            )
-            for index, probe_class in enumerate(classes):
-                keys_fixed = self._bucket(
-                    self._raw_keys(trace_fixed, probe_class, eval_cycles),
-                    probe_class.observation_bits,
-                )
-                keys_random = self._bucket(
-                    self._raw_keys(trace_random, probe_class, eval_cycles),
-                    probe_class.observation_bits,
-                )
-                acc.add(f"c{index}", keys_fixed, HistogramAccumulator.GROUP_FIXED)
-                acc.add(f"c{index}", keys_random, HistogramAccumulator.GROUP_RANDOM)
+        self.accumulate_batched(
+            acc,
+            fixed_secret,
+            n_lanes,
+            n_windows,
+            classes=classes,
+            pairs=(),
+            blocks=blocks,
+        )
 
     def first_order_report(
         self,
@@ -453,52 +600,16 @@ class LeakageEvaluator:
         Table ids are ``p<i>:<j>:<delta>``; the second probe of a pair is
         placed ``delta`` cycles earlier than the first.
         """
-        offsets, eval_cycles, n_cycles, record_cycles = self._pair_schedule(
-            n_windows, pair_offsets
+        self.accumulate_batched(
+            acc,
+            fixed_secret,
+            n_lanes,
+            n_windows,
+            classes=(),
+            pairs=pairs,
+            pair_offsets=pair_offsets,
+            blocks=blocks,
         )
-        classes = self.probe_classes
-        if blocks is None:
-            blocks = range(self.block_count(n_lanes))
-        for block in blocks:
-            lane_count = self._block_lane_count(n_lanes, block)
-            trace_fixed, trace_random = self._simulate_block(
-                fixed_secret, lane_count, block, n_cycles, record_cycles
-            )
-            raw_fixed: Dict[Tuple[int, int], np.ndarray] = {}
-            raw_random: Dict[Tuple[int, int], np.ndarray] = {}
-
-            def raw(group_cache, trace, index, delta):
-                key = (index, delta)
-                if key not in group_cache:
-                    cycles = [t - delta for t in eval_cycles]
-                    group_cache[key] = self._raw_keys(
-                        trace, classes[index], cycles
-                    )
-                return group_cache[key]
-
-            for i, j in pairs:
-                bits_i = classes[i].observation_bits
-                bits_j = classes[j].observation_bits
-                for delta in offsets:
-                    keys_fixed = self._combine(
-                        raw(raw_fixed, trace_fixed, i, 0),
-                        raw(raw_fixed, trace_fixed, j, delta),
-                        bits_i,
-                        bits_j,
-                    )
-                    keys_random = self._combine(
-                        raw(raw_random, trace_random, i, 0),
-                        raw(raw_random, trace_random, j, delta),
-                        bits_i,
-                        bits_j,
-                    )
-                    table_id = f"p{i}:{j}:{delta}"
-                    acc.add(
-                        table_id, keys_fixed, HistogramAccumulator.GROUP_FIXED
-                    )
-                    acc.add(
-                        table_id, keys_random, HistogramAccumulator.GROUP_RANDOM
-                    )
 
     def pairs_report(
         self,
@@ -571,6 +682,29 @@ class LeakageEvaluator:
             pair_offsets,
             threshold,
         )
+
+    def batched_report(
+        self,
+        acc: HistogramAccumulator,
+        fixed_secret: int,
+        n_samples: int,
+        pairs: Sequence[Tuple[int, int]],
+        pair_offsets: Sequence[int] = (0,),
+        threshold: float = DEFAULT_THRESHOLD,
+        status: str = "complete",
+        classes: Optional[List[ProbeClass]] = None,
+    ) -> LeakageReport:
+        """Report over a batched accumulation: first-order then pair rows."""
+        report = self.first_order_report(
+            acc, fixed_secret, n_samples, threshold, classes=classes,
+            status=status,
+        )
+        pair_report = self.pairs_report(
+            acc, fixed_secret, n_samples, pairs, pair_offsets, threshold,
+            status=status,
+        )
+        report.results.extend(pair_report.results)
+        return report
 
     def _combine(
         self,

@@ -280,16 +280,24 @@ def run_self_check(
     model: ProbingModel = ProbingModel.GLITCH,
     faults: Optional[List[FaultSpec]] = None,
     chunk_size: Optional[int] = None,
+    workers: int = 1,
+    engine: str = "compiled",
 ) -> SelfCheckMatrix:
     """Evaluate every fault spec and return the coverage matrix.
 
     Leaky specs run as early-stopping campaigns (a decisive -log10(p) ends
     the run), so the matrix costs little more than the one clean design
     that must run its full sample budget.
+
+    With ``workers > 1`` every campaign runs through the parallel executor,
+    so the coverage matrix validates the whole worker/merge path, not just
+    the serial evaluator; verdicts are bit-identical either way.
     """
     matrix = SelfCheckMatrix(threshold=threshold)
     for spec in faults if faults is not None else builtin_faults():
-        evaluator = LeakageEvaluator(spec.build(), model=model, seed=seed)
+        evaluator = LeakageEvaluator(
+            spec.build(), model=model, seed=seed, engine=engine
+        )
         config = CampaignConfig(
             n_simulations=n_simulations,
             threshold=threshold,
@@ -297,6 +305,7 @@ def run_self_check(
             # chunks smaller than the full run to actually stop early.
             chunk_size=chunk_size if chunk_size is not None else 8192,
             early_stop=DECISIVE_MLOG10P if spec.expect_leak else None,
+            workers=workers,
         )
         report = EvaluationCampaign(evaluator, config).run()
         matrix.outcomes.append(

@@ -33,6 +33,8 @@ Stimulus = Callable[[int], Mapping[int, np.ndarray]]
 def pack_lanes(bits: np.ndarray) -> np.ndarray:
     """Pack a per-lane bit array (0/1) into uint64 words, LSB-first."""
     bits = np.asarray(bits, dtype=np.uint8)
+    if bits.size == 0:
+        raise SimulationError("pack_lanes requires at least one lane")
     padded_len = ((bits.size + 63) // 64) * 64
     padded = np.zeros(padded_len, dtype=np.uint8)
     padded[: bits.size] = bits
@@ -42,6 +44,8 @@ def pack_lanes(bits: np.ndarray) -> np.ndarray:
 
 def unpack_lanes(words: np.ndarray, n_lanes: int) -> np.ndarray:
     """Unpack uint64 words into a per-lane uint8 bit array of length n_lanes."""
+    if n_lanes <= 0:
+        raise SimulationError("n_lanes must be positive")
     as_bytes = np.ascontiguousarray(words).view(np.uint8)
     bits = np.unpackbits(as_bytes, bitorder="little")
     return bits[:n_lanes]
@@ -49,6 +53,8 @@ def unpack_lanes(words: np.ndarray, n_lanes: int) -> np.ndarray:
 
 def words_for_lanes(n_lanes: int) -> int:
     """Number of uint64 words needed to hold ``n_lanes`` lanes."""
+    if n_lanes <= 0:
+        raise SimulationError("n_lanes must be positive")
     return (n_lanes + 63) // 64
 
 

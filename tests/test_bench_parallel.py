@@ -1,0 +1,44 @@
+"""Tests for the serial-vs-parallel benchmark script."""
+
+import json
+
+from benchmarks.bench_parallel import main
+
+
+class TestBenchParallel:
+    def test_writes_record_and_exits_zero(self, tmp_path):
+        out = tmp_path / "BENCH_parallel.json"
+        code = main(
+            [
+                "--design", "kronecker",
+                "--scheme", "eq6",
+                "--simulations", "10000",
+                "--workers", "2",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        record = json.loads(out.read_text())
+        assert record["bit_identical"] is True
+        assert record["serial_seconds"] > 0
+        assert record["parallel_seconds"] > 0
+        assert record["serial_sims_per_second"] > 0
+        assert record["workers"] == 2
+        assert set(record["engine_seconds"]) == {"bitsliced", "compiled"}
+
+    def test_unreachable_speedup_exits_two(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_parallel.json"
+        code = main(
+            [
+                "--design", "kronecker",
+                "--scheme", "eq6",
+                "--simulations", "10000",
+                "--workers", "1",
+                "--require-speedup", "1000",
+                "--out", str(out),
+            ]
+        )
+        assert code == 2
+        assert "below required" in capsys.readouterr().err
+        # the record is still written for post-mortem inspection.
+        assert json.loads(out.read_text())["bit_identical"] is True

@@ -218,6 +218,58 @@ class TestCampaign:
         assert main(args + ["--resume"]) == 1
         assert "resumed from block 5" in capsys.readouterr().out
 
+    def test_workers_flag_identical_json(self, capsys):
+        import json
+
+        args = [
+            "campaign",
+            "--scheme", "eq6",
+            "--simulations", "20000",
+            "--chunk-size", "8192",
+            "--json",
+        ]
+        assert main(args + ["--workers", "1"]) == 1
+        serial = json.loads(capsys.readouterr().out)
+        assert main(args + ["--workers", "2"]) == 1
+        parallel = json.loads(capsys.readouterr().out)
+        assert serial == parallel
+
+    def test_batch_probes_flag(self, capsys):
+        import json
+
+        code = main(
+            [
+                "campaign",
+                "--scheme", "eq6",
+                "--simulations", "10000",
+                "--batch-probes",
+                "--max-pairs", "10",
+                "--top", "500",
+                "--json",
+            ]
+        )
+        assert code == 1
+        data = json.loads(capsys.readouterr().out)
+        names = [r["probe_names"] for r in data["results"]]
+        # both first-order classes and probe pairs in one report
+        assert any(" x " not in n for n in names)
+        assert any(" x " in n for n in names)
+
+    def test_engine_flag_identical_json(self, capsys):
+        import json
+
+        args = [
+            "evaluate",
+            "--scheme", "eq6",
+            "--simulations", "10000",
+            "--json",
+        ]
+        assert main(args + ["--engine", "compiled"]) == 1
+        compiled = json.loads(capsys.readouterr().out)
+        assert main(args + ["--engine", "bitsliced"]) == 1
+        bitsliced = json.loads(capsys.readouterr().out)
+        assert compiled == bitsliced
+
     def test_self_check_matrix(self, capsys):
         code = main(
             ["campaign", "--self-check", "--simulations", "20000"]

@@ -239,20 +239,19 @@ class TestBudgetsAndEarlyStop:
     ):
         evaluator = _evaluator(kronecker_full)
         single = _evaluator(kronecker_full).evaluate(n_simulations=N_SIMS)
-        original = LeakageEvaluator.accumulate_first_order
+        original = LeakageEvaluator.accumulate_batched
         failed = []
 
-        def flaky(self, acc, fixed_secret, n_lanes, n_windows, blocks=None, classes=None):
-            blocks = list(blocks)
+        def flaky(self, acc, fixed_secret, n_lanes, n_windows, **kwargs):
+            blocks = list(kwargs.get("blocks") or [])
             if len(blocks) > 1 and not failed:
                 failed.append(blocks)
                 raise MemoryError("simulated allocation failure")
             return original(
-                self, acc, fixed_secret, n_lanes, n_windows,
-                blocks=blocks, classes=classes,
+                self, acc, fixed_secret, n_lanes, n_windows, **kwargs
             )
 
-        monkeypatch.setattr(LeakageEvaluator, "accumulate_first_order", flaky)
+        monkeypatch.setattr(LeakageEvaluator, "accumulate_batched", flaky)
         campaign = EvaluationCampaign(
             evaluator, CampaignConfig(n_simulations=N_SIMS)
         )

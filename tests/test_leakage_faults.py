@@ -71,6 +71,40 @@ class TestSelfCheck:
         assert "COVERAGE COMPLETE" in table
         assert "stuck-mask" in table
 
+    def test_parallel_path_matches_serial(self):
+        """The coverage matrix through workers=2 must equal the serial one
+        verdict for verdict AND statistic for statistic -- this is the
+        self-check validating the executor, not just the evaluator."""
+        specs = {spec.name: spec for spec in builtin_faults()}
+        subset = [specs["clean-full"], specs["control-eq6"]]
+        serial = run_self_check(
+            n_simulations=N_SIMS, seed=0, faults=subset, workers=1
+        )
+        parallel = run_self_check(
+            n_simulations=N_SIMS, seed=0, faults=subset, workers=2
+        )
+        assert parallel.coverage_complete, parallel.format_table()
+        for a, b in zip(serial.outcomes, parallel.outcomes):
+            assert a.name == b.name
+            assert a.detected_leak == b.detected_leak
+            assert a.max_mlog10p == b.max_mlog10p
+            assert a.n_simulations == b.n_simulations
+            assert a.status == b.status
+
+    def test_engines_agree_on_verdicts(self):
+        specs = {spec.name: spec for spec in builtin_faults()}
+        subset = [specs["control-eq6"]]
+        compiled = run_self_check(
+            n_simulations=N_SIMS, seed=0, faults=subset, engine="compiled"
+        )
+        bitsliced = run_self_check(
+            n_simulations=N_SIMS, seed=0, faults=subset, engine="bitsliced"
+        )
+        assert (
+            compiled.outcomes[0].max_mlog10p
+            == bitsliced.outcomes[0].max_mlog10p
+        )
+
     def test_undetectable_expectation_is_reported_as_miss(self):
         """A spec expecting a leak from the clean design must be a MISS."""
         specs = {spec.name: spec for spec in builtin_faults()}

@@ -1,0 +1,208 @@
+"""Tests for the multiprocessing campaign executor.
+
+The load-bearing property is bit-identity: any worker count, any shard
+boundaries, and any kill/resume point must reproduce the serial campaign's
+per-probe contingency tables (and therefore G statistics and -log10(p))
+exactly, because every sampling block draws from a private RNG stream and
+table accumulation commutes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SimulationError
+from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
+from repro.leakage.evaluator import HistogramAccumulator, LeakageEvaluator
+from repro.leakage.model import ProbingModel
+from repro.leakage.parallel import (
+    ParallelExecutor,
+    default_workers,
+    shard_blocks,
+)
+
+N_SIMS = 20_000
+
+
+def _evaluator(design, seed=7, engine="compiled"):
+    return LeakageEvaluator(
+        design.dut, ProbingModel.GLITCH, seed=seed, engine=engine
+    )
+
+
+def _assert_identical(report_a, report_b):
+    assert len(report_a.results) == len(report_b.results)
+    for a, b in zip(report_a.results, report_b.results):
+        assert a.probe_names == b.probe_names
+        assert a.g_statistic == b.g_statistic
+        assert a.dof == b.dof
+        assert a.mlog10p == b.mlog10p
+
+
+def _assert_tables_identical(acc_a, acc_b):
+    assert sorted(acc_a.table_ids()) == sorted(acc_b.table_ids())
+    for table_id in acc_a.table_ids():
+        keys_a, fixed_a, random_a = acc_a.counts(table_id)
+        keys_b, fixed_b, random_b = acc_b.counts(table_id)
+        assert np.array_equal(keys_a, keys_b)
+        assert np.array_equal(fixed_a, fixed_b)
+        assert np.array_equal(random_a, random_b)
+
+
+class TestShardBlocks:
+    @given(
+        st.lists(st.integers(0, 10_000), max_size=60, unique=True),
+        st.integers(1, 12),
+    )
+    def test_partition_properties(self, blocks, n_shards):
+        shards = shard_blocks(blocks, n_shards)
+        # Every block exactly once, order preserved.
+        assert [b for shard in shards for b in shard] == blocks
+        assert all(shard for shard in shards)
+        assert len(shards) == min(n_shards, len(blocks))
+        if shards:
+            sizes = [len(s) for s in shards]
+            assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_blocks(self):
+        assert shard_blocks([], 4) == []
+
+    def test_invalid_shard_count(self):
+        with pytest.raises(SimulationError):
+            shard_blocks([0, 1], 0)
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestWorkerIdentity:
+    def _campaign(self, design, workers, mode="first", **kwargs):
+        config = CampaignConfig(
+            n_simulations=N_SIMS,
+            chunk_size=8_192,
+            workers=workers,
+            mode=mode,
+            max_pairs=15,
+            **kwargs,
+        )
+        campaign = EvaluationCampaign(_evaluator(design), config)
+        report = campaign.run()
+        return campaign, report
+
+    def test_workers4_bit_identical_to_serial(self, kronecker_eq6):
+        serial, report_1 = self._campaign(kronecker_eq6, workers=1)
+        parallel, report_4 = self._campaign(kronecker_eq6, workers=4)
+        _assert_identical(report_1, report_4)
+        _assert_tables_identical(serial.accumulator, parallel.accumulator)
+
+    def test_pairs_mode_parallel_identity(self, kronecker_full):
+        serial, report_1 = self._campaign(
+            kronecker_full, workers=1, mode="pairs"
+        )
+        parallel, report_2 = self._campaign(
+            kronecker_full, workers=2, mode="pairs"
+        )
+        _assert_identical(report_1, report_2)
+        _assert_tables_identical(serial.accumulator, parallel.accumulator)
+
+    def test_both_mode_parallel_identity(self, kronecker_eq6):
+        serial, report_1 = self._campaign(
+            kronecker_eq6, workers=1, mode="both"
+        )
+        parallel, report_2 = self._campaign(
+            kronecker_eq6, workers=2, mode="both"
+        )
+        _assert_identical(report_1, report_2)
+        _assert_tables_identical(serial.accumulator, parallel.accumulator)
+
+    def test_kill_and_resume_parallel(self, kronecker_eq6, tmp_path):
+        """A serial partial checkpoint resumes under workers=4, and the
+        other way around, both bit-identical to one uninterrupted run."""
+        path = str(tmp_path / "ck.npz")
+        partial = EvaluationCampaign(
+            _evaluator(kronecker_eq6),
+            CampaignConfig(
+                n_simulations=N_SIMS, chunk_size=4_096, checkpoint=path
+            ),
+        )
+        partial.progress.blocks_total = partial._blocks_total()
+        partial._run_chunk_with_retry(0, 2)
+        partial.progress.blocks_done = 2
+        partial._save_checkpoint(path, 2)
+
+        resumed = EvaluationCampaign(
+            _evaluator(kronecker_eq6),
+            CampaignConfig(
+                n_simulations=N_SIMS,
+                chunk_size=8_192,
+                checkpoint=path,
+                workers=4,
+            ),
+        )
+        report = resumed.run(resume=True)
+        assert resumed.progress.resumed_from_block == 2
+        assert report.status == "complete"
+        single = _evaluator(kronecker_eq6).evaluate(n_simulations=N_SIMS)
+        _assert_identical(single, report)
+
+    def test_fingerprint_ignores_worker_count(self, kronecker_eq6, tmp_path):
+        """workers is an execution detail: a checkpoint written under one
+        worker count resumes under any other."""
+        path = str(tmp_path / "ck.npz")
+        a = EvaluationCampaign(
+            _evaluator(kronecker_eq6),
+            CampaignConfig(n_simulations=N_SIMS, workers=1, checkpoint=path),
+        )
+        b = EvaluationCampaign(
+            _evaluator(kronecker_eq6),
+            CampaignConfig(n_simulations=N_SIMS, workers=4, checkpoint=path),
+        )
+        assert a.fingerprint() == b.fingerprint()
+
+
+class TestExecutorDirect:
+    def test_executor_matches_in_process(self, kronecker_eq6):
+        evaluator = _evaluator(kronecker_eq6)
+        blocks = list(range(3))
+        serial = HistogramAccumulator()
+        evaluator.accumulate_batched(serial, 0, N_SIMS, 1, blocks=blocks)
+        parallel = HistogramAccumulator()
+        with ParallelExecutor(evaluator, workers=3) as executor:
+            executor.accumulate(parallel, 0, N_SIMS, 1, blocks)
+        _assert_tables_identical(serial, parallel)
+
+    def test_empty_blocks_no_op(self, kronecker_eq6):
+        acc = HistogramAccumulator()
+        with ParallelExecutor(_evaluator(kronecker_eq6), workers=2) as ex:
+            ex.accumulate(acc, 0, N_SIMS, 1, [])
+        assert acc.table_ids() == []
+
+    def test_invalid_worker_count(self, kronecker_eq6):
+        with pytest.raises(SimulationError):
+            ParallelExecutor(_evaluator(kronecker_eq6), workers=0)
+
+    def test_serial_fallback_warns_and_matches(
+        self, kronecker_eq6, monkeypatch
+    ):
+        """When the pool cannot start, the executor must warn and still
+        produce the exact serial tables in-process."""
+        import repro.leakage.parallel as parallel_mod
+
+        def broken_pool(*args, **kwargs):
+            raise OSError("sem_open blocked")
+
+        monkeypatch.setattr(
+            parallel_mod, "ProcessPoolExecutor", broken_pool
+        )
+        evaluator = _evaluator(kronecker_eq6)
+        blocks = list(range(3))
+        reference = HistogramAccumulator()
+        evaluator.accumulate_batched(reference, 0, N_SIMS, 1, blocks=blocks)
+        acc = HistogramAccumulator()
+        with ParallelExecutor(evaluator, workers=4) as executor:
+            with pytest.warns(RuntimeWarning, match="multiprocessing"):
+                executor.accumulate(acc, 0, N_SIMS, 1, blocks)
+            assert executor._serial_fallback
+            # Subsequent chunks stay in-process without further warnings.
+            executor.accumulate(acc, 0, N_SIMS, 1, [])
+        _assert_tables_identical(reference, acc)

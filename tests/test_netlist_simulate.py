@@ -35,6 +35,51 @@ class TestPacking:
         words = pack_lanes(np.array([1, 0, 0, 0], dtype=np.uint8))
         assert int(words[0]) == 1
 
+    @given(st.integers(1, 4096))
+    def test_words_for_lanes_matches_pack_width(self, n_lanes):
+        words = pack_lanes(np.zeros(n_lanes, dtype=np.uint8))
+        assert words.size == words_for_lanes(n_lanes)
+
+    @given(st.integers(1, 300))
+    def test_all_ones_roundtrip(self, n_lanes):
+        bits = np.ones(n_lanes, dtype=np.uint8)
+        words = pack_lanes(bits)
+        # Padding lanes beyond n_lanes must stay zero in the packed words.
+        total = sum(int(w).bit_count() for w in words)
+        assert total == n_lanes
+        assert unpack_lanes(words, n_lanes).tolist() == bits.tolist()
+
+    def test_non_multiple_of_64_lane_counts(self):
+        for n_lanes in (1, 63, 65, 127, 129, 1000):
+            rng = np.random.default_rng(n_lanes)
+            bits = rng.integers(0, 2, size=n_lanes, dtype=np.uint8)
+            words = pack_lanes(bits)
+            assert words.size == words_for_lanes(n_lanes)
+            assert unpack_lanes(words, n_lanes).tolist() == bits.tolist()
+
+    def test_single_lane(self):
+        for bit in (0, 1):
+            words = pack_lanes(np.array([bit], dtype=np.uint8))
+            assert words.size == 1
+            assert int(words[0]) == bit
+            assert unpack_lanes(words, 1).tolist() == [bit]
+
+    @given(st.integers(1, 200), st.integers(0, 2**32 - 1))
+    def test_unpack_pack_word_roundtrip(self, n_lanes, seed):
+        rng = np.random.default_rng(seed)
+        bits = rng.integers(0, 2, size=n_lanes, dtype=np.uint8)
+        words = pack_lanes(bits)
+        assert np.array_equal(pack_lanes(unpack_lanes(words, n_lanes)), words)
+
+    def test_nonpositive_lanes_raise(self):
+        for bad in (0, -1, -64):
+            with pytest.raises(SimulationError):
+                words_for_lanes(bad)
+            with pytest.raises(SimulationError):
+                unpack_lanes(np.zeros(1, dtype=np.uint64), bad)
+        with pytest.raises(SimulationError):
+            pack_lanes(np.empty(0, dtype=np.uint8))
+
 
 class TestScalarSimulator:
     def test_register_delays_one_cycle(self):
