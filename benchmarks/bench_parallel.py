@@ -56,7 +56,7 @@ def _run_campaign(dut, args, workers: int, engine: str):
     start = time.perf_counter()
     report = campaign.run()
     elapsed = time.perf_counter() - start
-    return report, elapsed
+    return report, elapsed, campaign.effective_workers
 
 
 def _signature(report):
@@ -104,12 +104,15 @@ def main(argv=None) -> int:
         print(f"  engine {engine:<10} {engines[engine]:8.2f}s "
               f"({engine_budget} sims)")
 
-    serial_report, serial_s = _run_campaign(dut, args, 1, "compiled")
+    serial_report, serial_s, _ = _run_campaign(dut, args, 1, "compiled")
     print(f"  serial   (workers=1)            {serial_s:8.2f}s")
-    parallel_report, parallel_s = _run_campaign(
+    parallel_report, parallel_s, effective = _run_campaign(
         dut, args, args.workers, "compiled"
     )
-    print(f"  parallel (workers={args.workers})            {parallel_s:8.2f}s")
+    print(
+        f"  parallel (workers={args.workers}, effective={effective})"
+        f"            {parallel_s:8.2f}s"
+    )
 
     identical = _signature(serial_report) == _signature(parallel_report)
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
@@ -119,6 +122,7 @@ def main(argv=None) -> int:
         "scheme": args.scheme,
         "n_simulations": args.simulations,
         "workers": args.workers,
+        "effective_workers": effective,
         "cpu_count": os.cpu_count(),
         "seed": args.seed,
         "engine_seconds": {

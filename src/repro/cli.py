@@ -12,6 +12,9 @@ Commands mirror the paper's workflow:
 * ``report``   -- architecture/area report of a design.
 * ``verilog``  -- export a design as structural Verilog.
 * ``encrypt``  -- masked AES-128 encryption of a block (value level).
+* ``serve``    -- long-lived evaluation service (HTTP JSON API, job queue,
+  content-addressed verdict cache, structured telemetry).
+* ``submit``   -- submit a job to a running service and await its verdict.
 
 Exit codes: 0 -- clean and complete; 1 -- leakage detected; 2 -- error or
 infeasible analysis; 3 -- truncated before completion without a leak
@@ -21,20 +24,14 @@ infeasible analysis; 3 -- truncated before completion without a leak
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
 from typing import Optional, Sequence
 
 from repro.aes.cipher import aes128_encrypt_block
 from repro.core.aes_masked import MaskedAes128
-from repro.core.kronecker import build_kronecker_delta
-from repro.core.optimizations import (
-    FIRST_ORDER_SCHEMES,
-    RandomnessScheme,
-    SecondOrderScheme,
-)
-from repro.core.sbox import build_masked_sbox
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceError
 from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
 from repro.leakage.evaluator import LeakageEvaluator
 from repro.leakage.faults import run_self_check
@@ -43,54 +40,25 @@ from repro.leakage.model import ProbingModel
 from repro.leakage.sni import SniChecker, dom_and_gadget
 from repro.netlist.stats import netlist_stats
 from repro.netlist.verilog import to_verilog
-
-_SCHEMES = {scheme.value: scheme for scheme in FIRST_ORDER_SCHEMES}
-_SCHEMES.update(
-    {scheme.value: scheme for scheme in SecondOrderScheme}
-)
-_SHORTCUTS = {
-    "full": RandomnessScheme.FULL,
-    "eq6": RandomnessScheme.DEMEYER_EQ6,
-    "eq9": RandomnessScheme.PROPOSED_EQ9,
-}
+from repro.service.runner import DESIGNS, build_design, resolve_scheme
 
 
 def _scheme(name: str):
-    if name in _SHORTCUTS:
-        return _SHORTCUTS[name]
-    if name in _SCHEMES:
-        return _SCHEMES[name]
-    raise SystemExit(
-        f"unknown scheme {name!r}; choose from "
-        f"{sorted(_SHORTCUTS) + sorted(_SCHEMES)}"
-    )
+    try:
+        return resolve_scheme(name)
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
 
 
-_DESIGNS = ["kronecker", "sbox", "sbox2", "sbox-nokronecker"]
+_DESIGNS = list(DESIGNS)
 
 
 def _build(design: str, scheme_name: str):
-    scheme = _scheme(scheme_name)
-    if design == "kronecker":
-        order = 2 if isinstance(scheme, SecondOrderScheme) else 1
-        built = build_kronecker_delta(scheme, order=order)
-        return built.dut, built.netlist
-    if design == "sbox":
-        if not isinstance(scheme, RandomnessScheme):
-            raise SystemExit("the S-box needs a first-order scheme")
-        built = build_masked_sbox(scheme)
-        return built.dut, built.netlist
-    if design == "sbox2":
-        from repro.core.sbox2 import build_masked_sbox_second_order
-
-        if not isinstance(scheme, SecondOrderScheme):
-            scheme = SecondOrderScheme.FULL_21
-        built = build_masked_sbox_second_order(scheme)
-        return built.dut, built.netlist
-    if design == "sbox-nokronecker":
-        built = build_masked_sbox(include_kronecker=False)
-        return built.dut, built.netlist
-    raise SystemExit(f"unknown design {design!r}")
+    try:
+        built = build_design(design, scheme_name)
+    except ServiceError as exc:
+        raise SystemExit(str(exc))
+    return built.dut, built.netlist
 
 
 def cmd_evaluate(args) -> int:
@@ -137,9 +105,7 @@ def cmd_campaign(args) -> int:
             engine=args.engine,
         )
         if args.json:
-            import json as _json
-
-            print(_json.dumps(matrix.to_dict(), indent=2))
+            print(json.dumps(matrix.to_dict(), indent=2))
         else:
             print(matrix.format_table())
         return 0 if matrix.coverage_complete else 2
@@ -225,6 +191,131 @@ def cmd_verilog(args) -> int:
     else:
         print(text)
     return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the evaluation service until interrupted."""
+    from repro.service import EvaluationService
+
+    service = EvaluationService(
+        state_dir=args.state_dir,
+        host=args.host,
+        port=args.port,
+        runner_threads=args.runner_threads,
+        queue_limit=args.queue_limit,
+        telemetry_path=args.telemetry,
+    )
+    print(f"evaluation service listening on {service.address}")
+    print(f"  state dir: {service.store.root}")
+    print(f"  telemetry: {service.telemetry.path}")
+    sys.stdout.flush()
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        print("shutting down (running jobs return to the queue)...")
+        service.stop()
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """Submit a job to a running service; exit codes mirror ``campaign``."""
+    import urllib.error
+    import urllib.request
+
+    if args.batch_probes:
+        mode = "both"
+    elif args.pairs:
+        mode = "pairs"
+    else:
+        mode = "first"
+    spec = {
+        "design": args.design,
+        "scheme": args.scheme,
+        "model": "glitch-transition" if args.transitions else "glitch",
+        "n_simulations": args.simulations,
+        "n_windows": args.windows,
+        "fixed_secret": args.fixed,
+        "mode": mode,
+        "max_pairs": args.max_pairs,
+        "seed": args.seed,
+        "engine": args.engine,
+        "workers": args.workers,
+    }
+    base = args.url.rstrip("/")
+
+    def _request(url, data=None):
+        request = urllib.request.Request(
+            url,
+            data=data,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=args.timeout + 30) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach service at {base}: {exc.reason}")
+
+    status, body = _request(f"{base}/jobs", json.dumps(spec).encode())
+    if status not in (200, 201):
+        print(f"error: submission failed ({status}): {body.decode()}",
+              file=sys.stderr)
+        return 2
+    record = json.loads(body)
+    job_id = record["job_id"]
+    print(
+        f"job {job_id}: {record['state']}"
+        + (" (verdict cache hit)" if record.get("cached") else "")
+        + (" (deduplicated against in-flight job)"
+           if record.get("deduplicated") else "")
+    )
+    import time as _time
+
+    deadline = _time.monotonic() + args.timeout
+    while record["state"] not in ("done", "failed", "cancelled"):
+        remaining = deadline - _time.monotonic()
+        if remaining <= 0:
+            print(
+                f"error: job {job_id} still {record['state']} after "
+                f"{args.timeout:g}s; it keeps running server-side",
+                file=sys.stderr,
+            )
+            return 2
+        status, body = _request(
+            f"{base}/jobs/{job_id}?wait={min(remaining, 60):g}"
+        )
+        if status != 200:
+            print(f"error: poll failed ({status}): {body.decode()}",
+                  file=sys.stderr)
+            return 2
+        record = json.loads(body)
+        progress = record.get("progress")
+        if progress and record["state"] == "running":
+            print(
+                f"  running: {progress['blocks_done']}/"
+                f"{progress['blocks_total']} blocks"
+            )
+    if record["state"] != "done":
+        print(f"error: job {record['state']}: {record.get('error')}",
+              file=sys.stderr)
+        return 2
+    status, body = _request(f"{base}/jobs/{job_id}/report")
+    if status != 200:
+        print(f"error: report fetch failed ({status})", file=sys.stderr)
+        return 2
+    if args.json:
+        sys.stdout.write(body.decode("utf-8"))
+    else:
+        report = json.loads(body)
+        verdict = "PASS" if report["passed"] else "FAIL (leakage)"
+        if report["status"] != "complete" and report["passed"]:
+            verdict = "INCONCLUSIVE (truncated)"
+        print(f"  design:  {report['design']}")
+        print(f"  status:  {report['status']}")
+        print(f"  max -log10(p): {report['max_mlog10p']:.2f}")
+        print(f"  verdict: {verdict}")
+    return record["result"]["exit_code"]
 
 
 def cmd_encrypt(args) -> int:
@@ -334,6 +425,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scheme", default="full")
     p.add_argument("--output", default=None)
     p.set_defaults(func=cmd_verilog)
+
+    p = sub.add_parser(
+        "serve", help="run the evaluation service (HTTP JSON API)"
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8321,
+                   help="TCP port (0 picks an ephemeral port)")
+    p.add_argument("--state-dir", default="service-state",
+                   help="directory for job records, verdict cache, "
+                        "checkpoints, and telemetry")
+    p.add_argument("--runner-threads", type=int, default=1,
+                   help="concurrent jobs (each may use its own workers)")
+    p.add_argument("--queue-limit", type=int, default=256,
+                   help="submissions rejected with 429 beyond this depth")
+    p.add_argument("--telemetry", default=None,
+                   help="JSON-lines event log path "
+                        "(default: <state-dir>/telemetry.jsonl)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "submit", help="submit a job to a running evaluation service"
+    )
+    p.add_argument("--url", default="http://127.0.0.1:8321",
+                   help="service base URL")
+    p.add_argument("--design", default="kronecker", choices=_DESIGNS)
+    p.add_argument("--scheme", default="full")
+    p.add_argument("--fixed", type=lambda v: int(v, 0), default=0)
+    p.add_argument("--simulations", type=int, default=100_000)
+    p.add_argument("--windows", type=int, default=1)
+    p.add_argument("--transitions", action="store_true",
+                   help="glitch+transition-extended model")
+    p.add_argument("--pairs", action="store_true",
+                   help="second-order (probe-pair) evaluation")
+    p.add_argument("--batch-probes", action="store_true",
+                   help="first-order classes AND probe pairs (mode 'both')")
+    p.add_argument("--max-pairs", type=int, default=500)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--engine", default="compiled",
+                   choices=("compiled", "bitsliced"))
+    p.add_argument("--timeout", type=float, default=600,
+                   help="seconds to wait for the verdict")
+    p.add_argument("--json", action="store_true",
+                   help="print the full report JSON (byte-exact wire form)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("encrypt", help="masked AES-128 encryption")
     p.add_argument("--key", required=True, help="16-byte key, hex")

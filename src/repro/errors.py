@@ -36,6 +36,14 @@ class CheckpointError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """Evaluation-service failure (bad job spec, full queue, corrupt store).
+
+    The HTTP layer maps subclasses/messages to status codes; the CLI maps
+    them to exit code 2 like every other :class:`ReproError`.
+    """
+
+
 class BudgetExceeded(ReproError):
     """A campaign exhausted its wall-clock or memory budget in strict mode.
 

@@ -38,14 +38,14 @@ import os
 import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import BudgetExceeded, CheckpointError, SimulationError
 from repro.leakage.evaluator import HistogramAccumulator, LeakageEvaluator
 from repro.leakage.gtest import DEFAULT_THRESHOLD
-from repro.leakage.parallel import ParallelExecutor
+from repro.leakage.parallel import ParallelExecutor, effective_workers
 from repro.leakage.report import LeakageReport
 
 #: Checkpoint format version; bumped on incompatible layout changes.
@@ -117,13 +117,37 @@ class CampaignProgress:
 
 
 class EvaluationCampaign:
-    """Drives a :class:`LeakageEvaluator` chunk by chunk."""
+    """Drives a :class:`LeakageEvaluator` chunk by chunk.
 
-    def __init__(self, evaluator: LeakageEvaluator, config: CampaignConfig):
+    ``hook`` is an optional ``hook(event: str, payload: dict)`` telemetry
+    callback invoked on "campaign_start", "chunk_done", "checkpoint_saved",
+    and "campaign_end" (plus the pool events forwarded from
+    :class:`ParallelExecutor`); it observes progress only and must not
+    raise.  ``should_stop`` is an optional zero-argument callable polled at
+    chunk boundaries; once it returns true the campaign stops cleanly with
+    status ``truncated:cancelled`` -- this is how the evaluation service
+    implements job cancellation and graceful shutdown without killing the
+    process.
+    """
+
+    def __init__(
+        self,
+        evaluator: LeakageEvaluator,
+        config: CampaignConfig,
+        hook: Optional[Callable[[str, Dict], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ):
         self.evaluator = evaluator
         self.config = config
+        self.hook = hook
+        self.should_stop = should_stop
         self.accumulator = HistogramAccumulator()
         self.progress = CampaignProgress()
+        #: worker pool size actually used: the requested count capped at
+        #: the visible CPU count (oversubscription is counterproductive).
+        self.effective_workers = (
+            effective_workers(config.workers) if config.workers > 1 else 1
+        )
         self._n_lanes = evaluator.n_lanes_for(
             config.n_simulations, config.n_windows
         )
@@ -133,6 +157,10 @@ class EvaluationCampaign:
             else []
         )
         self._executor: Optional[ParallelExecutor] = None
+
+    def _emit(self, event: str, **payload) -> None:
+        if self.hook is not None:
+            self.hook(event, payload)
 
     # ------------------------------------------------------------ fingerprint
 
@@ -202,10 +230,25 @@ class EvaluationCampaign:
         started = time.monotonic()
         status = "complete"
         chunk_blocks = self._chunk_blocks()
-        if cfg.workers > 1:
-            self._executor = ParallelExecutor(self.evaluator, cfg.workers)
+        if self.effective_workers > 1:
+            self._executor = ParallelExecutor(
+                self.evaluator, self.effective_workers, hook=self.hook
+            )
+        self._emit(
+            "campaign_start",
+            blocks_total=self.progress.blocks_total,
+            chunk_blocks=chunk_blocks,
+            resumed_from_block=self.progress.resumed_from_block,
+            workers=cfg.workers,
+            effective_workers=self.effective_workers,
+            n_simulations=cfg.n_simulations,
+            mode=cfg.mode,
+        )
         try:
             while next_block < self.progress.blocks_total:
+                if self.should_stop is not None and self.should_stop():
+                    status = "truncated:cancelled"
+                    break
                 if cfg.time_budget is not None:
                     elapsed = time.monotonic() - started
                     if elapsed >= cfg.time_budget:
@@ -225,8 +268,20 @@ class EvaluationCampaign:
                 next_block = end
                 self.progress.blocks_done = next_block
                 self.progress.chunks_done += 1
+                self._emit(
+                    "chunk_done",
+                    blocks_done=next_block,
+                    blocks_total=self.progress.blocks_total,
+                    chunks_done=self.progress.chunks_done,
+                    elapsed=time.monotonic() - started,
+                )
                 if cfg.checkpoint:
                     self._save_checkpoint(cfg.checkpoint, next_block)
+                    self._emit(
+                        "checkpoint_saved",
+                        path=cfg.checkpoint,
+                        next_block=next_block,
+                    )
                 if cfg.early_stop is not None:
                     interim = self._report("interim")
                     if interim.max_mlog10p >= cfg.early_stop:
@@ -236,6 +291,13 @@ class EvaluationCampaign:
             if self._executor is not None:
                 self._executor.close()
                 self._executor = None
+        self._emit(
+            "campaign_end",
+            status=status,
+            blocks_done=self.progress.blocks_done,
+            blocks_total=self.progress.blocks_total,
+            elapsed=time.monotonic() - started,
+        )
         return self._report(status)
 
     def _run_chunk_with_retry(self, start: int, end: int) -> None:

@@ -48,7 +48,7 @@ from repro.leakage.model import ProbingModel
 from repro.leakage.probes import ProbeClass, extract_probe_classes
 from repro.leakage.report import LeakageReport, ProbeResult
 from repro.leakage.traces import StimulusGenerator
-from repro.netlist.compile import CompiledSimulator
+from repro.netlist.compile import CompiledSimulator, netlist_content_hash
 from repro.netlist.simulate import BitslicedSimulator, Trace, unpack_lanes
 
 #: Lanes per sampling block (64 uint64 words).  The RNG stream of a block is
@@ -275,6 +275,16 @@ class LeakageEvaluator:
             entropy=self.seed, spawn_key=(group, block)
         )
         return np.random.default_rng(seq)
+
+    def design_hash(self) -> str:
+        """Content hash of the design's executable netlist structure.
+
+        This is the leading component of the evaluation service's
+        verdict-cache key: two evaluators with equal design hashes (and
+        equal sampling parameters) produce bit-identical reports, however
+        the designs were named or constructed.
+        """
+        return netlist_content_hash(self.dut.netlist)
 
     def _make_simulator(self, lane_count: int):
         """Simulator instance for the configured engine."""

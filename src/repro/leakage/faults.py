@@ -44,6 +44,7 @@ from repro.leakage.dut import DesignUnderTest
 from repro.leakage.evaluator import LeakageEvaluator
 from repro.leakage.gtest import DEFAULT_THRESHOLD
 from repro.leakage.model import ProbingModel
+from repro.leakage.report import SCHEMA_VERSION
 from repro.netlist.core import Netlist
 from repro.netlist.mutate import (
     add_xor_taps,
@@ -117,6 +118,7 @@ class SelfCheckMatrix:
     def to_dict(self) -> Dict:
         """Machine-readable matrix (for JSON output / CI gating)."""
         return {
+            "schema_version": SCHEMA_VERSION,
             "threshold": self.threshold,
             "coverage_complete": self.coverage_complete,
             "outcomes": [

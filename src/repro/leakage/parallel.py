@@ -43,6 +43,30 @@ def default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
+def effective_workers(requested: int) -> int:
+    """Cap a requested worker count at the visible CPU count.
+
+    Oversubscribing a CPU-bound campaign is strictly counterproductive
+    (``BENCH_parallel.json`` measured a 0.801x "speedup" for workers=2 on a
+    single core: the pool pays pickling and merge overhead with no core to
+    run on), so campaigns cap the pool size and warn instead of silently
+    running slower than serial.
+    """
+    if requested < 1:
+        raise SimulationError("workers must be at least 1")
+    cpus = default_workers()
+    if requested > cpus:
+        warnings.warn(
+            f"requested {requested} campaign workers but only {cpus} CPU(s) "
+            f"are visible; capping at {cpus} (oversubscription makes the "
+            "parallel path slower than serial)",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return cpus
+    return requested
+
+
 def shard_blocks(blocks: Iterable[int], n_shards: int) -> List[List[int]]:
     """Split block indices into at most ``n_shards`` contiguous shards.
 
@@ -122,13 +146,21 @@ class ParallelExecutor:
         self,
         evaluator: LeakageEvaluator,
         workers: Optional[int] = None,
+        hook=None,
     ):
         if workers is not None and workers < 1:
             raise SimulationError("workers must be at least 1")
         self.evaluator = evaluator
         self.workers = workers if workers is not None else default_workers()
+        #: optional ``hook(event: str, payload: dict)`` telemetry callback;
+        #: receives "pool_start", "shard_dispatch", "serial_fallback".
+        self.hook = hook
         self._pool: Optional[ProcessPoolExecutor] = None
         self._serial_fallback = False
+
+    def _emit(self, event: str, **payload) -> None:
+        if self.hook is not None:
+            self.hook(event, payload)
 
     # ------------------------------------------------------------- lifecycle
 
@@ -149,6 +181,7 @@ class ParallelExecutor:
                 initializer=_init_worker,
                 initargs=(payload,),
             )
+            self._emit("pool_start", workers=self.workers)
         except (OSError, ValueError, pickle.PicklingError) as exc:
             self._fall_back(exc)
 
@@ -159,6 +192,7 @@ class ParallelExecutor:
             RuntimeWarning,
             stacklevel=3,
         )
+        self._emit("serial_fallback", error=repr(exc))
         self._serial_fallback = True
         self._shutdown_pool()
 
@@ -214,6 +248,10 @@ class ParallelExecutor:
                 blocks=block_list,
             )
             return
+        shards = shard_blocks(block_list, self.workers)
+        self._emit(
+            "shard_dispatch", n_shards=len(shards), n_blocks=len(block_list)
+        )
         tasks = [
             (
                 fixed_secret,
@@ -224,7 +262,7 @@ class ParallelExecutor:
                 tuple(pair_offsets),
                 shard,
             )
-            for shard in shard_blocks(block_list, self.workers)
+            for shard in shards
         ]
         try:
             futures = [self._pool.submit(_run_shard, task) for task in tasks]

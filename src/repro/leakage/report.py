@@ -6,6 +6,13 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+#: Version of every machine-readable dict/JSON this package emits
+#: (:meth:`LeakageReport.to_dict`, the self-check coverage matrix, the
+#: service wire format).  Bumped on any incompatible field change so
+#: long-lived consumers -- dashboards, the verdict cache -- can refuse
+#: records they do not understand.
+SCHEMA_VERSION = 1
+
 
 @dataclass(frozen=True)
 class ProbeResult:
@@ -76,6 +83,7 @@ class LeakageReport:
         if top is not None:
             ranked = ranked[:top]
         return {
+            "schema_version": SCHEMA_VERSION,
             "design": self.design,
             "model": self.model,
             "fixed_secret": self.fixed_secret,

@@ -1,0 +1,50 @@
+"""Evaluation-as-a-service: long-lived serving of leakage evaluations.
+
+The rest of the package answers one evaluation per process; this subsystem
+turns it into a service for the workload evaluation tools actually see --
+many users re-querying the same (design, scheme, model, budget, seed)
+tuples while comparing candidate randomness schemes:
+
+* :mod:`repro.service.store` -- persistent job records plus a
+  content-addressed verdict cache (identical re-queries are O(1) lookups
+  returning byte-identical reports).
+* :mod:`repro.service.queue` -- bounded admission queue.
+* :mod:`repro.service.runner` -- background worker threads executing jobs
+  as checkpointable campaigns with cancellation and crash-resume.
+* :mod:`repro.service.http` -- stdlib JSON HTTP API
+  (``POST /jobs``, ``GET /jobs/<id>[?wait=s]``, ``GET /jobs/<id>/report``,
+  ``GET /healthz``, ``GET /metrics``).
+* :mod:`repro.service.telemetry` -- JSON-lines event log + live counters.
+
+Entry points: ``python -m repro.cli serve`` and ``python -m repro.cli
+submit``; see ``docs/service.md``.
+"""
+
+from repro.service.http import EvaluationService
+from repro.service.queue import JobQueue, QueueFull
+from repro.service.runner import (
+    DEFAULT_CHUNK_SIZE,
+    JobRunner,
+    build_design,
+    evaluator_for,
+    resolve_scheme,
+    verdict_summary,
+)
+from repro.service.store import JobSpec, JobStore, canonical_key
+from repro.service.telemetry import Telemetry
+
+__all__ = [
+    "DEFAULT_CHUNK_SIZE",
+    "EvaluationService",
+    "JobQueue",
+    "JobRunner",
+    "JobSpec",
+    "JobStore",
+    "QueueFull",
+    "Telemetry",
+    "build_design",
+    "canonical_key",
+    "evaluator_for",
+    "resolve_scheme",
+    "verdict_summary",
+]

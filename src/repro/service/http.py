@@ -1,0 +1,344 @@
+"""JSON-over-HTTP front end for the evaluation service (stdlib only).
+
+Endpoints (all JSON):
+
+* ``POST /jobs`` -- submit a job spec.  Answers 200 with the existing
+  record on a verdict-cache hit (``"cached": true`` -- no simulation runs),
+  200 with the in-flight record when an identical job is already queued or
+  running (``"deduplicated": true``), 201 with a fresh ``queued`` record
+  otherwise, 400 on a bad spec, 429 when the queue is full.
+* ``GET /jobs`` -- all job records, oldest first.
+* ``GET /jobs/<id>`` -- one record; ``?wait=<seconds>`` long-polls until
+  the job reaches a terminal state (or the wait times out -- the caller
+  distinguishes by the returned ``state``).
+* ``GET /jobs/<id>/report`` -- the full serialized report, byte-identical
+  to the run that populated the verdict cache; 409 while not finished.
+* ``POST /jobs/<id>/cancel`` -- stop a queued/running job at its next
+  chunk boundary.
+* ``GET /healthz`` -- liveness + uptime.
+* ``GET /metrics`` -- telemetry counters, cache stats, queue depth, job
+  state counts, busy workers.
+
+The server is a ``ThreadingHTTPServer``: every request handler runs in its
+own thread and only touches the lock-protected store/queue/telemetry, so
+long-polls do not block submissions.  Binding port 0 picks an ephemeral
+port (tests use this); the bound port is exposed as ``service.port``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ReproError, ServiceError
+from repro.leakage.report import SCHEMA_VERSION
+from repro.service.queue import JobQueue, QueueFull
+from repro.service.runner import JobRunner, evaluator_for, verdict_summary
+from repro.service.store import JobSpec, JobStore
+from repro.service.telemetry import Telemetry
+
+#: Longest ``?wait=`` a single request may hold a handler thread.
+MAX_LONG_POLL_SECONDS = 60.0
+
+
+class EvaluationService:
+    """Store + queue + runner + telemetry behind one HTTP server."""
+
+    def __init__(
+        self,
+        state_dir: str,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        runner_threads: int = 1,
+        queue_limit: int = 256,
+        telemetry_path: Optional[str] = None,
+    ):
+        self.store = JobStore(state_dir)
+        self.queue = JobQueue(queue_limit)
+        self.telemetry = Telemetry(
+            telemetry_path
+            if telemetry_path is not None
+            else self.store.telemetry_path()
+        )
+        self.runner = JobRunner(
+            self.store, self.queue, self.telemetry, threads=runner_threads
+        )
+        self.started_at = time.time()
+        handler = _make_handler(self)
+        self.httpd = ThreadingHTTPServer((host, port), handler)
+        self.httpd.daemon_threads = True
+        self._serve_thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def port(self) -> int:
+        """The actually-bound port (resolves port 0 to the ephemeral one)."""
+        return self.httpd.server_address[1]
+
+    @property
+    def address(self) -> str:
+        host, port = self.httpd.server_address[:2]
+        return f"http://{host}:{port}"
+
+    def start(self) -> int:
+        """Recover interrupted jobs, start workers, serve in a thread."""
+        recovered = self.runner.recover()
+        self.runner.start()
+        self._serve_thread = threading.Thread(
+            target=self.httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._serve_thread.start()
+        self.telemetry.emit(
+            "service_started",
+            address=self.address,
+            recovered_jobs=recovered,
+            runner_threads=self.runner.n_threads,
+        )
+        return recovered
+
+    def serve_forever(self) -> None:
+        """Blocking variant of :meth:`start` for the CLI."""
+        recovered = self.runner.recover()
+        self.runner.start()
+        self.telemetry.emit(
+            "service_started",
+            address=self.address,
+            recovered_jobs=recovered,
+            runner_threads=self.runner.n_threads,
+        )
+        try:
+            self.httpd.serve_forever()
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Graceful shutdown: running jobs return to the durable queue."""
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        self.runner.shutdown(wait=True)
+        self.telemetry.emit("service_stopped")
+        self.telemetry.close()
+
+    # ------------------------------------------------------------ operations
+
+    def submit(self, spec_dict: Dict) -> Tuple[int, Dict]:
+        """Submit a job; returns (HTTP status, response body)."""
+        spec = JobSpec.from_dict(spec_dict)
+        # Building the design validates design/scheme compatibility and
+        # yields the netlist structure hash that leads the cache key.
+        evaluator = evaluator_for(spec)
+        cache_key = spec.cache_key(evaluator.design_hash())
+        cached = self.store.get_result(cache_key)
+        if cached is not None:
+            record = self._cached_record(spec, cache_key, cached)
+            self.telemetry.emit(
+                "cache_hit", job_id=record["job_id"], cache_key=cache_key
+            )
+            self.telemetry.emit(
+                "job_submitted", job_id=record["job_id"], cached=True
+            )
+            return 200, record
+        active = self._find_active(cache_key)
+        if active is not None:
+            response = dict(active)
+            response["deduplicated"] = True
+            self.telemetry.emit(
+                "job_submitted",
+                job_id=active["job_id"],
+                deduplicated=True,
+            )
+            return 200, response
+        record = self.store.new_job(spec, cache_key)
+        try:
+            self.queue.put(record["job_id"])
+        except QueueFull:
+            self.store.update_job(
+                record["job_id"], state="failed", error="queue full"
+            )
+            raise
+        self.telemetry.emit("cache_miss", job_id=record["job_id"],
+                            cache_key=cache_key)
+        self.telemetry.emit("job_submitted", job_id=record["job_id"],
+                            cached=False)
+        return 201, record
+
+    def _cached_record(
+        self, spec: JobSpec, cache_key: str, report_bytes: bytes
+    ) -> Dict:
+        """A terminal job record answered entirely from the verdict cache."""
+        record = self.store.new_job(spec, cache_key)
+        now = round(time.time(), 3)
+        summary = verdict_summary(json.loads(report_bytes.decode("utf-8")))
+        return self.store.update_job(
+            record["job_id"],
+            state="done",
+            cached=True,
+            started_at=now,
+            finished_at=now,
+            result=summary,
+        )
+
+    def _find_active(self, cache_key: str) -> Optional[Dict]:
+        for record in self.store.list_jobs():
+            if (
+                record["cache_key"] == cache_key
+                and record["state"] in ("queued", "running")
+            ):
+                return record
+        return None
+
+    def metrics(self) -> Dict:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "counters": self.telemetry.counters(),
+            "cache": self.store.stats.to_dict(),
+            "jobs": self.store.counts_by_state(),
+            "queue_depth": len(self.queue),
+            "busy_workers": self.runner.busy_workers,
+            "runner_threads": self.runner.n_threads,
+        }
+
+    def health(self) -> Dict:
+        return {
+            "ok": True,
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "schema_version": SCHEMA_VERSION,
+        }
+
+
+def _make_handler(service: EvaluationService):
+    """Handler class closed over the service (no globals)."""
+
+    class ServiceHandler(BaseHTTPRequestHandler):
+        server_version = "repro-eval-service/1"
+        protocol_version = "HTTP/1.1"
+
+        # --------------------------------------------------------- plumbing
+
+        def log_message(self, format, *args):  # noqa: A002 - stdlib name
+            pass  # requests land in telemetry, not stderr
+
+        def _send_json(self, status: int, body: Dict) -> None:
+            data = (json.dumps(body, indent=2) + "\n").encode("utf-8")
+            self._send_bytes(status, data)
+
+        def _send_bytes(
+            self, status: int, data: bytes,
+            content_type: str = "application/json",
+        ) -> None:
+            self.send_response(status)
+            self.send_header("Content-Type", content_type)
+            self.send_header("Content-Length", str(len(data)))
+            self.end_headers()
+            self.wfile.write(data)
+
+        def _read_body(self) -> Dict:
+            length = int(self.headers.get("Content-Length") or 0)
+            raw = self.rfile.read(length) if length else b""
+            if not raw:
+                raise ServiceError("request body must be a JSON object")
+            try:
+                return json.loads(raw.decode("utf-8"))
+            except ValueError as exc:
+                raise ServiceError(f"invalid JSON body: {exc}") from exc
+
+        # ----------------------------------------------------------- routes
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib contract
+            try:
+                self._route_get()
+            except ReproError as exc:
+                self._send_json(400, {"error": str(exc)})
+            except Exception as exc:  # noqa: BLE001 - never kill the server
+                self._send_json(500, {"error": f"internal error: {exc!r}"})
+
+        def do_POST(self) -> None:  # noqa: N802 - stdlib contract
+            try:
+                self._route_post()
+            except QueueFull as exc:
+                self._send_json(429, {"error": str(exc)})
+            except ReproError as exc:
+                self._send_json(400, {"error": str(exc)})
+            except Exception as exc:  # noqa: BLE001
+                self._send_json(500, {"error": f"internal error: {exc!r}"})
+
+        def _route_get(self) -> None:
+            parsed = urlparse(self.path)
+            parts = [p for p in parsed.path.split("/") if p]
+            if parts == ["healthz"]:
+                self._send_json(200, service.health())
+                return
+            if parts == ["metrics"]:
+                self._send_json(200, service.metrics())
+                return
+            if parts == ["jobs"]:
+                self._send_json(200, {"jobs": service.store.list_jobs()})
+                return
+            if len(parts) == 2 and parts[0] == "jobs":
+                query = parse_qs(parsed.query)
+                try:
+                    wait = float(query.get("wait", ["0"])[0])
+                except ValueError as exc:
+                    raise ServiceError("wait must be a number") from exc
+                wait = max(0.0, min(wait, MAX_LONG_POLL_SECONDS))
+                if wait > 0:
+                    record = service.store.wait_for_terminal(parts[1], wait)
+                else:
+                    record = service.store.get_job(parts[1])
+                if record is None:
+                    self._send_json(
+                        404, {"error": f"unknown job {parts[1]!r}"}
+                    )
+                    return
+                self._send_json(200, record)
+                return
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "report":
+                self._send_report(parts[1])
+                return
+            self._send_json(404, {"error": f"no route {parsed.path!r}"})
+
+        def _send_report(self, job_id: str) -> None:
+            record = service.store.get_job(job_id)
+            if record is None:
+                self._send_json(404, {"error": f"unknown job {job_id!r}"})
+                return
+            if record["state"] != "done":
+                self._send_json(
+                    409,
+                    {
+                        "error": f"job {job_id!r} is {record['state']}, "
+                        "report not available",
+                        "state": record["state"],
+                    },
+                )
+                return
+            # Served verbatim from the content-addressed store: every job
+            # with this cache key gets byte-identical bytes.
+            data = service.store.read_result(record["cache_key"])
+            if data is None:  # pragma: no cover - done implies stored
+                self._send_json(500, {"error": "verdict missing from store"})
+                return
+            self._send_bytes(200, data)
+
+        def _route_post(self) -> None:
+            parsed = urlparse(self.path)
+            parts = [p for p in parsed.path.split("/") if p]
+            if parts == ["jobs"]:
+                status, body = service.submit(self._read_body())
+                self._send_json(status, body)
+                return
+            if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "cancel":
+                record = service.runner.cancel(parts[1])
+                self._send_json(202, record)
+                return
+            self._send_json(404, {"error": f"no route {parsed.path!r}"})
+
+    return ServiceHandler

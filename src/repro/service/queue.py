@@ -1,0 +1,75 @@
+"""Bounded in-memory job queue for the evaluation service.
+
+The queue holds only job *ids* -- the durable queue image is the set of
+``queued``/``running`` records in the :class:`~repro.service.store.JobStore`,
+which is how jobs survive a crash.  Bounding the in-memory queue is the
+service's admission control: a full queue rejects new submissions with HTTP
+429 instead of accepting unbounded work it cannot schedule (cache hits
+bypass the queue entirely, so rejects only ever apply to genuinely new
+computations).
+
+``get`` supports a timeout so runner threads can poll their shutdown flag,
+and :meth:`close` wakes every waiter so shutdown never deadlocks on an
+empty queue.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.errors import ServiceError
+
+
+class QueueFull(ServiceError):
+    """The job queue is at capacity; the submission was rejected."""
+
+
+class JobQueue:
+    """A bounded FIFO of job ids with timed blocking gets."""
+
+    def __init__(self, maxsize: int = 256):
+        if maxsize < 1:
+            raise ServiceError("queue maxsize must be at least 1")
+        self.maxsize = maxsize
+        self._items: Deque[str] = deque()
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._closed = False
+
+    def put(self, job_id: str) -> None:
+        """Enqueue ``job_id``; raises :class:`QueueFull` at capacity."""
+        with self._lock:
+            if self._closed:
+                raise ServiceError("queue is closed")
+            if len(self._items) >= self.maxsize:
+                raise QueueFull(
+                    f"job queue is full ({self.maxsize} queued); retry later"
+                )
+            self._items.append(job_id)
+            self._not_empty.notify()
+
+    def get(self, timeout: float = 0.2) -> Optional[str]:
+        """Dequeue one job id, or ``None`` on timeout / closed queue."""
+        with self._lock:
+            if not self._items and not self._closed:
+                self._not_empty.wait(timeout)
+            if not self._items:
+                return None
+            return self._items.popleft()
+
+    def close(self) -> None:
+        """Stop accepting work and wake every blocked :meth:`get`."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._items)
+
+    def snapshot(self) -> List[str]:
+        """Queued job ids, front first (for diagnostics)."""
+        with self._lock:
+            return list(self._items)

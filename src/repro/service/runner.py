@@ -1,0 +1,399 @@
+"""Background job execution for the evaluation service.
+
+A :class:`JobRunner` owns a small pool of worker *threads*, each draining
+the :class:`~repro.service.queue.JobQueue` and executing one job at a time
+as a checkpointable :class:`~repro.leakage.campaign.EvaluationCampaign`.
+Threads (not processes) are the right grain here: a campaign already
+parallelizes its heavy lifting across a process pool when the job asks for
+workers, and the runner thread spends its life inside numpy/multiprocessing
+calls that release the GIL.
+
+Execution contract:
+
+* every job runs with a per-job checkpoint file inside the store, chunked
+  by default, so progress is durable at chunk granularity;
+* the campaign's ``should_stop`` is wired to two events -- per-job
+  cancellation and service shutdown.  Both stop the campaign cleanly at the
+  next chunk boundary; cancellation marks the job ``cancelled``, shutdown
+  returns it to ``queued`` so the next boot resumes it from its checkpoint
+  (the same path a SIGKILL takes, just without the lost in-flight chunk);
+* on success the serialized report is memoized in the content-addressed
+  verdict store, making every future identical submission an O(1) lookup;
+* the telemetry hook threads through campaign *and* executor, so the event
+  log shows chunk throughput and pool behaviour per job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import traceback
+from typing import Dict, Optional
+
+from repro.core.optimizations import (
+    FIRST_ORDER_SCHEMES,
+    RandomnessScheme,
+    SecondOrderScheme,
+)
+from repro.errors import ReproError, ServiceError
+from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.model import ProbingModel
+from repro.service.queue import JobQueue
+from repro.service.store import JobSpec, JobStore
+from repro.service.telemetry import Telemetry
+
+#: Server-side default chunking: jobs checkpoint at this sample granularity
+#: even when the submitter did not ask for chunks, so crash-resume and
+#: cancellation have something to bite on.
+DEFAULT_CHUNK_SIZE = 8_192
+
+_SCHEMES = {scheme.value: scheme for scheme in FIRST_ORDER_SCHEMES}
+_SCHEMES.update({scheme.value: scheme for scheme in SecondOrderScheme})
+_SHORTCUTS = {
+    "full": RandomnessScheme.FULL,
+    "eq6": RandomnessScheme.DEMEYER_EQ6,
+    "eq9": RandomnessScheme.PROPOSED_EQ9,
+}
+
+DESIGNS = ("kronecker", "sbox", "sbox2", "sbox-nokronecker")
+
+
+def resolve_scheme(name: str):
+    """Scheme enum for a CLI/API name (shortcuts included)."""
+    if name in _SHORTCUTS:
+        return _SHORTCUTS[name]
+    if name in _SCHEMES:
+        return _SCHEMES[name]
+    raise ServiceError(
+        f"unknown scheme {name!r}; choose from "
+        f"{sorted(_SHORTCUTS) + sorted(_SCHEMES)}"
+    )
+
+
+def build_design(design: str, scheme_name: str):
+    """Build a named design; returns an object with ``.dut``/``.netlist``."""
+    scheme = resolve_scheme(scheme_name)
+    if design == "kronecker":
+        from repro.core.kronecker import build_kronecker_delta
+
+        order = 2 if isinstance(scheme, SecondOrderScheme) else 1
+        return build_kronecker_delta(scheme, order=order)
+    if design == "sbox":
+        from repro.core.sbox import build_masked_sbox
+
+        if not isinstance(scheme, RandomnessScheme):
+            raise ServiceError("the S-box needs a first-order scheme")
+        return build_masked_sbox(scheme)
+    if design == "sbox2":
+        from repro.core.sbox2 import build_masked_sbox_second_order
+
+        if not isinstance(scheme, SecondOrderScheme):
+            scheme = SecondOrderScheme.FULL_21
+        return build_masked_sbox_second_order(scheme)
+    if design == "sbox-nokronecker":
+        from repro.core.sbox import build_masked_sbox
+
+        return build_masked_sbox(include_kronecker=False)
+    raise ServiceError(
+        f"unknown design {design!r}; choose from {list(DESIGNS)}"
+    )
+
+
+def evaluator_for(spec: JobSpec) -> LeakageEvaluator:
+    """Construct the evaluator a job spec describes."""
+    built = build_design(spec.design, spec.scheme)
+    model = (
+        ProbingModel.GLITCH_TRANSITION
+        if spec.model == "glitch-transition"
+        else ProbingModel.GLITCH
+    )
+    return LeakageEvaluator(
+        built.dut, model, seed=spec.seed, engine=spec.engine
+    )
+
+
+def campaign_config(spec: JobSpec, checkpoint: str) -> CampaignConfig:
+    """Campaign configuration for a job (server-side chunking applied)."""
+    chunk = spec.chunk_size
+    if chunk is None:
+        chunk = min(spec.n_simulations, DEFAULT_CHUNK_SIZE)
+    return CampaignConfig(
+        n_simulations=spec.n_simulations,
+        n_windows=spec.n_windows,
+        fixed_secret=spec.fixed_secret,
+        threshold=spec.threshold,
+        chunk_size=chunk,
+        checkpoint=checkpoint,
+        mode=spec.mode,
+        max_pairs=spec.max_pairs,
+        pair_seed=spec.pair_seed,
+        pair_offsets=spec.pair_offsets,
+        workers=spec.workers,
+    )
+
+
+def verdict_summary(report_dict: Dict) -> Dict:
+    """Compact result summary stored on the job record.
+
+    ``exit_code`` mirrors the CLI contract: 0 clean+complete, 1 leakage,
+    3 truncated without a leak (inconclusive).
+    """
+    truncated = report_dict.get("status", "complete") != "complete"
+    passed = bool(report_dict.get("passed"))
+    if not passed:
+        exit_code = 1
+    elif truncated:
+        exit_code = 3
+    else:
+        exit_code = 0
+    return {
+        "passed": passed,
+        "status": report_dict.get("status"),
+        "max_mlog10p": report_dict.get("max_mlog10p"),
+        "n_probe_classes": report_dict.get("n_probe_classes"),
+        "exit_code": exit_code,
+    }
+
+
+class JobRunner:
+    """Worker threads executing queued jobs against the store."""
+
+    def __init__(
+        self,
+        store: JobStore,
+        queue: JobQueue,
+        telemetry: Telemetry,
+        threads: int = 1,
+    ):
+        if threads < 1:
+            raise ServiceError("runner threads must be at least 1")
+        self.store = store
+        self.queue = queue
+        self.telemetry = telemetry
+        self.n_threads = threads
+        self._threads: list = []
+        self._shutdown = threading.Event()
+        self._cancels: Dict[str, threading.Event] = {}
+        self._cancels_lock = threading.Lock()
+        self._busy = 0
+        self._busy_lock = threading.Lock()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        if self._threads:
+            return
+        for index in range(self.n_threads):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-runner-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop draining the queue and stop running campaigns cleanly.
+
+        Running jobs stop at their next chunk boundary and return to state
+        ``queued`` with their checkpoint on disk -- the durable image a
+        restarted service recovers from.
+        """
+        self._shutdown.set()
+        self.queue.close()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=60)
+        self._threads = []
+
+    def recover(self) -> int:
+        """Re-enqueue jobs a previous process left ``queued``/``running``."""
+        recovered = 0
+        for record in self.store.recoverable_jobs():
+            job_id = record["job_id"]
+            self.store.update_job(job_id, state="queued")
+            self.telemetry.emit(
+                "job_recovered",
+                job_id=job_id,
+                had_checkpoint=os.path.exists(
+                    self.store.checkpoint_path(job_id)
+                ),
+            )
+            self.queue.put(job_id)
+            recovered += 1
+        return recovered
+
+    def cancel(self, job_id: str) -> Dict:
+        """Cancel a queued or running job; terminal jobs are an error."""
+        record = self.store.get_job(job_id)
+        if record is None:
+            raise ServiceError(f"unknown job {job_id!r}")
+        if record["state"] == "running":
+            with self._cancels_lock:
+                event = self._cancels.get(job_id)
+            if event is not None:
+                event.set()
+            return record
+        if record["state"] == "queued":
+            record = self.store.update_job(job_id, state="cancelled")
+            self.telemetry.emit("job_cancelled", job_id=job_id, while_queued=True)
+            return record
+        raise ServiceError(
+            f"job {job_id!r} is already {record['state']}; cannot cancel"
+        )
+
+    @property
+    def busy_workers(self) -> int:
+        """Threads currently executing a job (for ``/metrics``)."""
+        with self._busy_lock:
+            return self._busy
+
+    # ------------------------------------------------------------- execution
+
+    def _worker_loop(self) -> None:
+        while not self._shutdown.is_set():
+            job_id = self.queue.get(timeout=0.2)
+            if job_id is None:
+                continue
+            record = self.store.get_job(job_id)
+            if record is None or record["state"] != "queued":
+                continue  # cancelled while queued, or stale id
+            with self._busy_lock:
+                self._busy += 1
+            try:
+                self._execute(record)
+            finally:
+                with self._busy_lock:
+                    self._busy -= 1
+
+    def _execute(self, record: Dict) -> None:
+        job_id = record["job_id"]
+        cache_key = record["cache_key"]
+        spec = JobSpec.from_dict(record["spec"])
+        cancel_event = threading.Event()
+        with self._cancels_lock:
+            self._cancels[job_id] = cancel_event
+        checkpoint = self.store.checkpoint_path(job_id)
+        self.store.update_job(
+            job_id, state="running", started_at=round(time.time(), 3)
+        )
+        self.telemetry.emit("job_started", job_id=job_id)
+        tele_hook = self.telemetry.campaign_hook(job_id)
+
+        def hook(event: str, payload: Dict) -> None:
+            tele_hook(event, payload)
+            if event == "chunk_done":
+                self.store.update_job(
+                    job_id,
+                    progress={
+                        "blocks_done": payload.get("blocks_done"),
+                        "blocks_total": payload.get("blocks_total"),
+                        "chunks_done": payload.get("chunks_done"),
+                        "elapsed": round(payload.get("elapsed", 0.0), 3),
+                    },
+                )
+
+        def should_stop() -> bool:
+            return cancel_event.is_set() or self._shutdown.is_set()
+
+        try:
+            # An identical job may have completed while this one sat in the
+            # queue; answer from the verdict cache instead of re-simulating.
+            if self.store.has_result(cache_key):
+                data = self.store.get_result(cache_key)
+                summary = verdict_summary(_json_loads(data))
+                self.store.update_job(
+                    job_id,
+                    state="done",
+                    cached=True,
+                    finished_at=round(time.time(), 3),
+                    result=summary,
+                )
+                self.telemetry.emit(
+                    "cache_hit", job_id=job_id, cache_key=cache_key,
+                    late=True,
+                )
+                self.telemetry.emit("job_completed", job_id=job_id, cached=True)
+                return
+            evaluator = evaluator_for(spec)
+            config = campaign_config(spec, checkpoint)
+            campaign = EvaluationCampaign(
+                evaluator, config, hook=hook, should_stop=should_stop
+            )
+            report = campaign.run(resume=True)
+            if report.status == "truncated:cancelled":
+                if cancel_event.is_set():
+                    self.store.update_job(
+                        job_id,
+                        state="cancelled",
+                        finished_at=round(time.time(), 3),
+                    )
+                    self.telemetry.emit("job_cancelled", job_id=job_id)
+                    if os.path.exists(checkpoint):
+                        os.unlink(checkpoint)
+                else:  # service shutdown: back to the durable queue image
+                    self.store.update_job(job_id, state="queued")
+                    self.telemetry.emit(
+                        "job_interrupted",
+                        job_id=job_id,
+                        blocks_done=campaign.progress.blocks_done,
+                        blocks_total=campaign.progress.blocks_total,
+                    )
+                return
+            report_json = report.to_json(top=None)
+            self.store.put_result(cache_key, report_json)
+            summary = verdict_summary(report.to_dict(top=0))
+            self.store.update_job(
+                job_id,
+                state="done",
+                finished_at=round(time.time(), 3),
+                result=summary,
+                progress={
+                    "blocks_done": campaign.progress.blocks_done,
+                    "blocks_total": campaign.progress.blocks_total,
+                    "chunks_done": campaign.progress.chunks_done,
+                    "resumed_from_block": campaign.progress.resumed_from_block,
+                },
+            )
+            self.telemetry.emit(
+                "job_completed",
+                job_id=job_id,
+                cached=False,
+                passed=summary["passed"],
+                status=summary["status"],
+                resumed_from_block=campaign.progress.resumed_from_block,
+            )
+            if os.path.exists(checkpoint):
+                os.unlink(checkpoint)
+        except ReproError as exc:
+            self.store.update_job(
+                job_id,
+                state="failed",
+                finished_at=round(time.time(), 3),
+                error=str(exc),
+            )
+            self.telemetry.emit("job_failed", job_id=job_id, error=str(exc))
+        except Exception as exc:  # noqa: BLE001 - runner must not die
+            self.store.update_job(
+                job_id,
+                state="failed",
+                finished_at=round(time.time(), 3),
+                error=f"internal error: {exc!r}",
+            )
+            self.telemetry.emit(
+                "job_failed",
+                job_id=job_id,
+                error=repr(exc),
+                traceback=traceback.format_exc(limit=5),
+            )
+        finally:
+            with self._cancels_lock:
+                self._cancels.pop(job_id, None)
+
+
+def _json_loads(data: Optional[bytes]) -> Dict:
+    return json.loads(data.decode("utf-8")) if data else {}

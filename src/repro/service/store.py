@@ -1,0 +1,418 @@
+"""Persistent, content-addressed job/result store for the evaluation service.
+
+PROLEAD-style evaluations are exactly the workload users re-run with
+identical parameters: the same (netlist, randomness scheme, probing model,
+sample budget, seed) tuple is queried again and again while candidate
+schemes are compared.  Because the whole evaluation pipeline is
+deterministic by construction -- per-block ``SeedSequence`` streams, commuting
+histogram accumulation, engine- and worker-invariant results -- the verdict
+for such a tuple is a pure function of the tuple.  The store exploits that:
+
+* **Cache key.**  The canonical SHA-256 over the *semantic* job parameters:
+  the netlist structure hash from :func:`repro.netlist.compile.
+  netlist_content_hash` (not the design/scheme *names* -- two names building
+  the same circuit share verdicts), probing model, observation mode, sample
+  budget, windows, fixed secret, threshold, campaign mode, pair selection,
+  and RNG seed.  Execution details that provably do not change results --
+  engine, worker count, chunk size, checkpoint layout -- are deliberately
+  excluded, so a verdict computed serially on the bitsliced engine answers a
+  query that would have run 16-way parallel on the compiled one.
+
+* **Records.**  One JSON file per job under ``jobs/`` (submission state,
+  spec, progress, result summary) and one per verdict under ``results/``
+  keyed by cache key, holding the exact serialized report text -- a cache
+  hit returns **byte-identical** output to the run that populated it.  All
+  writes are atomic (same-directory temp file + ``os.replace``), so a
+  SIGKILL mid-write leaves the previous version intact, never a torn file.
+
+* **Crash recovery.**  Job records double as the durable queue image:
+  on restart, records still in state ``queued``/``running`` are re-enqueued
+  and their campaigns resume from the per-job checkpoint under
+  ``checkpoints/``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ServiceError
+from repro.leakage.report import SCHEMA_VERSION
+
+#: Job states; ``queued`` and ``running`` survive a restart as "recover me".
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States in which a job record is final and its report (if any) immutable.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """Validated parameters of one evaluation job (the POST /jobs body).
+
+    ``engine``, ``workers`` and ``chunk_size`` ride along as execution
+    preferences but are excluded from :meth:`cache_params` -- results are
+    bit-identical across them (tests/test_cross_engine.py,
+    tests/test_leakage_parallel.py), so they must not fragment the cache.
+    """
+
+    design: str = "kronecker"
+    scheme: str = "full"
+    model: str = "glitch"
+    n_simulations: int = 100_000
+    n_windows: int = 1
+    fixed_secret: int = 0
+    threshold: float = 5.0
+    mode: str = "first"
+    max_pairs: Optional[int] = 500
+    pair_seed: int = 1
+    pair_offsets: Tuple[int, ...] = (0,)
+    seed: int = 0
+    engine: str = "compiled"
+    workers: int = 1
+    chunk_size: Optional[int] = None
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "JobSpec":
+        """Parse and validate an untrusted spec dict (HTTP body)."""
+        if not isinstance(data, dict):
+            raise ServiceError("job spec must be a JSON object")
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ServiceError(
+                f"unknown job spec field(s): {sorted(unknown)}"
+            )
+        merged = dict(data)
+        if "pair_offsets" in merged:
+            try:
+                merged["pair_offsets"] = tuple(
+                    int(v) for v in merged["pair_offsets"]
+                )
+            except (TypeError, ValueError) as exc:
+                raise ServiceError(
+                    "pair_offsets must be a list of integers"
+                ) from exc
+        spec = cls(**merged)
+        spec.validate()
+        return spec
+
+    def validate(self) -> None:
+        """Cheap structural validation (design existence is checked later)."""
+        if self.model not in ("glitch", "glitch-transition"):
+            raise ServiceError(
+                "model must be 'glitch' or 'glitch-transition'"
+            )
+        if self.mode not in ("first", "pairs", "both"):
+            raise ServiceError("mode must be 'first', 'pairs', or 'both'")
+        if self.engine not in ("compiled", "bitsliced"):
+            raise ServiceError("engine must be 'compiled' or 'bitsliced'")
+        for name in ("design", "scheme"):
+            if not isinstance(getattr(self, name), str):
+                raise ServiceError(f"{name} must be a string")
+        for name in ("fixed_secret", "seed", "pair_seed"):
+            if not isinstance(getattr(self, name), int):
+                raise ServiceError(f"{name} must be an integer")
+        if not isinstance(self.threshold, (int, float)):
+            raise ServiceError("threshold must be a number")
+        if self.max_pairs is not None and (
+            not isinstance(self.max_pairs, int) or self.max_pairs < 1
+        ):
+            raise ServiceError("max_pairs must be a positive integer")
+        if not isinstance(self.n_simulations, int) or self.n_simulations < 1:
+            raise ServiceError("n_simulations must be a positive integer")
+        if not isinstance(self.n_windows, int) or self.n_windows < 1:
+            raise ServiceError("n_windows must be a positive integer")
+        if not isinstance(self.workers, int) or self.workers < 1:
+            raise ServiceError("workers must be a positive integer")
+        if self.chunk_size is not None and (
+            not isinstance(self.chunk_size, int) or self.chunk_size < 1
+        ):
+            raise ServiceError("chunk_size must be a positive integer")
+
+    def to_dict(self) -> Dict:
+        return {
+            "design": self.design,
+            "scheme": self.scheme,
+            "model": self.model,
+            "n_simulations": self.n_simulations,
+            "n_windows": self.n_windows,
+            "fixed_secret": self.fixed_secret,
+            "threshold": self.threshold,
+            "mode": self.mode,
+            "max_pairs": self.max_pairs,
+            "pair_seed": self.pair_seed,
+            "pair_offsets": list(self.pair_offsets),
+            "seed": self.seed,
+            "engine": self.engine,
+            "workers": self.workers,
+            "chunk_size": self.chunk_size,
+        }
+
+    def cache_params(self, netlist_hash: str) -> Dict:
+        """The semantic identity of this job's verdict."""
+        return {
+            "netlist_hash": netlist_hash,
+            "model": self.model,
+            "n_simulations": self.n_simulations,
+            "n_windows": self.n_windows,
+            "fixed_secret": self.fixed_secret,
+            "threshold": self.threshold,
+            "mode": self.mode,
+            "max_pairs": self.max_pairs,
+            "pair_seed": self.pair_seed,
+            "pair_offsets": list(self.pair_offsets),
+            "seed": self.seed,
+        }
+
+    def cache_key(self, netlist_hash: str) -> str:
+        return canonical_key(self.cache_params(netlist_hash))
+
+
+def canonical_key(params: Dict) -> str:
+    """SHA-256 of the canonical JSON encoding of ``params``.
+
+    Canonical means sorted keys and minimal separators, so the digest is
+    invariant under dict ordering and whitespace -- the same parameters
+    always address the same verdict.
+    """
+    text = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + rename)."""
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    fd, tmp_path = tempfile.mkstemp(
+        prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except OSError as exc:
+        raise ServiceError(f"could not write {path!r}: {exc}") from exc
+    finally:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+
+
+@dataclass
+class StoreStats:
+    """Verdict-cache effectiveness counters."""
+
+    hits: int = 0
+    misses: int = 0
+
+    def to_dict(self) -> Dict:
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / total, 4) if total else None,
+        }
+
+
+class JobStore:
+    """Directory-backed job records plus the content-addressed verdict cache.
+
+    Thread-safe: all mutation happens under one re-entrant lock, and every
+    record update notifies a condition variable so HTTP long-polls can wait
+    for state changes without busy-looping.
+    """
+
+    def __init__(self, root: str):
+        self.root = os.path.abspath(root)
+        self.jobs_dir = os.path.join(self.root, "jobs")
+        self.results_dir = os.path.join(self.root, "results")
+        self.checkpoints_dir = os.path.join(self.root, "checkpoints")
+        for path in (self.jobs_dir, self.results_dir, self.checkpoints_dir):
+            os.makedirs(path, exist_ok=True)
+        self._lock = threading.RLock()
+        self.changed = threading.Condition(self._lock)
+        self._records: Dict[str, Dict] = {}
+        self.stats = StoreStats()
+        self._load_records()
+
+    # --------------------------------------------------------------- records
+
+    def _job_path(self, job_id: str) -> str:
+        return os.path.join(self.jobs_dir, f"{job_id}.json")
+
+    def _result_path(self, cache_key: str) -> str:
+        return os.path.join(self.results_dir, f"{cache_key}.json")
+
+    def checkpoint_path(self, job_id: str) -> str:
+        """Campaign checkpoint file owned by one job."""
+        return os.path.join(self.checkpoints_dir, f"{job_id}.npz")
+
+    def telemetry_path(self) -> str:
+        """Default JSON-lines telemetry file inside the store root."""
+        return os.path.join(self.root, "telemetry.jsonl")
+
+    def _load_records(self) -> None:
+        for name in sorted(os.listdir(self.jobs_dir)):
+            if not name.endswith(".json"):
+                continue
+            path = os.path.join(self.jobs_dir, name)
+            try:
+                with open(path, "r") as handle:
+                    record = json.load(handle)
+            except (OSError, ValueError) as exc:
+                raise ServiceError(
+                    f"corrupt job record {path!r}: {exc}"
+                ) from exc
+            self._records[record["job_id"]] = record
+
+    def new_job(self, spec: JobSpec, cache_key: str) -> Dict:
+        """Create and persist a fresh job record in state ``queued``."""
+        with self._lock:
+            job_id = f"{len(self._records) + 1:06d}-{cache_key[:12]}"
+            while job_id in self._records:  # collision after deletions
+                job_id = f"{int(job_id.split('-')[0]) + 1:06d}-{cache_key[:12]}"
+            record = {
+                "schema_version": SCHEMA_VERSION,
+                "job_id": job_id,
+                "cache_key": cache_key,
+                "spec": spec.to_dict(),
+                "state": "queued",
+                "cached": False,
+                "submitted_at": round(time.time(), 3),
+                "started_at": None,
+                "finished_at": None,
+                "error": None,
+                "progress": None,
+                "result": None,
+            }
+            self._persist(record)
+            return dict(record)
+
+    def _persist(self, record: Dict) -> None:
+        self._records[record["job_id"]] = record
+        _atomic_write(
+            self._job_path(record["job_id"]),
+            (json.dumps(record, indent=2, sort_keys=True) + "\n").encode(),
+        )
+        self.changed.notify_all()
+
+    def update_job(self, job_id: str, **fields) -> Dict:
+        """Merge ``fields`` into a job record, persist, notify waiters."""
+        with self._lock:
+            record = self._records.get(job_id)
+            if record is None:
+                raise ServiceError(f"unknown job {job_id!r}")
+            state = fields.get("state")
+            if state is not None and state not in JOB_STATES:
+                raise ServiceError(f"invalid job state {state!r}")
+            record = dict(record)
+            record.update(fields)
+            self._persist(record)
+            return dict(record)
+
+    def get_job(self, job_id: str) -> Optional[Dict]:
+        with self._lock:
+            record = self._records.get(job_id)
+            return dict(record) if record is not None else None
+
+    def list_jobs(self) -> List[Dict]:
+        """All job records, oldest first."""
+        with self._lock:
+            return [
+                dict(r)
+                for r in sorted(
+                    self._records.values(), key=lambda r: r["job_id"]
+                )
+            ]
+
+    def wait_for_terminal(
+        self, job_id: str, timeout: float
+    ) -> Optional[Dict]:
+        """Long-poll: block until the job reaches a terminal state.
+
+        Returns the latest record (terminal or not) after at most
+        ``timeout`` seconds; ``None`` for unknown jobs.
+        """
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while True:
+                record = self._records.get(job_id)
+                if record is None:
+                    return None
+                if record["state"] in TERMINAL_STATES:
+                    return dict(record)
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return dict(record)
+                self.changed.wait(remaining)
+
+    def recoverable_jobs(self) -> List[Dict]:
+        """Jobs interrupted by a crash/shutdown, oldest first."""
+        with self._lock:
+            return [
+                dict(r)
+                for r in sorted(
+                    self._records.values(), key=lambda r: r["job_id"]
+                )
+                if r["state"] in ("queued", "running")
+            ]
+
+    # --------------------------------------------------------- verdict cache
+
+    def get_result(self, cache_key: str) -> Optional[bytes]:
+        """The stored report bytes for ``cache_key``, counting hit/miss."""
+        path = self._result_path(cache_key)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return data
+
+    def has_result(self, cache_key: str) -> bool:
+        """Existence probe that does not touch the hit/miss stats."""
+        return os.path.exists(self._result_path(cache_key))
+
+    def read_result(self, cache_key: str) -> Optional[bytes]:
+        """Read stored report bytes without counting a hit or miss.
+
+        Used when *serving* an already-answered job's report; only lookups
+        that decide whether a simulation can be skipped count as hits.
+        """
+        try:
+            with open(self._result_path(cache_key), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+
+    def put_result(self, cache_key: str, report_json: str) -> None:
+        """Memoize the exact serialized report for ``cache_key``.
+
+        First writer wins: a concurrent duplicate computation must not
+        replace the bytes an earlier hit may already have returned.
+        """
+        path = self._result_path(cache_key)
+        with self._lock:
+            if os.path.exists(path):
+                return
+            _atomic_write(path, report_json.encode("utf-8"))
+
+    # ----------------------------------------------------------------- stats
+
+    def counts_by_state(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {state: 0 for state in JOB_STATES}
+            for record in self._records.values():
+                counts[record["state"]] += 1
+            return counts

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -302,3 +304,50 @@ class TestExitCodesOnErrors:
         )
         assert code == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeAndSubmit:
+    def test_submit_round_trip_against_a_live_service(
+        self, tmp_path, capsys
+    ):
+        from repro.service import EvaluationService
+
+        service = EvaluationService(str(tmp_path / "state"), port=0)
+        service.start()
+        try:
+            args = [
+                "submit",
+                "--url", service.address,
+                "--design", "kronecker",
+                "--scheme", "eq6",
+                "--simulations", "20000",
+                "--seed", "7",
+                "--timeout", "120",
+            ]
+            code = main(args)
+            out = capsys.readouterr().out
+            assert code == 1  # eq6 leaks; exit codes mirror `campaign`
+            assert "FAIL" in out
+
+            # Resubmission is answered from the verdict cache.
+            code = main(args + ["--json"])
+            out = capsys.readouterr().out
+            assert code == 1
+            assert "verdict cache hit" in out
+            report = json.loads(out[out.index("{"):])
+            assert report["passed"] is False
+            assert service.store.stats.hits == 1
+        finally:
+            service.stop()
+
+    def test_submit_unreachable_service_exits_two(self, capsys):
+        code = main(
+            [
+                "submit",
+                "--url", "http://127.0.0.1:9",  # discard port, never open
+                "--simulations", "1000",
+                "--timeout", "5",
+            ]
+        )
+        assert code == 2
+        assert "error" in capsys.readouterr().err

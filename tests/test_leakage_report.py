@@ -2,7 +2,7 @@
 
 import json
 
-from repro.leakage.report import LeakageReport, ProbeResult
+from repro.leakage.report import SCHEMA_VERSION, LeakageReport, ProbeResult
 
 
 def make_report(passed=True):
@@ -79,3 +79,17 @@ class TestSerialization:
         data = make_report(passed=False).to_dict(top=1)
         assert len(data["results"]) == 1
         assert data["n_probe_classes"] == 2
+
+    def test_wire_format_is_versioned(self):
+        """The service wire format carries schema_version everywhere."""
+        assert make_report().to_dict()["schema_version"] == SCHEMA_VERSION
+        assert (
+            json.loads(make_report().to_json())["schema_version"]
+            == SCHEMA_VERSION
+        )
+
+    def test_self_check_matrix_is_versioned(self):
+        from repro.leakage.faults import SelfCheckMatrix
+
+        matrix = SelfCheckMatrix(threshold=5.0)
+        assert matrix.to_dict()["schema_version"] == SCHEMA_VERSION
