@@ -1,0 +1,182 @@
+"""Uniform-vs-adaptive campaign benchmark emitting ``BENCH_adaptive.json``.
+
+Two claims back the adaptive per-probe scheduler:
+
+* **E3 speed**: on the masked S-box with Eq. (6) randomness (the known
+  leak) at the paper's 100k-simulation budget, deciding probes early and
+  pruning them cuts wall-clock by >= ``--require-speedup`` (default 3x)
+  while reaching the identical verdict and leaking-probe set;
+* **E4 safety**: across the full randomness-scheme table under both
+  probing models, the adaptive run never flips a verdict relative to
+  the uniform-budget run at the same seed.
+
+Usage (CI runs this single-core; the win comes from pruning, not
+parallelism)::
+
+    PYTHONPATH=src python benchmarks/bench_adaptive.py \
+        --simulations 100000 --require-speedup 3.0 \
+        --out BENCH_adaptive.json
+
+Exit codes: 0 success, 1 verdict/leak-set mismatch (a correctness bug),
+2 speedup below ``--require-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+from repro.core.kronecker import build_kronecker_delta
+from repro.core.optimizations import FIRST_ORDER_SCHEMES
+from repro.core.sbox import build_masked_sbox
+from repro.leakage.adaptive import AdaptiveConfig
+from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.model import ProbingModel
+
+CHUNK_SIZE = 8_192
+
+
+def _timed_campaign(dut, model, n_simulations, seed, adaptive):
+    evaluator = LeakageEvaluator(dut, model, seed=seed)
+    config = CampaignConfig(
+        n_simulations=n_simulations,
+        chunk_size=CHUNK_SIZE,
+        adaptive=AdaptiveConfig() if adaptive else None,
+    )
+    campaign = EvaluationCampaign(evaluator, config)
+    start = time.perf_counter()
+    report = campaign.run()
+    return report, time.perf_counter() - start
+
+
+def _leak_set(report):
+    return sorted(r.probe_names for r in report.leaking_results)
+
+
+def bench_e3(args):
+    """Masked S-box, Eq. (6): the speedup + identical-result claim."""
+    dut = build_masked_sbox(FIRST_ORDER_SCHEMES[1]).dut
+    uniform, t_uniform = _timed_campaign(
+        dut, ProbingModel.GLITCH, args.simulations, args.seed, False
+    )
+    adaptive, t_adaptive = _timed_campaign(
+        dut, ProbingModel.GLITCH, args.simulations, args.seed, True
+    )
+    speedup = t_uniform / t_adaptive if t_adaptive else float("inf")
+    identical = (
+        adaptive.passed == uniform.passed
+        and _leak_set(adaptive) == _leak_set(uniform)
+    )
+    record = {
+        "design": "sbox",
+        "scheme": "eq6",
+        "n_simulations": args.simulations,
+        "uniform_seconds": round(t_uniform, 3),
+        "adaptive_seconds": round(t_adaptive, 3),
+        "speedup": round(speedup, 2),
+        "adaptive_simulations": adaptive.n_simulations,
+        "probe_sample_savings": adaptive.adaptive["probe_sample_savings"],
+        "verdict": "FAIL" if not uniform.passed else "PASS",
+        "leaking_probes": _leak_set(uniform),
+        "identical_results": identical,
+    }
+    print(
+        f"E3 sbox/eq6 {args.simulations} sims: "
+        f"uniform {t_uniform:.2f}s, adaptive {t_adaptive:.2f}s "
+        f"({speedup:.2f}x), identical={identical}"
+    )
+    return record, identical, speedup
+
+
+def bench_e4_table(args):
+    """Every scheme x both models: adaptive must not flip a verdict."""
+    rows = []
+    flips = 0
+    for scheme in FIRST_ORDER_SCHEMES:
+        dut = build_kronecker_delta(scheme).dut
+        for model in (ProbingModel.GLITCH, ProbingModel.GLITCH_TRANSITION):
+            uniform, t_uniform = _timed_campaign(
+                dut, model, args.table_simulations, args.seed, False
+            )
+            adaptive, t_adaptive = _timed_campaign(
+                dut, model, args.table_simulations, args.seed, True
+            )
+            flipped = adaptive.passed != uniform.passed
+            flips += flipped
+            rows.append(
+                {
+                    "scheme": scheme.value,
+                    "model": model.value,
+                    "uniform_passed": uniform.passed,
+                    "adaptive_passed": adaptive.passed,
+                    "uniform_seconds": round(t_uniform, 3),
+                    "adaptive_seconds": round(t_adaptive, 3),
+                    "adaptive_undecided": adaptive.adaptive["undecided"],
+                    "probe_sample_savings": adaptive.adaptive[
+                        "probe_sample_savings"
+                    ],
+                    "verdict_flip": flipped,
+                }
+            )
+            marker = "FLIP" if flipped else "ok"
+            print(
+                f"E4 {scheme.value:28s} {model.value:18s} "
+                f"uniform={'PASS' if uniform.passed else 'FAIL'} "
+                f"adaptive={'PASS' if adaptive.passed else 'FAIL'} "
+                f"[{marker}]"
+            )
+    return rows, flips
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--simulations", type=int, default=100_000,
+                        help="E3 budget (paper: 100k)")
+    parser.add_argument("--table-simulations", type=int, default=20_000,
+                        help="per-cell budget for the E4 scheme table")
+    parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--require-speedup", type=float, default=None,
+                        help="exit 2 unless E3 speedup >= this factor")
+    parser.add_argument("--skip-table", action="store_true",
+                        help="run only the E3 speed benchmark")
+    parser.add_argument("--out", default="BENCH_adaptive.json")
+    args = parser.parse_args(argv)
+
+    e3, identical, speedup = bench_e3(args)
+    table, flips = ([], 0) if args.skip_table else bench_e4_table(args)
+
+    payload = {
+        "benchmark": "adaptive_scheduler",
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "e3": e3,
+        "e4_table": table,
+        "e4_verdict_flips": flips,
+    }
+    with open(args.out, "w") as handle:
+        json.dump(payload, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {args.out}")
+
+    if not identical or flips:
+        print("FAIL: adaptive results diverge from uniform results")
+        return 1
+    if args.require_speedup and speedup < args.require_speedup:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below required "
+            f"{args.require_speedup}x"
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

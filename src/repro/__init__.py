@@ -28,14 +28,19 @@ from repro.errors import (
     NetlistError,
     ReproError,
     SimulationError,
+    SpecError,
 )
+from repro.spec import API_VERSION, EvaluationSpec
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "API_VERSION",
+    "EvaluationSpec",
     "ReproError",
     "NetlistError",
     "SimulationError",
+    "SpecError",
     "ExactAnalysisInfeasible",
     "__version__",
 ]

@@ -5,8 +5,9 @@ Commands mirror the paper's workflow:
 * ``evaluate`` -- PROLEAD-style fixed-vs-random evaluation of a design
   (Kronecker delta or full S-box) under a probing model.
 * ``campaign`` -- the same evaluation as a chunked, checkpointable campaign
-  (resume after interruption, time budgets, early stop), plus the
-  fault-injection self-check of the evaluator itself.
+  (resume after interruption, time budgets, early stop, ``--adaptive``
+  per-probe scheduling), plus the fault-injection self-check of the
+  evaluator itself.
 * ``exact``    -- exact (SILVER-style) sweep of the Kronecker delta.
 * ``sni``      -- (S)NI check of the DOM-AND gadget.
 * ``report``   -- architecture/area report of a design.
@@ -32,7 +33,7 @@ from typing import Optional, Sequence
 from repro.aes.cipher import aes128_encrypt_block
 from repro.core.aes_masked import MaskedAes128
 from repro.errors import ReproError, ServiceError
-from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
+from repro.leakage.campaign import EvaluationCampaign
 from repro.leakage.evaluator import LeakageEvaluator
 from repro.leakage.faults import run_self_check
 from repro.leakage.exact import ExactAnalyzer
@@ -40,7 +41,13 @@ from repro.leakage.model import ProbingModel
 from repro.leakage.sni import SniChecker, dom_and_gadget
 from repro.netlist.stats import netlist_stats
 from repro.netlist.verilog import to_verilog
-from repro.service.runner import DESIGNS, build_design, resolve_scheme
+from repro.service.runner import (
+    DESIGNS,
+    build_design,
+    evaluator_for,
+    resolve_scheme,
+)
+from repro.spec import API_VERSION, EvaluationSpec
 
 
 def _scheme(name: str):
@@ -110,30 +117,12 @@ def cmd_campaign(args) -> int:
             print(matrix.format_table())
         return 0 if matrix.coverage_complete else 2
 
-    dut, _ = _build(args.design, args.scheme)
-    model = (
-        ProbingModel.GLITCH_TRANSITION
-        if args.transitions
-        else ProbingModel.GLITCH
-    )
-    evaluator = LeakageEvaluator(dut, model, seed=args.seed, engine=args.engine)
-    if args.batch_probes:
-        mode = "both"
-    elif args.pairs:
-        mode = "pairs"
-    else:
-        mode = "first"
-    config = CampaignConfig(
-        n_simulations=args.simulations,
-        n_windows=args.windows,
-        fixed_secret=args.fixed,
-        chunk_size=args.chunk_size,
+    spec = EvaluationSpec.from_args(args)
+    evaluator = evaluator_for(spec)
+    config = spec.campaign_config(
         checkpoint=args.checkpoint,
         time_budget=args.time_budget,
         early_stop=args.early_stop,
-        mode=mode,
-        max_pairs=args.max_pairs,
-        workers=args.workers,
     )
     campaign = EvaluationCampaign(evaluator, config)
     report = campaign.run(resume=args.resume)
@@ -222,26 +211,8 @@ def cmd_submit(args) -> int:
     import urllib.error
     import urllib.request
 
-    if args.batch_probes:
-        mode = "both"
-    elif args.pairs:
-        mode = "pairs"
-    else:
-        mode = "first"
-    spec = {
-        "design": args.design,
-        "scheme": args.scheme,
-        "model": "glitch-transition" if args.transitions else "glitch",
-        "n_simulations": args.simulations,
-        "n_windows": args.windows,
-        "fixed_secret": args.fixed,
-        "mode": mode,
-        "max_pairs": args.max_pairs,
-        "seed": args.seed,
-        "engine": args.engine,
-        "workers": args.workers,
-    }
-    base = args.url.rstrip("/")
+    spec = EvaluationSpec.from_args(args)
+    base = f"{args.url.rstrip('/')}/{API_VERSION}"
 
     def _request(url, data=None):
         request = urllib.request.Request(
@@ -257,7 +228,9 @@ def cmd_submit(args) -> int:
         except urllib.error.URLError as exc:
             raise ServiceError(f"cannot reach service at {base}: {exc.reason}")
 
-    status, body = _request(f"{base}/jobs", json.dumps(spec).encode())
+    status, body = _request(
+        f"{base}/jobs", json.dumps(spec.to_dict()).encode()
+    )
     if status not in (200, 201):
         print(f"error: submission failed ({status}): {body.decode()}",
               file=sys.stderr)
@@ -314,6 +287,14 @@ def cmd_submit(args) -> int:
         print(f"  design:  {report['design']}")
         print(f"  status:  {report['status']}")
         print(f"  max -log10(p): {report['max_mlog10p']:.2f}")
+        adaptive = report.get("adaptive")
+        if adaptive:
+            print(
+                f"  adaptive: {adaptive['decided_leaky']} leaky / "
+                f"{adaptive['decided_null']} null / "
+                f"{adaptive['undecided']} undecided "
+                f"({adaptive['probe_sample_savings']}x probe-sample savings)"
+            )
         print(f"  verdict: {verdict}")
     return record["result"]["exit_code"]
 
@@ -330,6 +311,66 @@ def cmd_encrypt(args) -> int:
         print("MISMATCH against reference AES!", file=sys.stderr)
         return 1
     return 0
+
+
+def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
+    """Evaluation-spec flags shared by ``campaign`` and ``submit``.
+
+    One flag set, one mapping (:meth:`EvaluationSpec.from_args`): a
+    parameter added here reaches the local campaign and the remote
+    submission path at once.
+    """
+    p.add_argument("--design", default="kronecker", choices=_DESIGNS)
+    p.add_argument("--scheme", default="full")
+    p.add_argument("--fixed", type=lambda v: int(v, 0), default=0)
+    p.add_argument("--simulations", type=int, default=100_000)
+    p.add_argument("--windows", type=int, default=1)
+    p.add_argument("--transitions", action="store_true",
+                   help="glitch+transition-extended model")
+    p.add_argument("--pairs", action="store_true",
+                   help="second-order (probe-pair) evaluation")
+    p.add_argument("--batch-probes", action="store_true",
+                   help="evaluate first-order classes AND probe pairs "
+                        "against one shared trace per chunk (mode 'both')")
+    p.add_argument("--max-pairs", type=int, default=500)
+    p.add_argument("--workers", type=int, default=1,
+                   help="worker processes (results are bit-identical "
+                        "to --workers 1)")
+    p.add_argument("--engine", default="compiled",
+                   choices=("compiled", "bitsliced"),
+                   help="simulation engine (results are bit-identical)")
+    p.add_argument("--seed", type=int, default=0)
+    adaptive = p.add_argument_group(
+        "adaptive scheduling",
+        "decide each probe as early as its evidence allows, prune decided "
+        "probes, and spend the remaining budget on undecided ones",
+    )
+    adaptive.add_argument(
+        "--adaptive", action=argparse.BooleanOptionalAction, default=False,
+        help="adaptive per-probe budgets instead of a uniform budget",
+    )
+    adaptive.add_argument(
+        "--decide-threshold", type=float, default=5.0,
+        help="-log10(p) level at/above which a probe counts as leaky",
+    )
+    adaptive.add_argument(
+        "--null-threshold", type=float, default=4.0,
+        help="-log10(p) level at/below which a probe counts as null",
+    )
+    adaptive.add_argument(
+        "--decide-chunks", type=int, default=2,
+        help="consecutive chunk boundaries a criterion must hold",
+    )
+    adaptive.add_argument(
+        "--min-null-samples", type=int, default=8_192,
+        help="samples a probe needs before a null decision counts",
+    )
+    adaptive.add_argument(
+        "--adaptive-cap", type=float, default=1.0, dest="adaptive_cap",
+        help="budget-escalation hard cap for stubborn undecided probes, "
+             "as a multiple of --simulations (1.0 = never exceed the "
+             "uniform budget)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -364,27 +405,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "campaign", help="chunked, checkpointable leakage campaign"
     )
-    p.add_argument("--design", default="kronecker", choices=_DESIGNS)
-    p.add_argument("--scheme", default="full")
-    p.add_argument("--fixed", type=lambda v: int(v, 0), default=0)
-    p.add_argument("--simulations", type=int, default=100_000)
-    p.add_argument("--windows", type=int, default=1)
-    p.add_argument("--transitions", action="store_true",
-                   help="glitch+transition-extended model")
-    p.add_argument("--pairs", action="store_true",
-                   help="second-order (probe-pair) evaluation")
-    p.add_argument("--batch-probes", action="store_true",
-                   help="evaluate first-order classes AND probe pairs "
-                        "against one shared trace per chunk (mode 'both')")
-    p.add_argument("--max-pairs", type=int, default=500)
-    p.add_argument("--workers", type=int, default=1,
-                   help="worker processes (results are bit-identical "
-                        "to --workers 1)")
-    p.add_argument("--engine", default="compiled",
-                   choices=("compiled", "bitsliced"),
-                   help="simulation engine (results are bit-identical)")
+    _add_spec_arguments(p)
     p.add_argument("--chunk-size", type=int, default=None,
-                   help="simulations per chunk (default: one chunk)")
+                   help="simulations per chunk (default: one chunk, or "
+                        "8192 with --adaptive)")
     p.add_argument("--checkpoint", default=None,
                    help="NPZ checkpoint path, written after every chunk")
     p.add_argument("--resume", action="store_true",
@@ -397,7 +421,6 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fault-injection coverage matrix of the evaluator")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
-    p.add_argument("--seed", type=int, default=0)
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_campaign)
 
@@ -449,26 +472,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--url", default="http://127.0.0.1:8321",
                    help="service base URL")
-    p.add_argument("--design", default="kronecker", choices=_DESIGNS)
-    p.add_argument("--scheme", default="full")
-    p.add_argument("--fixed", type=lambda v: int(v, 0), default=0)
-    p.add_argument("--simulations", type=int, default=100_000)
-    p.add_argument("--windows", type=int, default=1)
-    p.add_argument("--transitions", action="store_true",
-                   help="glitch+transition-extended model")
-    p.add_argument("--pairs", action="store_true",
-                   help="second-order (probe-pair) evaluation")
-    p.add_argument("--batch-probes", action="store_true",
-                   help="first-order classes AND probe pairs (mode 'both')")
-    p.add_argument("--max-pairs", type=int, default=500)
-    p.add_argument("--workers", type=int, default=1)
-    p.add_argument("--engine", default="compiled",
-                   choices=("compiled", "bitsliced"))
+    _add_spec_arguments(p)
     p.add_argument("--timeout", type=float, default=600,
                    help="seconds to wait for the verdict")
     p.add_argument("--json", action="store_true",
                    help="print the full report JSON (byte-exact wire form)")
-    p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("encrypt", help="masked AES-128 encryption")

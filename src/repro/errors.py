@@ -44,6 +44,15 @@ class ServiceError(ReproError):
     """
 
 
+class SpecError(ServiceError):
+    """Invalid :class:`repro.spec.EvaluationSpec` construction or parsing.
+
+    Subclasses :class:`ServiceError` because the spec is also the service
+    job wire format: existing ``except ServiceError`` handlers (the HTTP
+    400 mapping, the CLI) keep working unchanged.
+    """
+
+
 class BudgetExceeded(ReproError):
     """A campaign exhausted its wall-clock or memory budget in strict mode.
 

@@ -14,12 +14,19 @@ netlist IR:
 * :mod:`repro.leakage.evaluator` -- the Monte-Carlo evaluator.
 * :mod:`repro.leakage.campaign` -- chunked, checkpointable evaluation
   campaigns over the evaluator (resume, budgets, early stop).
+* :mod:`repro.leakage.adaptive` -- per-probe adaptive scheduling: decide
+  easy probes early, prune them, spend the budget on uncertain ones.
 * :mod:`repro.leakage.faults` -- fault-injection self-validation: the
   evaluator must flag known-broken mutants and pass the clean design.
 * :mod:`repro.leakage.exact` -- exact (SILVER-style) distribution analysis by
   exhaustive randomness enumeration for small supports.
 """
 
+from repro.leakage.adaptive import (
+    AdaptiveConfig,
+    AdaptiveScheduler,
+    ProbeState,
+)
 from repro.leakage.campaign import (
     CampaignConfig,
     EvaluationCampaign,
@@ -37,7 +44,10 @@ from repro.leakage.report import LeakageReport, ProbeResult
 from repro.leakage.sni import GadgetSpec, SniChecker
 
 __all__ = [
+    "AdaptiveConfig",
+    "AdaptiveScheduler",
     "CampaignConfig",
+    "ProbeState",
     "DesignUnderTest",
     "EvaluationCampaign",
     "FaultSpec",

@@ -28,7 +28,17 @@ canonical sampling blocks:
   compatible with the same checkpoints;
 * ``mode="both"`` evaluates first-order probe classes *and* probe pairs
   against one shared simulation per block (shared-trace probe batching)
-  instead of simulating the campaign twice.
+  instead of simulating the campaign twice;
+* with an :class:`~repro.leakage.adaptive.AdaptiveConfig` attached, an
+  :class:`~repro.leakage.adaptive.AdaptiveScheduler` classifies every probe
+  as decided-leaky / decided-null / undecided at each chunk boundary,
+  prunes decided probes from subsequent accumulation passes (the shared
+  trace is still simulated once per block; their key extraction and
+  histogram updates are skipped), finishes early once everything is
+  decided, and -- if the config allows -- escalates the budget of stubborn
+  undecided probes up to a hard cap.  The scheduler state travels in the
+  checkpoint, so adaptive campaigns resume to the identical decision
+  sequence.
 """
 
 from __future__ import annotations
@@ -43,6 +53,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.errors import BudgetExceeded, CheckpointError, SimulationError
+from repro.leakage.adaptive import AdaptiveConfig, AdaptiveScheduler
 from repro.leakage.evaluator import HistogramAccumulator, LeakageEvaluator
 from repro.leakage.gtest import DEFAULT_THRESHOLD
 from repro.leakage.parallel import ParallelExecutor, effective_workers
@@ -80,6 +91,10 @@ class CampaignConfig:
     pair_offsets: Tuple[int, ...] = (0,)
     #: worker processes per chunk; 1 runs in-process.
     workers: int = 1
+    #: adaptive per-probe scheduling (None keeps the uniform budget, and
+    #: the campaign's behaviour -- down to the accumulated bytes -- is
+    #: identical to earlier versions).
+    adaptive: Optional[AdaptiveConfig] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("first", "pairs", "both"):
@@ -98,6 +113,11 @@ class CampaignConfig:
             raise SimulationError("time_budget must be positive")
         if self.early_stop is not None and self.early_stop <= 0:
             raise SimulationError("early_stop must be positive")
+        if self.adaptive is not None and self.chunk_size is None:
+            raise SimulationError(
+                "adaptive scheduling decides at chunk boundaries; "
+                "set chunk_size"
+            )
 
 
 @dataclass
@@ -157,6 +177,12 @@ class EvaluationCampaign:
             else []
         )
         self._executor: Optional[ParallelExecutor] = None
+        #: adaptive decision state; built fresh per :meth:`run` (or restored
+        #: from the checkpoint), ``None`` for uniform campaigns.
+        self.scheduler: Optional[AdaptiveScheduler] = None
+        #: lane budget ceiling: the base budget, or -- for adaptive runs
+        #: with ``max_budget_factor > 1`` -- the escalated hard cap.
+        self._esc_lanes = self._n_lanes
 
     def _emit(self, event: str, **payload) -> None:
         if self.hook is not None:
@@ -175,7 +201,7 @@ class EvaluationCampaign:
         """
         ev = self.evaluator
         cfg = self.config
-        return {
+        fingerprint: Dict[str, object] = {
             "design": ev.dut.describe(),
             "model": ev.model.value,
             "seed": ev.seed,
@@ -192,6 +218,12 @@ class EvaluationCampaign:
             "pair_seed": cfg.pair_seed,
             "pair_offsets": list(cfg.pair_offsets),
         }
+        if cfg.adaptive is not None:
+            # Only present when adaptive is on, so checkpoints written by
+            # uniform campaigns (any version) keep loading unchanged -- and
+            # adaptive/uniform samples are never mixed.
+            fingerprint["adaptive"] = cfg.adaptive.to_dict()
+        return fingerprint
 
     # ------------------------------------------------------------- chunk plan
 
@@ -220,15 +252,49 @@ class EvaluationCampaign:
         missing checkpoint file simply starts a fresh run.
         """
         cfg = self.config
-        self.progress = CampaignProgress(blocks_total=self._blocks_total())
+        base_blocks = self._blocks_total()
+        self.scheduler = None
+        self._esc_lanes = self._n_lanes
+        if cfg.adaptive is not None:
+            n_classes = (
+                len(self.evaluator.probe_classes)
+                if cfg.mode != "pairs"
+                else 0
+            )
+            self.scheduler = AdaptiveScheduler(
+                cfg.adaptive,
+                n_classes=n_classes,
+                pairs=self._pairs,
+                pair_offsets=cfg.pair_offsets,
+            )
+            self._esc_lanes = self.scheduler.escalation_lanes(self._n_lanes)
+        esc_blocks = (
+            self.evaluator.block_count(self._esc_lanes)
+            if self.scheduler is not None
+            else base_blocks
+        )
+        self.progress = CampaignProgress(blocks_total=base_blocks)
         self.accumulator = HistogramAccumulator()
         next_block = 0
         if resume and cfg.checkpoint and os.path.exists(cfg.checkpoint):
             next_block = self._load_checkpoint(cfg.checkpoint)
             self.progress.resumed_from_block = next_block
             self.progress.blocks_done = next_block
+        escalated = next_block > base_blocks
+        if (
+            self.scheduler is not None
+            and next_block >= base_blocks
+            and esc_blocks > base_blocks
+            and not self.scheduler.all_decided()
+        ):
+            # Resumed from a checkpoint saved at (or past) the base budget
+            # with undecided probes left: re-enter the escalation phase.
+            escalated = True
+        if escalated:
+            self.progress.blocks_total = esc_blocks
         started = time.monotonic()
         status = "complete"
+        finished_early = False
         chunk_blocks = self._chunk_blocks()
         if self.effective_workers > 1:
             self._executor = ParallelExecutor(
@@ -249,6 +315,9 @@ class EvaluationCampaign:
                 if self.should_stop is not None and self.should_stop():
                     status = "truncated:cancelled"
                     break
+                if self.scheduler is not None and self.scheduler.all_decided():
+                    finished_early = True
+                    break
                 if cfg.time_budget is not None:
                     elapsed = time.monotonic() - started
                     if elapsed >= cfg.time_budget:
@@ -261,20 +330,47 @@ class EvaluationCampaign:
                             )
                         status = "truncated:time-budget"
                         break
-                end = min(
-                    next_block + chunk_blocks, self.progress.blocks_total
+                # A chunk never spans the base/escalation boundary: blocks
+                # past ``base_blocks`` size their lanes against the
+                # escalated cap, earlier ones against the base budget.
+                boundary = (
+                    base_blocks
+                    if next_block < base_blocks
+                    else self.progress.blocks_total
                 )
+                end = min(next_block + chunk_blocks, boundary)
                 self._run_chunk_with_retry(next_block, end)
+                samples_added = (
+                    self._lanes_done(end) - self._lanes_done(next_block)
+                ) * cfg.n_windows
                 next_block = end
                 self.progress.blocks_done = next_block
                 self.progress.chunks_done += 1
-                self._emit(
-                    "chunk_done",
-                    blocks_done=next_block,
-                    blocks_total=self.progress.blocks_total,
-                    chunks_done=self.progress.chunks_done,
-                    elapsed=time.monotonic() - started,
-                )
+                if self.scheduler is not None:
+                    # The scheduler keeps its own chunk counter: it is
+                    # restored from checkpoints, while progress.chunks_done
+                    # restarts at zero on every resume.
+                    decided = self.scheduler.observe(
+                        self.accumulator, samples_added
+                    )
+                    for state in decided:
+                        self._emit(
+                            "probe_decided",
+                            table_id=state.table_id,
+                            state=state.state,
+                            mlog10p=state.mlog10p,
+                            n_samples=state.n_samples,
+                            chunk=state.decided_at_chunk,
+                        )
+                chunk_payload = {
+                    "blocks_done": next_block,
+                    "blocks_total": self.progress.blocks_total,
+                    "chunks_done": self.progress.chunks_done,
+                    "elapsed": time.monotonic() - started,
+                }
+                if self.scheduler is not None:
+                    chunk_payload["adaptive"] = self.scheduler.counts()
+                self._emit("chunk_done", **chunk_payload)
                 if cfg.checkpoint:
                     self._save_checkpoint(cfg.checkpoint, next_block)
                     self._emit(
@@ -287,6 +383,37 @@ class EvaluationCampaign:
                     if interim.max_mlog10p >= cfg.early_stop:
                         status = "truncated:early-stop"
                         break
+                if (
+                    self.scheduler is not None
+                    and not escalated
+                    and next_block >= self.progress.blocks_total
+                    and esc_blocks > base_blocks
+                    and not self.scheduler.all_decided()
+                ):
+                    escalated = True
+                    self.progress.blocks_total = esc_blocks
+                    self._emit(
+                        "adaptive_escalated",
+                        undecided=self.scheduler.counts()["undecided"],
+                        blocks_total=esc_blocks,
+                        lanes_cap=self._esc_lanes,
+                    )
+            if (
+                self.scheduler is not None
+                and status == "complete"
+                and self.scheduler.all_decided()
+            ):
+                finished_early = (
+                    finished_early
+                    or next_block < self.progress.blocks_total
+                )
+            if finished_early:
+                self._emit(
+                    "adaptive_finished_early",
+                    blocks_done=self.progress.blocks_done,
+                    blocks_total=self.progress.blocks_total,
+                    **self.scheduler.counts(),
+                )
         finally:
             if self._executor is not None:
                 self._executor.close()
@@ -320,50 +447,73 @@ class EvaluationCampaign:
             self._run_chunk_with_retry(start, middle)
             self._run_chunk_with_retry(middle, end)
 
-    def _batch_spec(self) -> Dict[str, object]:
-        """classes/pairs arguments implied by the campaign mode."""
+    def _active_selection(self) -> Tuple[List[int], List[Tuple[int, int]]]:
+        """(class_indices, pairs) still accumulating, per mode/scheduler."""
         cfg = self.config
         if cfg.mode == "pairs":
-            return {"classes": (), "pairs": self._pairs}
-        if cfg.mode == "both":
-            return {"classes": None, "pairs": self._pairs}
-        return {"classes": None, "pairs": ()}
+            indices: List[int] = []
+        elif self.scheduler is not None:
+            indices = self.scheduler.active_class_indices()
+        else:
+            indices = list(range(len(self.evaluator.probe_classes)))
+        pairs = self._pairs
+        if self.scheduler is not None and cfg.mode in ("pairs", "both"):
+            pairs = self.scheduler.active_pairs()
+        return indices, pairs
+
+    def _lanes_done(self, blocks_done: int) -> int:
+        """Lanes accumulated after ``blocks_done`` blocks.
+
+        Base blocks partition the base lane budget (last block possibly
+        partial); escalation blocks size their lanes against the escalated
+        cap, so the total never exceeds ``max_budget_factor * n_lanes``.
+        """
+        block_lanes = self.evaluator.block_lanes
+        base_blocks = self.evaluator.block_count(self._n_lanes)
+        if blocks_done <= base_blocks:
+            return min(blocks_done * block_lanes, self._n_lanes)
+        extra = min(blocks_done * block_lanes, self._esc_lanes)
+        extra -= base_blocks * block_lanes
+        return self._n_lanes + max(0, extra)
 
     def _accumulate(self, acc: HistogramAccumulator, blocks: range) -> None:
         cfg = self.config
-        spec = self._batch_spec()
+        class_indices, pairs = self._active_selection()
+        # Escalation blocks index lanes past the base budget, so they need
+        # the escalated cap as their lane total; chunks never mix the two.
+        lanes_cap = (
+            self._n_lanes
+            if blocks.start < self.evaluator.block_count(self._n_lanes)
+            else self._esc_lanes
+        )
         if self._executor is not None:
             self._executor.accumulate(
                 acc,
                 cfg.fixed_secret,
-                self._n_lanes,
+                lanes_cap,
                 cfg.n_windows,
                 blocks,
-                classes=spec["classes"],
-                pairs=spec["pairs"],
+                class_indices=class_indices,
+                pairs=pairs,
                 pair_offsets=cfg.pair_offsets,
             )
         else:
-            self.evaluator.accumulate_batched(
+            self.evaluator.accumulate(
                 acc,
                 cfg.fixed_secret,
-                self._n_lanes,
+                lanes_cap,
                 cfg.n_windows,
-                classes=spec["classes"],
-                pairs=spec["pairs"],
+                class_indices=class_indices,
+                pairs=pairs,
                 pair_offsets=cfg.pair_offsets,
                 blocks=blocks,
             )
 
     def _report(self, status: str) -> LeakageReport:
         cfg = self.config
-        lanes_done = min(
-            self.progress.blocks_done * self.evaluator.block_lanes,
-            self._n_lanes,
-        )
-        n_samples = lanes_done * cfg.n_windows
+        n_samples = self._lanes_done(self.progress.blocks_done) * cfg.n_windows
         if cfg.mode == "pairs":
-            return self.evaluator.pairs_report(
+            report = self.evaluator.pairs_report(
                 self.accumulator,
                 cfg.fixed_secret,
                 n_samples,
@@ -372,8 +522,8 @@ class EvaluationCampaign:
                 cfg.threshold,
                 status=status,
             )
-        if cfg.mode == "both":
-            return self.evaluator.batched_report(
+        elif cfg.mode == "both":
+            report = self.evaluator.batched_report(
                 self.accumulator,
                 cfg.fixed_secret,
                 n_samples,
@@ -382,13 +532,19 @@ class EvaluationCampaign:
                 cfg.threshold,
                 status=status,
             )
-        return self.evaluator.first_order_report(
-            self.accumulator,
-            cfg.fixed_secret,
-            n_samples,
-            cfg.threshold,
-            status=status,
-        )
+        else:
+            report = self.evaluator.first_order_report(
+                self.accumulator,
+                cfg.fixed_secret,
+                n_samples,
+                cfg.threshold,
+                status=status,
+            )
+        if self.scheduler is not None:
+            report.adaptive = self.scheduler.summary(
+                uniform_samples=self._n_lanes * cfg.n_windows
+            )
+        return report
 
     # ------------------------------------------------------------ checkpoints
 
@@ -402,6 +558,8 @@ class EvaluationCampaign:
             "blocks_total": self.progress.blocks_total,
             "table_ids": ids,
         }
+        if self.scheduler is not None:
+            meta["adaptive"] = self.scheduler.to_state()
         directory = os.path.dirname(os.path.abspath(path)) or "."
         fd, tmp_path = tempfile.mkstemp(
             prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
@@ -455,11 +613,18 @@ class EvaluationCampaign:
         self.accumulator = HistogramAccumulator.from_state(
             meta["table_ids"], arrays
         )
+        if self.scheduler is not None:
+            if "adaptive" not in meta:
+                raise CheckpointError(
+                    f"checkpoint {path!r} has no adaptive scheduler state"
+                )
+            self.scheduler = AdaptiveScheduler.from_state(meta["adaptive"])
         next_block = int(meta["next_block"])
-        if not 0 <= next_block <= self.progress.blocks_total:
+        max_blocks = self.evaluator.block_count(self._esc_lanes)
+        if not 0 <= next_block <= max_blocks:
             raise CheckpointError(
                 f"checkpoint {path!r} points at block {next_block} of "
-                f"{self.progress.blocks_total}"
+                f"{max_blocks}"
             )
         return next_block
 

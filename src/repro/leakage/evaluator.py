@@ -37,6 +37,7 @@ behaviour degrades measurably once expected counts drop toward ~10).
 from __future__ import annotations
 
 import itertools
+import warnings
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -369,44 +370,125 @@ class LeakageEvaluator:
             return _mix_hash(keys) >> np.uint64(64 - self.hash_bits)
         return keys
 
-    # ------------------------------------------------- shared-trace batching
+    # --------------------------------------------------- unified entry point
 
-    def accumulate_batched(
+    def accumulate(
+        self,
+        acc: HistogramAccumulator,
+        fixed_secret: int = 0,
+        n_lanes: Optional[int] = None,
+        n_windows: int = 1,
+        *,
+        spec=None,
+        classes: Optional[Sequence[ProbeClass]] = None,
+        class_indices: Optional[Sequence[int]] = None,
+        pairs: Sequence[Tuple[int, int]] = (),
+        pair_offsets: Sequence[int] = (0,),
+        blocks: Optional[Iterable[int]] = None,
+        batched: bool = True,
+    ) -> None:
+        """Accumulate observations for any probe selection into ``acc``.
+
+        The single public accumulation entry point (the former
+        ``accumulate_first_order`` / ``accumulate_batched`` pair survives
+        as deprecated wrappers).  Per block both groups are simulated a
+        single time, and all first-order classes (table ids ``c<i>``) plus
+        all probe-pair tables (``p<i>:<j>:<delta>``, indices into the
+        evaluator's own probe classes) are evaluated against the same
+        recorded trace.  Raw per-class observation keys are computed once
+        per (class, offset) and reused across every pair that touches the
+        class.
+
+        Probe selection, in precedence order:
+
+        * ``spec`` -- an :class:`repro.spec.EvaluationSpec` (anything with
+          its sampling attributes); supplies ``fixed_secret``, ``n_lanes``
+          (from its ``n_simulations``/``n_windows``), ``pair_offsets``, and
+          -- for modes ``pairs``/``both`` -- the deterministic pair
+          selection, unless explicitly overridden.
+        * ``class_indices`` -- indices into the evaluator's own probe
+          classes; table ids keep those indices (``c<i>``), which is what
+          lets the adaptive scheduler prune classes mid-campaign without
+          remapping accumulated tables.
+        * ``classes`` -- explicit :class:`ProbeClass` objects (table ids by
+          enumeration order); ``None`` selects every probe class, ``()``
+          runs pairs only.
+
+        With ``pair_offsets=(0,)`` (or no pairs) the observation schedule
+        -- and therefore every sampled stimulus bit -- is identical to a
+        first-order-only run, so batched tables are bit-identical to
+        running the modes separately.  A non-zero offset lengthens the
+        warm-up margin for the whole batch, which shifts the first-order
+        observation cycles relative to a dedicated margin-0 run (same
+        distribution, different samples).  ``batched=False`` disables
+        shared-trace batching and processes each probe set in its own pass
+        over the blocks -- same tables, one simulation per probe set; it
+        exists to measure exactly what batching saves.
+        """
+        if spec is not None:
+            fixed_secret = spec.fixed_secret
+            n_windows = spec.n_windows
+            if n_lanes is None:
+                n_lanes = self.n_lanes_for(spec.n_simulations, n_windows)
+            pair_offsets = tuple(spec.pair_offsets)
+            if spec.mode in ("pairs", "both") and not pairs:
+                pairs = self.select_pairs(spec.max_pairs, spec.pair_seed)
+            if spec.mode == "pairs" and classes is None:
+                classes = ()
+        if n_lanes is None:
+            raise SimulationError(
+                "accumulate() needs n_lanes (or a spec to derive it from)"
+            )
+        if class_indices is not None:
+            if classes is not None:
+                raise SimulationError(
+                    "pass either classes or class_indices, not both"
+                )
+            class_indices = list(class_indices)
+            classes = [self.probe_classes[i] for i in class_indices]
+        else:
+            classes = (
+                list(self.probe_classes)
+                if classes is None
+                else list(classes)
+            )
+            class_indices = list(range(len(classes)))
+        pairs = list(pairs)
+        if not batched:
+            blocks = (
+                list(blocks)
+                if blocks is not None
+                else list(range(self.block_count(n_lanes)))
+            )
+            for index, probe_class in zip(class_indices, classes):
+                self._accumulate_batch(
+                    acc, fixed_secret, n_lanes, n_windows,
+                    [probe_class], [index], [], pair_offsets, blocks,
+                )
+            for pair in pairs:
+                self._accumulate_batch(
+                    acc, fixed_secret, n_lanes, n_windows,
+                    [], [], [pair], pair_offsets, blocks,
+                )
+            return
+        self._accumulate_batch(
+            acc, fixed_secret, n_lanes, n_windows,
+            classes, class_indices, pairs, pair_offsets, blocks,
+        )
+
+    def _accumulate_batch(
         self,
         acc: HistogramAccumulator,
         fixed_secret: int,
         n_lanes: int,
         n_windows: int,
-        classes: Optional[Sequence[ProbeClass]] = None,
-        pairs: Sequence[Tuple[int, int]] = (),
-        pair_offsets: Sequence[int] = (0,),
-        blocks: Optional[Iterable[int]] = None,
+        classes: Sequence[ProbeClass],
+        class_indices: Sequence[int],
+        pairs: Sequence[Tuple[int, int]],
+        pair_offsets: Sequence[int],
+        blocks: Optional[Iterable[int]],
     ) -> None:
-        """Simulate each block **once** and fold every requested probe set.
-
-        This is the shared-trace batching primitive both
-        :meth:`accumulate_first_order` and :meth:`accumulate_pairs` delegate
-        to: per block both groups are simulated a single time, and all
-        first-order classes (table ids ``c<i>``, ``i`` indexing ``classes``)
-        plus all probe-pair tables (``p<i>:<j>:<delta>``, indices into the
-        evaluator's own probe classes) are evaluated against the same
-        recorded trace.  Raw per-class observation keys are computed once
-        per (class, offset) and reused across every pair that touches the
-        class -- previously each pair re-encoded both members.
-
-        ``classes=None`` selects every probe class; pass ``()`` for a
-        pairs-only run.  With ``pair_offsets=(0,)`` (or no pairs) the
-        observation schedule -- and therefore every sampled stimulus bit --
-        is identical to the dedicated first-order/pairs paths, so batched
-        tables are bit-identical to running the two modes separately.  A
-        non-zero offset lengthens the warm-up margin for the whole batch,
-        which shifts the first-order observation cycles relative to a
-        dedicated margin-0 run (same distribution, different samples).
-        """
-        classes = (
-            list(self.probe_classes) if classes is None else list(classes)
-        )
-        pairs = list(pairs)
+        """Shared-trace core: one simulation per block, all probe sets."""
         if pairs:
             offsets, eval_cycles, n_cycles, record_cycles = (
                 self._pair_schedule(n_windows, pair_offsets)
@@ -443,7 +525,7 @@ class LeakageEvaluator:
                     )
                 return group_cache[key]
 
-            for index, probe_class in enumerate(classes):
+            for index, probe_class in zip(class_indices, classes):
                 keys_fixed = self._bucket(
                     raw(raw_fixed, bits_fixed, trace_fixed, probe_class, 0),
                     probe_class.observation_bits,
@@ -483,7 +565,36 @@ class LeakageEvaluator:
                         table_id, keys_random, HistogramAccumulator.GROUP_RANDOM
                     )
 
-    # ----------------------------------------------------------- first order
+    # ------------------------------------------------- deprecated wrappers
+
+    def accumulate_batched(
+        self,
+        acc: HistogramAccumulator,
+        fixed_secret: int,
+        n_lanes: int,
+        n_windows: int,
+        classes: Optional[Sequence[ProbeClass]] = None,
+        pairs: Sequence[Tuple[int, int]] = (),
+        pair_offsets: Sequence[int] = (0,),
+        blocks: Optional[Iterable[int]] = None,
+    ) -> None:
+        """Deprecated alias of :meth:`accumulate` (same table ids)."""
+        warnings.warn(
+            "LeakageEvaluator.accumulate_batched is deprecated; use "
+            "LeakageEvaluator.accumulate",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.accumulate(
+            acc,
+            fixed_secret,
+            n_lanes,
+            n_windows,
+            classes=classes,
+            pairs=pairs,
+            pair_offsets=pair_offsets,
+            blocks=blocks,
+        )
 
     def accumulate_first_order(
         self,
@@ -494,13 +605,14 @@ class LeakageEvaluator:
         blocks: Optional[Iterable[int]] = None,
         classes: Optional[List[ProbeClass]] = None,
     ) -> None:
-        """Simulate the given blocks and fold observations into ``acc``.
-
-        Table ids are ``c<i>`` with ``i`` the index into ``classes`` (the
-        evaluator's own probe classes by default).  ``blocks`` defaults to
-        every block of the run; campaigns pass sub-ranges.
-        """
-        self.accumulate_batched(
+        """Deprecated alias of :meth:`accumulate` without pairs."""
+        warnings.warn(
+            "LeakageEvaluator.accumulate_first_order is deprecated; use "
+            "LeakageEvaluator.accumulate",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        self.accumulate(
             acc,
             fixed_secret,
             n_lanes,
@@ -509,6 +621,8 @@ class LeakageEvaluator:
             pairs=(),
             blocks=blocks,
         )
+
+    # ----------------------------------------------------------- first order
 
     def first_order_report(
         self,
@@ -554,7 +668,7 @@ class LeakageEvaluator:
         """
         n_lanes = self.n_lanes_for(n_simulations, n_windows)
         acc = HistogramAccumulator()
-        self.accumulate_first_order(
+        self.accumulate(
             acc, fixed_secret, n_lanes, n_windows, classes=probe_classes
         )
         return self.first_order_report(
@@ -610,7 +724,7 @@ class LeakageEvaluator:
         Table ids are ``p<i>:<j>:<delta>``; the second probe of a pair is
         placed ``delta`` cycles earlier than the first.
         """
-        self.accumulate_batched(
+        self.accumulate(
             acc,
             fixed_secret,
             n_lanes,

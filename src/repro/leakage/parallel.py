@@ -105,6 +105,7 @@ def _run_shard(
         n_lanes,
         n_windows,
         classes,
+        class_indices,
         pairs,
         pair_offsets,
         block_list,
@@ -112,12 +113,13 @@ def _run_shard(
     if _WORKER_EVALUATOR is None:  # pragma: no cover - initializer contract
         raise SimulationError("worker process was not initialised")
     acc = HistogramAccumulator()
-    _WORKER_EVALUATOR.accumulate_batched(
+    _WORKER_EVALUATOR.accumulate(
         acc,
         fixed_secret,
         n_lanes,
         n_windows,
         classes=classes,
+        class_indices=class_indices,
         pairs=pairs,
         pair_offsets=pair_offsets,
         blocks=block_list,
@@ -221,12 +223,13 @@ class ParallelExecutor:
         n_windows: int,
         blocks: Iterable[int],
         classes=None,
+        class_indices: Optional[Sequence[int]] = None,
         pairs: Sequence[Tuple[int, int]] = (),
         pair_offsets: Sequence[int] = (0,),
     ) -> None:
         """Accumulate ``blocks`` into ``acc``, sharded across the pool.
 
-        Mirrors :meth:`LeakageEvaluator.accumulate_batched`; a worker
+        Mirrors :meth:`LeakageEvaluator.accumulate`; a worker
         :class:`MemoryError` propagates to the caller so campaign
         split-and-retry semantics keep working, and a broken pool retries
         the whole block set in-process (no partial tables are merged before
@@ -237,12 +240,13 @@ class ParallelExecutor:
             return
         self._ensure_pool()
         if self._pool is None:
-            self.evaluator.accumulate_batched(
+            self.evaluator.accumulate(
                 acc,
                 fixed_secret,
                 n_lanes,
                 n_windows,
                 classes=classes,
+                class_indices=class_indices,
                 pairs=pairs,
                 pair_offsets=pair_offsets,
                 blocks=block_list,
@@ -258,6 +262,7 @@ class ParallelExecutor:
                 n_lanes,
                 n_windows,
                 classes,
+                tuple(class_indices) if class_indices is not None else None,
                 tuple(pairs),
                 tuple(pair_offsets),
                 shard,
@@ -276,6 +281,7 @@ class ParallelExecutor:
                 n_windows,
                 block_list,
                 classes=classes,
+                class_indices=class_indices,
                 pairs=pairs,
                 pair_offsets=pair_offsets,
             )

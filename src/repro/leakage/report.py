@@ -11,7 +11,14 @@ from typing import Dict, List, Optional, Tuple
 #: service wire format).  Bumped on any incompatible field change so
 #: long-lived consumers -- dashboards, the verdict cache -- can refuse
 #: records they do not understand.
-SCHEMA_VERSION = 1
+#:
+#: Version history:
+#:
+#: * 1 -- initial machine-readable report/job-record format.
+#: * 2 -- adaptive per-probe scheduling: reports gain an optional
+#:   ``"adaptive"`` object (per-probe decisions, mixed per-probe sample
+#:   counts, budget savings); ``/healthz`` gains ``api_version``.
+SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -49,6 +56,12 @@ class LeakageReport:
     #: "complete", or "truncated:<reason>" when a campaign stopped early
     #: (time/memory budget, decisive early abort).
     status: str = "complete"
+    #: adaptive-scheduler outcome (:meth:`AdaptiveScheduler.summary`):
+    #: per-probe decisions and mixed per-probe sample counts.  ``None``
+    #: for uniform-budget evaluations -- and then absent from
+    #: :meth:`to_dict`, keeping uniform reports identical to earlier
+    #: versions apart from the schema bump.
+    adaptive: Optional[Dict] = None
 
     @property
     def truncated(self) -> bool:
@@ -82,7 +95,7 @@ class LeakageReport:
         ranked = sorted(self.results, key=lambda r: -r.mlog10p)
         if top is not None:
             ranked = ranked[:top]
-        return {
+        out = {
             "schema_version": SCHEMA_VERSION,
             "design": self.design,
             "model": self.model,
@@ -96,6 +109,9 @@ class LeakageReport:
             "n_skipped": len(self.skipped_probes),
             "results": [asdict(r) for r in ranked],
         }
+        if self.adaptive is not None:
+            out["adaptive"] = self.adaptive
+        return out
 
     def to_json(self, top: Optional[int] = None, indent: int = 2) -> str:
         """JSON rendering of :meth:`to_dict`."""
@@ -117,6 +133,15 @@ class LeakageReport:
             + (f" (skipped {len(self.skipped_probes)} wide)" if self.skipped_probes else ""),
             f"  verdict:      {verdict}",
         ]
+        if self.adaptive is not None:
+            savings = self.adaptive.get("probe_sample_savings")
+            lines.append(
+                "  adaptive:     "
+                f"{self.adaptive['decided_leaky']} leaky / "
+                f"{self.adaptive['decided_null']} null / "
+                f"{self.adaptive['undecided']} undecided"
+                + (f", {savings}x probe-sample savings" if savings else "")
+            )
         ranked = sorted(self.results, key=lambda r: -r.mlog10p)
         for result in ranked[:top]:
             lines.append("  " + result.format_row())

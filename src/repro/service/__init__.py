@@ -11,9 +11,10 @@ tuples while comparing candidate randomness schemes:
 * :mod:`repro.service.queue` -- bounded admission queue.
 * :mod:`repro.service.runner` -- background worker threads executing jobs
   as checkpointable campaigns with cancellation and crash-resume.
-* :mod:`repro.service.http` -- stdlib JSON HTTP API
-  (``POST /jobs``, ``GET /jobs/<id>[?wait=s]``, ``GET /jobs/<id>/report``,
-  ``GET /healthz``, ``GET /metrics``).
+* :mod:`repro.service.http` -- stdlib JSON HTTP API under the versioned
+  ``/v1/`` prefix (``POST /v1/jobs``, ``GET /v1/jobs/<id>[?wait=s]``,
+  ``GET /v1/jobs/<id>/report``, ``GET /v1/healthz``, ``GET /v1/metrics``;
+  unversioned paths remain as deprecated aliases).
 * :mod:`repro.service.telemetry` -- JSON-lines event log + live counters.
 
 Entry points: ``python -m repro.cli serve`` and ``python -m repro.cli

@@ -1,23 +1,31 @@
 """JSON-over-HTTP front end for the evaluation service (stdlib only).
 
-Endpoints (all JSON):
+Endpoints (all JSON, under the versioned ``/v1/`` prefix):
 
-* ``POST /jobs`` -- submit a job spec.  Answers 200 with the existing
+* ``POST /v1/jobs`` -- submit a job spec.  Answers 200 with the existing
   record on a verdict-cache hit (``"cached": true`` -- no simulation runs),
   200 with the in-flight record when an identical job is already queued or
   running (``"deduplicated": true``), 201 with a fresh ``queued`` record
   otherwise, 400 on a bad spec, 429 when the queue is full.
-* ``GET /jobs`` -- all job records, oldest first.
-* ``GET /jobs/<id>`` -- one record; ``?wait=<seconds>`` long-polls until
+* ``GET /v1/jobs`` -- all job records, oldest first.
+* ``GET /v1/jobs/<id>`` -- one record; ``?wait=<seconds>`` long-polls until
   the job reaches a terminal state (or the wait times out -- the caller
   distinguishes by the returned ``state``).
-* ``GET /jobs/<id>/report`` -- the full serialized report, byte-identical
-  to the run that populated the verdict cache; 409 while not finished.
-* ``POST /jobs/<id>/cancel`` -- stop a queued/running job at its next
+* ``GET /v1/jobs/<id>/report`` -- the full serialized report,
+  byte-identical to the run that populated the verdict cache; 409 while
+  not finished.
+* ``POST /v1/jobs/<id>/cancel`` -- stop a queued/running job at its next
   chunk boundary.
-* ``GET /healthz`` -- liveness + uptime.
-* ``GET /metrics`` -- telemetry counters, cache stats, queue depth, job
+* ``GET /v1/healthz`` -- liveness + uptime + ``api_version``.
+* ``GET /v1/metrics`` -- telemetry counters, cache stats, queue depth, job
   state counts, busy workers.
+
+The pre-versioning paths (``/jobs``, ``/healthz``, ``/metrics``, ...)
+remain as deprecated aliases: they behave identically but every response
+carries a ``Deprecation: true`` header plus a ``Link:
+rel="successor-version"`` pointing at the ``/v1/`` route.  New clients
+should use ``/v1/`` only; the aliases exist so pre-versioning scripts keep
+working across the transition and will be removed in a future version.
 
 The server is a ``ThreadingHTTPServer``: every request handler runs in its
 own thread and only touches the lock-protected store/queue/telemetry, so
@@ -40,9 +48,13 @@ from repro.service.queue import JobQueue, QueueFull
 from repro.service.runner import JobRunner, evaluator_for, verdict_summary
 from repro.service.store import JobSpec, JobStore
 from repro.service.telemetry import Telemetry
+from repro.spec import API_VERSION
 
 #: Longest ``?wait=`` a single request may hold a handler thread.
 MAX_LONG_POLL_SECONDS = 60.0
+
+#: First path segments the deprecated unversioned aliases still answer.
+_LEGACY_ROOTS = ("healthz", "metrics", "jobs")
 
 
 class EvaluationService:
@@ -197,6 +209,7 @@ class EvaluationService:
     def metrics(self) -> Dict:
         return {
             "schema_version": SCHEMA_VERSION,
+            "api_version": API_VERSION,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "counters": self.telemetry.counters(),
             "cache": self.store.stats.to_dict(),
@@ -211,6 +224,7 @@ class EvaluationService:
             "ok": True,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "schema_version": SCHEMA_VERSION,
+            "api_version": API_VERSION,
         }
 
 
@@ -237,8 +251,31 @@ def _make_handler(service: EvaluationService):
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
+            if getattr(self, "_deprecated_alias", False):
+                # Unversioned legacy path: signal the migration target.
+                self.send_header("Deprecation", "true")
+                self.send_header(
+                    "Link",
+                    f'<{self._successor}>; rel="successor-version"',
+                )
             self.end_headers()
             self.wfile.write(data)
+
+        def _route_parts(self, parsed) -> list:
+            """Path segments with the ``/v1`` prefix stripped.
+
+            Requests on the old unversioned paths are flagged so every
+            response (including errors) carries the deprecation headers.
+            """
+            parts = [p for p in parsed.path.split("/") if p]
+            self._deprecated_alias = False
+            self._successor = ""
+            if parts and parts[0] == API_VERSION:
+                return parts[1:]
+            if parts and parts[0] in _LEGACY_ROOTS:
+                self._deprecated_alias = True
+                self._successor = f"/{API_VERSION}{parsed.path}"
+            return parts
 
         def _read_body(self) -> Dict:
             length = int(self.headers.get("Content-Length") or 0)
@@ -272,7 +309,7 @@ def _make_handler(service: EvaluationService):
 
         def _route_get(self) -> None:
             parsed = urlparse(self.path)
-            parts = [p for p in parsed.path.split("/") if p]
+            parts = self._route_parts(parsed)
             if parts == ["healthz"]:
                 self._send_json(200, service.health())
                 return
@@ -330,7 +367,7 @@ def _make_handler(service: EvaluationService):
 
         def _route_post(self) -> None:
             parsed = urlparse(self.path)
-            parts = [p for p in parsed.path.split("/") if p]
+            parts = self._route_parts(parsed)
             if parts == ["jobs"]:
                 status, body = service.submit(self._read_body())
                 self._send_json(status, body)

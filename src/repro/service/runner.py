@@ -38,17 +38,16 @@ from repro.core.optimizations import (
     SecondOrderScheme,
 )
 from repro.errors import ReproError, ServiceError
-from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
+from repro.leakage.campaign import EvaluationCampaign
 from repro.leakage.evaluator import LeakageEvaluator
 from repro.leakage.model import ProbingModel
 from repro.service.queue import JobQueue
 from repro.service.store import JobSpec, JobStore
 from repro.service.telemetry import Telemetry
 
-#: Server-side default chunking: jobs checkpoint at this sample granularity
-#: even when the submitter did not ask for chunks, so crash-resume and
-#: cancellation have something to bite on.
-DEFAULT_CHUNK_SIZE = 8_192
+# Server-side default chunking now lives on the spec itself; re-exported
+# because earlier service versions defined it here.
+from repro.spec import DEFAULT_CHUNK_SIZE  # noqa: F401
 
 _SCHEMES = {scheme.value: scheme for scheme in FIRST_ORDER_SCHEMES}
 _SCHEMES.update({scheme.value: scheme for scheme in SecondOrderScheme})
@@ -112,26 +111,6 @@ def evaluator_for(spec: JobSpec) -> LeakageEvaluator:
     )
     return LeakageEvaluator(
         built.dut, model, seed=spec.seed, engine=spec.engine
-    )
-
-
-def campaign_config(spec: JobSpec, checkpoint: str) -> CampaignConfig:
-    """Campaign configuration for a job (server-side chunking applied)."""
-    chunk = spec.chunk_size
-    if chunk is None:
-        chunk = min(spec.n_simulations, DEFAULT_CHUNK_SIZE)
-    return CampaignConfig(
-        n_simulations=spec.n_simulations,
-        n_windows=spec.n_windows,
-        fixed_secret=spec.fixed_secret,
-        threshold=spec.threshold,
-        chunk_size=chunk,
-        checkpoint=checkpoint,
-        mode=spec.mode,
-        max_pairs=spec.max_pairs,
-        pair_seed=spec.pair_seed,
-        pair_offsets=spec.pair_offsets,
-        workers=spec.workers,
     )
 
 
@@ -320,7 +299,9 @@ class JobRunner:
                 self.telemetry.emit("job_completed", job_id=job_id, cached=True)
                 return
             evaluator = evaluator_for(spec)
-            config = campaign_config(spec, checkpoint)
+            config = spec.campaign_config(
+                checkpoint=checkpoint, default_chunking=True
+            )
             campaign = EvaluationCampaign(
                 evaluator, config, hook=hook, should_stop=should_stop
             )

@@ -33,157 +33,28 @@ for such a tuple is a pure function of the tuple.  The store exploits that:
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import tempfile
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.errors import ServiceError
 from repro.leakage.report import SCHEMA_VERSION
+from repro.spec import EvaluationSpec, canonical_key  # noqa: F401
+
+#: The service job spec *is* the canonical evaluation spec; the alias
+#: survives for callers that imported it from here before
+#: :mod:`repro.spec` existed.
+JobSpec = EvaluationSpec
 
 #: Job states; ``queued`` and ``running`` survive a restart as "recover me".
 JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
 
 #: States in which a job record is final and its report (if any) immutable.
 TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
-
-
-@dataclass(frozen=True)
-class JobSpec:
-    """Validated parameters of one evaluation job (the POST /jobs body).
-
-    ``engine``, ``workers`` and ``chunk_size`` ride along as execution
-    preferences but are excluded from :meth:`cache_params` -- results are
-    bit-identical across them (tests/test_cross_engine.py,
-    tests/test_leakage_parallel.py), so they must not fragment the cache.
-    """
-
-    design: str = "kronecker"
-    scheme: str = "full"
-    model: str = "glitch"
-    n_simulations: int = 100_000
-    n_windows: int = 1
-    fixed_secret: int = 0
-    threshold: float = 5.0
-    mode: str = "first"
-    max_pairs: Optional[int] = 500
-    pair_seed: int = 1
-    pair_offsets: Tuple[int, ...] = (0,)
-    seed: int = 0
-    engine: str = "compiled"
-    workers: int = 1
-    chunk_size: Optional[int] = None
-
-    @classmethod
-    def from_dict(cls, data: Dict) -> "JobSpec":
-        """Parse and validate an untrusted spec dict (HTTP body)."""
-        if not isinstance(data, dict):
-            raise ServiceError("job spec must be a JSON object")
-        known = {f for f in cls.__dataclass_fields__}
-        unknown = set(data) - known
-        if unknown:
-            raise ServiceError(
-                f"unknown job spec field(s): {sorted(unknown)}"
-            )
-        merged = dict(data)
-        if "pair_offsets" in merged:
-            try:
-                merged["pair_offsets"] = tuple(
-                    int(v) for v in merged["pair_offsets"]
-                )
-            except (TypeError, ValueError) as exc:
-                raise ServiceError(
-                    "pair_offsets must be a list of integers"
-                ) from exc
-        spec = cls(**merged)
-        spec.validate()
-        return spec
-
-    def validate(self) -> None:
-        """Cheap structural validation (design existence is checked later)."""
-        if self.model not in ("glitch", "glitch-transition"):
-            raise ServiceError(
-                "model must be 'glitch' or 'glitch-transition'"
-            )
-        if self.mode not in ("first", "pairs", "both"):
-            raise ServiceError("mode must be 'first', 'pairs', or 'both'")
-        if self.engine not in ("compiled", "bitsliced"):
-            raise ServiceError("engine must be 'compiled' or 'bitsliced'")
-        for name in ("design", "scheme"):
-            if not isinstance(getattr(self, name), str):
-                raise ServiceError(f"{name} must be a string")
-        for name in ("fixed_secret", "seed", "pair_seed"):
-            if not isinstance(getattr(self, name), int):
-                raise ServiceError(f"{name} must be an integer")
-        if not isinstance(self.threshold, (int, float)):
-            raise ServiceError("threshold must be a number")
-        if self.max_pairs is not None and (
-            not isinstance(self.max_pairs, int) or self.max_pairs < 1
-        ):
-            raise ServiceError("max_pairs must be a positive integer")
-        if not isinstance(self.n_simulations, int) or self.n_simulations < 1:
-            raise ServiceError("n_simulations must be a positive integer")
-        if not isinstance(self.n_windows, int) or self.n_windows < 1:
-            raise ServiceError("n_windows must be a positive integer")
-        if not isinstance(self.workers, int) or self.workers < 1:
-            raise ServiceError("workers must be a positive integer")
-        if self.chunk_size is not None and (
-            not isinstance(self.chunk_size, int) or self.chunk_size < 1
-        ):
-            raise ServiceError("chunk_size must be a positive integer")
-
-    def to_dict(self) -> Dict:
-        return {
-            "design": self.design,
-            "scheme": self.scheme,
-            "model": self.model,
-            "n_simulations": self.n_simulations,
-            "n_windows": self.n_windows,
-            "fixed_secret": self.fixed_secret,
-            "threshold": self.threshold,
-            "mode": self.mode,
-            "max_pairs": self.max_pairs,
-            "pair_seed": self.pair_seed,
-            "pair_offsets": list(self.pair_offsets),
-            "seed": self.seed,
-            "engine": self.engine,
-            "workers": self.workers,
-            "chunk_size": self.chunk_size,
-        }
-
-    def cache_params(self, netlist_hash: str) -> Dict:
-        """The semantic identity of this job's verdict."""
-        return {
-            "netlist_hash": netlist_hash,
-            "model": self.model,
-            "n_simulations": self.n_simulations,
-            "n_windows": self.n_windows,
-            "fixed_secret": self.fixed_secret,
-            "threshold": self.threshold,
-            "mode": self.mode,
-            "max_pairs": self.max_pairs,
-            "pair_seed": self.pair_seed,
-            "pair_offsets": list(self.pair_offsets),
-            "seed": self.seed,
-        }
-
-    def cache_key(self, netlist_hash: str) -> str:
-        return canonical_key(self.cache_params(netlist_hash))
-
-
-def canonical_key(params: Dict) -> str:
-    """SHA-256 of the canonical JSON encoding of ``params``.
-
-    Canonical means sorted keys and minimal separators, so the digest is
-    invariant under dict ordering and whitespace -- the same parameters
-    always address the same verdict.
-    """
-    text = json.dumps(params, sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def _atomic_write(path: str, data: bytes) -> None:

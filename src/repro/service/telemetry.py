@@ -45,6 +45,9 @@ COUNTED_EVENTS = frozenset(
         "pool_start",
         "serial_fallback",
         "shard_dispatch",
+        "probe_decided",
+        "adaptive_escalated",
+        "adaptive_finished_early",
     }
 )
 

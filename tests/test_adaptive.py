@@ -1,0 +1,358 @@
+"""Tests for adaptive per-probe scheduling (:mod:`repro.leakage.adaptive`).
+
+Two properties carry the feature:
+
+* **verdict parity** -- an adaptive campaign must reach the same verdict
+  and flag the same leaking probes as the uniform-budget run it replaces
+  (E3/E4 in ``EXPERIMENTS.md``), while spending fewer probe-samples;
+* **adaptive-off identity** -- with the scheduler disabled the campaign's
+  accumulated tables must stay bit-identical to a plain ``evaluate()``
+  pass, so existing results and checkpoints are untouched.
+"""
+
+import os
+import warnings
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.leakage.adaptive import (
+    DECIDED_LEAKY,
+    DECIDED_NULL,
+    UNDECIDED,
+    AdaptiveConfig,
+    AdaptiveScheduler,
+)
+from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
+from repro.leakage.evaluator import HistogramAccumulator, LeakageEvaluator
+from repro.leakage.model import ProbingModel
+from repro.service.runner import build_design
+
+N_SIMS = 20_000
+
+
+@pytest.fixture(scope="module")
+def kronecker_eq6():
+    return build_design("kronecker", "eq6").dut
+
+
+@pytest.fixture(scope="module")
+def kronecker_full():
+    return build_design("kronecker", "full").dut
+
+
+def _evaluator(dut, seed=7):
+    return LeakageEvaluator(dut, ProbingModel.GLITCH, seed=seed)
+
+
+def _config(**kwargs):
+    kwargs.setdefault("n_simulations", N_SIMS)
+    kwargs.setdefault("chunk_size", 8_192)
+    kwargs.setdefault("adaptive", AdaptiveConfig())
+    return CampaignConfig(**kwargs)
+
+
+class _StubAccumulator:
+    """Accumulator double returning scripted -log10(p) per table."""
+
+    def __init__(self, mlog10p):
+        self.mlog10p = dict(mlog10p)
+
+    def test(self, table_id):
+        return SimpleNamespace(mlog10p=self.mlog10p[table_id])
+
+
+class TestAdaptiveConfig:
+    def test_round_trip(self):
+        config = AdaptiveConfig(decide_threshold=6.0, max_budget_factor=2.0)
+        assert AdaptiveConfig.from_dict(config.to_dict()) == config
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"decide_threshold": 0.0},
+            {"null_threshold": -1.0},
+            {"null_threshold": 6.0},  # above decide_threshold
+            {"decide_chunks": 0},
+            {"min_null_samples": 0},
+            {"max_budget_factor": 0.9},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(SimulationError):
+            AdaptiveConfig(**kwargs)
+
+
+class TestSchedulerDecisions:
+    def _scheduler(self, **kwargs):
+        kwargs.setdefault("decide_chunks", 2)
+        kwargs.setdefault("min_null_samples", 100)
+        return AdaptiveScheduler(AdaptiveConfig(**kwargs), n_classes=2)
+
+    def test_leaky_after_consecutive_chunks(self):
+        sched = self._scheduler()
+        acc = _StubAccumulator({"c0": 9.0, "c1": 1.0})
+        assert sched.observe(acc, 50) == []  # streak 1, below min samples
+        decided = sched.observe(acc, 50)
+        assert [s.table_id for s in decided] == ["c0"]
+        assert sched.states()["c0"].state == DECIDED_LEAKY
+        assert sched.states()["c0"].decided_at_chunk == 2
+        # c1 reached min_null_samples only at the second boundary
+        assert sched.states()["c1"].state == UNDECIDED
+        decided = sched.observe(acc, 50)
+        assert [s.table_id for s in decided] == ["c1"]
+        assert sched.states()["c1"].state == DECIDED_NULL
+        assert sched.all_decided()
+
+    def test_oscillating_evidence_resets_streaks(self):
+        sched = self._scheduler()
+        high = _StubAccumulator({"c0": 9.0, "c1": 9.0})
+        mid = _StubAccumulator({"c0": 4.5, "c1": 4.5})  # between thresholds
+        sched.observe(high, 200)
+        sched.observe(mid, 200)
+        sched.observe(high, 200)
+        assert not sched.states()["c0"].decided
+        sched.observe(high, 200)
+        assert sched.states()["c0"].state == DECIDED_LEAKY
+
+    def test_null_needs_min_samples(self):
+        sched = self._scheduler(min_null_samples=10_000)
+        low = _StubAccumulator({"c0": 0.5, "c1": 0.5})
+        for _ in range(5):
+            sched.observe(low, 100)
+        assert all(not s.decided for s in sched.states().values())
+
+    def test_decided_probes_frozen(self):
+        sched = self._scheduler()
+        acc = _StubAccumulator({"c0": 9.0, "c1": 9.0})
+        sched.observe(acc, 50)
+        sched.observe(acc, 50)
+        assert sched.all_decided()
+        samples = sched.states()["c0"].n_samples
+        sched.observe(_StubAccumulator({"c0": 0.0, "c1": 0.0}), 50)
+        assert sched.states()["c0"].state == DECIDED_LEAKY
+        assert sched.states()["c0"].n_samples == samples
+
+    def test_pair_pruned_only_when_all_offsets_decided(self):
+        sched = AdaptiveScheduler(
+            AdaptiveConfig(decide_chunks=1, min_null_samples=1),
+            n_classes=0,
+            pairs=[(0, 1)],
+            pair_offsets=(0, 1),
+        )
+        acc = _StubAccumulator({"p0:1:0": 9.0, "p0:1:1": 4.5})
+        sched.observe(acc, 50)
+        assert sched.states()["p0:1:0"].decided
+        assert sched.active_pairs() == [(0, 1)]  # offset 1 still open
+        sched.observe(_StubAccumulator({"p0:1:1": 9.0}), 50)
+        assert sched.active_pairs() == []
+
+    def test_state_round_trip(self):
+        sched = self._scheduler()
+        sched.observe(_StubAccumulator({"c0": 9.0, "c1": 1.0}), 50)
+        restored = AdaptiveScheduler.from_state(sched.to_state())
+        assert restored.chunks_observed == sched.chunks_observed
+        assert {
+            k: v.to_dict() for k, v in restored.states().items()
+        } == {k: v.to_dict() for k, v in sched.states().items()}
+
+    def test_needs_at_least_one_table(self):
+        with pytest.raises(SimulationError):
+            AdaptiveScheduler(AdaptiveConfig(), n_classes=0)
+
+
+class TestAdaptiveCampaign:
+    def test_verdict_parity_with_uniform_run(self, kronecker_eq6):
+        uniform = EvaluationCampaign(
+            _evaluator(kronecker_eq6),
+            CampaignConfig(n_simulations=N_SIMS, chunk_size=8_192),
+        ).run()
+        campaign = EvaluationCampaign(_evaluator(kronecker_eq6), _config())
+        report = campaign.run()
+        assert report.passed == uniform.passed
+        assert {r.probe_names for r in report.leaking_results} == {
+            r.probe_names for r in uniform.leaking_results
+        }
+        adaptive = report.adaptive
+        assert adaptive["decided_leaky"] == len(uniform.leaking_results)
+        leaky_ids = {
+            table_id
+            for table_id, probe in adaptive["probes"].items()
+            if probe["state"] == DECIDED_LEAKY
+        }
+        assert len(leaky_ids) == adaptive["decided_leaky"]
+
+    def test_early_finish_spends_less(self, kronecker_eq6):
+        events = []
+        campaign = EvaluationCampaign(
+            _evaluator(kronecker_eq6),
+            _config(n_simulations=100_000),
+            hook=lambda e, p: events.append((e, p)),
+        )
+        report = campaign.run()
+        assert report.status == "complete"
+        assert campaign.progress.blocks_done < campaign.progress.blocks_total
+        assert report.n_simulations < 100_000
+        assert report.adaptive["undecided"] == 0
+        assert report.adaptive["probe_sample_savings"] > 1.0
+        names = {e for e, _ in events}
+        assert "probe_decided" in names
+        assert "adaptive_finished_early" in names
+
+    def test_adaptive_off_tables_bit_identical_to_evaluate(
+        self, kronecker_eq6
+    ):
+        evaluator = _evaluator(kronecker_eq6)
+        campaign = EvaluationCampaign(
+            evaluator,
+            CampaignConfig(n_simulations=N_SIMS, chunk_size=4_096),
+        )
+        report = campaign.run()
+        assert report.adaptive is None
+        assert "adaptive" not in report.to_dict()
+        reference = HistogramAccumulator()
+        evaluator.accumulate(
+            reference, 0, evaluator.n_lanes_for(N_SIMS, 1), 1
+        )
+        ids_c, arrays_c = campaign.accumulator.state_arrays()
+        ids_r, arrays_r = reference.state_arrays()
+        assert ids_c == ids_r
+        assert all(
+            np.array_equal(arrays_c[key], arrays_r[key]) for key in arrays_r
+        )
+
+    def test_kill_and_resume_reaches_identical_decisions(
+        self, kronecker_eq6, tmp_path
+    ):
+        checkpoint = str(tmp_path / "adaptive.npz")
+        straight = EvaluationCampaign(
+            _evaluator(kronecker_eq6), _config(n_simulations=40_000)
+        ).run()
+
+        polls = {"n": 0}
+
+        def stop_after_one_chunk():
+            polls["n"] += 1
+            return polls["n"] > 1
+
+        interrupted = EvaluationCampaign(
+            _evaluator(kronecker_eq6),
+            _config(n_simulations=40_000, checkpoint=checkpoint),
+            should_stop=stop_after_one_chunk,
+        )
+        partial = interrupted.run()
+        assert partial.status == "truncated:cancelled"
+        assert os.path.exists(checkpoint)
+
+        resumed_campaign = EvaluationCampaign(
+            _evaluator(kronecker_eq6),
+            _config(n_simulations=40_000, checkpoint=checkpoint),
+        )
+        resumed = resumed_campaign.run(resume=True)
+        assert resumed_campaign.progress.resumed_from_block > 0
+        assert resumed.status == "complete"
+        assert resumed.adaptive["probes"] == straight.adaptive["probes"]
+        assert resumed.n_simulations == straight.n_simulations
+
+    def test_escalation_extends_budget_up_to_cap(self, kronecker_full):
+        # A null threshold nothing can fall below keeps every secure probe
+        # undecided, forcing escalation to the 2x hard cap.
+        config = CampaignConfig(
+            n_simulations=8_192,
+            chunk_size=4_096,
+            adaptive=AdaptiveConfig(
+                null_threshold=1e-4, max_budget_factor=2.0
+            ),
+        )
+        events = []
+        campaign = EvaluationCampaign(
+            _evaluator(kronecker_full, seed=3),
+            config,
+            hook=lambda e, p: events.append((e, p)),
+        )
+        report = campaign.run()
+        assert any(e == "adaptive_escalated" for e, _ in events)
+        assert report.n_simulations > 8_192
+        adaptive = report.adaptive
+        assert adaptive["probe_samples_spent"] <= (
+            2 * 8_192 * adaptive["n_tables"]
+        )
+
+    def test_no_escalation_at_factor_one(self, kronecker_full):
+        config = CampaignConfig(
+            n_simulations=8_192,
+            chunk_size=4_096,
+            adaptive=AdaptiveConfig(null_threshold=1e-4),
+        )
+        campaign = EvaluationCampaign(_evaluator(kronecker_full), config)
+        report = campaign.run()
+        assert report.n_simulations == 8_192
+        assert report.adaptive["undecided"] > 0
+
+    def test_adaptive_requires_chunking(self):
+        with pytest.raises(SimulationError):
+            CampaignConfig(n_simulations=1_000, adaptive=AdaptiveConfig())
+
+
+class TestTableIdStability:
+    def test_class_indices_keep_original_table_ids(self, kronecker_eq6):
+        evaluator = _evaluator(kronecker_eq6)
+        n_lanes = evaluator.n_lanes_for(4_096, 1)
+        full = HistogramAccumulator()
+        evaluator.accumulate(full, 0, n_lanes, 1)
+        pruned = HistogramAccumulator()
+        evaluator.accumulate(pruned, 0, n_lanes, 1, class_indices=[3, 5])
+        assert set(pruned.table_ids()) == {"c3", "c5"}
+        for table_id in pruned.table_ids():
+            keys_p, fixed_p, random_p = pruned.counts(table_id)
+            keys_f, fixed_f, random_f = full.counts(table_id)
+            assert np.array_equal(keys_p, keys_f)
+            assert np.array_equal(fixed_p, fixed_f)
+            assert np.array_equal(random_p, random_f)
+
+    def test_classes_and_class_indices_conflict(self, kronecker_eq6):
+        evaluator = _evaluator(kronecker_eq6)
+        with pytest.raises(SimulationError):
+            evaluator.accumulate(
+                HistogramAccumulator(), 0, 4_096, 1,
+                classes=evaluator.probe_classes[:1], class_indices=[0],
+            )
+
+
+class TestDeprecatedWrappers:
+    def test_accumulate_first_order_warns_and_matches(self, kronecker_eq6):
+        evaluator = _evaluator(kronecker_eq6)
+        n_lanes = evaluator.n_lanes_for(4_096, 1)
+        new = HistogramAccumulator()
+        evaluator.accumulate(new, 0, n_lanes, 1)
+        old = HistogramAccumulator()
+        with pytest.warns(DeprecationWarning):
+            evaluator.accumulate_first_order(old, 0, 4_096, 1)
+        assert old.state_arrays()[0] == new.state_arrays()[0]
+
+    def test_accumulate_batched_warns_and_matches(self, kronecker_eq6):
+        evaluator = _evaluator(kronecker_eq6)
+        n_lanes = evaluator.n_lanes_for(4_096, 1)
+        pairs = evaluator.select_pairs(5, 1)
+        new = HistogramAccumulator()
+        evaluator.accumulate(new, 0, n_lanes, 1, pairs=pairs)
+        old = HistogramAccumulator()
+        with pytest.warns(DeprecationWarning):
+            evaluator.accumulate_batched(old, 0, n_lanes, 1, pairs=pairs)
+        ids_old, arrays_old = old.state_arrays()
+        ids_new, arrays_new = new.state_arrays()
+        assert ids_old == ids_new
+        assert all(
+            np.array_equal(arrays_old[k], arrays_new[k]) for k in arrays_new
+        )
+
+    def test_new_path_emits_no_deprecation_warning(self, kronecker_eq6):
+        evaluator = _evaluator(kronecker_eq6)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            evaluator.accumulate(
+                HistogramAccumulator(), 0,
+                evaluator.n_lanes_for(4_096, 1), 1,
+            )

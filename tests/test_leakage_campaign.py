@@ -53,7 +53,9 @@ class TestChunkedIdentity:
         campaign.run()
         reference = HistogramAccumulator()
         evaluator = _evaluator(kronecker_eq6)
-        evaluator.accumulate_first_order(reference, 0, N_SIMS, 1)
+        evaluator.accumulate(
+            reference, 0, evaluator.n_lanes_for(N_SIMS, 1), 1
+        )
         for table_id in reference.table_ids():
             keys_a, fixed_a, random_a = campaign.accumulator.counts(table_id)
             keys_b, fixed_b, random_b = reference.counts(table_id)
@@ -239,7 +241,7 @@ class TestBudgetsAndEarlyStop:
     ):
         evaluator = _evaluator(kronecker_full)
         single = _evaluator(kronecker_full).evaluate(n_simulations=N_SIMS)
-        original = LeakageEvaluator.accumulate_batched
+        original = LeakageEvaluator.accumulate
         failed = []
 
         def flaky(self, acc, fixed_secret, n_lanes, n_windows, **kwargs):
@@ -251,7 +253,7 @@ class TestBudgetsAndEarlyStop:
                 self, acc, fixed_secret, n_lanes, n_windows, **kwargs
             )
 
-        monkeypatch.setattr(LeakageEvaluator, "accumulate_batched", flaky)
+        monkeypatch.setattr(LeakageEvaluator, "accumulate", flaky)
         campaign = EvaluationCampaign(
             evaluator, CampaignConfig(n_simulations=N_SIMS)
         )

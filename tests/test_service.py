@@ -63,6 +63,19 @@ def _get(url):
         return exc.code, exc.read()
 
 
+def _request_with_headers(url, body=None):
+    """Like ``_post``/``_get`` but also returns the response headers."""
+    data = json.dumps(body).encode() if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, headers={"Content-Type": "application/json"}
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as resp:
+            return resp.status, resp.read(), resp.headers
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read(), exc.headers
+
+
 class TestCanonicalKey:
     def test_invariant_under_dict_order(self):
         a = {"x": 1, "y": [1, 2], "z": "s"}
@@ -309,6 +322,96 @@ class TestServiceEndToEnd:
         status, body = _get(f"{base}/jobs/{job_id}/report")
         assert status == 409
         _get(f"{base}/jobs/{job_id}?wait=120")
+
+
+class TestApiVersioning:
+    """The ``/v1/`` prefix and the deprecation of unversioned aliases."""
+
+    def test_full_job_lifecycle_under_v1(self, service):
+        base = f"{service.address}/v1"
+        status, body = _post(f"{base}/jobs", E4_SPEC)
+        assert status == 201
+        job_id = json.loads(body)["job_id"]
+        status, body = _get(f"{base}/jobs/{job_id}?wait=60")
+        assert status == 200
+        assert json.loads(body)["state"] == "done"
+        status, body = _get(f"{base}/jobs/{job_id}/report")
+        assert status == 200
+        assert json.loads(body)["schema_version"] == SCHEMA_VERSION
+
+    def test_v1_health_and_metrics_announce_the_version(self, service):
+        base = f"{service.address}/v1"
+        status, body = _get(f"{base}/healthz")
+        assert status == 200
+        health = json.loads(body)
+        assert health["ok"] is True
+        assert health["api_version"] == "v1"
+        status, body = _get(f"{base}/metrics")
+        assert status == 200
+        assert json.loads(body)["api_version"] == "v1"
+
+    def test_v1_responses_carry_no_deprecation_header(self, service):
+        status, _, headers = _request_with_headers(
+            f"{service.address}/v1/healthz"
+        )
+        assert status == 200
+        assert headers.get("Deprecation") is None
+        assert headers.get("Link") is None
+
+    def test_legacy_aliases_answer_identically_but_deprecated(
+        self, service
+    ):
+        base = service.address
+        for path in ("/healthz", "/metrics"):
+            status, legacy_body, headers = _request_with_headers(
+                f"{base}{path}"
+            )
+            assert status == 200
+            assert headers.get("Deprecation") == "true"
+            assert headers.get("Link") == (
+                f'</v1{path}>; rel="successor-version"'
+            )
+            _, v1_body = _get(f"{base}/v1{path}")
+            legacy, v1 = json.loads(legacy_body), json.loads(v1_body)
+            legacy.pop("uptime_seconds", None)
+            v1.pop("uptime_seconds", None)
+            assert legacy == v1
+
+    def test_legacy_job_submission_is_deprecated_but_works(self, service):
+        base = service.address
+        status, body, headers = _request_with_headers(
+            f"{base}/jobs", body=E4_SPEC
+        )
+        assert status == 201
+        assert headers.get("Deprecation") == "true"
+        assert '</v1/jobs>; rel="successor-version"' == headers.get("Link")
+        job_id = json.loads(body)["job_id"]
+        # ... and the job is the same job under both prefixes.
+        status, body = _get(f"{base}/v1/jobs/{job_id}?wait=60")
+        assert status == 200
+        assert json.loads(body)["state"] == "done"
+
+    def test_adaptive_job_over_the_wire(self, service):
+        base = f"{service.address}/v1"
+        spec = dict(E4_SPEC, adaptive=True)
+        status, body = _post(f"{base}/jobs", spec)
+        assert status == 201
+        first = json.loads(body)
+        assert first["cached"] is False  # distinct cache key vs uniform
+        status, body = _get(f"{base}/jobs/{first['job_id']}?wait=60")
+        finished = json.loads(body)
+        assert finished["state"] == "done"
+        assert finished["result"]["passed"] is False  # same verdict: leaks
+        status, body = _get(f"{base}/jobs/{first['job_id']}/report")
+        report = json.loads(body)
+        adaptive = report["adaptive"]
+        assert adaptive["undecided"] == 0
+        assert adaptive["decided_leaky"] > 0
+        assert adaptive["probe_sample_savings"] > 1.0
+
+    def test_unknown_version_prefix_is_404(self, service):
+        status, _ = _get(f"{service.address}/v2/healthz")
+        assert status == 404
 
 
 class TestRestartResume:
