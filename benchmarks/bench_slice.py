@@ -1,0 +1,248 @@
+"""Cone-slicing benchmark emitting ``BENCH_slice.json``.
+
+Two measurements, both gated on **bit-identity** between sliced and full
+simulation:
+
+* **E11 whole-core workload** -- the complete masked AES-128 core
+  (~21k cells) with probes on S-box 0 under the Eq. (6) Kronecker wiring,
+  evaluated by the periodic fixed-vs-random test.  The probes' sequential
+  fan-in cone covers roughly a sixteenth of the core, so slicing should
+  deliver a matching wall-clock speedup at identical reports.
+* **Adaptive mid-campaign re-slice** -- the E3 masked S-box campaign under
+  an adaptive schedule tuned so the null probes are pruned after the first
+  chunk while the strongly-leaking ``g7`` probes stay undecided: the union
+  support cone collapses, the campaign re-slices, and the chunks after the
+  re-slice run on a far smaller program.  The record captures per-chunk
+  seconds before/after the re-slice plus the sliced-vs-full wall clock.
+
+Usage (CI's ``slice-smoke`` job runs this at the default 6000 lanes and
+gates at ``--require-speedup 4.0``, leaving headroom for slower runners;
+the committed record is generated locally at ``--require-speedup 5``)::
+
+    PYTHONPATH=src python benchmarks/bench_slice.py \
+        --lanes 6000 --require-speedup 5 --out BENCH_slice.json
+
+Exit codes: 0 success, 1 sliced/full mismatch (a correctness bug), 2
+speedup below ``--require-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.core.aes_core import (
+    ENCRYPTION_CYCLES,
+    AesCoreHarness,
+    build_masked_aes_core,
+)
+from repro.core.optimizations import RandomnessScheme
+from repro.leakage.adaptive import AdaptiveConfig
+from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.model import ProbingModel
+from repro.leakage.periodic import PeriodicLeakageEvaluator
+
+KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
+PHASES = (3, 4, 5, 6)
+
+
+def bench_e11(lanes: int) -> dict:
+    """Sliced vs full periodic evaluation of the masked AES-128 core."""
+    core = build_masked_aes_core(RandomnessScheme.DEMEYER_EQ6)
+    harness = AesCoreHarness(core)
+    probe_nets = [
+        c.output for c in core.netlist.cells if c.name.startswith("sb0.")
+    ]
+    n_words = (lanes + 63) // 64
+
+    def run(slice_cones: bool):
+        evaluator = PeriodicLeakageEvaluator(
+            core.netlist,
+            ENCRYPTION_CYCLES,
+            ProbingModel.GLITCH,
+            probe_nets=probe_nets,
+            slice_cones=slice_cones,
+            control_schedule=(
+                harness.control_net_schedule() if slice_cones else None
+            ),
+        )
+        stim_fixed = harness.bitsliced_stimulus(
+            np.random.default_rng(11), n_words, KEY, KEY
+        )
+        stim_random = harness.bitsliced_stimulus(
+            np.random.default_rng(12), n_words, KEY, None
+        )
+        start = time.perf_counter()
+        report = evaluator.evaluate(
+            stim_fixed,
+            stim_random,
+            lanes,
+            phases=PHASES,
+            n_periods=2,
+            design_name="masked_aes_core_demeyer_eq6",
+        )
+        return evaluator, report, time.perf_counter() - start
+
+    evaluator, sliced_report, sliced_seconds = run(True)
+    _, full_report, full_seconds = run(False)
+    bit_identical = sliced_report.to_dict() == full_report.to_dict()
+
+    # Simulated traces per second: both groups, all lanes, per run.
+    sims = 2 * lanes
+    return {
+        "design": "masked_aes_core/demeyer_eq6",
+        "probe_scope": "sb0.* cell outputs",
+        "lanes": lanes,
+        "n_cells": len(core.netlist.cells),
+        "sliced_seconds": round(sliced_seconds, 3),
+        "full_seconds": round(full_seconds, 3),
+        "speedup": round(full_seconds / sliced_seconds, 2),
+        "sims_per_second_sliced": round(sims / sliced_seconds, 1),
+        "sims_per_second_full": round(sims / full_seconds, 1),
+        "bit_identical": bit_identical,
+        "verdict": "PASS" if sliced_report.passed else "FAIL",
+        "max_mlog10p": round(sliced_report.max_mlog10p, 2),
+        "slice": evaluator.last_slice_info,
+    }
+
+
+def bench_adaptive_reslice(n_simulations: int, chunk_size: int) -> dict:
+    """Adaptive campaign whose pruning forces a mid-campaign re-slice."""
+    from repro.core.sbox import build_masked_sbox
+    from repro.core.optimizations import RandomnessScheme as RS
+
+    dut = build_masked_sbox(RS.DEMEYER_EQ6).dut
+    # Nulls decide after one chunk (min_null_samples=1) while the leaking
+    # g7 probes stay undecided behind the very high decide bar -- after
+    # chunk 1 only the g7 cones remain active and the program re-slices.
+    adaptive = AdaptiveConfig(
+        decide_threshold=50.0, decide_chunks=1, min_null_samples=1
+    )
+
+    def run(slice_cones: bool):
+        chunk_seconds: list = []
+        reslices: list = []
+        last = [0.0]
+
+        def hook(event, payload):
+            if event == "chunk_done":
+                chunk_seconds.append(payload["elapsed"] - last[0])
+                last[0] = payload["elapsed"]
+            elif event == "program_sliced":
+                reslices.append(
+                    {"at_chunk": len(chunk_seconds), **payload}
+                )
+
+        evaluator = LeakageEvaluator(
+            dut, ProbingModel.GLITCH, seed=7, slice_cones=slice_cones
+        )
+        config = CampaignConfig(
+            n_simulations=n_simulations,
+            chunk_size=chunk_size,
+            adaptive=adaptive,
+        )
+        campaign = EvaluationCampaign(evaluator, config, hook=hook)
+        start = time.perf_counter()
+        report = campaign.run()
+        return report, time.perf_counter() - start, chunk_seconds, reslices
+
+    sliced_report, sliced_seconds, chunks, reslices = run(True)
+    full_report, full_seconds, _, _ = run(False)
+    bit_identical = sliced_report.to_dict() == full_report.to_dict()
+
+    mid = [r for r in reslices if r.get("resliced")]
+    boundary = mid[0]["at_chunk"] if mid else len(chunks)
+    pre = chunks[:boundary] or [float("nan")]
+    post = chunks[boundary:] or [float("nan")]
+    pre_mean = sum(pre) / len(pre)
+    post_mean = sum(post) / len(post)
+    return {
+        "design": "sbox/demeyer_eq6",
+        "n_simulations": n_simulations,
+        "chunk_size": chunk_size,
+        "resliced": bool(mid),
+        "reslice": (
+            {
+                "at_chunk": mid[0]["at_chunk"],
+                "cell_ratio": mid[0]["cell_ratio"],
+                "dispatch_ratio": mid[0]["dispatch_ratio"],
+                "state_ratio": mid[0]["state_ratio"],
+            }
+            if mid
+            else None
+        ),
+        "pre_reslice_chunk_seconds": round(pre_mean, 4),
+        "post_reslice_chunk_seconds": round(post_mean, 4),
+        "chunk_speedup_after_reslice": round(pre_mean / post_mean, 2),
+        "sliced_seconds": round(sliced_seconds, 3),
+        "full_seconds": round(full_seconds, 3),
+        "speedup": round(full_seconds / sliced_seconds, 2),
+        "bit_identical": bit_identical,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--lanes", type=int, default=6_000,
+                        help="Monte-Carlo lanes for the E11 workload")
+    parser.add_argument("--adaptive-sims", type=int, default=40_960,
+                        help="per-group samples for the adaptive campaign")
+    parser.add_argument("--chunk-size", type=int, default=8_192)
+    parser.add_argument("--require-speedup", type=float, default=0.0,
+                        help="fail (exit 2) if the E11 sliced/full "
+                             "wall-clock ratio is below this")
+    parser.add_argument("--out", default="BENCH_slice.json")
+    args = parser.parse_args()
+
+    print(f"[1/2] E11 whole-core workload ({args.lanes} lanes)...")
+    e11 = bench_e11(args.lanes)
+    print(
+        f"      sliced {e11['sliced_seconds']}s vs full "
+        f"{e11['full_seconds']}s -> {e11['speedup']}x "
+        f"(cell-cycle ratio {e11['slice']['cell_cycle_ratio']}x, "
+        f"bit_identical={e11['bit_identical']})"
+    )
+
+    print("[2/2] adaptive mid-campaign re-slice (sbox/eq6)...")
+    adaptive = bench_adaptive_reslice(args.adaptive_sims, args.chunk_size)
+    print(
+        f"      re-slice at chunk {adaptive['reslice']['at_chunk'] if adaptive['reslice'] else '-'}: "
+        f"chunks {adaptive['pre_reslice_chunk_seconds']}s -> "
+        f"{adaptive['post_reslice_chunk_seconds']}s "
+        f"({adaptive['chunk_speedup_after_reslice']}x); campaign "
+        f"{adaptive['full_seconds']}s -> {adaptive['sliced_seconds']}s "
+        f"(bit_identical={adaptive['bit_identical']})"
+    )
+
+    record = {
+        "benchmark": "cone_slicing",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "e11": e11,
+        "adaptive_reslice": adaptive,
+    }
+    out = os.path.abspath(args.out)
+    with open(out, "w") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"wrote {out}")
+
+    if not (e11["bit_identical"] and adaptive["bit_identical"]):
+        print("FAIL: sliced and full runs disagree (correctness bug)")
+        return 1
+    if e11["speedup"] < args.require_speedup:
+        print(
+            f"FAIL: E11 speedup {e11['speedup']}x below required "
+            f"{args.require_speedup}x"
+        )
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,11 +14,16 @@ away for speed:
 
 Run from the repository root::
 
-    python scripts/adaptive_smoke.py
+    python scripts/adaptive_smoke.py [--slice | --no-slice]
+
+``--slice`` (the default) evaluates with cone-sliced simulation,
+``--no-slice`` with full-netlist simulation; the two are bit-identical,
+so CI runs both through the same assertions.
 
 Exits 0 on success, 1 on failure.  Takes a few seconds.
 """
 
+import argparse
 import os
 import sys
 
@@ -36,9 +41,11 @@ CHUNK_SIZE = 8_192
 SEED = 7
 
 
-def _campaign(adaptive):
+def _campaign(adaptive, slice_cones):
     dut = build_design("kronecker", "eq6").dut
-    evaluator = LeakageEvaluator(dut, ProbingModel.GLITCH, seed=SEED)
+    evaluator = LeakageEvaluator(
+        dut, ProbingModel.GLITCH, seed=SEED, slice_cones=slice_cones
+    )
     config = CampaignConfig(
         n_simulations=N_SIMULATIONS,
         chunk_size=CHUNK_SIZE,
@@ -53,8 +60,16 @@ def check(condition, label):
 
 
 def main():
-    uniform = _campaign(adaptive=False)
-    report = _campaign(adaptive=True)
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--slice", action=argparse.BooleanOptionalAction, default=True,
+        help="cone-sliced simulation (default; --no-slice runs the "
+             "full netlist)",
+    )
+    args = parser.parse_args()
+    print(f"simulation mode: {'sliced' if args.slice else 'full'}")
+    uniform = _campaign(adaptive=False, slice_cones=args.slice)
+    report = _campaign(adaptive=True, slice_cones=args.slice)
     adaptive = report.adaptive
 
     leaky = {

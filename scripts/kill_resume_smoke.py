@@ -10,12 +10,15 @@ disk, then resumes through the CLI and checks that the resumed run
 
 Run from the repository root::
 
-    python scripts/kill_resume_smoke.py [--workers N]
+    python scripts/kill_resume_smoke.py [--workers N] [--slice | --no-slice]
 
 With ``--workers N`` the resumed run goes through the multiprocessing
 executor, exercising checkpoint interoperability between the serial and
 parallel paths (a checkpoint written serially must resume under any worker
-count -- results are bit-identical by construction).
+count -- results are bit-identical by construction).  ``--slice`` (the
+default) runs both the victim and the resumed campaign with cone-sliced
+simulation; ``--no-slice`` uses full-netlist simulation.  The slice flag
+joins the checkpoint fingerprint, so both legs must agree.
 
 Exits 0 on success, 1 on failure.  The whole exercise takes well under 30
 seconds.
@@ -34,7 +37,7 @@ CHUNK_SIZE = 8_192
 DEADLINE_SECONDS = 25
 
 
-def campaign_args(checkpoint, resume=False, workers=1):
+def campaign_args(checkpoint, resume=False, workers=1, slice_cones=True):
     args = [
         sys.executable,
         "-m",
@@ -46,6 +49,7 @@ def campaign_args(checkpoint, resume=False, workers=1):
         "--checkpoint", checkpoint,
         "--seed", "7",
         "--workers", str(workers),
+        "--slice" if slice_cones else "--no-slice",
     ]
     if resume:
         args.append("--resume")
@@ -56,6 +60,11 @@ def main():
     parser = argparse.ArgumentParser()
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the resumed run")
+    parser.add_argument(
+        "--slice", action=argparse.BooleanOptionalAction, default=True,
+        help="cone-sliced simulation for both legs (default; --no-slice "
+             "runs the full netlist)",
+    )
     options = parser.parse_args()
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -65,9 +74,10 @@ def main():
         tempfile.mkdtemp(prefix="kill_resume_"), "campaign.npz"
     )
 
-    print(f"[1/3] starting campaign (checkpoint: {checkpoint})")
+    mode = "sliced" if options.slice else "full"
+    print(f"[1/3] starting campaign (checkpoint: {checkpoint}, {mode})")
     victim = subprocess.Popen(
-        campaign_args(checkpoint),
+        campaign_args(checkpoint, slice_cones=options.slice),
         env=env,
         stdout=subprocess.DEVNULL,
         stderr=subprocess.DEVNULL,
@@ -89,7 +99,8 @@ def main():
     print("[2/3] campaign SIGKILLed after its first checkpoint")
 
     result = subprocess.run(
-        campaign_args(checkpoint, resume=True, workers=options.workers),
+        campaign_args(checkpoint, resume=True, workers=options.workers,
+                      slice_cones=options.slice),
         env=env,
         capture_output=True,
         text=True,

@@ -340,6 +340,12 @@ def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
                    choices=("compiled", "bitsliced"),
                    help="simulation engine (results are bit-identical)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--slice", action=argparse.BooleanOptionalAction, default=True,
+        help="simulate only the fan-in cone of the active probes "
+             "(bit-identical to the full simulation, usually much faster; "
+             "--no-slice forces full-netlist simulation)",
+    )
     adaptive = p.add_argument_group(
         "adaptive scheduling",
         "decide each probe as early as its evidence allows, prune decided "

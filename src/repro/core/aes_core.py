@@ -350,6 +350,29 @@ class AesCoreHarness:
         schedule.append(0)
         return schedule
 
+    def control_net_schedule(self) -> Dict[int, List[int]]:
+        """Per-cycle scalar values of the control inputs, keyed by net.
+
+        One period (``ENCRYPTION_CYCLES`` entries per net), in the form
+        the cone slicer consumes: handing this to
+        :class:`repro.leakage.periodic.PeriodicLeakageEvaluator` as its
+        ``control_schedule`` lets it cut the state-register recirculation
+        at the load/capture muxes and simulate only the per-cycle cone of
+        the probes (see :func:`repro.netlist.slice.scheduled_cone`).
+        """
+        core = self.core
+        controls = self.control_schedule()
+        schedule = {
+            core.load: [c["load"] for c in controls],
+            core.capture: [c["capture"] for c in controls],
+            core.last: [c["last"] for c in controls],
+        }
+        if core.own_key_schedule:
+            rcons = self.rcon_schedule()
+            for i, net in enumerate(core.rcon_bus):
+                schedule[net] = [(r >> i) & 1 for r in rcons]
+        return schedule
+
     # --------------------------------------------------------------- scalar
 
     def encrypt(self, plaintext: bytes, key: bytes, rng) -> bytes:
@@ -425,7 +448,7 @@ class AesCoreHarness:
         from repro.leakage.traces import (
             constant_words,
             random_nonzero_byte,
-            random_words,
+            random_word_rows,
         )
 
         core = self.core
@@ -433,6 +456,13 @@ class AesCoreHarness:
         keys = self.round_key_schedule(key)
         rcons = self.rcon_schedule() if core.own_key_schedule else None
         period = len(controls)
+        # Draw the per-cycle randomness as one batched RNG call (rows are
+        # consumed in the original per-net draw order, so the stream -- and
+        # every seeded verdict -- is bit-identical to unbatched draws; see
+        # random_word_rows).  The r buses rejection-sample separately.
+        pt_draws = 128 if fixed_plaintext is not None else 256
+        n_rp = sum(len(bus) for bus in core.r_prime_buses)
+        n_batched = 128 + pt_draws + len(core.mask_bits)
 
         def stimulus(cycle: int) -> Dict[int, np.ndarray]:
             step = cycle % period
@@ -447,11 +477,12 @@ class AesCoreHarness:
                     values[net] = constant_words(
                         (rcons[step] >> i) & 1, n_words
                     )
+            rows = iter(random_word_rows(rng, n_batched, n_words))
             key_block = keys[step]
             for byte_index in range(16):
                 for bit in range(8):
                     position = 8 * byte_index + bit
-                    mask = random_words(rng, n_words)
+                    mask = next(rows)
                     values[core.round_key_shares[0][position]] = mask
                     key_bit = (key_block[byte_index] >> bit) & 1
                     values[core.round_key_shares[1][position]] = (
@@ -460,23 +491,27 @@ class AesCoreHarness:
             for byte_index in range(16):
                 for bit in range(8):
                     position = 8 * byte_index + bit
-                    mask = random_words(rng, n_words)
+                    mask = next(rows)
                     values[core.plaintext_shares[0][position]] = mask
                     if fixed_plaintext is None:
-                        other = random_words(rng, n_words)
+                        other = next(rows)
                     else:
                         pt_bit = (fixed_plaintext[byte_index] >> bit) & 1
                         other = mask ^ constant_words(pt_bit, n_words)
                     values[core.plaintext_shares[1][position]] = other
             for net in core.mask_bits:
-                values[net] = random_words(rng, n_words)
+                values[net] = next(rows)
+            # The r buses rejection-sample a variable number of words, so
+            # the r' batch must be drawn after them to keep the original
+            # stream order.
             for r_bus in core.r_buses:
                 planes = random_nonzero_byte(rng, n_words)
                 for net, plane in zip(r_bus, planes):
                     values[net] = plane
+            rp_rows = iter(random_word_rows(rng, n_rp, n_words))
             for rp_bus in core.r_prime_buses:
                 for net in rp_bus:
-                    values[net] = random_words(rng, n_words)
+                    values[net] = next(rp_rows)
             return values
 
         return stimulus

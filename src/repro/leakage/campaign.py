@@ -183,6 +183,12 @@ class EvaluationCampaign:
         #: lane budget ceiling: the base budget, or -- for adaptive runs
         #: with ``max_budget_factor > 1`` -- the escalated hard cap.
         self._esc_lanes = self._n_lanes
+        #: identity of the sliced program currently being simulated (None
+        #: until the first sliced chunk, or when slicing is off).  Adaptive
+        #: pruning shrinks the active probe set at chunk boundaries; when
+        #: the union support cone shrinks with it, the key changes and a
+        #: ``program_sliced`` event reports the re-slice.
+        self._slice_key: Optional[str] = None
 
     def _emit(self, event: str, **payload) -> None:
         if self.hook is not None:
@@ -223,6 +229,14 @@ class EvaluationCampaign:
             # uniform campaigns (any version) keep loading unchanged -- and
             # adaptive/uniform samples are never mixed.
             fingerprint["adaptive"] = cfg.adaptive.to_dict()
+        if getattr(ev, "slice_cones", False):
+            # Present only when cone slicing is on (checkpoints from
+            # pre-slicing versions keep loading).  Sliced simulation is
+            # bit-identical to full simulation, so the samples *could* be
+            # mixed soundly -- the key exists so a resumed run states the
+            # execution mode it continues under, and so the sliced/unsliced
+            # property-test resume paths exercise distinct checkpoints.
+            fingerprint["slice"] = True
         return fingerprint
 
     # ------------------------------------------------------------- chunk plan
@@ -255,6 +269,7 @@ class EvaluationCampaign:
         base_blocks = self._blocks_total()
         self.scheduler = None
         self._esc_lanes = self._n_lanes
+        self._slice_key = None
         if cfg.adaptive is not None:
             n_classes = (
                 len(self.evaluator.probe_classes)
@@ -339,6 +354,7 @@ class EvaluationCampaign:
                     else self.progress.blocks_total
                 )
                 end = min(next_block + chunk_blocks, boundary)
+                self._emit_slice_telemetry()
                 self._run_chunk_with_retry(next_block, end)
                 samples_added = (
                     self._lanes_done(end) - self._lanes_done(next_block)
@@ -446,6 +462,28 @@ class EvaluationCampaign:
             middle = (start + end) // 2
             self._run_chunk_with_retry(start, middle)
             self._run_chunk_with_retry(middle, end)
+
+    def _emit_slice_telemetry(self) -> None:
+        """Report the sliced program the next chunk will simulate.
+
+        Emits ``program_sliced`` with cell/dispatch/state ratios whenever
+        the slice identity changes -- once at campaign start, then again
+        each time adaptive pruning shrinks the union support cone enough to
+        induce a re-slice (pruning that leaves the cone unchanged reuses
+        the cached program and stays silent).
+        """
+        class_indices, pairs = self._active_selection()
+        info = self.evaluator.slice_info(class_indices, pairs)
+        if info is None or info["key"] == self._slice_key:
+            return
+        resliced = self._slice_key is not None
+        self._slice_key = info["key"]
+        self._emit(
+            "program_sliced",
+            key=info["key"],
+            resliced=resliced,
+            **info["stats"],
+        )
 
     def _active_selection(self) -> Tuple[List[int], List[Tuple[int, int]]]:
         """(class_indices, pairs) still accumulating, per mode/scheduler."""

@@ -188,6 +188,7 @@ class LeakageEvaluator:
         observation: str = "tuple",
         block_lanes: int = BLOCK_LANES,
         engine: str = "compiled",
+        slice_cones: bool = True,
     ):
         if observation not in ("tuple", "hamming"):
             raise SimulationError(
@@ -210,6 +211,12 @@ class LeakageEvaluator:
         # vectorized dispatch per cell type per level, "bitsliced" pays one
         # Python dispatch per gate and exists as the reference.
         self.engine = engine
+        # Cone slicing restricts each simulated block to the sequential
+        # fan-in cone of the currently-active probe supports (see
+        # repro.netlist.slice).  The cone is closed under fan-in, so sliced
+        # evaluation is bit-identical to full simulation -- the flag only
+        # trades compile/cache work against per-cycle gate dispatches.
+        self.slice_cones = slice_cones
         # "hamming" observes only the Hamming weight of the extended probe
         # (PROLEAD's compact power-model mode): a weaker adversary, useful
         # to gauge how visible a leak is to plain HW power models.
@@ -287,11 +294,17 @@ class LeakageEvaluator:
         """
         return netlist_content_hash(self.dut.netlist)
 
-    def _make_simulator(self, lane_count: int):
+    def _make_simulator(
+        self, lane_count: int, keep_nets: Optional[Sequence[int]] = None
+    ):
         """Simulator instance for the configured engine."""
         if self.engine == "compiled":
-            return CompiledSimulator(self.dut.netlist, lane_count)
-        return BitslicedSimulator(self.dut.netlist, lane_count)
+            return CompiledSimulator(
+                self.dut.netlist, lane_count, keep_nets=keep_nets
+            )
+        return BitslicedSimulator(
+            self.dut.netlist, lane_count, keep_nets=keep_nets
+        )
 
     def _simulate_block(
         self,
@@ -300,24 +313,81 @@ class LeakageEvaluator:
         block: int,
         n_cycles: int,
         record_cycles: set,
+        keep_nets: Optional[Sequence[int]] = None,
+        record_nets: Optional[Sequence[int]] = None,
     ) -> Tuple[Trace, Trace]:
-        """Simulate both groups for one sampling block."""
+        """Simulate both groups for one sampling block.
+
+        The stimulus generator always drives *every* primary input with the
+        same RNG stream regardless of ``keep_nets``; a sliced simulator just
+        ignores inputs outside its cone.  That keeps sliced and unsliced
+        runs sampling identical bits.
+        """
         generator = StimulusGenerator(self.dut, (lane_count + 63) // 64)
-        trace_fixed = self._make_simulator(lane_count).run(
+        trace_fixed = self._make_simulator(lane_count, keep_nets).run(
             generator.fixed(
                 fixed_secret, self._block_rng(HistogramAccumulator.GROUP_FIXED, block)
             ),
             n_cycles,
+            record_nets=record_nets,
             record_cycles=record_cycles,
         )
-        trace_random = self._make_simulator(lane_count).run(
+        trace_random = self._make_simulator(lane_count, keep_nets).run(
             generator.random(
                 self._block_rng(HistogramAccumulator.GROUP_RANDOM, block)
             ),
             n_cycles,
+            record_nets=record_nets,
             record_cycles=record_cycles,
         )
         return trace_fixed, trace_random
+
+    # ---------------------------------------------------------- cone slicing
+
+    def _slice_roots(
+        self,
+        classes: Sequence[ProbeClass],
+        pairs: Sequence[Tuple[int, int]],
+    ) -> List[int]:
+        """Union stable support of a probe selection (slice root nets)."""
+        roots: set = set()
+        for probe_class in classes:
+            roots.update(probe_class.support)
+        all_classes = self.probe_classes
+        for i, j in pairs:
+            roots.update(all_classes[i].support)
+            roots.update(all_classes[j].support)
+        return sorted(roots)
+
+    def slice_info(
+        self,
+        class_indices: Optional[Sequence[int]] = None,
+        pairs: Sequence[Tuple[int, int]] = (),
+    ) -> Optional[Dict[str, object]]:
+        """Slice identity and size for a probe selection, or None.
+
+        Returns ``{"key": ..., "stats": ...}`` describing the sliced
+        program the selection would simulate (``None`` when slicing is
+        disabled or the selection is empty).  The campaign driver uses the
+        key to detect adaptive re-slices at chunk boundaries and the stats
+        for ``program_sliced`` telemetry.
+        """
+        if not self.slice_cones:
+            return None
+        classes = (
+            list(self.probe_classes)
+            if class_indices is None
+            else [self.probe_classes[i] for i in class_indices]
+        )
+        roots = self._slice_roots(classes, pairs)
+        if not roots:
+            return None
+        from repro.netlist.slice import slice_key, slice_stats
+
+        return {
+            "key": slice_key(self.dut.netlist, roots),
+            "stats": slice_stats(self.dut.netlist, roots).to_dict(),
+        }
 
     # --------------------------------------------------------- key extraction
 
@@ -498,12 +568,23 @@ class LeakageEvaluator:
             eval_cycles, n_cycles = self._schedule(n_windows)
             record_cycles = self._record_cycles(eval_cycles)
         all_classes = self.probe_classes
+        keep_nets = None
+        record_nets = None
+        if self.slice_cones:
+            roots = self._slice_roots(classes, pairs)
+            if not roots:
+                # Nothing observes anything: no tables would be touched,
+                # so skipping the simulation entirely is bit-identical.
+                return
+            keep_nets = roots
+            record_nets = roots
         if blocks is None:
             blocks = range(self.block_count(n_lanes))
         for block in blocks:
             lane_count = self._block_lane_count(n_lanes, block)
             trace_fixed, trace_random = self._simulate_block(
-                fixed_secret, lane_count, block, n_cycles, record_cycles
+                fixed_secret, lane_count, block, n_cycles, record_cycles,
+                keep_nets=keep_nets, record_nets=record_nets,
             )
             # Per-group memoization shared by every probe set this block:
             # raw keys per (class, offset), unpacked bits per (cycle, net).

@@ -10,6 +10,7 @@ of rare table cells so the chi-square approximation stays valid.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
 import numpy as np
 from scipy.stats import chi2
@@ -39,6 +40,38 @@ class GTestResult:
         return self.mlog10p > threshold
 
 
+def _histogram_counts(
+    keys_fixed: np.ndarray, keys_random: np.ndarray
+) -> "tuple[np.ndarray, np.ndarray]":
+    """Aligned per-category counts of the two groups (ascending key)."""
+    n_fixed = int(keys_fixed.size)
+    key_max = int(max(keys_fixed.max(), keys_random.max()))
+    key_min = int(min(keys_fixed.min(), keys_random.min()))
+    if 0 <= key_min and key_max < 65536:
+        # Dense small-range keys (e.g. hashed observations): direct
+        # bincount beats the sort inside np.unique.  Categories come out
+        # in the same ascending-key order, so the statistics are
+        # bit-identical to the generic path.
+        length = key_max + 1
+        cf = np.bincount(keys_fixed.astype(np.intp), minlength=length)
+        cr = np.bincount(keys_random.astype(np.intp), minlength=length)
+        occupied = (cf + cr) > 0
+        return (
+            cf[occupied].astype(np.float64),
+            cr[occupied].astype(np.float64),
+        )
+
+    pooled = np.concatenate([keys_fixed, keys_random])
+    _, inverse, total_counts = np.unique(
+        pooled, return_inverse=True, return_counts=True
+    )
+    counts_fixed = np.bincount(
+        inverse[:n_fixed], minlength=total_counts.size
+    ).astype(np.float64)
+    counts_random = (total_counts - counts_fixed).astype(np.float64)
+    return counts_fixed, counts_random
+
+
 def g_test(
     keys_fixed: np.ndarray,
     keys_random: np.ndarray,
@@ -54,16 +87,58 @@ def g_test(
     n_random = int(keys_random.size)
     if n_fixed == 0 or n_random == 0:
         return GTestResult(0.0, 0, 0.0, 0, n_fixed, n_random)
-
-    pooled = np.concatenate([keys_fixed, keys_random])
-    _, inverse, total_counts = np.unique(
-        pooled, return_inverse=True, return_counts=True
+    counts_fixed, counts_random = _histogram_counts(
+        keys_fixed, keys_random
     )
-    counts_fixed = np.bincount(
-        inverse[:n_fixed], minlength=total_counts.size
-    ).astype(np.float64)
-    counts_random = (total_counts - counts_fixed).astype(np.float64)
     return g_test_from_counts(counts_fixed, counts_random, min_expected)
+
+
+def g_test_batch(
+    pairs: "Iterable[tuple[np.ndarray, np.ndarray]]",
+    min_expected: float = 5.0,
+) -> "list[GTestResult]":
+    """Many G-tests with one vectorized p-value evaluation.
+
+    Returns exactly the results of ``[g_test(kf, kr) for kf, kr in pairs]``
+    -- ``chi2.logsf`` is the same ufunc whether applied to a scalar or an
+    array, so batching the p-value pass changes nothing but the per-call
+    overhead (which dominates when thousands of probe/phase tests are
+    evaluated per report).  ``pairs`` may be a generator: it is consumed
+    once, and each key array can be freed as soon as its histogram is
+    taken.
+    """
+    partial = [
+        _g_statistic(kf, kr, min_expected) for kf, kr in pairs
+    ]
+    g_values = np.asarray([p[0] for p in partial], dtype=np.float64)
+    dofs = np.asarray([p[1] for p in partial], dtype=np.int64)
+    mlog10p = np.zeros(len(partial), dtype=np.float64)
+    testable = dofs >= 1
+    if np.any(testable):
+        mlog10p[testable] = (
+            -chi2.logsf(g_values[testable], dofs[testable]) / _LN10
+        )
+    mlog10p = np.minimum(mlog10p, MLOG10P_CAP)
+    return [
+        GTestResult(g, dof, float(m), ncat, nf, nr)
+        for (g, dof, ncat, nf, nr), m in zip(partial, mlog10p)
+    ]
+
+
+def _g_statistic(
+    keys_fixed: np.ndarray,
+    keys_random: np.ndarray,
+    min_expected: float,
+) -> "tuple[float, int, int, int, int]":
+    """(G, dof, n_categories, n_fixed, n_random) without the p-value."""
+    n_fixed = int(keys_fixed.size)
+    n_random = int(keys_random.size)
+    if n_fixed == 0 or n_random == 0:
+        return (0.0, 0, 0, n_fixed, n_random)
+    counts_fixed, counts_random = _histogram_counts(
+        keys_fixed, keys_random
+    )
+    return _g_from_counts(counts_fixed, counts_random, min_expected)
 
 
 def g_test_from_counts(
@@ -79,12 +154,30 @@ def g_test_from_counts(
     the concatenated observations, because the G-test only ever sees the
     contingency table.
     """
-    counts_fixed = np.asarray(counts_fixed, dtype=np.float64)
-    counts_random = np.asarray(counts_random, dtype=np.float64)
+    g, dof, n_categories, n_fixed, n_random = _g_from_counts(
+        np.asarray(counts_fixed, dtype=np.float64),
+        np.asarray(counts_random, dtype=np.float64),
+        min_expected,
+    )
+    if dof < 1:
+        return GTestResult(g, dof, 0.0, n_categories, n_fixed, n_random)
+    # logsf keeps precision for astronomically small p-values (strong
+    # leaks); a cap keeps the result finite when even logsf underflows.
+    mlog10p = float(-chi2.logsf(g, dof) / _LN10)
+    mlog10p = min(mlog10p, MLOG10P_CAP)
+    return GTestResult(g, dof, mlog10p, n_categories, n_fixed, n_random)
+
+
+def _g_from_counts(
+    counts_fixed: np.ndarray,
+    counts_random: np.ndarray,
+    min_expected: float,
+) -> "tuple[float, int, int, int, int]":
+    """(G, dof, n_categories, n_fixed, n_random) from aligned counts."""
     n_fixed = int(counts_fixed.sum())
     n_random = int(counts_random.sum())
     if n_fixed == 0 or n_random == 0:
-        return GTestResult(0.0, 0, 0.0, 0, n_fixed, n_random)
+        return (0.0, 0, 0, n_fixed, n_random)
 
     total_counts = counts_fixed + counts_random
     keep = total_counts >= 2.0 * min_expected
@@ -99,7 +192,7 @@ def g_test_from_counts(
 
     n_categories = counts_fixed.size
     if n_categories < 2:
-        return GTestResult(0.0, 0, 0.0, n_categories, n_fixed, n_random)
+        return (0.0, 0, n_categories, n_fixed, n_random)
 
     total = counts_fixed + counts_random
     grand_total = float(n_fixed + n_random)
@@ -114,10 +207,4 @@ def g_test_from_counts(
         g += 2.0 * float(
             np.sum(observed[mask] * np.log(observed[mask] / expected[mask]))
         )
-
-    dof = n_categories - 1
-    # logsf keeps precision for astronomically small p-values (strong
-    # leaks); a cap keeps the result finite when even logsf underflows.
-    mlog10p = float(-chi2.logsf(g, dof) / _LN10)
-    mlog10p = min(mlog10p, MLOG10P_CAP)
-    return GTestResult(g, dof, mlog10p, n_categories, n_fixed, n_random)
+    return (g, n_categories - 1, n_categories, n_fixed, n_random)

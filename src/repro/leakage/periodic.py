@@ -13,12 +13,20 @@ E11 benchmark applies it to our gate-level masked AES-128 core.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+)
 
 import numpy as np
 
 from repro.leakage.evaluator import _mix_hash
-from repro.leakage.gtest import DEFAULT_THRESHOLD, g_test
+from repro.leakage.gtest import DEFAULT_THRESHOLD, g_test_batch
 from repro.leakage.model import ProbingModel
 from repro.leakage.probes import ProbeClass, extract_probe_classes
 from repro.leakage.report import LeakageReport, ProbeResult
@@ -39,11 +47,35 @@ class PeriodicLeakageEvaluator:
         max_support_bits: int = 24,
         hash_bits: int = 10,
         probe_nets: Optional[Iterable[int]] = None,
+        slice_cones: bool = True,
+        control_schedule: Optional[Mapping[int, Sequence[int]]] = None,
     ):
         self.netlist = netlist
         self.period = period
         self.model = model
         self.hash_bits = hash_bits
+        # Simulate only the fan-in cone of the probe supports
+        # (bit-identical; see repro.netlist.slice).  A recirculating core
+        # defeats the static cone -- its state registers feed themselves,
+        # so the cone is the whole design -- but ``control_schedule``
+        # (per-period scalar values of control-input nets, e.g. from
+        # AesCoreHarness.control_net_schedule) lets the slicer cut the
+        # feedback at the load/capture muxes and simulate only the
+        # per-cycle cone of the observations: on the E11 whole-core
+        # workload this skips ~99% of all cell evaluations.
+        self.slice_cones = slice_cones
+        self.control_schedule = (
+            dict(control_schedule) if control_schedule else None
+        )
+        if self.control_schedule is not None:
+            for net, bits in self.control_schedule.items():
+                if len(bits) != period:
+                    raise ValueError(
+                        f"control schedule for net {net} has {len(bits)} "
+                        f"entries, expected one period ({period})"
+                    )
+        #: filled by evaluate(): how the last run was sliced (telemetry).
+        self.last_slice_info: Optional[Dict[str, object]] = None
         self.probe_classes, self.skipped_classes = extract_probe_classes(
             netlist, model, probe_nets=probe_nets,
             max_support_bits=max_support_bits,
@@ -78,12 +110,54 @@ class PeriodicLeakageEvaluator:
                     record.add(t - back)
         n_cycles = max(observe_cycles) + 1
 
+        keep_nets = None
+        record_nets = None
+        if self.slice_cones:
+            roots: set = set()
+            for probe_class in self.probe_classes:
+                roots.update(probe_class.support)
+            if roots:
+                keep_nets = sorted(roots)
+                record_nets = keep_nets
+
+        self.last_slice_info = None
         traces = []
-        for stimulus in (stimulus_fixed, stimulus_random):
-            simulator = BitslicedSimulator(self.netlist, n_lanes)
-            traces.append(
-                simulator.run(stimulus, n_cycles, record_cycles=record)
+        if keep_nets is not None and self.control_schedule is not None:
+            from repro.netlist.slice import ScheduledSimulator
+
+            schedule = {
+                net: [bits[t % self.period] for t in range(n_cycles)]
+                for net, bits in self.control_schedule.items()
+            }
+            # run() is stateless, so one compiled schedule serves both
+            # stimulus streams.
+            simulator = ScheduledSimulator(
+                self.netlist, n_lanes, keep_nets,
+                record, n_cycles, schedule,
             )
+            for stimulus in (stimulus_fixed, stimulus_random):
+                traces.append(simulator.run(stimulus))
+            self.last_slice_info = {
+                "mode": "scheduled", **simulator.stats()
+            }
+        else:
+            for stimulus in (stimulus_fixed, stimulus_random):
+                simulator = BitslicedSimulator(
+                    self.netlist, n_lanes, keep_nets=keep_nets
+                )
+                traces.append(
+                    simulator.run(
+                        stimulus, n_cycles,
+                        record_nets=record_nets, record_cycles=record,
+                    )
+                )
+            if keep_nets is not None:
+                cone = simulator._cone
+                self.last_slice_info = {
+                    "mode": "static",
+                    "cone_nets": len(cone) if cone is not None else None,
+                    "n_nets": self.netlist.n_nets,
+                }
         trace_fixed, trace_random = traces
 
         report = LeakageReport(
@@ -96,47 +170,80 @@ class PeriodicLeakageEvaluator:
                 pc.member_names(self.netlist) for pc in self.skipped_classes
             ],
         )
-        n_phases = len(phases)
-        for probe_class in self.probe_classes:
-            for phase_index, phase in enumerate(phases):
+        # Unpacked bit-planes are shared across probe classes (supports
+        # overlap heavily), and the chi-square p-value pass is batched
+        # over all (probe class, phase) tests at once -- both are exact
+        # (see g_test_batch).
+        bit_cache_fixed: Dict = {}
+        bit_cache_random: Dict = {}
+        labels = [
+            (probe_class, phase)
+            for probe_class in self.probe_classes
+            for phase in phases
+        ]
+
+        def key_pairs():
+            # Generator: each pair of key arrays is histogrammed and
+            # freed before the next is built (thousands of tests at
+            # thousands of lanes would otherwise pin 100s of MB).
+            for probe_class, phase in labels:
                 cycles = [
                     (warmup_periods + k) * self.period + phase
                     for k in range(n_periods)
                 ]
-                keys_fixed = self._keys(trace_fixed, probe_class, cycles)
-                keys_random = self._keys(trace_random, probe_class, cycles)
-                outcome = g_test(keys_fixed, keys_random)
-                report.results.append(
-                    ProbeResult(
-                        probe_names=(
-                            probe_class.member_names(self.netlist)
-                            + f" @phase{phase}"
-                        ),
-                        support_names=tuple(
-                            probe_class.support_names(self.netlist)
-                        ),
-                        n_samples=outcome.n_fixed + outcome.n_random,
-                        g_statistic=outcome.g_statistic,
-                        dof=outcome.dof,
-                        mlog10p=outcome.mlog10p,
-                        leaking=outcome.is_leaking(threshold),
-                    )
+                yield (
+                    self._keys(
+                        trace_fixed, probe_class, cycles, bit_cache_fixed
+                    ),
+                    self._keys(
+                        trace_random, probe_class, cycles,
+                        bit_cache_random,
+                    ),
                 )
+
+        for (probe_class, phase), outcome in zip(
+            labels, g_test_batch(key_pairs())
+        ):
+            report.results.append(
+                ProbeResult(
+                    probe_names=(
+                        probe_class.member_names(self.netlist)
+                        + f" @phase{phase}"
+                    ),
+                    support_names=tuple(
+                        probe_class.support_names(self.netlist)
+                    ),
+                    n_samples=outcome.n_fixed + outcome.n_random,
+                    g_statistic=outcome.g_statistic,
+                    dof=outcome.dof,
+                    mlog10p=outcome.mlog10p,
+                    leaking=outcome.is_leaking(threshold),
+                )
+            )
         return report
 
     def _keys(
-        self, trace: Trace, probe_class: ProbeClass, cycles: List[int]
+        self,
+        trace: Trace,
+        probe_class: ProbeClass,
+        cycles: List[int],
+        bit_cache: Optional[Dict] = None,
     ) -> np.ndarray:
+        if bit_cache is None:
+            bit_cache = {}
         segments = []
         for t in cycles:
             key = np.zeros(trace.n_lanes, dtype=np.uint64)
             position = 0
             for back in probe_class.cycles_back:
                 for net in probe_class.support:
-                    bits = unpack_lanes(
-                        trace.words(t - back, net), trace.n_lanes
-                    )
-                    key |= bits.astype(np.uint64) << np.uint64(position)
+                    bits = bit_cache.get((t - back, net))
+                    if bits is None:
+                        bits = unpack_lanes(
+                            trace.words(t - back, net), trace.n_lanes
+                        ).astype(np.uint64)
+                        bit_cache[(t - back, net)] = bits
+                    key |= bits << np.uint64(position)
                     position += 1
             segments.append(key)
         keys = np.concatenate(segments)

@@ -8,7 +8,7 @@ gate/register graph that the probing-model analysis operates on.
 """
 
 from repro.netlist.cells import CellType
-from repro.netlist.core import Cell, Netlist
+from repro.netlist.core import Cell, Netlist, netlist_content_hash
 from repro.netlist.builder import CircuitBuilder
 from repro.netlist.topo import (
     combinational_cone,
@@ -17,6 +17,22 @@ from repro.netlist.topo import (
     transitive_input_support,
 )
 from repro.netlist.simulate import BitslicedSimulator, Trace, evaluate_combinational
+from repro.netlist.compile import (
+    CompiledSimulator,
+    GateProgram,
+    compile_netlist,
+    program_cache_info,
+    set_program_cache_capacity,
+)
+from repro.netlist.slice import (
+    ScheduledSimulator,
+    SliceStats,
+    scheduled_cone,
+    sequential_cone,
+    slice_key,
+    slice_program,
+    slice_stats,
+)
 from repro.netlist.stats import NetlistStats, netlist_stats
 from repro.netlist.opt import optimize
 from repro.netlist.verilog import to_verilog
@@ -34,6 +50,19 @@ __all__ = [
     "stable_support",
     "transitive_input_support",
     "BitslicedSimulator",
+    "CompiledSimulator",
+    "GateProgram",
+    "compile_netlist",
+    "netlist_content_hash",
+    "program_cache_info",
+    "set_program_cache_capacity",
+    "ScheduledSimulator",
+    "SliceStats",
+    "scheduled_cone",
+    "sequential_cone",
+    "slice_key",
+    "slice_program",
+    "slice_stats",
     "Trace",
     "evaluate_combinational",
     "NetlistStats",

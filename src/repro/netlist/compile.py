@@ -12,73 +12,110 @@ gather/scatter over a ``(n_nets, n_words)`` state matrix.
 Programs are cached by a content hash of the netlist structure (cell types,
 connectivity, primary inputs -- names are irrelevant to execution), so
 repeated simulator construction, e.g. one per sampling block or per worker
-process, compiles at most once per process.
+process, compiles at most once per process.  The cache is a bounded LRU
+(:func:`set_program_cache_capacity`) shared by full programs and cone
+slices (:mod:`repro.netlist.slice`); hit/miss/eviction counts are exposed
+through :func:`program_cache_info` and the evaluation service's
+``/metrics`` endpoint.
 
 :class:`CompiledSimulator` is a drop-in replacement for
 :class:`~repro.netlist.simulate.BitslicedSimulator`: same ``run`` signature,
 same :class:`~repro.netlist.simulate.Trace` output, and **bit-identical**
 results -- both engines execute the same uint64 word operations, only the
-dispatch granularity differs.
+dispatch granularity differs.  Passing ``keep_nets`` restricts execution to
+the sequential fan-in cone of those nets (see :mod:`repro.netlist.slice`);
+every live net still computes the exact same words.
 """
 
 from __future__ import annotations
 
-import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.netlist.cells import CellType
-from repro.netlist.core import Netlist
+from repro.netlist.core import Netlist, netlist_content_hash  # noqa: F401
 from repro.netlist.simulate import Stimulus, Trace, words_for_lanes
 from repro.netlist.topo import levelize
 
-#: Compiled programs kept per process, keyed by netlist content hash.
+#: Compiled programs kept per process, keyed by netlist content hash (full
+#: programs) or by slice key (cone slices; see :mod:`repro.netlist.slice`).
 _PROGRAM_CACHE: "OrderedDict[str, GateProgram]" = OrderedDict()
 
 #: Cache capacity; evaluation flows touch a handful of netlists per process.
 _PROGRAM_CACHE_SIZE = 64
 
+#: Lifetime lookup statistics of the program cache.
+_CACHE_STATS = {"hits": 0, "misses": 0, "evictions": 0}
 
-def netlist_content_hash(netlist: Netlist) -> str:
-    """SHA-256 over the executable structure of a netlist.
 
-    Covers everything that affects simulation -- net count, primary inputs,
-    and every cell's (type, input nets, output net) in cell order -- and
-    nothing that does not (net and instance names).  Two netlists with equal
-    hashes execute the same gate program.
+class ProgramCacheInfo(NamedTuple):
+    """Snapshot of the per-process program cache."""
 
-    The digest is memoized on the netlist instance: the evaluation service
-    hashes the same design on every job submission (the hash is the leading
-    component of the verdict-cache key), and rehashing a multi-thousand-cell
-    S-box per HTTP request would dominate cache-hit latency.  The memo is
-    keyed on (net count, cell count) so a netlist still being built -- the
-    only in-place growth the IR allows -- invalidates it naturally.
+    entries: int
+    capacity: int
+    hits: int
+    misses: int
+    evictions: int
+
+
+def program_cache_get(key: str) -> Optional["GateProgram"]:
+    """LRU lookup with hit/miss accounting (shared with the slicer)."""
+    cached = _PROGRAM_CACHE.get(key)
+    if cached is not None:
+        _PROGRAM_CACHE.move_to_end(key)
+        _CACHE_STATS["hits"] += 1
+        return cached
+    _CACHE_STATS["misses"] += 1
+    return None
+
+
+def program_cache_put(key: str, program: "GateProgram") -> None:
+    """Insert a program, evicting least-recently-used entries past capacity."""
+    _PROGRAM_CACHE[key] = program
+    while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_SIZE:
+        _PROGRAM_CACHE.popitem(last=False)
+        _CACHE_STATS["evictions"] += 1
+
+
+def clear_program_cache() -> None:
+    """Drop every cached program and reset statistics (test isolation)."""
+    _PROGRAM_CACHE.clear()
+    _CACHE_STATS.update(hits=0, misses=0, evictions=0)
+
+
+def program_cache_info() -> ProgramCacheInfo:
+    """Entries, capacity and lifetime hit/miss/eviction counts."""
+    return ProgramCacheInfo(
+        entries=len(_PROGRAM_CACHE),
+        capacity=_PROGRAM_CACHE_SIZE,
+        hits=_CACHE_STATS["hits"],
+        misses=_CACHE_STATS["misses"],
+        evictions=_CACHE_STATS["evictions"],
+    )
+
+
+def set_program_cache_capacity(capacity: int) -> int:
+    """Re-bound the program cache; returns the previous capacity.
+
+    Shrinking below the current population evicts least-recently-used
+    entries immediately.  Evaluation flows touch a handful of programs per
+    process, so the default of 64 never evicts in practice; long-lived
+    services slicing many distinct probe selections can lower (or raise)
+    the bound to match their working set.
     """
-    memo = getattr(netlist, "_content_hash_memo", None)
-    shape = (netlist.n_nets, len(netlist.cells))
-    if memo is not None and memo[0] == shape:
-        return memo[1]
-    hasher = hashlib.sha256()
-    hasher.update(f"nets:{netlist.n_nets};".encode())
-    hasher.update(("in:" + ",".join(map(str, netlist.inputs)) + ";").encode())
-    for cell in netlist.cells:
-        hasher.update(
-            (
-                f"{cell.cell_type.value}:"
-                + ",".join(map(str, cell.inputs))
-                + f">{cell.output};"
-            ).encode()
-        )
-    digest = hasher.hexdigest()
-    try:
-        netlist._content_hash_memo = (shape, digest)
-    except AttributeError:  # __slots__ without the memo slot
-        pass
-    return digest
+    global _PROGRAM_CACHE_SIZE
+    if capacity < 1:
+        raise SimulationError("program cache capacity must be positive")
+    previous = _PROGRAM_CACHE_SIZE
+    _PROGRAM_CACHE_SIZE = capacity
+    while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_SIZE:
+        _PROGRAM_CACHE.popitem(last=False)
+        _CACHE_STATS["evictions"] += 1
+    return previous
 
 
 @dataclass(frozen=True)
@@ -103,7 +140,15 @@ class GateOp:
 
 @dataclass(frozen=True)
 class GateProgram:
-    """A netlist flattened into contiguous numpy op/index arrays."""
+    """A netlist flattened into contiguous numpy op/index arrays.
+
+    A *full* program indexes its state matrix directly by net id.  A
+    *sliced* program (``net_map is not None``; see
+    :func:`repro.netlist.slice.slice_program`) keeps only the state rows of
+    its fan-in cone: op/register/constant arrays are pre-remapped to compact
+    rows, ``input_nets`` keeps original net ids (they key the stimulus), and
+    ``net_map`` translates original net ids to rows (-1 for dead nets).
+    """
 
     content_hash: str
     n_nets: int
@@ -118,6 +163,10 @@ class GateProgram:
     dff_q: np.ndarray = field(default_factory=lambda: np.empty(0, np.intp))
     #: number of combinational levels (for reporting).
     n_levels: int = 0
+    #: state rows of a sliced program; None means full (= ``n_nets``).
+    n_state: Optional[int] = None
+    #: original net id -> state row (-1 = dead); None means identity.
+    net_map: Optional[np.ndarray] = None
 
     @property
     def n_dispatches(self) -> int:
@@ -131,6 +180,31 @@ class GateProgram:
             self.const0.size + self.const1.size
         )
 
+    @property
+    def n_state_rows(self) -> int:
+        """Rows of the simulation state matrix."""
+        return self.n_nets if self.n_state is None else self.n_state
+
+    @property
+    def is_sliced(self) -> bool:
+        """True for a cone-sliced program."""
+        return self.net_map is not None
+
+    def state_row(self, net: int) -> int:
+        """State row of an original net id; raises for dead nets."""
+        if self.net_map is None:
+            return net
+        row = int(self.net_map[net])
+        if row < 0:
+            raise SimulationError(
+                f"net {net} is outside this program's fan-in slice"
+            )
+        return row
+
+    def is_live(self, net: int) -> bool:
+        """True when the net has a state row in this program."""
+        return self.net_map is None or self.net_map[net] >= 0
+
 
 def _index_array(values: Iterable[int]) -> np.ndarray:
     return np.asarray(list(values), dtype=np.intp)
@@ -140,9 +214,8 @@ def compile_netlist(netlist: Netlist, use_cache: bool = True) -> GateProgram:
     """Compile (or fetch from the per-process cache) a netlist's program."""
     key = netlist_content_hash(netlist)
     if use_cache:
-        cached = _PROGRAM_CACHE.get(key)
+        cached = program_cache_get(key)
         if cached is not None:
-            _PROGRAM_CACHE.move_to_end(key)
             return cached
 
     order = levelize(netlist)
@@ -201,20 +274,8 @@ def compile_netlist(netlist: Netlist, use_cache: bool = True) -> GateProgram:
         n_levels=max_level,
     )
     if use_cache:
-        _PROGRAM_CACHE[key] = program
-        while len(_PROGRAM_CACHE) > _PROGRAM_CACHE_SIZE:
-            _PROGRAM_CACHE.popitem(last=False)
+        program_cache_put(key, program)
     return program
-
-
-def clear_program_cache() -> None:
-    """Drop every cached program (test isolation helper)."""
-    _PROGRAM_CACHE.clear()
-
-
-def program_cache_info() -> Tuple[int, int]:
-    """``(entries, capacity)`` of the per-process program cache."""
-    return len(_PROGRAM_CACHE), _PROGRAM_CACHE_SIZE
 
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
@@ -227,15 +288,31 @@ class CompiledSimulator:
     :class:`~repro.netlist.simulate.BitslicedSimulator` (positive-edge DFFs
     initialised to 0; inputs, register outputs, combinational settle,
     register capture) and so are the recorded words, bit for bit.
+
+    With ``keep_nets`` the simulator executes the sliced program of the
+    sequential fan-in cone of those nets: dead dispatches and dead state
+    rows are gone, but every live net computes exactly the words the full
+    program would -- the cone is closed under fan-in, so nothing a live net
+    depends on is dropped.
     """
 
-    def __init__(self, netlist: Netlist, n_lanes: int):
+    def __init__(
+        self,
+        netlist: Netlist,
+        n_lanes: int,
+        keep_nets: Optional[Iterable[int]] = None,
+    ):
         if n_lanes <= 0:
             raise SimulationError("n_lanes must be positive")
         self.netlist = netlist
         self.n_lanes = n_lanes
         self.n_words = words_for_lanes(n_lanes)
-        self.program = compile_netlist(netlist)
+        if keep_nets is None:
+            self.program = compile_netlist(netlist)
+        else:
+            from repro.netlist.slice import slice_program
+
+            self.program = slice_program(netlist, keep_nets)
 
     def run(
         self,
@@ -246,18 +323,28 @@ class CompiledSimulator:
     ) -> Trace:
         """Simulate ``n_cycles`` cycles and record the requested nets.
 
-        Same contract as :meth:`BitslicedSimulator.run`; see there.
+        Same contract as :meth:`BitslicedSimulator.run`; see there.  A
+        sliced simulator defaults ``record_nets`` to the *live* stable nets
+        and rejects requests for nets outside its cone.
         """
         netlist = self.netlist
         program = self.program
         if record_nets is None:
-            record_nets = netlist.stable_nets()
+            record_nets = [
+                net for net in netlist.stable_nets() if program.is_live(net)
+            ]
         record_list = list(record_nets)
+        # state_row() raises for nets outside the slice -- a dead net has no
+        # row, and silently recording a wrong row would corrupt histograms.
+        record_rows = [program.state_row(net) for net in record_list]
+        input_rows = [
+            program.state_row(pi) for pi in program.input_nets
+        ]
         cycle_filter = None if record_cycles is None else set(record_cycles)
         trace = Trace(self.n_lanes, record_list)
 
         n_words = self.n_words
-        state = np.zeros((program.n_nets, n_words), dtype=np.uint64)
+        state = np.zeros((program.n_state_rows, n_words), dtype=np.uint64)
         # Constant drivers never change; establish them once.
         if program.const1.size:
             state[program.const1] = _ALL_ONES
@@ -265,7 +352,7 @@ class CompiledSimulator:
 
         for cycle in range(n_cycles):
             provided = stimulus(cycle)
-            for pi in program.input_nets:
+            for pi, row in zip(program.input_nets, input_rows):
                 if pi not in provided:
                     raise SimulationError(
                         f"stimulus missing primary input "
@@ -277,13 +364,16 @@ class CompiledSimulator:
                         f"stimulus for {netlist.net_name(pi)!r} has shape "
                         f"{words.shape}, expected ({n_words},)"
                     )
-                state[pi] = words
+                state[row] = words
             if program.dff_q.size:
                 state[program.dff_q] = reg_state
             self._execute(state)
             if cycle_filter is None or cycle in cycle_filter:
                 trace.values.append(
-                    {net: state[net].copy() for net in record_list}
+                    {
+                        net: state[row].copy()
+                        for net, row in zip(record_list, record_rows)
+                    }
                 )
             else:
                 trace.values.append({})

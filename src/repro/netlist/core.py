@@ -9,6 +9,7 @@ boundaries.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -181,3 +182,41 @@ class Netlist:
             f"cells={len(self.cells)}, dffs={n_dff}, "
             f"inputs={len(self.inputs)}, outputs={len(self.outputs)})"
         )
+
+
+def netlist_content_hash(netlist: Netlist) -> str:
+    """SHA-256 over the executable structure of a netlist.
+
+    Covers everything that affects simulation -- net count, primary inputs,
+    and every cell's (type, input nets, output net) in cell order -- and
+    nothing that does not (net and instance names).  Two netlists with equal
+    hashes execute the same gate program.
+
+    The digest is memoized on the netlist instance: the evaluation service
+    hashes the same design on every job submission (the hash is the leading
+    component of the verdict-cache key), and rehashing a multi-thousand-cell
+    S-box per HTTP request would dominate cache-hit latency.  The memo is
+    keyed on (net count, cell count) so a netlist still being built -- the
+    only in-place growth the IR allows -- invalidates it naturally.
+    """
+    memo = getattr(netlist, "_content_hash_memo", None)
+    shape = (netlist.n_nets, len(netlist.cells))
+    if memo is not None and memo[0] == shape:
+        return memo[1]
+    hasher = hashlib.sha256()
+    hasher.update(f"nets:{netlist.n_nets};".encode())
+    hasher.update(("in:" + ",".join(map(str, netlist.inputs)) + ";").encode())
+    for cell in netlist.cells:
+        hasher.update(
+            (
+                f"{cell.cell_type.value}:"
+                + ",".join(map(str, cell.inputs))
+                + f">{cell.output};"
+            ).encode()
+        )
+    digest = hasher.hexdigest()
+    try:
+        netlist._content_hash_memo = (shape, digest)
+    except AttributeError:  # __slots__ without the memo slot
+        pass
+    return digest

@@ -90,9 +90,22 @@ class Trace:
 
 
 class BitslicedSimulator:
-    """Evaluates a netlist over many parallel lanes."""
+    """Evaluates a netlist over many parallel lanes.
 
-    def __init__(self, netlist: Netlist, n_lanes: int):
+    With ``keep_nets`` the simulator restricts itself to the sequential
+    fan-in cone of those nets (see :mod:`repro.netlist.slice`): cells,
+    registers, and primary inputs outside the cone are skipped entirely.
+    Because the cone is closed under fan-in, every net inside it computes
+    exactly the words the full simulation would -- bit-identical, only
+    faster.
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        n_lanes: int,
+        keep_nets: Optional[Iterable[int]] = None,
+    ):
         if n_lanes <= 0:
             raise SimulationError("n_lanes must be positive")
         self.netlist = netlist
@@ -100,6 +113,16 @@ class BitslicedSimulator:
         self.n_words = words_for_lanes(n_lanes)
         self._order = levelize(netlist)
         self._dffs = list(netlist.dff_cells())
+        self._inputs = list(netlist.inputs)
+        self._cone = None
+        if keep_nets is not None:
+            from repro.netlist.slice import sequential_cone
+
+            cone = sequential_cone(netlist, keep_nets)
+            self._cone = cone
+            self._order = [c for c in self._order if c.output in cone]
+            self._dffs = [c for c in self._dffs if c.output in cone]
+            self._inputs = [pi for pi in self._inputs if pi in cone]
 
     def _zeros(self) -> np.ndarray:
         return np.zeros(self.n_words, dtype=np.uint64)
@@ -119,13 +142,22 @@ class BitslicedSimulator:
         ``stimulus(cycle)`` must return a word array for every primary input.
         When ``record_nets`` is None, the stable nets (inputs and register
         outputs) are recorded -- exactly what probing-model observations are
-        made of.  ``record_cycles`` restricts recording to the given cycles
-        (others store nothing), bounding memory for long runs.
+        made of (a sliced simulator records the stable nets of its cone).
+        ``record_cycles`` restricts recording to the given cycles (others
+        store nothing), bounding memory for long runs.
         """
         netlist = self.netlist
         if record_nets is None:
             record_nets = netlist.stable_nets()
+            if self._cone is not None:
+                record_nets = [n for n in record_nets if n in self._cone]
         record_list = list(record_nets)
+        if self._cone is not None:
+            for net in record_list:
+                if net not in self._cone:
+                    raise SimulationError(
+                        f"net {net} is outside this simulator's fan-in slice"
+                    )
         cycle_filter = None if record_cycles is None else set(record_cycles)
         trace = Trace(self.n_lanes, record_list)
 
@@ -136,7 +168,7 @@ class BitslicedSimulator:
 
         for cycle in range(n_cycles):
             provided = stimulus(cycle)
-            for pi in netlist.inputs:
+            for pi in self._inputs:
                 if pi not in provided:
                     raise SimulationError(
                         f"stimulus missing primary input "

@@ -4,22 +4,83 @@ The glitch-extended probing model resolves a probe on a combinational net to
 the set of *stable* signals (primary inputs and register outputs) in its
 combinational fan-in cone; :func:`stable_support` computes exactly that set
 and is the heart of the probe extraction in :mod:`repro.leakage.probes`.
+
+Levelization and cone computations are pure functions of the netlist
+*structure*, so their results are memoized per process under the netlist
+content hash (:func:`repro.netlist.core.netlist_content_hash`).  Evaluation
+campaigns construct one simulator per sampling block and resolve probe
+supports per chunk; without the memo the same multi-thousand-cell traversal
+reruns thousands of times per campaign.  The caches store only net and cell
+*indices* -- never :class:`Cell` objects -- so two distinct netlist instances
+with equal hashes (same structure, possibly different names) share entries
+safely: cells are re-resolved through the queried instance.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.errors import NetlistError
-from repro.netlist.core import Cell, Netlist
+from repro.netlist.core import Cell, Netlist, netlist_content_hash
+
+#: Entries kept per memo table; evaluation flows touch a handful of netlist
+#: structures per process, so a small LRU never evicts in practice.
+_MEMO_SIZE = 64
+
+#: content hash -> tuple of cell indices in levelized order.
+_LEVELIZE_MEMO: "OrderedDict[str, Tuple[int, ...]]" = OrderedDict()
+
+#: content hash -> {net: stable support} for every net.
+_SUPPORTS_MEMO: "OrderedDict[str, Dict[int, FrozenSet[int]]]" = OrderedDict()
+
+#: (content hash, net) -> combinational cone of that net.
+_CONE_MEMO: "OrderedDict[Tuple[str, int], FrozenSet[int]]" = OrderedDict()
+
+
+def _memo_get(memo: OrderedDict, key):
+    value = memo.get(key)
+    if value is not None:
+        memo.move_to_end(key)
+    return value
+
+
+def _memo_put(memo: OrderedDict, key, value) -> None:
+    memo[key] = value
+    while len(memo) > _MEMO_SIZE:
+        memo.popitem(last=False)
+
+
+def clear_topo_memo() -> None:
+    """Drop every memoized levelization/cone result (test isolation)."""
+    _LEVELIZE_MEMO.clear()
+    _SUPPORTS_MEMO.clear()
+    _CONE_MEMO.clear()
+
+
+def topo_memo_info() -> Dict[str, int]:
+    """Entry counts of the per-process topology memo tables."""
+    return {
+        "levelize": len(_LEVELIZE_MEMO),
+        "supports": len(_SUPPORTS_MEMO),
+        "cones": len(_CONE_MEMO),
+    }
 
 
 def levelize(netlist: Netlist) -> List[Cell]:
     """Order combinational cells so every cell follows its drivers.
 
     Register outputs and primary inputs are sources.  Raises
-    :class:`NetlistError` on combinational loops.
+    :class:`NetlistError` on combinational loops.  The order is memoized
+    per netlist content hash (as cell indices, re-resolved through the
+    queried instance).
     """
+    key = netlist_content_hash(netlist)
+    cached = _memo_get(_LEVELIZE_MEMO, key)
+    if cached is not None:
+        cells = netlist.cells
+        return [cells[i] for i in cached]
+
     order: List[Cell] = []
     ready: Set[int] = set(netlist.inputs)
     ready.update(c.output for c in netlist.dff_cells())
@@ -50,6 +111,7 @@ def levelize(netlist: Netlist) -> List[Cell]:
         raise NetlistError(
             f"combinational loop or floating net involving cells: {stuck[:5]}"
         )
+    _memo_put(_LEVELIZE_MEMO, key, tuple(c.index for c in order))
     return order
 
 
@@ -57,8 +119,12 @@ def combinational_cone(netlist: Netlist, net: int) -> Set[int]:
     """All nets in the combinational fan-in of ``net`` (inclusive).
 
     Traversal stops at stable signals (inputs and register outputs), which
-    are included in the result.
+    are included in the result.  Memoized per (netlist content hash, net).
     """
+    key = (netlist_content_hash(netlist), net)
+    cached = _memo_get(_CONE_MEMO, key)
+    if cached is not None:
+        return set(cached)
     stable = _stable_set(netlist)
     cone: Set[int] = set()
     stack = [net]
@@ -73,6 +139,7 @@ def combinational_cone(netlist: Netlist, net: int) -> Set[int]:
         if driver is None:
             continue
         stack.extend(driver.inputs)
+    _memo_put(_CONE_MEMO, key, frozenset(cone))
     return cone
 
 
@@ -91,8 +158,13 @@ def all_stable_supports(netlist: Netlist) -> Dict[int, FrozenSet[int]]:
     """Compute :func:`stable_support` for every net, sharing work.
 
     Processes cells in levelized order so each support is the union of the
-    supports of the cell inputs.
+    supports of the cell inputs.  Memoized per netlist content hash (the
+    result holds only net indices, so equal-structure instances share it).
     """
+    key = netlist_content_hash(netlist)
+    cached = _memo_get(_SUPPORTS_MEMO, key)
+    if cached is not None:
+        return dict(cached)
     stable = _stable_set(netlist)
     supports: Dict[int, FrozenSet[int]] = {n: frozenset((n,)) for n in stable}
     for net in range(netlist.n_nets):
@@ -105,6 +177,7 @@ def all_stable_supports(netlist: Netlist) -> Dict[int, FrozenSet[int]]:
         for inp in cell.inputs:
             merged.update(supports[inp])
         supports[cell.output] = frozenset(merged)
+    _memo_put(_SUPPORTS_MEMO, key, dict(supports))
     return supports
 
 

@@ -207,12 +207,15 @@ class EvaluationService:
         return None
 
     def metrics(self) -> Dict:
+        from repro.netlist.compile import program_cache_info
+
         return {
             "schema_version": SCHEMA_VERSION,
             "api_version": API_VERSION,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "counters": self.telemetry.counters(),
             "cache": self.store.stats.to_dict(),
+            "program_cache": program_cache_info()._asdict(),
             "jobs": self.store.counts_by_state(),
             "queue_depth": len(self.queue),
             "busy_workers": self.runner.busy_workers,

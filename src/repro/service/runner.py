@@ -110,7 +110,8 @@ def evaluator_for(spec: JobSpec) -> LeakageEvaluator:
         else ProbingModel.GLITCH
     )
     return LeakageEvaluator(
-        built.dut, model, seed=spec.seed, engine=spec.engine
+        built.dut, model, seed=spec.seed, engine=spec.engine,
+        slice_cones=spec.slice,
     )
 
 

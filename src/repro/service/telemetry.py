@@ -48,6 +48,7 @@ COUNTED_EVENTS = frozenset(
         "probe_decided",
         "adaptive_escalated",
         "adaptive_finished_early",
+        "program_sliced",
     }
 )
 

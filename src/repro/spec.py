@@ -45,8 +45,9 @@ _ENGINES = ("compiled", "bitsliced")
 
 #: Spec fields excluded from the verdict-cache identity: results are
 #: bit-identical across them (tests/test_cross_engine.py,
-#: tests/test_leakage_parallel.py, tests/test_leakage_campaign.py).
-EXECUTION_FIELDS = frozenset({"engine", "workers", "chunk_size"})
+#: tests/test_leakage_parallel.py, tests/test_leakage_campaign.py;
+#: cone slicing: tests/test_slice.py).
+EXECUTION_FIELDS = frozenset({"engine", "workers", "chunk_size", "slice"})
 
 #: Adaptive-scheduler fields; part of the cache identity only when
 #: ``adaptive`` is true (they then decide how many samples each probe gets).
@@ -86,6 +87,10 @@ class EvaluationSpec:
     engine: str = "compiled"
     workers: int = 1
     chunk_size: Optional[int] = None
+    #: simulate only the sequential fan-in cone of the active probe
+    #: supports (see :mod:`repro.netlist.slice`).  Bit-identical to full
+    #: simulation, hence an execution detail outside the cache identity.
+    slice: bool = True
     # -- adaptive per-probe scheduling -------------------------------------
     #: evaluate with the adaptive per-probe scheduler instead of a uniform
     #: budget (see :mod:`repro.leakage.adaptive`).
@@ -171,6 +176,7 @@ class EvaluationSpec:
             engine=get("engine", "compiled"),
             workers=get("workers", 1),
             chunk_size=getattr(args, "chunk_size", None),
+            slice=get("slice", True),
             adaptive=get("adaptive", False),
             decide_threshold=get("decide_threshold", 5.0),
             null_threshold=get("null_threshold", 4.0),
@@ -213,6 +219,8 @@ class EvaluationSpec:
             not isinstance(self.chunk_size, int) or self.chunk_size < 1
         ):
             raise SpecError("chunk_size must be a positive integer")
+        if not isinstance(self.slice, bool):
+            raise SpecError("slice must be a boolean")
         if not isinstance(self.adaptive, bool):
             raise SpecError("adaptive must be a boolean")
         for name in ("decide_threshold", "null_threshold"):

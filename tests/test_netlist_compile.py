@@ -122,9 +122,11 @@ class TestProgramCache:
         first = compile_netlist(nl)
         second = compile_netlist(nl)
         assert first is second
-        entries, capacity = program_cache_info()
-        assert entries == 1
-        assert capacity >= 1
+        info = program_cache_info()
+        assert info.entries == 1
+        assert info.capacity >= 1
+        assert info.hits == 1
+        assert info.misses == 1
 
     def test_structurally_equal_netlists_share_a_program(self):
         clear_program_cache()
@@ -154,8 +156,9 @@ class TestProgramCache:
                 return b.build()
 
             programs = [compile_netlist(chain(n)) for n in (1, 2, 3)]
-            entries, _ = program_cache_info()
-            assert entries == 2
+            info = program_cache_info()
+            assert info.entries == 2
+            assert info.evictions == 1
             # The first program was evicted: recompilation yields a new one.
             assert compile_netlist(chain(1)) is not programs[0]
         finally:
