@@ -11,6 +11,14 @@ disk, then resumes through the CLI and checks that the resumed run
 Run from the repository root::
 
     python scripts/kill_resume_smoke.py [--workers N] [--slice | --no-slice]
+                                        [--torn-checkpoint]
+
+With ``--torn-checkpoint`` the exercise gets harder: the victim is
+SIGKILLed only after the checkpoint has rotated at least once (so a
+``.prev`` generation exists), the current checkpoint is then overwritten
+with garbage (a write torn mid-flight by the kill), and the resumed run
+must quarantine the corrupt file, fall back one generation, and still
+produce a report byte-identical to an uninterrupted reference run.
 
 With ``--workers N`` the resumed run goes through the multiprocessing
 executor, exercising checkpoint interoperability between the serial and
@@ -37,7 +45,8 @@ CHUNK_SIZE = 8_192
 DEADLINE_SECONDS = 25
 
 
-def campaign_args(checkpoint, resume=False, workers=1, slice_cones=True):
+def campaign_args(checkpoint, resume=False, workers=1, slice_cones=True,
+                  as_json=False):
     args = [
         sys.executable,
         "-m",
@@ -46,14 +55,96 @@ def campaign_args(checkpoint, resume=False, workers=1, slice_cones=True):
         "--scheme", "eq6",
         "--simulations", str(N_SIMULATIONS),
         "--chunk-size", str(CHUNK_SIZE),
-        "--checkpoint", checkpoint,
         "--seed", "7",
         "--workers", str(workers),
         "--slice" if slice_cones else "--no-slice",
     ]
+    if checkpoint is not None:
+        args += ["--checkpoint", checkpoint]
     if resume:
         args.append("--resume")
+    if as_json:
+        args.append("--json")
     return args
+
+
+def run_torn_checkpoint_leg(env, options):
+    """SIGKILL during checkpoint writes, then corrupt the current generation.
+
+    Proves generation rotation: the victim is killed only after the
+    previous-generation checkpoint (``.prev``) exists, the *current*
+    checkpoint is then overwritten with garbage (simulating a write torn
+    mid-flight by the kill), and the resumed run must quarantine the
+    corrupt file, fall back one generation, and still produce a report
+    byte-identical to an uninterrupted reference run.
+    """
+    workdir = tempfile.mkdtemp(prefix="kill_resume_torn_")
+    checkpoint = os.path.join(workdir, "campaign.npz")
+
+    print("[1/4] computing reference report (no checkpoint, no kill)")
+    golden = subprocess.run(
+        campaign_args(None, workers=options.workers,
+                      slice_cones=options.slice, as_json=True),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=DEADLINE_SECONDS * 10,
+    )
+    if golden.returncode != 1:
+        print(f"FAIL: reference campaign exited {golden.returncode}, "
+              "expected 1 (leakage detected)")
+        return 1
+
+    print(f"[2/4] starting victim campaign (checkpoint: {checkpoint})")
+    victim = subprocess.Popen(
+        campaign_args(checkpoint, slice_cones=options.slice),
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + DEADLINE_SECONDS
+    try:
+        # Wait for the second generation: once ``.prev`` exists there is a
+        # known-good checkpoint to fall back to when we tear the current one.
+        while not os.path.exists(checkpoint + ".prev"):
+            if victim.poll() is not None:
+                print("FAIL: campaign finished before it could be killed; "
+                      "raise N_SIMULATIONS")
+                return 1
+            if time.monotonic() > deadline:
+                print("FAIL: no rotated checkpoint appeared in time")
+                return 1
+            time.sleep(0.01)
+        victim.kill()  # SIGKILL: no cleanup handlers run
+    finally:
+        victim.wait()
+    with open(checkpoint, "wb") as handle:
+        handle.write(b"RPCKPT01 torn mid-write by a crash")
+    print("[3/4] victim SIGKILLed; current checkpoint torn to garbage")
+
+    result = subprocess.run(
+        campaign_args(checkpoint, resume=True, workers=options.workers,
+                      slice_cones=options.slice, as_json=True),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=DEADLINE_SECONDS * 10,
+    )
+    sys.stderr.write(result.stderr)
+    if result.returncode != 1:
+        print(f"FAIL: resumed campaign exited {result.returncode}, "
+              "expected 1 (leakage detected)")
+        return 1
+    if not os.path.exists(checkpoint + ".corrupt"):
+        print("FAIL: torn checkpoint was not quarantined to .corrupt")
+        return 1
+    if result.stdout != golden.stdout:
+        print("FAIL: resumed report is not byte-identical to the "
+              "uninterrupted reference report")
+        return 1
+    print("[4/4] torn checkpoint quarantined; resume fell back one "
+          "generation and produced a byte-identical report")
+    return 0
 
 
 def main():
@@ -65,11 +156,19 @@ def main():
         help="cone-sliced simulation for both legs (default; --no-slice "
              "runs the full netlist)",
     )
+    parser.add_argument(
+        "--torn-checkpoint", action="store_true",
+        help="instead of the plain kill/resume leg, SIGKILL during "
+             "checkpointing, corrupt the current checkpoint, and require "
+             "a bit-identical recovery from the previous generation",
+    )
     options = parser.parse_args()
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
         filter(None, [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")])
     )
+    if options.torn_checkpoint:
+        return run_torn_checkpoint_leg(env, options)
     checkpoint = os.path.join(
         tempfile.mkdtemp(prefix="kill_resume_"), "campaign.npz"
     )

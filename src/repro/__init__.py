@@ -21,9 +21,13 @@ The package provides:
   G-tests, plus an exact (SILVER-style) distribution checker.
 * ``repro.analysis`` -- symbolic ANF tooling reproducing the paper's
   root-cause derivations.
+* ``repro.chaos`` -- deterministic infrastructure fault injection and the
+  chaos-torture harness guarding the byte-identical-or-typed-error
+  robustness contract (see ``docs/robustness.md``).
 """
 
 from repro.errors import (
+    ChaosError,
     ExactAnalysisInfeasible,
     NetlistError,
     ReproError,
@@ -41,6 +45,7 @@ __all__ = [
     "NetlistError",
     "SimulationError",
     "SpecError",
+    "ChaosError",
     "ExactAnalysisInfeasible",
     "__version__",
 ]

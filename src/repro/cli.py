@@ -16,6 +16,10 @@ Commands mirror the paper's workflow:
 * ``serve``    -- long-lived evaluation service (HTTP JSON API, job queue,
   content-addressed verdict cache, structured telemetry).
 * ``submit``   -- submit a job to a running service and await its verdict.
+* ``chaos-torture`` -- robustness self-check: run the campaign under
+  deterministic injected infrastructure faults (torn checkpoints, IO
+  errors, hung workers) and assert every run ends byte-identical to the
+  fault-free golden report or fails with a typed error.
 
 Exit codes: 0 -- clean and complete; 1 -- leakage detected; 2 -- error or
 infeasible analysis; 3 -- truncated before completion without a leak
@@ -26,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import random
 import sys
 from typing import Optional, Sequence
@@ -123,8 +128,16 @@ def cmd_campaign(args) -> int:
         checkpoint=args.checkpoint,
         time_budget=args.time_budget,
         early_stop=args.early_stop,
+        stall_timeout=args.stall_timeout,
     )
-    campaign = EvaluationCampaign(evaluator, config)
+    fault_plane = None
+    if args.chaos_seed is not None:
+        from repro.chaos import ChaosPolicy
+
+        fault_plane = ChaosPolicy(
+            seed=args.chaos_seed, p=args.chaos_p
+        ).fault_plane()
+    campaign = EvaluationCampaign(evaluator, config, fault_plane=fault_plane)
     report = campaign.run(resume=args.resume)
     if args.json:
         print(report.to_json(top=args.top))
@@ -193,6 +206,8 @@ def cmd_serve(args) -> int:
         runner_threads=args.runner_threads,
         queue_limit=args.queue_limit,
         telemetry_path=args.telemetry,
+        stall_timeout=args.stall_timeout,
+        max_restarts=args.max_restarts,
     )
     print(f"evaluation service listening on {service.address}")
     print(f"  state dir: {service.store.root}")
@@ -246,7 +261,9 @@ def cmd_submit(args) -> int:
     import time as _time
 
     deadline = _time.monotonic() + args.timeout
-    while record["state"] not in ("done", "failed", "cancelled"):
+    # Poll while the job is live; any terminal state (done, failed,
+    # cancelled, dead_letter, ...) ends the loop.
+    while record["state"] in ("queued", "running"):
         remaining = deadline - _time.monotonic()
         if remaining <= 0:
             print(
@@ -297,6 +314,55 @@ def cmd_submit(args) -> int:
             )
         print(f"  verdict: {verdict}")
     return record["result"]["exit_code"]
+
+
+def cmd_chaos_torture(args) -> int:
+    """Torture the campaign under deterministic chaos; exit 1 on violation.
+
+    Every chaos seed runs the campaign interrupted-then-resumed under
+    injected infrastructure faults.  Each run must end byte-identical to
+    the fault-free golden report or fail with a typed error; anything
+    else is a robustness-contract violation and the command exits 1.
+    """
+    import tempfile
+
+    from repro.chaos import CHAOS_SITES, run_torture
+
+    spec = EvaluationSpec.from_args(args)
+    sites = (
+        tuple(s.strip() for s in args.sites.split(",") if s.strip())
+        if args.sites
+        else CHAOS_SITES
+    )
+    seeds = list(range(args.seed_base, args.seed_base + args.seeds))
+
+    def make_evaluator():
+        return evaluator_for(spec)
+
+    def make_config(checkpoint=None):
+        return spec.campaign_config(
+            checkpoint=checkpoint,
+            default_chunking=True,
+            stall_timeout=args.stall_timeout,
+        )
+
+    workdir = args.workdir or tempfile.mkdtemp(prefix="chaos-torture-")
+    os.makedirs(workdir, exist_ok=True)
+    report = run_torture(
+        make_evaluator,
+        make_config,
+        seeds,
+        workdir,
+        p=args.chaos_p,
+        hang_seconds=args.hang_seconds,
+        max_faults=args.max_faults,
+        sites=sites,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_summary())
+    return 0 if report.ok else 1
 
 
 def cmd_encrypt(args) -> int:
@@ -425,10 +491,47 @@ def build_parser() -> argparse.ArgumentParser:
                    help="stop once some -log10(p) reaches this level")
     p.add_argument("--self-check", action="store_true",
                    help="fault-injection coverage matrix of the evaluator")
+    p.add_argument("--stall-timeout", type=float, default=None,
+                   help="reap worker shards making no progress for this "
+                        "many seconds (restart pool once, then serial)")
+    p.add_argument("--chaos-seed", type=int, default=None,
+                   help="inject deterministic infrastructure faults from "
+                        "this chaos seed (see docs/robustness.md)")
+    p.add_argument("--chaos-p", type=float, default=0.1,
+                   help="per-consultation fault probability under "
+                        "--chaos-seed")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_campaign)
+
+    p = sub.add_parser(
+        "chaos-torture",
+        help="assert the campaign survives injected infrastructure faults",
+    )
+    _add_spec_arguments(p)
+    p.add_argument("--chunk-size", type=int, default=None,
+                   help="simulations per chunk (default: service default)")
+    p.add_argument("--seeds", type=int, default=20,
+                   help="number of chaos seeds to torture with")
+    p.add_argument("--seed-base", type=int, default=0,
+                   help="first chaos seed (runs seed-base..seed-base+seeds)")
+    p.add_argument("--chaos-p", type=float, default=0.2,
+                   help="per-consultation fault probability")
+    p.add_argument("--hang-seconds", type=float, default=0.01,
+                   help="sleep injected by hang faults")
+    p.add_argument("--max-faults", type=int, default=32,
+                   help="total fault budget per run")
+    p.add_argument("--sites", default=None,
+                   help="comma-separated chaos sites (default: all)")
+    p.add_argument("--stall-timeout", type=float, default=None,
+                   help="worker-shard stall timeout during torture runs")
+    p.add_argument("--workdir", default=None,
+                   help="directory for torture checkpoints "
+                        "(default: a fresh temp dir)")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
+    p.set_defaults(func=cmd_chaos_torture)
 
     p = sub.add_parser("exact", help="exact Kronecker probe sweep")
     p.add_argument("--scheme", default="full")
@@ -471,6 +574,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--telemetry", default=None,
                    help="JSON-lines event log path "
                         "(default: <state-dir>/telemetry.jsonl)")
+    p.add_argument("--stall-timeout", type=float, default=None,
+                   help="watchdog: restart jobs making no chunk progress "
+                        "for this many seconds")
+    p.add_argument("--max-restarts", type=int, default=3,
+                   help="restarts before a job is dead-lettered")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser(

@@ -31,8 +31,30 @@ class ExactAnalysisInfeasible(ReproError):
 class CheckpointError(ReproError):
     """A campaign checkpoint could not be read, written, or reused.
 
-    Raised on version mismatches, corrupt files, and attempts to resume a
-    checkpoint written by a differently-configured campaign.
+    Raised on version mismatches, persistent write failures, and attempts
+    to resume a checkpoint written by a differently-configured campaign.
+    """
+
+
+class CheckpointCorrupt(CheckpointError):
+    """A checkpoint file failed its integrity checks (CRC, container, zip).
+
+    Campaigns do not surface this directly on resume: a corrupt generation
+    is quarantined and the previous generation (or a fresh start) takes
+    over, bit-identically.  The type exists so integrity failures stay
+    distinguishable from configuration mismatches, which must *not* fall
+    back silently.
+    """
+
+
+class ChaosError(ReproError):
+    """The chaos harness observed a robustness-contract violation.
+
+    Raised by :func:`repro.chaos.run_torture` when a fault-injected run
+    neither reproduced the golden report bit for bit nor failed with a
+    typed error -- i.e. the infrastructure produced a silently wrong (or
+    untyped-crashing) result, which is exactly what the harness exists to
+    catch.
     """
 
 

@@ -43,24 +43,80 @@ canonical sampling blocks:
 
 from __future__ import annotations
 
+import io
 import json
 import os
+import struct
 import tempfile
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import BudgetExceeded, CheckpointError, SimulationError
+from repro.chaos import DEFAULT_RETRY, FaultPlane, RetryPolicy, retry_io
+from repro.errors import (
+    BudgetExceeded,
+    CheckpointCorrupt,
+    CheckpointError,
+    SimulationError,
+)
 from repro.leakage.adaptive import AdaptiveConfig, AdaptiveScheduler
 from repro.leakage.evaluator import HistogramAccumulator, LeakageEvaluator
 from repro.leakage.gtest import DEFAULT_THRESHOLD
 from repro.leakage.parallel import ParallelExecutor, effective_workers
 from repro.leakage.report import LeakageReport
 
-#: Checkpoint format version; bumped on incompatible layout changes.
+#: Checkpoint format version; bumped on incompatible layout changes.  The
+#: CRC container below is transparent to this version: the NPZ payload
+#: layout is unchanged, and bare legacy NPZ files still load.
 CHECKPOINT_VERSION = 1
+
+#: Leading magic of the checkpoint integrity container.
+CHECKPOINT_MAGIC = b"RPCKPT01"
+
+
+def pack_checkpoint(payload: bytes) -> bytes:
+    """Wrap an NPZ payload in the CRC32 integrity container.
+
+    Layout: 8-byte magic, ``<IQ`` (CRC32 of the payload, payload length),
+    payload.  The length catches torn/truncated writes cheaply; the CRC
+    catches bit rot and flipped bits anywhere in the payload.
+    """
+    header = struct.pack(
+        "<IQ", zlib.crc32(payload) & 0xFFFFFFFF, len(payload)
+    )
+    return CHECKPOINT_MAGIC + header + payload
+
+
+def unpack_checkpoint(blob: bytes, path: str = "<memory>") -> bytes:
+    """Verify a checkpoint container and return its NPZ payload.
+
+    Raises :class:`CheckpointCorrupt` on any integrity failure (bad magic,
+    torn payload, CRC mismatch).  A blob starting with the zip magic is a
+    legacy bare-NPZ checkpoint (pre-container) and passes through
+    unchecked -- NPZ's own zip CRCs still apply when it is parsed.
+    """
+    if blob[:2] == b"PK":
+        return blob
+    header_len = len(CHECKPOINT_MAGIC) + struct.calcsize("<IQ")
+    if len(blob) < header_len or not blob.startswith(CHECKPOINT_MAGIC):
+        raise CheckpointCorrupt(
+            f"checkpoint {path!r} has no valid container header"
+        )
+    crc, length = struct.unpack_from("<IQ", blob, len(CHECKPOINT_MAGIC))
+    payload = blob[header_len:]
+    if len(payload) != length:
+        raise CheckpointCorrupt(
+            f"checkpoint {path!r} is torn: {len(payload)} of {length} "
+            "payload bytes present"
+        )
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise CheckpointCorrupt(
+            f"checkpoint {path!r} failed its CRC32 integrity check"
+        )
+    return payload
 
 
 @dataclass
@@ -95,6 +151,11 @@ class CampaignConfig:
     #: the campaign's behaviour -- down to the accumulated bytes -- is
     #: identical to earlier versions).
     adaptive: Optional[AdaptiveConfig] = None
+    #: hung-execution deadline in seconds: parallel shards exceeding it
+    #: are reaped (worker processes terminated, chunk retried per the
+    #: degradation ladder), and the service watchdog uses the same value
+    #: as its no-chunk-progress deadline.  ``None`` disables both.
+    stall_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("first", "pairs", "both"):
@@ -113,6 +174,8 @@ class CampaignConfig:
             raise SimulationError("time_budget must be positive")
         if self.early_stop is not None and self.early_stop <= 0:
             raise SimulationError("early_stop must be positive")
+        if self.stall_timeout is not None and self.stall_timeout <= 0:
+            raise SimulationError("stall_timeout must be positive")
         if self.adaptive is not None and self.chunk_size is None:
             raise SimulationError(
                 "adaptive scheduling decides at chunk boundaries; "
@@ -156,11 +219,27 @@ class EvaluationCampaign:
         config: CampaignConfig,
         hook: Optional[Callable[[str, Dict], None]] = None,
         should_stop: Optional[Callable[[], bool]] = None,
+        fault_plane: Optional[FaultPlane] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         self.evaluator = evaluator
         self.config = config
         self.hook = hook
         self.should_stop = should_stop
+        #: chaos fault-injection plane ("checkpoint.write",
+        #: "checkpoint.read", "runner.chunk" sites here; also installed on
+        #: the evaluator so "engine.compile" and -- via the worker pickle
+        #: -- "worker.block" fire).  ``None`` disables injection at zero
+        #: cost; production never sets it.
+        self.fault_plane = fault_plane
+        if fault_plane is not None:
+            evaluator.fault_plane = fault_plane
+        #: transient-IO retry policy for checkpoint reads and writes.
+        self.retry = retry if retry is not None else DEFAULT_RETRY
+        #: graceful-degradation provenance taken by *this* campaign
+        #: (serial fallback, ...); merged with the evaluator's ladder
+        #: steps into the report.  Reset per :meth:`run`.
+        self.degradations: List[Dict[str, str]] = []
         self.accumulator = HistogramAccumulator()
         self.progress = CampaignProgress()
         #: worker pool size actually used: the requested count capped at
@@ -193,6 +272,21 @@ class EvaluationCampaign:
     def _emit(self, event: str, **payload) -> None:
         if self.hook is not None:
             self.hook(event, payload)
+
+    def _note_degradation(self, kind: str, detail: str) -> None:
+        entry = {"kind": kind, "detail": detail}
+        self.degradations.append(entry)
+        self._emit("degradation", **entry)
+
+    def _executor_hook(self, event: str, payload: Dict) -> None:
+        """Forward pool telemetry, recording ladder steps as provenance."""
+        if event == "serial_fallback":
+            self._note_degradation(
+                "serial_fallback",
+                "worker pool degraded to in-process execution "
+                f"({payload.get('error')})",
+            )
+        self._emit(event, **payload)
 
     # ------------------------------------------------------------ fingerprint
 
@@ -268,6 +362,7 @@ class EvaluationCampaign:
         cfg = self.config
         base_blocks = self._blocks_total()
         self.scheduler = None
+        self.degradations = []
         self._esc_lanes = self._n_lanes
         self._slice_key = None
         if cfg.adaptive is not None:
@@ -291,8 +386,15 @@ class EvaluationCampaign:
         self.progress = CampaignProgress(blocks_total=base_blocks)
         self.accumulator = HistogramAccumulator()
         next_block = 0
-        if resume and cfg.checkpoint and os.path.exists(cfg.checkpoint):
-            next_block = self._load_checkpoint(cfg.checkpoint)
+        if (
+            resume
+            and cfg.checkpoint
+            and (
+                os.path.exists(cfg.checkpoint)
+                or os.path.exists(cfg.checkpoint + ".prev")
+            )
+        ):
+            next_block = self._resume_from_checkpoint(cfg.checkpoint)
             self.progress.resumed_from_block = next_block
             self.progress.blocks_done = next_block
         escalated = next_block > base_blocks
@@ -311,9 +413,27 @@ class EvaluationCampaign:
         status = "complete"
         finished_early = False
         chunk_blocks = self._chunk_blocks()
+        if cfg.workers > 1 and self.effective_workers == 1:
+            # Satellite of the 0.801x BENCH_parallel regression: on hosts
+            # where the cap leaves a single effective worker, skip the
+            # process pool entirely (fork/pickle overhead with no core to
+            # spend it on) and say so in telemetry and provenance.
+            self._note_degradation(
+                "degraded_serial",
+                f"requested {cfg.workers} workers but only 1 is effective "
+                "on this host; running serially",
+            )
+            self._emit(
+                "degraded_serial",
+                requested_workers=cfg.workers,
+                effective_workers=self.effective_workers,
+            )
         if self.effective_workers > 1:
             self._executor = ParallelExecutor(
-                self.evaluator, self.effective_workers, hook=self.hook
+                self.evaluator,
+                self.effective_workers,
+                hook=self._executor_hook,
+                shard_timeout=cfg.stall_timeout,
             )
         self._emit(
             "campaign_start",
@@ -327,6 +447,11 @@ class EvaluationCampaign:
         )
         try:
             while next_block < self.progress.blocks_total:
+                if self.fault_plane is not None:
+                    # Chaos site "runner.chunk": a campaign loop that stops
+                    # making progress (wedged IO, livelocked kernel).  The
+                    # service watchdog must notice the silence and act.
+                    self.fault_plane.maybe_hang("runner.chunk")
                 if self.should_stop is not None and self.should_stop():
                     status = "truncated:cancelled"
                     break
@@ -582,12 +707,24 @@ class EvaluationCampaign:
             report.adaptive = self.scheduler.summary(
                 uniform_samples=self._n_lanes * cfg.n_windows
             )
+        report.degradations = list(self.degradations) + list(
+            getattr(self.evaluator, "degradations", [])
+        )
         return report
 
     # ------------------------------------------------------------ checkpoints
 
     def _save_checkpoint(self, path: str, next_block: int) -> None:
-        """Atomically persist accumulated tables plus campaign state."""
+        """Persist tables plus campaign state, CRC'd and generation-rotated.
+
+        The NPZ payload is serialized in memory, wrapped in the
+        :func:`pack_checkpoint` integrity container, and written to a temp
+        file (retried on transient :class:`OSError` per :attr:`retry`);
+        only then does the previous checkpoint rotate to ``path + ".prev"``
+        and the temp file rename over ``path``.  Every step is atomic, so a
+        kill at any instant leaves at least one intact generation on disk
+        -- resume falls back one generation and stays bit-identical.
+        """
         ids, arrays = self.accumulator.state_arrays()
         meta = {
             "version": CHECKPOINT_VERSION,
@@ -598,34 +735,135 @@ class EvaluationCampaign:
         }
         if self.scheduler is not None:
             meta["adaptive"] = self.scheduler.to_state()
-        directory = os.path.dirname(os.path.abspath(path)) or "."
-        fd, tmp_path = tempfile.mkstemp(
-            prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            meta=np.frombuffer(
+                json.dumps(meta).encode("utf-8"), dtype=np.uint8
+            ),
+            **arrays,
         )
+        blob = pack_checkpoint(buffer.getvalue())
+        directory = os.path.dirname(os.path.abspath(path)) or "."
+
+        def write_attempt() -> str:
+            data = blob
+            if self.fault_plane is not None:
+                # May raise InjectedFault (retried like real EIO/ENOSPC)
+                # or return torn/bit-flipped bytes that "write fine" and
+                # only the read-side CRC can catch.
+                data = self.fault_plane.filter_write("checkpoint.write", data)
+            fd, attempt_path = tempfile.mkstemp(
+                prefix=os.path.basename(path) + ".",
+                suffix=".tmp",
+                dir=directory,
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(data)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            except BaseException:
+                if os.path.exists(attempt_path):
+                    os.unlink(attempt_path)
+                raise
+            return attempt_path
+
+        tmp_path: Optional[str] = None
         try:
-            with os.fdopen(fd, "wb") as handle:
-                np.savez(
-                    handle,
-                    meta=np.frombuffer(
-                        json.dumps(meta).encode("utf-8"), dtype=np.uint8
-                    ),
-                    **arrays,
-                )
-                handle.flush()
-                os.fsync(handle.fileno())
+            tmp_path = retry_io(
+                write_attempt,
+                self.retry,
+                site="checkpoint.write",
+                hook=self.hook,
+            )
+            if os.path.exists(path):
+                os.replace(path, path + ".prev")
             os.replace(tmp_path, path)
+            tmp_path = None
         except OSError as exc:
             raise CheckpointError(
                 f"could not write checkpoint {path!r}: {exc}"
             ) from exc
         finally:
-            if os.path.exists(tmp_path):
+            if tmp_path is not None and os.path.exists(tmp_path):
                 os.unlink(tmp_path)
 
+    def _resume_from_checkpoint(self, path: str) -> int:
+        """Load the newest intact checkpoint generation.
+
+        Tries the current generation, then ``path + ".prev"``.  A
+        generation failing its integrity checks is quarantined to
+        ``<generation>.corrupt`` (for post-mortems -- it is never loaded
+        again) and the next one takes over; with no intact generation left
+        the campaign restarts from block 0.  Every outcome re-simulates
+        exactly the blocks the surviving state is missing, so the final
+        report is bit-identical regardless of which path was taken.
+        Configuration mismatches (:class:`CheckpointError` proper) still
+        raise: falling back on those would silently mix incompatible
+        samples.
+        """
+        for generation, candidate in ((0, path), (1, path + ".prev")):
+            if not os.path.exists(candidate):
+                continue
+            try:
+                next_block = self._load_checkpoint(candidate)
+            except CheckpointCorrupt as exc:
+                quarantine: Optional[str] = candidate + ".corrupt"
+                try:
+                    os.replace(candidate, quarantine)
+                except OSError:  # pragma: no cover - quarantine best-effort
+                    quarantine = None
+                self._emit(
+                    "checkpoint_corrupt",
+                    path=candidate,
+                    quarantine=quarantine,
+                    error=str(exc),
+                )
+                continue
+            if generation:
+                self._emit(
+                    "checkpoint_fallback",
+                    path=candidate,
+                    generation="prev",
+                    next_block=next_block,
+                )
+            return next_block
+        self._emit(
+            "checkpoint_fallback", path=path, generation="fresh", next_block=0
+        )
+        return 0
+
     def _load_checkpoint(self, path: str) -> int:
-        """Restore tables and return the next block to simulate."""
+        """Restore tables and return the next block to simulate.
+
+        Integrity failures (unreadable file, bad container, CRC mismatch,
+        unparseable payload) raise :class:`CheckpointCorrupt` so resume can
+        fall back a generation; configuration problems (version or
+        fingerprint mismatch) raise :class:`CheckpointError` and always
+        surface.
+        """
+
+        def read_attempt() -> bytes:
+            if self.fault_plane is not None:
+                self.fault_plane.maybe_fail("checkpoint.read")
+            with open(path, "rb") as handle:
+                return handle.read()
+
         try:
-            with np.load(path) as data:
+            blob = retry_io(
+                read_attempt,
+                self.retry,
+                site="checkpoint.read",
+                hook=self.hook,
+            )
+        except OSError as exc:
+            raise CheckpointCorrupt(
+                f"could not read checkpoint {path!r}: {exc}"
+            ) from exc
+        payload = unpack_checkpoint(blob, path)
+        try:
+            with np.load(io.BytesIO(payload)) as data:
                 meta = json.loads(bytes(data["meta"]).decode("utf-8"))
                 if meta.get("version") != CHECKPOINT_VERSION:
                     raise CheckpointError(
@@ -645,8 +883,8 @@ class EvaluationCampaign:
         except CheckpointError:
             raise
         except Exception as exc:  # zip/JSON/key errors -> corrupt file
-            raise CheckpointError(
-                f"could not read checkpoint {path!r}: {exc}"
+            raise CheckpointCorrupt(
+                f"could not parse checkpoint {path!r}: {exc}"
             ) from exc
         self.accumulator = HistogramAccumulator.from_state(
             meta["table_ids"], arrays

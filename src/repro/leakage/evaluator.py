@@ -221,6 +221,15 @@ class LeakageEvaluator:
         # (PROLEAD's compact power-model mode): a weaker adversary, useful
         # to gauge how visible a leak is to plain HW power models.
         self.observation = observation
+        #: optional :class:`repro.chaos.FaultPlane` consulted at the
+        #: "engine.compile" and "worker.block" sites.  ``None`` (the
+        #: default) costs nothing; campaigns install a plane under chaos
+        #: and it rides the evaluator pickle into worker processes.
+        self.fault_plane = None
+        #: graceful-degradation provenance: ladder steps this evaluator
+        #: took (compiled kernel -> bitsliced reference), merged into
+        #: :attr:`LeakageReport.degradations` by campaigns.
+        self.degradations: List[Dict[str, str]] = []
         self.probe_classes, self.skipped_classes = extract_probe_classes(
             dut.netlist, model, max_support_bits=max_support_bits
         )
@@ -297,11 +306,45 @@ class LeakageEvaluator:
     def _make_simulator(
         self, lane_count: int, keep_nets: Optional[Sequence[int]] = None
     ):
-        """Simulator instance for the configured engine."""
+        """Simulator instance for the configured engine.
+
+        A compiled-kernel construction failure (or an injected
+        "engine.compile" chaos fault) degrades this evaluator permanently
+        to the bitsliced reference engine instead of failing the campaign:
+        the engines are bit-identical (tests/test_cross_engine.py), so the
+        verdict is unchanged and only the provenance records the slower
+        path.
+        """
         if self.engine == "compiled":
-            return CompiledSimulator(
-                self.dut.netlist, lane_count, keep_nets=keep_nets
-            )
+            try:
+                plane = self.fault_plane
+                if plane is not None and plane.decide("engine.compile"):
+                    raise SimulationError(
+                        "injected compiled-kernel failure at chaos site "
+                        "'engine.compile'"
+                    )
+                return CompiledSimulator(
+                    self.dut.netlist, lane_count, keep_nets=keep_nets
+                )
+            except SimulationError as exc:
+                self.engine = "bitsliced"
+                self.degradations.append(
+                    {
+                        "kind": "engine_bitsliced",
+                        "detail": (
+                            "compiled kernel unavailable "
+                            f"({exc}); continuing on the bit-identical "
+                            "bitsliced reference engine"
+                        ),
+                    }
+                )
+                warnings.warn(
+                    f"compiled simulation kernel failed ({exc}); degrading "
+                    "to the bitsliced reference engine with identical "
+                    "results",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
         return BitslicedSimulator(
             self.dut.netlist, lane_count, keep_nets=keep_nets
         )

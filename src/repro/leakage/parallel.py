@@ -24,8 +24,10 @@ from __future__ import annotations
 import multiprocessing
 import os
 import pickle
+import time
 import warnings
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -112,6 +114,17 @@ def _run_shard(
     ) = task
     if _WORKER_EVALUATOR is None:  # pragma: no cover - initializer contract
         raise SimulationError("worker process was not initialised")
+    plane = getattr(_WORKER_EVALUATOR, "fault_plane", None)
+    if plane is not None:
+        # Chaos site "worker.block": simulate a worker dying mid-shard
+        # (SIGKILL'd by the OOM killer, say) or wedging.  ``os._exit``
+        # bypasses all cleanup exactly like a real kill, surfacing in the
+        # parent as BrokenProcessPool.
+        kind = plane.decide("worker.block")
+        if kind == "kill":
+            os._exit(13)
+        if kind == "hang":
+            time.sleep(plane.hang_seconds)
     acc = HistogramAccumulator()
     _WORKER_EVALUATOR.accumulate(
         acc,
@@ -149,15 +162,30 @@ class ParallelExecutor:
         evaluator: LeakageEvaluator,
         workers: Optional[int] = None,
         hook=None,
+        shard_timeout: Optional[float] = None,
+        max_pool_restarts: int = 1,
     ):
         if workers is not None and workers < 1:
             raise SimulationError("workers must be at least 1")
+        if shard_timeout is not None and shard_timeout <= 0:
+            raise SimulationError("shard_timeout must be positive")
+        if max_pool_restarts < 0:
+            raise SimulationError("max_pool_restarts must be non-negative")
         self.evaluator = evaluator
         self.workers = workers if workers is not None else default_workers()
         #: optional ``hook(event: str, payload: dict)`` telemetry callback;
-        #: receives "pool_start", "shard_dispatch", "serial_fallback".
+        #: receives "pool_start", "shard_dispatch", "pool_restart",
+        #: "worker_stalled", "serial_fallback".
         self.hook = hook
+        #: per-shard deadline in seconds; a shard exceeding it has its
+        #: worker processes terminated (hung-worker reaping).  ``None``
+        #: waits forever, the pre-watchdog behaviour.
+        self.shard_timeout = shard_timeout
+        #: pool deaths tolerated (pool rebuilt and the block set retried in
+        #: the pool) before degrading permanently to the serial path.
+        self.max_pool_restarts = max_pool_restarts
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_breaks = 0
         self._serial_fallback = False
 
     def _emit(self, event: str, **payload) -> None:
@@ -198,6 +226,37 @@ class ParallelExecutor:
         self._serial_fallback = True
         self._shutdown_pool()
 
+    def _pool_failed(self, exc: Exception) -> None:
+        """Degradation ladder rung for a dead or reaped pool.
+
+        The first ``max_pool_restarts`` failures tear the pool down and let
+        :meth:`_ensure_pool` rebuild it (a single worker kill should not
+        cost the campaign its parallelism); repeated failures degrade to
+        the serial path permanently -- same verdict bytes, no pool to die.
+        """
+        self._pool_breaks += 1
+        if self._pool_breaks <= self.max_pool_restarts:
+            self._shutdown_pool()
+            self._emit(
+                "pool_restart", breaks=self._pool_breaks, error=repr(exc)
+            )
+        else:
+            self._fall_back(exc)
+
+    def _reap_stalled(self, elapsed: float) -> None:
+        """Terminate a wedged pool's worker processes (watchdog reaping)."""
+        self._emit(
+            "worker_stalled",
+            timeout=self.shard_timeout,
+            elapsed=elapsed,
+        )
+        if self._pool is None:  # pragma: no cover - defensive
+            return
+        for process in list(getattr(self._pool, "_processes", {}).values()):
+            process.terminate()
+        self._pool.shutdown(wait=False, cancel_futures=True)
+        self._pool = None
+
     def _shutdown_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True, cancel_futures=True)
@@ -231,9 +290,11 @@ class ParallelExecutor:
 
         Mirrors :meth:`LeakageEvaluator.accumulate`; a worker
         :class:`MemoryError` propagates to the caller so campaign
-        split-and-retry semantics keep working, and a broken pool retries
-        the whole block set in-process (no partial tables are merged before
-        all shards succeed, so the retry cannot double count).
+        split-and-retry semantics keep working.  A broken or stalled pool
+        retries the whole block set -- first in a rebuilt pool (up to
+        ``max_pool_restarts`` times), then permanently in-process -- and no
+        partial tables are merged before all shards succeed, so retries
+        cannot double count.
         """
         block_list = list(blocks)
         if not block_list:
@@ -269,11 +330,39 @@ class ParallelExecutor:
             )
             for shard in shards
         ]
+        started = time.monotonic()
         try:
             futures = [self._pool.submit(_run_shard, task) for task in tasks]
-            states = [future.result() for future in futures]
+            if self.shard_timeout is None:
+                states = [future.result() for future in futures]
+            else:
+                # One deadline for the whole dispatch: shards run
+                # concurrently, so a healthy chunk finishes within a single
+                # shard_timeout regardless of shard count.
+                deadline = started + self.shard_timeout
+                states = []
+                for future in futures:
+                    remaining = deadline - time.monotonic()
+                    states.append(
+                        future.result(timeout=max(0.001, remaining))
+                    )
         except BrokenProcessPool as exc:
-            self._fall_back(exc)
+            self._pool_failed(exc)
+            self.accumulate(
+                acc,
+                fixed_secret,
+                n_lanes,
+                n_windows,
+                block_list,
+                classes=classes,
+                class_indices=class_indices,
+                pairs=pairs,
+                pair_offsets=pair_offsets,
+            )
+            return
+        except FutureTimeout as exc:
+            self._reap_stalled(time.monotonic() - started)
+            self._pool_failed(exc)
             self.accumulate(
                 acc,
                 fixed_secret,

@@ -62,6 +62,14 @@ class LeakageReport:
     #: :meth:`to_dict`, keeping uniform reports identical to earlier
     #: versions apart from the schema bump.
     adaptive: Optional[Dict] = None
+    #: graceful-degradation provenance: one ``{"kind", "detail"}`` entry
+    #: per ladder step taken while producing this report (parallel pool
+    #: fell back to serial, compiled kernel fell back to bitsliced, ...).
+    #: Execution provenance, not a statistical result: the verdict bytes
+    #: are bit-identical with or without degradation, so :meth:`to_dict`
+    #: omits this by default (``provenance=True`` includes it) and the
+    #: cached/compared report JSON stays invariant across machines.
+    degradations: List[Dict] = field(default_factory=list)
 
     @property
     def truncated(self) -> bool:
@@ -90,8 +98,16 @@ class LeakageReport:
             return None
         return max(self.results, key=lambda r: r.mlog10p)
 
-    def to_dict(self, top: Optional[int] = None) -> Dict:
-        """Machine-readable form (for JSON dashboards / CI gating)."""
+    def to_dict(
+        self, top: Optional[int] = None, provenance: bool = False
+    ) -> Dict:
+        """Machine-readable form (for JSON dashboards / CI gating).
+
+        ``provenance=True`` additionally includes the ``degradations``
+        execution provenance; the default excludes it so the serialized
+        verdict is byte-identical across execution environments (which the
+        content-addressed cache and the chaos golden comparison rely on).
+        """
         ranked = sorted(self.results, key=lambda r: -r.mlog10p)
         if top is not None:
             ranked = ranked[:top]
@@ -111,6 +127,8 @@ class LeakageReport:
         }
         if self.adaptive is not None:
             out["adaptive"] = self.adaptive
+        if provenance and self.degradations:
+            out["degradations"] = list(self.degradations)
         return out
 
     def to_json(self, top: Optional[int] = None, indent: int = 2) -> str:
@@ -141,6 +159,10 @@ class LeakageReport:
                 f"{self.adaptive['decided_null']} null / "
                 f"{self.adaptive['undecided']} undecided"
                 + (f", {savings}x probe-sample savings" if savings else "")
+            )
+        for entry in self.degradations:
+            lines.append(
+                f"  degraded:     {entry.get('kind')} -- {entry.get('detail')}"
             )
         ranked = sorted(self.results, key=lambda r: -r.mlog10p)
         for result in ranked[:top]:

@@ -10,10 +10,14 @@ Endpoints (all JSON, under the versioned ``/v1/`` prefix):
 * ``GET /v1/jobs`` -- all job records, oldest first.
 * ``GET /v1/jobs/<id>`` -- one record; ``?wait=<seconds>`` long-polls until
   the job reaches a terminal state (or the wait times out -- the caller
-  distinguishes by the returned ``state``).
+  distinguishes by the returned ``state``).  ``wait`` must be a finite,
+  non-negative number of seconds; honoured waits are bounded by
+  ``MAX_LONG_POLL_SECONDS``, and absurd values (beyond
+  ``MAX_ACCEPTED_WAIT_SECONDS``) are a 400.
 * ``GET /v1/jobs/<id>/report`` -- the full serialized report,
-  byte-identical to the run that populated the verdict cache; 409 while
-  not finished.
+  byte-identical to the run that populated the verdict cache and verified
+  on read; 409 while not finished, 410 when the stored verdict failed
+  verification and was quarantined (resubmit to recompute).
 * ``POST /v1/jobs/<id>/cancel`` -- stop a queued/running job at its next
   chunk boundary.
 * ``GET /v1/healthz`` -- liveness + uptime + ``api_version``.
@@ -36,6 +40,8 @@ port (tests use this); the bound port is exposed as ``service.port``.
 from __future__ import annotations
 
 import json
+import math
+import os
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -53,6 +59,36 @@ from repro.spec import API_VERSION
 #: Longest ``?wait=`` a single request may hold a handler thread.
 MAX_LONG_POLL_SECONDS = 60.0
 
+#: ``?wait=`` values above this are rejected outright (400) rather than
+#: clamped: an hour-scale wait is a client bug (lost unit conversion, ms
+#: vs s), and silently clamping it would hide that bug.
+MAX_ACCEPTED_WAIT_SECONDS = 3600.0
+
+
+def _parse_wait(raw: str) -> float:
+    """Validate and bound a ``?wait=`` long-poll parameter.
+
+    Negative, NaN, infinite, and absurdly large values are client errors
+    and answer 400 (via :class:`ServiceError`); values between the
+    documented maximum and the absurdity threshold clamp to
+    :data:`MAX_LONG_POLL_SECONDS` so a handler thread is never held
+    longer than documented.
+    """
+    try:
+        wait = float(raw)
+    except (TypeError, ValueError) as exc:
+        raise ServiceError(f"wait must be a number, got {raw!r}") from exc
+    if math.isnan(wait) or math.isinf(wait):
+        raise ServiceError(f"wait must be finite, got {raw!r}")
+    if wait < 0:
+        raise ServiceError(f"wait must be non-negative, got {raw!r}")
+    if wait > MAX_ACCEPTED_WAIT_SECONDS:
+        raise ServiceError(
+            f"wait of {raw!r} seconds is out of range (maximum honoured "
+            f"long-poll is {MAX_LONG_POLL_SECONDS:g}s)"
+        )
+    return min(wait, MAX_LONG_POLL_SECONDS)
+
 #: First path segments the deprecated unversioned aliases still answer.
 _LEGACY_ROOTS = ("healthz", "metrics", "jobs")
 
@@ -68,16 +104,34 @@ class EvaluationService:
         runner_threads: int = 1,
         queue_limit: int = 256,
         telemetry_path: Optional[str] = None,
+        stall_timeout: Optional[float] = None,
+        max_restarts: int = 3,
+        fault_plane=None,
     ):
-        self.store = JobStore(state_dir)
-        self.queue = JobQueue(queue_limit)
+        # One fault plane (or None) threads through every layer, so a
+        # single ChaosPolicy drives the whole service's fault schedule.
+        self.fault_plane = fault_plane
+        # The default telemetry file lives inside the state dir, which may
+        # not exist yet on a fresh service (JobStore creates it lazily).
+        os.makedirs(os.path.abspath(state_dir), exist_ok=True)
         self.telemetry = Telemetry(
             telemetry_path
             if telemetry_path is not None
-            else self.store.telemetry_path()
+            else os.path.join(os.path.abspath(state_dir), "telemetry.jsonl"),
+            fault_plane=fault_plane,
         )
+        self.store = JobStore(
+            state_dir, hook=self.telemetry.emit_hook(), fault_plane=fault_plane
+        )
+        self.queue = JobQueue(queue_limit, fault_plane=fault_plane)
         self.runner = JobRunner(
-            self.store, self.queue, self.telemetry, threads=runner_threads
+            self.store,
+            self.queue,
+            self.telemetry,
+            threads=runner_threads,
+            stall_timeout=stall_timeout,
+            max_restarts=max_restarts,
+            fault_plane=fault_plane,
         )
         self.started_at = time.time()
         handler = _make_handler(self)
@@ -220,6 +274,10 @@ class EvaluationService:
             "queue_depth": len(self.queue),
             "busy_workers": self.runner.busy_workers,
             "runner_threads": self.runner.n_threads,
+            "watchdog": {
+                "stall_timeout": self.runner.stall_timeout,
+                "max_restarts": self.runner.max_restarts,
+            },
         }
 
     def health(self) -> Dict:
@@ -324,11 +382,7 @@ def _make_handler(service: EvaluationService):
                 return
             if len(parts) == 2 and parts[0] == "jobs":
                 query = parse_qs(parsed.query)
-                try:
-                    wait = float(query.get("wait", ["0"])[0])
-                except ValueError as exc:
-                    raise ServiceError("wait must be a number") from exc
-                wait = max(0.0, min(wait, MAX_LONG_POLL_SECONDS))
+                wait = _parse_wait(query.get("wait", ["0"])[0])
                 if wait > 0:
                     record = service.store.wait_for_terminal(parts[1], wait)
                 else:
@@ -360,11 +414,25 @@ def _make_handler(service: EvaluationService):
                     },
                 )
                 return
-            # Served verbatim from the content-addressed store: every job
-            # with this cache key gets byte-identical bytes.
+            # Served verbatim from the content-addressed store (verified
+            # on read): every job with this cache key gets byte-identical
+            # bytes.  A record that rotted since the job finished has been
+            # quarantined by the read -- answer 410 with a resubmit hint,
+            # never a 500 and never unverified bytes.
             data = service.store.read_result(record["cache_key"])
-            if data is None:  # pragma: no cover - done implies stored
-                self._send_json(500, {"error": "verdict missing from store"})
+            if data is None:
+                self._send_json(
+                    410,
+                    {
+                        "error": (
+                            f"the stored verdict for job {job_id!r} failed "
+                            "verification and was quarantined; resubmit the "
+                            "job to recompute it"
+                        ),
+                        "state": record["state"],
+                        "cache_key": record["cache_key"],
+                    },
+                )
                 return
             self._send_bytes(200, data)
 

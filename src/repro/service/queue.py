@@ -29,10 +29,13 @@ class QueueFull(ServiceError):
 class JobQueue:
     """A bounded FIFO of job ids with timed blocking gets."""
 
-    def __init__(self, maxsize: int = 256):
+    def __init__(self, maxsize: int = 256, fault_plane=None):
         if maxsize < 1:
             raise ServiceError("queue maxsize must be at least 1")
         self.maxsize = maxsize
+        #: chaos fault plane for the "queue.put" site (simulated
+        #: queue-full storms); ``None`` in production.
+        self.fault_plane = fault_plane
         self._items: Deque[str] = deque()
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
@@ -40,6 +43,17 @@ class JobQueue:
 
     def put(self, job_id: str) -> None:
         """Enqueue ``job_id``; raises :class:`QueueFull` at capacity."""
+        if self.fault_plane is not None and self.fault_plane.decide(
+            "queue.put"
+        ):
+            # Chaos site "queue.put": an admission-control storm.  The
+            # submission path must answer 429, mark the record failed, and
+            # leave the store consistent -- exactly as if real load had
+            # filled the queue.
+            raise QueueFull(
+                f"job queue is full ({self.maxsize} queued; injected "
+                "chaos storm); retry later"
+            )
         with self._lock:
             if self._closed:
                 raise ServiceError("queue is closed")

@@ -139,7 +139,15 @@ def verdict_summary(report_dict: Dict) -> Dict:
 
 
 class JobRunner:
-    """Worker threads executing queued jobs against the store."""
+    """Worker threads executing queued jobs against the store.
+
+    ``stall_timeout`` arms the per-job watchdog: a running job making no
+    progress (no campaign event) for that many seconds is stopped at its
+    next chunk boundary and restarted from its checkpoint.  A job
+    interrupted or stalled more than ``max_restarts`` times is a poison
+    job and parks in state ``dead_letter`` (visible in ``/v1/metrics``)
+    instead of being restarted forever.
+    """
 
     def __init__(
         self,
@@ -147,17 +155,34 @@ class JobRunner:
         queue: JobQueue,
         telemetry: Telemetry,
         threads: int = 1,
+        stall_timeout: Optional[float] = None,
+        max_restarts: int = 3,
+        fault_plane=None,
     ):
         if threads < 1:
             raise ServiceError("runner threads must be at least 1")
+        if stall_timeout is not None and stall_timeout <= 0:
+            raise ServiceError("stall_timeout must be positive")
+        if max_restarts < 0:
+            raise ServiceError("max_restarts must be non-negative")
         self.store = store
         self.queue = queue
         self.telemetry = telemetry
         self.n_threads = threads
+        self.stall_timeout = stall_timeout
+        self.max_restarts = max_restarts
+        #: chaos fault plane threaded into every campaign this runner
+        #: builds ("checkpoint.*", "runner.chunk", "engine.compile",
+        #: "worker.block" sites); ``None`` in production.
+        self.fault_plane = fault_plane
         self._threads: list = []
+        self._watchdog_thread: Optional[threading.Thread] = None
         self._shutdown = threading.Event()
         self._cancels: Dict[str, threading.Event] = {}
         self._cancels_lock = threading.Lock()
+        self._stalls: Dict[str, threading.Event] = {}
+        self._progress: Dict[str, float] = {}
+        self._progress_lock = threading.Lock()
         self._busy = 0
         self._busy_lock = threading.Lock()
 
@@ -175,6 +200,56 @@ class JobRunner:
             )
             thread.start()
             self._threads.append(thread)
+        if self.stall_timeout is not None and self._watchdog_thread is None:
+            self._watchdog_thread = threading.Thread(
+                target=self._watchdog_loop,
+                name="repro-runner-watchdog",
+                daemon=True,
+            )
+            self._watchdog_thread.start()
+
+    # -------------------------------------------------------------- watchdog
+
+    def _touch(self, job_id: str) -> None:
+        with self._progress_lock:
+            if job_id in self._progress:
+                self._progress[job_id] = time.monotonic()
+
+    def _watchdog_loop(self) -> None:
+        """Reap running jobs that stopped making progress.
+
+        Stalls are detected by silence: every campaign event refreshes the
+        job's progress timestamp, so a wedged chunk (hung worker, livelock,
+        injected "runner.chunk" hang) shows up as a stale one.  Firing sets
+        the job's stall event -- polled by the campaign's ``should_stop``
+        at chunk boundaries and enforced inside the chunk by the
+        executor's shard timeout -- after which :meth:`_execute` restarts
+        the job from its checkpoint or dead-letters it.
+        """
+        assert self.stall_timeout is not None
+        interval = max(0.02, min(0.5, self.stall_timeout / 4))
+        while not self._shutdown.is_set():
+            now = time.monotonic()
+            with self._progress_lock:
+                stalled = [
+                    job_id
+                    for job_id, last in self._progress.items()
+                    if now - last > self.stall_timeout
+                ]
+                for job_id in stalled:
+                    # Fire once per run; _execute re-registers on restart.
+                    self._progress.pop(job_id, None)
+            for job_id in stalled:
+                with self._progress_lock:
+                    event = self._stalls.get(job_id)
+                if event is not None and not event.is_set():
+                    event.set()
+                    self.telemetry.emit(
+                        "watchdog_stalled",
+                        job_id=job_id,
+                        stall_timeout=self.stall_timeout,
+                    )
+            self._shutdown.wait(interval)
 
     def shutdown(self, wait: bool = True) -> None:
         """Stop draining the queue and stop running campaigns cleanly.
@@ -191,11 +266,31 @@ class JobRunner:
         self._threads = []
 
     def recover(self) -> int:
-        """Re-enqueue jobs a previous process left ``queued``/``running``."""
+        """Re-enqueue jobs a previous process left ``queued``/``running``.
+
+        A job found ``running`` was interrupted mid-execution (crash or
+        SIGKILL) and counts one restart; a job that has crashed its way
+        past ``max_restarts`` is poison and dead-letters instead of
+        crashing the service a further time.  Jobs found ``queued`` never
+        got to run and re-enqueue without penalty.
+        """
         recovered = 0
         for record in self.store.recoverable_jobs():
             job_id = record["job_id"]
-            self.store.update_job(job_id, state="queued")
+            if record["state"] == "running":
+                restarts = int(record.get("restarts") or 0) + 1
+                if restarts > self.max_restarts:
+                    self._dead_letter(
+                        job_id,
+                        restarts,
+                        "interrupted mid-run more often than max_restarts",
+                    )
+                    continue
+                self.store.update_job(
+                    job_id, state="queued", restarts=restarts
+                )
+            else:
+                self.store.update_job(job_id, state="queued")
             self.telemetry.emit(
                 "job_recovered",
                 job_id=job_id,
@@ -206,6 +301,36 @@ class JobRunner:
             self.queue.put(job_id)
             recovered += 1
         return recovered
+
+    def _dead_letter(self, job_id: str, restarts: int, reason: str) -> None:
+        self.store.update_job(
+            job_id,
+            state="dead_letter",
+            restarts=restarts,
+            finished_at=round(time.time(), 3),
+            error=f"dead-lettered after {restarts} restarts: {reason}",
+        )
+        self.telemetry.emit(
+            "job_dead_letter", job_id=job_id, restarts=restarts, reason=reason
+        )
+
+    def _restart_or_dead_letter(self, job_id: str, reason: str) -> None:
+        """Requeue a stalled job from its checkpoint, or park poison."""
+        record = self.store.get_job(job_id) or {}
+        restarts = int(record.get("restarts") or 0) + 1
+        if restarts > self.max_restarts:
+            self._dead_letter(job_id, restarts, reason)
+            return
+        self.store.update_job(job_id, state="queued", restarts=restarts)
+        self.telemetry.emit(
+            "job_restarted", job_id=job_id, restarts=restarts, reason=reason
+        )
+        try:
+            self.queue.put(job_id)
+        except ServiceError:
+            # Queue full or closing: the durable record stays ``queued``,
+            # so the next recover() pass re-enqueues it.
+            pass
 
     def cancel(self, job_id: str) -> Dict:
         """Cancel a queued or running job; terminal jobs are an error."""
@@ -255,8 +380,12 @@ class JobRunner:
         cache_key = record["cache_key"]
         spec = JobSpec.from_dict(record["spec"])
         cancel_event = threading.Event()
+        stall_event = threading.Event()
         with self._cancels_lock:
             self._cancels[job_id] = cancel_event
+        with self._progress_lock:
+            self._stalls[job_id] = stall_event
+            self._progress[job_id] = time.monotonic()
         checkpoint = self.store.checkpoint_path(job_id)
         self.store.update_job(
             job_id, state="running", started_at=round(time.time(), 3)
@@ -265,6 +394,7 @@ class JobRunner:
         tele_hook = self.telemetry.campaign_hook(job_id)
 
         def hook(event: str, payload: Dict) -> None:
+            self._touch(job_id)
             tele_hook(event, payload)
             if event == "chunk_done":
                 self.store.update_job(
@@ -278,33 +408,48 @@ class JobRunner:
                 )
 
         def should_stop() -> bool:
-            return cancel_event.is_set() or self._shutdown.is_set()
+            return (
+                cancel_event.is_set()
+                or stall_event.is_set()
+                or self._shutdown.is_set()
+            )
 
         try:
             # An identical job may have completed while this one sat in the
-            # queue; answer from the verdict cache instead of re-simulating.
+            # queue; answer from the (verified) verdict cache instead of
+            # re-simulating.  A record failing verification self-heals to a
+            # miss, so this falls through to an honest recomputation.
             if self.store.has_result(cache_key):
                 data = self.store.get_result(cache_key)
-                summary = verdict_summary(_json_loads(data))
-                self.store.update_job(
-                    job_id,
-                    state="done",
-                    cached=True,
-                    finished_at=round(time.time(), 3),
-                    result=summary,
-                )
-                self.telemetry.emit(
-                    "cache_hit", job_id=job_id, cache_key=cache_key,
-                    late=True,
-                )
-                self.telemetry.emit("job_completed", job_id=job_id, cached=True)
-                return
+                if data is not None:
+                    summary = verdict_summary(_json_loads(data))
+                    self.store.update_job(
+                        job_id,
+                        state="done",
+                        cached=True,
+                        finished_at=round(time.time(), 3),
+                        result=summary,
+                    )
+                    self.telemetry.emit(
+                        "cache_hit", job_id=job_id, cache_key=cache_key,
+                        late=True,
+                    )
+                    self.telemetry.emit(
+                        "job_completed", job_id=job_id, cached=True
+                    )
+                    return
             evaluator = evaluator_for(spec)
             config = spec.campaign_config(
-                checkpoint=checkpoint, default_chunking=True
+                checkpoint=checkpoint,
+                default_chunking=True,
+                stall_timeout=self.stall_timeout,
             )
             campaign = EvaluationCampaign(
-                evaluator, config, hook=hook, should_stop=should_stop
+                evaluator,
+                config,
+                hook=hook,
+                should_stop=should_stop,
+                fault_plane=self.fault_plane,
             )
             report = campaign.run(resume=True)
             if report.status == "truncated:cancelled":
@@ -317,6 +462,14 @@ class JobRunner:
                     self.telemetry.emit("job_cancelled", job_id=job_id)
                     if os.path.exists(checkpoint):
                         os.unlink(checkpoint)
+                elif stall_event.is_set():
+                    # The watchdog reaped this run; its checkpoint is the
+                    # durable image the restart resumes from.
+                    self._restart_or_dead_letter(
+                        job_id,
+                        "no chunk progress within "
+                        f"{self.stall_timeout:g}s (watchdog)",
+                    )
                 else:  # service shutdown: back to the durable queue image
                     self.store.update_job(job_id, state="queued")
                     self.telemetry.emit(
@@ -329,6 +482,10 @@ class JobRunner:
             report_json = report.to_json(top=None)
             self.store.put_result(cache_key, report_json)
             summary = verdict_summary(report.to_dict(top=0))
+            if report.degradations:
+                # Execution provenance lives on the job record, not in the
+                # cached verdict bytes (which stay environment-invariant).
+                summary["degradations"] = list(report.degradations)
             self.store.update_job(
                 job_id,
                 state="done",
@@ -375,6 +532,9 @@ class JobRunner:
         finally:
             with self._cancels_lock:
                 self._cancels.pop(job_id, None)
+            with self._progress_lock:
+                self._stalls.pop(job_id, None)
+                self._progress.pop(job_id, None)
 
 
 def _json_loads(data: Optional[bytes]) -> Dict:

@@ -38,9 +38,11 @@ import os
 import tempfile
 import threading
 import time
+import zlib
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
+from repro.chaos import DEFAULT_RETRY, FaultPlane, RetryPolicy, retry_io
 from repro.errors import ServiceError
 from repro.leakage.report import SCHEMA_VERSION
 from repro.spec import EvaluationSpec, canonical_key  # noqa: F401
@@ -50,15 +52,18 @@ from repro.spec import EvaluationSpec, canonical_key  # noqa: F401
 #: :mod:`repro.spec` existed.
 JobSpec = EvaluationSpec
 
-#: Job states; ``queued`` and ``running`` survive a restart as "recover me".
-JOB_STATES = ("queued", "running", "done", "failed", "cancelled")
+#: Job states; ``queued`` and ``running`` survive a restart as "recover
+#: me".  ``dead_letter`` holds poison jobs: interrupted/stalled too many
+#: times, parked for a human instead of being restarted forever.
+JOB_STATES = ("queued", "running", "done", "failed", "cancelled", "dead_letter")
 
 #: States in which a job record is final and its report (if any) immutable.
-TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled", "dead_letter"})
 
 
-def _atomic_write(path: str, data: bytes) -> None:
-    """Write ``data`` to ``path`` atomically (temp file + rename)."""
+def _atomic_write_raw(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically; raises bare :class:`OSError`
+    so callers can retry transient failures before giving up."""
     directory = os.path.dirname(os.path.abspath(path)) or "."
     fd, tmp_path = tempfile.mkstemp(
         prefix=os.path.basename(path) + ".", suffix=".tmp", dir=directory
@@ -69,11 +74,17 @@ def _atomic_write(path: str, data: bytes) -> None:
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)
-    except OSError as exc:
-        raise ServiceError(f"could not write {path!r}: {exc}") from exc
     finally:
         if os.path.exists(tmp_path):
             os.unlink(tmp_path)
+
+
+def _atomic_write(path: str, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (temp file + rename)."""
+    try:
+        _atomic_write_raw(path, data)
+    except OSError as exc:
+        raise ServiceError(f"could not write {path!r}: {exc}") from exc
 
 
 @dataclass
@@ -82,6 +93,9 @@ class StoreStats:
 
     hits: int = 0
     misses: int = 0
+    #: records that failed verification on read and were quarantined;
+    #: every one of these was served as a miss, never as a report.
+    corruptions: int = 0
 
     def to_dict(self) -> Dict:
         total = self.hits + self.misses
@@ -89,6 +103,7 @@ class StoreStats:
             "hits": self.hits,
             "misses": self.misses,
             "hit_rate": round(self.hits / total, 4) if total else None,
+            "corruptions": self.corruptions,
         }
 
 
@@ -100,18 +115,46 @@ class JobStore:
     for state changes without busy-looping.
     """
 
-    def __init__(self, root: str):
+    def __init__(
+        self,
+        root: str,
+        hook: Optional[Callable[[str, Dict], None]] = None,
+        fault_plane: Optional[FaultPlane] = None,
+        retry: Optional[RetryPolicy] = None,
+    ):
         self.root = os.path.abspath(root)
         self.jobs_dir = os.path.join(self.root, "jobs")
         self.results_dir = os.path.join(self.root, "results")
         self.checkpoints_dir = os.path.join(self.root, "checkpoints")
         for path in (self.jobs_dir, self.results_dir, self.checkpoints_dir):
             os.makedirs(path, exist_ok=True)
+        #: optional ``hook(event, payload)`` telemetry callback (receives
+        #: "store_corruption" and "io_retry").
+        self.hook = hook
+        #: chaos fault plane for the "store.write"/"store.read_result"
+        #: sites; ``None`` (production) costs nothing.
+        self.fault_plane = fault_plane
+        #: transient-IO retry policy for all store writes.
+        self.retry = retry if retry is not None else DEFAULT_RETRY
         self._lock = threading.RLock()
         self.changed = threading.Condition(self._lock)
         self._records: Dict[str, Dict] = {}
         self.stats = StoreStats()
         self._load_records()
+
+    def _write(self, path: str, data: bytes) -> None:
+        """Atomic write with bounded retry and chaos injection."""
+
+        def attempt() -> None:
+            payload = data
+            if self.fault_plane is not None:
+                payload = self.fault_plane.filter_write("store.write", payload)
+            _atomic_write_raw(path, payload)
+
+        try:
+            retry_io(attempt, self.retry, site="store.write", hook=self.hook)
+        except OSError as exc:
+            raise ServiceError(f"could not write {path!r}: {exc}") from exc
 
     # --------------------------------------------------------------- records
 
@@ -130,6 +173,13 @@ class JobStore:
         return os.path.join(self.root, "telemetry.jsonl")
 
     def _load_records(self) -> None:
+        """Load persisted job records, quarantining any that fail to parse.
+
+        A single rotted record must not brick the whole service on
+        restart: it is moved to ``<record>.corrupt`` (kept for
+        post-mortems), counted and reported as ``store_corruption``, and
+        the remaining records load normally.
+        """
         for name in sorted(os.listdir(self.jobs_dir)):
             if not name.endswith(".json"):
                 continue
@@ -137,11 +187,27 @@ class JobStore:
             try:
                 with open(path, "r") as handle:
                     record = json.load(handle)
+                if not isinstance(record, dict) or "job_id" not in record:
+                    raise ValueError("job record is not a job object")
             except (OSError, ValueError) as exc:
-                raise ServiceError(
-                    f"corrupt job record {path!r}: {exc}"
-                ) from exc
+                self._quarantine(path, f"corrupt job record: {exc}")
+                continue
             self._records[record["job_id"]] = record
+
+    def _quarantine(self, path: str, reason: str) -> None:
+        """Move a failed-verification file aside and report it."""
+        quarantine: Optional[str] = path + ".corrupt"
+        try:
+            os.replace(path, quarantine)
+        except OSError:  # pragma: no cover - best-effort
+            quarantine = None
+        with self._lock:
+            self.stats.corruptions += 1
+        if self.hook is not None:
+            self.hook(
+                "store_corruption",
+                {"path": path, "quarantine": quarantine, "reason": reason},
+            )
 
     def new_job(self, spec: JobSpec, cache_key: str) -> Dict:
         """Create and persist a fresh job record in state ``queued``."""
@@ -162,13 +228,14 @@ class JobStore:
                 "error": None,
                 "progress": None,
                 "result": None,
+                "restarts": 0,
             }
             self._persist(record)
             return dict(record)
 
     def _persist(self, record: Dict) -> None:
         self._records[record["job_id"]] = record
-        _atomic_write(
+        self._write(
             self._job_path(record["job_id"]),
             (json.dumps(record, indent=2, sort_keys=True) + "\n").encode(),
         )
@@ -237,47 +304,121 @@ class JobStore:
 
     # --------------------------------------------------------- verdict cache
 
-    def get_result(self, cache_key: str) -> Optional[bytes]:
-        """The stored report bytes for ``cache_key``, counting hit/miss."""
+    def _crc_path(self, cache_key: str) -> str:
+        return self._result_path(cache_key) + ".crc32"
+
+    def _read_verified(self, cache_key: str) -> Optional[bytes]:
+        """Read and *verify* a cached verdict; corrupt records self-heal.
+
+        Verification: CRC32 against the ``.crc32`` sidecar (absent sidecar
+        tolerated -- pre-sidecar stores stay readable), JSON
+        well-formedness, and ``schema_version`` no newer than this code
+        understands.  Any failure quarantines the record (clearing the
+        path so the recomputed verdict can repopulate it under
+        first-writer-wins) and returns ``None`` -- the caller sees a cache
+        miss, never a wrong or unparseable report.
+        """
         path = self._result_path(cache_key)
         try:
             with open(path, "rb") as handle:
                 data = handle.read()
         except FileNotFoundError:
-            with self._lock:
-                self.stats.misses += 1
             return None
+        except OSError as exc:
+            self._quarantine(path, f"unreadable verdict record: {exc}")
+            return None
+        if self.fault_plane is not None:
+            try:
+                data = self.fault_plane.filter_read("store.read_result", data)
+            except OSError as exc:
+                self._quarantine(path, f"injected read fault: {exc}")
+                return None
+        reason = self._verify_verdict(cache_key, data)
+        if reason is not None:
+            self._quarantine(path, reason)
+            try:
+                os.remove(self._crc_path(cache_key))
+            except OSError:
+                pass
+            return None
+        return data
+
+    def _verify_verdict(self, cache_key: str, data: bytes) -> Optional[str]:
+        """Why ``data`` is not a servable verdict, or ``None`` if it is."""
+        try:
+            with open(self._crc_path(cache_key), "r") as handle:
+                expected = int(handle.read().strip(), 16)
+        except FileNotFoundError:
+            expected = None
+        except (OSError, ValueError):
+            return "unreadable checksum sidecar"
+        if expected is not None and zlib.crc32(data) & 0xFFFFFFFF != expected:
+            return "checksum mismatch"
+        try:
+            record = json.loads(data.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            return "invalid JSON"
+        if not isinstance(record, dict):
+            return "verdict record is not an object"
+        version = record.get("schema_version")
+        if version is not None and (
+            not isinstance(version, int) or version > SCHEMA_VERSION
+        ):
+            return (
+                f"schema_version {version!r} is newer than the supported "
+                f"{SCHEMA_VERSION}"
+            )
+        return None
+
+    def get_result(self, cache_key: str) -> Optional[bytes]:
+        """The verified report bytes for ``cache_key``, counting hit/miss.
+
+        A record failing verification counts as a miss (the corruption
+        itself is counted separately in :attr:`StoreStats.corruptions`).
+        """
+        data = self._read_verified(cache_key)
         with self._lock:
-            self.stats.hits += 1
+            if data is None:
+                self.stats.misses += 1
+            else:
+                self.stats.hits += 1
         return data
 
     def has_result(self, cache_key: str) -> bool:
-        """Existence probe that does not touch the hit/miss stats."""
+        """Existence probe that does not touch the hit/miss stats.
+
+        Existence is necessary but not sufficient: serving paths must
+        still go through :meth:`get_result`/:meth:`read_result`, which
+        verify.
+        """
         return os.path.exists(self._result_path(cache_key))
 
     def read_result(self, cache_key: str) -> Optional[bytes]:
-        """Read stored report bytes without counting a hit or miss.
+        """Verified report bytes without counting a hit or miss.
 
         Used when *serving* an already-answered job's report; only lookups
         that decide whether a simulation can be skipped count as hits.
         """
-        try:
-            with open(self._result_path(cache_key), "rb") as handle:
-                return handle.read()
-        except FileNotFoundError:
-            return None
+        return self._read_verified(cache_key)
 
     def put_result(self, cache_key: str, report_json: str) -> None:
         """Memoize the exact serialized report for ``cache_key``.
 
         First writer wins: a concurrent duplicate computation must not
-        replace the bytes an earlier hit may already have returned.
+        replace the bytes an earlier hit may already have returned.  The
+        CRC32 sidecar lands first so a record, once visible, is always
+        verifiable.
         """
         path = self._result_path(cache_key)
+        data = report_json.encode("utf-8")
         with self._lock:
             if os.path.exists(path):
                 return
-            _atomic_write(path, report_json.encode("utf-8"))
+            self._write(
+                self._crc_path(cache_key),
+                f"{zlib.crc32(data) & 0xFFFFFFFF:08x}\n".encode(),
+            )
+            self._write(path, data)
 
     # ----------------------------------------------------------------- stats
 

@@ -49,6 +49,18 @@ COUNTED_EVENTS = frozenset(
         "adaptive_escalated",
         "adaptive_finished_early",
         "program_sliced",
+        "job_restarted",
+        "job_dead_letter",
+        "watchdog_stalled",
+        "degraded_serial",
+        "degradation",
+        "store_corruption",
+        "checkpoint_corrupt",
+        "checkpoint_fallback",
+        "io_retry",
+        "worker_stalled",
+        "pool_restart",
+        "chaos_fault",
     }
 )
 
@@ -56,8 +68,10 @@ COUNTED_EVENTS = frozenset(
 class Telemetry:
     """JSON-lines event log plus thread-safe metric counters."""
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(self, path: Optional[str] = None, fault_plane=None):
         self.path = path
+        #: chaos fault plane for the "telemetry.write" site.
+        self.fault_plane = fault_plane
         self._lock = threading.Lock()
         self._counters: Counter = Counter()
         self._handle = open(path, "a", buffering=1) if path else None
@@ -65,17 +79,30 @@ class Telemetry:
     # ---------------------------------------------------------------- events
 
     def emit(self, event: str, **fields) -> None:
-        """Append one event line and bump its counter."""
+        """Append one event line and bump its counter.
+
+        Telemetry is observability, never control flow: a failing event
+        write (disk full, injected "telemetry.write" fault) must not fail
+        the job it narrates, so write errors are swallowed into the
+        ``telemetry_write_errors`` counter and the in-memory counters keep
+        counting.
+        """
         record = {"ts": round(time.time(), 3), "event": event}
         record.update(fields)
         with self._lock:
             if event in COUNTED_EVENTS:
                 self._counters[event] += 1
-            if self._handle is not None:
+            if self._handle is None:
+                return
+            try:
+                if self.fault_plane is not None:
+                    self.fault_plane.maybe_fail("telemetry.write")
                 self._handle.write(
                     json.dumps(record, sort_keys=True, separators=(",", ":"))
                     + "\n"
                 )
+            except (OSError, ValueError):
+                self._counters["telemetry_write_errors"] += 1
 
     def incr(self, name: str, by: int = 1) -> None:
         """Bump a bare counter without writing an event line."""
@@ -88,6 +115,16 @@ class Telemetry:
             return dict(self._counters)
 
     # ----------------------------------------------------------------- hooks
+
+    def emit_hook(self) -> Callable[[str, Dict], None]:
+        """A bare ``hook(event, payload)`` adapter over :meth:`emit` (the
+        shape :class:`~repro.service.store.JobStore` and
+        :func:`repro.chaos.retry_io` expect)."""
+
+        def hook(event: str, payload: Dict) -> None:
+            self.emit(event, **payload)
+
+        return hook
 
     def campaign_hook(self, job_id: str) -> Callable[[str, Dict], None]:
         """A campaign/executor hook that stamps events with ``job_id``."""

@@ -311,6 +311,7 @@ class EvaluationSpec:
         time_budget: Optional[float] = None,
         on_budget: str = "truncate",
         early_stop: Optional[float] = None,
+        stall_timeout: Optional[float] = None,
     ):
         """The :class:`CampaignConfig` this spec describes.
 
@@ -341,6 +342,7 @@ class EvaluationSpec:
             pair_offsets=self.pair_offsets,
             workers=self.workers,
             adaptive=self.adaptive_config(),
+            stall_timeout=stall_timeout,
         )
 
 

@@ -72,9 +72,12 @@ class TestPublicEntryPointsRaiseReproErrors:
         with pytest.raises(ReproError):
             CampaignConfig(n_simulations=1000, chunk_size=-1)
 
-    def test_campaign_rejects_corrupt_checkpoint(
+    def test_campaign_quarantines_corrupt_checkpoint(
         self, kronecker_full, tmp_path
     ):
+        """Integrity failures never abort a resume: the rotten file is
+        quarantined (``.corrupt``) and the run restarts cleanly.  Only
+        configuration mismatches raise :class:`CheckpointError`."""
         from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
         from repro.leakage.evaluator import LeakageEvaluator
 
@@ -84,8 +87,10 @@ class TestPublicEntryPointsRaiseReproErrors:
             LeakageEvaluator(kronecker_full.dut),
             CampaignConfig(n_simulations=1_000, checkpoint=str(path)),
         )
-        with pytest.raises(CheckpointError):
-            campaign.run(resume=True)
+        report = campaign.run(resume=True)
+        assert report.status == "complete"
+        assert campaign.progress.resumed_from_block == 0
+        assert (tmp_path / "broken.npz.corrupt").exists()
 
     def test_netlist_mutations_reject_bad_nets(self, kronecker_full):
         from repro.netlist.mutate import rewire_fanin, stuck_net

@@ -142,16 +142,50 @@ class TestCheckpointResume:
         with pytest.raises(CheckpointError):
             other_seed.run(resume=True)
 
-    def test_corrupt_checkpoint_rejected(self, kronecker_eq6, tmp_path):
+    def test_corrupt_checkpoint_quarantined_and_restarted(
+        self, kronecker_eq6, tmp_path
+    ):
+        """A rotten checkpoint is quarantined, never trusted: the campaign
+        restarts from block 0 and reaches the identical clean verdict."""
         path = str(tmp_path / "ck.npz")
         with open(path, "wb") as handle:
             handle.write(b"not an npz file")
+        events = []
         campaign = EvaluationCampaign(
             _evaluator(kronecker_eq6),
             CampaignConfig(n_simulations=N_SIMS, checkpoint=path),
+            hook=lambda event, payload: events.append((event, payload)),
         )
-        with pytest.raises(CheckpointError):
-            campaign.run(resume=True)
+        report = campaign.run(resume=True)
+        assert campaign.progress.resumed_from_block == 0
+        assert report.status == "complete"
+        assert os.path.exists(path + ".corrupt")
+        names = [event for event, _ in events]
+        assert "checkpoint_corrupt" in names
+        assert "checkpoint_fallback" in names
+        single = _evaluator(kronecker_eq6).evaluate(n_simulations=N_SIMS)
+        _assert_identical(single, report)
+
+    def test_corrupt_current_falls_back_to_prev_generation(
+        self, kronecker_eq6, tmp_path
+    ):
+        """Torn current generation -> resume from ``.prev``, bit-identical."""
+        path = str(tmp_path / "ck.npz")
+        self._partial_checkpoint(kronecker_eq6, path, blocks=2)
+        os.replace(path, path + ".prev")
+        with open(path, "wb") as handle:
+            handle.write(b"RPCKPT01 torn mid-write")
+        resumed = EvaluationCampaign(
+            _evaluator(kronecker_eq6),
+            CampaignConfig(
+                n_simulations=N_SIMS, chunk_size=8_192, checkpoint=path
+            ),
+        )
+        report = resumed.run(resume=True)
+        assert resumed.progress.resumed_from_block == 2
+        assert os.path.exists(path + ".corrupt")
+        single = _evaluator(kronecker_eq6).evaluate(n_simulations=N_SIMS)
+        _assert_identical(single, report)
 
     def test_kill_and_resume_subprocess(self, kronecker_eq6, tmp_path):
         """SIGKILL a campaign mid-run; the resume completes from disk."""

@@ -15,9 +15,11 @@ import sys
 import time
 import urllib.error
 import urllib.request
+import zlib
 
 import pytest
 
+from repro.chaos import ChaosPolicy
 from repro.errors import ServiceError
 from repro.leakage.report import SCHEMA_VERSION
 from repro.service import (
@@ -147,9 +149,9 @@ class TestJobStore:
 
     def test_first_writer_wins(self, tmp_path):
         store = JobStore(str(tmp_path))
-        store.put_result("b" * 64, "first")
-        store.put_result("b" * 64, "second")
-        assert store.read_result("b" * 64) == b"first"
+        store.put_result("b" * 64, '{"writer": "first"}')
+        store.put_result("b" * 64, '{"writer": "second"}')
+        assert store.read_result("b" * 64) == b'{"writer": "first"}'
 
     def test_recoverable_jobs(self, tmp_path):
         store = JobStore(str(tmp_path))
@@ -204,6 +206,83 @@ class TestTelemetry:
         assert event["job_id"] == "jobX"
         assert event["blocks_done"] == 3
         assert telemetry.counters()["chunk_done"] == 1
+
+
+class TestVerdictStoreCorruption:
+    """A rotted verdict record is a cache miss -- never a served report."""
+
+    KEY = "f" * 64
+    GOOD = json.dumps({"schema_version": SCHEMA_VERSION, "passed": True})
+
+    def _store(self, tmp_path):
+        events = []
+        store = JobStore(
+            str(tmp_path), hook=lambda event, payload: events.append(event)
+        )
+        return store, events
+
+    def _assert_quarantined(self, store, events):
+        assert store.get_result(self.KEY) is None
+        assert store.stats.corruptions >= 1
+        path = store._result_path(self.KEY)
+        assert not os.path.exists(path)
+        assert os.path.exists(path + ".corrupt")
+        assert "store_corruption" in events
+
+    def test_truncated_record_is_a_miss(self, tmp_path):
+        store, events = self._store(tmp_path)
+        store.put_result(self.KEY, self.GOOD)
+        path = store._result_path(self.KEY)
+        data = open(path, "rb").read()
+        with open(path, "wb") as handle:
+            handle.write(data[: len(data) // 2])
+        self._assert_quarantined(store, events)
+
+    def test_invalid_json_is_a_miss(self, tmp_path):
+        store, events = self._store(tmp_path)
+        store.put_result(self.KEY, self.GOOD)
+        garbage = b'{"not a report":'
+        with open(store._result_path(self.KEY), "wb") as handle:
+            handle.write(garbage)
+        # keep the sidecar consistent so the *JSON* check is what fires
+        with open(store._crc_path(self.KEY), "w") as handle:
+            handle.write(f"{zlib.crc32(garbage) & 0xFFFFFFFF:08x}\n")
+        self._assert_quarantined(store, events)
+
+    def test_flipped_byte_fails_the_checksum(self, tmp_path):
+        store, events = self._store(tmp_path)
+        store.put_result(self.KEY, self.GOOD)
+        path = store._result_path(self.KEY)
+        data = bytearray(open(path, "rb").read())
+        data[-2] ^= 0x01  # same length, still may parse -- CRC catches it
+        with open(path, "wb") as handle:
+            handle.write(bytes(data))
+        self._assert_quarantined(store, events)
+
+    def test_future_schema_version_is_a_miss(self, tmp_path):
+        store, events = self._store(tmp_path)
+        store.put_result(
+            self.KEY,
+            json.dumps({"schema_version": SCHEMA_VERSION + 7}),
+        )
+        self._assert_quarantined(store, events)
+
+    def test_legacy_record_without_sidecar_is_served(self, tmp_path):
+        store, _ = self._store(tmp_path)
+        with open(store._result_path(self.KEY), "w") as handle:
+            handle.write(self.GOOD)
+        assert store.get_result(self.KEY) == self.GOOD.encode()
+
+    def test_quarantine_clears_the_path_for_recompute(self, tmp_path):
+        store, events = self._store(tmp_path)
+        store.put_result(self.KEY, self.GOOD)
+        with open(store._result_path(self.KEY), "wb") as handle:
+            handle.write(b"rot")
+        assert store.get_result(self.KEY) is None
+        # first-writer-wins does not resurrect the quarantined bytes: the
+        # slot is free again and a recomputed verdict repopulates it.
+        store.put_result(self.KEY, self.GOOD)
+        assert store.get_result(self.KEY) == self.GOOD.encode()
 
 
 @pytest.fixture
@@ -322,6 +401,130 @@ class TestServiceEndToEnd:
         status, body = _get(f"{base}/jobs/{job_id}/report")
         assert status == 409
         _get(f"{base}/jobs/{job_id}?wait=120")
+
+
+class TestWaitParameterValidation:
+    """``?wait=`` is validated and bounded, never trusted."""
+
+    @pytest.mark.parametrize(
+        "wait", ["-1", "-0.5", "nan", "inf", "-inf", "1e9", "5000", "bogus"]
+    )
+    def test_invalid_wait_is_400(self, service, wait):
+        base = service.address
+        status, body = _post(f"{base}/jobs", E4_SPEC)
+        job_id = json.loads(body)["job_id"]
+        status, body = _get(f"{base}/v1/jobs/{job_id}?wait={wait}")
+        assert status == 400
+        assert "wait" in json.loads(body)["error"]
+        # the job itself is untouched by the bad polls
+        status, _ = _get(f"{base}/v1/jobs/{job_id}?wait=60")
+        assert status == 200
+
+    def test_wait_between_max_poll_and_absurd_is_clamped(self, service):
+        base = service.address
+        status, body = _post(f"{base}/jobs", E4_SPEC)
+        job_id = json.loads(body)["job_id"]
+        _get(f"{base}/v1/jobs/{job_id}?wait=60")
+        # 3600 is within the accepted range; it clamps to the documented
+        # 60s long-poll maximum instead of holding the handler for an hour
+        # (terminal job, so this answers immediately either way).
+        started = time.monotonic()
+        status, body = _get(f"{base}/v1/jobs/{job_id}?wait=3600")
+        assert status == 200
+        assert json.loads(body)["state"] == "done"
+        assert time.monotonic() - started < 60
+
+
+class TestCorruptVerdictOverHttp:
+    def test_corrupt_cached_verdict_is_410_and_recomputable(self, service):
+        base = service.address
+        status, body = _post(f"{base}/jobs", E4_SPEC)
+        assert status == 201
+        first = json.loads(body)
+        status, body = _get(f"{base}/jobs/{first['job_id']}?wait=60")
+        assert json.loads(body)["state"] == "done"
+
+        # Rot the cached verdict on disk behind the store's back.
+        result_path = service.store._result_path(first["cache_key"])
+        with open(result_path, "wb") as handle:
+            handle.write(b'{"passed": true, "forged": ')
+
+        # Serving must fail loudly -- 410 with a resubmit hint -- and
+        # must never return the rotted bytes as a report.
+        status, body = _get(f"{base}/jobs/{first['job_id']}/report")
+        assert status == 410
+        error = json.loads(body)
+        assert "resubmit" in error["error"]
+        assert os.path.exists(result_path + ".corrupt")
+
+        # Resubmission is a clean miss that recomputes the verdict...
+        status, body = _post(f"{base}/jobs", E4_SPEC)
+        assert status == 201
+        second = json.loads(body)
+        assert second["cached"] is False
+        status, body = _get(f"{base}/jobs/{second['job_id']}?wait=60")
+        assert json.loads(body)["state"] == "done"
+        # ...after which the report serves again, self-healed.
+        status, body = _get(f"{base}/jobs/{second['job_id']}/report")
+        assert status == 200
+        assert json.loads(body)["schema_version"] == SCHEMA_VERSION
+
+        status, body = _get(f"{base}/metrics")
+        metrics = json.loads(body)
+        assert metrics["cache"]["corruptions"] >= 1
+        assert metrics["counters"]["store_corruption"] >= 1
+
+
+class TestWatchdogDeadLetter:
+    def test_stalled_job_restarts_then_dead_letters(self, tmp_path):
+        # Chaos hangs every chunk boundary for far longer than the
+        # watchdog's silence deadline, so every attempt stalls: the job is
+        # restarted once, stalls again, and is dead-lettered.
+        plane = ChaosPolicy(
+            seed=0,
+            p=1.0,
+            sites=("runner.chunk",),
+            max_faults=None,
+            hang_seconds=1.2,
+        ).fault_plane()
+        svc = EvaluationService(
+            str(tmp_path / "state"),
+            port=0,
+            stall_timeout=0.3,
+            max_restarts=1,
+            fault_plane=plane,
+        )
+        svc.start()
+        try:
+            spec = dict(E4_SPEC, chunk_size=4_096)
+            status, body = _post(f"{svc.address}/jobs", spec)
+            assert status == 201
+            job_id = json.loads(body)["job_id"]
+            deadline = time.monotonic() + 60
+            while True:
+                status, body = _get(f"{svc.address}/jobs/{job_id}?wait=5")
+                record = json.loads(body)
+                if record["state"] not in ("queued", "running"):
+                    break
+                assert time.monotonic() < deadline, "job never terminated"
+            assert record["state"] == "dead_letter"
+            assert record["restarts"] > 1
+            assert "dead-lettered" in record["error"]
+
+            status, body = _get(f"{svc.address}/metrics")
+            metrics = json.loads(body)
+            assert metrics["jobs"]["dead_letter"] == 1
+            assert metrics["counters"]["watchdog_stalled"] >= 2
+            assert metrics["counters"]["job_restarted"] == 1
+            assert metrics["counters"]["job_dead_letter"] == 1
+            assert metrics["watchdog"]["stall_timeout"] == 0.3
+            assert metrics["watchdog"]["max_restarts"] == 1
+
+            # a dead-lettered job never populated the verdict cache
+            status, _ = _get(f"{svc.address}/jobs/{job_id}/report")
+            assert status == 409
+        finally:
+            svc.stop()
 
 
 class TestApiVersioning:
