@@ -9,6 +9,9 @@ Commands mirror the paper's workflow:
   per-probe scheduling), plus the fault-injection self-check of the
   evaluator itself.
 * ``exact``    -- exact (SILVER-style) sweep of the Kronecker delta.
+* ``certify``  -- compositional (S)NI/PINI certificate of a design's
+  gadget decomposition, with exact-enumeration fallback; emits a
+  whole-circuit certificate or concrete counterexample probes.
 * ``sni``      -- (S)NI check of the DOM-AND gadget.
 * ``report``   -- architecture/area report of a design.
 * ``verilog``  -- export a design as structural Verilog.
@@ -123,6 +126,8 @@ def cmd_campaign(args) -> int:
         return 0 if matrix.coverage_complete else 2
 
     spec = EvaluationSpec.from_args(args)
+    if spec.mode == "exact":
+        return _run_exact_spec(spec, args)
     evaluator = evaluator_for(spec)
     config = spec.campaign_config(
         checkpoint=args.checkpoint,
@@ -156,6 +161,44 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def _run_exact_spec(spec: EvaluationSpec, args) -> int:
+    """Run a ``mode="exact"`` spec locally (the ``campaign --exact`` path).
+
+    Uses the sharded enumeration engine, so ``--workers``, ``--checkpoint``
+    and ``--resume`` behave exactly as in sampled campaigns; results are
+    bit-identical for any worker count or shard size.
+    """
+    from repro.leakage.certify import run_exact_analysis
+
+    dut, _ = _build(spec.design, spec.scheme)
+    model = (
+        ProbingModel.GLITCH_TRANSITION
+        if spec.model == "glitch-transition"
+        else ProbingModel.GLITCH
+    )
+    report = run_exact_analysis(
+        dut,
+        model,
+        max_enum_bits=spec.max_enum_bits,
+        shard_lane_bits=spec.shard_lane_bits,
+        workers=spec.workers,
+        fixed_secret=spec.fixed_secret,
+        checkpoint=getattr(args, "checkpoint", None),
+        resume=getattr(args, "resume", False),
+    )
+    if args.json:
+        print(report.to_json(top=args.top))
+    else:
+        print(report.format_summary(top=args.top))
+    if not report.passed:
+        return 1
+    if not report.conclusive:
+        # no leak found, but not every probe was examined (early stop or
+        # budget-skipped classes): inconclusive, never a silent pass.
+        return 3
+    return 0
+
+
 def cmd_exact(args) -> int:
     """Run the exact Kronecker sweep; exit 1 on leakage."""
     dut, _ = _build("kronecker", args.scheme)
@@ -163,6 +206,43 @@ def cmd_exact(args) -> int:
     report = analyzer.analyze()
     print(report.format_summary(top=args.top))
     return 0 if report.passed else 1
+
+
+_CERTIFY_FIXTURES = ("dom-and", "dom-and-pair", "dom-and-pair-shared")
+
+
+def cmd_certify(args) -> int:
+    """Compositional certificate of a design; exit 1 on counterexample."""
+    from repro.leakage.certify import (
+        CompositionalChecker,
+        dom_and_design,
+        dom_and_pair_design,
+    )
+
+    if args.gadget is not None:
+        dut = {
+            "dom-and": dom_and_design,
+            "dom-and-pair": lambda: dom_and_pair_design(shared_mask=False),
+            "dom-and-pair-shared": lambda: dom_and_pair_design(
+                shared_mask=True
+            ),
+        }[args.gadget]()
+    else:
+        dut, _ = _build(args.design, args.scheme)
+    checker = CompositionalChecker(
+        dut,
+        model=args.model,
+        order=args.order,
+        max_gadget_bits=args.max_gadget_bits,
+        exact_fallback=args.exact_fallback,
+        max_enum_bits=args.max_enum_bits,
+    )
+    report = checker.check()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_summary())
+    return 0 if report.certified else 1
 
 
 def cmd_sni(args) -> int:
@@ -443,6 +523,26 @@ def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
              "as a multiple of --simulations (1.0 = never exceed the "
              "uniform budget)",
     )
+    exact = p.add_argument_group(
+        "exact enumeration",
+        "replace Monte-Carlo sampling with sharded exhaustive enumeration "
+        "of every probe class (mode 'exact'): deterministic verdicts, "
+        "bit-identical for any worker count or shard size",
+    )
+    exact.add_argument(
+        "--exact", action="store_true",
+        help="exhaustively enumerate instead of sampling",
+    )
+    exact.add_argument(
+        "--max-enum-bits", type=int, default=24, dest="max_enum_bits",
+        help="per-probe enumeration budget in bits; wider probes are "
+             "reported infeasible",
+    )
+    exact.add_argument(
+        "--shard-lane-bits", type=int, default=16, dest="shard_lane_bits",
+        help="lanes per enumeration shard as a power of two (execution "
+             "detail: any value merges to identical results)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -538,6 +638,37 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-bits", type=int, default=23)
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_exact)
+
+    p = sub.add_parser(
+        "certify",
+        help="compositional (S)NI/PINI certificate with exact fallback",
+    )
+    p.add_argument("--design", default="kronecker", choices=_DESIGNS)
+    p.add_argument("--scheme", default="full")
+    p.add_argument(
+        "--gadget", default=None, choices=_CERTIFY_FIXTURES,
+        help="certify a built-in fixture instead of --design/--scheme",
+    )
+    p.add_argument(
+        "--model", default="robust", choices=("classic", "robust"),
+        help="classic = isolated 1-SNI + fresh-mask disjointness; robust = "
+             "glitch-extended probes on gadget fan-in slices",
+    )
+    p.add_argument("--order", type=int, default=1)
+    p.add_argument("--max-gadget-bits", type=int, default=22,
+                   help="per-gadget (S)NI enumeration limit in bits")
+    p.add_argument("--max-enum-bits", type=int, default=24,
+                   dest="max_enum_bits",
+                   help="exact-fallback enumeration budget in bits")
+    p.add_argument(
+        "--exact-fallback", action=argparse.BooleanOptionalAction,
+        default=True,
+        help="decide gadgets that fail the (conservative) NI check by "
+             "exact per-probe-class enumeration",
+    )
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable certificate")
+    p.set_defaults(func=cmd_certify)
 
     p = sub.add_parser("sni", help="(S)NI check of the DOM-AND gadget")
     p.add_argument("--robust", action="store_true",

@@ -24,8 +24,23 @@ class MaskingError(ReproError):
 class ExactAnalysisInfeasible(ReproError):
     """The exact leakage analysis would exceed the enumeration budget.
 
-    Callers are expected to fall back to Monte-Carlo sampling.
+    Callers are expected to fall back to Monte-Carlo sampling.  Carries the
+    per-probe cost so reports and telemetry can say *how far* a probe is
+    beyond the budget: ``needed_bits`` is the enumeration bits the probe
+    requires (``None`` when unknown), ``budget`` the configured limit.
     """
+
+    def __init__(
+        self,
+        message: str,
+        probe: "str | None" = None,
+        needed_bits: "int | None" = None,
+        budget: "int | None" = None,
+    ):
+        super().__init__(message)
+        self.probe = probe
+        self.needed_bits = needed_bits
+        self.budget = budget
 
 
 class CheckpointError(ReproError):

@@ -20,6 +20,10 @@ netlist IR:
   evaluator must flag known-broken mutants and pass the clean design.
 * :mod:`repro.leakage.exact` -- exact (SILVER-style) distribution analysis by
   exhaustive randomness enumeration for small supports.
+* :mod:`repro.leakage.certify` -- exact verification at scale: sharded
+  exhaustive enumeration across worker processes (bit-identical to serial,
+  checkpointable) and compositional (S)NI/PINI certificates over the
+  netlist's gadget decomposition with exact-enumeration fallback.
 """
 
 from repro.leakage.adaptive import (
@@ -31,6 +35,12 @@ from repro.leakage.campaign import (
     CampaignConfig,
     EvaluationCampaign,
     run_campaign,
+)
+from repro.leakage.certify import (
+    CertificateReport,
+    CompositionalChecker,
+    ShardedExactAnalyzer,
+    run_exact_analysis,
 )
 from repro.leakage.dut import DesignUnderTest
 from repro.leakage.faults import FaultSpec, SelfCheckMatrix, run_self_check
@@ -63,6 +73,10 @@ __all__ = [
     "LeakageEvaluator",
     "PeriodicLeakageEvaluator",
     "ExactAnalyzer",
+    "CertificateReport",
+    "CompositionalChecker",
+    "ShardedExactAnalyzer",
+    "run_exact_analysis",
     "LeakageReport",
     "ProbeResult",
     "GadgetSpec",

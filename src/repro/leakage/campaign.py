@@ -445,6 +445,11 @@ class EvaluationCampaign:
             n_simulations=cfg.n_simulations,
             mode=cfg.mode,
         )
+        # Surface every budget exclusion in telemetry, not just a count:
+        # a skipped probe means the verdict is conditional on the budget,
+        # which operators should see without parsing the report.
+        for entry in self.evaluator.skipped_detail():
+            self._emit("probe_skipped", **entry)
         try:
             while next_block < self.progress.blocks_total:
                 if self.fault_plane is not None:

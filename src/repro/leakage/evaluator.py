@@ -992,8 +992,28 @@ class LeakageEvaluator:
             skipped_probes=[
                 pc.member_names(netlist) for pc in self.skipped_classes
             ],
+            skipped_detail=self.skipped_detail(),
             status=status,
         )
+
+    def skipped_detail(self) -> List[Dict]:
+        """Budget detail for every probe class excluded from evaluation.
+
+        One ``{"probe", "support_bits", "observation_bits", "budget"}``
+        entry per skipped class, so reports and telemetry can say *how
+        far* each probe is beyond ``max_support_bits`` instead of only
+        counting them.
+        """
+        netlist = self.dut.netlist
+        return [
+            {
+                "probe": pc.member_names(netlist),
+                "support_bits": len(pc.support),
+                "observation_bits": pc.observation_bits,
+                "budget": self.max_support_bits,
+            }
+            for pc in self.skipped_classes
+        ]
 
     def probe_class_for_net(self, net: int) -> ProbeClass:
         """Find the probe class containing a given net."""

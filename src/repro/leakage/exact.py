@@ -21,11 +21,19 @@ The engine:
 Designs whose probes exceed the enumeration budget raise
 :class:`repro.errors.ExactAnalysisInfeasible` per probe and are reported as
 skipped; the Monte-Carlo evaluator covers them.
+
+The assignment space of one probe class factors into lane-aligned *shards*:
+shard ``s`` of size ``2^b`` covers global assignment indices
+``[s * 2^b, (s+1) * 2^b)``.  Within a shard, enumeration bits below ``b``
+ride simulator lanes as usual while bits at or above ``b`` are broadcast
+constants taken from the shard index -- so per-shard exact counts merge to
+the single-shot histogram bit for bit.  :class:`ShardedExactAnalyzer` in
+:mod:`repro.leakage.certify` schedules shards across worker processes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -34,6 +42,7 @@ from repro.errors import ExactAnalysisInfeasible
 from repro.leakage.dut import DesignUnderTest
 from repro.leakage.model import ProbingModel
 from repro.leakage.probes import ProbeClass, extract_probe_classes
+from repro.leakage.report import SCHEMA_VERSION
 from repro.netlist.simulate import BitslicedSimulator, unpack_lanes
 from repro.netlist.topo import transitive_input_support
 
@@ -56,6 +65,22 @@ def _enum_pattern(index: int, n_words: int) -> np.ndarray:
     selected = (word_index >> np.uint64(index - 6)) & np.uint64(1)
     full = np.uint64(0xFFFFFFFFFFFFFFFF)
     return np.where(selected.astype(bool), full, np.uint64(0))
+
+
+def _shard_pattern(
+    index: int, n_words: int, shard_lane_bits: int, shard_index: int
+) -> np.ndarray:
+    """Pattern of global enumeration bit ``index`` within one shard.
+
+    Bits below ``shard_lane_bits`` enumerate across the shard's lanes; bits
+    at or above it are fixed by the shard index, so the pattern is an
+    all-ones or all-zeros broadcast.
+    """
+    if index < shard_lane_bits:
+        return _enum_pattern(index, n_words)
+    if (shard_index >> (index - shard_lane_bits)) & 1:
+        return np.full(n_words, np.uint64(0xFFFFFFFFFFFFFFFF), dtype=np.uint64)
+    return np.zeros(n_words, dtype=np.uint64)
 
 
 @dataclass(frozen=True)
@@ -86,13 +111,22 @@ class ExactProbeResult:
 
 @dataclass
 class ExactReport:
-    """Outcome of an exact analysis sweep."""
+    """Outcome of an exact analysis sweep.
+
+    ``infeasible`` entries are detail dicts ``{"probe", "needed_bits",
+    "budget"}`` recording *how far* each skipped probe exceeds the
+    enumeration budget, so escalating ``max_enum_bits`` (or moving to the
+    sharded engine) is an informed decision rather than a guess.
+    """
 
     design: str
     model: str
     fixed_secret: int
     results: List[ExactProbeResult] = field(default_factory=list)
-    infeasible: List[str] = field(default_factory=list)
+    infeasible: List[Dict[str, object]] = field(default_factory=list)
+    #: "complete", or "truncated:<reason>" when a sharded sweep stopped
+    #: early (cancellation, shutdown).
+    status: str = "complete"
 
     @property
     def leaking_results(self) -> List[ExactProbeResult]:
@@ -104,22 +138,126 @@ class ExactReport:
         """True when every analyzed probe is secret-independent."""
         return not self.leaking_results
 
+    @property
+    def truncated(self) -> bool:
+        """True when the sweep stopped before covering every probe."""
+        return self.status != "complete"
+
+    @property
+    def conclusive(self) -> bool:
+        """True when every probe class actually received a verdict.
+
+        A sweep with budget-skipped (infeasible) probes or an early stop
+        can still be *insecure* (a found leak is a proof), but it can
+        never be *secure*: the unexamined probes might leak.
+        """
+        return not self.truncated and not self.infeasible
+
+    @property
+    def max_tv(self) -> float:
+        """Largest fixed-vs-random total-variation distance observed."""
+        return max((r.tv_fixed_vs_random for r in self.results), default=0.0)
+
+    def to_dict(self, top: Optional[int] = None) -> Dict:
+        """Machine-readable form, shaped like :meth:`LeakageReport.to_dict`.
+
+        Shares the sampled report's envelope keys (``schema_version``,
+        ``status``, ``passed``, ``max_mlog10p``, ``n_probe_classes``) so the
+        service verdict cache and exit-code mapping treat exact and sampled
+        verdicts uniformly; ``mode: "exact"`` and the per-probe rows
+        distinguish the payload.  An exact pass has no p-value, so
+        ``max_mlog10p`` is 0.0 by construction.
+        """
+        ranked = sorted(
+            self.results, key=lambda r: (-r.leaking, -r.tv_fixed_vs_random)
+        )
+        if top is not None:
+            ranked = ranked[:top]
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "mode": "exact",
+            "design": self.design,
+            "model": self.model,
+            "fixed_secret": self.fixed_secret,
+            "status": self.status,
+            "passed": self.passed,
+            "max_mlog10p": 0.0,
+            "max_tv": self.max_tv,
+            "n_probe_classes": len(self.results),
+            "n_skipped": len(self.infeasible),
+            "skipped": list(self.infeasible),
+            "results": [asdict(r) for r in ranked],
+        }
+
+    def to_json(self, top: Optional[int] = None, indent: int = 2) -> str:
+        """JSON rendering of :meth:`to_dict`."""
+        import json
+
+        return json.dumps(self.to_dict(top), indent=indent)
+
     def format_summary(self, top: int = 10) -> str:
         """Human-readable report, leaking probes first."""
         verdict = "SECURE (exact)" if self.passed else "INSECURE (exact)"
+        if self.passed and not self.conclusive:
+            verdict = (
+                "INCONCLUSIVE (truncated before completion)"
+                if self.truncated
+                else "INCONCLUSIVE "
+                f"({len(self.infeasible)} probes beyond enumeration budget)"
+            )
         lines = [
             f"=== Exact analysis: {self.design} ===",
-            f"  model:   {self.model}",
+            f"  model:   {self.model}"
+            + (f" [{self.status}]" if self.truncated else ""),
             f"  probes:  {len(self.results)} analyzed, "
             f"{len(self.infeasible)} beyond enumeration budget",
             f"  verdict: {verdict}",
         ]
+        for entry in self.infeasible[:3]:
+            needed = entry.get("needed_bits")
+            lines.append(
+                f"  skipped: {entry.get('probe')} needs "
+                f"{needed if needed is not None else '>40'} bits "
+                f"(budget {entry.get('budget')})"
+            )
         ranked = sorted(
             self.results, key=lambda r: (-r.leaking, -r.tv_fixed_vs_random)
         )
         for result in ranked[:top]:
             lines.append("  " + result.format_row())
         return "\n".join(lines)
+
+
+@dataclass
+class EnumerationSetup:
+    """Resolved enumeration variables of one probe class.
+
+    Computed once per probe class and reused by every shard: the free
+    variables (bit positions ``0..k-1`` of the global assignment index), the
+    used secret bits (positions ``k..k+u-1``), and the derived lookup
+    tables the stimulus closure needs.
+    """
+
+    free_vars: List[Var]
+    used_secret_bits: List[int]
+    share_groups: List[Tuple[int, int]]
+    nonzero_groups: List[Tuple[int, int]]
+    max_age: int
+
+    @property
+    def n_free_bits(self) -> int:
+        """Free randomness bits (``k``)."""
+        return len(self.free_vars)
+
+    @property
+    def n_secret_bits(self) -> int:
+        """Used secret bits (``u``)."""
+        return len(self.used_secret_bits)
+
+    @property
+    def total_bits(self) -> int:
+        """Total enumeration bits (``k + u``)."""
+        return self.n_free_bits + self.n_secret_bits
 
 
 class ExactAnalyzer:
@@ -212,10 +350,13 @@ class ExactAnalyzer:
 
     # ------------------------------------------------------------- analysis
 
-    def analyze_probe_class(
-        self, probe_class: ProbeClass, fixed_secret: int = 0
-    ) -> ExactProbeResult:
-        """Exactly analyze one probe class; raises if infeasible."""
+    def enumeration_setup(self, probe_class: ProbeClass) -> EnumerationSetup:
+        """Resolve the enumeration variables of a probe class.
+
+        Raises :class:`ExactAnalysisInfeasible` -- carrying the probe name,
+        its required bit count and the configured budget -- when the class
+        exceeds ``max_enum_bits``.
+        """
         (
             free_vars,
             used_secret_bits,
@@ -223,24 +364,65 @@ class ExactAnalyzer:
             nonzero_groups,
             max_age,
         ) = self._collect_variables(probe_class)
-
-        k = len(free_vars)
-        u = len(used_secret_bits)
-        total_bits = k + u
-        netlist = self.dut.netlist
-        if total_bits > self.max_enum_bits:
+        setup = EnumerationSetup(
+            free_vars=free_vars,
+            used_secret_bits=used_secret_bits,
+            share_groups=share_groups,
+            nonzero_groups=nonzero_groups,
+            max_age=max_age,
+        )
+        if setup.total_bits > self.max_enum_bits:
+            probe = probe_class.member_names(self.dut.netlist)
             raise ExactAnalysisInfeasible(
-                f"probe {probe_class.member_names(netlist)} needs "
-                f"{total_bits} enumeration bits (> {self.max_enum_bits})"
+                f"probe {probe} needs {setup.total_bits} enumeration bits "
+                f"(> {self.max_enum_bits})",
+                probe=probe,
+                needed_bits=setup.total_bits,
+                budget=self.max_enum_bits,
             )
+        return setup
 
-        n_lanes = 1 << total_bits
+    def count_shard(
+        self,
+        probe_class: ProbeClass,
+        shard_index: int = 0,
+        shard_lane_bits: Optional[int] = None,
+        setup: Optional[EnumerationSetup] = None,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Exact observation counts over one shard of the assignment space.
+
+        With ``shard_lane_bits=None`` the single shard covers the whole
+        space (the serial path).  Returns ``(keys, rows, counts)``: the
+        sorted unique observation keys seen on *valid* lanes, the occupied
+        secret rows, and the ``(len(rows), len(keys))`` count matrix.
+        Counts from all shards of a class merge -- by key union and
+        elementwise addition -- to exactly the single-shot histogram.
+        """
+        if setup is None:
+            setup = self.enumeration_setup(probe_class)
+        free_vars = setup.free_vars
+        used_secret_bits = setup.used_secret_bits
+        share_groups = setup.share_groups
+        nonzero_groups = setup.nonzero_groups
+        max_age = setup.max_age
+        k = setup.n_free_bits
+        u = setup.n_secret_bits
+        total_bits = setup.total_bits
+        netlist = self.dut.netlist
+
+        lane_bits = (
+            total_bits
+            if shard_lane_bits is None
+            else min(shard_lane_bits, total_bits)
+        )
+        n_lanes = 1 << lane_bits
         n_words = (n_lanes + 63) // 64
         var_index = {var: i for i, var in enumerate(free_vars)}
         secret_index = {bit: k + i for i, bit in enumerate(used_secret_bits)}
 
         patterns = {
-            i: _enum_pattern(i, n_words) for i in range(total_bits)
+            i: _shard_pattern(i, n_words, lane_bits, shard_index)
+            for i in range(total_bits)
         }
         zeros = np.zeros(n_words, dtype=np.uint64)
 
@@ -330,19 +512,43 @@ class ExactAnalyzer:
                 keys |= bits.astype(np.uint64) << np.uint64(position)
                 position += 1
 
-        _, inverse = np.unique(keys, return_inverse=True)
-        n_categories = int(inverse.max()) + 1
-        lanes_per_secret = 1 << k
-        n_secrets = 1 << u
-        histogram = np.zeros((n_secrets, n_categories), dtype=np.int64)
-        inverse = inverse.reshape(n_secrets, lanes_per_secret)
-        valid = valid.reshape(n_secrets, lanes_per_secret)
-        for s in range(n_secrets):
-            histogram[s] = np.bincount(
-                inverse[s][valid[s]], minlength=n_categories
-            )
+        # Per-lane secret row: bits k..k+u-1 of the global assignment index.
+        base = shard_index << lane_bits
+        global_index = np.uint64(base) + np.arange(n_lanes, dtype=np.uint64)
+        lane_rows = (
+            (global_index >> np.uint64(k)) & np.uint64((1 << u) - 1)
+        ).astype(np.int64)
 
-        distinct = np.unique(histogram, axis=0).shape[0]
+        keys_valid = keys[valid]
+        rows_valid = lane_rows[valid]
+        unique_keys, inverse = np.unique(keys_valid, return_inverse=True)
+        occupied = np.unique(rows_valid)
+        counts = np.zeros((occupied.size, unique_keys.size), dtype=np.int64)
+        if keys_valid.size:
+            row_pos = np.searchsorted(occupied, rows_valid)
+            np.add.at(counts, (row_pos, inverse), 1)
+        return unique_keys, occupied, counts
+
+    def finalize(
+        self,
+        probe_class: ProbeClass,
+        setup: EnumerationSetup,
+        histogram: np.ndarray,
+        fixed_secret: int = 0,
+    ) -> ExactProbeResult:
+        """Verdict from a full ``(2^u, n_keys)`` exact-count histogram.
+
+        The same code runs on the serial single-shot histogram and on the
+        merged shard counts, so sharded and serial sweeps are bit-identical
+        by construction.
+        """
+        netlist = self.dut.netlist
+        used_secret_bits = setup.used_secret_bits
+        distinct = (
+            int(np.unique(histogram, axis=0).shape[0])
+            if histogram.shape[1]
+            else 1
+        )
         leaking = distinct > 1
 
         fixed_row = 0
@@ -356,12 +562,27 @@ class ExactAnalyzer:
         return ExactProbeResult(
             probe_names=probe_class.member_names(netlist),
             support_names=tuple(probe_class.support_names(netlist)),
-            n_random_bits=k,
-            n_secret_bits=u,
+            n_random_bits=setup.n_free_bits,
+            n_secret_bits=setup.n_secret_bits,
             leaking=leaking,
             tv_fixed_vs_random=tv,
             n_distinct_distributions=distinct,
         )
+
+    def analyze_probe_class(
+        self, probe_class: ProbeClass, fixed_secret: int = 0
+    ) -> ExactProbeResult:
+        """Exactly analyze one probe class; raises if infeasible."""
+        setup = self.enumeration_setup(probe_class)
+        unique_keys, occupied, counts = self.count_shard(
+            probe_class, setup=setup
+        )
+        n_secrets = 1 << setup.n_secret_bits
+        histogram = np.zeros(
+            (n_secrets, unique_keys.size), dtype=np.int64
+        )
+        histogram[occupied] = counts
+        return self.finalize(probe_class, setup, histogram, fixed_secret)
 
     def analyze(
         self,
@@ -385,11 +606,35 @@ class ExactAnalyzer:
                 report.results.append(
                     self.analyze_probe_class(probe_class, fixed_secret)
                 )
-            except ExactAnalysisInfeasible:
-                report.infeasible.append(probe_class.member_names(netlist))
+            except ExactAnalysisInfeasible as exc:
+                report.infeasible.append(self.infeasible_entry(exc))
         for probe_class in self.wide_classes:
-            report.infeasible.append(probe_class.member_names(netlist))
+            report.infeasible.append(self.wide_class_entry(probe_class))
         return report
+
+    def infeasible_entry(
+        self, exc: ExactAnalysisInfeasible
+    ) -> Dict[str, object]:
+        """Report/telemetry detail for one over-budget probe class."""
+        return {
+            "probe": exc.probe,
+            "needed_bits": exc.needed_bits,
+            "budget": exc.budget if exc.budget is not None else self.max_enum_bits,
+        }
+
+    def wide_class_entry(self, probe_class: ProbeClass) -> Dict[str, object]:
+        """Detail entry for a probe class too wide to even set up."""
+        netlist = self.dut.netlist
+        try:
+            setup = self.enumeration_setup(probe_class)
+            needed: Optional[int] = setup.total_bits
+        except ExactAnalysisInfeasible as exc:
+            needed = exc.needed_bits
+        return {
+            "probe": probe_class.member_names(netlist),
+            "needed_bits": needed,
+            "budget": self.max_enum_bits,
+        }
 
     def probe_class_for_net(self, net: int) -> ProbeClass:
         """Find the probe class containing a given net."""

@@ -53,6 +53,13 @@ class LeakageReport:
     threshold: float
     results: List[ProbeResult] = field(default_factory=list)
     skipped_probes: List[str] = field(default_factory=list)
+    #: per-skip budget detail: one ``{"probe", "support_bits",
+    #: "observation_bits", "budget"}`` entry per probe class excluded from
+    #: evaluation because its support exceeds the evaluator's
+    #: ``max_support_bits`` (or its observation exceeds 63 bits).  Present
+    #: in :meth:`to_dict` as ``"skipped"`` only when non-empty, so reports
+    #: of fully-evaluated designs stay byte-identical to earlier versions.
+    skipped_detail: List[Dict] = field(default_factory=list)
     #: "complete", or "truncated:<reason>" when a campaign stopped early
     #: (time/memory budget, decisive early abort).
     status: str = "complete"
@@ -125,6 +132,8 @@ class LeakageReport:
             "n_skipped": len(self.skipped_probes),
             "results": [asdict(r) for r in ranked],
         }
+        if self.skipped_detail:
+            out["skipped"] = list(self.skipped_detail)
         if self.adaptive is not None:
             out["adaptive"] = self.adaptive
         if provenance and self.degradations:
@@ -151,6 +160,12 @@ class LeakageReport:
             + (f" (skipped {len(self.skipped_probes)} wide)" if self.skipped_probes else ""),
             f"  verdict:      {verdict}",
         ]
+        for entry in self.skipped_detail[:3]:
+            lines.append(
+                f"  skipped:      {entry.get('probe')} -- support "
+                f"{entry.get('support_bits')} bits > budget "
+                f"{entry.get('budget')}"
+            )
         if self.adaptive is not None:
             savings = self.adaptive.get("probe_sample_savings")
             lines.append(

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -90,6 +90,34 @@ class SniResult:
         )
 
 
+@dataclass
+class PiniResult:
+    """Verdict of a PINI check (Cassiers & Standaert's composable notion).
+
+    PINI strengthens NI by tying simulator shares to *share domains*: a set
+    of ``t_int`` internal probes plus output probes on domains ``J`` must be
+    simulatable from the input shares of at most ``t_int`` domains plus the
+    domains ``J`` themselves -- across all inputs.  PINI gadgets compose
+    freely at any order, which is what makes the per-gadget certificate a
+    whole-circuit statement.
+    """
+
+    order: int
+    robust: bool
+    is_pini: bool
+    n_probe_sets: int
+    violations: List[SniViolation] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-line verdict."""
+        model = "glitch-robust" if self.robust else "standard"
+        return (
+            f"order-{self.order} {model} probes over "
+            f"{self.n_probe_sets} probe sets: "
+            f"PINI={'yes' if self.is_pini else 'NO'}"
+        )
+
+
 class SniChecker:
     """Exhaustive (S)NI verification, bitsliced over all assignments.
 
@@ -101,16 +129,29 @@ class SniChecker:
     on the selected share bits".
     """
 
-    def __init__(self, gadget: GadgetSpec, robust: bool = False):
+    def __init__(
+        self,
+        gadget: GadgetSpec,
+        robust: bool = False,
+        probe_nets: Optional[Sequence[int]] = None,
+        max_bits: int = 22,
+    ):
         self.gadget = gadget
         self.robust = robust
         self.n_share_bits = sum(len(s) for s in gadget.input_shares)
         self.n_mask_bits = len(gadget.mask_nets)
         total_bits = self.n_share_bits + self.n_mask_bits
-        if total_bits > 22:
+        if total_bits > max_bits:
             raise MaskingError(
                 f"{total_bits} input/mask bits exceed the enumeration limit"
+                f" ({max_bits})"
             )
+        #: restrict probe positions to these nets (compositional checking
+        #: places probes only on a gadget's own cells while the fan-in
+        #: slice provides the glitch-extended context); None probes all.
+        self.probe_nets: Optional[Set[int]] = (
+            set(probe_nets) if probe_nets is not None else None
+        )
         self._observables = self._probe_observables()
         self._tables = self._build_wire_tables()
 
@@ -155,6 +196,7 @@ class SniChecker:
             cell.output
             for cell in netlist.cells
             if not cell.cell_type.is_constant
+            and (self.probe_nets is None or cell.output in self.probe_nets)
         ]
         if not self.robust:
             return {net: (net,) for net in candidates}
@@ -266,6 +308,66 @@ class SniChecker:
                     result.is_sni = False
                     result.sni_violations.append(
                         SniViolation(names, f"more than {t_int} shares (SNI)")
+                    )
+        return result
+
+    def _domain_mask(self, domains: Sequence[int]) -> int:
+        """Selected-bit mask of the given share domains across all inputs."""
+        positions = self._share_positions()
+        mask = 0
+        for group in positions:
+            for domain in domains:
+                if domain < len(group):
+                    mask |= 1 << group[domain]
+        return mask
+
+    def check_pini(self, order: int = 1) -> PiniResult:
+        """Verify t-PINI for ``t = order``.
+
+        Output probes carry the share domain of their position in
+        ``output_shares``; internal probes may pick any ``t_int`` extra
+        domains.  The probe set must be simulatable from exactly those
+        domains' input shares, across every input.
+        """
+        netlist = self.gadget.netlist
+        output_domain = {
+            net: i for i, net in enumerate(self.gadget.output_shares)
+        }
+        n_shares = self.gadget.n_shares
+        result = PiniResult(
+            order=order, robust=self.robust, is_pini=True, n_probe_sets=0
+        )
+        all_probes = list(self._observables)
+        for size in range(1, order + 1):
+            for probes in itertools.combinations(all_probes, size):
+                result.n_probe_sets += 1
+                out_domains = {
+                    output_domain[p] for p in probes if p in output_domain
+                }
+                t_int = sum(1 for p in probes if p not in output_domain)
+                digest = self._digest(probes)
+                simulatable = False
+                for extra in range(min(t_int, n_shares) + 1):
+                    for combo in itertools.combinations(
+                        range(n_shares), extra
+                    ):
+                        selected = self._domain_mask(
+                            sorted(out_domains | set(combo))
+                        )
+                        if self._simulatable_from(digest, selected):
+                            simulatable = True
+                            break
+                    if simulatable:
+                        break
+                if not simulatable:
+                    names = tuple(netlist.net_name(p) for p in probes)
+                    result.is_pini = False
+                    result.violations.append(
+                        SniViolation(
+                            names,
+                            f"domains beyond {t_int} + output domains "
+                            f"{sorted(out_domains)} (PINI)",
+                        )
                     )
         return result
 

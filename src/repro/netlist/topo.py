@@ -19,7 +19,8 @@ safely: cells are re-resolved through the queried instance.
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Dict, FrozenSet, List, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import NetlistError
 from repro.netlist.core import Cell, Netlist, netlist_content_hash
@@ -223,6 +224,253 @@ def combinational_depth(netlist: Netlist) -> int:
         depth[cell.output] = d
         longest = max(longest, d)
     return longest
+
+
+def sequential_depth(netlist: Netlist) -> int:
+    """Longest register chain from a primary input to any net.
+
+    This is the number of settle cycles a pipeline needs before every wire
+    holds its steady function of constant inputs.  Register feedback loops
+    (which never settle) saturate at the register count.
+    """
+    dffs = list(netlist.dff_cells())
+    if not dffs:
+        return 0
+    depth = [0] * netlist.n_nets
+    order = levelize(netlist)
+    for _ in range(len(dffs) + 1):
+        changed = False
+        for cell in order:
+            d = max((depth[n] for n in cell.inputs), default=0)
+            if d > depth[cell.output]:
+                depth[cell.output] = d
+                changed = True
+        for cell in dffs:
+            d = min(depth[cell.inputs[0]] + 1, len(dffs))
+            if d > depth[cell.output]:
+                depth[cell.output] = d
+                changed = True
+        if not changed:
+            break
+    return max(depth)
+
+
+# --------------------------------------------------------------------- regions
+
+
+@dataclass(frozen=True)
+class GadgetRegion:
+    """One registered gadget region of a hierarchical netlist.
+
+    Regions partition the cells: every cell belongs to exactly one region, so
+    any single probe lies inside exactly one region -- the property the
+    first-order compositional certificate in :mod:`repro.leakage.certify`
+    rests on.  ``input_nets`` are nets the region reads but does not drive;
+    ``output_nets`` are nets it drives that are consumed outside (or are
+    primary outputs); ``register_nets`` are the outputs of its registers.
+    """
+
+    name: str
+    cells: Tuple[int, ...]
+    input_nets: Tuple[int, ...]
+    output_nets: Tuple[int, ...]
+    register_nets: Tuple[int, ...]
+
+
+def gadget_regions(netlist: Netlist) -> List[GadgetRegion]:
+    """Decompose a netlist into registered gadget regions.
+
+    The builder records gadget hierarchy in cell names (``g5.cross01`` lives
+    in gadget ``g5``), exactly how the paper keeps DOM gadget boundaries
+    through synthesis.  Cells are grouped by their top-level scope; unscoped
+    glue (input complements, output buffers) is attached to the unique scope
+    that consumes -- or, failing that, drives -- it.  Remaining unscoped
+    cells are grouped by structural connectivity into ``top`` regions.
+    """
+    cells = netlist.cells
+    scope: Dict[int, Optional[str]] = {}
+    consumers: Dict[int, List[Cell]] = {}
+    for cell in cells:
+        scope[cell.index] = (
+            cell.name.split(".", 1)[0] if "." in cell.name else None
+        )
+        for net in cell.inputs:
+            consumers.setdefault(net, []).append(cell)
+
+    changed = True
+    while changed:
+        changed = False
+        for cell in cells:
+            if scope[cell.index] is not None:
+                continue
+            downstream = {
+                scope[c.index]
+                for c in consumers.get(cell.output, ())
+                if scope[c.index] is not None
+            }
+            if len(downstream) == 1:
+                scope[cell.index] = next(iter(downstream))
+                changed = True
+                continue
+            if downstream:
+                continue  # ambiguous consumers: leave as shared glue
+            upstream = set()
+            for net in cell.inputs:
+                driver = netlist.driver(net)
+                if driver is not None and scope[driver.index] is not None:
+                    upstream.add(scope[driver.index])
+            if len(upstream) == 1:
+                scope[cell.index] = next(iter(upstream))
+                changed = True
+
+    # Leftover glue: connected components over shared nets, named top*.
+    leftover = [c for c in cells if scope[c.index] is None]
+    parent = {c.index: c.index for c in leftover}
+
+    def find(i: int) -> int:
+        while parent[i] != i:
+            parent[i] = parent[parent[i]]
+            i = parent[i]
+        return i
+
+    leftover_by_output = {c.output: c for c in leftover}
+    for cell in leftover:
+        for net in cell.inputs:
+            other = leftover_by_output.get(net)
+            if other is not None:
+                parent[find(cell.index)] = find(other.index)
+    component_names: Dict[int, str] = {}
+    for cell in sorted(leftover, key=lambda c: c.index):
+        root = find(cell.index)
+        if root not in component_names:
+            suffix = "" if not component_names else f"_{len(component_names) + 1}"
+            component_names[root] = f"top{suffix}"
+        scope[cell.index] = component_names[root]
+
+    groups: Dict[str, List[Cell]] = {}
+    for cell in cells:
+        groups.setdefault(scope[cell.index], []).append(cell)
+
+    output_set = set(netlist.outputs)
+    regions: List[GadgetRegion] = []
+    for name, members in sorted(
+        groups.items(), key=lambda kv: min(c.index for c in kv[1])
+    ):
+        produced = {c.output for c in members}
+        member_indices = {c.index for c in members}
+        inputs = sorted(
+            {n for c in members for n in c.inputs if n not in produced}
+        )
+        outputs = sorted(
+            net
+            for net in produced
+            if net in output_set
+            or any(
+                c.index not in member_indices
+                for c in consumers.get(net, ())
+            )
+        )
+        regions.append(
+            GadgetRegion(
+                name=name,
+                cells=tuple(sorted(c.index for c in members)),
+                input_nets=tuple(inputs),
+                output_nets=tuple(outputs),
+                register_nets=tuple(
+                    sorted(
+                        c.output
+                        for c in members
+                        if c.cell_type.is_sequential
+                    )
+                ),
+            )
+        )
+    return regions
+
+
+def fanin_cells(netlist: Netlist, nets: Iterable[int]) -> Set[int]:
+    """Indices of every cell in the transitive fan-in of ``nets``.
+
+    The closure crosses registers (unlike :func:`combinational_cone`), so
+    the result is the full logic slice feeding the given nets.
+    """
+    seen: Set[int] = set()
+    found: Set[int] = set()
+    stack = list(nets)
+    while stack:
+        net = stack.pop()
+        if net in seen:
+            continue
+        seen.add(net)
+        driver = netlist.driver(net)
+        if driver is None:
+            continue
+        found.add(driver.index)
+        stack.extend(driver.inputs)
+    return found
+
+
+def extract_subnetlist(
+    netlist: Netlist,
+    cell_indices: Iterable[int],
+    name: Optional[str] = None,
+) -> Tuple[Netlist, Dict[int, int]]:
+    """Replay a cell subset as a standalone netlist, preserving net names.
+
+    Nets the subset reads but does not drive become primary inputs --
+    except nets driven by constant cells, which are copied in so the replica
+    simulates standalone.  Original primary outputs produced by the subset
+    stay outputs.  Returns the new netlist and the old->new net mapping,
+    through which callers mark further outputs; preserved names mean any
+    counterexample probe reported on the replica names a net of the
+    original circuit.
+    """
+    chosen = set(cell_indices)
+    members = [netlist.cells[i] for i in sorted(chosen)]
+    needed = {n for c in members for n in c.inputs}
+    for net in sorted(needed):
+        driver = netlist.driver(net)
+        if (
+            driver is not None
+            and driver.cell_type.is_constant
+            and driver.index not in chosen
+        ):
+            chosen.add(driver.index)
+            members.append(driver)
+    produced = {c.output for c in members}
+
+    sub = Netlist(name or f"{netlist.name}.sub")
+    mapping: Dict[int, int] = {}
+    for net in sorted({n for c in members for n in c.inputs} - produced):
+        mapping[net] = sub.add_net(netlist.net_name(net))
+        sub.mark_input(mapping[net])
+    for cell in members:
+        if cell.cell_type.is_sequential:
+            mapping[cell.output] = sub.add_net(netlist.net_name(cell.output))
+    for cell in levelize(netlist):
+        if cell.index not in chosen:
+            continue
+        if cell.output not in mapping:
+            mapping[cell.output] = sub.add_net(netlist.net_name(cell.output))
+        sub.add_cell(
+            cell.cell_type,
+            tuple(mapping[n] for n in cell.inputs),
+            mapping[cell.output],
+            cell.name,
+        )
+    for cell in members:
+        if not cell.cell_type.is_sequential:
+            continue
+        sub.add_cell(
+            cell.cell_type,
+            tuple(mapping[n] for n in cell.inputs),
+            mapping[cell.output],
+            cell.name,
+        )
+    for net in netlist.outputs:
+        if net in produced:
+            sub.mark_output(mapping[net])
+    return sub, mapping
 
 
 def _stable_set(netlist: Netlist) -> Set[int]:

@@ -51,7 +51,7 @@ from urllib.parse import parse_qs, urlparse
 from repro.errors import ReproError, ServiceError
 from repro.leakage.report import SCHEMA_VERSION
 from repro.service.queue import JobQueue, QueueFull
-from repro.service.runner import JobRunner, evaluator_for, verdict_summary
+from repro.service.runner import JobRunner, design_hash_for, verdict_summary
 from repro.service.store import JobSpec, JobStore
 from repro.service.telemetry import Telemetry
 from repro.spec import API_VERSION
@@ -199,8 +199,7 @@ class EvaluationService:
         spec = JobSpec.from_dict(spec_dict)
         # Building the design validates design/scheme compatibility and
         # yields the netlist structure hash that leads the cache key.
-        evaluator = evaluator_for(spec)
-        cache_key = spec.cache_key(evaluator.design_hash())
+        cache_key = spec.cache_key(design_hash_for(spec))
         cached = self.store.get_result(cache_key)
         if cached is not None:
             record = self._cached_record(spec, cache_key, cached)

@@ -101,6 +101,19 @@ def build_design(design: str, scheme_name: str):
     )
 
 
+def design_hash_for(spec: JobSpec) -> str:
+    """Netlist structure hash leading a spec's verdict-cache key.
+
+    Equals ``evaluator_for(spec).design_hash()`` but skips evaluator
+    construction (probe extraction, engine setup) -- the submit path and
+    ``mode="exact"`` jobs only need the hash.
+    """
+    from repro.netlist.core import netlist_content_hash
+
+    built = build_design(spec.design, spec.scheme)
+    return netlist_content_hash(built.dut.netlist)
+
+
 def evaluator_for(spec: JobSpec) -> LeakageEvaluator:
     """Construct the evaluator a job spec describes."""
     built = build_design(spec.design, spec.scheme)
@@ -406,6 +419,15 @@ class JobRunner:
                         "elapsed": round(payload.get("elapsed", 0.0), 3),
                     },
                 )
+            elif event == "shard_done":
+                self.store.update_job(
+                    job_id,
+                    progress={
+                        "probe_class": payload.get("probe_class"),
+                        "shards_done": payload.get("done"),
+                        "shards_total": payload.get("total"),
+                    },
+                )
 
         def should_stop() -> bool:
             return (
@@ -438,6 +460,18 @@ class JobRunner:
                         "job_completed", job_id=job_id, cached=True
                     )
                     return
+            if spec.mode == "exact":
+                self._execute_exact(
+                    job_id,
+                    spec,
+                    cache_key,
+                    checkpoint,
+                    hook,
+                    should_stop,
+                    cancel_event,
+                    stall_event,
+                )
+                return
             evaluator = evaluator_for(spec)
             config = spec.campaign_config(
                 checkpoint=checkpoint,
@@ -535,6 +569,85 @@ class JobRunner:
             with self._progress_lock:
                 self._stalls.pop(job_id, None)
                 self._progress.pop(job_id, None)
+
+    def _execute_exact(
+        self,
+        job_id: str,
+        spec: JobSpec,
+        cache_key: str,
+        checkpoint: str,
+        hook,
+        should_stop,
+        cancel_event: threading.Event,
+        stall_event: threading.Event,
+    ) -> None:
+        """Run a ``mode="exact"`` job through the sharded enumeration engine.
+
+        Same execution contract as campaign jobs: durable checkpoint at
+        shard granularity, cancellation/stall/shutdown stop at the next
+        shard boundary, and the finished report lands in the same verdict
+        cache (its key carries the ``"exact"`` parameter block, so exact
+        and sampled verdicts never collide).
+        """
+        from repro.leakage.certify import run_exact_analysis
+
+        built = build_design(spec.design, spec.scheme)
+        model = (
+            ProbingModel.GLITCH_TRANSITION
+            if spec.model == "glitch-transition"
+            else ProbingModel.GLITCH
+        )
+        report = run_exact_analysis(
+            built.dut,
+            model,
+            max_enum_bits=spec.max_enum_bits,
+            shard_lane_bits=spec.shard_lane_bits,
+            workers=spec.workers,
+            fixed_secret=spec.fixed_secret,
+            checkpoint=checkpoint,
+            resume=True,
+            hook=hook,
+            should_stop=should_stop,
+        )
+        if report.status == "truncated:cancelled":
+            if cancel_event.is_set():
+                self.store.update_job(
+                    job_id,
+                    state="cancelled",
+                    finished_at=round(time.time(), 3),
+                )
+                self.telemetry.emit("job_cancelled", job_id=job_id)
+                if os.path.exists(checkpoint):
+                    os.unlink(checkpoint)
+            elif stall_event.is_set():
+                self._restart_or_dead_letter(
+                    job_id,
+                    "no shard progress within "
+                    f"{self.stall_timeout:g}s (watchdog)",
+                )
+            else:  # service shutdown: resume from the shard checkpoint
+                self.store.update_job(job_id, state="queued")
+                self.telemetry.emit("job_interrupted", job_id=job_id)
+            return
+        report_json = report.to_json(top=None)
+        self.store.put_result(cache_key, report_json)
+        summary = verdict_summary(report.to_dict(top=0))
+        summary["n_infeasible"] = len(report.infeasible)
+        self.store.update_job(
+            job_id,
+            state="done",
+            finished_at=round(time.time(), 3),
+            result=summary,
+        )
+        self.telemetry.emit(
+            "job_completed",
+            job_id=job_id,
+            cached=False,
+            passed=summary["passed"],
+            status=summary["status"],
+        )
+        if os.path.exists(checkpoint):
+            os.unlink(checkpoint)
 
 
 def _json_loads(data: Optional[bytes]) -> Dict:

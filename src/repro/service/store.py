@@ -13,10 +13,14 @@ for such a tuple is a pure function of the tuple.  The store exploits that:
   netlist_content_hash` (not the design/scheme *names* -- two names building
   the same circuit share verdicts), probing model, observation mode, sample
   budget, windows, fixed secret, threshold, campaign mode, pair selection,
-  and RNG seed.  Execution details that provably do not change results --
-  engine, worker count, chunk size, checkpoint layout -- are deliberately
-  excluded, so a verdict computed serially on the bitsliced engine answers a
-  query that would have run 16-way parallel on the compiled one.
+  and RNG seed.  ``mode="exact"`` jobs extend the key with an ``"exact"``
+  parameter block (the enumeration budget decides which probes get
+  verdicts), so exact and sampled verdicts for the same netlist never
+  collide.  Execution details that provably do not change results --
+  engine, worker count, chunk size, checkpoint layout, exact shard size --
+  are deliberately excluded, so a verdict computed serially on the
+  bitsliced engine answers a query that would have run 16-way parallel on
+  the compiled one, and a sharded exact sweep answers a serial one.
 
 * **Records.**  One JSON file per job under ``jobs/`` (submission state,
   spec, progress, result summary) and one per verdict under ``results/``

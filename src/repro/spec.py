@@ -40,14 +40,22 @@ DEFAULT_CHUNK_SIZE = 8_192
 API_VERSION = "v1"
 
 _MODELS = ("glitch", "glitch-transition")
-_MODES = ("first", "pairs", "both")
+_MODES = ("first", "pairs", "both", "exact")
 _ENGINES = ("compiled", "bitsliced")
 
 #: Spec fields excluded from the verdict-cache identity: results are
 #: bit-identical across them (tests/test_cross_engine.py,
 #: tests/test_leakage_parallel.py, tests/test_leakage_campaign.py;
-#: cone slicing: tests/test_slice.py).
-EXECUTION_FIELDS = frozenset({"engine", "workers", "chunk_size", "slice"})
+#: cone slicing: tests/test_slice.py; exact sharding:
+#: tests/test_certify_shards.py -- shard counts merge to exactly the
+#: serial histogram, so the shard size is pure execution detail).
+EXECUTION_FIELDS = frozenset(
+    {"engine", "workers", "chunk_size", "slice", "shard_lane_bits"}
+)
+
+#: Exact-enumeration fields; part of the cache identity only when
+#: ``mode == "exact"`` (the budget decides which probes get verdicts).
+EXACT_FIELDS = ("max_enum_bits",)
 
 #: Adaptive-scheduler fields; part of the cache identity only when
 #: ``adaptive`` is true (they then decide how many samples each probe gets).
@@ -110,6 +118,13 @@ class EvaluationSpec:
     #: multiple of ``n_simulations``; 1.0 disables escalation (the default:
     #: adaptive runs never exceed the uniform budget).
     max_budget_factor: float = 1.0
+    # -- exact exhaustive enumeration (mode == "exact") --------------------
+    #: per-probe enumeration budget in bits: a probe class whose free
+    #: randomness + secret variables exceed this is reported infeasible.
+    max_enum_bits: int = 24
+    #: lanes per shard as a power of two; pure execution detail (sharded
+    #: counts merge bit-identically to serial for any value).
+    shard_lane_bits: int = 16
 
     # ------------------------------------------------------------- parsing
 
@@ -151,7 +166,9 @@ class EvaluationSpec:
             value = getattr(args, name, None)
             return default if value is None else value
 
-        if get("batch_probes", False):
+        if get("exact", False):
+            mode = "exact"
+        elif get("batch_probes", False):
             mode = "both"
         elif get("pairs", False):
             mode = "pairs"
@@ -183,6 +200,8 @@ class EvaluationSpec:
             decide_chunks=get("decide_chunks", 2),
             min_null_samples=get("min_null_samples", DEFAULT_CHUNK_SIZE),
             max_budget_factor=get("adaptive_cap", 1.0),
+            max_enum_bits=get("max_enum_bits", 24),
+            shard_lane_bits=get("shard_lane_bits", 16),
         )
         spec.validate()
         return spec
@@ -194,7 +213,9 @@ class EvaluationSpec:
         if self.model not in _MODELS:
             raise SpecError("model must be 'glitch' or 'glitch-transition'")
         if self.mode not in _MODES:
-            raise SpecError("mode must be 'first', 'pairs', or 'both'")
+            raise SpecError(
+                "mode must be 'first', 'pairs', 'both', or 'exact'"
+            )
         if self.engine not in _ENGINES:
             raise SpecError("engine must be 'compiled' or 'bitsliced'")
         for name in ("design", "scheme"):
@@ -244,6 +265,14 @@ class EvaluationSpec:
             or self.max_budget_factor < 1.0
         ):
             raise SpecError("max_budget_factor must be at least 1.0")
+        if not isinstance(self.max_enum_bits, int) or not (
+            1 <= self.max_enum_bits <= 40
+        ):
+            raise SpecError("max_enum_bits must be an integer in [1, 40]")
+        if not isinstance(self.shard_lane_bits, int) or not (
+            1 <= self.shard_lane_bits <= 32
+        ):
+            raise SpecError("shard_lane_bits must be an integer in [1, 32]")
 
     # ------------------------------------------------------- serialization
 
@@ -264,6 +293,9 @@ class EvaluationSpec:
         parameter dict, so existing cache keys remain valid byte for byte.
         Adaptive specs add an ``"adaptive"`` sub-object: the scheduler
         changes per-probe sample counts, so its parameters are semantic.
+        Exact specs likewise add an ``"exact"`` sub-object carrying the
+        enumeration budget (it decides which probes get verdicts); the
+        shard size stays out -- sharded counts merge bit-identically.
         """
         params = {
             "netlist_hash": netlist_hash,
@@ -281,6 +313,10 @@ class EvaluationSpec:
         if self.adaptive:
             params["adaptive"] = {
                 name: getattr(self, name) for name in ADAPTIVE_FIELDS
+            }
+        if self.mode == "exact":
+            params["exact"] = {
+                name: getattr(self, name) for name in EXACT_FIELDS
             }
         return params
 

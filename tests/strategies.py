@@ -40,6 +40,49 @@ def random_circuits(draw, max_ops=24, allow_registers=True):
 
 
 @st.composite
+def masked_circuits(draw, max_masks=8, max_extra_ops=10):
+    """Build a random masked netlist with a bounded randomness budget.
+
+    Returns a :class:`DesignUnderTest` with one secret bit in two shares
+    plus 1..``max_masks`` fresh mask bits, all mixed into a combinational
+    chain so the widest probe's enumeration space stays small and exactly
+    enumerable.  A deterministic chain touches every input (giving the
+    final cell a full support, which exercises multi-shard plans); the
+    extra random gates give the probe classes varied shapes.
+    """
+    from repro.leakage.dut import DesignUnderTest
+
+    n_masks = draw(st.integers(1, max_masks))
+    builder = CircuitBuilder("masked_random")
+    s0 = builder.input("s0")
+    s1 = builder.input("s1")
+    masks = [builder.input(f"m{i}") for i in range(n_masks)]
+    nets = [s0, s1] + list(masks)
+    # chain through every input so at least one probe sees them all.
+    chain = s0
+    for index, net in enumerate(nets[1:]):
+        kind = draw(st.sampled_from(("xor", "and_", "or_")))
+        chain = getattr(builder, kind)(chain, net, name=f"chain{index}")
+    nets.append(chain)
+    for index in range(draw(st.integers(0, max_extra_ops))):
+        kind = draw(st.sampled_from(_TWO_INPUT + _ONE_INPUT))
+        pick = lambda: nets[draw(st.integers(0, len(nets) - 1))]
+        if kind in _TWO_INPUT:
+            nets.append(getattr(builder, kind)(pick(), pick(), name=f"extra{index}"))
+        else:
+            nets.append(getattr(builder, kind)(pick(), name=f"extra{index}"))
+    builder.output(nets[-1], "out")
+    netlist = builder.build()
+    return DesignUnderTest(
+        netlist=netlist,
+        share_buses=[[s0], [s1]],
+        mask_bits=list(masks),
+        latency=0,
+        metadata={"design": "masked_random"},
+    )
+
+
+@st.composite
 def input_sequences(draw, n_inputs, n_cycles_range=(1, 6)):
     """Random per-cycle scalar input assignments."""
     n_cycles = draw(st.integers(*n_cycles_range))

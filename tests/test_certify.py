@@ -1,0 +1,249 @@
+"""Tests for exact certification: shard plans, merges, compositional
+certificates over the DOM fixtures, and the skipped-probe budget detail.
+
+The heavier cross-engine agreements (exact vs Monte-Carlo, certificate
+counterexamples vs exact leaks) live in ``test_certify_cross.py``; shard
+bit-identity and checkpointing in ``test_certify_shards.py``; seeded-fault
+kill tests in ``test_certify_mutation.py``.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.kronecker import build_kronecker_delta
+from repro.core.optimizations import RandomnessScheme
+from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
+from repro.leakage.certify import (
+    MIN_SHARD_LANE_BITS,
+    CompositionalChecker,
+    ShardPlan,
+    dom_and_design,
+    dom_and_pair_design,
+    merge_shard_counts,
+)
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.model import ProbingModel
+
+
+class TestShardPlan:
+    def test_splits_requested_lane_bits(self):
+        plan = ShardPlan.plan(total_bits=20, shard_lane_bits=16)
+        assert plan.lane_bits == 16
+        assert plan.n_shards == 1 << 4
+        assert plan.lanes_per_shard == 1 << 16
+
+    def test_small_class_is_single_shard(self):
+        plan = ShardPlan.plan(total_bits=4, shard_lane_bits=16)
+        assert plan.n_shards == 1
+        assert plan.lane_bits == 4
+
+    def test_lane_floor_enforced(self):
+        """Requests below the lane-word floor are clamped, never split."""
+        plan = ShardPlan.plan(total_bits=20, shard_lane_bits=2)
+        assert plan.lane_bits == MIN_SHARD_LANE_BITS
+        assert plan.n_shards == 1 << (20 - MIN_SHARD_LANE_BITS)
+
+    @pytest.mark.parametrize("total_bits", [1, 5, 6, 7, 12, 20, 24])
+    @pytest.mark.parametrize("shard_lane_bits", [1, 6, 9, 16, 32])
+    def test_coverage_and_alignment(self, total_bits, shard_lane_bits):
+        plan = ShardPlan.plan(total_bits, shard_lane_bits)
+        # shards tile the full 2^k assignment space exactly...
+        assert plan.n_shards * plan.lanes_per_shard == 1 << total_bits
+        # ...and whenever there is more than one shard, each covers whole
+        # 64-lane simulation words (no shard boundary splits a lane word).
+        if plan.n_shards > 1:
+            assert plan.lane_bits >= MIN_SHARD_LANE_BITS
+            assert plan.lanes_per_shard % 64 == 0
+
+
+class TestMergeShardCounts:
+    def _shard(self, keys, rows_counts, n_secrets=2):
+        keys = np.asarray(keys, dtype=np.uint64)
+        rows = np.asarray([r for r, _ in rows_counts], dtype=np.intp)
+        counts = np.asarray([c for _, c in rows_counts], dtype=np.int64)
+        return keys, rows, counts
+
+    def test_merge_accumulates(self):
+        keys = np.zeros(0, dtype=np.uint64)
+        hist = np.zeros((2, 0), dtype=np.int64)
+        k, r, c = self._shard([3, 7], [(0, [1, 2]), (1, [3, 4])])
+        keys, hist = merge_shard_counts(keys, hist, k, r, c)
+        k, r, c = self._shard([5, 7], [(0, [10, 20])])
+        keys, hist = merge_shard_counts(keys, hist, k, r, c)
+        assert keys.tolist() == [3, 5, 7]
+        assert hist.tolist() == [[1, 10, 22], [3, 0, 4]]
+
+    def test_merge_order_independent(self):
+        shards = [
+            self._shard([1, 9], [(0, [2, 2]), (1, [1, 1])]),
+            self._shard([4], [(1, [7])]),
+            self._shard([1, 4, 9], [(0, [1, 1, 1])]),
+        ]
+
+        def run(order):
+            keys = np.zeros(0, dtype=np.uint64)
+            hist = np.zeros((2, 0), dtype=np.int64)
+            for index in order:
+                keys, hist = merge_shard_counts(keys, hist, *shards[index])
+            return keys, hist
+
+        ref_keys, ref_hist = run([0, 1, 2])
+        for order in ([2, 1, 0], [1, 0, 2], [2, 0, 1]):
+            keys, hist = run(order)
+            assert (keys == ref_keys).all()
+            assert (hist == ref_hist).all()
+
+
+class TestDomAndCertificate:
+    """The single DOM-AND: the paper's base gadget is 1-SNI, not PINI."""
+
+    def test_classic_certified(self):
+        report = CompositionalChecker(dom_and_design(), model="classic").check()
+        assert report.certified
+        assert report.passed
+        assert not report.counterexamples
+        (gadget,) = [g for g in report.gadgets if g.kind == "shares"]
+        assert gadget.classic is not None and gadget.classic.is_sni
+
+    def test_not_pini(self):
+        report = CompositionalChecker(dom_and_design(), model="classic").check()
+        (gadget,) = [g for g in report.gadgets if g.kind == "shares"]
+        assert gadget.pini is not None
+        assert not gadget.pini.is_pini
+
+    def test_robust_certified(self):
+        report = CompositionalChecker(dom_and_design(), model="robust").check()
+        assert report.certified
+
+
+class TestPairComposition:
+    """Two DOM-ANDs into a third: certifiable with fresh masks, broken by
+    first-layer randomness reuse -- the paper's composition in miniature."""
+
+    def test_fresh_masks_certify_both_models(self):
+        dut = dom_and_pair_design(shared_mask=False)
+        for model in ("classic", "robust"):
+            report = CompositionalChecker(dut, model=model).check()
+            assert report.certified, model
+
+    def test_shared_mask_refused_classically(self):
+        dut = dom_and_pair_design(shared_mask=True)
+        report = CompositionalChecker(dut, model="classic").check()
+        assert not report.certified
+        (entry,) = report.reused_masks
+        assert entry["mask"] == "r1"
+        assert sorted(entry["gadgets"]) == ["g1", "g2"]
+
+    def test_shared_mask_fails_robustly_with_counterexamples(self):
+        dut = dom_and_pair_design(shared_mask=True)
+        report = CompositionalChecker(dut, model="robust").check()
+        assert not report.certified
+        assert report.counterexamples
+        # the failure localizes to the combining gadget, and every
+        # counterexample is an exact distribution difference, not a
+        # conservative composition argument.
+        for counterexample in report.counterexamples:
+            assert counterexample["gadget"] == "g3"
+            assert counterexample["model"] == "exact-distribution"
+            assert counterexample["probes"]
+        probes = {p for c in report.counterexamples for p in c["probes"]}
+        assert "g3.inner0" in probes
+
+    def test_report_serializes(self):
+        report = CompositionalChecker(
+            dom_and_pair_design(shared_mask=True), model="robust"
+        ).check()
+        data = json.loads(json.dumps(report.to_dict()))
+        assert data["mode"] == "certificate"
+        assert data["certified"] is False
+        assert data["counterexamples"]
+        names = [g["name"] for g in data["gadgets"]]
+        assert {"g1", "g2", "g3"}.issubset(names)
+
+    def test_format_summary(self):
+        good = CompositionalChecker(
+            dom_and_pair_design(shared_mask=False), model="robust"
+        ).check()
+        assert "CERTIFIED" in good.format_summary()
+        bad = CompositionalChecker(
+            dom_and_pair_design(shared_mask=True), model="robust"
+        ).check()
+        text = bad.format_summary()
+        assert "NOT CERTIFIED" in text
+        assert "counterexample" in text
+
+
+class TestExactCliVerdicts:
+    def test_all_infeasible_is_inconclusive_not_a_pass(self, capsys):
+        """An exact run that could examine nothing must exit 3, never 0."""
+        from repro.cli import main
+
+        code = main(
+            ["campaign", "--exact", "--scheme", "eq6", "--max-enum-bits", "1"]
+        )
+        assert code == 3
+        assert "INCONCLUSIVE" in capsys.readouterr().out
+
+    def test_leak_beats_inconclusive(self, capsys):
+        """A found leak is a proof even when other probes were skipped."""
+        from repro.cli import main
+
+        code = main(
+            ["campaign", "--exact", "--scheme", "eq6", "--max-enum-bits", "20"]
+        )
+        assert code == 1
+        assert "INSECURE" in capsys.readouterr().out
+
+
+class TestSkippedDetail:
+    """Budget-exceeded probes are reported with their sizes, not just
+    counted (regression for the silent ExactAnalysisInfeasible drop)."""
+
+    N_SIMS = 5_000
+
+    def _evaluator(self, design, max_support_bits=2):
+        return LeakageEvaluator(
+            design.dut,
+            ProbingModel.GLITCH,
+            seed=5,
+            max_support_bits=max_support_bits,
+        )
+
+    def test_report_carries_per_probe_budget_detail(self, kronecker_eq6):
+        evaluator = self._evaluator(kronecker_eq6)
+        report = evaluator.evaluate(n_simulations=self.N_SIMS)
+        assert report.skipped_probes
+        assert len(report.skipped_detail) == len(report.skipped_probes)
+        data = report.to_dict()
+        assert data["skipped"] == report.skipped_detail
+        for entry in data["skipped"]:
+            assert entry["budget"] == 2
+            assert entry["support_bits"] > entry["budget"]
+            assert entry["probe"]
+
+    def test_unskipped_report_has_no_skipped_key(self, kronecker_full):
+        """Fully-evaluated reports stay byte-identical to older versions."""
+        evaluator = self._evaluator(kronecker_full, max_support_bits=40)
+        report = evaluator.evaluate(n_simulations=self.N_SIMS)
+        assert not report.skipped_probes
+        assert "skipped" not in report.to_dict()
+
+    def test_summary_mentions_budget(self, kronecker_eq6):
+        evaluator = self._evaluator(kronecker_eq6)
+        report = evaluator.evaluate(n_simulations=self.N_SIMS)
+        assert "> budget 2" in report.format_summary()
+
+    def test_campaign_emits_probe_skipped_telemetry(self, kronecker_eq6):
+        events = []
+        campaign = EvaluationCampaign(
+            self._evaluator(kronecker_eq6),
+            CampaignConfig(n_simulations=self.N_SIMS, chunk_size=self.N_SIMS),
+            hook=lambda event, payload: events.append((event, payload)),
+        )
+        report = campaign.run()
+        skipped = [p for e, p in events if e == "probe_skipped"]
+        assert len(skipped) == len(report.skipped_probes)
+        for payload in skipped:
+            assert payload["support_bits"] > payload["budget"]

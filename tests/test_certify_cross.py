@@ -1,0 +1,143 @@
+"""Cross-validation of the exact certification stack against the samplers.
+
+The paper's design-table rows (full randomness, De Meyer eq. 6, proposed
+eq. 9) are decided three independent ways -- sharded exhaustive
+enumeration, the Monte-Carlo campaign, and the compositional certificate --
+and the verdicts must coincide.
+"""
+
+import pytest
+
+from repro.core.kronecker import build_kronecker_delta
+from repro.core.optimizations import RandomnessScheme
+from repro.leakage.certify import CompositionalChecker, run_exact_analysis
+from repro.leakage.evaluator import LeakageEvaluator
+from repro.leakage.model import ProbingModel
+from repro.spec import EvaluationSpec
+
+#: the sampled leaks under test are enormous; a modest budget decides them
+#: with overwhelming confidence (matches the evaluator's own test budget).
+N_SIMS = 30_000
+
+#: (scheme, exactly/secure) -- the paper's design-table verdicts.
+ROWS = [
+    (RandomnessScheme.FULL, True),
+    (RandomnessScheme.DEMEYER_EQ6, False),
+    (RandomnessScheme.PROPOSED_EQ9, True),
+]
+
+
+def _exact(design):
+    return run_exact_analysis(
+        design.dut, max_enum_bits=23, workers=2, shard_lane_bits=12
+    )
+
+
+class TestExactAgreesWithSampler:
+    @pytest.mark.parametrize(
+        "scheme,secure", ROWS, ids=[s.name.lower() for s, _ in ROWS]
+    )
+    def test_design_table_row(self, scheme, secure):
+        design = build_kronecker_delta(scheme)
+        exact = _exact(design)
+        assert exact.status == "complete"
+        assert exact.passed is secure
+
+        sampled = LeakageEvaluator(
+            design.dut, ProbingModel.GLITCH, seed=11
+        ).evaluate(n_simulations=N_SIMS)
+        assert sampled.passed == exact.passed
+
+    def test_eq6_leak_sites_agree(self):
+        """Each probe the sampler flags is an exact distribution
+        difference; the exact engine never misses a sampled leak."""
+        design = build_kronecker_delta(RandomnessScheme.DEMEYER_EQ6)
+        exact_leaks = {
+            r.probe_names for r in _exact(design).leaking_results
+        }
+        sampled = LeakageEvaluator(
+            design.dut, ProbingModel.GLITCH, seed=11
+        ).evaluate(n_simulations=N_SIMS)
+        sampled_leaks = {r.probe_names for r in sampled.leaking_results}
+        assert sampled_leaks
+        assert sampled_leaks <= exact_leaks
+
+
+class TestCertificateAgreesWithExact:
+    def test_eq6_counterexamples_are_the_exact_leaks(self):
+        """The compositional checker's robust counterexamples are exactly
+        the six probe classes the exhaustive enumeration proves leaky."""
+        design = build_kronecker_delta(RandomnessScheme.DEMEYER_EQ6)
+        report = CompositionalChecker(design.dut, model="robust").check()
+        assert not report.certified
+        certificate_probes = {
+            probe
+            for counterexample in report.counterexamples
+            for probe in counterexample["probes"]
+        }
+        exact_leaks = {
+            r.probe_names for r in _exact(design).leaking_results
+        }
+        assert certificate_probes == exact_leaks
+        for counterexample in report.counterexamples:
+            assert counterexample["model"] == "exact-distribution"
+
+    def test_eq9_certified_despite_ni_gap(self):
+        """eq. 9 fails the conservative slice-NI argument at g7 yet is
+        probing-secure; the exact fallback must settle it as certified."""
+        design = build_kronecker_delta(RandomnessScheme.PROPOSED_EQ9)
+        report = CompositionalChecker(design.dut, model="robust").check()
+        assert report.certified
+        assert not report.counterexamples
+        exact = _exact(design)
+        assert exact.passed
+        confirmed = [
+            g for g in report.gadgets if g.exact_confirmed is not None
+        ]
+        assert confirmed, "expected at least one exact-fallback decision"
+        assert all(g.exact_confirmed for g in confirmed)
+
+
+class TestExactSpecCaching:
+    """mode="exact" jobs must key the verdict cache on the semantic
+    enumeration parameters, never on the shard execution split."""
+
+    def _spec(self, **kw):
+        return EvaluationSpec.from_dict(
+            dict({"design": "kronecker", "scheme": "eq6", "mode": "exact"}, **kw)
+        )
+
+    def test_cache_params_gain_exact_block(self):
+        params = self._spec().cache_params("deadbeef")
+        assert params["exact"] == {"max_enum_bits": 24}
+
+    def test_sampled_specs_unchanged(self):
+        spec = EvaluationSpec.from_dict(
+            {"design": "kronecker", "scheme": "eq6", "mode": "first"}
+        )
+        assert "exact" not in spec.cache_params("deadbeef")
+
+    def test_semantic_parameter_changes_key(self):
+        a = self._spec().cache_key("deadbeef")
+        b = self._spec(max_enum_bits=20).cache_key("deadbeef")
+        assert a != b
+
+    def test_shard_split_does_not_change_key(self):
+        a = self._spec(shard_lane_bits=16).cache_key("deadbeef")
+        b = self._spec(shard_lane_bits=8).cache_key("deadbeef")
+        assert a == b
+
+    def test_exact_and_sampled_keys_disjoint(self):
+        exact = self._spec().cache_key("deadbeef")
+        sampled = EvaluationSpec.from_dict(
+            {"design": "kronecker", "scheme": "eq6", "mode": "first"}
+        ).cache_key("deadbeef")
+        assert exact != sampled
+
+    def test_validation_bounds(self):
+        from repro.errors import SpecError
+
+        with pytest.raises(SpecError):
+            self._spec(max_enum_bits=0).validate()
+        with pytest.raises(SpecError):
+            self._spec(shard_lane_bits=33).validate()

@@ -1,0 +1,231 @@
+"""Sharded exact enumeration: bit-identity to the serial engine,
+checkpoint/resume, cancellation, and hypothesis properties on random
+masked netlists.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.kronecker import build_kronecker_delta
+from repro.core.optimizations import RandomnessScheme
+from repro.errors import CheckpointError, ExactAnalysisInfeasible
+from repro.leakage.certify import (
+    MIN_SHARD_LANE_BITS,
+    ShardedExactAnalyzer,
+    ShardPlan,
+    run_exact_analysis,
+)
+from repro.leakage.exact import ExactAnalyzer
+
+from tests.strategies import masked_circuits
+
+
+def _eq6_subset(min_bits=8, max_bits=14, limit=6):
+    """A handful of mid-size eq6 probe classes (multi-shard, still fast)."""
+    design = build_kronecker_delta(RandomnessScheme.DEMEYER_EQ6)
+    analyzer = ExactAnalyzer(design.dut, max_enum_bits=23)
+    chosen = []
+    for probe_class in analyzer.probe_classes:
+        try:
+            setup = analyzer.enumeration_setup(probe_class)
+        except ExactAnalysisInfeasible:
+            continue
+        if min_bits <= setup.total_bits <= max_bits:
+            chosen.append(probe_class)
+        if len(chosen) >= limit:
+            break
+    assert len(chosen) >= 3
+    return design, chosen
+
+
+def _by_name(report):
+    return {r.probe_names: r for r in report.results}
+
+
+def _assert_identical(report_a, report_b):
+    names_a, names_b = _by_name(report_a), _by_name(report_b)
+    assert set(names_a) == set(names_b)
+    for name, a in names_a.items():
+        b = names_b[name]
+        assert a.leaking == b.leaking, name
+        assert a.tv_fixed_vs_random == b.tv_fixed_vs_random, name
+        assert a.n_distinct_distributions == b.n_distinct_distributions, name
+
+
+class TestShardedIdentity:
+    def test_sharded_equals_serial(self):
+        design, subset = _eq6_subset()
+        serial = ExactAnalyzer(design.dut, max_enum_bits=23).analyze(
+            probe_classes=subset
+        )
+        sharded = ShardedExactAnalyzer(
+            design.dut, max_enum_bits=23, shard_lane_bits=7
+        ).analyze(probe_classes=subset, workers=2)
+        assert sharded.status == "complete"
+        _assert_identical(serial, sharded)
+
+    def test_identical_across_shard_sizes(self):
+        design, subset = _eq6_subset()
+        reports = [
+            ShardedExactAnalyzer(
+                design.dut, max_enum_bits=23, shard_lane_bits=bits
+            ).analyze(probe_classes=subset)
+            for bits in (7, 9, 12)
+        ]
+        _assert_identical(reports[0], reports[1])
+        _assert_identical(reports[0], reports[2])
+
+    def test_full_sweep_verdict(self):
+        """The paper's eq6 verdict through the sharded front door."""
+        design = build_kronecker_delta(RandomnessScheme.DEMEYER_EQ6)
+        report = run_exact_analysis(
+            design.dut, max_enum_bits=23, workers=4, shard_lane_bits=12
+        )
+        assert not report.passed
+        assert sorted(r.probe_names for r in report.leaking_results) == [
+            "g7.blind01",
+            "g7.blind10",
+            "g7.cross01",
+            "g7.cross10",
+            "g7.inner0",
+            "g7.inner1",
+        ]
+
+
+class TestHooksAndCancellation:
+    def test_hook_event_sequence(self):
+        design, subset = _eq6_subset(limit=3)
+        events = []
+        ShardedExactAnalyzer(
+            design.dut, max_enum_bits=23, shard_lane_bits=7
+        ).analyze(
+            probe_classes=subset,
+            hook=lambda event, payload: events.append((event, payload)),
+        )
+        kinds = [e for e, _ in events]
+        assert kinds[0] == "certify_start"
+        assert kinds[-1] == "certify_end"
+        start = events[0][1]
+        assert start["n_probe_classes"] == len(subset)
+        assert start["n_shards"] == kinds.count("shard_done")
+        done = [p for e, p in events if e == "shard_done"]
+        assert done[-1]["done"] == done[-1]["total"]
+
+    def test_should_stop_truncates(self):
+        design, subset = _eq6_subset()
+        merges = []
+        report = ShardedExactAnalyzer(
+            design.dut, max_enum_bits=23, shard_lane_bits=7
+        ).analyze(
+            probe_classes=subset,
+            hook=lambda event, payload: merges.append(event)
+            if event == "shard_done"
+            else None,
+            should_stop=lambda: len(merges) >= 4,
+        )
+        assert report.status == "truncated:cancelled"
+        assert len(report.results) < len(subset)
+
+
+class TestCheckpointResume:
+    def test_resume_completes_bit_identically(self, tmp_path):
+        design, subset = _eq6_subset()
+        path = str(tmp_path / "exact.ckpt")
+        merges = []
+        first = ShardedExactAnalyzer(
+            design.dut, max_enum_bits=23, shard_lane_bits=7
+        ).analyze(
+            probe_classes=subset,
+            checkpoint=path,
+            hook=lambda event, payload: merges.append(event)
+            if event == "shard_done"
+            else None,
+            should_stop=lambda: len(merges) >= 5,
+        )
+        assert first.status == "truncated:cancelled"
+        assert os.path.exists(path)
+
+        events = []
+        resumed = ShardedExactAnalyzer(
+            design.dut, max_enum_bits=23, shard_lane_bits=7
+        ).analyze(
+            probe_classes=subset,
+            checkpoint=path,
+            resume=True,
+            hook=lambda event, payload: events.append((event, payload)),
+        )
+        assert resumed.status == "complete"
+        assert events[0][1]["resumed_shards"] >= 5
+        reference = ExactAnalyzer(design.dut, max_enum_bits=23).analyze(
+            probe_classes=subset
+        )
+        _assert_identical(reference, resumed)
+
+    def test_corrupt_checkpoint_quarantined(self, tmp_path):
+        design, subset = _eq6_subset(limit=3)
+        path = str(tmp_path / "exact.ckpt")
+        with open(path, "wb") as handle:
+            handle.write(b"not a checkpoint container")
+        events = []
+        report = ShardedExactAnalyzer(
+            design.dut, max_enum_bits=23, shard_lane_bits=7
+        ).analyze(
+            probe_classes=subset,
+            checkpoint=path,
+            resume=True,
+            hook=lambda event, payload: events.append(event),
+        )
+        assert report.status == "complete"
+        assert "checkpoint_corrupt" in events
+        assert os.path.exists(path + ".corrupt")
+
+    def test_fingerprint_mismatch_rejected(self, tmp_path):
+        design, subset = _eq6_subset()
+        path = str(tmp_path / "exact.ckpt")
+        merges = []
+        ShardedExactAnalyzer(
+            design.dut, max_enum_bits=23, shard_lane_bits=7
+        ).analyze(
+            probe_classes=subset,
+            checkpoint=path,
+            hook=lambda event, payload: merges.append(event)
+            if event == "shard_done"
+            else None,
+            should_stop=lambda: len(merges) >= 2,
+        )
+        # different lane split => different shard semantics => refuse.
+        with pytest.raises(CheckpointError):
+            ShardedExactAnalyzer(
+                design.dut, max_enum_bits=23, shard_lane_bits=9
+            ).analyze(probe_classes=subset, checkpoint=path, resume=True)
+
+
+class TestRandomNetlistProperties:
+    """Hypothesis: sharded counts merge bit-identically to single-shot on
+    random bounded-randomness netlists, for random shard splits."""
+
+    @given(dut=masked_circuits(), shard_lane_bits=st.integers(1, 12))
+    @settings(max_examples=12, deadline=None)
+    def test_sharded_matches_serial(self, dut, shard_lane_bits):
+        serial = ExactAnalyzer(dut, max_enum_bits=16).analyze()
+        sharded = ShardedExactAnalyzer(
+            dut, max_enum_bits=16, shard_lane_bits=shard_lane_bits
+        ).analyze()
+        assert sharded.status == "complete"
+        _assert_identical(serial, sharded)
+
+    @given(dut=masked_circuits(), shard_lane_bits=st.integers(1, 12))
+    @settings(max_examples=12, deadline=None)
+    def test_shard_plans_never_split_lane_words(self, dut, shard_lane_bits):
+        analyzer = ExactAnalyzer(dut, max_enum_bits=16)
+        for probe_class in analyzer.probe_classes:
+            setup = analyzer.enumeration_setup(probe_class)
+            plan = ShardPlan.plan(setup.total_bits, shard_lane_bits)
+            assert plan.n_shards * plan.lanes_per_shard == 1 << setup.total_bits
+            if plan.n_shards > 1:
+                assert plan.lane_bits >= MIN_SHARD_LANE_BITS
+                assert plan.lanes_per_shard % 64 == 0
