@@ -1,0 +1,262 @@
+"""Sustained service load benchmark emitting ``BENCH_service.json``.
+
+Boots an in-process :class:`~repro.service.http.EvaluationService` with the
+distributed fleet enabled (embedded local workers), warms the verdict
+cache with a small pool of hot specs, then hammers ``POST /v1/jobs`` from
+concurrent client threads with the workload the service is designed for:
+mostly re-queries of already-evaluated specs (~90% by default) plus a
+trickle of cold ones.  Records per-request latency percentiles, the
+accept / cache-hit / 429 split, and a queue-depth trajectory sampled from
+``GET /v1/metrics`` while the load runs.
+
+Usage (CI uploads the JSON as an artifact)::
+
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --requests 600 --threads 8 --out BENCH_service.json
+
+Exit codes: 0 success, 1 when any request fails with an unexpected error
+(429 backpressure is expected under load, not an error).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.service import EvaluationService
+
+
+def _post_job(address: str, spec: dict, timeout: float = 60.0):
+    """Returns (status, body_dict); 429 is a regular outcome here."""
+    request = urllib.request.Request(
+        f"{address}/v1/jobs",
+        data=json.dumps(spec).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read() or b"{}")
+
+
+def _get_json(address: str, path: str, timeout: float = 30.0):
+    with urllib.request.urlopen(f"{address}{path}", timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def _percentile(sorted_values, fraction):
+    if not sorted_values:
+        return None
+    index = min(
+        len(sorted_values) - 1, int(round(fraction * (len(sorted_values) - 1)))
+    )
+    return sorted_values[index]
+
+
+def _wait_done(address: str, job_id: str, deadline: float) -> dict:
+    record = {"state": "queued"}
+    while record["state"] in ("queued", "running"):
+        if time.monotonic() > deadline:
+            raise SystemExit(f"warmup job {job_id} did not finish in time")
+        record = _get_json(address, f"/v1/jobs/{job_id}?wait=5", timeout=30)
+    return record
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=600,
+                        help="total POST /v1/jobs calls across all threads")
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--hot-specs", type=int, default=4,
+                        help="size of the pre-warmed (cached) spec pool")
+    parser.add_argument("--hot-fraction", type=float, default=0.9,
+                        help="fraction of requests drawn from the hot pool")
+    parser.add_argument("--simulations", type=int, default=6_000)
+    parser.add_argument("--queue-limit", type=int, default=64)
+    parser.add_argument("--runner-threads", type=int, default=2)
+    parser.add_argument("--local-workers", type=int, default=2)
+    parser.add_argument("--sample-every", type=float, default=0.5,
+                        help="seconds between queue-depth samples")
+    parser.add_argument("--out", default="BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    state_dir = tempfile.mkdtemp(prefix="bench-service-")
+    service = EvaluationService(
+        state_dir,
+        port=0,
+        runner_threads=args.runner_threads,
+        queue_limit=args.queue_limit,
+        fleet=True,
+        local_workers=args.local_workers,
+    )
+    service.start()
+    address = service.address
+    print(
+        f"benchmark: service at {address}, fleet with "
+        f"{args.local_workers} local worker(s), "
+        f"{args.runner_threads} runner thread(s), "
+        f"queue limit {args.queue_limit}"
+    )
+
+    def spec_for(seed: int) -> dict:
+        return {
+            "design": "kronecker",
+            "scheme": "eq6",
+            "n_simulations": args.simulations,
+            "chunk_size": 2_000,
+            "seed": seed,
+        }
+
+    try:
+        # ---- warm phase: populate the verdict cache with the hot pool.
+        warm_start = time.perf_counter()
+        for seed in range(args.hot_specs):
+            status, record = _post_job(address, spec_for(seed))
+            if status not in (200, 201):
+                raise SystemExit(f"warmup submit failed with {status}")
+            _wait_done(address, record["job_id"],
+                       time.monotonic() + 300)
+        warm_seconds = time.perf_counter() - warm_start
+        print(f"  warmed {args.hot_specs} hot specs in {warm_seconds:.2f}s")
+
+        # ---- load phase.
+        latencies_ms = []
+        status_counts = {}
+        errors = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(args.threads + 1)
+        per_thread = args.requests // args.threads
+
+        def client(thread_index: int) -> None:
+            # Deterministic per-thread request mix: every k-th request is
+            # cold (unique seed), the rest cycle through the hot pool.
+            cold_stride = max(1, round(1 / (1 - args.hot_fraction))) \
+                if args.hot_fraction < 1 else 0
+            barrier.wait()
+            for i in range(per_thread):
+                if cold_stride and i % cold_stride == cold_stride - 1:
+                    seed = 10_000 + thread_index * per_thread + i
+                else:
+                    seed = (thread_index + i) % args.hot_specs
+                start = time.perf_counter()
+                try:
+                    status, _ = _post_job(address, spec_for(seed))
+                except Exception as exc:  # noqa: BLE001 - recorded verbatim
+                    with lock:
+                        errors.append(repr(exc))
+                    continue
+                elapsed_ms = (time.perf_counter() - start) * 1e3
+                with lock:
+                    latencies_ms.append(elapsed_ms)
+                    status_counts[status] = status_counts.get(status, 0) + 1
+
+        threads = [
+            threading.Thread(target=client, args=(index,), daemon=True)
+            for index in range(args.threads)
+        ]
+        for thread in threads:
+            thread.start()
+
+        trajectory = []
+        stop_sampling = threading.Event()
+
+        def sampler() -> None:
+            origin = time.perf_counter()
+            while not stop_sampling.is_set():
+                try:
+                    metrics = _get_json(address, "/v1/metrics")
+                except Exception:
+                    break
+                trajectory.append({
+                    "t": round(time.perf_counter() - origin, 3),
+                    "queue_depth": metrics["queue"]["depth"],
+                    "by_priority": metrics["queue"]["by_priority"],
+                    "busy_workers": metrics["busy_workers"],
+                    "workers_live": metrics["fleet"]["workers_live"],
+                    "pending_items": metrics["fleet"]["pending_items"],
+                })
+                stop_sampling.wait(args.sample_every)
+
+        sampler_thread = threading.Thread(target=sampler, daemon=True)
+        sampler_thread.start()
+
+        barrier.wait()
+        load_start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        load_seconds = time.perf_counter() - load_start
+        stop_sampling.set()
+        sampler_thread.join(timeout=5)
+
+        metrics = _get_json(address, "/v1/metrics")
+        latencies_ms.sort()
+        total = len(latencies_ms)
+        record = {
+            "benchmark": "service-sustained-load",
+            "config": {
+                "requests": args.requests,
+                "threads": args.threads,
+                "hot_specs": args.hot_specs,
+                "hot_fraction": args.hot_fraction,
+                "n_simulations": args.simulations,
+                "queue_limit": args.queue_limit,
+                "runner_threads": args.runner_threads,
+                "local_workers": args.local_workers,
+                "cpu_count": os.cpu_count(),
+            },
+            "totals": {
+                "requests": total,
+                "seconds": round(load_seconds, 3),
+                "throughput_rps": round(total / load_seconds, 1)
+                if load_seconds > 0 else None,
+                "p50_ms": round(_percentile(latencies_ms, 0.50) or 0, 2),
+                "p95_ms": round(_percentile(latencies_ms, 0.95) or 0, 2),
+                "p99_ms": round(_percentile(latencies_ms, 0.99) or 0, 2),
+                "status_counts": {
+                    str(k): v for k, v in sorted(status_counts.items())
+                },
+                "rejected_429": status_counts.get(429, 0),
+                "transport_errors": len(errors),
+                "cache_hit_rate": metrics["cache_hit_rate"],
+                "warm_seconds": round(warm_seconds, 3),
+            },
+            "trajectory": trajectory,
+            "final_metrics": {
+                "jobs": metrics["jobs"],
+                "queue": metrics["queue"],
+                "fleet": metrics["fleet"],
+                "counters": metrics["counters"],
+            },
+        }
+        with open(args.out, "w") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")
+        totals = record["totals"]
+        print(
+            f"  {totals['requests']} requests in {totals['seconds']}s "
+            f"({totals['throughput_rps']} rps), "
+            f"p50 {totals['p50_ms']}ms / p95 {totals['p95_ms']}ms / "
+            f"p99 {totals['p99_ms']}ms, "
+            f"429s {totals['rejected_429']}, "
+            f"cache hit rate {totals['cache_hit_rate']}"
+        )
+        print(f"  wrote {args.out}")
+        if errors:
+            print(f"ERROR: {len(errors)} transport errors, first: "
+                  f"{errors[0]}", file=sys.stderr)
+            return 1
+        return 0
+    finally:
+        service.stop()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

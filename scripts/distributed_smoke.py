@@ -1,0 +1,260 @@
+#!/usr/bin/env python
+"""Distributed-fabric smoke test (CI, stdlib only): kill a worker, keep the bytes.
+
+Boots a fleet coordinator (``repro.cli serve --fleet``) with **zero** local
+workers plus external ``repro.cli worker`` processes speaking the
+``/v1/fleet/`` lease protocol over HTTP, then proves the fabric's central
+claim end to end:
+
+* **campaign leg** -- the E3 configuration (masked S-box, Eq. (6)
+  randomness) is submitted to the coordinator while a single worker
+  executes it.  As soon as that worker holds an active lease it is
+  SIGKILLed -- no cleanup handlers, its leases silently expire -- and a
+  second worker (started only then) finishes the campaign.  The merged
+  report must be **byte-identical** to an in-process serial run, and at
+  least one lease expiry must have been observed (the kill really landed
+  mid-flight);
+* **exact leg** -- a ``mode="exact"`` certification job is distributed
+  across two workers and its report compared byte-for-byte against the
+  in-process :func:`repro.leakage.certify.run_exact_analysis` sweep.
+
+Run from the repository root::
+
+    python scripts/distributed_smoke.py [--simulations N] [--lease-seconds S]
+
+Exits 0 on success, 1 on failure.
+"""
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEADLINE_SECONDS = 420
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, [os.path.join(REPO_ROOT, "src"), env.get("PYTHONPATH")])
+    )
+    return env
+
+
+def _get_json(url, timeout=30):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def _post_json(url, body, timeout=60):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(body).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as resp:
+        return json.loads(resp.read())
+
+
+def start_coordinator(state_dir, lease_seconds, env):
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--state-dir", state_dir,
+            "--port", "0",
+            "--fleet",
+            "--local-workers", "0",
+            "--lease-seconds", str(lease_seconds),
+            "--runner-threads", "1",
+        ],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30
+    address = None
+    while address is None:
+        if proc.poll() is not None or time.monotonic() > deadline:
+            raise SystemExit("FAIL: coordinator did not come up")
+        line = proc.stdout.readline()
+        if "listening on" in line:
+            address = line.rsplit(" ", 1)[-1].strip()
+    return proc, address
+
+
+def start_worker(address, name, env):
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "worker",
+            "--coordinator", address,
+            "--worker-id", name,
+            "--poll-interval", "0.1",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+def wait_for_job(address, job_id, deadline):
+    record = {"state": "queued"}
+    while record["state"] in ("queued", "running"):
+        if time.monotonic() > deadline:
+            raise SystemExit(f"FAIL: job {job_id} did not finish in time")
+        record = _get_json(f"{address}/v1/jobs/{job_id}?wait=5")
+    return record
+
+
+def fetch_report(address, job_id):
+    with urllib.request.urlopen(
+        f"{address}/v1/jobs/{job_id}/report", timeout=60
+    ) as resp:
+        return resp.read()
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--simulations", type=int, default=150_000)
+    parser.add_argument("--chunk-size", type=int, default=8_192)
+    parser.add_argument("--lease-seconds", type=float, default=3.0)
+    parser.add_argument("--max-enum-bits", type=int, default=23)
+    parser.add_argument("--shard-lane-bits", type=int, default=12)
+    options = parser.parse_args()
+    env = _env()
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+    from repro.core.kronecker import build_kronecker_delta
+    from repro.core.optimizations import RandomnessScheme
+    from repro.leakage.campaign import EvaluationCampaign
+    from repro.leakage.certify import run_exact_analysis
+    from repro.service import JobSpec, evaluator_for
+
+    campaign_spec = {
+        "design": "sbox",
+        "scheme": "eq6",
+        "n_simulations": options.simulations,
+        "chunk_size": options.chunk_size,
+        "seed": 7,
+    }
+    exact_spec = {
+        "design": "kronecker",
+        "scheme": "eq6",
+        "mode": "exact",
+        "max_enum_bits": options.max_enum_bits,
+        "shard_lane_bits": options.shard_lane_bits,
+        "seed": 7,
+    }
+
+    print("[1/6] computing in-process serial references")
+    spec = JobSpec.from_dict(dict(campaign_spec))
+    golden_campaign = (
+        EvaluationCampaign(
+            evaluator_for(spec), spec.campaign_config(default_chunking=True)
+        )
+        .run()
+        .to_json(top=None)
+        .encode("utf-8")
+    )
+    design = build_kronecker_delta(RandomnessScheme.DEMEYER_EQ6)
+    golden_exact = run_exact_analysis(
+        design.dut,
+        max_enum_bits=options.max_enum_bits,
+        shard_lane_bits=options.shard_lane_bits,
+    ).to_json(top=None).encode("utf-8")
+
+    state_dir = tempfile.mkdtemp(prefix="distributed_smoke_")
+    coordinator, address = start_coordinator(
+        state_dir, options.lease_seconds, env
+    )
+    workers = []
+    deadline = time.monotonic() + DEADLINE_SECONDS
+    try:
+        print(f"[2/6] coordinator at {address}; starting worker alpha")
+        workers.append(start_worker(address, "alpha", env))
+        record = _post_json(f"{address}/v1/jobs", campaign_spec)
+        job_id = record["job_id"]
+
+        # Kill alpha only once it provably holds work: at least one item
+        # completed (it is executing) and a lease is active right now.
+        # alpha is the only worker, so every active lease is alpha's and
+        # the SIGKILL must strand it past expiry.
+        print("[3/6] waiting for worker alpha to hold an active lease")
+        while True:
+            if time.monotonic() > deadline:
+                raise SystemExit("FAIL: campaign never put alpha on lease")
+            stats = _get_json(f"{address}/v1/fleet")
+            if (
+                stats["counters"]["items_completed"] >= 1
+                and stats["active_leases"] >= 1
+            ):
+                break
+            time.sleep(0.05)
+        workers[0].send_signal(signal.SIGKILL)
+        workers[0].wait()
+        print("[4/6] worker alpha SIGKILLed mid-lease; starting worker beta")
+        workers.append(start_worker(address, "beta", env))
+
+        record = wait_for_job(address, job_id, deadline)
+        if record["state"] != "done":
+            raise SystemExit(
+                f"FAIL: campaign job ended {record['state']!r}: "
+                f"{record.get('error')}"
+            )
+        report = fetch_report(address, job_id)
+        stats = _get_json(f"{address}/v1/fleet")
+        print(f"  fleet counters: {stats['counters']}")
+        if report != golden_campaign:
+            raise SystemExit(
+                "FAIL: distributed campaign report is not byte-identical "
+                "to the serial reference"
+            )
+        if stats["counters"]["leases_expired"] < 1:
+            raise SystemExit(
+                "FAIL: no lease expiry observed -- the kill did not land "
+                "mid-flight"
+            )
+        print("  campaign report byte-identical to serial; "
+              f"{stats['counters']['leases_expired']} lease(s) expired "
+              "and were reissued")
+
+        print("[5/6] exact certification across two workers")
+        workers.append(start_worker(address, "gamma", env))
+        record = _post_json(f"{address}/v1/jobs", exact_spec)
+        record = wait_for_job(address, record["job_id"], deadline)
+        if record["state"] != "done":
+            raise SystemExit(
+                f"FAIL: exact job ended {record['state']!r}: "
+                f"{record.get('error')}"
+            )
+        report = fetch_report(address, record["job_id"])
+        if report != golden_exact:
+            raise SystemExit(
+                "FAIL: distributed exact report is not byte-identical to "
+                "the in-process sweep"
+            )
+        stats = _get_json(f"{address}/v1/fleet")
+        print(f"  exact report byte-identical; fleet counters: "
+              f"{stats['counters']}")
+        print("[6/6] PASS: coordinator/worker execution is byte-faithful "
+              "under worker death")
+        return 0
+    finally:
+        for worker in workers:
+            if worker.poll() is None:
+                worker.terminate()
+        coordinator.terminate()
+        for worker in workers:
+            worker.wait()
+        coordinator.wait()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

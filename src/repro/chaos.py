@@ -87,6 +87,8 @@ CHAOS_SITES = (
     "worker.block",
     "engine.compile",
     "runner.chunk",
+    "fleet.lease",
+    "fleet.complete",
 )
 
 #: Fault kinds each site can draw.  IO kinds raise :class:`InjectedFault`;
@@ -103,6 +105,8 @@ SITE_KINDS: Dict[str, Tuple[str, ...]] = {
     "worker.block": ("kill", "hang"),
     "engine.compile": ("fail",),
     "runner.chunk": ("hang",),
+    "fleet.lease": ("oserror",),
+    "fleet.complete": ("oserror", "truncate", "garbage", "bitflip"),
 }
 
 _IO_ERRNO = {"oserror": errno.EIO, "enospc": errno.ENOSPC}

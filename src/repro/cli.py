@@ -17,8 +17,11 @@ Commands mirror the paper's workflow:
 * ``verilog``  -- export a design as structural Verilog.
 * ``encrypt``  -- masked AES-128 encryption of a block (value level).
 * ``serve``    -- long-lived evaluation service (HTTP JSON API, job queue,
-  content-addressed verdict cache, structured telemetry).
+  content-addressed verdict cache, structured telemetry; ``--fleet``
+  makes it a distributed-campaign coordinator).
 * ``submit``   -- submit a job to a running service and await its verdict.
+* ``worker``   -- fleet worker daemon: pull leased work from a coordinator
+  over HTTP, execute it locally, stream results back.
 * ``chaos-torture`` -- robustness self-check: run the campaign under
   deterministic injected infrastructure faults (torn checkpoints, IO
   errors, hung workers) and assert every run ends byte-identical to the
@@ -288,8 +291,17 @@ def cmd_serve(args) -> int:
         telemetry_path=args.telemetry,
         stall_timeout=args.stall_timeout,
         max_restarts=args.max_restarts,
+        fleet=args.fleet,
+        local_workers=args.local_workers,
+        lease_seconds=args.lease_seconds,
+        tenant_quota=args.tenant_quota,
     )
     print(f"evaluation service listening on {service.address}")
+    if service.fleet is not None:
+        print(
+            f"  fleet coordinator: on ({service.local_workers} embedded "
+            f"local workers, {service.fleet.lease_seconds:g}s leases)"
+        )
     print(f"  state dir: {service.store.root}")
     print(f"  telemetry: {service.telemetry.path}")
     sys.stdout.flush()
@@ -301,27 +313,55 @@ def cmd_serve(args) -> int:
     return 0
 
 
-def cmd_submit(args) -> int:
-    """Submit a job to a running service; exit codes mirror ``campaign``."""
+def _http_round_trip(url, data=None, timeout=30.0, retry=None):
+    """One service HTTP round-trip; returns ``(status, body_bytes)``.
+
+    Connection-level failures (refused, reset, DNS -- a coordinator
+    restarting under the client) retry with :func:`repro.chaos.retry_io`
+    exponential backoff before surfacing as :class:`ServiceError`.  HTTP
+    *responses* of any status are answers, not transport failures, and
+    return immediately -- ``HTTPError`` subclasses ``URLError``/``OSError``
+    and must be caught before the retry path ever sees it.
+    """
     import urllib.error
     import urllib.request
 
-    spec = EvaluationSpec.from_args(args)
-    base = f"{args.url.rstrip('/')}/{API_VERSION}"
+    from repro.chaos import DEFAULT_RETRY, retry_io
 
-    def _request(url, data=None):
+    def attempt():
         request = urllib.request.Request(
             url,
             data=data,
             headers={"Content-Type": "application/json"} if data else {},
         )
         try:
-            with urllib.request.urlopen(request, timeout=args.timeout + 30) as resp:
+            with urllib.request.urlopen(request, timeout=timeout) as resp:
                 return resp.status, resp.read()
         except urllib.error.HTTPError as exc:
             return exc.code, exc.read()
-        except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach service at {base}: {exc.reason}")
+
+    try:
+        return retry_io(
+            attempt,
+            retry if retry is not None else DEFAULT_RETRY,
+            site="submit.http",
+            retry_on=(urllib.error.URLError, TimeoutError),
+        )
+    except urllib.error.URLError as exc:
+        raise ServiceError(
+            f"cannot reach service at {url}: {exc.reason}"
+        ) from exc
+    except TimeoutError as exc:
+        raise ServiceError(f"service at {url} timed out") from exc
+
+
+def cmd_submit(args) -> int:
+    """Submit a job to a running service; exit codes mirror ``campaign``."""
+    spec = EvaluationSpec.from_args(args)
+    base = f"{args.url.rstrip('/')}/{API_VERSION}"
+
+    def _request(url, data=None):
+        return _http_round_trip(url, data=data, timeout=args.timeout + 30)
 
     status, body = _request(
         f"{base}/jobs", json.dumps(spec.to_dict()).encode()
@@ -394,6 +434,28 @@ def cmd_submit(args) -> int:
             )
         print(f"  verdict: {verdict}")
     return record["result"]["exit_code"]
+
+
+def cmd_worker(args) -> int:
+    """Run a fleet worker against a coordinator until interrupted."""
+    from repro.service.worker import FleetWorker, HttpTransport
+
+    worker = FleetWorker(
+        HttpTransport(args.coordinator),
+        worker_id=args.worker_id,
+        poll_interval=args.poll_interval,
+    )
+    print(
+        f"fleet worker {worker.worker_id} polling {args.coordinator} "
+        f"every {args.poll_interval:g}s"
+    )
+    sys.stdout.flush()
+    worker.run_forever()
+    print(
+        f"worker {worker.worker_id} stopping "
+        f"({worker.items_done} items done, {worker.items_failed} failed)"
+    )
+    return 0
 
 
 def cmd_chaos_torture(args) -> int:
@@ -492,6 +554,13 @@ def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
              "(bit-identical to the full simulation, usually much faster; "
              "--no-slice forces full-netlist simulation)",
     )
+    p.add_argument("--tenant", default="default",
+                   help="tenant name for per-tenant admission quotas "
+                        "(service-side; does not change results)")
+    p.add_argument("--priority", default="normal",
+                   choices=("high", "normal", "low"),
+                   help="admission priority lane; low-priority work is "
+                        "shed first under queue backpressure")
     adaptive = p.add_argument_group(
         "adaptive scheduling",
         "decide each probe as early as its evidence allows, prune decided "
@@ -710,7 +779,35 @@ def build_parser() -> argparse.ArgumentParser:
                         "for this many seconds")
     p.add_argument("--max-restarts", type=int, default=3,
                    help="restarts before a job is dead-lettered")
+    p.add_argument(
+        "--fleet", action=argparse.BooleanOptionalAction, default=False,
+        help="act as a distributed-campaign coordinator: expose the "
+             "/v1/fleet/ lease protocol and farm job chunks out to "
+             "workers (results stay bit-identical to serial execution)",
+    )
+    p.add_argument("--local-workers", type=int, default=1,
+                   help="embedded in-process fleet workers (only with "
+                        "--fleet; 0 relies on external 'repro worker' "
+                        "daemons)")
+    p.add_argument("--lease-seconds", type=float, default=30.0,
+                   help="work-item lease duration; an unrenewed lease "
+                        "expires and its item is reissued")
+    p.add_argument("--tenant-quota", type=int, default=None,
+                   help="per-tenant cap on active (queued+running) jobs; "
+                        "beyond it submissions answer 429")
     p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser(
+        "worker",
+        help="fleet worker daemon pulling leased work from a coordinator",
+    )
+    p.add_argument("--coordinator", required=True,
+                   help="coordinator base URL (a 'serve --fleet' service)")
+    p.add_argument("--worker-id", default=None,
+                   help="stable worker name (default: a random one)")
+    p.add_argument("--poll-interval", type=float, default=0.5,
+                   help="seconds between lease polls when idle")
+    p.set_defaults(func=cmd_worker)
 
     p = sub.add_parser(
         "submit", help="submit a job to a running evaluation service"

@@ -90,6 +90,17 @@ class SpecError(ServiceError):
     """
 
 
+class FleetInterrupted(ServiceError):
+    """A fleet-distributed wait aborted before every work item finished.
+
+    Raised by :meth:`repro.service.fleet.FleetCoordinator.wait` when the
+    caller's ``should_stop`` fires (cancellation, watchdog stall, service
+    shutdown) or when the owning job is released mid-wait.  The runner
+    maps it onto the same cancelled / restart / requeue ladder used for
+    ``truncated:cancelled`` campaign reports.
+    """
+
+
 class BudgetExceeded(ReproError):
     """A campaign exhausted its wall-clock or memory budget in strict mode.
 

@@ -221,6 +221,7 @@ class EvaluationCampaign:
         should_stop: Optional[Callable[[], bool]] = None,
         fault_plane: Optional[FaultPlane] = None,
         retry: Optional[RetryPolicy] = None,
+        executor=None,
     ):
         self.evaluator = evaluator
         self.config = config
@@ -255,6 +256,13 @@ class EvaluationCampaign:
             if config.mode in ("pairs", "both")
             else []
         )
+        #: injected chunk executor (the service's fleet-distributed
+        #: executor).  When set, the campaign routes chunk accumulation
+        #: through it instead of owning a :class:`ParallelExecutor` pool --
+        #: the caller owns its lifecycle and ``workers`` degradation
+        #: accounting does not apply.  Any object with the
+        #: ``ParallelExecutor.accumulate`` signature works.
+        self._injected_executor = executor
         self._executor: Optional[ParallelExecutor] = None
         #: adaptive decision state; built fresh per :meth:`run` (or restored
         #: from the checkpoint), ``None`` for uniform campaigns.
@@ -413,7 +421,9 @@ class EvaluationCampaign:
         status = "complete"
         finished_early = False
         chunk_blocks = self._chunk_blocks()
-        if cfg.workers > 1 and self.effective_workers == 1:
+        if self._injected_executor is not None:
+            self._executor = self._injected_executor
+        elif cfg.workers > 1 and self.effective_workers == 1:
             # Satellite of the 0.801x BENCH_parallel regression: on hosts
             # where the cap leaves a single effective worker, skip the
             # process pool entirely (fork/pickle overhead with no core to
@@ -428,7 +438,7 @@ class EvaluationCampaign:
                 requested_workers=cfg.workers,
                 effective_workers=self.effective_workers,
             )
-        if self.effective_workers > 1:
+        if self._injected_executor is None and self.effective_workers > 1:
             self._executor = ParallelExecutor(
                 self.evaluator,
                 self.effective_workers,
@@ -561,9 +571,12 @@ class EvaluationCampaign:
                     **self.scheduler.counts(),
                 )
         finally:
-            if self._executor is not None:
+            if (
+                self._executor is not None
+                and self._executor is not self._injected_executor
+            ):
                 self._executor.close()
-                self._executor = None
+            self._executor = None
         self._emit(
             "campaign_end",
             status=status,

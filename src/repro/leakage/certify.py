@@ -302,6 +302,7 @@ class ShardedExactAnalyzer:
         resume: bool = False,
         hook: Optional[Hook] = None,
         should_stop: Optional[Callable[[], bool]] = None,
+        dispatch: Optional[Callable] = None,
     ) -> ExactReport:
         """Run the sharded exact sweep.
 
@@ -311,7 +312,12 @@ class ShardedExactAnalyzer:
         not recomputed.  ``should_stop`` is polled at shard boundaries; a
         stop saves the checkpoint and returns a
         ``status="truncated:cancelled"`` report covering the classes that
-        finished.
+        finished.  ``dispatch`` replaces the execution backend entirely
+        (the service's fleet-distributed path): called as
+        ``dispatch(pending, merge, should_stop) -> stopped`` with the same
+        ``(class_index, shard_index, lane_bits)`` task tuples the process
+        pool would run -- shard-count merging commutes, so any completion
+        order yields identical final histograms.
         """
         analyzer = self.analyzer
         all_classes = analyzer.probe_classes
@@ -415,6 +421,7 @@ class ShardedExactAnalyzer:
                 hook,
                 should_stop,
                 is_done=lambda ci, si: si in state[ci]["done"],
+                dispatch=dispatch,
             )
 
         for ci in selected:
@@ -458,9 +465,12 @@ class ShardedExactAnalyzer:
         hook: Optional[Hook],
         should_stop: Optional[Callable[[], bool]],
         is_done: Callable[[int, int], bool],
+        dispatch: Optional[Callable] = None,
     ) -> bool:
         """Execute shard tasks, in a pool or serially.  True when stopped."""
         pending = [(ci, si, plans[ci].lane_bits) for ci, si in tasks]
+        if dispatch is not None:
+            return bool(dispatch(pending, merge, should_stop))
         if workers > 1 and len(pending) > 1:
             try:
                 return self._run_pool(pending, workers, merge, should_stop)
@@ -576,6 +586,7 @@ def run_exact_analysis(
     resume: bool = False,
     hook: Optional[Hook] = None,
     should_stop: Optional[Callable[[], bool]] = None,
+    dispatch: Optional[Callable] = None,
 ) -> ExactReport:
     """One-call sharded exact sweep (the ``mode="exact"`` service path)."""
     engine = ShardedExactAnalyzer(
@@ -591,6 +602,7 @@ def run_exact_analysis(
         resume=resume,
         hook=hook,
         should_stop=should_stop,
+        dispatch=dispatch,
     )
 
 

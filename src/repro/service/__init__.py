@@ -8,21 +8,31 @@ tuples while comparing candidate randomness schemes:
 * :mod:`repro.service.store` -- persistent job records plus a
   content-addressed verdict cache (identical re-queries are O(1) lookups
   returning byte-identical reports).
-* :mod:`repro.service.queue` -- bounded admission queue.
+* :mod:`repro.service.queue` -- bounded admission queue with priority
+  lanes and graduated low-priority shedding.
 * :mod:`repro.service.runner` -- background worker threads executing jobs
   as checkpointable campaigns with cancellation and crash-resume.
+* :mod:`repro.service.fleet` -- coordinator side of the distributed
+  campaign fabric: a lease-based work queue of campaign block slices and
+  exact shards, merged centrally and bit-identically to serial execution.
+* :mod:`repro.service.worker` -- the stateless fleet worker loop, usable
+  in-process (embedded local workers) or as the ``repro worker`` daemon
+  speaking ``/v1/fleet/`` over HTTP.
 * :mod:`repro.service.http` -- stdlib JSON HTTP API under the versioned
   ``/v1/`` prefix (``POST /v1/jobs``, ``GET /v1/jobs/<id>[?wait=s]``,
-  ``GET /v1/jobs/<id>/report``, ``GET /v1/healthz``, ``GET /v1/metrics``;
+  ``GET /v1/jobs/<id>/report``, ``GET /v1/healthz``, ``GET /v1/metrics``,
+  plus the ``/v1/fleet/`` lease protocol in coordinator mode;
   unversioned paths remain as deprecated aliases).
 * :mod:`repro.service.telemetry` -- JSON-lines event log + live counters.
 
-Entry points: ``python -m repro.cli serve`` and ``python -m repro.cli
-submit``; see ``docs/service.md``.
+Entry points: ``python -m repro.cli serve``, ``python -m repro.cli
+submit``, and ``python -m repro.cli worker``; see ``docs/service.md`` and
+``docs/distributed.md``.
 """
 
+from repro.service.fleet import FleetCoordinator, FleetExecutor
 from repro.service.http import EvaluationService
-from repro.service.queue import JobQueue, QueueFull
+from repro.service.queue import JobQueue, QueueFull, QuotaExceeded
 from repro.service.runner import (
     DEFAULT_CHUNK_SIZE,
     JobRunner,
@@ -33,15 +43,22 @@ from repro.service.runner import (
 )
 from repro.service.store import JobSpec, JobStore, canonical_key
 from repro.service.telemetry import Telemetry
+from repro.service.worker import FleetWorker, HttpTransport, LocalTransport
 
 __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "EvaluationService",
+    "FleetCoordinator",
+    "FleetExecutor",
+    "FleetWorker",
+    "HttpTransport",
     "JobQueue",
     "JobRunner",
     "JobSpec",
     "JobStore",
+    "LocalTransport",
     "QueueFull",
+    "QuotaExceeded",
     "Telemetry",
     "build_design",
     "canonical_key",

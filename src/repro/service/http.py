@@ -21,8 +21,24 @@ Endpoints (all JSON, under the versioned ``/v1/`` prefix):
 * ``POST /v1/jobs/<id>/cancel`` -- stop a queued/running job at its next
   chunk boundary.
 * ``GET /v1/healthz`` -- liveness + uptime + ``api_version``.
-* ``GET /v1/metrics`` -- telemetry counters, cache stats, queue depth, job
-  state counts, busy workers.
+* ``GET /v1/metrics`` -- telemetry counters, cache stats (with hit rate),
+  queue depth per priority lane, job state counts, busy workers, and --
+  when the fleet is enabled -- worker liveness and lease gauges.
+
+With ``fleet=True`` the service is a *coordinator* and four more routes
+implement the lease protocol workers speak (see
+:mod:`repro.service.fleet`):
+
+* ``POST /v1/fleet/lease`` -- pull one work item (``{"work": null}`` when
+  idle); * ``POST /v1/fleet/leases/<id>/heartbeat`` -- renew a lease;
+* ``POST /v1/fleet/leases/<id>/complete`` -- deliver a result;
+* ``POST /v1/fleet/leases/<id>/fail`` -- report an execution error;
+* ``GET /v1/fleet`` -- coordinator gauges.
+
+Admission is elastic rather than a single 429 cliff: specs carry a
+``priority`` lane (low-priority work sheds first under backpressure) and a
+``tenant`` (a per-tenant cap on active jobs, when configured).  Every 429
+carries a ``Retry-After`` header.
 
 The pre-versioning paths (``/jobs``, ``/healthz``, ``/metrics``, ...)
 remain as deprecated aliases: they behave identically but every response
@@ -50,7 +66,7 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.errors import ReproError, ServiceError
 from repro.leakage.report import SCHEMA_VERSION
-from repro.service.queue import JobQueue, QueueFull
+from repro.service.queue import JobQueue, QueueFull, QuotaExceeded
 from repro.service.runner import JobRunner, design_hash_for, verdict_summary
 from repro.service.store import JobSpec, JobStore
 from repro.service.telemetry import Telemetry
@@ -107,10 +123,18 @@ class EvaluationService:
         stall_timeout: Optional[float] = None,
         max_restarts: int = 3,
         fault_plane=None,
+        fleet: bool = False,
+        local_workers: int = 1,
+        lease_seconds: float = 30.0,
+        tenant_quota: Optional[int] = None,
     ):
         # One fault plane (or None) threads through every layer, so a
         # single ChaosPolicy drives the whole service's fault schedule.
         self.fault_plane = fault_plane
+        if tenant_quota is not None and tenant_quota < 1:
+            raise ServiceError("tenant_quota must be a positive integer")
+        #: per-tenant cap on active (queued+running) jobs; ``None`` = off.
+        self.tenant_quota = tenant_quota
         # The default telemetry file lives inside the state dir, which may
         # not exist yet on a fresh service (JobStore creates it lazily).
         os.makedirs(os.path.abspath(state_dir), exist_ok=True)
@@ -124,6 +148,16 @@ class EvaluationService:
             state_dir, hook=self.telemetry.emit_hook(), fault_plane=fault_plane
         )
         self.queue = JobQueue(queue_limit, fault_plane=fault_plane)
+        #: fleet coordinator; ``None`` when distributed execution is off.
+        self.fleet = None
+        if fleet:
+            from repro.service.fleet import FleetCoordinator
+
+            self.fleet = FleetCoordinator(
+                telemetry=self.telemetry,
+                lease_seconds=lease_seconds,
+                fault_plane=fault_plane,
+            )
         self.runner = JobRunner(
             self.store,
             self.queue,
@@ -132,7 +166,17 @@ class EvaluationService:
             stall_timeout=stall_timeout,
             max_restarts=max_restarts,
             fault_plane=fault_plane,
+            fleet=self.fleet,
         )
+        #: embedded local fleet workers (the degenerate one-host case);
+        #: only started when the fleet is on.
+        self.local_workers = local_workers if fleet else 0
+        self._worker_threads: list = []
+        self._worker_stop = threading.Event()
+        #: serializes dedupe + quota + enqueue in :meth:`submit`, so two
+        #: concurrent identical submissions can never both miss the
+        #: in-flight dedupe check and double-admit.
+        self._admission_lock = threading.Lock()
         self.started_at = time.time()
         handler = _make_handler(self)
         self.httpd = ThreadingHTTPServer((host, port), handler)
@@ -151,10 +195,32 @@ class EvaluationService:
         host, port = self.httpd.server_address[:2]
         return f"http://{host}:{port}"
 
+    def _start_local_workers(self) -> None:
+        """Spawn the embedded fleet workers (idempotent, fleet only)."""
+        if self.fleet is None or self._worker_threads:
+            return
+        from repro.service.worker import FleetWorker, LocalTransport
+
+        for index in range(self.local_workers):
+            worker = FleetWorker(
+                LocalTransport(self.fleet),
+                worker_id=f"local-{index}",
+                poll_interval=0.05,
+            )
+            thread = threading.Thread(
+                target=worker.run,
+                args=(self._worker_stop,),
+                name=f"repro-fleet-local-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._worker_threads.append(thread)
+
     def start(self) -> int:
         """Recover interrupted jobs, start workers, serve in a thread."""
         recovered = self.runner.recover()
         self.runner.start()
+        self._start_local_workers()
         self._serve_thread = threading.Thread(
             target=self.httpd.serve_forever,
             name="repro-service-http",
@@ -173,6 +239,7 @@ class EvaluationService:
         """Blocking variant of :meth:`start` for the CLI."""
         recovered = self.runner.recover()
         self.runner.start()
+        self._start_local_workers()
         self.telemetry.emit(
             "service_started",
             address=self.address,
@@ -189,6 +256,10 @@ class EvaluationService:
         self.httpd.shutdown()
         self.httpd.server_close()
         self.runner.shutdown(wait=True)
+        self._worker_stop.set()
+        for thread in self._worker_threads:
+            thread.join(timeout=10)
+        self._worker_threads = []
         self.telemetry.emit("service_stopped")
         self.telemetry.close()
 
@@ -210,29 +281,56 @@ class EvaluationService:
                 "job_submitted", job_id=record["job_id"], cached=True
             )
             return 200, record
-        active = self._find_active(cache_key)
-        if active is not None:
-            response = dict(active)
-            response["deduplicated"] = True
-            self.telemetry.emit(
-                "job_submitted",
-                job_id=active["job_id"],
-                deduplicated=True,
-            )
-            return 200, response
-        record = self.store.new_job(spec, cache_key)
-        try:
-            self.queue.put(record["job_id"])
-        except QueueFull:
-            self.store.update_job(
-                record["job_id"], state="failed", error="queue full"
-            )
-            raise
+        # Everything from the dedupe check to the enqueue happens under
+        # one lock: without it, two concurrent identical submissions can
+        # both miss ``_find_active`` and double-admit the same spec.  The
+        # expensive work (design build, hashing) stayed outside.
+        with self._admission_lock:
+            active = self._find_active(cache_key)
+            if active is not None:
+                response = dict(active)
+                response["deduplicated"] = True
+                self.telemetry.emit(
+                    "job_submitted",
+                    job_id=active["job_id"],
+                    deduplicated=True,
+                )
+                return 200, response
+            if self.tenant_quota is not None:
+                busy = self._tenant_active(spec.tenant)
+                if busy >= self.tenant_quota:
+                    self.telemetry.emit(
+                        "quota_rejected",
+                        tenant=spec.tenant,
+                        active_jobs=busy,
+                        quota=self.tenant_quota,
+                    )
+                    raise QuotaExceeded(
+                        f"tenant {spec.tenant!r} has {busy} active jobs "
+                        f"(quota {self.tenant_quota}); retry later"
+                    )
+            record = self.store.new_job(spec, cache_key)
+            try:
+                self.queue.put(record["job_id"], priority=spec.priority)
+            except QueueFull:
+                self.store.update_job(
+                    record["job_id"], state="failed", error="queue full"
+                )
+                raise
         self.telemetry.emit("cache_miss", job_id=record["job_id"],
                             cache_key=cache_key)
         self.telemetry.emit("job_submitted", job_id=record["job_id"],
                             cached=False)
         return 201, record
+
+    def _tenant_active(self, tenant: str) -> int:
+        """Active (queued+running) jobs charged to ``tenant``."""
+        return sum(
+            1
+            for record in self.store.list_jobs()
+            if record["state"] in ("queued", "running")
+            and (record.get("spec") or {}).get("tenant", "default") == tenant
+        )
 
     def _cached_record(
         self, spec: JobSpec, cache_key: str, report_bytes: bytes
@@ -262,15 +360,27 @@ class EvaluationService:
     def metrics(self) -> Dict:
         from repro.netlist.compile import program_cache_info
 
-        return {
+        cache = self.store.stats.to_dict()
+        body = {
             "schema_version": SCHEMA_VERSION,
             "api_version": API_VERSION,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "counters": self.telemetry.counters(),
-            "cache": self.store.stats.to_dict(),
+            "cache": cache,
+            # The load harness reads the hit rate as a top-level gauge.
+            "cache_hit_rate": cache.get("hit_rate"),
             "program_cache": program_cache_info()._asdict(),
             "jobs": self.store.counts_by_state(),
             "queue_depth": len(self.queue),
+            "queue": {
+                "depth": len(self.queue),
+                "by_priority": self.queue.depth_by_priority(),
+                "capacity": self.queue.maxsize,
+                "shed_low_at": self.queue.shed_low_at,
+            },
+            "admission": {
+                "tenant_quota": self.tenant_quota,
+            },
             "busy_workers": self.runner.busy_workers,
             "runner_threads": self.runner.n_threads,
             "watchdog": {
@@ -278,6 +388,9 @@ class EvaluationService:
                 "max_restarts": self.runner.max_restarts,
             },
         }
+        if self.fleet is not None:
+            body["fleet"] = self.fleet.stats()
+        return body
 
     def health(self) -> Dict:
         return {
@@ -300,17 +413,25 @@ def _make_handler(service: EvaluationService):
         def log_message(self, format, *args):  # noqa: A002 - stdlib name
             pass  # requests land in telemetry, not stderr
 
-        def _send_json(self, status: int, body: Dict) -> None:
+        def _send_json(
+            self,
+            status: int,
+            body: Dict,
+            headers: Optional[Dict[str, str]] = None,
+        ) -> None:
             data = (json.dumps(body, indent=2) + "\n").encode("utf-8")
-            self._send_bytes(status, data)
+            self._send_bytes(status, data, headers=headers)
 
         def _send_bytes(
             self, status: int, data: bytes,
             content_type: str = "application/json",
+            headers: Optional[Dict[str, str]] = None,
         ) -> None:
             self.send_response(status)
             self.send_header("Content-Type", content_type)
             self.send_header("Content-Length", str(len(data)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             if getattr(self, "_deprecated_alias", False):
                 # Unversioned legacy path: signal the migration target.
                 self.send_header("Deprecation", "true")
@@ -361,7 +482,16 @@ def _make_handler(service: EvaluationService):
             try:
                 self._route_post()
             except QueueFull as exc:
-                self._send_json(429, {"error": str(exc)})
+                retry_after = getattr(exc, "retry_after", None)
+                self._send_json(
+                    429,
+                    {"error": str(exc), "retry_after": retry_after},
+                    headers=(
+                        {"Retry-After": f"{retry_after:g}"}
+                        if retry_after
+                        else None
+                    ),
+                )
             except ReproError as exc:
                 self._send_json(400, {"error": str(exc)})
             except Exception as exc:  # noqa: BLE001
@@ -395,6 +525,9 @@ def _make_handler(service: EvaluationService):
                 return
             if len(parts) == 3 and parts[0] == "jobs" and parts[2] == "report":
                 self._send_report(parts[1])
+                return
+            if parts == ["fleet"] and service.fleet is not None:
+                self._send_json(200, service.fleet.stats())
                 return
             self._send_json(404, {"error": f"no route {parsed.path!r}"})
 
@@ -446,6 +579,43 @@ def _make_handler(service: EvaluationService):
                 record = service.runner.cancel(parts[1])
                 self._send_json(202, record)
                 return
+            if parts and parts[0] == "fleet":
+                self._route_fleet_post(parts)
+                return
             self._send_json(404, {"error": f"no route {parsed.path!r}"})
+
+        def _route_fleet_post(self, parts: list) -> None:
+            """Worker-facing lease protocol (coordinator mode only)."""
+            if service.fleet is None:
+                self._send_json(
+                    404, {"error": "this service is not a fleet coordinator"}
+                )
+                return
+            body = self._read_body()
+            worker_id = str(body.get("worker_id") or "anonymous")
+            if parts == ["fleet", "lease"]:
+                work = service.fleet.lease(worker_id)
+                self._send_json(200, {"work": work})
+                return
+            if len(parts) == 4 and parts[1] == "leases":
+                lease_id, action = parts[2], parts[3]
+                if action == "heartbeat":
+                    ok = service.fleet.heartbeat(lease_id, worker_id)
+                    self._send_json(200, {"ok": ok})
+                    return
+                if action == "complete":
+                    self._send_json(
+                        200, service.fleet.complete(lease_id, worker_id, body)
+                    )
+                    return
+                if action == "fail":
+                    self._send_json(
+                        200,
+                        service.fleet.fail(
+                            lease_id, worker_id, str(body.get("error") or "")
+                        ),
+                    )
+                    return
+            self._send_json(404, {"error": f"no fleet route {parts!r}"})
 
     return ServiceHandler

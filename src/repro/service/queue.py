@@ -1,4 +1,4 @@
-"""Bounded in-memory job queue for the evaluation service.
+"""Bounded in-memory job queue with priority lanes for the service.
 
 The queue holds only job *ids* -- the durable queue image is the set of
 ``queued``/``running`` records in the :class:`~repro.service.store.JobStore`,
@@ -7,6 +7,17 @@ service's admission control: a full queue rejects new submissions with HTTP
 429 instead of accepting unbounded work it cannot schedule (cache hits
 bypass the queue entirely, so rejects only ever apply to genuinely new
 computations).
+
+Admission is *elastic*, not a single cliff:
+
+* three priority lanes (``high`` > ``normal`` > ``low``); ``get`` always
+  drains the highest non-empty lane, FIFO within a lane;
+* graduated backpressure: ``low``-priority work is shed once total depth
+  crosses ``shed_low_at`` (half of capacity by default), so background
+  submissions yield headroom to interactive ones *before* the hard bound;
+* every rejection carries a ``retry_after`` hint, surfaced as the HTTP
+  ``Retry-After`` header -- clients with the retry-enabled CLI back off
+  instead of hammering.
 
 ``get`` supports a timeout so runner threads can poll their shutdown flag,
 and :meth:`close` wakes every waiter so shutdown never deadlocks on an
@@ -17,32 +28,81 @@ from __future__ import annotations
 
 import threading
 from collections import deque
-from typing import Deque, List, Optional
+from typing import Deque, Dict, List, Optional
 
 from repro.errors import ServiceError
 
+#: Priority lanes, highest first; the drain order and the validation set.
+PRIORITIES = ("high", "normal", "low")
+
+#: ``Retry-After`` hint (seconds) attached to capacity rejections.
+DEFAULT_RETRY_AFTER = 5.0
+
 
 class QueueFull(ServiceError):
-    """The job queue is at capacity; the submission was rejected."""
+    """The job queue rejected a submission (capacity or shedding).
+
+    ``retry_after`` is the backoff hint in seconds the HTTP layer turns
+    into a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after: float = DEFAULT_RETRY_AFTER):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class QuotaExceeded(QueueFull):
+    """A tenant hit its active-job quota; the submission was rejected.
+
+    Subclasses :class:`QueueFull` so every existing 429 mapping (HTTP
+    layer, CLI, tests) applies unchanged.
+    """
 
 
 class JobQueue:
-    """A bounded FIFO of job ids with timed blocking gets."""
+    """A bounded priority queue of job ids with timed blocking gets."""
 
-    def __init__(self, maxsize: int = 256, fault_plane=None):
+    def __init__(
+        self,
+        maxsize: int = 256,
+        fault_plane=None,
+        shed_low_at: Optional[int] = None,
+    ):
         if maxsize < 1:
             raise ServiceError("queue maxsize must be at least 1")
         self.maxsize = maxsize
+        #: total depth at which ``low``-priority submissions start being
+        #: shed; defaults to half of capacity (never below 1).
+        self.shed_low_at = (
+            shed_low_at if shed_low_at is not None else max(1, maxsize // 2)
+        )
+        if self.shed_low_at < 1 or self.shed_low_at > maxsize:
+            raise ServiceError(
+                "shed_low_at must be between 1 and the queue maxsize"
+            )
         #: chaos fault plane for the "queue.put" site (simulated
         #: queue-full storms); ``None`` in production.
         self.fault_plane = fault_plane
-        self._items: Deque[str] = deque()
+        self._lanes: Dict[str, Deque[str]] = {
+            priority: deque() for priority in PRIORITIES
+        }
         self._lock = threading.Lock()
         self._not_empty = threading.Condition(self._lock)
         self._closed = False
 
-    def put(self, job_id: str) -> None:
-        """Enqueue ``job_id``; raises :class:`QueueFull` at capacity."""
+    def _depth_locked(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def put(self, job_id: str, priority: str = "normal") -> None:
+        """Enqueue ``job_id``; raises :class:`QueueFull` when rejected.
+
+        ``low`` submissions are shed at ``shed_low_at`` total depth; all
+        lanes reject at ``maxsize``.
+        """
+        if priority not in PRIORITIES:
+            raise ServiceError(
+                f"unknown priority {priority!r}; choose from {PRIORITIES}"
+            )
         if self.fault_plane is not None and self.fault_plane.decide(
             "queue.put"
         ):
@@ -57,21 +117,30 @@ class JobQueue:
         with self._lock:
             if self._closed:
                 raise ServiceError("queue is closed")
-            if len(self._items) >= self.maxsize:
+            depth = self._depth_locked()
+            if depth >= self.maxsize:
                 raise QueueFull(
                     f"job queue is full ({self.maxsize} queued); retry later"
                 )
-            self._items.append(job_id)
+            if priority == "low" and depth >= self.shed_low_at:
+                raise QueueFull(
+                    f"queue depth {depth} is past the low-priority shed "
+                    f"point ({self.shed_low_at}); retry later or raise "
+                    "priority",
+                )
+            self._lanes[priority].append(job_id)
             self._not_empty.notify()
 
     def get(self, timeout: float = 0.2) -> Optional[str]:
-        """Dequeue one job id, or ``None`` on timeout / closed queue."""
+        """Dequeue the highest-priority job id, or ``None`` on timeout."""
         with self._lock:
-            if not self._items and not self._closed:
+            if self._depth_locked() == 0 and not self._closed:
                 self._not_empty.wait(timeout)
-            if not self._items:
-                return None
-            return self._items.popleft()
+            for priority in PRIORITIES:
+                lane = self._lanes[priority]
+                if lane:
+                    return lane.popleft()
+            return None
 
     def close(self) -> None:
         """Stop accepting work and wake every blocked :meth:`get`."""
@@ -81,9 +150,20 @@ class JobQueue:
 
     def __len__(self) -> int:
         with self._lock:
-            return len(self._items)
+            return self._depth_locked()
+
+    def depth_by_priority(self) -> Dict[str, int]:
+        """Per-lane depth (for ``/v1/metrics``)."""
+        with self._lock:
+            return {
+                priority: len(lane) for priority, lane in self._lanes.items()
+            }
 
     def snapshot(self) -> List[str]:
-        """Queued job ids, front first (for diagnostics)."""
+        """Queued job ids in drain order (for diagnostics)."""
         with self._lock:
-            return list(self._items)
+            return [
+                job_id
+                for priority in PRIORITIES
+                for job_id in self._lanes[priority]
+            ]

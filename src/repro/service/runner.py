@@ -37,7 +37,7 @@ from repro.core.optimizations import (
     RandomnessScheme,
     SecondOrderScheme,
 )
-from repro.errors import ReproError, ServiceError
+from repro.errors import FleetInterrupted, ReproError, ServiceError
 from repro.leakage.campaign import EvaluationCampaign
 from repro.leakage.evaluator import LeakageEvaluator
 from repro.leakage.model import ProbingModel
@@ -171,6 +171,7 @@ class JobRunner:
         stall_timeout: Optional[float] = None,
         max_restarts: int = 3,
         fault_plane=None,
+        fleet=None,
     ):
         if threads < 1:
             raise ServiceError("runner threads must be at least 1")
@@ -188,6 +189,11 @@ class JobRunner:
         #: builds ("checkpoint.*", "runner.chunk", "engine.compile",
         #: "worker.block" sites); ``None`` in production.
         self.fault_plane = fault_plane
+        #: fleet coordinator for distributed execution; when set, jobs
+        #: farm their chunk blocks / exact shards out to leased workers
+        #: instead of running them on this thread (bit-identical either
+        #: way).  ``None`` keeps the classic local execution path.
+        self.fleet = fleet
         self._threads: list = []
         self._watchdog_thread: Optional[threading.Thread] = None
         self._shutdown = threading.Event()
@@ -478,12 +484,23 @@ class JobRunner:
                 default_chunking=True,
                 stall_timeout=self.stall_timeout,
             )
+            executor = None
+            if self.fleet is not None:
+                from repro.service.fleet import FleetExecutor
+
+                executor = FleetExecutor(
+                    self.fleet,
+                    job_id,
+                    spec.to_dict(),
+                    should_stop=should_stop,
+                )
             campaign = EvaluationCampaign(
                 evaluator,
                 config,
                 hook=hook,
                 should_stop=should_stop,
                 fault_plane=self.fault_plane,
+                executor=executor,
             )
             report = campaign.run(resume=True)
             if report.status == "truncated:cancelled":
@@ -542,6 +559,27 @@ class JobRunner:
             )
             if os.path.exists(checkpoint):
                 os.unlink(checkpoint)
+        except FleetInterrupted:
+            # A distributed wait aborted mid-chunk/shard.  Completed chunks
+            # are in the checkpoint; the in-flight one is lost -- the same
+            # durability contract as a SIGKILL -- so the job takes the same
+            # ladder as a ``truncated:cancelled`` report.
+            if cancel_event.is_set():
+                self.store.update_job(
+                    job_id,
+                    state="cancelled",
+                    finished_at=round(time.time(), 3),
+                )
+                self.telemetry.emit("job_cancelled", job_id=job_id)
+                if os.path.exists(checkpoint):
+                    os.unlink(checkpoint)
+            elif stall_event.is_set():
+                self._restart_or_dead_letter(
+                    job_id, "fleet execution interrupted by the watchdog"
+                )
+            else:  # service shutdown: resume from the chunk checkpoint
+                self.store.update_job(job_id, state="queued")
+                self.telemetry.emit("job_interrupted", job_id=job_id)
         except ReproError as exc:
             self.store.update_job(
                 job_id,
@@ -564,6 +602,8 @@ class JobRunner:
                 traceback=traceback.format_exc(limit=5),
             )
         finally:
+            if self.fleet is not None:
+                self.fleet.release_job(job_id)
             with self._cancels_lock:
                 self._cancels.pop(job_id, None)
             with self._progress_lock:
@@ -597,6 +637,12 @@ class JobRunner:
             if spec.model == "glitch-transition"
             else ProbingModel.GLITCH
         )
+        dispatch = None
+        if self.fleet is not None:
+            from repro.service.fleet import fleet_exact_dispatch
+
+            self.fleet.register_job(job_id, spec.to_dict())
+            dispatch = fleet_exact_dispatch(self.fleet, job_id, should_stop)
         report = run_exact_analysis(
             built.dut,
             model,
@@ -608,6 +654,7 @@ class JobRunner:
             resume=True,
             hook=hook,
             should_stop=should_stop,
+            dispatch=dispatch,
         )
         if report.status == "truncated:cancelled":
             if cancel_event.is_set():

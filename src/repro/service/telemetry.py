@@ -52,6 +52,13 @@ COUNTED_EVENTS = frozenset(
         "job_restarted",
         "job_dead_letter",
         "watchdog_stalled",
+        "lease_granted",
+        "lease_expired",
+        "lease_completed",
+        "lease_duplicate",
+        "fleet_bad_result",
+        "fleet_item_failed",
+        "quota_rejected",
         "degraded_serial",
         "degradation",
         "store_corruption",

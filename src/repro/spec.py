@@ -50,8 +50,21 @@ _ENGINES = ("compiled", "bitsliced")
 #: tests/test_certify_shards.py -- shard counts merge to exactly the
 #: serial histogram, so the shard size is pure execution detail).
 EXECUTION_FIELDS = frozenset(
-    {"engine", "workers", "chunk_size", "slice", "shard_lane_bits"}
+    {
+        "engine",
+        "workers",
+        "chunk_size",
+        "slice",
+        "shard_lane_bits",
+        "tenant",
+        "priority",
+    }
 )
+
+#: Admission priority lanes accepted by the service (must mirror
+#: :data:`repro.service.queue.PRIORITIES`; duplicated here so the spec
+#: module stays import-light).
+_PRIORITIES = ("high", "normal", "low")
 
 #: Exact-enumeration fields; part of the cache identity only when
 #: ``mode == "exact"`` (the budget decides which probes get verdicts).
@@ -125,6 +138,13 @@ class EvaluationSpec:
     #: lanes per shard as a power of two; pure execution detail (sharded
     #: counts merge bit-identically to serial for any value).
     shard_lane_bits: int = 16
+    # -- admission (never part of the cache identity) ----------------------
+    #: tenant name for per-tenant admission quotas; pure admission detail
+    #: -- two tenants submitting the same spec share one cached verdict.
+    tenant: str = "default"
+    #: admission priority lane ("high" > "normal" > "low"); low-priority
+    #: work is shed first under queue backpressure.
+    priority: str = "normal"
 
     # ------------------------------------------------------------- parsing
 
@@ -202,6 +222,8 @@ class EvaluationSpec:
             max_budget_factor=get("adaptive_cap", 1.0),
             max_enum_bits=get("max_enum_bits", 24),
             shard_lane_bits=get("shard_lane_bits", 16),
+            tenant=get("tenant", "default"),
+            priority=get("priority", "normal"),
         )
         spec.validate()
         return spec
@@ -273,6 +295,18 @@ class EvaluationSpec:
             1 <= self.shard_lane_bits <= 32
         ):
             raise SpecError("shard_lane_bits must be an integer in [1, 32]")
+        if (
+            not isinstance(self.tenant, str)
+            or not self.tenant
+            or len(self.tenant) > 64
+        ):
+            raise SpecError(
+                "tenant must be a non-empty string of at most 64 characters"
+            )
+        if self.priority not in _PRIORITIES:
+            raise SpecError(
+                f"priority must be one of {list(_PRIORITIES)}"
+            )
 
     # ------------------------------------------------------- serialization
 

@@ -1,0 +1,207 @@
+"""Tests for elastic admission: quotas, priority lanes, backpressure.
+
+The runner is deliberately **not** started in most of these tests --
+admitted jobs stay ``queued`` forever, which makes capacity arithmetic
+exact: with ``queue_limit=N``, a burst of distinct specs must split into
+exactly N accepts and burst-N rejections, no matter how the threads
+interleave.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import EvaluationService, QueueFull, QuotaExceeded
+from repro.service.queue import JobQueue
+
+
+def _spec(seed, **overrides):
+    body = {
+        "design": "kronecker",
+        "scheme": "eq6",
+        "n_simulations": 20_000,
+        "seed": seed,
+    }
+    body.update(overrides)
+    return body
+
+
+@pytest.fixture()
+def idle_service(tmp_path):
+    """Service with admission wired up but no runner consuming the queue."""
+
+    def build(**kwargs):
+        kwargs.setdefault("queue_limit", 4)
+        service = EvaluationService(
+            str(tmp_path / "state"), port=0, **kwargs
+        )
+        services.append(service)
+        return service
+
+    services = []
+    yield build
+    for service in services:
+        service.httpd.server_close()
+        service.telemetry.close()
+
+
+class TestBackpressure:
+    def test_exact_accept_reject_split_under_concurrency(self, idle_service):
+        """queue_limit=4, 12 concurrent distinct specs -> exactly 4/8."""
+        service = idle_service(queue_limit=4)
+        outcomes = []
+        outcomes_lock = threading.Lock()
+        barrier = threading.Barrier(12)
+
+        def submit(seed):
+            barrier.wait()
+            try:
+                status, _ = service.submit(_spec(seed))
+                result = status
+            except QueueFull:
+                result = 429
+            with outcomes_lock:
+                outcomes.append(result)
+
+        threads = [
+            threading.Thread(target=submit, args=(seed,))
+            for seed in range(12)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert sorted(outcomes) == [201] * 4 + [429] * 8
+        metrics = service.metrics()
+        assert metrics["queue"]["depth"] == 4
+        # Rejected submissions leave a terminal record, not a ghost job.
+        assert metrics["jobs"].get("failed", 0) == 8
+
+    def test_rejection_carries_retry_after(self, idle_service):
+        service = idle_service(queue_limit=1)
+        assert service.submit(_spec(1))[0] == 201
+        with pytest.raises(QueueFull) as exc_info:
+            service.submit(_spec(2))
+        assert exc_info.value.retry_after > 0
+
+    def test_http_429_sets_retry_after_header(self, idle_service):
+        service = idle_service(queue_limit=1)
+        serve = threading.Thread(
+            target=service.httpd.serve_forever, daemon=True
+        )
+        serve.start()
+        try:
+
+            def post(seed):
+                request = urllib.request.Request(
+                    f"{service.address}/v1/jobs",
+                    data=json.dumps(_spec(seed)).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                return urllib.request.urlopen(request, timeout=30)
+
+            with post(1) as resp:
+                assert resp.status == 201
+            with pytest.raises(urllib.error.HTTPError) as exc_info:
+                post(2)
+            error = exc_info.value
+            assert error.code == 429
+            assert float(error.headers["Retry-After"]) > 0
+            body = json.loads(error.read())
+            assert body["retry_after"] > 0
+        finally:
+            service.httpd.shutdown()
+
+
+class TestPriorityLanes:
+    def test_lanes_drain_high_before_normal_before_low(self, idle_service):
+        service = idle_service(queue_limit=8)
+        ids = {}
+        for seed, priority in enumerate(("low", "normal", "high"), start=1):
+            _, record = service.submit(_spec(seed, priority=priority))
+            ids[priority] = record["job_id"]
+        by_priority = service.metrics()["queue"]["by_priority"]
+        assert by_priority == {"high": 1, "normal": 1, "low": 1}
+        drained = [service.queue.get(timeout=0.1) for _ in range(3)]
+        assert drained == [ids["high"], ids["normal"], ids["low"]]
+
+    def test_distinct_priorities_are_not_deduplicated(self, idle_service):
+        """priority is an execution field: same verdict, separate jobs?  No
+        -- it must NOT affect the cache key, so the second submit dedupes
+        onto the first despite the different lane."""
+        service = idle_service(queue_limit=8)
+        status1, record1 = service.submit(_spec(5, priority="low"))
+        status2, record2 = service.submit(_spec(5, priority="high"))
+        assert (status1, status2) == (201, 200)
+        assert record2["job_id"] == record1["job_id"]
+        assert record2["deduplicated"] is True
+
+    def test_low_priority_shed_before_capacity(self, idle_service):
+        """With maxsize=4 the low lane sheds at depth 2; normal traffic
+        still fills to capacity."""
+        service = idle_service(queue_limit=4)
+        assert service.submit(_spec(1, priority="low"))[0] == 201
+        assert service.submit(_spec(2, priority="low"))[0] == 201
+        with pytest.raises(QueueFull):
+            service.submit(_spec(3, priority="low"))
+        assert service.submit(_spec(4))[0] == 201
+        assert service.submit(_spec(5))[0] == 201
+        with pytest.raises(QueueFull):
+            service.submit(_spec(6))
+
+    def test_queue_rejects_unknown_priority(self):
+        queue = JobQueue(maxsize=4)
+        with pytest.raises(Exception):
+            queue.put("job-x", priority="urgent")
+
+
+class TestDeduplication:
+    def test_concurrent_identical_specs_admit_exactly_once(
+        self, idle_service
+    ):
+        service = idle_service(queue_limit=32)
+        results = []
+        results_lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def submit():
+            barrier.wait()
+            status, record = service.submit(_spec(99))
+            with results_lock:
+                results.append((status, record["job_id"]))
+
+        threads = [threading.Thread(target=submit) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        statuses = sorted(status for status, _ in results)
+        assert statuses == [200] * 7 + [201]
+        assert len({job_id for _, job_id in results}) == 1
+        assert len(service.queue) == 1
+
+
+class TestTenantQuota:
+    def test_quota_caps_active_jobs_per_tenant(self, idle_service):
+        service = idle_service(queue_limit=16, tenant_quota=2)
+        assert service.submit(_spec(1, tenant="alice"))[0] == 201
+        assert service.submit(_spec(2, tenant="alice"))[0] == 201
+        with pytest.raises(QuotaExceeded):
+            service.submit(_spec(3, tenant="alice"))
+        # Another tenant is unaffected; QuotaExceeded is a QueueFull, so
+        # HTTP clients see the same 429 + Retry-After contract.
+        assert service.submit(_spec(3, tenant="bob"))[0] == 201
+        assert issubclass(QuotaExceeded, QueueFull)
+        assert service.metrics()["admission"]["tenant_quota"] == 2
+
+    def test_quota_rejection_is_observable(self, idle_service):
+        service = idle_service(queue_limit=16, tenant_quota=1)
+        service.submit(_spec(1, tenant="carol"))
+        with pytest.raises(QuotaExceeded):
+            service.submit(_spec(2, tenant="carol"))
+        assert service.telemetry.counters().get("quota_rejected") == 1
