@@ -4,8 +4,17 @@ Runs the E3 configuration (masked S-box, Eq. (6) randomness, glitch-extended
 probes) as a serial campaign and again with a worker pool, asserts the two
 produce **bit-identical** G-test statistics, and writes a machine-readable
 JSON record of wall-clock times and simulations-per-second so the repo's
-performance trajectory has a baseline.  Also times one chunk under each
-simulation engine (interpreting bitsliced vs compiled gate program).
+performance trajectory has a baseline.  Also times one chunk under every
+registered simulation engine.
+
+The parallel leg picks its strategy from the engine: with ``--engine
+native`` the campaign stays single-process and hands ``--workers`` to the
+fused kernel's internal pthread pool (``parallel_strategy:
+in_kernel_threads``) -- on a 1-CPU host this replaces the fork/pickle
+process pool whose overhead once produced a 0.801x "speedup".  Other
+engines use the historical process pool (``parallel_strategy:
+process_pool``, degrading to serial when the pool collapses to one
+effective worker).
 
 Usage (CI runs this with ``--require-speedup 2.5`` on a 4-core runner)::
 
@@ -25,10 +34,12 @@ import os
 import sys
 import time
 
+from repro import engines as engine_registry
 from repro.cli import _scheme
 from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
 from repro.leakage.evaluator import LeakageEvaluator
 from repro.leakage.model import ProbingModel
+from repro.netlist.native import native_available
 
 
 def _build(design: str, scheme: str):
@@ -77,6 +88,10 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int,
                         default=max(1, os.cpu_count() or 1))
     parser.add_argument("--seed", type=int, default=3)
+    parser.add_argument("--engine", default=engine_registry.DEFAULT_ENGINE,
+                        choices=engine_registry.engine_names(),
+                        help="engine for the parallel leg (native engages "
+                             "in-kernel threads instead of a process pool)")
     parser.add_argument("--out", default="BENCH_parallel.json")
     parser.add_argument("--require-speedup", type=float, default=None,
                         help="fail (exit 2) unless parallel/serial speedup "
@@ -90,11 +105,14 @@ def main(argv=None) -> int:
         f"{os.cpu_count()} cpu(s)"
     )
 
-    # Engine comparison on a reduced budget (both serial): how much the
-    # compiled gate program buys over the interpreting simulator.
+    # Engine comparison on a reduced budget (all serial): one chunk under
+    # every registered engine, skipping native when the toolchain is out.
     engine_budget = min(args.simulations, 20_000)
     engines = {}
-    for engine in ("bitsliced", "compiled"):
+    for engine in engine_registry.engine_names():
+        if engine == "native" and not native_available():
+            print(f"  engine {engine:<10}     skip (toolchain unavailable)")
+            continue
         ev = LeakageEvaluator(
             dut, ProbingModel.GLITCH, seed=args.seed, engine=engine
         )
@@ -106,22 +124,42 @@ def main(argv=None) -> int:
 
     serial_report, serial_s, _ = _run_campaign(dut, args, 1, "compiled")
     print(f"  serial   (workers=1)            {serial_s:8.2f}s")
-    parallel_report, parallel_s, effective = _run_campaign(
-        dut, args, args.workers, "compiled"
-    )
+
+    in_kernel = args.engine == "native" and native_available()
+    if in_kernel:
+        # The native engine parallelises inside one foreign call: the
+        # campaign stays single-process and the kernel's pthread pool
+        # takes the worker budget, so there is no fork/pickle tax.
+        strategy = "in_kernel_threads"
+        os.environ["REPRO_NATIVE_THREADS"] = str(args.workers)
+        try:
+            parallel_report, parallel_s, _ = _run_campaign(
+                dut, args, 1, "native"
+            )
+        finally:
+            os.environ.pop("REPRO_NATIVE_THREADS", None)
+        effective = args.workers
+    else:
+        strategy = "process_pool"
+        parallel_report, parallel_s, effective = _run_campaign(
+            dut, args, args.workers, args.engine
+        )
     print(
-        f"  parallel (workers={args.workers}, effective={effective})"
-        f"            {parallel_s:8.2f}s"
+        f"  parallel (workers={args.workers}, effective={effective}, "
+        f"strategy={strategy})            {parallel_s:8.2f}s"
     )
 
     identical = _signature(serial_report) == _signature(parallel_report)
     speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
-    # The campaign degrades to serial when the requested pool collapses to
-    # a single effective worker (e.g. a 1-CPU host): the historical 0.801x
-    # "speedup" was pure fork/pickle overhead.  Record the degradation so
-    # the JSON explains itself, and waive the speedup gate -- this host
-    # cannot demonstrate parallelism, and the serial fallback is the fix.
-    degraded_serial = args.workers > 1 and effective == 1
+    # The process-pool campaign degrades to serial when the requested pool
+    # collapses to a single effective worker (e.g. a 1-CPU host): the
+    # historical 0.801x "speedup" was pure fork/pickle overhead.  Record
+    # the degradation so the JSON explains itself, and waive the speedup
+    # gate -- ``--engine native`` is the fix on such hosts, keeping the
+    # parallelism inside the kernel.
+    degraded_serial = strategy == "process_pool" and (
+        args.workers > 1 and effective == 1
+    )
     record = {
         "benchmark": "E3-parallel-campaign",
         "design": args.design,
@@ -131,6 +169,8 @@ def main(argv=None) -> int:
         "effective_workers": effective,
         "cpu_count": os.cpu_count(),
         "seed": args.seed,
+        "engine": args.engine,
+        "parallel_strategy": strategy,
         "engine_seconds": {
             name: round(secs, 4) for name, secs in engines.items()
         },

@@ -16,11 +16,15 @@ simulation:
   seconds before/after the re-slice plus the sliced-vs-full wall clock.
 
 Usage (CI's ``slice-smoke`` job runs this at the default 6000 lanes and
-gates at ``--require-speedup 4.0``, leaving headroom for slower runners;
-the committed record is generated locally at ``--require-speedup 5``)::
+gates at ``--require-speedup 1.5``; the committed record is generated
+locally at the same gate.  The gate dropped from 4.0 when the unsliced
+baseline moved from the interpreting ``bitsliced`` engine to the
+registry default ``compiled`` engine -- the sliced wall clock is
+unchanged, the full leg simply got ~3x faster, so the *ratio* shrank
+while both legs improved)::
 
     PYTHONPATH=src python benchmarks/bench_slice.py \
-        --lanes 6000 --require-speedup 5 --out BENCH_slice.json
+        --lanes 6000 --require-speedup 1.5 --out BENCH_slice.json
 
 Exit codes: 0 success, 1 sliced/full mismatch (a correctness bug), 2
 speedup below ``--require-speedup``.
@@ -90,7 +94,7 @@ def bench_e11(lanes: int) -> dict:
         return evaluator, report, time.perf_counter() - start
 
     evaluator, sliced_report, sliced_seconds = run(True)
-    _, full_report, full_seconds = run(False)
+    full_evaluator, full_report, full_seconds = run(False)
     bit_identical = sliced_report.to_dict() == full_report.to_dict()
 
     # Simulated traces per second: both groups, all lanes, per run.
@@ -109,6 +113,7 @@ def bench_e11(lanes: int) -> dict:
         "verdict": "PASS" if sliced_report.passed else "FAIL",
         "max_mlog10p": round(sliced_report.max_mlog10p, 2),
         "slice": evaluator.last_slice_info,
+        "full_engine": (full_evaluator.last_slice_info or {}).get("engine"),
     }
 
 

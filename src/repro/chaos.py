@@ -89,6 +89,7 @@ CHAOS_SITES = (
     "runner.chunk",
     "fleet.lease",
     "fleet.complete",
+    "engine.native_build",
 )
 
 #: Fault kinds each site can draw.  IO kinds raise :class:`InjectedFault`;
@@ -107,6 +108,7 @@ SITE_KINDS: Dict[str, Tuple[str, ...]] = {
     "runner.chunk": ("hang",),
     "fleet.lease": ("oserror",),
     "fleet.complete": ("oserror", "truncate", "garbage", "bitflip"),
+    "engine.native_build": ("fail",),
 }
 
 _IO_ERRNO = {"oserror": errno.EIO, "enospc": errno.ENOSPC}

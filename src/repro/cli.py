@@ -41,6 +41,7 @@ import random
 import sys
 from typing import Optional, Sequence
 
+from repro import engines as engine_registry
 from repro.aes.cipher import aes128_encrypt_block
 from repro.core.aes_masked import MaskedAes128
 from repro.errors import ReproError, ServiceError
@@ -188,6 +189,7 @@ def _run_exact_spec(spec: EvaluationSpec, args) -> int:
         fixed_secret=spec.fixed_secret,
         checkpoint=getattr(args, "checkpoint", None),
         resume=getattr(args, "resume", False),
+        engine=spec.engine,
     )
     if args.json:
         print(report.to_json(top=args.top))
@@ -205,7 +207,9 @@ def _run_exact_spec(spec: EvaluationSpec, args) -> int:
 def cmd_exact(args) -> int:
     """Run the exact Kronecker sweep; exit 1 on leakage."""
     dut, _ = _build("kronecker", args.scheme)
-    analyzer = ExactAnalyzer(dut, max_enum_bits=args.max_bits)
+    analyzer = ExactAnalyzer(
+        dut, max_enum_bits=args.max_bits, engine=args.engine
+    )
     report = analyzer.analyze()
     print(report.format_summary(top=args.top))
     return 0 if report.passed else 1
@@ -544,9 +548,11 @@ def _add_spec_arguments(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workers", type=int, default=1,
                    help="worker processes (results are bit-identical "
                         "to --workers 1)")
-    p.add_argument("--engine", default="compiled",
-                   choices=("compiled", "bitsliced"),
-                   help="simulation engine (results are bit-identical)")
+    p.add_argument("--engine", default=engine_registry.DEFAULT_ENGINE,
+                   choices=engine_registry.engine_names(),
+                   help="simulation engine from the repro.engines registry "
+                        "(results are bit-identical; unavailable engines "
+                        "degrade down the ladder)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--slice", action=argparse.BooleanOptionalAction, default=True,
@@ -634,9 +640,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pairs", action="store_true",
                    help="second-order (probe-pair) evaluation")
     p.add_argument("--max-pairs", type=int, default=500)
-    p.add_argument("--engine", default="compiled",
-                   choices=("compiled", "bitsliced"),
-                   help="simulation engine (results are bit-identical)")
+    p.add_argument("--engine", default=engine_registry.DEFAULT_ENGINE,
+                   choices=engine_registry.engine_names(),
+                   help="simulation engine from the repro.engines registry "
+                        "(results are bit-identical; unavailable engines "
+                        "degrade down the ladder)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable output")
     p.add_argument("--seed", type=int, default=0)
@@ -705,6 +713,10 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("exact", help="exact Kronecker probe sweep")
     p.add_argument("--scheme", default="full")
     p.add_argument("--max-bits", type=int, default=23)
+    p.add_argument("--engine", default=engine_registry.DEFAULT_ENGINE,
+                   choices=engine_registry.engine_names(),
+                   help="simulation engine from the repro.engines registry "
+                        "(results are bit-identical)")
     p.add_argument("--top", type=int, default=10)
     p.set_defaults(func=cmd_exact)
 

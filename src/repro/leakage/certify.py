@@ -40,6 +40,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import engines as engine_registry
 from repro.errors import (
     CheckpointCorrupt,
     CheckpointError,
@@ -146,9 +147,10 @@ _WORKER_ANALYZER: Optional[ExactAnalyzer] = None
 
 def _init_exact_worker(payload: bytes) -> None:
     global _WORKER_ANALYZER
-    dut, model, max_enum_bits, max_window = pickle.loads(payload)
+    dut, model, max_enum_bits, max_window, engine = pickle.loads(payload)
     _WORKER_ANALYZER = ExactAnalyzer(
-        dut, model, max_enum_bits=max_enum_bits, max_window=max_window
+        dut, model, max_enum_bits=max_enum_bits, max_window=max_window,
+        engine=engine,
     )
 
 
@@ -186,9 +188,11 @@ class ShardedExactAnalyzer:
         shard_lane_bits: int = DEFAULT_SHARD_LANE_BITS,
         max_window: int = 12,
         checkpoint_every: int = 8,
+        engine: str = engine_registry.DEFAULT_ENGINE,
     ):
         self.analyzer = ExactAnalyzer(
-            dut, model, max_enum_bits=max_enum_bits, max_window=max_window
+            dut, model, max_enum_bits=max_enum_bits, max_window=max_window,
+            engine=engine,
         )
         self.shard_lane_bits = shard_lane_bits
         self.checkpoint_every = max(1, checkpoint_every)
@@ -518,6 +522,7 @@ class ShardedExactAnalyzer:
                 self.analyzer.model,
                 self.analyzer.max_enum_bits,
                 self.analyzer.max_window,
+                self.analyzer.engine,
             )
         )
         merged: Set[Tuple[int, int]] = set()
@@ -587,15 +592,17 @@ def run_exact_analysis(
     hook: Optional[Hook] = None,
     should_stop: Optional[Callable[[], bool]] = None,
     dispatch: Optional[Callable] = None,
+    engine: str = engine_registry.DEFAULT_ENGINE,
 ) -> ExactReport:
     """One-call sharded exact sweep (the ``mode="exact"`` service path)."""
-    engine = ShardedExactAnalyzer(
+    sharded = ShardedExactAnalyzer(
         dut,
         model,
         max_enum_bits=max_enum_bits,
         shard_lane_bits=shard_lane_bits,
+        engine=engine,
     )
-    return engine.analyze(
+    return sharded.analyze(
         fixed_secret=fixed_secret,
         workers=workers,
         checkpoint=checkpoint,

@@ -42,6 +42,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import engines as engine_registry
 from repro.errors import SimulationError
 from repro.leakage.dut import DesignUnderTest
 from repro.leakage.gtest import DEFAULT_THRESHOLD, GTestResult, g_test_from_counts
@@ -49,8 +50,8 @@ from repro.leakage.model import ProbingModel
 from repro.leakage.probes import ProbeClass, extract_probe_classes
 from repro.leakage.report import LeakageReport, ProbeResult
 from repro.leakage.traces import StimulusGenerator
-from repro.netlist.compile import CompiledSimulator, netlist_content_hash
-from repro.netlist.simulate import BitslicedSimulator, Trace, unpack_lanes
+from repro.netlist.compile import netlist_content_hash
+from repro.netlist.simulate import Trace, unpack_lanes
 
 #: Lanes per sampling block (64 uint64 words).  The RNG stream of a block is
 #: a pure function of (seed, group, block index), so evaluation results are
@@ -187,7 +188,7 @@ class LeakageEvaluator:
         hash_bits: int = 10,
         observation: str = "tuple",
         block_lanes: int = BLOCK_LANES,
-        engine: str = "compiled",
+        engine: str = engine_registry.DEFAULT_ENGINE,
         slice_cones: bool = True,
     ):
         if observation not in ("tuple", "hamming"):
@@ -198,18 +199,21 @@ class LeakageEvaluator:
             raise SimulationError(
                 "block_lanes must be a positive multiple of 64"
             )
-        if engine not in ("compiled", "bitsliced"):
-            raise SimulationError("engine must be 'compiled' or 'bitsliced'")
+        try:
+            engine_registry.get_engine(engine)
+        except engine_registry.EngineError as exc:
+            raise SimulationError(str(exc)) from None
         self.dut = dut
         self.model = model
         self.seed = seed
         self.max_support_bits = max_support_bits
         self.hash_bits = hash_bits
         self.block_lanes = block_lanes
-        # Both engines are bit-identical (see tests/test_cross_engine.py);
-        # "compiled" executes the netlist as a flat gate program with one
-        # vectorized dispatch per cell type per level, "bitsliced" pays one
-        # Python dispatch per gate and exists as the reference.
+        # Any engine registered in repro.engines; all are bit-identical
+        # (see tests/test_cross_engine.py), so the choice only trades
+        # wall-clock.  Construction failures walk the registry's
+        # degradation ladder (native -> compiled -> bitsliced) and are
+        # recorded in :attr:`degradations`.
         self.engine = engine
         # Cone slicing restricts each simulated block to the sequential
         # fan-in cone of the currently-active probe supports (see
@@ -303,51 +307,54 @@ class LeakageEvaluator:
         """
         return netlist_content_hash(self.dut.netlist)
 
+    def _on_degrade(self, from_info, to_info, exc) -> None:
+        """Record one rung of the engine degradation ladder permanently."""
+        self.engine = to_info.name
+        self.degradations.append(
+            {
+                "kind": f"engine_{to_info.name}",
+                "detail": (
+                    f"{from_info.name} engine unavailable ({exc}); "
+                    f"continuing on the bit-identical {to_info.name} "
+                    "engine"
+                ),
+            }
+        )
+        warnings.warn(
+            f"{from_info.name} simulation engine failed ({exc}); "
+            f"degrading to the {to_info.name} engine with identical "
+            "results",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
     def _make_simulator(
-        self, lane_count: int, keep_nets: Optional[Sequence[int]] = None
+        self,
+        lane_count: int,
+        keep_nets: Optional[Sequence[int]] = None,
+        record_nets: Optional[Sequence[str]] = None,
     ):
         """Simulator instance for the configured engine.
 
-        A compiled-kernel construction failure (or an injected
+        An engine construction failure (no C toolchain for ``native``, a
+        compiled-kernel failure, or an injected "engine.native_build" /
         "engine.compile" chaos fault) degrades this evaluator permanently
-        to the bitsliced reference engine instead of failing the campaign:
-        the engines are bit-identical (tests/test_cross_engine.py), so the
-        verdict is unchanged and only the provenance records the slower
-        path.
+        down the registry's ladder (native -> compiled -> bitsliced)
+        instead of failing the campaign: the engines are bit-identical
+        (tests/test_cross_engine.py), so the verdict is unchanged and
+        only the provenance records the slower path.
         """
-        if self.engine == "compiled":
-            try:
-                plane = self.fault_plane
-                if plane is not None and plane.decide("engine.compile"):
-                    raise SimulationError(
-                        "injected compiled-kernel failure at chaos site "
-                        "'engine.compile'"
-                    )
-                return CompiledSimulator(
-                    self.dut.netlist, lane_count, keep_nets=keep_nets
-                )
-            except SimulationError as exc:
-                self.engine = "bitsliced"
-                self.degradations.append(
-                    {
-                        "kind": "engine_bitsliced",
-                        "detail": (
-                            "compiled kernel unavailable "
-                            f"({exc}); continuing on the bit-identical "
-                            "bitsliced reference engine"
-                        ),
-                    }
-                )
-                warnings.warn(
-                    f"compiled simulation kernel failed ({exc}); degrading "
-                    "to the bitsliced reference engine with identical "
-                    "results",
-                    RuntimeWarning,
-                    stacklevel=2,
-                )
-        return BitslicedSimulator(
-            self.dut.netlist, lane_count, keep_nets=keep_nets
+        plane = self.fault_plane
+        sim, info = engine_registry.build_simulator(
+            self.engine,
+            self.dut.netlist,
+            lane_count,
+            keep_nets=keep_nets,
+            record_nets=record_nets,
+            decide=plane.decide if plane is not None else None,
+            on_degrade=self._on_degrade,
         )
+        return sim
 
     def _simulate_block(
         self,
@@ -367,7 +374,9 @@ class LeakageEvaluator:
         runs sampling identical bits.
         """
         generator = StimulusGenerator(self.dut, (lane_count + 63) // 64)
-        trace_fixed = self._make_simulator(lane_count, keep_nets).run(
+        trace_fixed = self._make_simulator(
+            lane_count, keep_nets, record_nets=record_nets
+        ).run(
             generator.fixed(
                 fixed_secret, self._block_rng(HistogramAccumulator.GROUP_FIXED, block)
             ),
@@ -375,7 +384,9 @@ class LeakageEvaluator:
             record_nets=record_nets,
             record_cycles=record_cycles,
         )
-        trace_random = self._make_simulator(lane_count, keep_nets).run(
+        trace_random = self._make_simulator(
+            lane_count, keep_nets, record_nets=record_nets
+        ).run(
             generator.random(
                 self._block_rng(HistogramAccumulator.GROUP_RANDOM, block)
             ),
@@ -503,8 +514,9 @@ class LeakageEvaluator:
         """Accumulate observations for any probe selection into ``acc``.
 
         The single public accumulation entry point (the former
-        ``accumulate_first_order`` / ``accumulate_batched`` pair survives
-        as deprecated wrappers).  Per block both groups are simulated a
+        ``accumulate_first_order`` / ``accumulate_batched`` pair was
+        removed after its deprecation cycle).  Per block both groups are
+        simulated a
         single time, and all first-order classes (table ids ``c<i>``) plus
         all probe-pair tables (``p<i>:<j>:<delta>``, indices into the
         evaluator's own probe classes) are evaluated against the same
@@ -688,63 +700,6 @@ class LeakageEvaluator:
                     acc.add(
                         table_id, keys_random, HistogramAccumulator.GROUP_RANDOM
                     )
-
-    # ------------------------------------------------- deprecated wrappers
-
-    def accumulate_batched(
-        self,
-        acc: HistogramAccumulator,
-        fixed_secret: int,
-        n_lanes: int,
-        n_windows: int,
-        classes: Optional[Sequence[ProbeClass]] = None,
-        pairs: Sequence[Tuple[int, int]] = (),
-        pair_offsets: Sequence[int] = (0,),
-        blocks: Optional[Iterable[int]] = None,
-    ) -> None:
-        """Deprecated alias of :meth:`accumulate` (same table ids)."""
-        warnings.warn(
-            "LeakageEvaluator.accumulate_batched is deprecated; use "
-            "LeakageEvaluator.accumulate",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.accumulate(
-            acc,
-            fixed_secret,
-            n_lanes,
-            n_windows,
-            classes=classes,
-            pairs=pairs,
-            pair_offsets=pair_offsets,
-            blocks=blocks,
-        )
-
-    def accumulate_first_order(
-        self,
-        acc: HistogramAccumulator,
-        fixed_secret: int,
-        n_lanes: int,
-        n_windows: int,
-        blocks: Optional[Iterable[int]] = None,
-        classes: Optional[List[ProbeClass]] = None,
-    ) -> None:
-        """Deprecated alias of :meth:`accumulate` without pairs."""
-        warnings.warn(
-            "LeakageEvaluator.accumulate_first_order is deprecated; use "
-            "LeakageEvaluator.accumulate",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        self.accumulate(
-            acc,
-            fixed_secret,
-            n_lanes,
-            n_windows,
-            classes=classes,
-            pairs=(),
-            blocks=blocks,
-        )
 
     # ----------------------------------------------------------- first order
 

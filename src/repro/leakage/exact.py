@@ -38,12 +38,13 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
+from repro import engines as engine_registry
 from repro.errors import ExactAnalysisInfeasible
 from repro.leakage.dut import DesignUnderTest
 from repro.leakage.model import ProbingModel
 from repro.leakage.probes import ProbeClass, extract_probe_classes
 from repro.leakage.report import SCHEMA_VERSION
-from repro.netlist.simulate import BitslicedSimulator, unpack_lanes
+from repro.netlist.simulate import unpack_lanes
 from repro.netlist.topo import transitive_input_support
 
 Var = Tuple[object, int]  # (role key, age)
@@ -269,15 +270,37 @@ class ExactAnalyzer:
         model: ProbingModel = ProbingModel.GLITCH,
         max_enum_bits: int = 24,
         max_window: int = 12,
+        engine: str = engine_registry.DEFAULT_ENGINE,
     ):
         self.dut = dut
         self.model = model
         self.max_enum_bits = max_enum_bits
         self.max_window = max_window
+        # Simulation engine for shard enumeration, resolved through
+        # repro.engines; every registered engine is bit-identical, so
+        # shard counts (and hence certificates) never depend on it.
+        engine_registry.get_engine(engine)
+        self.engine = engine
+        #: degradation-ladder steps taken while building shard simulators.
+        self.degradations: List[Dict[str, str]] = []
         self.probe_classes, self.wide_classes = extract_probe_classes(
             dut.netlist, model, max_support_bits=40
         )
         self._roles = self._build_role_map()
+
+    def _on_degrade(self, from_info, to_info, exc) -> None:
+        """Record one engine degradation rung permanently (provenance)."""
+        self.engine = to_info.name
+        self.degradations.append(
+            {
+                "kind": f"engine_{to_info.name}",
+                "detail": (
+                    f"{from_info.name} engine unavailable ({exc}); "
+                    f"continuing on the bit-identical {to_info.name} "
+                    "engine"
+                ),
+            }
+        )
 
     # ------------------------------------------------------------- role map
 
@@ -482,7 +505,11 @@ class ExactAnalyzer:
                         )
             return values
 
-        simulator = BitslicedSimulator(netlist, n_lanes)
+        simulator, _ = engine_registry.build_simulator(
+            self.engine, netlist, n_lanes,
+            record_nets=probe_class.support,
+            on_degrade=self._on_degrade,
+        )
         record_cycles = {
             observe_cycle - back for back in probe_class.cycles_back
         }

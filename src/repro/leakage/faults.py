@@ -39,6 +39,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
+from repro import engines as engine_registry
 from repro.leakage.campaign import CampaignConfig, EvaluationCampaign
 from repro.leakage.dut import DesignUnderTest
 from repro.leakage.evaluator import LeakageEvaluator
@@ -283,7 +284,7 @@ def run_self_check(
     faults: Optional[List[FaultSpec]] = None,
     chunk_size: Optional[int] = None,
     workers: int = 1,
-    engine: str = "compiled",
+    engine: str = engine_registry.DEFAULT_ENGINE,
 ) -> SelfCheckMatrix:
     """Evaluate every fault spec and return the coverage matrix.
 

@@ -25,13 +25,14 @@ from typing import (
 
 import numpy as np
 
+from repro import engines as engine_registry
 from repro.leakage.evaluator import _mix_hash
 from repro.leakage.gtest import DEFAULT_THRESHOLD, g_test_batch
 from repro.leakage.model import ProbingModel
 from repro.leakage.probes import ProbeClass, extract_probe_classes
 from repro.leakage.report import LeakageReport, ProbeResult
 from repro.netlist.core import Netlist
-from repro.netlist.simulate import BitslicedSimulator, Trace, unpack_lanes
+from repro.netlist.simulate import Trace, unpack_lanes
 
 Stimulus = Callable[[int], Dict[int, np.ndarray]]
 
@@ -49,11 +50,20 @@ class PeriodicLeakageEvaluator:
         probe_nets: Optional[Iterable[int]] = None,
         slice_cones: bool = True,
         control_schedule: Optional[Mapping[int, Sequence[int]]] = None,
+        engine: str = engine_registry.DEFAULT_ENGINE,
     ):
         self.netlist = netlist
         self.period = period
         self.model = model
         self.hash_bits = hash_bits
+        # Engine for the unscheduled simulation path, resolved through
+        # repro.engines with the standard degradation ladder; the
+        # scheduled-cone path has its own dispatch machinery and ignores
+        # it.  All engines are bit-identical.
+        engine_registry.get_engine(engine)
+        self.engine = engine
+        #: degradation-ladder steps taken while building simulators.
+        self.degradations: List[Dict[str, str]] = []
         # Simulate only the fan-in cone of the probe supports
         # (bit-identical; see repro.netlist.slice).  A recirculating core
         # defeats the static cone -- its state registers feed themselves,
@@ -79,6 +89,20 @@ class PeriodicLeakageEvaluator:
         self.probe_classes, self.skipped_classes = extract_probe_classes(
             netlist, model, probe_nets=probe_nets,
             max_support_bits=max_support_bits,
+        )
+
+    def _on_degrade(self, from_info, to_info, exc) -> None:
+        """Record one engine degradation rung permanently (provenance)."""
+        self.engine = to_info.name
+        self.degradations.append(
+            {
+                "kind": f"engine_{to_info.name}",
+                "detail": (
+                    f"{from_info.name} engine unavailable ({exc}); "
+                    f"continuing on the bit-identical {to_info.name} "
+                    "engine"
+                ),
+            }
         )
 
     def evaluate(
@@ -142,8 +166,11 @@ class PeriodicLeakageEvaluator:
             }
         else:
             for stimulus in (stimulus_fixed, stimulus_random):
-                simulator = BitslicedSimulator(
-                    self.netlist, n_lanes, keep_nets=keep_nets
+                simulator, info = engine_registry.build_simulator(
+                    self.engine, self.netlist, n_lanes,
+                    keep_nets=keep_nets,
+                    record_nets=record_nets,
+                    on_degrade=self._on_degrade,
                 )
                 traces.append(
                     simulator.run(
@@ -152,12 +179,15 @@ class PeriodicLeakageEvaluator:
                     )
                 )
             if keep_nets is not None:
-                cone = simulator._cone
+                cone = getattr(simulator, "_cone", None)
                 self.last_slice_info = {
                     "mode": "static",
+                    "engine": info.name,
                     "cone_nets": len(cone) if cone is not None else None,
                     "n_nets": self.netlist.n_nets,
                 }
+            else:
+                self.last_slice_info = {"mode": "full", "engine": info.name}
         trace_fixed, trace_random = traces
 
         report = LeakageReport(

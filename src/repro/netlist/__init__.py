@@ -24,6 +24,14 @@ from repro.netlist.compile import (
     program_cache_info,
     set_program_cache_capacity,
 )
+from repro.netlist.native import (
+    NativeSimulator,
+    clear_native_kernel_cache,
+    native_available,
+    native_default_threads,
+    native_kernel_cache_info,
+    native_unavailable_reason,
+)
 from repro.netlist.slice import (
     ScheduledSimulator,
     SliceStats,
@@ -51,6 +59,12 @@ __all__ = [
     "transitive_input_support",
     "BitslicedSimulator",
     "CompiledSimulator",
+    "NativeSimulator",
+    "native_available",
+    "native_unavailable_reason",
+    "native_default_threads",
+    "native_kernel_cache_info",
+    "clear_native_kernel_cache",
     "GateProgram",
     "compile_netlist",
     "netlist_content_hash",

@@ -1,0 +1,950 @@
+"""Native fused-kernel execution of compiled gate programs.
+
+The :class:`~repro.netlist.compile.CompiledSimulator` still pays one numpy
+dispatch per cell type per level per cycle -- interpreter overhead that
+dominates when the word count is small (a 64-lane block is a single
+uint64 word).  This module goes the rest of the way: it generates C
+source from a :class:`~repro.netlist.compile.GateProgram`'s levelized
+dispatch table -- every op group becomes a plain ``for`` loop over baked
+static index arrays -- compiles it to a shared object with the system C
+compiler, and drives the **entire multi-cycle simulation in one foreign
+call** through ``cffi``'s ``ffi.dlopen``.
+
+Lane words are embarrassingly parallel: every per-word quantity (gate
+outputs, register state, constants, recorded words) depends only on its
+own word column, so the kernel splits the word range across an internal
+pthread pool with zero synchronization inside a cycle.  Thread-level
+parallelism inside one call sidesteps the process fork/pickle overhead
+that made the process-pool executor *slower* than serial on small hosts
+(``BENCH_parallel.json``'s historical 0.8x).
+
+Build products are cached twice: compiled ``.so`` files on disk keyed by
+a content digest of the generated source (itself derived from the
+program's content hash, so the existing program cache keying carries
+over -- full programs by netlist hash, cone slices by slice key), and
+``dlopen`` handles in a bounded per-process LRU exposed through
+:func:`native_kernel_cache_info` and the service ``/metrics`` endpoint.
+
+:class:`NativeSimulator` is a drop-in replacement for
+:class:`CompiledSimulator` -- same constructor shape (including
+``keep_nets`` cone slicing), same ``run`` contract, same
+:class:`~repro.netlist.simulate.Trace` output, **bit-identical** words.
+Construction raises :class:`~repro.errors.SimulationError` when no C
+toolchain (or ``cffi``) is available; callers degrade down the
+:mod:`repro.engines` ladder (native -> compiled -> bitsliced) and record
+the degradation.  Set ``REPRO_NATIVE_DISABLE=1`` to force the
+unavailable leg (CI's no-toolchain job).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import operator
+import os
+import shutil
+import subprocess
+import tempfile
+import threading
+from collections import OrderedDict
+from typing import Iterable, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.netlist.cells import CellType
+from repro.netlist.compile import GateProgram, compile_netlist
+from repro.netlist.core import Netlist
+from repro.netlist.simulate import Stimulus, Trace, words_for_lanes
+
+__all__ = [
+    "NativeSimulator",
+    "native_available",
+    "native_unavailable_reason",
+    "native_default_threads",
+    "generate_kernel_source",
+    "build_kernel",
+    "native_kernel_cache_info",
+    "clear_native_kernel_cache",
+    "NativeKernelCacheInfo",
+]
+
+#: Bumping this invalidates every cached kernel (source digest changes).
+_CODEGEN_VERSION = 3
+
+#: Upper bound on kernel threads (also baked into the C thread arrays).
+_MAX_THREADS = 64
+
+#: Words simulated per cache tile.  The kernel runs the whole multi-cycle
+#: simulation tile-by-tile against a compact ``n_rows x TILE`` state
+#: buffer: word columns are fully independent, so a narrow tile keeps the
+#: entire working set (~n_rows * 32 bytes) inside L2 while the constant
+#: stride lets the compiler unroll and vectorize every gate loop.
+_TILE_WORDS = 4
+
+_CDEF = """
+int repro_run(const uint64_t *stim, uint64_t *rec,
+              const int64_t *rec_rows, int64_t n_rec,
+              const int64_t *rec_slot, int64_t n_cycles,
+              int64_t n_words, int64_t n_threads);
+"""
+
+# ------------------------------------------------------------ availability
+
+
+def _find_cc() -> Optional[str]:
+    """The C compiler to use, or None when no toolchain is on PATH."""
+    env_cc = os.environ.get("CC")
+    if env_cc:
+        return shutil.which(env_cc) or None
+    for candidate in ("cc", "gcc", "clang"):
+        found = shutil.which(candidate)
+        if found:
+            return found
+    return None
+
+
+def native_unavailable_reason() -> Optional[str]:
+    """None when the native engine can build kernels, else why not."""
+    if os.environ.get("REPRO_NATIVE_DISABLE"):
+        return "native engine disabled via REPRO_NATIVE_DISABLE"
+    try:
+        import cffi  # noqa: F401
+    except ImportError:
+        return "cffi is not installed"
+    if _find_cc() is None:
+        return "no C compiler found (checked $CC, cc, gcc, clang)"
+    return None
+
+
+def native_available() -> bool:
+    """True when kernels can be generated, compiled and loaded."""
+    return native_unavailable_reason() is None
+
+
+def native_default_threads() -> int:
+    """Kernel thread-pool width: ``REPRO_NATIVE_THREADS`` or cpu count.
+
+    The kernel additionally clamps to the word count, so a 64-lane block
+    (one word) always runs single-threaded regardless of this value.
+    """
+    env = os.environ.get("REPRO_NATIVE_THREADS")
+    if env:
+        try:
+            return max(1, min(int(env), _MAX_THREADS))
+        except ValueError:
+            pass
+    return max(1, min(os.cpu_count() or 1, _MAX_THREADS))
+
+
+# ------------------------------------------------------- state-slot plan
+
+
+class RowPlan(NamedTuple):
+    """Kernel state-slot assignment for one program.
+
+    ``slot_of[row]`` maps a program state row to its kernel slot (``-1``
+    for rows the kernel never touches); ``pinned[row]`` marks rows whose
+    slot is exclusive for the whole cycle -- only those are recordable.
+    ``orders[g]`` is the emission permutation of op group ``g``: cells
+    within a level are mutually independent, so each group is reordered
+    by the definition recency of its first operand, which clusters loads
+    on recently-written (cache-hot) slots.  The liveness allocation below
+    is computed over this same order, so slot reuse stays sound.
+    """
+
+    slot_of: np.ndarray
+    pinned: np.ndarray
+    n_slots: int
+    orders: tuple
+
+
+_ROW_PLANS: "OrderedDict[tuple, RowPlan]" = OrderedDict()
+_ROW_PLAN_CAP = 32
+
+
+def _compute_row_plan(
+    program: GateProgram, pinned_rows: Optional[np.ndarray]
+) -> RowPlan:
+    """Liveness-based slot reuse over the levelized cell schedule.
+
+    The full AES core holds ~21k nets but only ~3k are *stable*
+    (probeable); the remaining intermediate rows are written and fully
+    consumed within a handful of levels.  Pinning inputs, constants,
+    register rows and the caller's recordable rows while recycling every
+    other row through a LIFO free stack shrinks the per-tile working set
+    by several fold -- the hot top-of-stack slots stay L1-resident
+    instead of streaming the whole state array through L2 every level.
+
+    Reuse is safe because the schedule is identical every cycle and
+    levelization guarantees def-before-use: a non-pinned row's live
+    range is ``[def, last read]`` inside a single cycle, and nothing
+    reads it across the cycle boundary (records and register captures
+    only touch pinned rows).  ``pinned_rows=None`` pins everything
+    (identity-equivalent plan, every row recordable).
+    """
+    n = program.n_state_rows
+    pinned = np.zeros(max(n, 1), dtype=bool)
+    if pinned_rows is None:
+        pinned[:] = True
+    else:
+        if pinned_rows.size:
+            pinned[pinned_rows] = True
+        if program.input_nets:
+            pinned[
+                [program.state_row(pi) for pi in program.input_nets]
+            ] = True
+        if program.const1.size:
+            pinned[program.const1] = True
+        if program.dff_d.size:
+            pinned[program.dff_d] = True
+            pinned[program.dff_q] = True
+
+    # Definition position of every row in the unsorted schedule, used as
+    # the in-level sort key (see RowPlan.orders).
+    def_pos = np.full(max(n, 1), -1, dtype=np.int64)
+    pos = 0
+    for op in program.ops:
+        for j in range(op.n_cells):
+            def_pos[op.out[j]] = pos
+            pos += 1
+    orders = tuple(
+        np.argsort(def_pos[op.in0], kind="stable") for op in program.ops
+    )
+
+    outs: List[int] = []
+    reads: List[List[int]] = []
+    for op, order in zip(program.ops, orders):
+        in1 = op.in1 if op.in1.size else None
+        in2 = op.in2 if op.in2.size else None
+        for j in order:
+            outs.append(int(op.out[j]))
+            cell_reads = [int(op.in0[j])]
+            if in1 is not None:
+                cell_reads.append(int(in1[j]))
+            if in2 is not None:
+                cell_reads.append(int(in2[j]))
+            reads.append(cell_reads)
+
+    written = np.zeros(max(n, 1), dtype=bool)
+    if outs:
+        written[outs] = True
+    last_read = np.full(max(n, 1), -1, dtype=np.int64)
+    for pos, cell_reads in enumerate(reads):
+        for row in cell_reads:
+            last_read[row] = pos
+            if not written[row]:
+                # Read-but-never-driven rows must keep their zeroed slot.
+                pinned[row] = True
+
+    slot_of = np.full(max(n, 1), -1, dtype=np.int64)
+    released = np.zeros(max(n, 1), dtype=bool)
+    free: List[int] = []
+    next_slot = 0
+    for pos, (out, cell_reads) in enumerate(zip(outs, reads)):
+        for row in cell_reads:
+            if (
+                not pinned[row]
+                and last_read[row] == pos
+                and not released[row]
+            ):
+                released[row] = True
+                free.append(int(slot_of[row]))
+        if not pinned[out]:
+            slot_of[out] = free.pop() if free else next_slot
+            if slot_of[out] == next_slot:
+                next_slot += 1
+            released[out] = False
+            if last_read[out] < 0:  # dead store: slot reusable right away
+                released[out] = True
+                free.append(int(slot_of[out]))
+
+    # Pinned rows follow the reusable region, ordered for streaming
+    # writes: inputs, constants, register restores, then gate outputs in
+    # schedule order, register captures, and finally undriven reads.
+    order: List[int] = []
+    order.extend(program.state_row(pi) for pi in program.input_nets)
+    order.extend(int(r) for r in program.const1)
+    order.extend(int(r) for r in program.dff_q)
+    order.extend(out for out in outs if pinned[out])
+    order.extend(int(r) for r in program.dff_d)
+    order.extend(
+        row for cell_reads in reads for row in cell_reads if pinned[row]
+    )
+    base = next_slot
+    for row in order:
+        row = int(row)
+        if pinned[row] and slot_of[row] < 0:
+            slot_of[row] = base
+            base += 1
+    for row in np.nonzero(pinned & (slot_of < 0))[0]:
+        slot_of[row] = base
+        base += 1
+    return RowPlan(
+        slot_of=slot_of, pinned=pinned, n_slots=int(base), orders=orders
+    )
+
+
+def _row_plan(
+    program: GateProgram,
+    pinned_rows: Optional[Iterable[int]] = None,
+) -> RowPlan:
+    """Memoized :func:`_compute_row_plan` (keyed on program + pin set)."""
+    if pinned_rows is None:
+        arr = None
+        pin_key = "all"
+    else:
+        arr = np.unique(np.asarray(list(pinned_rows), dtype=np.int64))
+        pin_key = hashlib.sha256(arr.tobytes()).hexdigest()[:16]
+    key = (program.content_hash, pin_key)
+    with _KERNEL_LOCK:
+        plan = _ROW_PLANS.get(key)
+        if plan is not None:
+            _ROW_PLANS.move_to_end(key)
+            return plan
+    plan = _compute_row_plan(program, arr)
+    with _KERNEL_LOCK:
+        _ROW_PLANS[key] = plan
+        while len(_ROW_PLANS) > _ROW_PLAN_CAP:
+            _ROW_PLANS.popitem(last=False)
+    return plan
+
+
+# ---------------------------------------------------------------- codegen
+
+#: cell type -> C expression over a[w] / b[w] / c[w] (in0/in1/in2).
+_CELL_EXPR = {
+    CellType.BUF: "a[w]",
+    CellType.NOT: "~a[w]",
+    CellType.AND: "a[w] & b[w]",
+    CellType.NAND: "~(a[w] & b[w])",
+    CellType.OR: "a[w] | b[w]",
+    CellType.NOR: "~(a[w] | b[w])",
+    CellType.XOR: "a[w] ^ b[w]",
+    CellType.XNOR: "~(a[w] ^ b[w])",
+    CellType.MUX: "(b[w] & ~a[w]) | (c[w] & a[w])",
+}
+
+
+def _emit_array(name: str, values: np.ndarray) -> str:
+    body = ",".join(str(int(v)) for v in values)
+    return f"static const int64_t {name}[] = {{{body}}};\n"
+
+
+def generate_kernel_source(
+    program: GateProgram, plan: Optional[RowPlan] = None
+) -> str:
+    """C source for one program: baked indices, fused cycle loop, pthreads.
+
+    The kernel replicates :meth:`CompiledSimulator.run`'s cycle semantics
+    exactly: stimulus into input rows, register outputs from captured
+    state, level-major combinational ops, record at filter cycles,
+    register capture -- with ``const1`` rows preset to all-ones.  Stimulus
+    is pre-expanded by the caller to a dense
+    ``(n_cycles, n_inputs, n_words)`` array so the whole run is one call.
+
+    Execution is tiled: word columns are mutually independent, so the
+    kernel replays the full cycle loop once per ``TILE``-word tile
+    against a compact ``n_slots x TILE`` local state whose working set
+    stays cache-resident; a partial last tile pads to ``TILE`` and simply
+    never stores the pad columns.
+
+    ``plan`` is the :class:`RowPlan` mapping program state rows to
+    kernel slots (liveness-compacted; see :func:`_compute_row_plan`).
+    ``None`` pins every row -- slot assignment is then a locality
+    permutation and every row stays recordable.  Runtime ``rec_rows``
+    passed to the kernel must already be kernel slots.
+    """
+    if plan is None:
+        plan = _row_plan(program)
+
+    def slots(rows: Iterable[int]) -> np.ndarray:
+        mapped = plan.slot_of[np.asarray(list(rows), dtype=np.int64)]
+        if mapped.size and int(mapped.min()) < 0:
+            raise SimulationError(
+                "internal: row plan left a referenced row unallocated"
+            )
+        return mapped
+
+    lines: List[str] = []
+    emit = lines.append
+    emit(f"/* repro native kernel v{_CODEGEN_VERSION} for program "
+         f"{program.content_hash} */\n")
+    emit("#include <stdint.h>\n#include <stdlib.h>\n"
+         "#include <string.h>\n#include <pthread.h>\n\n")
+
+    n_in = len(program.input_nets)
+    n_dff = int(program.dff_q.size)
+    n_rows = max(plan.n_slots, 1)
+    emit(f"#define N_IN {n_in}\n#define N_DFF {n_dff}\n"
+         f"#define N_ROWS {n_rows}\n#define TILE {_TILE_WORDS}\n\n")
+    if n_in:
+        # Rows are state rows (slices remap net ids to compact rows).
+        emit(_emit_array(
+            "IN_ROWS",
+            slots(program.state_row(pi) for pi in program.input_nets),
+        ))
+    if program.const1.size:
+        emit(_emit_array("C1_ROWS", slots(program.const1)))
+    if n_dff:
+        emit(_emit_array("DFF_D", slots(program.dff_d)))
+        emit(_emit_array("DFF_Q", slots(program.dff_q)))
+    for g, op in enumerate(program.ops):
+        # Emit each group through the plan's in-level permutation: cells
+        # within a level are independent, and ordering them by operand
+        # definition recency keeps hot slots in cache.  The liveness
+        # allocation above was computed over this same order.
+        order = plan.orders[g]
+        emit(_emit_array(f"OP{g}_O", slots(op.out[order])))
+        emit(_emit_array(f"OP{g}_A", slots(op.in0[order])))
+        if op.in1.size:
+            emit(_emit_array(f"OP{g}_B", slots(op.in1[order])))
+        if op.in2.size:
+            emit(_emit_array(f"OP{g}_C", slots(op.in2[order])))
+    emit("\n")
+
+    emit("static int run_range(const uint64_t *stim,\n"
+         "    uint64_t *rec, const int64_t *rec_rows, int64_t n_rec,\n"
+         "    const int64_t *rec_slot, int64_t n_cycles, int64_t nw,\n"
+         "    int64_t w0, int64_t w1)\n{\n"
+         "    int64_t c, i, k, t0;\n"
+         "    uint64_t *loc = (uint64_t *)malloc(\n"
+         "        (size_t)N_ROWS * TILE * sizeof(uint64_t));\n"
+         "    if (!loc) return 1;\n")
+    if n_dff:
+        emit("    uint64_t *reg = (uint64_t *)malloc(\n"
+             "        (size_t)(N_DFF ? N_DFF : 1) * TILE"
+             " * sizeof(uint64_t));\n"
+             "    if (!reg) { free(loc); return 1; }\n")
+    emit("    for (t0 = w0; t0 < w1; t0 += TILE) {\n"
+         "        int64_t tw = w1 - t0 < TILE ? w1 - t0 : TILE;\n"
+         "        memset(loc, 0, (size_t)N_ROWS * TILE"
+         " * sizeof(uint64_t));\n")
+    if program.const1.size:
+        emit(f"        for (i = 0; i < {int(program.const1.size)}; ++i) {{\n"
+             "            uint64_t *d = loc + (size_t)C1_ROWS[i] * TILE;\n"
+             "            for (k = 0; k < TILE; ++k) d[k] = ~(uint64_t)0;\n"
+             "        }\n")
+    if n_dff:
+        emit("        memset(reg, 0, (size_t)N_DFF * TILE"
+             " * sizeof(uint64_t));\n")
+    emit("        for (c = 0; c < n_cycles; ++c) {\n")
+    if n_in:
+        emit("            const uint64_t *sc = stim"
+             " + (size_t)c * N_IN * nw + t0;\n"
+             "            for (i = 0; i < N_IN; ++i) {\n"
+             "                const uint64_t *s = sc + (size_t)i * nw;\n"
+             "                uint64_t *d = loc + (size_t)IN_ROWS[i] * TILE;\n"
+             "                for (k = 0; k < tw; ++k) d[k] = s[k];\n"
+             "            }\n")
+    if n_dff:
+        emit("            for (i = 0; i < N_DFF; ++i) {\n"
+             "                uint64_t *d = loc + (size_t)DFF_Q[i] * TILE;\n"
+             "                const uint64_t *r = reg + (size_t)i * TILE;\n"
+             "                for (k = 0; k < TILE; ++k) d[k] = r[k];\n"
+             "            }\n")
+    for g, op in enumerate(program.ops):
+        expr = _CELL_EXPR.get(op.cell_type)
+        if expr is None:  # pragma: no cover - compile_netlist never emits
+            raise SimulationError(
+                f"cell type {op.cell_type} has no native lowering"
+            )
+        emit(f"            for (i = 0; i < {op.n_cells}; ++i) {{\n"
+             f"                uint64_t *o = loc"
+             f" + (size_t)OP{g}_O[i] * TILE;\n"
+             f"                const uint64_t *a = loc"
+             f" + (size_t)OP{g}_A[i] * TILE;\n")
+        if op.in1.size:
+            emit(f"                const uint64_t *b = loc"
+                 f" + (size_t)OP{g}_B[i] * TILE;\n")
+        if op.in2.size:
+            emit(f"                const uint64_t *c_ = loc"
+                 f" + (size_t)OP{g}_C[i] * TILE;\n")
+        emit("                for (k = 0; k < TILE; ++k) "
+             f"o[k] = {expr.replace('c[w]', 'c_[w]').replace('[w]', '[k]')};\n"
+             "            }\n")
+    emit("            if (n_rec > 0 && rec_slot[c] >= 0) {\n"
+         "                int64_t slot = rec_slot[c];\n"
+         "                for (i = 0; i < n_rec; ++i) {\n"
+         "                    const uint64_t *s = loc\n"
+         "                        + (size_t)rec_rows[i] * TILE;\n"
+         "                    uint64_t *d = rec\n"
+         "                        + ((size_t)slot * n_rec + (size_t)i) * nw"
+         " + t0;\n"
+         "                    for (k = 0; k < tw; ++k) d[k] = s[k];\n"
+         "                }\n"
+         "            }\n")
+    if n_dff:
+        emit("            for (i = 0; i < N_DFF; ++i) {\n"
+             "                const uint64_t *s = loc"
+             " + (size_t)DFF_D[i] * TILE;\n"
+             "                uint64_t *r = reg + (size_t)i * TILE;\n"
+             "                for (k = 0; k < TILE; ++k) r[k] = s[k];\n"
+             "            }\n")
+    emit("        }\n    }\n")
+    if n_dff:
+        emit("    free(reg);\n")
+    emit("    free(loc);\n    return 0;\n}\n\n")
+
+    emit(
+        "typedef struct {\n"
+        "    const uint64_t *stim; uint64_t *rec;\n"
+        "    const int64_t *rec_rows; int64_t n_rec;\n"
+        "    const int64_t *rec_slot; int64_t n_cycles; int64_t nw;\n"
+        "    int64_t w0; int64_t w1; int status;\n"
+        "} knl_job;\n\n"
+        "static void *knl_worker(void *arg)\n{\n"
+        "    knl_job *j = (knl_job *)arg;\n"
+        "    j->status = run_range(j->stim, j->rec, j->rec_rows,\n"
+        "        j->n_rec, j->rec_slot, j->n_cycles, j->nw, j->w0, j->w1);\n"
+        "    return 0;\n}\n\n"
+        "int repro_run(const uint64_t *stim, uint64_t *rec,\n"
+        "    const int64_t *rec_rows, int64_t n_rec,\n"
+        "    const int64_t *rec_slot, int64_t n_cycles, int64_t nw,\n"
+        "    int64_t n_threads)\n{\n"
+        f"    knl_job jobs[{_MAX_THREADS}];\n"
+        f"    pthread_t tids[{_MAX_THREADS}];\n"
+        f"    int created[{_MAX_THREADS}];\n"
+        "    int64_t n_tiles, chunk, t, spawned = 0;\n"
+        "    int status = 0;\n"
+        "    n_tiles = (nw + TILE - 1) / TILE;\n"
+        "    if (n_threads < 1) n_threads = 1;\n"
+        "    if (n_threads > n_tiles) n_threads = n_tiles;\n"
+        f"    if (n_threads > {_MAX_THREADS}) n_threads = {_MAX_THREADS};\n"
+        "    if (n_threads <= 1)\n"
+        "        return run_range(stim, rec, rec_rows, n_rec,\n"
+        "            rec_slot, n_cycles, nw, 0, nw);\n"
+        "    chunk = (n_tiles + n_threads - 1) / n_threads;\n"
+        "    for (t = 0; t < n_threads; ++t) {\n"
+        "        int64_t a = t * chunk * TILE, b = a + chunk * TILE;\n"
+        "        if (a >= nw) break;\n"
+        "        if (b > nw) b = nw;\n"
+        "        jobs[spawned].stim = stim;\n"
+        "        jobs[spawned].rec = rec;\n"
+        "        jobs[spawned].rec_rows = rec_rows;\n"
+        "        jobs[spawned].n_rec = n_rec;\n"
+        "        jobs[spawned].rec_slot = rec_slot;\n"
+        "        jobs[spawned].n_cycles = n_cycles;\n"
+        "        jobs[spawned].nw = nw;\n"
+        "        jobs[spawned].w0 = a; jobs[spawned].w1 = b;\n"
+        "        jobs[spawned].status = 0;\n"
+        "        ++spawned;\n"
+        "    }\n"
+        "    for (t = 1; t < spawned; ++t) {\n"
+        "        created[t] = pthread_create(&tids[t], 0, knl_worker,\n"
+        "            &jobs[t]) == 0;\n"
+        "        if (!created[t])\n"
+        "            knl_worker(&jobs[t]); /* degrade to inline */\n"
+        "    }\n"
+        "    knl_worker(&jobs[0]);\n"
+        "    for (t = 1; t < spawned; ++t)\n"
+        "        if (created[t]) pthread_join(tids[t], 0);\n"
+        "    for (t = 0; t < spawned; ++t)\n"
+        "        if (jobs[t].status) status = jobs[t].status;\n"
+        "    return status;\n}\n"
+    )
+    return "".join(lines)
+
+
+# ------------------------------------------------------- build + caching
+
+
+class NativeKernelCacheInfo(NamedTuple):
+    """Snapshot of the per-process loaded-kernel cache."""
+
+    entries: int
+    capacity: int
+    hits: int
+    misses: int
+    builds: int
+
+
+class _LoadedKernel(NamedTuple):
+    lib: object
+    so_path: str
+    digest: str
+
+
+#: dlopen'ed kernels, keyed by source digest.  Evicted entries are only
+#: dereferenced (never dlclosed): a live simulator may still hold the
+#: lib, and the handle count is bounded by the cache capacity anyway.
+_KERNEL_CACHE: "OrderedDict[str, _LoadedKernel]" = OrderedDict()
+_KERNEL_CACHE_SIZE = 32
+_KERNEL_STATS = {"hits": 0, "misses": 0, "builds": 0}
+_KERNEL_LOCK = threading.Lock()
+_FFI = None
+
+
+def native_kernel_cache_info() -> NativeKernelCacheInfo:
+    """Entries, capacity and lifetime hit/miss/build counts."""
+    with _KERNEL_LOCK:
+        return NativeKernelCacheInfo(
+            entries=len(_KERNEL_CACHE),
+            capacity=_KERNEL_CACHE_SIZE,
+            hits=_KERNEL_STATS["hits"],
+            misses=_KERNEL_STATS["misses"],
+            builds=_KERNEL_STATS["builds"],
+        )
+
+
+def clear_native_kernel_cache() -> None:
+    """Drop loaded-kernel references and reset statistics (tests)."""
+    with _KERNEL_LOCK:
+        _KERNEL_CACHE.clear()
+        _KERNEL_STATS.update(hits=0, misses=0, builds=0)
+
+
+def _ffi():
+    global _FFI
+    if _FFI is None:
+        from cffi import FFI
+
+        ffi = FFI()
+        ffi.cdef(_CDEF)
+        _FFI = ffi
+    return _FFI
+
+
+def _cache_dir() -> str:
+    configured = os.environ.get("REPRO_NATIVE_CACHE")
+    if configured:
+        path = configured
+    else:
+        path = os.path.join(
+            os.path.expanduser("~"), ".cache", "repro-native"
+        )
+    try:
+        os.makedirs(path, exist_ok=True)
+        return path
+    except OSError:
+        fallback = os.path.join(tempfile.gettempdir(), "repro-native")
+        os.makedirs(fallback, exist_ok=True)
+        return fallback
+
+
+#: Whether the toolchain accepts ``-march=native`` (probed once; the
+#: flag unlocks SIMD on the gate loops but is not universally supported).
+_MARCH_NATIVE: Optional[bool] = None
+
+
+def _cc_flags(cc: str) -> List[str]:
+    global _MARCH_NATIVE
+    flags = ["-O3", "-shared", "-fPIC", "-pthread"]
+    if _MARCH_NATIVE is None:
+        probe = os.path.join(
+            tempfile.gettempdir(), f".repro-march-{os.getpid()}.c"
+        )
+        probe_so = probe[:-2] + ".so"
+        try:
+            with open(probe, "w") as handle:
+                handle.write("int repro_probe(void){return 0;}\n")
+            result = subprocess.run(
+                [cc, "-march=native", *flags, "-o", probe_so, probe],
+                capture_output=True, timeout=60,
+            )
+            _MARCH_NATIVE = result.returncode == 0
+        except (OSError, subprocess.TimeoutExpired):
+            _MARCH_NATIVE = False
+        finally:
+            for path in (probe, probe_so):
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+    return (["-march=native"] if _MARCH_NATIVE else []) + flags
+
+
+def _compile_source(source: str, digest: str, cc: str,
+                    flags: List[str]) -> str:
+    """Compile generated C to a shared object; returns the .so path.
+
+    The on-disk artifact is keyed by the source+flags digest so
+    concurrent worker processes share builds; writes go to a temp name
+    and move into place atomically, so a racing builder at worst
+    compiles twice.
+    """
+    directory = _cache_dir()
+    so_path = os.path.join(directory, f"k_{digest}.so")
+    if os.path.exists(so_path):
+        return so_path
+    c_path = os.path.join(directory, f"k_{digest}.c")
+    tmp_so = os.path.join(directory, f".k_{digest}.{os.getpid()}.so")
+    with open(c_path, "w") as handle:
+        handle.write(source)
+    cmd = [cc, *flags, "-o", tmp_so, c_path]
+    try:
+        result = subprocess.run(
+            cmd, capture_output=True, text=True, timeout=600
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise SimulationError(
+            f"native kernel build failed to invoke {cc}: {exc}"
+        ) from exc
+    if result.returncode != 0:
+        tail = (result.stderr or result.stdout or "").strip()[-2000:]
+        raise SimulationError(
+            f"native kernel build failed (exit {result.returncode}): {tail}"
+        )
+    os.replace(tmp_so, so_path)
+    _KERNEL_STATS["builds"] += 1
+    return so_path
+
+
+def build_kernel(
+    program: GateProgram, plan: Optional[RowPlan] = None
+) -> _LoadedKernel:
+    """Generate, compile (or reuse) and dlopen the kernel for a program.
+
+    ``plan`` selects the state-slot assignment (default: pin-all).
+    Raises :class:`SimulationError` when the toolchain is missing, the
+    compile fails, or the engine is disabled via ``REPRO_NATIVE_DISABLE``.
+    """
+    reason = native_unavailable_reason()
+    if reason is not None:
+        raise SimulationError(f"native engine unavailable: {reason}")
+    cc = _find_cc()
+    if cc is None:  # pragma: no cover - already covered by the reason check
+        raise SimulationError("native kernel build failed: no C compiler")
+    flags = _cc_flags(cc)
+    source = generate_kernel_source(program, plan)
+    digest = hashlib.sha256(
+        (source + "\0" + " ".join(flags)).encode()
+    ).hexdigest()[:20]
+    with _KERNEL_LOCK:
+        cached = _KERNEL_CACHE.get(digest)
+        if cached is not None:
+            _KERNEL_CACHE.move_to_end(digest)
+            _KERNEL_STATS["hits"] += 1
+            return cached
+        _KERNEL_STATS["misses"] += 1
+        so_path = _compile_source(source, digest, cc, flags)
+        try:
+            lib = _ffi().dlopen(so_path)
+        except OSError as exc:
+            raise SimulationError(
+                f"native kernel dlopen failed for {so_path}: {exc}"
+            ) from exc
+        kernel = _LoadedKernel(lib=lib, so_path=so_path, digest=digest)
+        _KERNEL_CACHE[digest] = kernel
+        while len(_KERNEL_CACHE) > _KERNEL_CACHE_SIZE:
+            _KERNEL_CACHE.popitem(last=False)
+        return kernel
+
+
+# --------------------------------------------------------------- simulator
+
+
+class NativeSimulator:
+    """Drop-in :class:`CompiledSimulator` running the fused C kernel.
+
+    Same ``run`` contract and bit-identical :class:`Trace` output; the
+    whole multi-cycle block executes in one foreign call, split across
+    ``n_threads`` pthread workers by word range (clamped to the word
+    count, so single-word blocks never pay thread overhead).
+    """
+
+    def __init__(
+        self,
+        netlist: Netlist,
+        n_lanes: int,
+        keep_nets: Optional[Iterable[int]] = None,
+        n_threads: Optional[int] = None,
+        record_nets: Optional[Iterable[int]] = None,
+    ):
+        if n_lanes <= 0:
+            raise SimulationError("n_lanes must be positive")
+        self.netlist = netlist
+        self.n_lanes = n_lanes
+        self.n_words = words_for_lanes(n_lanes)
+        self.n_threads = (
+            native_default_threads() if n_threads is None else
+            max(1, min(int(n_threads), _MAX_THREADS))
+        )
+        if keep_nets is None:
+            self.program = compile_netlist(netlist)
+            keep_list: List[int] = []
+        else:
+            keep_list = list(keep_nets)
+            from repro.netlist.slice import slice_program
+
+            self.program = slice_program(netlist, keep_list)
+        program = self.program
+        # Pin the rows callers may record -- stable nets, the cone roots
+        # of a slice, and any declared record set -- so liveness
+        # compaction never recycles them.  Recording a net outside this
+        # set later triggers one kernel rebuild with a grown pin set.
+        pin = {
+            program.state_row(net)
+            for net in netlist.stable_nets()
+            if program.is_live(net)
+        }
+        pin.update(
+            program.state_row(net)
+            for net in keep_list
+            if program.is_live(net)
+        )
+        if record_nets is not None:
+            pin.update(
+                program.state_row(net)
+                for net in record_nets
+                if program.is_live(net)
+            )
+        self._pin_rows = pin
+        self._plan = _row_plan(program, sorted(pin))
+        self._kernel = build_kernel(program, self._plan)
+        inputs = program.input_nets
+        if len(inputs) == 1:
+            only = inputs[0]
+            self._gather = lambda provided: (provided[only],)
+        elif inputs:
+            self._gather = operator.itemgetter(*inputs)
+        else:
+            self._gather = None
+
+    @property
+    def input_nets(self) -> Tuple[int, ...]:
+        """Primary-input net ids in dense-stimulus row order."""
+        return tuple(self.program.input_nets)
+
+    def expand_stimulus(
+        self, stimulus: Stimulus, n_cycles: int
+    ) -> np.ndarray:
+        """Pre-expand a per-cycle stimulus callable into the dense form.
+
+        Returns the ``(n_cycles, n_inputs, n_words)`` uint64 array the
+        kernel consumes (rows ordered as :attr:`input_nets`).  ``run``
+        accepts this array directly in place of the callable, letting
+        callers stage stimulus once and replay it without paying the
+        per-cycle dict gather again.
+        """
+        n_inputs = len(self.program.input_nets)
+        stim = np.zeros(
+            (n_cycles, max(n_inputs, 1), self.n_words), np.uint64
+        )
+        if n_inputs:
+            flat = stim.reshape(n_cycles, -1)
+            gather = self._gather
+            for cycle in range(n_cycles):
+                provided = stimulus(cycle)
+                try:
+                    np.concatenate(gather(provided), out=flat[cycle])
+                except (KeyError, ValueError, TypeError):
+                    self._expand_cycle(provided, cycle, stim)
+        return stim
+
+    def run(
+        self,
+        stimulus,
+        n_cycles: int,
+        record_nets: Optional[Iterable[int]] = None,
+        record_cycles: Optional[Iterable[int]] = None,
+    ) -> Trace:
+        """Simulate ``n_cycles`` cycles; same contract as the other engines.
+
+        ``stimulus`` is either the standard per-cycle callable or a dense
+        ``(n_cycles, n_inputs, n_words)`` uint64 array from
+        :meth:`expand_stimulus`.
+        """
+        netlist = self.netlist
+        program = self.program
+        if record_nets is None:
+            record_nets = [
+                net for net in netlist.stable_nets() if program.is_live(net)
+            ]
+        record_list = list(record_nets)
+        state_rows = np.asarray(
+            [program.state_row(net) for net in record_list], dtype=np.int64
+        )
+        if state_rows.size and not self._plan.pinned[state_rows].all():
+            # The record set reaches rows the liveness plan recycled:
+            # grow the pin set (monotonically, so alternating record
+            # sets converge) and rebuild once; the on-disk cache makes
+            # repeats cheap.  Declare the set via ``record_nets`` at
+            # construction to avoid the extra build.
+            self._pin_rows.update(int(row) for row in state_rows)
+            self._plan = _row_plan(program, sorted(self._pin_rows))
+            self._kernel = build_kernel(program, self._plan)
+        record_rows = self._plan.slot_of[state_rows]
+        cycle_filter = None if record_cycles is None else set(record_cycles)
+        trace = Trace(self.n_lanes, record_list)
+        if n_cycles <= 0:
+            return trace
+
+        n_words = self.n_words
+        n_inputs = len(program.input_nets)
+        # The kernel consumes a dense (n_cycles, n_inputs, n_words)
+        # array in one call; expand the per-cycle callable unless the
+        # caller staged the dense form already (expand_stimulus).
+        if isinstance(stimulus, np.ndarray):
+            expected = (n_cycles, max(n_inputs, 1), n_words)
+            if stimulus.dtype != np.uint64 or stimulus.shape != expected:
+                raise SimulationError(
+                    f"dense stimulus must be a uint64 array of shape "
+                    f"{expected}, got {stimulus.dtype} {stimulus.shape}"
+                )
+            stim = np.ascontiguousarray(stimulus)
+        else:
+            stim = self.expand_stimulus(stimulus, n_cycles)
+
+        rec_slot = np.full(n_cycles, -1, dtype=np.int64)
+        slots = 0
+        for cycle in range(n_cycles):
+            if cycle_filter is None or cycle in cycle_filter:
+                rec_slot[cycle] = slots
+                slots += 1
+        n_rec = len(record_list)
+        rec = np.zeros((max(slots, 1), max(n_rec, 1), n_words), np.uint64)
+        if record_rows.size == 0:
+            record_rows = np.zeros(1, dtype=np.int64)
+
+        ffi = _ffi()
+        status = self._kernel.lib.repro_run(
+            ffi.cast("uint64_t *", stim.ctypes.data),
+            ffi.cast("uint64_t *", rec.ctypes.data),
+            ffi.cast("int64_t *", record_rows.ctypes.data),
+            n_rec,
+            ffi.cast("int64_t *", rec_slot.ctypes.data),
+            n_cycles,
+            n_words,
+            self.n_threads,
+        )
+        if status != 0:
+            raise SimulationError(
+                f"native kernel execution failed (status {status})"
+            )
+
+        # Trace rows are views into the freshly-written rec buffer -- it
+        # is owned solely by this call, so no copy is needed and the
+        # views keep it alive.
+        values = trace.values
+        for cycle in range(n_cycles):
+            slot = int(rec_slot[cycle])
+            if slot < 0:
+                values.append({})
+            else:
+                values.append(dict(zip(record_list, rec[slot])))
+        return trace
+
+    def _expand_cycle(
+        self, provided: dict, cycle: int, stim: np.ndarray
+    ) -> None:
+        """Slow validating path behind the vectorized stimulus expansion.
+
+        Entered only when the fast concatenate raises -- reproduces the
+        per-input diagnostics of the other engines (missing primary
+        input, wrong word-vector shape) or completes the odd-typed but
+        valid cycle the stack could not fuse.
+        """
+        n_words = self.n_words
+        for slot, pi in enumerate(self.program.input_nets):
+            if pi not in provided:
+                raise SimulationError(
+                    f"stimulus missing primary input "
+                    f"{self.netlist.net_name(pi)!r} at cycle {cycle}"
+                )
+            words = np.asarray(provided[pi], dtype=np.uint64)
+            if words.shape != (n_words,):
+                raise SimulationError(
+                    f"stimulus for {self.netlist.net_name(pi)!r} has "
+                    f"shape {words.shape}, expected ({n_words},)"
+                )
+            stim[cycle, slot] = words

@@ -22,7 +22,8 @@ tuples while comparing candidate randomness schemes:
   ``/v1/`` prefix (``POST /v1/jobs``, ``GET /v1/jobs/<id>[?wait=s]``,
   ``GET /v1/jobs/<id>/report``, ``GET /v1/healthz``, ``GET /v1/metrics``,
   plus the ``/v1/fleet/`` lease protocol in coordinator mode;
-  unversioned paths remain as deprecated aliases).
+  retired unversioned paths answer 404 with a
+  ``Link: rel="successor-version"`` migration hint).
 * :mod:`repro.service.telemetry` -- JSON-lines event log + live counters.
 
 Entry points: ``python -m repro.cli serve``, ``python -m repro.cli

@@ -41,11 +41,9 @@ Admission is elastic rather than a single 429 cliff: specs carry a
 carries a ``Retry-After`` header.
 
 The pre-versioning paths (``/jobs``, ``/healthz``, ``/metrics``, ...)
-remain as deprecated aliases: they behave identically but every response
-carries a ``Deprecation: true`` header plus a ``Link:
-rel="successor-version"`` pointing at the ``/v1/`` route.  New clients
-should use ``/v1/`` only; the aliases exist so pre-versioning scripts keep
-working across the transition and will be removed in a future version.
+completed their deprecation cycle and are retired: they answer ``404``
+with a ``Link: rel="successor-version"`` header naming the ``/v1/`` route
+to migrate to.  Clients must use ``/v1/`` paths.
 
 The server is a ``ThreadingHTTPServer``: every request handler runs in its
 own thread and only touches the lock-protected store/queue/telemetry, so
@@ -105,8 +103,9 @@ def _parse_wait(raw: str) -> float:
         )
     return min(wait, MAX_LONG_POLL_SECONDS)
 
-#: First path segments the deprecated unversioned aliases still answer.
-_LEGACY_ROOTS = ("healthz", "metrics", "jobs")
+#: First path segments of the retired pre-versioning aliases: they now
+#: answer 404 with a ``Link: rel="successor-version"`` migration hint.
+_RETIRED_ROOTS = ("healthz", "metrics", "jobs")
 
 
 class EvaluationService:
@@ -358,7 +357,9 @@ class EvaluationService:
         return None
 
     def metrics(self) -> Dict:
+        from repro.engines import engines_info
         from repro.netlist.compile import program_cache_info
+        from repro.netlist.native import native_kernel_cache_info
 
         cache = self.store.stats.to_dict()
         body = {
@@ -370,6 +371,8 @@ class EvaluationService:
             # The load harness reads the hit rate as a top-level gauge.
             "cache_hit_rate": cache.get("hit_rate"),
             "program_cache": program_cache_info()._asdict(),
+            "engines": engines_info(),
+            "native_kernel_cache": native_kernel_cache_info()._asdict(),
             "jobs": self.store.counts_by_state(),
             "queue_depth": len(self.queue),
             "queue": {
@@ -432,30 +435,35 @@ def _make_handler(service: EvaluationService):
             self.send_header("Content-Length", str(len(data)))
             for name, value in (headers or {}).items():
                 self.send_header(name, value)
-            if getattr(self, "_deprecated_alias", False):
-                # Unversioned legacy path: signal the migration target.
-                self.send_header("Deprecation", "true")
-                self.send_header(
-                    "Link",
-                    f'<{self._successor}>; rel="successor-version"',
-                )
             self.end_headers()
             self.wfile.write(data)
 
-        def _route_parts(self, parsed) -> list:
+        def _route_parts(self, parsed) -> Optional[list]:
             """Path segments with the ``/v1`` prefix stripped.
 
-            Requests on the old unversioned paths are flagged so every
-            response (including errors) carries the deprecation headers.
+            Requests on the retired pre-versioning paths answer 404 with
+            a ``Link: rel="successor-version"`` header naming the ``/v1``
+            route; this returns ``None`` so the caller stops routing.
             """
             parts = [p for p in parsed.path.split("/") if p]
-            self._deprecated_alias = False
-            self._successor = ""
             if parts and parts[0] == API_VERSION:
                 return parts[1:]
-            if parts and parts[0] in _LEGACY_ROOTS:
-                self._deprecated_alias = True
-                self._successor = f"/{API_VERSION}{parsed.path}"
+            if parts and parts[0] in _RETIRED_ROOTS:
+                successor = f"/{API_VERSION}{parsed.path}"
+                self._send_json(
+                    404,
+                    {
+                        "error": (
+                            f"the unversioned path {parsed.path!r} was "
+                            f"retired; use {successor!r}"
+                        ),
+                        "successor": successor,
+                    },
+                    headers={
+                        "Link": f'<{successor}>; rel="successor-version"'
+                    },
+                )
+                return None
             return parts
 
         def _read_body(self) -> Dict:
@@ -500,6 +508,8 @@ def _make_handler(service: EvaluationService):
         def _route_get(self) -> None:
             parsed = urlparse(self.path)
             parts = self._route_parts(parsed)
+            if parts is None:
+                return
             if parts == ["healthz"]:
                 self._send_json(200, service.health())
                 return
@@ -571,6 +581,8 @@ def _make_handler(service: EvaluationService):
         def _route_post(self) -> None:
             parsed = urlparse(self.path)
             parts = self._route_parts(parsed)
+            if parts is None:
+                return
             if parts == ["jobs"]:
                 status, body = service.submit(self._read_body())
                 self._send_json(status, body)

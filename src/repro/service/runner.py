@@ -655,6 +655,7 @@ class JobRunner:
             hook=hook,
             should_stop=should_stop,
             dispatch=dispatch,
+            engine=spec.engine,
         )
         if report.status == "truncated:cancelled":
             if cancel_event.is_set():

@@ -186,7 +186,10 @@ class FleetWorker:
         from repro.leakage.model import ProbingModel
         from repro.service.runner import build_design
 
-        key = (spec.design, spec.scheme, spec.model, spec.max_enum_bits)
+        key = (
+            spec.design, spec.scheme, spec.model, spec.max_enum_bits,
+            spec.engine,
+        )
         if key not in self._analyzers:
             built = build_design(spec.design, spec.scheme)
             model = (
@@ -195,7 +198,8 @@ class FleetWorker:
                 else ProbingModel.GLITCH
             )
             self._analyzers[key] = ExactAnalyzer(
-                built.dut, model, max_enum_bits=spec.max_enum_bits
+                built.dut, model, max_enum_bits=spec.max_enum_bits,
+                engine=spec.engine,
             )
         return self._analyzers[key]
 

@@ -29,6 +29,7 @@ from typing import Dict, Optional, Tuple
 import hashlib
 import json
 
+from repro import engines as engine_registry
 from repro.errors import SpecError
 
 #: Server-side default chunking: campaigns checkpoint (and the adaptive
@@ -41,7 +42,6 @@ API_VERSION = "v1"
 
 _MODELS = ("glitch", "glitch-transition")
 _MODES = ("first", "pairs", "both", "exact")
-_ENGINES = ("compiled", "bitsliced")
 
 #: Spec fields excluded from the verdict-cache identity: results are
 #: bit-identical across them (tests/test_cross_engine.py,
@@ -105,7 +105,10 @@ class EvaluationSpec:
     pair_offsets: Tuple[int, ...] = (0,)
     seed: int = 0
     # -- execution details (never part of the cache identity) -------------
-    engine: str = "compiled"
+    #: any engine registered in :mod:`repro.engines`; all registered
+    #: engines are bit-identical, so the choice never enters the
+    #: verdict-cache key.
+    engine: str = engine_registry.DEFAULT_ENGINE
     workers: int = 1
     chunk_size: Optional[int] = None
     #: simulate only the sequential fan-in cone of the active probe
@@ -210,7 +213,7 @@ class EvaluationSpec:
             max_pairs=get("max_pairs", 500),
             pair_seed=get("pair_seed", 1),
             seed=get("seed", 0),
-            engine=get("engine", "compiled"),
+            engine=get("engine", engine_registry.DEFAULT_ENGINE),
             workers=get("workers", 1),
             chunk_size=getattr(args, "chunk_size", None),
             slice=get("slice", True),
@@ -238,8 +241,10 @@ class EvaluationSpec:
             raise SpecError(
                 "mode must be 'first', 'pairs', 'both', or 'exact'"
             )
-        if self.engine not in _ENGINES:
-            raise SpecError("engine must be 'compiled' or 'bitsliced'")
+        try:
+            engine_registry.get_engine(self.engine)
+        except engine_registry.EngineError as exc:
+            raise SpecError(str(exc)) from None
         for name in ("design", "scheme"):
             if not isinstance(getattr(self, name), str):
                 raise SpecError(f"{name} must be a string")

@@ -322,31 +322,10 @@ class TestTableIdStability:
 
 
 class TestDeprecatedWrappers:
-    def test_accumulate_first_order_warns_and_matches(self, kronecker_eq6):
+    def test_wrappers_removed_after_deprecation_cycle(self, kronecker_eq6):
         evaluator = _evaluator(kronecker_eq6)
-        n_lanes = evaluator.n_lanes_for(4_096, 1)
-        new = HistogramAccumulator()
-        evaluator.accumulate(new, 0, n_lanes, 1)
-        old = HistogramAccumulator()
-        with pytest.warns(DeprecationWarning):
-            evaluator.accumulate_first_order(old, 0, 4_096, 1)
-        assert old.state_arrays()[0] == new.state_arrays()[0]
-
-    def test_accumulate_batched_warns_and_matches(self, kronecker_eq6):
-        evaluator = _evaluator(kronecker_eq6)
-        n_lanes = evaluator.n_lanes_for(4_096, 1)
-        pairs = evaluator.select_pairs(5, 1)
-        new = HistogramAccumulator()
-        evaluator.accumulate(new, 0, n_lanes, 1, pairs=pairs)
-        old = HistogramAccumulator()
-        with pytest.warns(DeprecationWarning):
-            evaluator.accumulate_batched(old, 0, n_lanes, 1, pairs=pairs)
-        ids_old, arrays_old = old.state_arrays()
-        ids_new, arrays_new = new.state_arrays()
-        assert ids_old == ids_new
-        assert all(
-            np.array_equal(arrays_old[k], arrays_new[k]) for k in arrays_new
-        )
+        assert not hasattr(evaluator, "accumulate_first_order")
+        assert not hasattr(evaluator, "accumulate_batched")
 
     def test_new_path_emits_no_deprecation_warning(self, kronecker_eq6):
         evaluator = _evaluator(kronecker_eq6)

@@ -165,7 +165,7 @@ class TestExecutorDirect:
         evaluator = _evaluator(kronecker_eq6)
         blocks = list(range(3))
         serial = HistogramAccumulator()
-        evaluator.accumulate_batched(serial, 0, N_SIMS, 1, blocks=blocks)
+        evaluator.accumulate(serial, 0, N_SIMS, 1, blocks=blocks)
         parallel = HistogramAccumulator()
         with ParallelExecutor(evaluator, workers=3) as executor:
             executor.accumulate(parallel, 0, N_SIMS, 1, blocks)
@@ -197,7 +197,7 @@ class TestExecutorDirect:
         evaluator = _evaluator(kronecker_eq6)
         blocks = list(range(3))
         reference = HistogramAccumulator()
-        evaluator.accumulate_batched(reference, 0, N_SIMS, 1, blocks=blocks)
+        evaluator.accumulate(reference, 0, N_SIMS, 1, blocks=blocks)
         acc = HistogramAccumulator()
         with ParallelExecutor(evaluator, workers=4) as executor:
             with pytest.warns(RuntimeWarning, match="multiprocessing"):

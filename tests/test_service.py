@@ -296,27 +296,27 @@ def service(tmp_path):
 class TestServiceEndToEnd:
     def test_resubmission_is_a_byte_identical_cache_hit(self, service):
         base = service.address
-        status, body = _post(f"{base}/jobs", E4_SPEC)
+        status, body = _post(f"{base}/v1/jobs", E4_SPEC)
         assert status == 201
         first = json.loads(body)
         assert first["state"] == "queued"
         assert first["cached"] is False
 
-        status, body = _get(f"{base}/jobs/{first['job_id']}?wait=60")
+        status, body = _get(f"{base}/v1/jobs/{first['job_id']}?wait=60")
         assert status == 200
         finished = json.loads(body)
         assert finished["state"] == "done"
         assert finished["result"]["passed"] is False  # eq6 leaks
         assert finished["result"]["exit_code"] == 1
 
-        status, report1 = _get(f"{base}/jobs/{first['job_id']}/report")
+        status, report1 = _get(f"{base}/v1/jobs/{first['job_id']}/report")
         assert status == 200
         parsed = json.loads(report1)
         assert parsed["schema_version"] == SCHEMA_VERSION
 
         # Second identical submission: answered from the verdict cache,
         # no simulation, terminal state straight away.
-        status, body = _post(f"{base}/jobs", E4_SPEC)
+        status, body = _post(f"{base}/v1/jobs", E4_SPEC)
         assert status == 200
         second = json.loads(body)
         assert second["cached"] is True
@@ -324,12 +324,12 @@ class TestServiceEndToEnd:
         assert second["job_id"] != first["job_id"]
         assert second["cache_key"] == first["cache_key"]
 
-        status, report2 = _get(f"{base}/jobs/{second['job_id']}/report")
+        status, report2 = _get(f"{base}/v1/jobs/{second['job_id']}/report")
         assert status == 200
         assert report2 == report1  # byte-identical
 
         # The hit is visible in /metrics and in the telemetry log.
-        status, body = _get(f"{base}/metrics")
+        status, body = _get(f"{base}/v1/metrics")
         metrics = json.loads(body)
         assert metrics["cache"]["hits"] == 1
         assert metrics["counters"]["cache_hit"] == 1
@@ -344,14 +344,14 @@ class TestServiceEndToEnd:
 
     def test_execution_details_share_the_verdict(self, service):
         base = service.address
-        status, body = _post(f"{base}/jobs", E4_SPEC)
+        status, body = _post(f"{base}/v1/jobs", E4_SPEC)
         assert status == 201
         job_id = json.loads(body)["job_id"]
-        status, body = _get(f"{base}/jobs/{job_id}?wait=60")
+        status, body = _get(f"{base}/v1/jobs/{job_id}?wait=60")
         assert json.loads(body)["state"] == "done"
         # same semantics, different engine: still a cache hit
         status, body = _post(
-            f"{base}/jobs", dict(E4_SPEC, engine="bitsliced", workers=2)
+            f"{base}/v1/jobs", dict(E4_SPEC, engine="bitsliced", workers=2)
         )
         assert status == 200
         assert json.loads(body)["cached"] is True
@@ -359,48 +359,48 @@ class TestServiceEndToEnd:
     def test_identical_inflight_submissions_deduplicate(self, service):
         base = service.address
         spec = dict(E4_SPEC, n_simulations=200_000, seed=21)
-        status, body = _post(f"{base}/jobs", spec)
+        status, body = _post(f"{base}/v1/jobs", spec)
         assert status == 201
         first = json.loads(body)
-        status, body = _post(f"{base}/jobs", spec)
+        status, body = _post(f"{base}/v1/jobs", spec)
         assert status == 200
         second = json.loads(body)
         assert second["deduplicated"] is True
         assert second["job_id"] == first["job_id"]
-        status, body = _get(f"{base}/jobs/{first['job_id']}?wait=120")
+        status, body = _get(f"{base}/v1/jobs/{first['job_id']}?wait=120")
         assert json.loads(body)["state"] == "done"
 
     def test_health_metrics_and_errors(self, service):
         base = service.address
-        status, body = _get(f"{base}/healthz")
+        status, body = _get(f"{base}/v1/healthz")
         assert status == 200
         assert json.loads(body)["ok"] is True
 
-        status, body = _get(f"{base}/metrics")
+        status, body = _get(f"{base}/v1/metrics")
         assert status == 200
         metrics = json.loads(body)
         assert metrics["schema_version"] == SCHEMA_VERSION
         assert "queue_depth" in metrics and "busy_workers" in metrics
 
-        status, body = _post(f"{base}/jobs", {"design": "warp-core"})
+        status, body = _post(f"{base}/v1/jobs", {"design": "warp-core"})
         assert status == 400
         assert "unknown design" in json.loads(body)["error"]
 
-        status, body = _post(f"{base}/jobs", dict(E4_SPEC, bogus=1))
+        status, body = _post(f"{base}/v1/jobs", dict(E4_SPEC, bogus=1))
         assert status == 400
 
-        status, _ = _get(f"{base}/jobs/no-such-job")
+        status, _ = _get(f"{base}/v1/jobs/no-such-job")
         assert status == 404
         status, _ = _get(f"{base}/no/such/route")
         assert status == 404
 
         # report of an unfinished job is a 409, not a 500
         spec = dict(E4_SPEC, n_simulations=400_000, seed=33)
-        status, body = _post(f"{base}/jobs", spec)
+        status, body = _post(f"{base}/v1/jobs", spec)
         job_id = json.loads(body)["job_id"]
-        status, body = _get(f"{base}/jobs/{job_id}/report")
+        status, body = _get(f"{base}/v1/jobs/{job_id}/report")
         assert status == 409
-        _get(f"{base}/jobs/{job_id}?wait=120")
+        _get(f"{base}/v1/jobs/{job_id}?wait=120")
 
 
 class TestWaitParameterValidation:
@@ -411,7 +411,7 @@ class TestWaitParameterValidation:
     )
     def test_invalid_wait_is_400(self, service, wait):
         base = service.address
-        status, body = _post(f"{base}/jobs", E4_SPEC)
+        status, body = _post(f"{base}/v1/jobs", E4_SPEC)
         job_id = json.loads(body)["job_id"]
         status, body = _get(f"{base}/v1/jobs/{job_id}?wait={wait}")
         assert status == 400
@@ -422,7 +422,7 @@ class TestWaitParameterValidation:
 
     def test_wait_between_max_poll_and_absurd_is_clamped(self, service):
         base = service.address
-        status, body = _post(f"{base}/jobs", E4_SPEC)
+        status, body = _post(f"{base}/v1/jobs", E4_SPEC)
         job_id = json.loads(body)["job_id"]
         _get(f"{base}/v1/jobs/{job_id}?wait=60")
         # 3600 is within the accepted range; it clamps to the documented
@@ -438,10 +438,10 @@ class TestWaitParameterValidation:
 class TestCorruptVerdictOverHttp:
     def test_corrupt_cached_verdict_is_410_and_recomputable(self, service):
         base = service.address
-        status, body = _post(f"{base}/jobs", E4_SPEC)
+        status, body = _post(f"{base}/v1/jobs", E4_SPEC)
         assert status == 201
         first = json.loads(body)
-        status, body = _get(f"{base}/jobs/{first['job_id']}?wait=60")
+        status, body = _get(f"{base}/v1/jobs/{first['job_id']}?wait=60")
         assert json.loads(body)["state"] == "done"
 
         # Rot the cached verdict on disk behind the store's back.
@@ -451,25 +451,25 @@ class TestCorruptVerdictOverHttp:
 
         # Serving must fail loudly -- 410 with a resubmit hint -- and
         # must never return the rotted bytes as a report.
-        status, body = _get(f"{base}/jobs/{first['job_id']}/report")
+        status, body = _get(f"{base}/v1/jobs/{first['job_id']}/report")
         assert status == 410
         error = json.loads(body)
         assert "resubmit" in error["error"]
         assert os.path.exists(result_path + ".corrupt")
 
         # Resubmission is a clean miss that recomputes the verdict...
-        status, body = _post(f"{base}/jobs", E4_SPEC)
+        status, body = _post(f"{base}/v1/jobs", E4_SPEC)
         assert status == 201
         second = json.loads(body)
         assert second["cached"] is False
-        status, body = _get(f"{base}/jobs/{second['job_id']}?wait=60")
+        status, body = _get(f"{base}/v1/jobs/{second['job_id']}?wait=60")
         assert json.loads(body)["state"] == "done"
         # ...after which the report serves again, self-healed.
-        status, body = _get(f"{base}/jobs/{second['job_id']}/report")
+        status, body = _get(f"{base}/v1/jobs/{second['job_id']}/report")
         assert status == 200
         assert json.loads(body)["schema_version"] == SCHEMA_VERSION
 
-        status, body = _get(f"{base}/metrics")
+        status, body = _get(f"{base}/v1/metrics")
         metrics = json.loads(body)
         assert metrics["cache"]["corruptions"] >= 1
         assert metrics["counters"]["store_corruption"] >= 1
@@ -497,12 +497,12 @@ class TestWatchdogDeadLetter:
         svc.start()
         try:
             spec = dict(E4_SPEC, chunk_size=4_096)
-            status, body = _post(f"{svc.address}/jobs", spec)
+            status, body = _post(f"{svc.address}/v1/jobs", spec)
             assert status == 201
             job_id = json.loads(body)["job_id"]
             deadline = time.monotonic() + 60
             while True:
-                status, body = _get(f"{svc.address}/jobs/{job_id}?wait=5")
+                status, body = _get(f"{svc.address}/v1/jobs/{job_id}?wait=5")
                 record = json.loads(body)
                 if record["state"] not in ("queued", "running"):
                     break
@@ -511,7 +511,7 @@ class TestWatchdogDeadLetter:
             assert record["restarts"] > 1
             assert "dead-lettered" in record["error"]
 
-            status, body = _get(f"{svc.address}/metrics")
+            status, body = _get(f"{svc.address}/v1/metrics")
             metrics = json.loads(body)
             assert metrics["jobs"]["dead_letter"] == 1
             assert metrics["counters"]["watchdog_stalled"] >= 2
@@ -521,35 +521,35 @@ class TestWatchdogDeadLetter:
             assert metrics["watchdog"]["max_restarts"] == 1
 
             # a dead-lettered job never populated the verdict cache
-            status, _ = _get(f"{svc.address}/jobs/{job_id}/report")
+            status, _ = _get(f"{svc.address}/v1/jobs/{job_id}/report")
             assert status == 409
         finally:
             svc.stop()
 
 
 class TestApiVersioning:
-    """The ``/v1/`` prefix and the deprecation of unversioned aliases."""
+    """The ``/v1/`` prefix and the retirement of unversioned aliases."""
 
     def test_full_job_lifecycle_under_v1(self, service):
-        base = f"{service.address}/v1"
-        status, body = _post(f"{base}/jobs", E4_SPEC)
+        base = service.address
+        status, body = _post(f"{base}/v1/jobs", E4_SPEC)
         assert status == 201
         job_id = json.loads(body)["job_id"]
-        status, body = _get(f"{base}/jobs/{job_id}?wait=60")
+        status, body = _get(f"{base}/v1/jobs/{job_id}?wait=60")
         assert status == 200
         assert json.loads(body)["state"] == "done"
-        status, body = _get(f"{base}/jobs/{job_id}/report")
+        status, body = _get(f"{base}/v1/jobs/{job_id}/report")
         assert status == 200
         assert json.loads(body)["schema_version"] == SCHEMA_VERSION
 
     def test_v1_health_and_metrics_announce_the_version(self, service):
-        base = f"{service.address}/v1"
-        status, body = _get(f"{base}/healthz")
+        base = service.address
+        status, body = _get(f"{base}/v1/healthz")
         assert status == 200
         health = json.loads(body)
         assert health["ok"] is True
         assert health["api_version"] == "v1"
-        status, body = _get(f"{base}/metrics")
+        status, body = _get(f"{base}/v1/metrics")
         assert status == 200
         assert json.loads(body)["api_version"] == "v1"
 
@@ -561,51 +561,39 @@ class TestApiVersioning:
         assert headers.get("Deprecation") is None
         assert headers.get("Link") is None
 
-    def test_legacy_aliases_answer_identically_but_deprecated(
-        self, service
-    ):
+    def test_retired_aliases_answer_404_with_successor_link(self, service):
         base = service.address
         for path in ("/healthz", "/metrics"):
-            status, legacy_body, headers = _request_with_headers(
-                f"{base}{path}"
-            )
-            assert status == 200
-            assert headers.get("Deprecation") == "true"
+            status, body, headers = _request_with_headers(f"{base}{path}")
+            assert status == 404
             assert headers.get("Link") == (
                 f'</v1{path}>; rel="successor-version"'
             )
-            _, v1_body = _get(f"{base}/v1{path}")
-            legacy, v1 = json.loads(legacy_body), json.loads(v1_body)
-            legacy.pop("uptime_seconds", None)
-            v1.pop("uptime_seconds", None)
-            assert legacy == v1
+            assert json.loads(body)["successor"] == f"/v1{path}"
 
-    def test_legacy_job_submission_is_deprecated_but_works(self, service):
+    def test_retired_job_submission_answers_404_with_link(self, service):
         base = service.address
         status, body, headers = _request_with_headers(
             f"{base}/jobs", body=E4_SPEC
         )
-        assert status == 201
-        assert headers.get("Deprecation") == "true"
+        assert status == 404
         assert '</v1/jobs>; rel="successor-version"' == headers.get("Link")
-        job_id = json.loads(body)["job_id"]
-        # ... and the job is the same job under both prefixes.
-        status, body = _get(f"{base}/v1/jobs/{job_id}?wait=60")
+        # The job was NOT admitted -- the retired path is inert.
+        status, body = _get(f"{base}/v1/jobs")
         assert status == 200
-        assert json.loads(body)["state"] == "done"
 
     def test_adaptive_job_over_the_wire(self, service):
-        base = f"{service.address}/v1"
+        base = service.address
         spec = dict(E4_SPEC, adaptive=True)
-        status, body = _post(f"{base}/jobs", spec)
+        status, body = _post(f"{base}/v1/jobs", spec)
         assert status == 201
         first = json.loads(body)
         assert first["cached"] is False  # distinct cache key vs uniform
-        status, body = _get(f"{base}/jobs/{first['job_id']}?wait=60")
+        status, body = _get(f"{base}/v1/jobs/{first['job_id']}?wait=60")
         finished = json.loads(body)
         assert finished["state"] == "done"
         assert finished["result"]["passed"] is False  # same verdict: leaks
-        status, body = _get(f"{base}/jobs/{first['job_id']}/report")
+        status, body = _get(f"{base}/v1/jobs/{first['job_id']}/report")
         report = json.loads(body)
         adaptive = report["adaptive"]
         assert adaptive["undecided"] == 0
@@ -631,7 +619,7 @@ class TestRestartResume:
             "seed": 11,
             "chunk_size": 8_192,
         }
-        status, body = _post(f"{svc.address}/jobs", spec)
+        status, body = _post(f"{svc.address}/v1/jobs", spec)
         assert status == 201
         job_id = json.loads(body)["job_id"]
         checkpoint = svc.store.checkpoint_path(job_id)
@@ -652,7 +640,7 @@ class TestRestartResume:
         svc2 = EvaluationService(state, port=0)
         recovered = svc2.start()
         assert recovered == 1
-        status, body = _get(f"{svc2.address}/jobs/{job_id}?wait=120")
+        status, body = _get(f"{svc2.address}/v1/jobs/{job_id}?wait=120")
         finished = json.loads(body)
         svc2.stop()
         assert finished["state"] == "done"
@@ -691,7 +679,7 @@ class TestRestartResume:
                 "seed": 13,
                 "chunk_size": 8_192,
             }
-            status, body = _post(f"{base}/jobs", spec)
+            status, body = _post(f"{base}/v1/jobs", spec)
             assert status == 201
             job_id = json.loads(body)["job_id"]
             # Wait for the job's real checkpoint (not a .tmp in flight):
@@ -718,7 +706,7 @@ class TestRestartResume:
         svc = EvaluationService(state, port=0)
         recovered = svc.start()
         assert recovered == 1
-        status, body = _get(f"{svc.address}/jobs/{job_id}?wait=120")
+        status, body = _get(f"{svc.address}/v1/jobs/{job_id}?wait=120")
         finished = json.loads(body)
         svc.stop()
         assert finished["state"] == "done"
