@@ -14,9 +14,18 @@ engine on the E11 whole-core workload, gated on **bit-identity**:
 * **wide leg** (``--lanes``, default 6000) -- the same comparison at
   Monte-Carlo width, where both engines stream real data.
 * **full-evaluation leg** -- the complete periodic fixed-vs-random E11
-  evaluation through :class:`PeriodicLeakageEvaluator` under each engine;
-  the two reports must be byte-identical (shared Python histogramming
-  bounds this leg's speedup well below the engine-only legs).
+  evaluation through :class:`PeriodicLeakageEvaluator` under each
+  engine on the statically sliced cone: the compiled leg is python
+  simulation plus python extraction and histogramming, the native leg
+  the in-kernel pipeline (stimulus -> simulate -> extract -> histogram
+  in C).  The two reports must be byte-identical; a per-stage breakdown
+  is printed and recorded so regressions are attributable.  Carries the
+  ``--require-full-eval-speedup`` gate.
+* **scheduled full-evaluation leg** (informational) -- the same
+  evaluation on the scheduled cone, where the native side lowers
+  :class:`ScheduledSimulator` onto the scheduled-cone interpreter and
+  keeps the pipeline; the compiled scheduled path is already cheap, so
+  this leg's speedup is structurally smaller.
 * **threads leg** -- the native kernel's in-kernel thread pool at 1 and
   ``min(4, max(2, cpu_count))`` threads, plus the best threaded-native
   configuration against the serial ``compiled`` baseline
@@ -141,20 +150,31 @@ def bench_engine_leg(core, harness, probes, lanes: int, repeats: int) -> dict:
     }
 
 
-def bench_full_eval(core, harness, probes, lanes: int) -> dict:
-    """Whole periodic E11 evaluation under each engine; reports must match."""
+def bench_full_eval(
+    core, harness, probes, lanes: int, repeats: int = 1,
+    scheduled: bool = True,
+) -> dict:
+    """Whole periodic E11 evaluation under each engine; reports must match.
+
+    ``scheduled=True`` is the production configuration (control-schedule
+    cone slicing): the compiled leg runs the python ScheduledSimulator
+    plus python extraction/histogramming, the native leg runs the
+    scheduled-cone interpreter plus the in-kernel pipeline.
+    ``scheduled=False`` compares the statically sliced path, where the
+    engine registry picks the simulator.
+    """
     n_words = (lanes + 63) // 64
 
     def run(engine: str):
-        # No control schedule: the scheduled-cone path has its own
-        # specialised simulator, so the engine comparison runs the
-        # statically sliced path where the registry picks the engine.
         evaluator = PeriodicLeakageEvaluator(
             core.netlist,
             ENCRYPTION_CYCLES,
             ProbingModel.GLITCH,
             probe_nets=probes,
             slice_cones=True,
+            control_schedule=(
+                harness.control_net_schedule() if scheduled else None
+            ),
             engine=engine,
         )
         stim_fixed = harness.bitsliced_stimulus(
@@ -174,20 +194,61 @@ def bench_full_eval(core, harness, probes, lanes: int) -> dict:
         )
         return evaluator, report, time.perf_counter() - start
 
-    _, compiled_report, compiled_s = run("compiled")
-    evaluator, native_report, native_s = run("native")
-    identical = compiled_report.to_dict() == native_report.to_dict()
+    # Best-of-N like the engine legs: every repeat builds a fresh
+    # evaluator, so the minimum is the steady-state cost with the
+    # one-time kernel load amortized out (as a campaign amortizes it
+    # across chunks).  Every repeat's report must still match.
+    compiled_runs = [run("compiled") for _ in range(max(1, repeats))]
+    native_runs = [run("native") for _ in range(max(1, repeats))]
+    compiled_ev, compiled_report, compiled_s = min(
+        compiled_runs, key=lambda item: item[2]
+    )
+    evaluator, native_report, native_s = min(
+        native_runs, key=lambda item: item[2]
+    )
+    reference = compiled_report.to_dict()
+    identical = all(
+        item[1].to_dict() == reference
+        for item in compiled_runs + native_runs
+    )
+
+    def stages(ev):
+        return {
+            name: round(seconds, 4)
+            for name, seconds in (ev.last_stage_seconds or {}).items()
+        }
+
     return {
         "lanes": lanes,
+        "repeats": max(1, repeats),
+        "mode": "scheduled" if scheduled else "static",
+        "pipeline": bool(
+            (evaluator.last_slice_info or {}).get("pipeline")
+        ),
         "compiled_seconds": round(compiled_s, 3),
         "native_seconds": round(native_s, 3),
         "speedup": round(compiled_s / native_s, 2),
         "bit_identical": identical,
         "verdict": "PASS" if native_report.passed else "FAIL",
         "max_mlog10p": round(native_report.max_mlog10p, 2),
-        "engine_used": evaluator.last_slice_info.get("engine"),
+        "engine_used": (evaluator.last_slice_info or {}).get("engine"),
+        "stage_seconds": {
+            "compiled": stages(compiled_ev),
+            "native": stages(evaluator),
+        },
         "degradations": list(evaluator.degradations),
     }
+
+
+def _print_stage_table(leg: dict) -> None:
+    """Per-stage breakdown of a full_eval leg (regression attribution)."""
+    stages = leg.get("stage_seconds", {})
+    names = ("stimulus", "simulate", "extract", "histogram")
+    print(f"      {'stage':<10} {'compiled':>9} {'native':>9}")
+    for name in names:
+        c = stages.get("compiled", {}).get(name, 0.0)
+        n = stages.get("native", {}).get(name, 0.0)
+        print(f"      {name:<10} {c:>8.3f}s {n:>8.3f}s")
 
 
 def bench_threads(core, harness, probes, lanes: int, repeats: int) -> dict:
@@ -252,11 +313,22 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--lanes", type=int, default=6_000,
                         help="Monte-Carlo lanes for the wide/threads legs")
+    parser.add_argument("--full-eval-lanes", type=int, default=1_000,
+                        help="lanes for the full-evaluation legs "
+                             "(default matches a typical campaign chunk "
+                             "block, where per-cycle python overhead -- "
+                             "the cost the pipeline removes -- dominates "
+                             "the compiled baseline)")
     parser.add_argument("--repeats", type=int, default=5,
                         help="timing repeats per engine leg (best-of)")
     parser.add_argument("--require-speedup", type=float, default=0.0,
                         help="fail (exit 2) if the dispatch-leg "
                              "native speedup is below this")
+    parser.add_argument("--require-full-eval-speedup", type=float,
+                        default=0.0,
+                        help="fail (exit 2) if the end-to-end full_eval "
+                             "leg (static cone + in-kernel pipeline) "
+                             "speedup is below this")
     parser.add_argument("--out", default="BENCH_native.json")
     args = parser.parse_args(argv)
 
@@ -272,7 +344,7 @@ def main(argv=None) -> int:
         f"{os.cpu_count()} cpu(s)"
     )
 
-    print("[1/4] engine dispatch leg (lanes=64, pre-staged stimulus)...")
+    print("[1/5] engine dispatch leg (lanes=64, pre-staged stimulus)...")
     dispatch = bench_engine_leg(core, harness, probes, 64, args.repeats)
     print(
         f"      compiled {dispatch['compiled_seconds']}s vs native "
@@ -280,7 +352,7 @@ def main(argv=None) -> int:
         f"(bit_identical={dispatch['bit_identical']})"
     )
 
-    print(f"[2/4] wide leg (lanes={args.lanes})...")
+    print(f"[2/5] wide leg (lanes={args.lanes})...")
     wide = bench_engine_leg(
         core, harness, probes, args.lanes, max(2, args.repeats // 2)
     )
@@ -290,16 +362,40 @@ def main(argv=None) -> int:
         f"(bit_identical={wide['bit_identical']})"
     )
 
-    print(f"[3/4] full periodic E11 evaluation (lanes={args.lanes})...")
-    full = bench_full_eval(core, harness, probes, args.lanes)
+    print(
+        f"[3/5] full periodic E11 evaluation, static cone + "
+        f"in-kernel pipeline (lanes={args.full_eval_lanes})..."
+    )
+    full_repeats = max(2, args.repeats // 2)
+    full = bench_full_eval(
+        core, harness, probes, args.full_eval_lanes, full_repeats,
+        scheduled=False,
+    )
     print(
         f"      compiled {full['compiled_seconds']}s vs native "
         f"{full['native_seconds']}s -> {full['speedup']}x "
         f"(bit_identical={full['bit_identical']}, "
-        f"engine={full['engine_used']})"
+        f"engine={full['engine_used']}, pipeline={full['pipeline']})"
     )
+    _print_stage_table(full)
 
-    print(f"[4/4] in-kernel threads (lanes={args.lanes})...")
+    print(
+        f"[4/5] full evaluation, scheduled cone + native scheduled "
+        f"interpreter (lanes={args.full_eval_lanes}, informational)..."
+    )
+    full_sched = bench_full_eval(
+        core, harness, probes, args.full_eval_lanes, full_repeats
+    )
+    print(
+        f"      compiled {full_sched['compiled_seconds']}s vs native "
+        f"{full_sched['native_seconds']}s -> "
+        f"{full_sched['speedup']}x "
+        f"(bit_identical={full_sched['bit_identical']}, "
+        f"pipeline={full_sched['pipeline']})"
+    )
+    _print_stage_table(full_sched)
+
+    print(f"[5/5] in-kernel threads (lanes={args.lanes})...")
     threads = bench_threads(
         core, harness, probes, args.lanes, max(2, args.repeats // 2)
     )
@@ -319,6 +415,7 @@ def main(argv=None) -> int:
         "e11_dispatch": dispatch,
         "e11_wide": wide,
         "full_eval": full,
+        "full_eval_scheduled": full_sched,
         "threads": threads,
         "kernel_cache": cache,
     }
@@ -332,6 +429,7 @@ def main(argv=None) -> int:
         dispatch["bit_identical"]
         and wide["bit_identical"]
         and full["bit_identical"]
+        and full_sched["bit_identical"]
         and threads["bit_identical"]
     )
     if not identical:
@@ -342,6 +440,13 @@ def main(argv=None) -> int:
         print(
             f"FAIL: dispatch-leg speedup {dispatch['speedup']}x below "
             f"required {args.require_speedup}x",
+            file=sys.stderr,
+        )
+        return 2
+    if full["speedup"] < args.require_full_eval_speedup:
+        print(
+            f"FAIL: full_eval speedup {full['speedup']}x below "
+            f"required {args.require_full_eval_speedup}x",
             file=sys.stderr,
         )
         return 2

@@ -243,6 +243,7 @@ def cmd_certify(args) -> int:
         max_gadget_bits=args.max_gadget_bits,
         exact_fallback=args.exact_fallback,
         max_enum_bits=args.max_enum_bits,
+        engine=args.engine,
     )
     report = checker.check()
     if args.json:
@@ -747,6 +748,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="decide gadgets that fail the (conservative) NI check by "
              "exact per-probe-class enumeration",
     )
+    p.add_argument("--engine", default=engine_registry.DEFAULT_ENGINE,
+                   choices=engine_registry.engine_names(),
+                   help="simulation engine for the exact-fallback "
+                        "enumeration (bit-identical; native is fastest)")
     p.add_argument("--json", action="store_true",
                    help="machine-readable certificate")
     p.set_defaults(func=cmd_certify)

@@ -438,80 +438,72 @@ class AesCoreHarness:
         key: bytes,
         fixed_plaintext: Optional[bytes],
     ):
-        """Stimulus function for the bitsliced simulator.
+        """Stimulus plan for the bitsliced simulator.
 
         Every lane runs the same control/key schedule (public values); the
         plaintext is the fixed block or per-lane uniform random, re-shared
         with fresh randomness per lane; all masks are fresh per cycle.
         The schedule repeats, encrypting block after block.
+
+        Returns a :class:`repro.leakage.stimplan.StimulusPlan` -- a
+        ``stimulus(cycle)`` callable drawing from ``rng`` in the exact
+        per-net order of the original closure (so seeded verdicts are
+        unchanged) that the native engine can also execute in C.
         """
-        from repro.leakage.traces import (
-            constant_words,
-            random_nonzero_byte,
-            random_word_rows,
-        )
+        from repro.leakage.stimplan import StimulusPlanBuilder
 
         core = self.core
         controls = self.control_schedule()
         keys = self.round_key_schedule(key)
         rcons = self.rcon_schedule() if core.own_key_schedule else None
         period = len(controls)
-        # Draw the per-cycle randomness as one batched RNG call (rows are
-        # consumed in the original per-net draw order, so the stream -- and
-        # every seeded verdict -- is bit-identical to unbatched draws; see
-        # random_word_rows).  The r buses rejection-sample separately.
-        pt_draws = 128 if fixed_plaintext is not None else 256
-        n_rp = sum(len(bus) for bus in core.r_prime_buses)
-        n_batched = 128 + pt_draws + len(core.mask_bits)
-
-        def stimulus(cycle: int) -> Dict[int, np.ndarray]:
-            step = cycle % period
-            control = controls[step]
-            values: Dict[int, np.ndarray] = {
-                core.load: constant_words(control["load"], n_words),
-                core.capture: constant_words(control["capture"], n_words),
-                core.last: constant_words(control["last"], n_words),
-            }
-            if rcons is not None:
-                for i, net in enumerate(core.rcon_bus):
-                    values[net] = constant_words(
-                        (rcons[step] >> i) & 1, n_words
+        builder = StimulusPlanBuilder(n_words, period=period)
+        builder.const(
+            builder.column([c["load"] for c in controls]), net=core.load
+        )
+        builder.const(
+            builder.column([c["capture"] for c in controls]),
+            net=core.capture,
+        )
+        builder.const(
+            builder.column([c["last"] for c in controls]), net=core.last
+        )
+        if rcons is not None:
+            for i, net in enumerate(core.rcon_bus):
+                builder.const(
+                    builder.column([(r >> i) & 1 for r in rcons]), net=net
+                )
+        # Op emission order is PCG64 stream order (the original per-net
+        # draw order): key share masks, then plaintext masks/shares, then
+        # mask bits, then the rejection-sampled r buses, then r'.
+        for byte_index in range(16):
+            for bit in range(8):
+                position = 8 * byte_index + bit
+                mask = builder.draw(net=core.round_key_shares[0][position])
+                key_col = builder.column(
+                    [(kb[byte_index] >> bit) & 1 for kb in keys]
+                )
+                builder.xor_const(
+                    mask, key_col, net=core.round_key_shares[1][position]
+                )
+        for byte_index in range(16):
+            for bit in range(8):
+                position = 8 * byte_index + bit
+                mask = builder.draw(net=core.plaintext_shares[0][position])
+                if fixed_plaintext is None:
+                    builder.draw(net=core.plaintext_shares[1][position])
+                else:
+                    pt_bit = (fixed_plaintext[byte_index] >> bit) & 1
+                    builder.xor_const(
+                        mask,
+                        builder.column([pt_bit] * period),
+                        net=core.plaintext_shares[1][position],
                     )
-            rows = iter(random_word_rows(rng, n_batched, n_words))
-            key_block = keys[step]
-            for byte_index in range(16):
-                for bit in range(8):
-                    position = 8 * byte_index + bit
-                    mask = next(rows)
-                    values[core.round_key_shares[0][position]] = mask
-                    key_bit = (key_block[byte_index] >> bit) & 1
-                    values[core.round_key_shares[1][position]] = (
-                        mask ^ constant_words(key_bit, n_words)
-                    )
-            for byte_index in range(16):
-                for bit in range(8):
-                    position = 8 * byte_index + bit
-                    mask = next(rows)
-                    values[core.plaintext_shares[0][position]] = mask
-                    if fixed_plaintext is None:
-                        other = next(rows)
-                    else:
-                        pt_bit = (fixed_plaintext[byte_index] >> bit) & 1
-                        other = mask ^ constant_words(pt_bit, n_words)
-                    values[core.plaintext_shares[1][position]] = other
-            for net in core.mask_bits:
-                values[net] = next(rows)
-            # The r buses rejection-sample a variable number of words, so
-            # the r' batch must be drawn after them to keep the original
-            # stream order.
-            for r_bus in core.r_buses:
-                planes = random_nonzero_byte(rng, n_words)
-                for net, plane in zip(r_bus, planes):
-                    values[net] = plane
-            rp_rows = iter(random_word_rows(rng, n_rp, n_words))
-            for rp_bus in core.r_prime_buses:
-                for net in rp_bus:
-                    values[net] = next(rp_rows)
-            return values
-
-        return stimulus
+        for net in core.mask_bits:
+            builder.draw(net=net)
+        for r_bus in core.r_buses:
+            builder.nonzero8(r_bus)
+        for rp_bus in core.r_prime_buses:
+            for net in rp_bus:
+                builder.draw(net=net)
+        return builder.build(rng)

@@ -67,6 +67,12 @@ class EngineInfo:
     sliceable: bool = False
     schedulable: bool = False
     native: bool = False
+    #: the engine offers the fused in-kernel evaluation pipeline
+    #: (``run_pipeline``: stimulus -> simulate -> extract -> histogram in
+    #: one C pass); availability still depends on the runtime toolchain
+    #: (``repro.netlist.native.pipeline_available``), and every consumer
+    #: degrades to the bit-identical python stages when it is absent.
+    pipeline: bool = False
     #: next engine down the degradation ladder (None = last resort).
     degrades_to: Optional[str] = None
     #: chaos-plane site probed before constructing this engine (None =
@@ -79,6 +85,7 @@ class EngineInfo:
             "sliceable": self.sliceable,
             "schedulable": self.schedulable,
             "native": self.native,
+            "pipeline": self.pipeline,
             "degrades_to": self.degrades_to,
             "description": self.description,
         }
@@ -251,10 +258,13 @@ register_engine(
         description=(
             "gate program fused into one generated-C kernel (cc + "
             "ffi.dlopen, content-hash cached) with an internal thread "
-            "pool over lane words"
+            "pool over lane words; offers the in-kernel evaluation "
+            "pipeline and a scheduled-cone interpreter"
         ),
         sliceable=True,
+        schedulable=True,
         native=True,
+        pipeline=True,
         degrades_to="compiled",
         chaos_site="engine.native_build",
     )

@@ -495,7 +495,24 @@ class EvaluationCampaign:
                 )
                 end = min(next_block + chunk_blocks, boundary)
                 self._emit_slice_telemetry()
+                # Per-stage wall-clock attribution: the evaluator keeps a
+                # cumulative stage_seconds, so the per-chunk cost is a
+                # snapshot delta.  Parallel chunks accumulate in worker
+                # processes and report zeros here -- attribution covers
+                # the serial path (and the in-kernel pipeline).
+                stage_before = dict(
+                    getattr(self.evaluator, "stage_seconds", {}) or {}
+                )
                 self._run_chunk_with_retry(next_block, end)
+                stage_after = getattr(
+                    self.evaluator, "stage_seconds", {}
+                ) or {}
+                stage_delta = {
+                    name: round(
+                        seconds - stage_before.get(name, 0.0), 6
+                    )
+                    for name, seconds in stage_after.items()
+                }
                 samples_added = (
                     self._lanes_done(end) - self._lanes_done(next_block)
                 ) * cfg.n_windows
@@ -524,6 +541,8 @@ class EvaluationCampaign:
                     "chunks_done": self.progress.chunks_done,
                     "elapsed": time.monotonic() - started,
                 }
+                if stage_delta:
+                    chunk_payload["stage_seconds"] = stage_delta
                 if self.scheduler is not None:
                     chunk_payload["adaptive"] = self.scheduler.counts()
                 self._emit("chunk_done", **chunk_payload)

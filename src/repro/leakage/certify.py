@@ -796,6 +796,7 @@ class CompositionalChecker:
         max_gadget_bits: int = 22,
         exact_fallback: bool = True,
         max_enum_bits: int = 24,
+        engine: str = engine_registry.DEFAULT_ENGINE,
     ):
         if model not in ("classic", "robust"):
             raise MaskingError(f"unknown composition model {model!r}")
@@ -805,6 +806,11 @@ class CompositionalChecker:
         self.max_gadget_bits = max_gadget_bits
         self.exact_fallback = exact_fallback
         self.max_enum_bits = max_enum_bits
+        # Engine for the exact-fallback enumeration simulators, resolved
+        # through repro.engines (bit-identical across engines; the
+        # native kernel just enumerates faster).
+        engine_registry.get_engine(engine)
+        self.engine = engine
         self.regions = gadget_regions(dut.netlist)
         self._roles = self._build_role_map()
         self._exact_analyzer: Optional[ExactAnalyzer] = None
@@ -823,6 +829,7 @@ class CompositionalChecker:
                 self.dut,
                 ProbingModel.GLITCH,
                 max_enum_bits=self.max_enum_bits,
+                engine=self.engine,
             )
         analyzer = self._exact_analyzer
         netlist = self.dut.netlist

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import itertools
 import warnings
+from time import perf_counter
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -114,6 +115,31 @@ class HistogramAccumulator:
             if cell is None:
                 table[value] = cell = [0, 0]
             cell[group] += count
+
+    def add_counts(
+        self, table_id: str, counts: np.ndarray, group: int
+    ) -> None:
+        """Fold a dense count row (bin index == observation key) into a table.
+
+        Produces exactly the table :meth:`add` builds from the raw key
+        array the row was histogrammed from -- zero bins leave no entry
+        -- so in-kernel count tables and python key arrays accumulate
+        interchangeably.
+        """
+        if group not in (self.GROUP_FIXED, self.GROUP_RANDOM):
+            raise SimulationError("group must be GROUP_FIXED or GROUP_RANDOM")
+        counts = np.asarray(counts)
+        values = np.nonzero(counts)[0]
+        if values.size == 0:
+            return
+        table = self._tables.setdefault(table_id, {})
+        for value, count in zip(
+            values.tolist(), counts[values].tolist()
+        ):
+            cell = table.get(value)
+            if cell is None:
+                table[value] = cell = [0, 0]
+            cell[group] += int(count)
 
     def merge(self, other: "HistogramAccumulator") -> None:
         """Fold another accumulator's tables into this one."""
@@ -234,6 +260,14 @@ class LeakageEvaluator:
         #: took (compiled kernel -> bitsliced reference), merged into
         #: :attr:`LeakageReport.degradations` by campaigns.
         self.degradations: List[Dict[str, str]] = []
+        #: cumulative seconds per evaluation stage across every block this
+        #: evaluator processed; campaigns snapshot it at chunk boundaries
+        #: to attribute wall-clock (stimulus is folded into simulate on
+        #: the python path, which stages stimulus inside ``run``).
+        self.stage_seconds: Dict[str, float] = {
+            "stimulus": 0.0, "simulate": 0.0,
+            "extract": 0.0, "histogram": 0.0,
+        }
         self.probe_classes, self.skipped_classes = extract_probe_classes(
             dut.netlist, model, max_support_bits=max_support_bits
         )
@@ -635,12 +669,57 @@ class LeakageEvaluator:
             record_nets = roots
         if blocks is None:
             blocks = range(self.block_count(n_lanes))
+        stage = self.stage_seconds
+        # In-kernel pipeline fast path: whole block (stimulus, simulate,
+        # extract, histogram) in C, folding ready-made count tables into
+        # ``acc`` -- bit-identical to the python path below (same tables;
+        # see tests/test_native_pipeline.py).  Applies to first-order
+        # tuple observations on sliced cones under the native engine;
+        # anything else (pairs, hamming, very wide hash_bits, missing
+        # toolchain) runs the python path, and a mid-campaign failure
+        # degrades per evaluator, re-running the failed block in python.
+        use_pipeline = (
+            not pairs
+            and bool(classes)
+            and self.observation == "tuple"
+            and self.hash_bits <= 16
+            and record_nets is not None
+            and self._pipeline_supported()
+        )
+        pipeline_tests = None
+        pipeline_sims: Dict[int, object] = {}
         for block in blocks:
             lane_count = self._block_lane_count(n_lanes, block)
+            if use_pipeline:
+                try:
+                    if pipeline_tests is None:
+                        pipeline_tests = self._count_specs(
+                            classes, eval_cycles
+                        )
+                    self._pipeline_block(
+                        acc, fixed_secret, lane_count, block, n_cycles,
+                        record_cycles, keep_nets, record_nets,
+                        class_indices, pipeline_tests, pipeline_sims,
+                    )
+                    continue
+                except SimulationError as exc:
+                    self.degradations.append(
+                        {
+                            "kind": "pipeline_python",
+                            "detail": (
+                                f"in-kernel pipeline failed ({exc}); "
+                                "continuing on the bit-identical python "
+                                "extraction path"
+                            ),
+                        }
+                    )
+                    use_pipeline = False
+            t0 = perf_counter()
             trace_fixed, trace_random = self._simulate_block(
                 fixed_secret, lane_count, block, n_cycles, record_cycles,
                 keep_nets=keep_nets, record_nets=record_nets,
             )
+            stage["simulate"] += perf_counter() - t0
             # Per-group memoization shared by every probe set this block:
             # raw keys per (class, offset), unpacked bits per (cycle, net).
             raw_fixed: Dict[Tuple[ProbeClass, int], np.ndarray] = {}
@@ -656,9 +735,11 @@ class LeakageEvaluator:
                         if delta
                         else eval_cycles
                     )
+                    t0 = perf_counter()
                     group_cache[key] = self._raw_keys(
                         trace, probe_class, cycles, bit_cache=bit_cache
                     )
+                    stage["extract"] += perf_counter() - t0
                 return group_cache[key]
 
             for index, probe_class in zip(class_indices, classes):
@@ -670,8 +751,10 @@ class LeakageEvaluator:
                     raw(raw_random, bits_random, trace_random, probe_class, 0),
                     probe_class.observation_bits,
                 )
+                t0 = perf_counter()
                 acc.add(f"c{index}", keys_fixed, HistogramAccumulator.GROUP_FIXED)
                 acc.add(f"c{index}", keys_random, HistogramAccumulator.GROUP_RANDOM)
+                stage["histogram"] += perf_counter() - t0
 
             for i, j in pairs:
                 bits_i = all_classes[i].observation_bits
@@ -694,12 +777,124 @@ class LeakageEvaluator:
                         bits_j,
                     )
                     table_id = f"p{i}:{j}:{delta}"
+                    t0 = perf_counter()
                     acc.add(
                         table_id, keys_fixed, HistogramAccumulator.GROUP_FIXED
                     )
                     acc.add(
                         table_id, keys_random, HistogramAccumulator.GROUP_RANDOM
                     )
+                    stage["histogram"] += perf_counter() - t0
+
+    # ------------------------------------------------------ in-kernel blocks
+
+    def _pipeline_supported(self) -> bool:
+        """True when the in-kernel pipeline can run for this evaluator."""
+        if self.engine != "native":
+            return False
+        try:
+            from repro.netlist.native import pipeline_available
+        except ImportError:
+            return False
+        return pipeline_available()
+
+    def _count_specs(self, classes, eval_cycles):
+        """One in-kernel CountSpec per probe class.
+
+        Bit positions follow :meth:`_raw_keys` exactly (``for back in
+        cycles_back: for net in support``); observation windows become
+        segments of one count table (the histogram of a concatenation is
+        the sum of per-window histograms); hashing mirrors
+        :meth:`_bucket`'s ``observation_bits > hash_bits`` rule.
+        """
+        from repro.netlist.native import CountSpec
+
+        specs = []
+        for probe_class in classes:
+            segments = []
+            for t in eval_cycles:
+                bits = []
+                position = 0
+                for back in probe_class.cycles_back:
+                    for net in probe_class.support:
+                        bits.append((t - back, net, position))
+                        position += 1
+                segments.append(tuple(bits))
+            hashed = probe_class.observation_bits > self.hash_bits
+            key_bits = (
+                self.hash_bits if hashed else probe_class.observation_bits
+            )
+            specs.append(
+                CountSpec(tuple(segments), hashed, 1 << key_bits)
+            )
+        return specs
+
+    def _pipeline_block(
+        self,
+        acc: HistogramAccumulator,
+        fixed_secret: int,
+        lane_count: int,
+        block: int,
+        n_cycles: int,
+        record_cycles: set,
+        keep_nets: Sequence[int],
+        record_nets: Sequence[int],
+        class_indices: Sequence[int],
+        tests,
+        sims: Dict[int, object],
+    ) -> None:
+        """One sampling block entirely in the native kernel.
+
+        The stimulus plan is handed to C with its PCG64 snapshot (same
+        stream as the python interpreter would consume; see
+        ``repro.leakage.stimplan``), and the returned dense count tables
+        fold into ``acc`` via :meth:`HistogramAccumulator.add_counts` --
+        the accumulated tables are identical to the python path's.
+        ``sims`` caches simulators by lane count (run_pipeline is
+        stateless); raises :class:`SimulationError` for the caller to
+        degrade on.
+        """
+        stage = self.stage_seconds
+        sim = sims.get(lane_count)
+        if sim is None:
+            sim = self._make_simulator(
+                lane_count, keep_nets, record_nets=record_nets
+            )
+            if not hasattr(sim, "run_pipeline"):
+                raise SimulationError(
+                    "resolved engine lacks the in-kernel pipeline"
+                )
+            sims[lane_count] = sim
+        generator = StimulusGenerator(self.dut, (lane_count + 63) // 64)
+        for group, plan in (
+            (
+                HistogramAccumulator.GROUP_FIXED,
+                generator.fixed(
+                    fixed_secret,
+                    self._block_rng(
+                        HistogramAccumulator.GROUP_FIXED, block
+                    ),
+                ),
+            ),
+            (
+                HistogramAccumulator.GROUP_RANDOM,
+                generator.random(
+                    self._block_rng(
+                        HistogramAccumulator.GROUP_RANDOM, block
+                    )
+                ),
+            ),
+        ):
+            counts, timings = sim.run_pipeline(
+                plan, n_cycles, record_nets, record_cycles,
+                tests, self.hash_bits,
+            )
+            for name, seconds in timings.items():
+                stage[name] += seconds
+            t0 = perf_counter()
+            for index, row in zip(class_indices, counts):
+                acc.add_counts(f"c{index}", row, group)
+            stage["histogram"] += perf_counter() - t0
 
     # ----------------------------------------------------------- first order
 

@@ -93,23 +93,90 @@ def g_test(
     return g_test_from_counts(counts_fixed, counts_random, min_expected)
 
 
-def g_test_batch(
-    pairs: "Iterable[tuple[np.ndarray, np.ndarray]]",
-    min_expected: float = 5.0,
-) -> "list[GTestResult]":
-    """Many G-tests with one vectorized p-value evaluation.
+def _g_batch_from_compact(
+    compact: "list[tuple[np.ndarray, np.ndarray]]",
+    min_expected: float,
+) -> "list[tuple[float, int, int, int, int]]":
+    """Vectorized G statistics for compacted (occupied-cell) count pairs.
 
-    Returns exactly the results of ``[g_test(kf, kr) for kf, kr in pairs]``
-    -- ``chi2.logsf`` is the same ufunc whether applied to a scalar or an
-    array, so batching the p-value pass changes nothing but the per-call
-    overhead (which dominates when thousands of probe/phase tests are
-    evaluated per report).  ``pairs`` may be a generator: it is consumed
-    once, and each key array can be freed as soon as its histogram is
-    taken.
+    Rows where either group is empty short-circuit exactly like the
+    scalar path (G=0, dof=0, zero reported categories).  Live rows are
+    concatenated into flat cell arrays and reduced per row with
+    ``np.add.reduceat``, so the work is proportional to the number of
+    occupied cells -- no padding to the widest test.  Per-row semantics
+    (pooling rule, degenerate-row handling) match
+    :func:`_g_from_counts`; only the floating-point summation order
+    differs, which is why both batch entry points below share this core
+    -- equal tables in, bit-equal statistics out, regardless of which
+    evaluator path built the tables.
     """
-    partial = [
-        _g_statistic(kf, kr, min_expected) for kf, kr in pairs
-    ]
+    results: "list[tuple[float, int, int, int, int]]" = [
+        (0.0, 0, 0, 0, 0)
+    ] * len(compact)
+    live = []
+    for index, (cf, cr) in enumerate(compact):
+        n_fixed = int(cf.sum())
+        n_random = int(cr.sum())
+        if n_fixed == 0 or n_random == 0:
+            results[index] = (0.0, 0, 0, n_fixed, n_random)
+        else:
+            live.append(index)
+    if not live:
+        return results
+    lengths = np.asarray(
+        [compact[i][0].size for i in live], dtype=np.int64
+    )
+    offsets = np.zeros(len(live), dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    flat_f = np.concatenate([compact[i][0] for i in live])
+    flat_r = np.concatenate([compact[i][1] for i in live])
+    tot = flat_f + flat_r
+    keep = tot >= 2.0 * min_expected
+    nf = np.add.reduceat(flat_f, offsets)
+    nr = np.add.reduceat(flat_r, offsets)
+    pooled_f = np.add.reduceat(np.where(keep, 0.0, flat_f), offsets)
+    pooled_r = np.add.reduceat(np.where(keep, 0.0, flat_r), offsets)
+    pooled_tot = pooled_f + pooled_r
+    ncat = (
+        np.add.reduceat(keep.astype(np.int64), offsets)
+        + (pooled_tot > 0)
+    )
+    grand = nf + nr
+    g = np.zeros(len(live), dtype=np.float64)
+    for obs, pooled_obs, group_total in (
+        (flat_f, pooled_f, nf),
+        (flat_r, pooled_r, nr),
+    ):
+        frac = group_total / grand
+        expected = tot * np.repeat(frac, lengths)
+        mask = keep & (obs > 0)
+        ratio = np.where(mask, obs, 1.0) / np.where(mask, expected, 1.0)
+        g += 2.0 * np.add.reduceat(
+            np.where(mask, obs * np.log(ratio), 0.0), offsets
+        )
+        pmask = pooled_obs > 0
+        pexp = pooled_tot * frac
+        pratio = (
+            np.where(pmask, pooled_obs, 1.0) / np.where(pmask, pexp, 1.0)
+        )
+        g += 2.0 * np.where(pmask, pooled_obs * np.log(pratio), 0.0)
+    # Live rows have both group totals > 0; only the category floor can
+    # still void a test.
+    testable = ncat >= 2
+    g = np.where(testable, g, 0.0)
+    dof = np.where(testable, ncat - 1, 0)
+    for row, index in enumerate(live):
+        results[index] = (
+            float(g[row]), int(dof[row]), int(ncat[row]),
+            int(nf[row]), int(nr[row]),
+        )
+    return results
+
+
+def _finish_batch(
+    partial: "list[tuple[float, int, int, int, int]]",
+) -> "list[GTestResult]":
+    """One vectorized ``chi2.logsf`` pass over (G, dof, ...) tuples."""
     g_values = np.asarray([p[0] for p in partial], dtype=np.float64)
     dofs = np.asarray([p[1] for p in partial], dtype=np.int64)
     mlog10p = np.zeros(len(partial), dtype=np.float64)
@@ -125,20 +192,60 @@ def g_test_batch(
     ]
 
 
-def _g_statistic(
-    keys_fixed: np.ndarray,
-    keys_random: np.ndarray,
-    min_expected: float,
-) -> "tuple[float, int, int, int, int]":
-    """(G, dof, n_categories, n_fixed, n_random) without the p-value."""
-    n_fixed = int(keys_fixed.size)
-    n_random = int(keys_random.size)
-    if n_fixed == 0 or n_random == 0:
-        return (0.0, 0, 0, n_fixed, n_random)
-    counts_fixed, counts_random = _histogram_counts(
-        keys_fixed, keys_random
-    )
-    return _g_from_counts(counts_fixed, counts_random, min_expected)
+def g_test_batch(
+    pairs: "Iterable[tuple[np.ndarray, np.ndarray]]",
+    min_expected: float = 5.0,
+) -> "list[GTestResult]":
+    """Many G-tests with vectorized statistics and p-value passes.
+
+    Semantically ``[g_test(kf, kr) for kf, kr in pairs]``: identical
+    contingency tables, pooling and verdicts; G itself may differ from
+    the scalar function in the last bits because the stacked core sums
+    per-cell terms in a different order.  What is exact is the contract
+    the engine ladder relies on: this function and
+    :func:`g_test_counts_batch` share one core, so any two evaluator
+    paths that produce the same histograms report bit-identical
+    statistics.  ``pairs`` may be a generator: it is consumed once, and
+    each key array can be freed as soon as its histogram is taken.
+    """
+    compact = []
+    for kf, kr in pairs:
+        if kf.size == 0 or kr.size == 0:
+            # Degenerate group: record sizes without histogramming
+            # (mirrors the scalar short-circuit in g_test).
+            compact.append((
+                np.full(1, float(kf.size)),
+                np.full(1, float(kr.size)),
+            ))
+            continue
+        compact.append(_histogram_counts(kf, kr))
+    return _finish_batch(_g_batch_from_compact(compact, min_expected))
+
+
+def g_test_counts_batch(
+    pairs: "Iterable[tuple[np.ndarray, np.ndarray]]",
+    min_expected: float = 5.0,
+) -> "list[GTestResult]":
+    """Many G-tests straight from dense per-bin count tables.
+
+    ``pairs`` yields ``(counts_fixed, counts_random)`` -- aligned dense
+    histograms (bin index == observation key).  Each pair goes through
+    the same empty-bin filter the dense branch of
+    :func:`_histogram_counts` applies and then the same stacked core
+    and batched p-value pass as :func:`g_test_batch`, so the results
+    are bit-identical to histogramming the raw key arrays -- the G-test
+    only ever sees the contingency table.
+    """
+    compact = []
+    for cf, cr in pairs:
+        cf = np.asarray(cf)
+        cr = np.asarray(cr)
+        occupied = (cf + cr) > 0
+        compact.append((
+            cf[occupied].astype(np.float64),
+            cr[occupied].astype(np.float64),
+        ))
+    return _finish_batch(_g_batch_from_compact(compact, min_expected))
 
 
 def g_test_from_counts(

@@ -13,6 +13,7 @@ E11 benchmark applies it to our gate-level masked AES-128 core.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import (
     Callable,
     Dict,
@@ -26,8 +27,13 @@ from typing import (
 import numpy as np
 
 from repro import engines as engine_registry
+from repro.errors import SimulationError
 from repro.leakage.evaluator import _mix_hash
-from repro.leakage.gtest import DEFAULT_THRESHOLD, g_test_batch
+from repro.leakage.gtest import (
+    DEFAULT_THRESHOLD,
+    g_test_batch,
+    g_test_counts_batch,
+)
 from repro.leakage.model import ProbingModel
 from repro.leakage.probes import ProbeClass, extract_probe_classes
 from repro.leakage.report import LeakageReport, ProbeResult
@@ -86,6 +92,9 @@ class PeriodicLeakageEvaluator:
                     )
         #: filled by evaluate(): how the last run was sliced (telemetry).
         self.last_slice_info: Optional[Dict[str, object]] = None
+        #: filled by evaluate(): seconds per evaluation stage
+        #: (stimulus / simulate / extract / histogram) of the last run.
+        self.last_stage_seconds: Optional[Dict[str, float]] = None
         self.probe_classes, self.skipped_classes = extract_probe_classes(
             netlist, model, probe_nets=probe_nets,
             max_support_bits=max_support_bits,
@@ -145,7 +154,26 @@ class PeriodicLeakageEvaluator:
                 record_nets = keep_nets
 
         self.last_slice_info = None
-        traces = []
+        stage = {
+            "stimulus": 0.0, "simulate": 0.0,
+            "extract": 0.0, "histogram": 0.0,
+        }
+        self.last_stage_seconds = stage
+        # The in-kernel pipeline (stimulus + simulate + extract +
+        # histogram in one C pass per group) applies when both stimuli
+        # are fresh StimulusPlans with a PCG64 snapshot, the keys fit
+        # the dense bincount path, and the cones were sliced (so the
+        # record-net list is explicit).  It is bit-identical to the
+        # python path; anything missing degrades gracefully below.
+        pipeline_ready = (
+            record_nets is not None
+            and self.hash_bits <= 16
+            and self._plan_ready(stimulus_fixed)
+            and self._plan_ready(stimulus_random)
+        )
+        traces: List[Trace] = []
+        pipeline_sim = None
+        pipeline_scheduled = False
         if keep_nets is not None and self.control_schedule is not None:
             from repro.netlist.slice import ScheduledSimulator
 
@@ -155,29 +183,68 @@ class PeriodicLeakageEvaluator:
             }
             # run() is stateless, so one compiled schedule serves both
             # stimulus streams.
-            simulator = ScheduledSimulator(
-                self.netlist, n_lanes, keep_nets,
-                record, n_cycles, schedule,
-            )
-            for stimulus in (stimulus_fixed, stimulus_random):
-                traces.append(simulator.run(stimulus))
+            simulator = None
+            sched_engine = "python"
+            if self.engine == "native":
+                try:
+                    from repro.netlist.native import (
+                        NativeScheduledSimulator,
+                    )
+
+                    simulator = NativeScheduledSimulator(
+                        self.netlist, n_lanes, keep_nets,
+                        record, n_cycles, schedule,
+                    )
+                    sched_engine = "native"
+                except (ImportError, SimulationError) as exc:
+                    self.degradations.append(
+                        {
+                            "kind": "scheduled_python",
+                            "detail": (
+                                f"native scheduled kernel unavailable "
+                                f"({exc}); continuing on the "
+                                "bit-identical python scheduled path"
+                            ),
+                        }
+                    )
+            if simulator is None:
+                simulator = ScheduledSimulator(
+                    self.netlist, n_lanes, keep_nets,
+                    record, n_cycles, schedule,
+                )
+            if sched_engine == "native" and pipeline_ready:
+                pipeline_sim = simulator
+                pipeline_scheduled = True
+
+            def trace_runner(stimulus):
+                return simulator.run(stimulus)
+
             self.last_slice_info = {
-                "mode": "scheduled", **simulator.stats()
+                "mode": "scheduled", "engine": sched_engine,
+                **simulator.stats()
             }
         else:
-            for stimulus in (stimulus_fixed, stimulus_random):
-                simulator, info = engine_registry.build_simulator(
-                    self.engine, self.netlist, n_lanes,
-                    keep_nets=keep_nets,
-                    record_nets=record_nets,
-                    on_degrade=self._on_degrade,
+            # run() is stateless on every engine, so one simulator
+            # serves both stimulus streams.
+            simulator, info = engine_registry.build_simulator(
+                self.engine, self.netlist, n_lanes,
+                keep_nets=keep_nets,
+                record_nets=record_nets,
+                on_degrade=self._on_degrade,
+            )
+            if (
+                info.name == "native"
+                and pipeline_ready
+                and hasattr(simulator, "run_pipeline")
+            ):
+                pipeline_sim = simulator
+
+            def trace_runner(stimulus):
+                return simulator.run(
+                    stimulus, n_cycles,
+                    record_nets=record_nets, record_cycles=record,
                 )
-                traces.append(
-                    simulator.run(
-                        stimulus, n_cycles,
-                        record_nets=record_nets, record_cycles=record,
-                    )
-                )
+
             if keep_nets is not None:
                 cone = getattr(simulator, "_cone", None)
                 self.last_slice_info = {
@@ -188,7 +255,6 @@ class PeriodicLeakageEvaluator:
                 }
             else:
                 self.last_slice_info = {"mode": "full", "engine": info.name}
-        trace_fixed, trace_random = traces
 
         report = LeakageReport(
             design=design_name,
@@ -200,40 +266,93 @@ class PeriodicLeakageEvaluator:
                 pc.member_names(self.netlist) for pc in self.skipped_classes
             ],
         )
-        # Unpacked bit-planes are shared across probe classes (supports
-        # overlap heavily), and the chi-square p-value pass is batched
-        # over all (probe class, phase) tests at once -- both are exact
-        # (see g_test_batch).
-        bit_cache_fixed: Dict = {}
-        bit_cache_random: Dict = {}
         labels = [
             (probe_class, phase)
             for probe_class in self.probe_classes
             for phase in phases
         ]
 
-        def key_pairs():
-            # Generator: each pair of key arrays is histogrammed and
-            # freed before the next is built (thousands of tests at
-            # thousands of lanes would otherwise pin 100s of MB).
-            for probe_class, phase in labels:
-                cycles = [
-                    (warmup_periods + k) * self.period + phase
-                    for k in range(n_periods)
-                ]
-                yield (
-                    self._keys(
-                        trace_fixed, probe_class, cycles, bit_cache_fixed
-                    ),
-                    self._keys(
-                        trace_random, probe_class, cycles,
-                        bit_cache_random,
-                    ),
+        outcomes = None
+        if pipeline_sim is not None:
+            try:
+                tests = self._count_specs(labels, warmup_periods, n_periods)
+                group_counts = []
+                for plan in (stimulus_fixed, stimulus_random):
+                    if pipeline_scheduled:
+                        counts, timings = pipeline_sim.run_pipeline(
+                            plan, record_nets, tests, self.hash_bits
+                        )
+                    else:
+                        counts, timings = pipeline_sim.run_pipeline(
+                            plan, n_cycles, record_nets, record,
+                            tests, self.hash_bits,
+                        )
+                    group_counts.append(counts)
+                    for name, seconds in timings.items():
+                        stage[name] += seconds
+                t0 = perf_counter()
+                outcomes = g_test_counts_batch(
+                    list(zip(group_counts[0], group_counts[1]))
                 )
+                stage["histogram"] += perf_counter() - t0
+                self.last_slice_info["pipeline"] = True
+            except SimulationError as exc:
+                self.degradations.append(
+                    {
+                        "kind": "pipeline_python",
+                        "detail": (
+                            f"in-kernel pipeline failed ({exc}); "
+                            "continuing on the bit-identical python "
+                            "extraction path"
+                        ),
+                    }
+                )
+                outcomes = None
 
-        for (probe_class, phase), outcome in zip(
-            labels, g_test_batch(key_pairs())
-        ):
+        if outcomes is None:
+            for stimulus in (stimulus_fixed, stimulus_random):
+                t0 = perf_counter()
+                traces.append(trace_runner(stimulus))
+                stage["simulate"] += perf_counter() - t0
+            trace_fixed, trace_random = traces
+            # Unpacked bit-planes are shared across probe classes
+            # (supports overlap heavily), and the chi-square p-value
+            # pass is batched over all (probe class, phase) tests at
+            # once -- both are exact (see g_test_batch).
+            bit_cache_fixed: Dict = {}
+            bit_cache_random: Dict = {}
+
+            def key_pairs():
+                # Generator: each pair of key arrays is histogrammed
+                # and freed before the next is built (thousands of
+                # tests at thousands of lanes would otherwise pin
+                # 100s of MB).
+                for probe_class, phase in labels:
+                    cycles = [
+                        (warmup_periods + k) * self.period + phase
+                        for k in range(n_periods)
+                    ]
+                    t0 = perf_counter()
+                    pair = (
+                        self._keys(
+                            trace_fixed, probe_class, cycles,
+                            bit_cache_fixed,
+                        ),
+                        self._keys(
+                            trace_random, probe_class, cycles,
+                            bit_cache_random,
+                        ),
+                    )
+                    stage["extract"] += perf_counter() - t0
+                    yield pair
+
+            t0 = perf_counter()
+            outcomes = g_test_batch(key_pairs())
+            stage["histogram"] += (
+                perf_counter() - t0 - stage["extract"]
+            )
+
+        for (probe_class, phase), outcome in zip(labels, outcomes):
             report.results.append(
                 ProbeResult(
                     probe_names=(
@@ -251,6 +370,55 @@ class PeriodicLeakageEvaluator:
                 )
             )
         return report
+
+    @staticmethod
+    def _plan_ready(stimulus: Stimulus) -> bool:
+        """True when the stimulus is a plan the kernel can execute.
+
+        The plan must expose a fresh PCG64 snapshot (``rng_state``
+        raises once the python interpreter has consumed from the
+        stream, or when the generator is not PCG64).
+        """
+        rng_state = getattr(stimulus, "rng_state", None)
+        if rng_state is None:
+            return False
+        try:
+            rng_state()
+        except Exception:
+            return False
+        return True
+
+    def _count_specs(self, labels, warmup_periods: int, n_periods: int):
+        """One CountSpec per (probe class, phase) test.
+
+        Bit positions follow :meth:`_keys` exactly (``for back in
+        cycles_back: for net in support``), periods become segments of
+        the same count table (the histogram of a concatenation is the
+        sum of per-segment histograms), and hashing mirrors the
+        ``observation_bits > hash_bits`` rule.
+        """
+        from repro.netlist.native import CountSpec
+
+        specs = []
+        for probe_class, phase in labels:
+            segments = []
+            for k in range(n_periods):
+                t = (warmup_periods + k) * self.period + phase
+                bits = []
+                position = 0
+                for back in probe_class.cycles_back:
+                    for net in probe_class.support:
+                        bits.append((t - back, net, position))
+                        position += 1
+                segments.append(tuple(bits))
+            hashed = probe_class.observation_bits > self.hash_bits
+            key_bits = (
+                self.hash_bits if hashed else probe_class.observation_bits
+            )
+            specs.append(
+                CountSpec(tuple(segments), hashed, 1 << key_bits)
+            )
+        return specs
 
     def _keys(
         self,

@@ -67,68 +67,70 @@ def random_nonzero_byte(
 
 
 class StimulusGenerator:
-    """Builds per-cycle stimulus functions for a design under test."""
+    """Builds per-cycle stimulus programs for a design under test.
+
+    ``fixed``/``random`` return :class:`repro.leakage.stimplan.StimulusPlan`
+    instances -- ordinary ``stimulus(cycle)`` callables (the python
+    interpreter draws from ``rng`` exactly as the old closures did, so
+    every seeded verdict is unchanged) that the native engine can also
+    execute entirely in C from the same PCG64 stream position.
+    """
 
     def __init__(self, dut: DesignUnderTest, n_words: int):
         self.dut = dut
         self.n_words = n_words
 
-    def _drive(
-        self,
-        rng: np.random.Generator,
-        secret_planes_fn: Callable[[], "list[np.ndarray]"],
-    ) -> Stimulus:
+    def _drive(self, builder, secret_rows, rng: np.random.Generator):
+        """Share the secret rows and drive every randomness input.
+
+        Op emission order *is* PCG64 stream order: the secret rows were
+        emitted first, then per secret bit the masking shares, then the
+        mask bits, the uniform byte buses, and last the rejection-sampled
+        non-zero byte buses -- the exact draw order of the original
+        closure (batched draws are stream-transparent; see
+        :func:`random_word_rows`).
+        """
         dut = self.dut
-        n_words = self.n_words
-        width = dut.secret_width
         n_shares = dut.n_shares
-
-        n_uniform = sum(len(bus) for bus in dut.uniform_byte_buses)
-        n_batched = (
-            width * (n_shares - 1) + len(dut.mask_bits) + n_uniform
-        )
-
-        def stimulus(cycle: int) -> Dict[int, np.ndarray]:
-            values: Dict[int, np.ndarray] = {}
-            secret_planes = secret_planes_fn()
-            # One batched draw replaces the per-net draws; rows are
-            # consumed in the original draw order, so the stimulus is
-            # bit-identical to the unbatched version (random_word_rows).
-            rows = iter(random_word_rows(rng, n_batched, n_words))
-            for bit in range(width):
-                accumulated = secret_planes[bit].copy()
-                for share in range(n_shares - 1):
-                    words = next(rows)
-                    values[dut.share_buses[share][bit]] = words
-                    accumulated = accumulated ^ words
-                values[dut.share_buses[n_shares - 1][bit]] = accumulated
-            for mask_net in dut.mask_bits:
-                values[mask_net] = next(rows)
-            for bus in dut.uniform_byte_buses:
-                for net in bus:
-                    values[net] = next(rows)
-            for bus in dut.nonzero_byte_buses:
-                planes = random_nonzero_byte(rng, n_words)
-                for net, plane in zip(bus, planes):
-                    values[net] = plane
-            return values
-
-        return stimulus
+        for bit in range(dut.secret_width):
+            accumulated = secret_rows[bit]
+            if n_shares == 1:
+                builder.copy(accumulated, net=dut.share_buses[0][bit])
+                continue
+            for share in range(n_shares - 1):
+                words = builder.draw(net=dut.share_buses[share][bit])
+                last = dut.share_buses[n_shares - 1][bit]
+                accumulated = builder.xor(
+                    accumulated,
+                    words,
+                    net=last if share == n_shares - 2 else None,
+                )
+        for mask_net in dut.mask_bits:
+            builder.draw(net=mask_net)
+        for bus in dut.uniform_byte_buses:
+            for net in bus:
+                builder.draw(net=net)
+        for bus in dut.nonzero_byte_buses:
+            builder.nonzero8(bus)
+        return builder.build(rng)
 
     def fixed(self, secret: int, rng: np.random.Generator) -> Stimulus:
         """Stimulus for the fixed group: the same secret byte every cycle."""
-        width = self.dut.secret_width
-        planes = [
-            constant_words((secret >> bit) & 1, self.n_words)
-            for bit in range(width)
+        from repro.leakage.stimplan import StimulusPlanBuilder
+
+        builder = StimulusPlanBuilder(self.n_words)
+        secret_rows = [
+            builder.const(builder.column([(secret >> bit) & 1]))
+            for bit in range(self.dut.secret_width)
         ]
-        return self._drive(rng, lambda: planes)
+        return self._drive(builder, secret_rows, rng)
 
     def random(self, rng: np.random.Generator) -> Stimulus:
         """Stimulus for the random group: fresh uniform secret every cycle."""
-        width = self.dut.secret_width
+        from repro.leakage.stimplan import StimulusPlanBuilder
 
-        def fresh_planes() -> "list[np.ndarray]":
-            return list(random_word_rows(rng, width, self.n_words))
-
-        return self._drive(rng, fresh_planes)
+        builder = StimulusPlanBuilder(self.n_words)
+        secret_rows = [
+            builder.draw() for _ in range(self.dut.secret_width)
+        ]
+        return self._drive(builder, secret_rows, rng)

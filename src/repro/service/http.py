@@ -367,6 +367,7 @@ class EvaluationService:
             "api_version": API_VERSION,
             "uptime_seconds": round(time.time() - self.started_at, 3),
             "counters": self.telemetry.counters(),
+            "stage_seconds": self.telemetry.stage_seconds(),
             "cache": cache,
             # The load harness reads the hit rate as a top-level gauge.
             "cache_hit_rate": cache.get("hit_rate"),

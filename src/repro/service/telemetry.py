@@ -81,6 +81,10 @@ class Telemetry:
         self.fault_plane = fault_plane
         self._lock = threading.Lock()
         self._counters: Counter = Counter()
+        #: cumulative seconds per evaluation stage (stimulus / simulate /
+        #: extract / histogram), folded from ``chunk_done`` payloads so
+        #: ``/metrics`` can attribute campaign wall-clock per stage.
+        self._stage_seconds: Dict[str, float] = {}
         self._handle = open(path, "a", buffering=1) if path else None
 
     # ---------------------------------------------------------------- events
@@ -99,6 +103,17 @@ class Telemetry:
         with self._lock:
             if event in COUNTED_EVENTS:
                 self._counters[event] += 1
+            if event == "chunk_done":
+                stages = fields.get("stage_seconds")
+                if isinstance(stages, dict):
+                    for name, seconds in stages.items():
+                        try:
+                            self._stage_seconds[name] = (
+                                self._stage_seconds.get(name, 0.0)
+                                + float(seconds)
+                            )
+                        except (TypeError, ValueError):
+                            continue
             if self._handle is None:
                 return
             try:
@@ -120,6 +135,14 @@ class Telemetry:
         """Snapshot of every counter (for ``/metrics``)."""
         with self._lock:
             return dict(self._counters)
+
+    def stage_seconds(self) -> Dict[str, float]:
+        """Cumulative per-stage campaign seconds (for ``/metrics``)."""
+        with self._lock:
+            return {
+                name: round(seconds, 6)
+                for name, seconds in self._stage_seconds.items()
+            }
 
     # ----------------------------------------------------------------- hooks
 
